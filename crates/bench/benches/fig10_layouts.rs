@@ -1,0 +1,20 @@
+//! Criterion bench for Figures 10 and 11: storage layouts on the GPU.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use h2tap_bench::experiments::{fig10, fig11};
+use std::hint::black_box;
+
+fn bench_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layouts");
+    group.sample_size(10);
+    group.bench_function("fig10_uva_layouts_60k_rows", |b| {
+        b.iter(|| black_box(fig10(black_box(60_000), &[1, 4, 16])));
+    });
+    group.bench_function("fig11_device_resident_60k_rows", |b| {
+        b.iter(|| black_box(fig11(black_box(60_000))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_layouts);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench for Figure 1: the transfer-mode microbenchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use h2tap_bench::experiments::fig1;
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_transfer_modes");
+    group.sample_size(10);
+    group.bench_function("five_filters_all_modes_256MiB", |b| {
+        b.iter(|| black_box(fig1(black_box(256 << 20))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

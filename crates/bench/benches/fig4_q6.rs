@@ -1,0 +1,17 @@
+//! Criterion bench for Figure 4: TPC-H Q6 across engines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use h2tap_bench::experiments::fig4;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_q6");
+    group.sample_size(10);
+    group.bench_function("q6_caldera_vs_cpu_60k_rows", |b| {
+        b.iter(|| black_box(fig4(black_box(60_000))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

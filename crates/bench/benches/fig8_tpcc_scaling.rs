@@ -1,0 +1,19 @@
+//! Criterion bench for Figure 8: TPC-C NewOrder scalability.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use h2tap_bench::experiments::fig8;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_tpcc");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(12));
+    group.bench_function("neworder_caldera_vs_silo_2_cores", |b| {
+        b.iter(|| black_box(fig8(&[2], Duration::from_millis(150))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

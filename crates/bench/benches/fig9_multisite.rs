@@ -1,0 +1,19 @@
+//! Criterion bench for Figure 9: multi-site transaction sensitivity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use h2tap_bench::experiments::fig9;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_multisite");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(15));
+    group.bench_function("caldera_silo_snsilo_20pct_multisite", |b| {
+        b.iter(|| black_box(fig9(2, 20_000, &[20], Duration::from_millis(150))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p h2tap-bench --bin experiments -- all
+//! cargo run --release -p h2tap-bench --bin experiments -- table1 fig1 fig4
+//! cargo run --release -p h2tap-bench --bin experiments -- fig5 --quick
+//! ```
+//!
+//! `--quick` shrinks data sizes and sweep points so the full set finishes in
+//! about a minute; without it the defaults match the scaled configuration
+//! documented in EXPERIMENTS.md.
+
+use h2tap_bench::experiments as exp;
+use std::time::Duration;
+
+struct Scale {
+    lineitem_rows: u64,
+    layout_rows: u64,
+    fig1_bytes: u64,
+    oltp_workers: usize,
+    window: Duration,
+    working_sets: Vec<u32>,
+    sharing_sweep: Vec<u32>,
+    core_counts: Vec<usize>,
+    multisite_pcts: Vec<u32>,
+}
+
+impl Scale {
+    fn full() -> Self {
+        Self {
+            lineitem_rows: exp::DEFAULT_LINEITEM_ROWS,
+            layout_rows: 400_000,
+            fig1_bytes: 2 << 30,
+            oltp_workers: 4,
+            window: Duration::from_millis(1500),
+            working_sets: vec![1, 2, 4, 8, 16, 32, 64, 100],
+            sharing_sweep: vec![10, 20, 40, 70, 100],
+            core_counts: vec![1, 2, 4, 8],
+            multisite_pcts: vec![0, 20, 40, 60, 80, 100],
+        }
+    }
+
+    fn quick() -> Self {
+        Self {
+            lineitem_rows: 60_000,
+            layout_rows: 60_000,
+            fig1_bytes: 256 << 20,
+            oltp_workers: 2,
+            window: Duration::from_millis(300),
+            working_sets: vec![1, 16, 100],
+            sharing_sweep: vec![10, 50, 100],
+            core_counts: vec![1, 2, 4],
+            multisite_pcts: vec![0, 50, 100],
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let run_all = selected.is_empty() || selected.iter().any(|a| a == "all");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let wants = |name: &str| run_all || selected.iter().any(|a| a == name);
+
+    if wants("table1") {
+        header("Table 1: GPU generations");
+        println!(
+            "{:<14} {:<9} {:>6} {:>10} {:>9} {:>9} {:>9} {:>7}",
+            "GPU", "Arch", "Cores", "GFLOPS", "Mem(MB)", "BW(GB/s)", "I/f", "I/f GB/s"
+        );
+        for r in exp::table1() {
+            println!(
+                "{:<14} {:<9} {:>6} {:>10.1} {:>9} {:>9.1} {:>9} {:>7.0}",
+                r.gpu, r.architecture, r.cores, r.fp32_gflops, r.mem_capacity_mib, r.mem_bandwidth_gbps, r.interface,
+                r.interface_gbps
+            );
+        }
+    }
+
+    if wants("fig1") {
+        header("Figure 1: scan execution time under Fermi/Maxwell (5 filter queries)");
+        for r in exp::fig1(scale.fig1_bytes) {
+            let per: Vec<String> = r.per_query_secs.iter().map(|t| format!("{t:.3}")).collect();
+            println!("{:<22} {:<7} total {:>7.3}s  per-query [{}]", r.gpu, r.mode, r.total_secs, per.join(", "));
+        }
+    }
+
+    if wants("fig4") {
+        header("Figure 4: TPC-H Q6, GPU Caldera vs CPU column stores");
+        let rows = exp::fig4(scale.lineitem_rows);
+        for r in &rows {
+            println!("{:<16} {:>9.4}s   revenue {:.2}", r.engine, r.seconds, r.revenue);
+        }
+        if let (Some(gpu), Some(monet)) = (
+            rows.iter().find(|r| r.engine.contains("Caldera")),
+            rows.iter().find(|r| r.engine.contains("MonetDB")),
+        ) {
+            println!("-> Caldera speedup over MonetDB: {:.2}x", monet.seconds / gpu.seconds);
+        }
+    }
+
+    if wants("fig5") {
+        header("Figure 5: OLTP throughput vs working set and snapshot frequency");
+        println!("{:<18} {:>12} {:>14}", "queries/snapshot", "working set %", "OLTP KTps");
+        for r in exp::fig5(scale.lineitem_rows, scale.oltp_workers, &scale.working_sets) {
+            println!("{:<18} {:>12} {:>14.1}", r.queries_per_snapshot, r.working_set_pct, r.oltp_tps / 1e3);
+        }
+    }
+
+    if wants("fig6") {
+        header("Figure 6: OLAP response time vs OLTP working set (one shared snapshot)");
+        println!("{:<14} {:>10} {:>10} {:>10} {:>12}", "working set %", "avg (s)", "min (s)", "max (s)", "COW pages");
+        for r in exp::fig6(scale.lineitem_rows, scale.oltp_workers, &scale.working_sets) {
+            println!(
+                "{:<14} {:>10.4} {:>10.4} {:>10.4} {:>12}",
+                r.working_set_pct, r.olap_avg_secs, r.olap_min_secs, r.olap_max_secs, r.cow_pages
+            );
+        }
+    }
+
+    if wants("fig7") {
+        header("Figure 7: snapshot sharing sweep at 100% working set");
+        println!("{:<14} {:>12} {:>12}", "#OLAP queries", "OLAP avg (s)", "OLTP KTps");
+        for r in exp::fig7(scale.lineitem_rows, scale.oltp_workers, &scale.sharing_sweep) {
+            println!("{:<14} {:>12.4} {:>12.1}", r.olap_queries, r.olap_avg_secs, r.oltp_tps / 1e3);
+        }
+    }
+
+    if wants("fig8") {
+        header("Figure 8: TPC-C NewOrder scalability (Caldera vs Silo)");
+        println!("{:<8} {:<10} {:>12}", "cores", "system", "KTps");
+        for r in exp::fig8(&scale.core_counts, scale.window) {
+            println!("{:<8} {:<10} {:>12.1}", r.x, r.system, r.tps / 1e3);
+        }
+    }
+
+    if wants("fig9") {
+        header("Figure 9: multi-site transaction sensitivity");
+        println!("{:<14} {:<10} {:>12}", "multisite %", "system", "KTps");
+        for r in exp::fig9(scale.oltp_workers.max(2), 50_000, &scale.multisite_pcts, scale.window) {
+            println!("{:<14} {:<10} {:>12.1}", r.x, r.system, r.tps / 1e3);
+        }
+    }
+
+    if wants("fig10") {
+        header("Figure 10: layouts over UVA (host-resident), SUM(col1..colN)");
+        println!("{:<6} {:>11} {:>12}", "layout", "attributes", "seconds");
+        for r in exp::fig10(scale.layout_rows, &[1, 2, 4, 8, 16]) {
+            println!("{:<6} {:>11} {:>12.4}", r.layout, r.attributes, r.seconds);
+        }
+    }
+
+    if wants("fig11") {
+        header("Figure 11: layouts with GPU-resident data (2 of 16 attributes)");
+        println!("{:<24} {:<6} {:>12}", "GPU", "layout", "milliseconds");
+        for r in exp::fig11(scale.layout_rows) {
+            println!("{:<24} {:<6} {:>12.3}", r.gpu, r.layout, r.seconds * 1e3);
+        }
+    }
+}

@@ -1,0 +1,574 @@
+//! Experiment drivers: one function per table/figure of the paper.
+//!
+//! Every function returns plain row structs so the `experiments` binary can
+//! print them, the Criterion benches can time their hot paths, and tests can
+//! assert the qualitative shapes the paper reports. Data sizes are scaled
+//! down from the paper's (SF-300, 16 GB, 24 cores) so a full sweep finishes
+//! in minutes on a laptop; the scale knobs are explicit parameters.
+
+use caldera::{Caldera, CalderaConfig, DataPlacement, SnapshotPolicy};
+use h2tap_baselines::{CpuEngineKind, CpuOlapEngine, SiloDb, SiloRuntime, SnSilo};
+use h2tap_common::{SimDuration, TableId};
+use h2tap_gpu_sim::{AccessMode, AccessPattern, GpuDevice, GpuSpec, KernelDesc, TransferDirection};
+use h2tap_olap::GpuOlapEngine;
+use h2tap_oltp::OltpConfig;
+use h2tap_storage::{Database, Layout, Snapshot};
+use h2tap_workloads::multisite::{
+    load_multisite_caldera, load_multisite_silo, load_multisite_sn, multisite_partitioner,
+    CalderaMultisiteGenerator, MultisiteConfig, SiloMultisiteGenerator, SnSiloMultisiteGenerator,
+};
+use h2tap_workloads::tpcc::{
+    load_tpcc, load_tpcc_silo, standalone_tables, tpcc_partitioner, NewOrderGenerator, SiloNewOrderGenerator,
+    TpccConfig,
+};
+use h2tap_workloads::tpch::{self, q6};
+use h2tap_workloads::ycsb::{YcsbConfig, YcsbGenerator};
+use h2tap_workloads::layoutbench;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default scale used by the binary: rows of lineitem for the HTAP
+/// experiments (the paper uses SF-300 = 1.8 B rows; 300k keeps the full sweep
+/// under a minute while staying far larger than any cache).
+pub const DEFAULT_LINEITEM_ROWS: u64 = 300_000;
+
+// ---------------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------------
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// GPU marketing name.
+    pub gpu: String,
+    /// Architecture generation.
+    pub architecture: String,
+    /// CUDA cores.
+    pub cores: u32,
+    /// FP32 throughput in GFLOP/s.
+    pub fp32_gflops: f64,
+    /// Memory capacity in MiB.
+    pub mem_capacity_mib: u64,
+    /// Memory bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Interconnect type.
+    pub interface: String,
+    /// Interconnect bandwidth in GB/s.
+    pub interface_gbps: f64,
+}
+
+/// Reproduces Table 1 from the device catalogue.
+pub fn table1() -> Vec<Table1Row> {
+    h2tap_gpu_sim::table1_catalog()
+        .into_iter()
+        .map(|spec| Table1Row {
+            gpu: spec.name.clone(),
+            architecture: spec.architecture.name().to_string(),
+            cores: spec.cores,
+            fp32_gflops: spec.fp32_gflops,
+            mem_capacity_mib: spec.mem_capacity_mib,
+            mem_bandwidth_gbps: spec.mem_bandwidth_gbps,
+            interface: spec.interconnect.kind.label().to_string(),
+            interface_gbps: spec.interconnect.kind.bandwidth_gbps(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1: transfer modes across GPU generations
+// ---------------------------------------------------------------------------
+
+/// One bar of Figure 1: total time for five filter queries under one
+/// GPU/access-mode combination.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig1Row {
+    /// GPU used.
+    pub gpu: String,
+    /// Access mode label ("memcpy", "uva", "um").
+    pub mode: String,
+    /// Per-query execution times in seconds.
+    pub per_query_secs: Vec<f64>,
+    /// Total time for the five queries in seconds.
+    pub total_secs: f64,
+}
+
+/// Runs the Figure 1 microbenchmark: five filter kernels over a column of
+/// `column_bytes` bytes of integers (the paper uses 2 GiB).
+pub fn fig1(column_bytes: u64) -> Vec<Fig1Row> {
+    let combos: Vec<(GpuSpec, AccessMode, &str)> = vec![
+        (GpuSpec::tesla_m2090(), AccessMode::Memcpy, "memcpy"),
+        (GpuSpec::tesla_m2090(), AccessMode::Uva, "uva"),
+        (GpuSpec::gtx_980(), AccessMode::Memcpy, "memcpy"),
+        (GpuSpec::gtx_980(), AccessMode::Uva, "uva"),
+        (GpuSpec::gtx_980(), AccessMode::UnifiedMemory, "um"),
+    ];
+    let mut rows = Vec::new();
+    for (spec, mode, label) in combos {
+        let gpu_name = format!("{} ({})", spec.name, spec.architecture.name());
+        let mut device = GpuDevice::new(spec);
+        let buffer = device
+            .register_buffer("fig1.column", column_bytes, mode)
+            .expect("Figure 1 column fits every evaluated configuration");
+        let elements = column_bytes / 4;
+        let mut per_query = Vec::with_capacity(5);
+        for q in 0..5 {
+            let mut total = SimDuration::ZERO;
+            if mode == AccessMode::Memcpy {
+                total += device.memcpy(column_bytes, TransferDirection::HostToDevice);
+            }
+            let desc = KernelDesc::new(format!("filter_q{q}"), elements)
+                .flops_per_element(2.0)
+                .read(buffer, column_bytes, AccessPattern::Sequential)
+                .write(elements / 8);
+            total += device.account(&desc).expect("kernel").time;
+            if mode == AccessMode::Memcpy {
+                total += device.memcpy(elements / 8, TransferDirection::DeviceToHost);
+            }
+            per_query.push(total.as_secs_f64());
+        }
+        rows.push(Fig1Row {
+            gpu: gpu_name,
+            mode: label.to_string(),
+            total_secs: per_query.iter().sum(),
+            per_query_secs: per_query,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: TPC-H Q6, GPU Caldera vs CPU column stores
+// ---------------------------------------------------------------------------
+
+/// One bar of Figure 4.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Row {
+    /// Engine name.
+    pub engine: String,
+    /// Q6 execution time in seconds (simulated hardware frame of reference).
+    pub seconds: f64,
+    /// The Q6 revenue aggregate (identical across engines).
+    pub revenue: f64,
+}
+
+fn build_lineitem_snapshot(rows: u64, layout: Layout) -> (Arc<Database>, TableId, Arc<Snapshot>) {
+    let db = Database::new(1);
+    let table = db.create_table("lineitem", tpch::lineitem_schema(), layout).unwrap();
+    let mut rng = h2tap_common::rng::SplitMixRng::new(42);
+    for key in 0..rows {
+        db.insert(h2tap_common::PartitionId(0), table, &tpch::lineitem_row(key, &mut rng)).unwrap();
+    }
+    let snap = db.snapshot();
+    (db, table, snap)
+}
+
+/// Runs Figure 4: Q6 on Caldera's GPU engine and on the two CPU baselines,
+/// without concurrent transactions.
+pub fn fig4(rows: u64) -> Vec<Fig4Row> {
+    let (_db, table, snap) = build_lineitem_snapshot(rows, Layout::Dsm);
+    let frozen = snap.table(table).unwrap();
+    let query = q6();
+    let mut rows_out = Vec::new();
+
+    let mut gpu = GpuOlapEngine::new(GpuDevice::new(GpuSpec::gtx_980()), DataPlacement::Host(AccessMode::Uva));
+    let handle = gpu.register_table(frozen, "lineitem").unwrap();
+    let outcome = gpu.execute(handle, frozen, &query).unwrap();
+    rows_out.push(Fig4Row { engine: "Caldera (GPU)".into(), seconds: outcome.time.as_secs_f64(), revenue: outcome.value });
+
+    for kind in [CpuEngineKind::DbmsCLike, CpuEngineKind::MonetLike] {
+        let result = CpuOlapEngine::new(kind).execute(frozen, &query).unwrap();
+        rows_out.push(Fig4Row { engine: kind.label().into(), seconds: result.sim_time.as_secs_f64(), revenue: result.value });
+    }
+    rows_out
+}
+
+// ---------------------------------------------------------------------------
+// Figures 5-7: HTAP with software snapshotting
+// ---------------------------------------------------------------------------
+
+/// One measurement of the mixed HTAP workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct HtapRow {
+    /// OLTP working-set percentage.
+    pub working_set_pct: u32,
+    /// Snapshot sharing degree (queries per snapshot).
+    pub queries_per_snapshot: u32,
+    /// Number of OLAP queries executed.
+    pub olap_queries: u32,
+    /// OLTP throughput while the queries ran (transactions per second).
+    pub oltp_tps: f64,
+    /// Average OLAP response time in seconds.
+    pub olap_avg_secs: f64,
+    /// Minimum OLAP response time in seconds.
+    pub olap_min_secs: f64,
+    /// Maximum OLAP response time in seconds.
+    pub olap_max_secs: f64,
+    /// Pages shadow-copied during the run.
+    pub cow_pages: u64,
+}
+
+/// Parameters of the mixed HTAP experiments (Figures 5, 6, 7).
+#[derive(Debug, Clone, Copy)]
+pub struct HtapParams {
+    /// Rows in the lineitem table.
+    pub lineitem_rows: u64,
+    /// OLTP worker threads (= partitions).
+    pub oltp_workers: usize,
+    /// Number of OLAP queries to run back-to-back.
+    pub olap_queries: u32,
+    /// Queries that share one snapshot.
+    pub queries_per_snapshot: u32,
+    /// OLTP working-set percentage (1-100).
+    pub working_set_pct: u32,
+}
+
+impl Default for HtapParams {
+    fn default() -> Self {
+        Self {
+            lineitem_rows: DEFAULT_LINEITEM_ROWS,
+            oltp_workers: 4,
+            olap_queries: 10,
+            queries_per_snapshot: 10,
+            working_set_pct: 100,
+        }
+    }
+}
+
+/// Runs the mixed workload of Section 5.1 once: the YCSB-like update workload
+/// runs on the CPU archipelago while `olap_queries` Q6 instances run on the
+/// GPU archipelago, sharing snapshots per the policy.
+pub fn run_htap(params: HtapParams) -> HtapRow {
+    let mut config = CalderaConfig::with_workers(params.oltp_workers);
+    config.oltp = OltpConfig { workers: params.oltp_workers, ..OltpConfig::default() };
+    config.snapshot_policy = SnapshotPolicy::EveryN { queries: params.queries_per_snapshot };
+    let mut builder = Caldera::builder(config);
+    let table = tpch::load_lineitem(&mut builder, Layout::PAPER_PAX, params.lineitem_rows, 7).unwrap();
+    let ycsb = YcsbGenerator::new(YcsbConfig {
+        working_set_pct: params.working_set_pct,
+        ..YcsbConfig::paper_default(table, params.lineitem_rows, params.oltp_workers as u64)
+    });
+    builder.set_generator(Arc::new(ycsb));
+    let caldera = builder.start().unwrap();
+
+    // Start the OLTP window in a helper thread while OLAP queries run here,
+    // mirroring "the OLTP workload is executed by the CPU until all OLAP
+    // queries terminate".
+    let oltp_handle = {
+        let query_budget = Duration::from_millis(120 * u64::from(params.olap_queries.max(1)));
+        let caldera_ref: &Caldera = &caldera;
+        std::thread::scope(|scope| {
+            let window = scope.spawn(move || caldera_ref.run_oltp_window(query_budget));
+            let mut times = h2tap_common::stats::Summary::new();
+            let query = q6();
+            for _ in 0..params.olap_queries {
+                let outcome = caldera_ref.run_olap(table, &query).unwrap();
+                times.record(outcome.time.as_secs_f64());
+            }
+            let bench = window.join().expect("oltp window thread").expect("oltp window");
+            (bench, times)
+        })
+    };
+    let (bench, times) = oltp_handle;
+    let stats = caldera.shutdown();
+    HtapRow {
+        working_set_pct: params.working_set_pct,
+        queries_per_snapshot: params.queries_per_snapshot,
+        olap_queries: params.olap_queries,
+        oltp_tps: bench.throughput_tps,
+        olap_avg_secs: times.mean().unwrap_or(0.0),
+        olap_min_secs: times.min().unwrap_or(0.0),
+        olap_max_secs: times.max().unwrap_or(0.0),
+        cow_pages: stats.cow.pages_copied,
+    }
+}
+
+/// Figure 5: OLTP throughput vs working-set % for four snapshot frequencies.
+pub fn fig5(lineitem_rows: u64, oltp_workers: usize, working_sets: &[u32]) -> Vec<HtapRow> {
+    let mut rows = Vec::new();
+    // q1 / q1,5 / q1,3,5,7 / q1-10 correspond to 10, 5, 2.5 and 1 queries per
+    // snapshot; 2.5 is rounded to 3.
+    for queries_per_snapshot in [10u32, 5, 3, 1] {
+        for &ws in working_sets {
+            rows.push(run_htap(HtapParams {
+                lineitem_rows,
+                oltp_workers,
+                queries_per_snapshot,
+                working_set_pct: ws,
+                ..HtapParams::default()
+            }));
+        }
+    }
+    rows
+}
+
+/// Figure 6: OLAP response times vs working-set %, one shared snapshot.
+pub fn fig6(lineitem_rows: u64, oltp_workers: usize, working_sets: &[u32]) -> Vec<HtapRow> {
+    working_sets
+        .iter()
+        .map(|&ws| {
+            run_htap(HtapParams {
+                lineitem_rows,
+                oltp_workers,
+                queries_per_snapshot: 10,
+                working_set_pct: ws,
+                ..HtapParams::default()
+            })
+        })
+        .collect()
+}
+
+/// Figure 7: sweep the number of queries sharing a snapshot at 100 % working
+/// set.
+pub fn fig7(lineitem_rows: u64, oltp_workers: usize, query_counts: &[u32]) -> Vec<HtapRow> {
+    query_counts
+        .iter()
+        .map(|&n| {
+            run_htap(HtapParams {
+                lineitem_rows,
+                oltp_workers,
+                olap_queries: n,
+                queries_per_snapshot: n,
+                working_set_pct: 100,
+                ..HtapParams::default()
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: TPC-C scalability, Caldera vs Silo
+// ---------------------------------------------------------------------------
+
+/// One point of Figure 8 or 9.
+#[derive(Debug, Clone, Serialize)]
+pub struct OltpComparisonRow {
+    /// X-axis value (cores for Fig 8, multisite % for Fig 9).
+    pub x: u32,
+    /// System name.
+    pub system: String,
+    /// Committed transactions per second.
+    pub tps: f64,
+}
+
+/// Runs Figure 8: TPC-C NewOrder throughput as the number of cores (and
+/// warehouses) grows, for Caldera and Silo.
+pub fn fig8(core_counts: &[usize], window: Duration) -> Vec<OltpComparisonRow> {
+    let cfg = TpccConfig::default();
+    let mut out = Vec::new();
+    for &cores in core_counts {
+        // Caldera.
+        let mut config = CalderaConfig::with_workers(cores);
+        config.oltp.seed = 0xF18;
+        let mut builder = Caldera::builder(config);
+        builder.set_partitioner(Arc::new(tpcc_partitioner(cores))).unwrap();
+        let tables = load_tpcc(&mut builder, cores, cfg).unwrap();
+        builder.set_generator(Arc::new(NewOrderGenerator::new(tables, cfg, cores)));
+        let caldera = builder.start().unwrap();
+        let window_result = caldera.run_oltp_window(window).unwrap();
+        out.push(OltpComparisonRow { x: cores as u32, system: "Caldera".into(), tps: window_result.throughput_tps });
+        caldera.shutdown();
+
+        // Silo.
+        let silo = SiloDb::new();
+        let silo_tables = standalone_tables();
+        load_tpcc_silo(&silo, silo_tables, cores, cfg).unwrap();
+        let runtime = SiloRuntime::new(Arc::clone(&silo), cores);
+        let silo_window = runtime.run_for(Arc::new(SiloNewOrderGenerator::new(silo_tables, cfg, cores)), window);
+        out.push(OltpComparisonRow { x: cores as u32, system: "Silo".into(), tps: silo_window.throughput_tps });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: multisite sensitivity, Caldera vs Silo vs SN-Silo
+// ---------------------------------------------------------------------------
+
+/// Runs Figure 9: throughput as the share of multi-site transactions grows.
+pub fn fig9(
+    partitions: usize,
+    rows_per_partition: u64,
+    multisite_percentages: &[u32],
+    window: Duration,
+) -> Vec<OltpComparisonRow> {
+    let mut out = Vec::new();
+    for &pct in multisite_percentages {
+        // Caldera.
+        let mut config = CalderaConfig::with_workers(partitions);
+        config.oltp.seed = 0xF19;
+        let mut builder = Caldera::builder(config);
+        builder.set_partitioner(Arc::new(multisite_partitioner(partitions))).unwrap();
+        let table = load_multisite_caldera(&mut builder, rows_per_partition, partitions).unwrap();
+        let cfg = MultisiteConfig::paper(table, rows_per_partition, partitions, pct);
+        builder.set_generator(Arc::new(CalderaMultisiteGenerator::new(cfg)));
+        let caldera = builder.start().unwrap();
+        let w = caldera.run_oltp_window(window).unwrap();
+        out.push(OltpComparisonRow { x: pct, system: "Caldera".into(), tps: w.throughput_tps });
+        caldera.shutdown();
+
+        // Silo (single shared instance).
+        let silo = SiloDb::new();
+        let table_id = TableId(0);
+        load_multisite_silo(&silo, table_id, rows_per_partition, partitions).unwrap();
+        let silo_cfg = MultisiteConfig::paper(table_id, rows_per_partition, partitions, pct);
+        let runtime = SiloRuntime::new(Arc::clone(&silo), partitions);
+        let sw = runtime.run_for(Arc::new(SiloMultisiteGenerator::new(silo_cfg)), window);
+        out.push(OltpComparisonRow { x: pct, system: "Silo".into(), tps: sw.throughput_tps });
+
+        // SN-Silo (instance per core + 2PC).
+        let sn = SnSilo::new(partitions);
+        load_multisite_sn(&sn, table_id, rows_per_partition).unwrap();
+        let sn_cfg = MultisiteConfig::paper(table_id, rows_per_partition, partitions, pct);
+        let snw = h2tap_baselines::run_sn_silo_benchmark(
+            &sn,
+            Arc::new(SnSiloMultisiteGenerator::new(sn_cfg)),
+            window,
+            0xF19,
+        );
+        out.push(OltpComparisonRow { x: pct, system: "SN-Silo".into(), tps: snw.throughput_tps });
+        sn.shutdown();
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Figures 10 & 11: storage layouts on the GPU
+// ---------------------------------------------------------------------------
+
+/// One point of Figure 10 or 11.
+#[derive(Debug, Clone, Serialize)]
+pub struct LayoutRow {
+    /// Layout label.
+    pub layout: String,
+    /// Attributes accessed by the query.
+    pub attributes: usize,
+    /// GPU used.
+    pub gpu: String,
+    /// Execution time in seconds.
+    pub seconds: f64,
+    /// The (exact) aggregate, identical across layouts.
+    pub sum: f64,
+}
+
+/// Runs Figure 10: `SUM(col1+...+colN)` for N in `attribute_counts`, over a
+/// host-resident (UVA) table in DSM, PAX and NSM.
+pub fn fig10(rows: u64, attribute_counts: &[usize]) -> Vec<LayoutRow> {
+    let mut out = Vec::new();
+    for layout in [Layout::Dsm, Layout::PAPER_PAX, Layout::Nsm] {
+        let (db, table) = layoutbench::build_layout_table(rows, layout, 99).unwrap();
+        let snap = db.snapshot();
+        let frozen = snap.table(table).unwrap();
+        let mut engine =
+            GpuOlapEngine::new(GpuDevice::new(GpuSpec::gtx_980()), DataPlacement::Host(AccessMode::Uva));
+        let handle = engine.register_table(frozen, "dataset").unwrap();
+        for &n in attribute_counts {
+            let outcome = engine.execute(handle, frozen, &layoutbench::sum_query(n)).unwrap();
+            out.push(LayoutRow {
+                layout: layout.label().to_string(),
+                attributes: n,
+                gpu: "GTX 980 (Maxwell, UVA)".into(),
+                seconds: outcome.time.as_secs_f64(),
+                sum: outcome.value,
+            });
+        }
+    }
+    out
+}
+
+/// Runs Figure 11: the two-attribute query with all data resident in GPU
+/// memory, on the Fermi and Maxwell devices.
+pub fn fig11(rows: u64) -> Vec<LayoutRow> {
+    let mut out = Vec::new();
+    for spec in [GpuSpec::tesla_m2090(), GpuSpec::gtx_980()] {
+        for layout in [Layout::Dsm, Layout::PAPER_PAX, Layout::Nsm] {
+            let (db, table) = layoutbench::build_layout_table(rows, layout, 99).unwrap();
+            let snap = db.snapshot();
+            let frozen = snap.table(table).unwrap();
+            let mut engine = GpuOlapEngine::new(GpuDevice::new(spec.clone()), DataPlacement::DeviceResident);
+            let handle = engine.register_table(frozen, "dataset").unwrap();
+            let outcome = engine.execute(handle, frozen, &layoutbench::sum_query(2)).unwrap();
+            out.push(LayoutRow {
+                layout: layout.label().to_string(),
+                attributes: 2,
+                gpu: format!("{} ({})", spec.name, spec.architecture.name()),
+                seconds: outcome.time.as_secs_f64(),
+                sum: outcome.value,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_five_rows_in_generation_order() {
+        let rows = table1();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].gpu, "GeForce 8800");
+        assert_eq!(rows[4].interface, "NVLink");
+    }
+
+    #[test]
+    fn fig1_shape_matches_the_paper() {
+        let rows = fig1(256 << 20);
+        let get = |gpu: &str, mode: &str| {
+            rows.iter().find(|r| r.gpu.contains(gpu) && r.mode == mode).map(|r| r.total_secs).unwrap()
+        };
+        // Fermi: UVA slower than memcpy. Maxwell: UVA faster than memcpy,
+        // UM fastest overall.
+        assert!(get("Fermi", "uva") > get("Fermi", "memcpy"));
+        assert!(get("Maxwell", "uva") < get("Maxwell", "memcpy"));
+        assert!(get("Maxwell", "um") < get("Maxwell", "uva"));
+        assert!(get("Maxwell", "memcpy") < get("Fermi", "memcpy"));
+    }
+
+    #[test]
+    fn fig4_gpu_beats_cpu_and_monet_beats_dbmsc() {
+        let rows = fig4(60_000);
+        let get = |name: &str| rows.iter().find(|r| r.engine.contains(name)).unwrap();
+        let caldera = get("Caldera");
+        let monet = get("MonetDB");
+        let dbmsc = get("DBMS-C");
+        assert!(caldera.seconds < monet.seconds);
+        assert!(monet.seconds <= dbmsc.seconds);
+        // All engines agree on the revenue.
+        assert!((caldera.revenue - monet.revenue).abs() < 1e-6);
+        assert!((caldera.revenue - dbmsc.revenue).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fig10_nsm_is_slowest_and_dsm_pax_close() {
+        let rows = fig10(30_000, &[1, 16]);
+        let get = |layout: &str, n: usize| {
+            rows.iter().find(|r| r.layout == layout && r.attributes == n).map(|r| r.seconds).unwrap()
+        };
+        assert!(get("NSM", 1) > get("DSM", 1));
+        assert!(get("NSM", 1) > get("PAX", 1));
+        let ratio = get("PAX", 16) / get("DSM", 16);
+        assert!((0.9..1.25).contains(&ratio), "PAX/DSM {ratio}");
+        // All layouts agree on the sums.
+        let sums: Vec<f64> = rows.iter().filter(|r| r.attributes == 16).map(|r| r.sum).collect();
+        assert!(sums.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-6));
+    }
+
+    #[test]
+    fn fig11_gap_collapses_when_device_resident() {
+        let rows = fig11(30_000);
+        let get = |gpu: &str, layout: &str| {
+            rows.iter().find(|r| r.gpu.contains(gpu) && r.layout == layout).map(|r| r.seconds).unwrap()
+        };
+        // Maxwell is faster than Fermi for every layout.
+        for layout in ["DSM", "PAX", "NSM"] {
+            assert!(get("Maxwell", layout) < get("Fermi", layout), "{layout}");
+        }
+        // NSM penalty is bounded (2-4x) rather than the >10x of the UVA case.
+        let fermi_ratio = get("Fermi", "NSM") / get("Fermi", "DSM");
+        let maxwell_ratio = get("Maxwell", "NSM") / get("Maxwell", "DSM");
+        assert!(fermi_ratio < 4.5, "fermi NSM/DSM {fermi_ratio}");
+        assert!(maxwell_ratio < 3.0, "maxwell NSM/DSM {maxwell_ratio}");
+        assert!(maxwell_ratio <= fermi_ratio + 0.2);
+    }
+}

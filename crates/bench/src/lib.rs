@@ -1,0 +1,14 @@
+//! The benchmark harness of the Caldera reproduction.
+//!
+//! [`experiments`] contains one driver function per table and figure of the
+//! paper's evaluation; the `experiments` binary prints their rows (and
+//! optionally JSON) and the Criterion benches under `benches/` time their hot
+//! paths. See `EXPERIMENTS.md` at the workspace root for the paper-vs-
+//! measured comparison produced from this harness.
+
+pub mod experiments;
+
+pub use experiments::{
+    fig1, fig10, fig11, fig4, fig5, fig6, fig7, fig8, fig9, run_htap, table1, Fig1Row, Fig4Row, HtapParams, HtapRow,
+    LayoutRow, OltpComparisonRow, Table1Row, DEFAULT_LINEITEM_ROWS,
+};

@@ -1,0 +1,84 @@
+//! The shared error type of the workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, H2Error>;
+
+/// Errors surfaced by the Caldera engine and its substrates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum H2Error {
+    /// A schema was malformed (empty, duplicate attribute names, ...).
+    InvalidSchema(String),
+    /// An attribute name or index does not exist in the schema.
+    UnknownAttribute(String),
+    /// A table id does not exist in the catalog.
+    UnknownTable(String),
+    /// A record id does not exist.
+    UnknownRecord(String),
+    /// A transaction was aborted (deadlock avoidance, validation failure,
+    /// explicit user abort, or 2PC vote-no).
+    TxnAborted(String),
+    /// A lock could not be acquired within the deadlock-avoidance budget.
+    LockTimeout(String),
+    /// The GPU simulator was asked to do something its configuration cannot
+    /// do (e.g. allocate past device capacity without oversubscription).
+    GpuOutOfMemory { requested_bytes: u64, capacity_bytes: u64 },
+    /// A kernel or operator was configured inconsistently.
+    InvalidKernel(String),
+    /// A message-passing endpoint disconnected unexpectedly.
+    ChannelClosed(String),
+    /// The scheduler could not satisfy a placement request.
+    Placement(String),
+    /// A snapshot id is unknown or already released.
+    UnknownSnapshot(u64),
+    /// The caller violated the non-cache-coherent ownership discipline
+    /// (touched a partition it does not own). Only raised in strict mode.
+    OwnershipViolation(String),
+    /// Generic configuration error.
+    Config(String),
+}
+
+impl fmt::Display for H2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            H2Error::InvalidSchema(m) => write!(f, "invalid schema: {m}"),
+            H2Error::UnknownAttribute(m) => write!(f, "unknown attribute: {m}"),
+            H2Error::UnknownTable(m) => write!(f, "unknown table: {m}"),
+            H2Error::UnknownRecord(m) => write!(f, "unknown record: {m}"),
+            H2Error::TxnAborted(m) => write!(f, "transaction aborted: {m}"),
+            H2Error::LockTimeout(m) => write!(f, "lock timeout: {m}"),
+            H2Error::GpuOutOfMemory { requested_bytes, capacity_bytes } => write!(
+                f,
+                "GPU out of memory: requested {requested_bytes} bytes, capacity {capacity_bytes} bytes"
+            ),
+            H2Error::InvalidKernel(m) => write!(f, "invalid kernel: {m}"),
+            H2Error::ChannelClosed(m) => write!(f, "channel closed: {m}"),
+            H2Error::Placement(m) => write!(f, "placement error: {m}"),
+            H2Error::UnknownSnapshot(id) => write!(f, "unknown snapshot: {id}"),
+            H2Error::OwnershipViolation(m) => write!(f, "ownership violation: {m}"),
+            H2Error::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for H2Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_detail() {
+        let e = H2Error::TxnAborted("write conflict".into());
+        assert!(e.to_string().contains("write conflict"));
+        let g = H2Error::GpuOutOfMemory { requested_bytes: 10, capacity_bytes: 4 };
+        assert!(g.to_string().contains("requested 10"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<H2Error>();
+    }
+}

@@ -1,0 +1,31 @@
+//! Shared primitives for the Caldera H2TAP engine.
+//!
+//! This crate holds the small, dependency-free building blocks every other
+//! crate in the workspace uses:
+//!
+//! * [`value`] — scalar values and column types,
+//! * [`schema`] — table schemas and attribute descriptors,
+//! * [`rid`] — record, partition and table identifiers,
+//! * [`epoch`] — epoch numbers used by the shadow-copy snapshot mechanism,
+//! * [`simtime`] — the simulated-time type used by the hardware models,
+//! * [`stats`] — streaming statistics (mean/min/max/percentiles),
+//! * [`rng`] — a small deterministic PRNG plus a Zipfian generator,
+//! * [`error`] — the shared error type.
+
+pub mod epoch;
+pub mod error;
+pub mod query;
+pub mod rid;
+pub mod rng;
+pub mod schema;
+pub mod simtime;
+pub mod stats;
+pub mod value;
+
+pub use epoch::Epoch;
+pub use error::{H2Error, Result};
+pub use query::{AggExpr, Predicate, ScanAggQuery};
+pub use rid::{PartitionId, RecordId, TableId};
+pub use schema::{AttrType, Attribute, Schema};
+pub use simtime::SimDuration;
+pub use value::Value;

@@ -1,0 +1,170 @@
+//! Table schemas.
+//!
+//! A [`Schema`] is an ordered list of [`Attribute`]s. The storage engine uses
+//! it to size NSM records, DSM columns, and PAX minipages; the OLAP engine
+//! uses it to resolve attribute names in query plans.
+
+use crate::error::{H2Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Physical type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttrType {
+    /// 32-bit signed integer.
+    Int32,
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE float.
+    Float64,
+    /// Date as days since epoch (stored as i32).
+    Date,
+    /// Short, fixed-maximum-length string.
+    Str,
+}
+
+impl AttrType {
+    /// Width in bytes of the canonical fixed-width cell for this type.
+    ///
+    /// All cells are stored as 8-byte words in columnar pages, but the
+    /// *logical* width matters for NSM record sizing and PCIe transfer
+    /// accounting, mirroring the paper's 4-byte-integer microbenchmarks.
+    pub fn width(self) -> usize {
+        match self {
+            AttrType::Int32 | AttrType::Date => 4,
+            AttrType::Int64 | AttrType::Float64 => 8,
+            AttrType::Str => 16,
+        }
+    }
+}
+
+/// A single named attribute of a table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute name, unique within its schema.
+    pub name: String,
+    /// Physical type.
+    pub ty: AttrType,
+}
+
+impl Attribute {
+    /// Creates a new attribute.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
+        Self { name: name.into(), ty }
+    }
+}
+
+/// An ordered set of attributes describing a table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Builds a schema from a list of attributes.
+    ///
+    /// # Errors
+    /// Returns [`H2Error::InvalidSchema`] if the list is empty or contains
+    /// duplicate names.
+    pub fn new(attrs: Vec<Attribute>) -> Result<Self> {
+        if attrs.is_empty() {
+            return Err(H2Error::InvalidSchema("schema must have at least one attribute".into()));
+        }
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].iter().any(|b| b.name == a.name) {
+                return Err(H2Error::InvalidSchema(format!("duplicate attribute name {:?}", a.name)));
+            }
+        }
+        Ok(Self { attrs })
+    }
+
+    /// Convenience constructor for a schema of `n` homogeneous attributes
+    /// named `prefix0..prefixN-1`, as used by the Figure 10/11 layout
+    /// microbenchmark (16 integer attributes).
+    pub fn homogeneous(prefix: &str, n: usize, ty: AttrType) -> Self {
+        let attrs = (0..n).map(|i| Attribute::new(format!("{prefix}{i}"), ty)).collect();
+        Self::new(attrs).expect("homogeneous schema is always valid for n >= 1")
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// All attributes, in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Index of the attribute with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// The attribute at `idx`.
+    ///
+    /// # Errors
+    /// Returns [`H2Error::UnknownAttribute`] when `idx` is out of bounds.
+    pub fn attr(&self, idx: usize) -> Result<&Attribute> {
+        self.attrs.get(idx).ok_or_else(|| H2Error::UnknownAttribute(format!("index {idx}")))
+    }
+
+    /// Total logical width in bytes of one record under NSM.
+    pub fn record_width(&self) -> usize {
+        self.attrs.iter().map(|a| a.ty.width()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> Schema {
+        Schema::new(vec![
+            Attribute::new("k", AttrType::Int64),
+            Attribute::new("qty", AttrType::Int32),
+            Attribute::new("price", AttrType::Float64),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_schema() {
+        assert!(matches!(Schema::new(vec![]), Err(H2Error::InvalidSchema(_))));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let err = Schema::new(vec![
+            Attribute::new("a", AttrType::Int32),
+            Attribute::new("a", AttrType::Int64),
+        ]);
+        assert!(matches!(err, Err(H2Error::InvalidSchema(_))));
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = simple();
+        assert_eq!(s.index_of("qty"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.arity(), 3);
+    }
+
+    #[test]
+    fn record_width_sums_attribute_widths() {
+        assert_eq!(simple().record_width(), 8 + 4 + 8);
+    }
+
+    #[test]
+    fn homogeneous_builder() {
+        let s = Schema::homogeneous("col", 16, AttrType::Int32);
+        assert_eq!(s.arity(), 16);
+        assert_eq!(s.index_of("col15"), Some(15));
+        assert_eq!(s.record_width(), 64);
+    }
+
+    #[test]
+    fn attr_out_of_bounds_errors() {
+        assert!(simple().attr(3).is_err());
+        assert!(simple().attr(0).is_ok());
+    }
+}

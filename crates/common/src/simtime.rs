@@ -1,0 +1,169 @@
+//! Simulated time.
+//!
+//! The GPU and interconnect models report *simulated* execution times: they
+//! process real data but account time analytically from device bandwidths,
+//! coalescing behaviour, and transfer sizes (see `h2tap-gpu-sim`). Simulated
+//! durations are kept in nanoseconds as `u128` so that multi-second scans of
+//! multi-gigabyte tables cannot overflow and so that accumulation is exact.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A simulated duration with nanosecond resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct SimDuration {
+    nanos: u128,
+}
+
+impl SimDuration {
+    /// Zero duration.
+    pub const ZERO: SimDuration = SimDuration { nanos: 0 };
+
+    /// From nanoseconds.
+    pub const fn from_nanos(nanos: u128) -> Self {
+        Self { nanos }
+    }
+
+    /// From microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        Self { nanos: micros as u128 * 1_000 }
+    }
+
+    /// From milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        Self { nanos: millis as u128 * 1_000_000 }
+    }
+
+    /// From seconds expressed as a float (used by the bandwidth cost model:
+    /// `bytes / bytes_per_second`). Negative or non-finite inputs clamp to 0.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return Self::ZERO;
+        }
+        Self { nanos: (secs * 1e9) as u128 }
+    }
+
+    /// Nanoseconds.
+    pub const fn as_nanos(self) -> u128 {
+        self.nanos
+    }
+
+    /// Seconds as a float, for reporting.
+    pub fn as_secs_f64(self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// Milliseconds as a float, for reporting.
+    pub fn as_millis_f64(self) -> f64 {
+        self.nanos as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        Self { nanos: self.nanos.saturating_sub(rhs.nanos) }
+    }
+
+    /// The larger of two durations.
+    #[must_use]
+    pub fn max(self, rhs: Self) -> Self {
+        if self.nanos >= rhs.nanos {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: Self) -> Self {
+        Self { nanos: self.nanos + rhs.nanos }
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: Self) {
+        self.nanos += rhs.nanos;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: Self) -> Self {
+        Self { nanos: self.nanos.saturating_sub(rhs.nanos) }
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> Self {
+        Self { nanos: self.nanos * u128::from(rhs) }
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.as_secs_f64();
+        if s >= 1.0 {
+            write!(f, "{s:.3}s")
+        } else if s >= 1e-3 {
+            write!(f, "{:.3}ms", s * 1e3)
+        } else {
+            write!(f, "{:.3}us", s * 1e6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
+        assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1000));
+        assert_eq!(SimDuration::from_secs_f64(0.001), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimDuration::from_millis(2);
+        let b = SimDuration::from_millis(3);
+        assert_eq!((a + b).as_millis_f64(), 5.0);
+        assert_eq!((b - a).as_millis_f64(), 1.0);
+        assert_eq!((a - b), SimDuration::ZERO);
+        assert_eq!((a * 4).as_millis_f64(), 8.0);
+        let total: SimDuration = [a, b, a].into_iter().sum();
+        assert_eq!(total.as_millis_f64(), 7.0);
+    }
+
+    #[test]
+    fn negative_and_nan_seconds_clamp_to_zero() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert!(SimDuration::from_millis(1500).to_string().ends_with('s'));
+        assert!(SimDuration::from_micros(1500).to_string().ends_with("ms"));
+        assert!(SimDuration::from_nanos(1500).to_string().ends_with("us"));
+    }
+
+    #[test]
+    fn max_picks_larger() {
+        let a = SimDuration::from_millis(2);
+        let b = SimDuration::from_millis(3);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+}

@@ -1,0 +1,153 @@
+//! Streaming statistics used by the experiment harness and the scheduler.
+//!
+//! The evaluation section reports averages, minima and maxima of OLAP
+//! response times (Figure 6) and throughput series (Figures 5, 7, 8, 9), so a
+//! small reservoir-free summary type is enough.
+
+use serde::{Deserialize, Serialize};
+
+/// Running summary of a series of `f64` observations.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+
+    /// Population standard deviation, or `None` when empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.mean().map(|m| {
+            let var = (self.sum_sq / self.count as f64 - m * m).max(0.0);
+            var.sqrt()
+        })
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+/// Computes throughput in operations per second from a count and a wall-clock
+/// duration, returning 0 for zero durations.
+pub fn throughput(ops: u64, elapsed: std::time::Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        0.0
+    } else {
+        ops as f64 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_has_no_stats() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert!(s.mean().is_none());
+        assert!(s.min().is_none());
+        assert!(s.max().is_none());
+        assert!(s.std_dev().is_none());
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 6.0] {
+            s.record(x);
+        }
+        assert_eq!(s.mean(), Some(4.0));
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(6.0));
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.sum(), 12.0);
+    }
+
+    #[test]
+    fn std_dev_of_constant_series_is_zero() {
+        let mut s = Summary::new();
+        for _ in 0..10 {
+            s.record(5.0);
+        }
+        assert!(s.std_dev().unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Summary::new();
+        a.record(1.0);
+        a.record(3.0);
+        let mut b = Summary::new();
+        b.record(5.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mean(), Some(3.0));
+        assert_eq!(a.max(), Some(5.0));
+        // merging into an empty summary keeps the other's extrema
+        let mut empty = Summary::new();
+        empty.merge(&a);
+        assert_eq!(empty.min(), Some(1.0));
+    }
+
+    #[test]
+    fn throughput_handles_zero_duration() {
+        assert_eq!(throughput(100, std::time::Duration::ZERO), 0.0);
+        let t = throughput(100, std::time::Duration::from_secs(2));
+        assert!((t - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,134 @@
+//! Building a Caldera instance: schema definition, bulk loading, startup.
+//!
+//! Bulk loading happens before the OLTP workers start so that each worker can
+//! take ownership of its partition's primary-key index without any
+//! synchronisation — the same single-writer discipline the runtime enforces
+//! afterwards.
+
+use crate::config::CalderaConfig;
+use crate::engine::Caldera;
+use h2tap_common::{H2Error, PartitionId, RecordId, Result, Schema, TableId, Value};
+use h2tap_gpu_sim::GpuDevice;
+use h2tap_olap::GpuOlapEngine;
+use h2tap_oltp::{ModuloPartitioner, OltpRuntime, PartitionIndex, Partitioner, TxnGenerator};
+use h2tap_scheduler::Scheduler;
+use h2tap_storage::{Database, Layout};
+use std::sync::Arc;
+
+/// Staging area for schema and data before the archipelagos start.
+pub struct CalderaBuilder {
+    config: CalderaConfig,
+    db: Arc<Database>,
+    indexes: Vec<PartitionIndex>,
+    partitioner: Arc<dyn Partitioner>,
+    generator: Option<Arc<dyn TxnGenerator>>,
+}
+
+impl CalderaBuilder {
+    /// Creates a builder for the given configuration.
+    pub fn new(config: CalderaConfig) -> Self {
+        let workers = config.oltp.workers;
+        Self {
+            config,
+            db: Database::new(workers),
+            indexes: vec![PartitionIndex::new(); workers],
+            partitioner: Arc::new(ModuloPartitioner::new(workers)),
+            generator: None,
+        }
+    }
+
+    /// The shared-memory database being populated.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Replaces the default modulo partitioner. Must be called before any
+    /// data is loaded so keys land on the partitions the partitioner expects.
+    pub fn set_partitioner(&mut self, partitioner: Arc<dyn Partitioner>) -> Result<()> {
+        if self.indexes.iter().any(|idx| self.db.tables().iter().any(|t| idx.key_count(*t) > 0)) {
+            return Err(H2Error::Config("partitioner must be set before loading data".into()));
+        }
+        self.partitioner = partitioner;
+        Ok(())
+    }
+
+    /// Installs a benchmark-mode transaction generator (used by the
+    /// evaluation harness; normal applications submit transactions instead).
+    pub fn set_generator(&mut self, generator: Arc<dyn TxnGenerator>) {
+        self.generator = Some(generator);
+    }
+
+    /// Creates a table.
+    pub fn create_table(&mut self, name: &str, schema: Schema, layout: Layout) -> Result<TableId> {
+        self.db.create_table(name, schema, layout)
+    }
+
+    /// Loads one keyed record, routing it to the partition the partitioner
+    /// assigns and indexing it there.
+    pub fn load(&mut self, table: TableId, key: i64, values: &[Value]) -> Result<RecordId> {
+        let partition = self.partitioner.partition_of(table, key);
+        self.load_to(partition, table, key, values)
+    }
+
+    /// Loads one keyed record into an explicit partition. The partition must
+    /// agree with the partitioner, otherwise transactions would never find
+    /// the key.
+    pub fn load_to(&mut self, partition: PartitionId, table: TableId, key: i64, values: &[Value]) -> Result<RecordId> {
+        let expected = self.partitioner.partition_of(table, key);
+        if expected != partition {
+            return Err(H2Error::Config(format!(
+                "key {key} belongs to {expected} according to the partitioner, not {partition}"
+            )));
+        }
+        let rid = self.db.insert(partition, table, values)?;
+        self.indexes[partition.0 as usize].insert(table, key, rid.row);
+        Ok(rid)
+    }
+
+    /// Starts both archipelagos and returns the running engine.
+    pub fn start(self) -> Result<Caldera> {
+        let CalderaBuilder { config, db, indexes, partitioner, generator } = self;
+        let scheduler = Scheduler::new(
+            config.oltp.workers,
+            config.olap_cpu_cores,
+            vec![config.olap_device.gpu.name.clone()],
+        );
+        let olap = GpuOlapEngine::new(GpuDevice::new(config.olap_device.gpu.clone()), config.olap_device.placement);
+        let oltp = OltpRuntime::start(Arc::clone(&db), config.oltp.clone(), partitioner, indexes, generator)?;
+        Ok(Caldera::assemble(config, db, oltp, olap, scheduler))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CalderaConfig;
+    use h2tap_common::AttrType;
+    use h2tap_oltp::StridePartitioner;
+
+    #[test]
+    fn load_routes_keys_by_partitioner() {
+        let mut b = CalderaBuilder::new(CalderaConfig::with_workers(2));
+        let t = b.create_table("t", Schema::homogeneous("c", 2, AttrType::Int64), Layout::Dsm).unwrap();
+        b.load(t, 0, &[Value::Int64(0), Value::Int64(0)]).unwrap();
+        b.load(t, 1, &[Value::Int64(1), Value::Int64(0)]).unwrap();
+        assert_eq!(b.database().row_count(t).unwrap(), 2);
+    }
+
+    #[test]
+    fn load_to_rejects_misrouted_keys() {
+        let mut b = CalderaBuilder::new(CalderaConfig::with_workers(2));
+        let t = b.create_table("t", Schema::homogeneous("c", 2, AttrType::Int64), Layout::Dsm).unwrap();
+        // Key 1 belongs to partition 1 under the modulo partitioner.
+        assert!(b.load_to(PartitionId(0), t, 1, &[Value::Int64(1), Value::Int64(0)]).is_err());
+    }
+
+    #[test]
+    fn partitioner_cannot_change_after_loading() {
+        let mut b = CalderaBuilder::new(CalderaConfig::with_workers(2));
+        let t = b.create_table("t", Schema::homogeneous("c", 2, AttrType::Int64), Layout::Dsm).unwrap();
+        b.load(t, 0, &[Value::Int64(0), Value::Int64(0)]).unwrap();
+        let err = b.set_partitioner(Arc::new(StridePartitioner::new(1000, 2)));
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! Engine configuration.
+
+use h2tap_gpu_sim::{AccessMode, GpuSpec};
+use h2tap_olap::{DataPlacement, SnapshotPolicy};
+use h2tap_oltp::OltpConfig;
+
+/// Which simulated GPU the data-parallel archipelago uses and how table data
+/// is exposed to it.
+#[derive(Debug, Clone)]
+pub struct OlapDeviceConfig {
+    /// The GPU model (defaults to the GTX 980 of the paper's testbed).
+    pub gpu: GpuSpec,
+    /// Data placement (defaults to UVA host-resident shared memory, the
+    /// Caldera prototype's choice).
+    pub placement: DataPlacement,
+}
+
+impl Default for OlapDeviceConfig {
+    fn default() -> Self {
+        Self { gpu: GpuSpec::gtx_980(), placement: DataPlacement::Host(AccessMode::Uva) }
+    }
+}
+
+/// Top-level Caldera configuration.
+#[derive(Debug, Clone)]
+pub struct CalderaConfig {
+    /// The task-parallel (OLTP) archipelago configuration: one worker per
+    /// CPU core, one partition per worker.
+    pub oltp: OltpConfig,
+    /// CPU cores reserved for the data-parallel archipelago (available for
+    /// scheduler-driven migration and CPU-side OLAP).
+    pub olap_cpu_cores: usize,
+    /// The data-parallel archipelago's GPU.
+    pub olap_device: OlapDeviceConfig,
+    /// How often OLAP queries refresh their snapshot.
+    pub snapshot_policy: SnapshotPolicy,
+}
+
+impl Default for CalderaConfig {
+    fn default() -> Self {
+        Self {
+            oltp: OltpConfig::default(),
+            olap_cpu_cores: 0,
+            olap_device: OlapDeviceConfig::default(),
+            snapshot_policy: SnapshotPolicy::PerQuery,
+        }
+    }
+}
+
+impl CalderaConfig {
+    /// Convenience: a config with `workers` OLTP workers and defaults
+    /// everywhere else.
+    pub fn with_workers(workers: usize) -> Self {
+        Self { oltp: OltpConfig::with_workers(workers), ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper_prototype() {
+        let c = CalderaConfig::default();
+        assert_eq!(c.olap_device.gpu.name, "GTX 980");
+        assert!(matches!(c.olap_device.placement, DataPlacement::Host(AccessMode::Uva)));
+        assert!(matches!(c.snapshot_policy, SnapshotPolicy::PerQuery));
+    }
+
+    #[test]
+    fn with_workers_sets_worker_count() {
+        assert_eq!(CalderaConfig::with_workers(8).oltp.workers, 8);
+    }
+}

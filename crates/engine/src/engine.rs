@@ -1,0 +1,290 @@
+//! The running Caldera engine: both archipelagos over one shared database.
+
+use crate::config::CalderaConfig;
+use h2tap_common::{PartitionId, Result, ScanAggQuery, SimDuration, TableId};
+use h2tap_olap::{GpuOlapEngine, OlapOutcome, RegisteredTable, SnapshotPolicy};
+use h2tap_oltp::{BenchmarkWindow, OltpRuntime, OltpStats, TxnProc};
+use h2tap_scheduler::{ArchipelagoKind, Scheduler};
+use h2tap_storage::{CowStats, Database, Snapshot};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Combined HTAP statistics for experiment reporting.
+#[derive(Debug, Clone, Default)]
+pub struct HtapStats {
+    /// OLTP-side counters.
+    pub oltp: OltpStats,
+    /// Copy-on-write / snapshot GC counters.
+    pub cow: CowStats,
+    /// Analytical queries executed.
+    pub olap_queries: u64,
+    /// Total simulated OLAP execution time.
+    pub olap_time: SimDuration,
+    /// Snapshots taken by the OLAP path.
+    pub snapshots_taken: u64,
+}
+
+/// State of the data-parallel archipelago's query loop.
+struct OlapState {
+    engine: GpuOlapEngine,
+    snapshot: Option<Arc<Snapshot>>,
+    registered: HashMap<TableId, RegisteredTable>,
+    query_index: u64,
+    snapshots_taken: u64,
+    total_time: SimDuration,
+}
+
+/// The running engine.
+pub struct Caldera {
+    config: CalderaConfig,
+    db: Arc<Database>,
+    oltp: OltpRuntime,
+    olap: Mutex<OlapState>,
+    scheduler: Scheduler,
+    next_home: AtomicU64,
+}
+
+impl Caldera {
+    /// Begins building an engine.
+    pub fn builder(config: CalderaConfig) -> crate::builder::CalderaBuilder {
+        crate::builder::CalderaBuilder::new(config)
+    }
+
+    pub(crate) fn assemble(
+        config: CalderaConfig,
+        db: Arc<Database>,
+        oltp: OltpRuntime,
+        olap: GpuOlapEngine,
+        scheduler: Scheduler,
+    ) -> Self {
+        Self {
+            config,
+            db,
+            oltp,
+            olap: Mutex::new(OlapState {
+                engine: olap,
+                snapshot: None,
+                registered: HashMap::new(),
+                query_index: 0,
+                snapshots_taken: 0,
+                total_time: SimDuration::ZERO,
+            }),
+            scheduler,
+            next_home: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared-memory database.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The OLTP runtime (task-parallel archipelago).
+    pub fn oltp(&self) -> &OltpRuntime {
+        &self.oltp
+    }
+
+    /// The archipelago scheduler.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// The configured snapshot policy.
+    pub fn snapshot_policy(&self) -> SnapshotPolicy {
+        self.config.snapshot_policy
+    }
+
+    /// Executes a transaction on an explicitly chosen home worker.
+    pub fn execute_txn_on(&self, home: PartitionId, proc: TxnProc) -> Result<()> {
+        self.scheduler.record_dispatch(ArchipelagoKind::TaskParallel, 1.0);
+        self.oltp.execute(home, proc)
+    }
+
+    /// Executes a transaction, choosing a home worker round-robin ("an
+    /// incoming transaction can be scheduled to run on any thread").
+    pub fn execute_txn(&self, proc: TxnProc) -> Result<()> {
+        let home = PartitionId((self.next_home.fetch_add(1, Ordering::Relaxed) % self.oltp.workers() as u64) as u32);
+        self.execute_txn_on(home, proc)
+    }
+
+    /// Runs the OLTP benchmark generator (if one was configured) for
+    /// `window` and returns throughput.
+    pub fn run_oltp_window(&self, window: Duration) -> Result<BenchmarkWindow> {
+        self.oltp.run_for(window)
+    }
+
+    /// Takes a fresh snapshot immediately, releasing the previous OLAP
+    /// snapshot (manual freshness control).
+    pub fn refresh_snapshot(&self) -> Result<()> {
+        let mut olap = self.olap.lock();
+        Self::refresh_locked(&self.db, &mut olap)
+    }
+
+    fn refresh_locked(db: &Arc<Database>, olap: &mut OlapState) -> Result<()> {
+        if let Some(old) = olap.snapshot.take() {
+            let _ = db.release_snapshot(&old);
+        }
+        olap.engine.reset_tables();
+        olap.registered.clear();
+        olap.snapshot = Some(db.snapshot());
+        olap.snapshots_taken += 1;
+        Ok(())
+    }
+
+    /// Runs an analytical query against `table` on the data-parallel
+    /// archipelago, refreshing the snapshot according to the configured
+    /// [`SnapshotPolicy`].
+    pub fn run_olap(&self, table: TableId, query: &ScanAggQuery) -> Result<OlapOutcome> {
+        self.scheduler.record_dispatch(ArchipelagoKind::DataParallel, 1.0);
+        let mut olap = self.olap.lock();
+        let policy = self.config.snapshot_policy;
+        if olap.snapshot.is_none() || policy.should_refresh(olap.query_index) {
+            Self::refresh_locked(&self.db, &mut olap)?;
+        }
+        olap.query_index += 1;
+
+        let snapshot = Arc::clone(olap.snapshot.as_ref().expect("snapshot present after refresh"));
+        let meta = self.db.table_meta(table)?;
+        let frozen = snapshot.table(table)?;
+        let handle = match olap.registered.get(&table) {
+            Some(h) => *h,
+            None => {
+                let h = olap.engine.register_table(frozen, &meta.name)?;
+                olap.registered.insert(table, h);
+                h
+            }
+        };
+        let outcome = olap.engine.execute(handle, frozen, query)?;
+        olap.total_time += outcome.time;
+        Ok(outcome)
+    }
+
+    /// Combined statistics across both archipelagos.
+    pub fn stats(&self) -> HtapStats {
+        let olap = self.olap.lock();
+        HtapStats {
+            oltp: self.oltp.stats(),
+            cow: self.db.telemetry(),
+            olap_queries: olap.query_index,
+            olap_time: olap.total_time,
+            snapshots_taken: olap.snapshots_taken,
+        }
+    }
+
+    /// Stops the OLTP workers, releases the OLAP snapshot and returns final
+    /// statistics.
+    pub fn shutdown(self) -> HtapStats {
+        let stats = self.stats();
+        {
+            let mut olap = self.olap.lock();
+            if let Some(snapshot) = olap.snapshot.take() {
+                let _ = self.db.release_snapshot(&snapshot);
+            }
+        }
+        self.oltp.shutdown();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CalderaConfig;
+    use h2tap_common::{AggExpr, AttrType, Schema, Value};
+    use h2tap_storage::Layout;
+
+    fn engine_with_rows(workers: usize, rows: i64, policy: SnapshotPolicy) -> (Caldera, TableId) {
+        let mut config = CalderaConfig::with_workers(workers);
+        config.snapshot_policy = policy;
+        let mut builder = Caldera::builder(config);
+        let t = builder
+            .create_table("accounts", Schema::homogeneous("c", 2, AttrType::Int64), Layout::PAPER_PAX)
+            .unwrap();
+        for k in 0..rows {
+            builder.load(t, k, &[Value::Int64(k), Value::Int64(1)]).unwrap();
+        }
+        (builder.start().unwrap(), t)
+    }
+
+    #[test]
+    fn htap_oltp_and_olap_coexist() {
+        let (caldera, t) = engine_with_rows(2, 100, SnapshotPolicy::PerQuery);
+        // OLAP before any update: sum of col1 = 100.
+        let q = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![1]));
+        let before = caldera.run_olap(t, &q).unwrap();
+        assert_eq!(before.value, 100.0);
+        // A transaction bumps one record.
+        caldera
+            .execute_txn(Arc::new(move |ctx| {
+                let mut rec = ctx.read_for_update(t, 7)?;
+                rec[1] = Value::Int64(rec[1].as_i64().unwrap() + 9);
+                ctx.update(t, 7, rec)
+            }))
+            .unwrap();
+        // PerQuery policy: the next OLAP query sees the update.
+        let after = caldera.run_olap(t, &q).unwrap();
+        assert_eq!(after.value, 109.0);
+        let stats = caldera.shutdown();
+        assert_eq!(stats.oltp.committed, 1);
+        assert_eq!(stats.olap_queries, 2);
+        assert_eq!(stats.snapshots_taken, 2);
+        assert!(stats.olap_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn shared_snapshots_trade_freshness_for_fewer_refreshes() {
+        let (caldera, t) = engine_with_rows(2, 50, SnapshotPolicy::EveryN { queries: 10 });
+        let q = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![1]));
+        let first = caldera.run_olap(t, &q).unwrap();
+        assert_eq!(first.value, 50.0);
+        caldera
+            .execute_txn(Arc::new(move |ctx| {
+                let mut rec = ctx.read_for_update(t, 0)?;
+                rec[1] = Value::Int64(100);
+                ctx.update(t, 0, rec)
+            }))
+            .unwrap();
+        // Still within the same snapshot window: the update is not visible.
+        let stale = caldera.run_olap(t, &q).unwrap();
+        assert_eq!(stale.value, 50.0);
+        let stats = caldera.shutdown();
+        assert_eq!(stats.snapshots_taken, 1);
+        // The update did trigger copy-on-write against the shared snapshot.
+        assert!(stats.cow.pages_copied >= 1);
+    }
+
+    #[test]
+    fn manual_policy_requires_explicit_refresh() {
+        let (caldera, t) = engine_with_rows(2, 10, SnapshotPolicy::Manual);
+        let q = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![1]));
+        // First query takes the initial snapshot even under Manual.
+        assert_eq!(caldera.run_olap(t, &q).unwrap().value, 10.0);
+        caldera
+            .execute_txn(Arc::new(move |ctx| {
+                let mut rec = ctx.read_for_update(t, 3)?;
+                rec[1] = Value::Int64(5);
+                ctx.update(t, 3, rec)
+            }))
+            .unwrap();
+        assert_eq!(caldera.run_olap(t, &q).unwrap().value, 10.0, "stale until refreshed");
+        caldera.refresh_snapshot().unwrap();
+        assert_eq!(caldera.run_olap(t, &q).unwrap().value, 14.0);
+        caldera.shutdown();
+    }
+
+    #[test]
+    fn round_robin_hosting_spreads_transactions() {
+        let (caldera, t) = engine_with_rows(4, 40, SnapshotPolicy::PerQuery);
+        for _ in 0..8 {
+            caldera.execute_txn(Arc::new(move |ctx| ctx.read(t, 1).map(|_| ()))).unwrap();
+        }
+        let stats = caldera.shutdown();
+        assert_eq!(stats.oltp.committed, 8);
+        // Three of every four transactions were hosted away from key 1's
+        // partition and had to use the message protocol.
+        assert!(stats.oltp.remote_requests >= 4);
+    }
+}

@@ -1,0 +1,43 @@
+//! Caldera: the H2TAP prototype engine.
+//!
+//! This crate is the public face of the workspace: it wires the
+//! shared-memory database (`h2tap-storage`), the message-passing OLTP
+//! archipelago (`h2tap-oltp`), the GPU OLAP archipelago (`h2tap-olap` over
+//! `h2tap-gpu-sim`) and the archipelago scheduler (`h2tap-scheduler`)
+//! together behind one API:
+//!
+//! ```no_run
+//! use caldera::{Caldera, CalderaConfig};
+//! use h2tap_common::{AttrType, Schema, Value, ScanAggQuery, AggExpr};
+//! use h2tap_storage::Layout;
+//!
+//! let mut builder = Caldera::builder(CalderaConfig::default());
+//! let table = builder
+//!     .create_table("accounts", Schema::homogeneous("c", 2, AttrType::Int64), Layout::PAPER_PAX)
+//!     .unwrap();
+//! builder.load(table, 42, &[Value::Int64(42), Value::Int64(100)]).unwrap();
+//! let caldera = builder.start().unwrap();
+//!
+//! // OLTP: read-modify-write through the task-parallel archipelago.
+//! caldera.execute_txn_on(h2tap_common::PartitionId(0), std::sync::Arc::new(move |ctx| {
+//!     let mut rec = ctx.read_for_update(table, 42)?;
+//!     rec[1] = Value::Int64(rec[1].as_i64().unwrap() + 1);
+//!     ctx.update(table, 42, rec)
+//! })).unwrap();
+//!
+//! // OLAP: aggregate on the data-parallel archipelago (the GPU model).
+//! let q = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![1]));
+//! let out = caldera.run_olap(table, &q).unwrap();
+//! println!("sum = {} in {}", out.value, out.time);
+//! ```
+
+pub mod builder;
+pub mod config;
+pub mod engine;
+
+pub use builder::CalderaBuilder;
+pub use config::{CalderaConfig, OlapDeviceConfig};
+pub use engine::{Caldera, HtapStats};
+
+pub use h2tap_olap::{DataPlacement, OlapOutcome, SnapshotPolicy};
+pub use h2tap_oltp::{OltpConfig, TxnProc};

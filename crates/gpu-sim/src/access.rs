@@ -1,0 +1,153 @@
+//! Memory access patterns and the coalescing model.
+//!
+//! GPUs coalesce the loads and stores issued by the threads of a warp into as
+//! few memory transactions as possible, but only when consecutive threads
+//! touch consecutive addresses. The paper leans on this twice: PAX/DSM enable
+//! coalesced accesses while NSM does not (Figure 10), and the penalty for
+//! non-coalesced access is much larger when every wasted byte has to cross
+//! the PCIe bus than when data is resident in device memory (Figure 11).
+
+use serde::{Deserialize, Serialize};
+
+/// How a kernel's threads walk over a buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Consecutive threads read consecutive elements (DSM columns, PAX
+    /// minipages): fully coalesced.
+    Sequential,
+    /// Consecutive threads read `elem_bytes`-wide values that are
+    /// `stride_bytes` apart (NSM records): each transaction carries mostly
+    /// unused bytes.
+    Strided {
+        /// Distance between consecutive useful values.
+        stride_bytes: u32,
+        /// Width of each useful value.
+        elem_bytes: u32,
+    },
+    /// Data-dependent gather (hash probes, index lookups): modelled as
+    /// touching one full transaction per element.
+    Random {
+        /// Width of each useful value.
+        elem_bytes: u32,
+    },
+}
+
+impl AccessPattern {
+    /// The fraction of each `transaction_bytes`-sized memory transaction that
+    /// carries useful data, in `(0, 1]`.
+    pub fn efficiency(self, transaction_bytes: u64) -> f64 {
+        coalescing_efficiency(self, transaction_bytes)
+    }
+
+    /// How many bytes actually move on the wire / through the memory system
+    /// to deliver `useful_bytes` of payload with this pattern.
+    pub fn wire_bytes(self, useful_bytes: u64, transaction_bytes: u64) -> u64 {
+        let eff = self.efficiency(transaction_bytes);
+        if eff >= 1.0 {
+            useful_bytes
+        } else {
+            (useful_bytes as f64 / eff).ceil() as u64
+        }
+    }
+}
+
+/// Fraction of each memory transaction that is useful payload.
+///
+/// * `Sequential` is perfectly coalesced: 1.0.
+/// * `Strided` wastes everything in the transaction except the useful
+///   elements that fall inside it. When the stride exceeds the transaction
+///   size, each element costs a whole transaction.
+/// * `Random` always costs a whole transaction per element.
+pub fn coalescing_efficiency(pattern: AccessPattern, transaction_bytes: u64) -> f64 {
+    let txn = transaction_bytes.max(1) as f64;
+    match pattern {
+        AccessPattern::Sequential => 1.0,
+        AccessPattern::Strided { stride_bytes, elem_bytes } => {
+            let stride = f64::from(stride_bytes.max(1));
+            let elem = f64::from(elem_bytes.max(1)).min(stride);
+            if stride <= elem {
+                return 1.0;
+            }
+            if stride >= txn {
+                // One transaction per element.
+                (elem / txn).min(1.0)
+            } else {
+                // Several strided elements fit in one transaction.
+                let elems_per_txn = (txn / stride).floor().max(1.0);
+                (elems_per_txn * elem / txn).min(1.0)
+            }
+        }
+        AccessPattern::Random { elem_bytes } => (f64::from(elem_bytes.max(1)) / txn).min(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_is_fully_coalesced() {
+        assert_eq!(coalescing_efficiency(AccessPattern::Sequential, 128), 1.0);
+        assert_eq!(AccessPattern::Sequential.wire_bytes(1000, 128), 1000);
+    }
+
+    #[test]
+    fn nsm_like_stride_wastes_bandwidth() {
+        // 4-byte integers spaced 64 bytes apart (a 16-attribute NSM record):
+        // a 512-byte PCIe transaction carries 8 useful values = 32/512.
+        let p = AccessPattern::Strided { stride_bytes: 64, elem_bytes: 4 };
+        let eff = coalescing_efficiency(p, 512);
+        assert!((eff - 32.0 / 512.0).abs() < 1e-9, "eff {eff}");
+        // When the stride fits inside the transaction, efficiency degrades to
+        // elem/stride regardless of the transaction size.
+        let dev_eff = coalescing_efficiency(p, 128);
+        assert!((dev_eff - eff).abs() < 1e-9);
+        // Once the stride exceeds the smaller transaction, the smaller
+        // transaction wastes less per element than the larger one.
+        let wide = AccessPattern::Strided { stride_bytes: 256, elem_bytes: 4 };
+        assert!(coalescing_efficiency(wide, 128) > coalescing_efficiency(wide, 512));
+    }
+
+    #[test]
+    fn stride_equal_to_elem_is_sequential() {
+        let p = AccessPattern::Strided { stride_bytes: 8, elem_bytes: 8 };
+        assert_eq!(coalescing_efficiency(p, 128), 1.0);
+    }
+
+    #[test]
+    fn huge_stride_costs_one_transaction_per_element() {
+        let p = AccessPattern::Strided { stride_bytes: 4096, elem_bytes: 4 };
+        let eff = coalescing_efficiency(p, 512);
+        assert!((eff - 4.0 / 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_access_is_one_transaction_per_element() {
+        let p = AccessPattern::Random { elem_bytes: 8 };
+        assert!((coalescing_efficiency(p, 128) - 8.0 / 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_bytes_inflate_with_inefficiency() {
+        let p = AccessPattern::Strided { stride_bytes: 64, elem_bytes: 4 };
+        let useful = 4 * 1024 * 1024u64;
+        let wire = p.wire_bytes(useful, 512);
+        assert!(wire > useful * 10, "wire {wire} useful {useful}");
+    }
+
+    #[test]
+    fn efficiency_never_exceeds_one_or_hits_zero() {
+        let patterns = [
+            AccessPattern::Sequential,
+            AccessPattern::Strided { stride_bytes: 3, elem_bytes: 7 },
+            AccessPattern::Strided { stride_bytes: 0, elem_bytes: 0 },
+            AccessPattern::Random { elem_bytes: 0 },
+        ];
+        for p in patterns {
+            for txn in [32u64, 128, 512, 0] {
+                let e = coalescing_efficiency(p, txn);
+                assert!(e > 0.0 && e <= 1.0, "pattern {p:?} txn {txn} eff {e}");
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Host-device interconnect model (PCIe generations and NVLink).
+//!
+//! The paper's Table 1 tracks interconnect bandwidth from PCIe 1.0 (4 GB/s)
+//! through PCIe 3.0 (16 GB/s) to NVLink (80-200 GB/s), and its Figure 1 and
+//! Figure 10 results are shaped by two interconnect properties: the sustained
+//! bandwidth and the maximum transfer unit ("the MTU through the PCIe bus
+//! typically does not exceed 512 bytes"), which determines how much of each
+//! bus transaction is wasted by non-coalesced access patterns.
+
+use h2tap_common::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The kind of host-device interconnect a GPU uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InterconnectKind {
+    /// PCI Express 1.0 x16 (~4 GB/s).
+    PCIe1,
+    /// PCI Express 2.0 x16 (~8 GB/s).
+    PCIe2,
+    /// PCI Express 3.0 x16 (~16 GB/s).
+    PCIe3,
+    /// PCI Express 4.0 x16 (~32 GB/s).
+    PCIe4,
+    /// NVLink (first generation, 80 GB/s per the paper's conservative bound).
+    NVLink,
+}
+
+impl InterconnectKind {
+    /// Peak unidirectional bandwidth in GB/s (decimal gigabytes).
+    pub fn bandwidth_gbps(self) -> f64 {
+        match self {
+            InterconnectKind::PCIe1 => 4.0,
+            InterconnectKind::PCIe2 => 8.0,
+            InterconnectKind::PCIe3 => 16.0,
+            InterconnectKind::PCIe4 => 32.0,
+            InterconnectKind::NVLink => 80.0,
+        }
+    }
+
+    /// Short human-readable label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            InterconnectKind::PCIe1 => "PCIe 1.0",
+            InterconnectKind::PCIe2 => "PCIe 2.0",
+            InterconnectKind::PCIe3 => "PCIe 3.0",
+            InterconnectKind::PCIe4 => "PCIe 4.0",
+            InterconnectKind::NVLink => "NVLink",
+        }
+    }
+}
+
+/// A configured interconnect: kind plus the parameters of the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interconnect {
+    /// Which physical link this is.
+    pub kind: InterconnectKind,
+    /// Maximum transfer unit in bytes. Non-coalesced accesses waste the part
+    /// of each MTU-sized transaction they do not use.
+    pub mtu_bytes: u64,
+    /// Fixed per-transfer setup latency (DMA programming, doorbell).
+    pub setup_latency: SimDuration,
+    /// Fraction of the peak bandwidth that bulk transfers actually sustain.
+    pub efficiency: f64,
+}
+
+impl Interconnect {
+    /// An interconnect of the given kind with the default 512-byte MTU,
+    /// 10 microseconds of setup latency and 85% sustained efficiency.
+    pub fn new(kind: InterconnectKind) -> Self {
+        Self {
+            kind,
+            mtu_bytes: 512,
+            setup_latency: SimDuration::from_micros(10),
+            efficiency: 0.85,
+        }
+    }
+
+    /// Sustained bandwidth in bytes per second.
+    pub fn effective_bytes_per_sec(&self) -> f64 {
+        self.kind.bandwidth_gbps() * 1e9 * self.efficiency
+    }
+
+    /// Time to move `bytes` as one bulk (fully coalesced) DMA transfer from
+    /// pinned memory, e.g. a Unified Memory page migration.
+    pub fn bulk_transfer_time(&self, bytes: u64) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        self.setup_latency + SimDuration::from_secs_f64(bytes as f64 / self.effective_bytes_per_sec())
+    }
+
+    /// Time for an explicit `cudaMemcpy` from *pageable* host memory. The
+    /// driver stages pageable data through a pinned bounce buffer, which
+    /// costs roughly a quarter of the sustained bandwidth — this is why the
+    /// paper's Figure 1 shows UVA overtaking memcpy on Maxwell.
+    pub fn pageable_transfer_time(&self, bytes: u64) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        self.setup_latency
+            + SimDuration::from_secs_f64(bytes as f64 / (self.effective_bytes_per_sec() * 0.75))
+    }
+
+    /// Time for a kernel to stream `wire_bytes` of bus traffic (already
+    /// inflated by any coalescing inefficiency) while executing, i.e. the UVA
+    /// zero-copy path. There is no per-transfer setup cost because accesses
+    /// are issued by the kernel itself, but each MTU-sized transaction pays a
+    /// small issue overhead that models bus packet headers.
+    pub fn streaming_time(&self, wire_bytes: u64) -> SimDuration {
+        if wire_bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        let transactions = wire_bytes.div_ceil(self.mtu_bytes);
+        // ~64 bytes of packet/protocol overhead per transaction.
+        let overhead_bytes = transactions * 64;
+        SimDuration::from_secs_f64(
+            (wire_bytes + overhead_bytes) as f64 / self.effective_bytes_per_sec(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_ordering_matches_generations() {
+        assert!(InterconnectKind::PCIe1.bandwidth_gbps() < InterconnectKind::PCIe2.bandwidth_gbps());
+        assert!(InterconnectKind::PCIe2.bandwidth_gbps() < InterconnectKind::PCIe3.bandwidth_gbps());
+        assert!(InterconnectKind::PCIe3.bandwidth_gbps() < InterconnectKind::NVLink.bandwidth_gbps());
+    }
+
+    #[test]
+    fn bulk_transfer_scales_linearly() {
+        let ic = Interconnect::new(InterconnectKind::PCIe3);
+        let one = ic.bulk_transfer_time(1 << 30);
+        let two = ic.bulk_transfer_time(2 << 30);
+        // Twice the data should take roughly twice as long (setup amortised).
+        let ratio = two.as_secs_f64() / one.as_secs_f64();
+        assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn pcie3_is_twice_pcie2_for_bulk() {
+        let gen2 = Interconnect::new(InterconnectKind::PCIe2).bulk_transfer_time(1 << 31);
+        let gen3 = Interconnect::new(InterconnectKind::PCIe3).bulk_transfer_time(1 << 31);
+        let speedup = gen2.as_secs_f64() / gen3.as_secs_f64();
+        assert!((1.8..2.2).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn zero_bytes_cost_nothing() {
+        let ic = Interconnect::new(InterconnectKind::PCIe3);
+        assert_eq!(ic.bulk_transfer_time(0), SimDuration::ZERO);
+        assert_eq!(ic.streaming_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn streaming_2gb_over_pcie2_takes_seconds() {
+        // Figure 1's 2 GB column over PCIe 2.0 (Fermi UVA) should land in the
+        // hundreds-of-milliseconds-to-seconds range, not microseconds.
+        let ic = Interconnect::new(InterconnectKind::PCIe2);
+        let t = ic.streaming_time(2 << 30).as_secs_f64();
+        assert!(t > 0.2 && t < 2.0, "t = {t}");
+    }
+}

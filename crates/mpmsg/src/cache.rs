@@ -1,0 +1,245 @@
+//! Software-managed cache coherence.
+//!
+//! On the non-cache-coherent hardware the paper targets, a store performed by
+//! one core is not automatically visible to loads on another core: the owner
+//! must explicitly **write back** its dirty cache lines before handing data
+//! over, and the receiver must **invalidate** any stale copies before
+//! reading. Caldera inserts these two operations at exactly two points of the
+//! transaction protocol (when a server thread grants a remote lock and when a
+//! client thread releases its locks at commit).
+//!
+//! This module models that discipline so it can be *checked*: a
+//! [`CoherenceDomain`] holds the authoritative "memory" version of each cache
+//! line, every core owns a [`SoftwareCache`] of (line → version) entries, and
+//! reading a line through a cache that has neither invalidated nor been
+//! written back since the last remote update yields the stale version —
+//! surfacing the bug a real non-CC machine would expose.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifier of a cache line. Callers typically derive it from a record id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LineId(pub u64);
+
+/// The authoritative shared-memory image: line → latest written-back version.
+///
+/// A version is a monotonically increasing counter; data payloads live in the
+/// storage engine, the coherence domain only tracks visibility.
+#[derive(Debug, Default)]
+pub struct CoherenceDomain {
+    memory: RwLock<HashMap<LineId, u64>>,
+    writebacks: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl CoherenceDomain {
+    /// Creates an empty domain.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// The version of `line` that has been written back to memory.
+    pub fn memory_version(&self, line: LineId) -> u64 {
+        *self.memory.read().get(&line).unwrap_or(&0)
+    }
+
+    fn publish(&self, line: LineId, version: u64) {
+        let mut mem = self.memory.write();
+        let entry = mem.entry(line).or_insert(0);
+        if version > *entry {
+            *entry = version;
+        }
+    }
+
+    /// Number of explicit write-back operations performed in this domain.
+    pub fn writeback_count(&self) -> u64 {
+        self.writebacks.load(Ordering::Relaxed)
+    }
+
+    /// Number of explicit invalidation operations performed in this domain.
+    pub fn invalidation_count(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+}
+
+/// A core-private cache with explicit, software-controlled coherence.
+#[derive(Debug)]
+pub struct SoftwareCache {
+    domain: Arc<CoherenceDomain>,
+    /// line → (version, dirty)
+    lines: HashMap<LineId, (u64, bool)>,
+}
+
+impl SoftwareCache {
+    /// Creates a cache attached to a coherence domain.
+    pub fn new(domain: Arc<CoherenceDomain>) -> Self {
+        Self { domain, lines: HashMap::new() }
+    }
+
+    /// Reads `line` through the cache: a cached copy is returned as-is (even
+    /// if stale — that is the point of the model), otherwise the memory
+    /// version is fetched and cached clean.
+    pub fn read(&mut self, line: LineId) -> u64 {
+        if let Some((version, _)) = self.lines.get(&line) {
+            return *version;
+        }
+        let v = self.domain.memory_version(line);
+        self.lines.insert(line, (v, false));
+        v
+    }
+
+    /// Writes `line` in the local cache, producing a new version that is
+    /// *not* visible to other cores until [`SoftwareCache::writeback`].
+    /// Returns the new (locally visible) version.
+    pub fn write(&mut self, line: LineId) -> u64 {
+        let base = self
+            .lines
+            .get(&line)
+            .map(|(v, _)| *v)
+            .unwrap_or_else(|| self.domain.memory_version(line));
+        let new = base + 1;
+        self.lines.insert(line, (new, true));
+        new
+    }
+
+    /// Writes all dirty lines back to memory, making them visible to other
+    /// cores. Returns how many lines were flushed.
+    pub fn writeback(&mut self) -> usize {
+        let mut flushed = 0;
+        for (line, (version, dirty)) in self.lines.iter_mut() {
+            if *dirty {
+                self.domain.publish(*line, *version);
+                *dirty = false;
+                flushed += 1;
+            }
+        }
+        if flushed > 0 {
+            self.domain.writebacks.fetch_add(flushed as u64, Ordering::Relaxed);
+        }
+        flushed
+    }
+
+    /// Writes back a single line, used when granting a remote lock on just
+    /// that record.
+    pub fn writeback_line(&mut self, line: LineId) -> bool {
+        if let Some((version, dirty)) = self.lines.get_mut(&line) {
+            if *dirty {
+                self.domain.publish(line, *version);
+                *dirty = false;
+                self.domain.writebacks.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drops all clean and dirty copies so the next read fetches from memory.
+    pub fn invalidate_all(&mut self) {
+        let n = self.lines.len() as u64;
+        self.lines.clear();
+        if n > 0 {
+            self.domain.invalidations.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops the cached copy of one line.
+    pub fn invalidate_line(&mut self, line: LineId) {
+        if self.lines.remove(&line).is_some() {
+            self.domain.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the cache currently holds a dirty copy of `line`.
+    pub fn is_dirty(&self, line: LineId) -> bool {
+        self.lines.get(&line).map(|(_, d)| *d).unwrap_or(false)
+    }
+
+    /// Whether the cached copy of `line` (if any) is older than memory, i.e.
+    /// the caller would read stale data. Exposed so tests and the strict
+    /// runtime mode can assert the protocol inserted the required
+    /// invalidations.
+    pub fn is_stale(&self, line: LineId) -> bool {
+        match self.lines.get(&line) {
+            Some((version, dirty)) => !*dirty && *version < self.domain.memory_version(line),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_are_invisible_until_writeback() {
+        let domain = CoherenceDomain::new();
+        let mut a = SoftwareCache::new(Arc::clone(&domain));
+        let mut b = SoftwareCache::new(Arc::clone(&domain));
+        let line = LineId(7);
+
+        let v = a.write(line);
+        assert_eq!(v, 1);
+        assert!(a.is_dirty(line));
+        // Core B still sees the old memory version.
+        assert_eq!(b.read(line), 0);
+
+        assert_eq!(a.writeback(), 1);
+        // B's cached copy is now stale; a fresh read after invalidation sees v1.
+        assert!(b.is_stale(line));
+        b.invalidate_line(line);
+        assert_eq!(b.read(line), 1);
+    }
+
+    #[test]
+    fn missing_invalidation_yields_stale_read() {
+        let domain = CoherenceDomain::new();
+        let mut owner = SoftwareCache::new(Arc::clone(&domain));
+        let mut reader = SoftwareCache::new(Arc::clone(&domain));
+        let line = LineId(1);
+        assert_eq!(reader.read(line), 0); // warm the reader's cache
+        owner.write(line);
+        owner.writeback();
+        // Without an invalidation the reader keeps returning the stale copy.
+        assert_eq!(reader.read(line), 0);
+        assert!(reader.is_stale(line));
+    }
+
+    #[test]
+    fn writeback_line_flushes_only_that_line() {
+        let domain = CoherenceDomain::new();
+        let mut c = SoftwareCache::new(Arc::clone(&domain));
+        c.write(LineId(1));
+        c.write(LineId(2));
+        assert!(c.writeback_line(LineId(1)));
+        assert_eq!(domain.memory_version(LineId(1)), 1);
+        assert_eq!(domain.memory_version(LineId(2)), 0);
+        assert!(c.is_dirty(LineId(2)));
+        assert!(!c.writeback_line(LineId(3)), "unknown lines are not dirty");
+    }
+
+    #[test]
+    fn counters_track_protocol_activity() {
+        let domain = CoherenceDomain::new();
+        let mut c = SoftwareCache::new(Arc::clone(&domain));
+        c.write(LineId(1));
+        c.write(LineId(2));
+        c.writeback();
+        c.invalidate_all();
+        assert_eq!(domain.writeback_count(), 2);
+        assert_eq!(domain.invalidation_count(), 2);
+    }
+
+    #[test]
+    fn repeated_writes_bump_versions() {
+        let domain = CoherenceDomain::new();
+        let mut c = SoftwareCache::new(Arc::clone(&domain));
+        let line = LineId(9);
+        assert_eq!(c.write(line), 1);
+        assert_eq!(c.write(line), 2);
+        c.writeback();
+        assert_eq!(domain.memory_version(line), 2);
+    }
+}

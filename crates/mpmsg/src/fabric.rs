@@ -1,0 +1,216 @@
+//! The message-passing fabric: per-core mailboxes over bounded channels.
+//!
+//! Caldera schedules one worker thread per core of the task-parallel
+//! archipelago; threads never synchronise through shared memory, they
+//! exchange [`Envelope`]s through this fabric. On real non-CC hardware the
+//! transport would be the on-chip message-passing network (e.g. the Intel
+//! SCC's message buffers); here it is a set of bounded multi-producer,
+//! single-consumer channels, which preserves the programming model ("the
+//! message-passing layer can be replaced ... without any change to the core
+//! database logic").
+
+use crate::CoreId;
+use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use h2tap_common::{H2Error, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A message in flight between two cores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope<M> {
+    /// Sending core.
+    pub from: CoreId,
+    /// Destination core.
+    pub to: CoreId,
+    /// Payload.
+    pub payload: M,
+}
+
+/// Shared counters for fabric traffic, used by experiments to report message
+/// overhead.
+#[derive(Debug, Default)]
+pub struct FabricStats {
+    sent: AtomicU64,
+    delivered: AtomicU64,
+}
+
+impl FabricStats {
+    /// Messages handed to the fabric.
+    pub fn sent(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+
+    /// Messages pulled out of mailboxes.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+}
+
+/// The sending half owned by each worker: can address any core.
+#[derive(Debug, Clone)]
+pub struct Postbox<M> {
+    core: CoreId,
+    senders: Arc<Vec<Sender<Envelope<M>>>>,
+    stats: Arc<FabricStats>,
+}
+
+impl<M> Postbox<M> {
+    /// The core this postbox belongs to.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// Number of cores in the fabric.
+    pub fn fanout(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Sends `payload` to `to`. Blocks if the destination mailbox is full,
+    /// which provides natural back-pressure between OLTP workers.
+    pub fn send(&self, to: CoreId, payload: M) -> Result<()> {
+        let sender = self
+            .senders
+            .get(to.0 as usize)
+            .ok_or_else(|| H2Error::ChannelClosed(format!("no such core {to:?}")))?;
+        sender
+            .send(Envelope { from: self.core, to, payload })
+            .map_err(|_| H2Error::ChannelClosed(format!("mailbox of {to:?} closed")))?;
+        self.stats.sent.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// The receiving half owned by each worker: its private mailbox.
+#[derive(Debug)]
+pub struct Mailbox<M> {
+    core: CoreId,
+    receiver: Receiver<Envelope<M>>,
+    stats: Arc<FabricStats>,
+}
+
+impl<M> Mailbox<M> {
+    /// The core this mailbox belongs to.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<Option<Envelope<M>>> {
+        match self.receiver.try_recv() {
+            Ok(env) => {
+                self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(env))
+            }
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => {
+                Err(H2Error::ChannelClosed(format!("all senders to {:?} dropped", self.core)))
+            }
+        }
+    }
+
+    /// Blocking receive with a timeout; `Ok(None)` on timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Envelope<M>>> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(env) => {
+                self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(env))
+            }
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(H2Error::ChannelClosed(format!("all senders to {:?} dropped", self.core)))
+            }
+        }
+    }
+}
+
+/// Builds the fabric for `cores` workers and returns one (postbox, mailbox)
+/// pair per core, in core order.
+///
+/// `mailbox_capacity` bounds each mailbox; the default used by the OLTP
+/// runtime (1024) is deep enough that lock-grant replies never deadlock
+/// behind request traffic in the paper's workloads.
+pub fn build_fabric<M>(cores: usize, mailbox_capacity: usize) -> (Vec<Postbox<M>>, Vec<Mailbox<M>>, Arc<FabricStats>) {
+    assert!(cores > 0, "fabric needs at least one core");
+    let stats = Arc::new(FabricStats::default());
+    let mut senders = Vec::with_capacity(cores);
+    let mut receivers = Vec::with_capacity(cores);
+    for _ in 0..cores {
+        let (tx, rx) = bounded(mailbox_capacity.max(1));
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let senders = Arc::new(senders);
+    let postboxes = (0..cores)
+        .map(|i| Postbox { core: CoreId(i as u32), senders: Arc::clone(&senders), stats: Arc::clone(&stats) })
+        .collect();
+    let mailboxes = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(i, receiver)| Mailbox { core: CoreId(i as u32), receiver, stats: Arc::clone(&stats) })
+        .collect();
+    (postboxes, mailboxes, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let (post, mail, stats) = build_fabric::<u32>(3, 8);
+        post[0].send(CoreId(2), 99).unwrap();
+        let env = mail[2].try_recv().unwrap().unwrap();
+        assert_eq!(env.from, CoreId(0));
+        assert_eq!(env.to, CoreId(2));
+        assert_eq!(env.payload, 99);
+        assert!(mail[1].try_recv().unwrap().is_none());
+        assert_eq!(stats.sent(), 1);
+        assert_eq!(stats.delivered(), 1);
+    }
+
+    #[test]
+    fn sending_to_unknown_core_fails() {
+        let (post, _mail, _) = build_fabric::<u32>(2, 8);
+        assert!(post[0].send(CoreId(5), 1).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_when_idle() {
+        let (_post, mail, _) = build_fabric::<u32>(1, 8);
+        let got = mail[0].recv_timeout(Duration::from_millis(5)).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn cross_thread_request_reply() {
+        let (post, mut mail, _) = build_fabric::<String>(2, 8);
+        let server_mail = mail.remove(1);
+        let server_post = post[1].clone();
+        let client_post = post[0].clone();
+        let client_mail = mail.remove(0);
+
+        let server = thread::spawn(move || {
+            let env = server_mail.recv_timeout(Duration::from_secs(1)).unwrap().unwrap();
+            server_post.send(env.from, format!("re:{}", env.payload)).unwrap();
+        });
+        client_post.send(CoreId(1), "lock".to_string()).unwrap();
+        let reply = client_mail.recv_timeout(Duration::from_secs(1)).unwrap().unwrap();
+        assert_eq!(reply.payload, "re:lock");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn fanout_reports_core_count() {
+        let (post, _mail, _) = build_fabric::<u8>(4, 2);
+        assert_eq!(post[0].fanout(), 4);
+        assert_eq!(post[3].core(), CoreId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_core_fabric_panics() {
+        let _ = build_fabric::<u8>(0, 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Partition-ownership discipline.
+//!
+//! On non-CC hardware "two processors can never simultaneously access a
+//! shared memory word because each processor has exclusive access over its
+//! partition". The registry records which core owns which partition and, in
+//! strict mode, turns any access by a non-owner into an error — the software
+//! analogue of the crash/corruption a real non-coherent machine would
+//! produce. The OLTP runtime checks it in debug builds and in the dedicated
+//! coherence tests.
+
+use crate::CoreId;
+use h2tap_common::{H2Error, PartitionId, Result};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Maps partitions to their owning cores and polices access.
+#[derive(Debug, Default)]
+pub struct OwnershipRegistry {
+    owners: RwLock<HashMap<PartitionId, CoreId>>,
+    strict: bool,
+}
+
+impl OwnershipRegistry {
+    /// A registry that records ownership but does not fail on violations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry that returns an error on any access by a non-owner.
+    pub fn strict() -> Self {
+        Self { owners: RwLock::new(HashMap::new()), strict: true }
+    }
+
+    /// Whether the registry is in strict mode.
+    pub fn is_strict(&self) -> bool {
+        self.strict
+    }
+
+    /// Assigns (or re-assigns) a partition to a core. Re-assignment models
+    /// partition migration when cores move between archipelagos.
+    pub fn assign(&self, partition: PartitionId, core: CoreId) {
+        self.owners.write().insert(partition, core);
+    }
+
+    /// The core that owns `partition`, if any.
+    pub fn owner(&self, partition: PartitionId) -> Option<CoreId> {
+        self.owners.read().get(&partition).copied()
+    }
+
+    /// Checks that `core` may touch `partition` directly.
+    ///
+    /// # Errors
+    /// In strict mode, returns [`H2Error::OwnershipViolation`] when the
+    /// partition is owned by a different core or unassigned.
+    pub fn check_access(&self, core: CoreId, partition: PartitionId) -> Result<()> {
+        match self.owner(partition) {
+            Some(owner) if owner == core => Ok(()),
+            Some(owner) => {
+                if self.strict {
+                    Err(H2Error::OwnershipViolation(format!(
+                        "core {core:?} touched partition {partition} owned by {owner:?}"
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            None => {
+                if self.strict {
+                    Err(H2Error::OwnershipViolation(format!("partition {partition} is unassigned")))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Number of assigned partitions.
+    pub fn len(&self) -> usize {
+        self.owners.read().len()
+    }
+
+    /// Whether no partitions are assigned.
+    pub fn is_empty(&self) -> bool {
+        self.owners.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_lookup() {
+        let reg = OwnershipRegistry::new();
+        reg.assign(PartitionId(0), CoreId(3));
+        assert_eq!(reg.owner(PartitionId(0)), Some(CoreId(3)));
+        assert_eq!(reg.owner(PartitionId(1)), None);
+        assert_eq!(reg.len(), 1);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn lenient_mode_allows_cross_partition_access() {
+        let reg = OwnershipRegistry::new();
+        reg.assign(PartitionId(0), CoreId(0));
+        assert!(reg.check_access(CoreId(1), PartitionId(0)).is_ok());
+        assert!(reg.check_access(CoreId(1), PartitionId(9)).is_ok());
+    }
+
+    #[test]
+    fn strict_mode_rejects_non_owner_access() {
+        let reg = OwnershipRegistry::strict();
+        reg.assign(PartitionId(0), CoreId(0));
+        assert!(reg.check_access(CoreId(0), PartitionId(0)).is_ok());
+        let err = reg.check_access(CoreId(1), PartitionId(0));
+        assert!(matches!(err, Err(H2Error::OwnershipViolation(_))));
+        let unassigned = reg.check_access(CoreId(1), PartitionId(7));
+        assert!(matches!(unassigned, Err(H2Error::OwnershipViolation(_))));
+    }
+
+    #[test]
+    fn reassignment_models_migration() {
+        let reg = OwnershipRegistry::strict();
+        reg.assign(PartitionId(0), CoreId(0));
+        reg.assign(PartitionId(0), CoreId(5));
+        assert!(reg.check_access(CoreId(0), PartitionId(0)).is_err());
+        assert!(reg.check_access(CoreId(5), PartitionId(0)).is_ok());
+    }
+}

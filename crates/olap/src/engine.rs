@@ -1,0 +1,440 @@
+//! The GPU OLAP executor: kernel-at-a-time query execution over snapshots.
+//!
+//! "Each database operator is implemented as a collection of data-parallel
+//! primitives, where each primitive is an individual CUDA kernel. OLAP
+//! queries are executed by a dedicated CPU thread that executes each database
+//! operator by executing the corresponding CUDA kernels one at a time while
+//! using UVA to store all input, intermediate, and output data."
+//!
+//! [`GpuOlapEngine`] follows that model: a [`ScanAggQuery`] becomes one
+//! selection kernel per predicate (each producing/consuming a selection
+//! bitmap) followed by one aggregation kernel. Every kernel computes its real
+//! answer on the host while its cost is charged to the [`GpuDevice`] model
+//! according to the table's layout (coalesced for DSM/PAX, strided for NSM)
+//! and the configured access mode (memcpy / UVA / UM / device-resident).
+
+use h2tap_common::{AggExpr, H2Error, Result, ScanAggQuery, SimDuration};
+use h2tap_gpu_sim::{
+    AccessMode, AccessPattern, BufferId, GpuDevice, KernelDesc, KernelMetrics, TransferDirection,
+};
+use h2tap_storage::{decode_cell_f64, Layout, SnapshotTable};
+use std::collections::HashMap;
+
+/// Where the engine keeps table data relative to the GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataPlacement {
+    /// Data stays in host shared memory and is accessed with the given mode
+    /// (the H2TAP design point; UVA is what the Caldera prototype uses).
+    Host(AccessMode),
+    /// Data is copied into device memory ahead of time (the Figure 11
+    /// configuration).
+    DeviceResident,
+}
+
+/// Result of one analytical query execution.
+#[derive(Debug, Clone)]
+pub struct OlapOutcome {
+    /// The aggregate value (exact, computed over the real data).
+    pub value: f64,
+    /// Number of records satisfying all predicates.
+    pub qualifying_rows: u64,
+    /// Simulated execution time (kernels plus any explicit transfers).
+    pub time: SimDuration,
+    /// Per-kernel metrics, in launch order.
+    pub kernels: Vec<KernelMetrics>,
+    /// Bytes moved over the host-device interconnect.
+    pub interconnect_bytes: u64,
+}
+
+/// Kernel-at-a-time OLAP executor bound to one simulated GPU.
+pub struct GpuOlapEngine {
+    device: GpuDevice,
+    placement: DataPlacement,
+    /// Registered column buffers: (table tag, attr) -> buffer.
+    buffers: HashMap<(usize, usize), BufferId>,
+    /// Registered whole-table buffers for NSM tables: table tag -> buffer.
+    nsm_buffers: HashMap<usize, BufferId>,
+    /// Monotonic tag generator for registered tables.
+    next_tag: usize,
+}
+
+/// Handle to a table registered with the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisteredTable {
+    tag: usize,
+    /// Whether the data had to be copied to the device explicitly (memcpy
+    /// placement); the copy cost is charged per query batch by `execute`.
+    explicit_copy: bool,
+}
+
+impl GpuOlapEngine {
+    /// Creates an executor on `device` with the given data placement.
+    pub fn new(device: GpuDevice, placement: DataPlacement) -> Self {
+        Self { device, placement, buffers: HashMap::new(), nsm_buffers: HashMap::new(), next_tag: 0 }
+    }
+
+    /// The underlying simulated device.
+    pub fn device(&self) -> &GpuDevice {
+        &self.device
+    }
+
+    /// The configured placement.
+    pub fn placement(&self) -> DataPlacement {
+        self.placement
+    }
+
+    /// Registers the columns of `table` with the device according to the
+    /// placement policy. Must be called once per snapshot table before
+    /// queries run against it.
+    pub fn register_table(&mut self, table: &SnapshotTable, label: &str) -> Result<RegisteredTable> {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        let rows = table.row_count();
+        let arity = table.schema.arity();
+        let explicit_copy = matches!(self.placement, DataPlacement::Host(AccessMode::Memcpy));
+        match table.layout {
+            Layout::Nsm => {
+                // Row-major storage is one big buffer; kernels stride over it.
+                let bytes = rows * table.schema.record_width() as u64;
+                let id = self.register_bytes(&format!("{label}.rows"), bytes)?;
+                self.nsm_buffers.insert(tag, id);
+            }
+            Layout::Dsm | Layout::Pax { .. } => {
+                for attr in 0..arity {
+                    let width = table.schema.attr(attr)?.ty.width() as u64;
+                    let bytes = rows * width;
+                    let id = self.register_bytes(&format!("{label}.col{attr}"), bytes)?;
+                    self.buffers.insert((tag, attr), id);
+                }
+            }
+        }
+        Ok(RegisteredTable { tag, explicit_copy })
+    }
+
+    /// Frees every registered buffer (device memory and UM residency) so a
+    /// new snapshot's tables can be registered without leaking the old ones.
+    pub fn reset_tables(&mut self) {
+        for (_, id) in self.buffers.drain() {
+            let _ = self.device.memory_mut().free(id);
+        }
+        for (_, id) in self.nsm_buffers.drain() {
+            let _ = self.device.memory_mut().free(id);
+        }
+    }
+
+    fn register_bytes(&mut self, label: &str, bytes: u64) -> Result<BufferId> {
+        match self.placement {
+            DataPlacement::Host(mode) => self.device.register_buffer(label, bytes, mode),
+            DataPlacement::DeviceResident => self.device.register_device_buffer(label, bytes),
+        }
+    }
+
+    /// The buffer and access pattern a kernel uses to read `attr` of `table`.
+    fn read_plan(
+        &self,
+        handle: RegisteredTable,
+        table: &SnapshotTable,
+        attr: usize,
+    ) -> Result<(BufferId, u64, AccessPattern)> {
+        let rows = table.row_count();
+        let width = table.schema.attr(attr)?.ty.width() as u64;
+        match table.layout {
+            Layout::Nsm => {
+                let buffer = *self
+                    .nsm_buffers
+                    .get(&handle.tag)
+                    .ok_or_else(|| H2Error::InvalidKernel("table not registered".into()))?;
+                let pattern = AccessPattern::Strided {
+                    stride_bytes: table.schema.record_width() as u32,
+                    elem_bytes: width as u32,
+                };
+                Ok((buffer, rows * width, pattern))
+            }
+            Layout::Dsm => {
+                let buffer = *self
+                    .buffers
+                    .get(&(handle.tag, attr))
+                    .ok_or_else(|| H2Error::InvalidKernel("column not registered".into()))?;
+                Ok((buffer, rows * width, AccessPattern::Sequential))
+            }
+            Layout::Pax { .. } => {
+                let buffer = *self
+                    .buffers
+                    .get(&(handle.tag, attr))
+                    .ok_or_else(|| H2Error::InvalidKernel("column not registered".into()))?;
+                // Minipages coalesce like DSM but pay a small page-interleave
+                // overhead, modelled as 3% extra traffic.
+                Ok((buffer, rows * width * 103 / 100, AccessPattern::Sequential))
+            }
+        }
+    }
+
+    /// Executes `query` against a registered snapshot table.
+    pub fn execute(
+        &mut self,
+        handle: RegisteredTable,
+        table: &SnapshotTable,
+        query: &ScanAggQuery,
+    ) -> Result<OlapOutcome> {
+        let rows = table.row_count();
+        if rows == 0 {
+            return Err(H2Error::InvalidKernel("cannot execute a query over an empty table".into()));
+        }
+        let mut kernels = Vec::new();
+        let mut total = SimDuration::ZERO;
+        let mut interconnect_bytes = 0u64;
+
+        // Explicit-copy placement pays the host-to-device transfer of every
+        // accessed column before the first kernel (the "memcpy" bars of
+        // Figure 1).
+        if handle.explicit_copy {
+            let mut bytes = 0u64;
+            for &attr in &query.columns_accessed() {
+                let width = table.schema.attr(attr)?.ty.width() as u64;
+                bytes += match table.layout {
+                    Layout::Nsm => rows * table.schema.record_width() as u64 / query.columns_accessed().len() as u64,
+                    _ => rows * width,
+                };
+            }
+            total += self.device.memcpy(bytes, TransferDirection::HostToDevice);
+            interconnect_bytes += bytes;
+        }
+
+        // Selection kernels: one per predicate, producing a selection bitmap.
+        let mut selection: Vec<bool> = vec![true; rows as usize];
+        for (i, pred) in query.predicates.iter().enumerate() {
+            let (buffer, useful, pattern) = self.read_plan(handle, table, pred.column)?;
+            let ty = table.schema.attr(pred.column)?.ty;
+            let desc = KernelDesc::new(format!("select_{i}"), rows)
+                .flops_per_element(2.0)
+                .read(buffer, useful, pattern)
+                // The bitmap write (1 bit per row, byte-packed here).
+                .write(rows.div_ceil(8));
+            let run = self.device.launch(&desc, || {
+                let mut qualified = 0u64;
+                for (idx, cell) in table.iter_attr(pred.column).enumerate() {
+                    let keep = selection[idx] && pred.matches(decode_cell_f64(ty, cell));
+                    selection[idx] = keep;
+                    qualified += u64::from(keep);
+                }
+                qualified
+            })?;
+            total += run.metrics.time;
+            interconnect_bytes += run.metrics.interconnect_bytes;
+            kernels.push(run.metrics);
+        }
+
+        // Aggregation kernel.
+        let agg_cols = query.aggregate.columns();
+        let mut desc = KernelDesc::new("aggregate", rows).flops_per_element(1.0 + agg_cols.len() as f64);
+        for &attr in &agg_cols {
+            let (buffer, useful, pattern) = self.read_plan(handle, table, attr)?;
+            desc = desc.read(buffer, useful, pattern);
+        }
+        if !query.predicates.is_empty() {
+            // The aggregation kernel also streams the selection bitmap.
+            desc = desc.flops_per_element(2.0 + agg_cols.len() as f64);
+        }
+        desc = desc.write(8);
+        let aggregate = &query.aggregate;
+        let schema = &table.schema;
+        let run = self.device.launch(&desc, || {
+            let mut value = 0.0f64;
+            let mut qualifying = 0u64;
+            match aggregate {
+                AggExpr::Count => {
+                    for keep in &selection {
+                        qualifying += u64::from(*keep);
+                    }
+                    value = qualifying as f64;
+                }
+                AggExpr::SumProduct(a, b) => {
+                    let ta = schema.attr(*a).map(|x| x.ty).unwrap_or(h2tap_common::AttrType::Float64);
+                    let tb = schema.attr(*b).map(|x| x.ty).unwrap_or(h2tap_common::AttrType::Float64);
+                    let mut idx = 0usize;
+                    let col_b: Vec<u64> = table.iter_attr(*b).collect();
+                    for cell_a in table.iter_attr(*a) {
+                        if selection[idx] {
+                            value += decode_cell_f64(ta, cell_a) * decode_cell_f64(tb, col_b[idx]);
+                            qualifying += 1;
+                        }
+                        idx += 1;
+                    }
+                }
+                AggExpr::SumColumns(cols) => {
+                    let mut counted = false;
+                    for &c in cols {
+                        let ty = schema.attr(c).map(|x| x.ty).unwrap_or(h2tap_common::AttrType::Int64);
+                        let mut idx = 0usize;
+                        for cell in table.iter_attr(c) {
+                            if selection[idx] {
+                                value += decode_cell_f64(ty, cell);
+                                if !counted {
+                                    qualifying += 1;
+                                }
+                            }
+                            idx += 1;
+                        }
+                        counted = true;
+                    }
+                    if cols.is_empty() {
+                        qualifying = selection.iter().map(|k| u64::from(*k)).sum();
+                    }
+                }
+            }
+            (value, qualifying)
+        })?;
+        total += run.metrics.time;
+        interconnect_bytes += run.metrics.interconnect_bytes;
+        kernels.push(run.metrics);
+        let (value, qualifying_rows) = run.result;
+
+        // Explicit-copy placement copies the (tiny) result back.
+        if handle.explicit_copy {
+            total += self.device.memcpy(8, TransferDirection::DeviceToHost);
+        }
+
+        Ok(OlapOutcome { value, qualifying_rows, time: total, kernels, interconnect_bytes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2tap_common::{AttrType, PartitionId, Predicate, Schema, Value};
+    use h2tap_gpu_sim::GpuSpec;
+    use h2tap_storage::{Database, Layout};
+
+    /// A small table: col0 = i, col1 = i % 10, col2 = 2.5 (float), 16 cols total
+    /// only for the first three used.
+    fn snapshot_table(layout: Layout, rows: i64) -> SnapshotTable {
+        let db = Database::new(1);
+        let schema = h2tap_common::Schema::new(vec![
+            h2tap_common::Attribute::new("k", AttrType::Int64),
+            h2tap_common::Attribute::new("bucket", AttrType::Int32),
+            h2tap_common::Attribute::new("price", AttrType::Float64),
+        ])
+        .unwrap();
+        let t = db.create_table("t", schema, layout).unwrap();
+        for i in 0..rows {
+            db.insert(
+                PartitionId(0),
+                t,
+                &[Value::Int64(i), Value::Int32((i % 10) as i32), Value::Float64(2.5)],
+            )
+            .unwrap();
+        }
+        let snap = db.snapshot();
+        snap.table(t).unwrap().clone()
+    }
+
+    fn engine(placement: DataPlacement) -> GpuOlapEngine {
+        GpuOlapEngine::new(GpuDevice::new(GpuSpec::gtx_980()), placement)
+    }
+
+    fn bucket_query() -> ScanAggQuery {
+        ScanAggQuery {
+            predicates: vec![Predicate::between(1, 0.0, 4.0)],
+            aggregate: AggExpr::SumProduct(1, 2),
+        }
+    }
+
+    #[test]
+    fn exact_answer_matches_a_scalar_computation() {
+        let table = snapshot_table(Layout::Dsm, 1000);
+        let mut eng = engine(DataPlacement::Host(AccessMode::Uva));
+        let handle = eng.register_table(&table, "t").unwrap();
+        let out = eng.execute(handle, &table, &bucket_query()).unwrap();
+        let expected: f64 = (0..1000).map(|i| i % 10).filter(|b| *b <= 4).map(|b| b as f64 * 2.5).sum();
+        assert_eq!(out.value, expected);
+        assert_eq!(out.qualifying_rows, 500);
+        assert_eq!(out.kernels.len(), 2, "one selection kernel + one aggregation kernel");
+        assert!(out.time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn all_layouts_agree_on_the_answer() {
+        let query = bucket_query();
+        let mut answers = Vec::new();
+        for layout in [Layout::Nsm, Layout::Dsm, Layout::PAPER_PAX] {
+            let table = snapshot_table(layout, 500);
+            let mut eng = engine(DataPlacement::Host(AccessMode::Uva));
+            let handle = eng.register_table(&table, "t").unwrap();
+            answers.push(eng.execute(handle, &table, &query).unwrap().value);
+        }
+        assert!(answers.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9), "{answers:?}");
+    }
+
+    #[test]
+    fn nsm_is_slower_than_dsm_over_uva() {
+        let query = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![0]));
+        let mut times = Vec::new();
+        for layout in [Layout::Dsm, Layout::Nsm] {
+            let table = snapshot_table(layout, 200_000);
+            let mut eng = engine(DataPlacement::Host(AccessMode::Uva));
+            let handle = eng.register_table(&table, "t").unwrap();
+            times.push(eng.execute(handle, &table, &query).unwrap().time.as_secs_f64());
+        }
+        assert!(times[1] > 1.5 * times[0], "NSM {} DSM {}", times[1], times[0]);
+    }
+
+    #[test]
+    fn pax_is_close_to_dsm() {
+        let query = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![0, 1]));
+        let mut times = Vec::new();
+        for layout in [Layout::Dsm, Layout::PAPER_PAX] {
+            let table = snapshot_table(layout, 200_000);
+            let mut eng = engine(DataPlacement::Host(AccessMode::Uva));
+            let handle = eng.register_table(&table, "t").unwrap();
+            times.push(eng.execute(handle, &table, &query).unwrap().time.as_secs_f64());
+        }
+        let ratio = times[1] / times[0];
+        assert!((0.95..1.2).contains(&ratio), "PAX/DSM ratio {ratio}");
+    }
+
+    #[test]
+    fn unified_memory_queries_get_faster_after_first_touch() {
+        let table = snapshot_table(Layout::Dsm, 500_000);
+        let mut eng = engine(DataPlacement::Host(AccessMode::UnifiedMemory));
+        let handle = eng.register_table(&table, "t").unwrap();
+        let q = bucket_query();
+        let first = eng.execute(handle, &table, &q).unwrap();
+        let second = eng.execute(handle, &table, &q).unwrap();
+        assert_eq!(first.value, second.value);
+        assert!(first.time > second.time, "first {} second {}", first.time, second.time);
+        assert_eq!(second.interconnect_bytes, 0);
+    }
+
+    #[test]
+    fn device_resident_execution_is_fastest() {
+        let q = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![0, 1]));
+        let table = snapshot_table(Layout::Dsm, 500_000);
+        let mut uva = engine(DataPlacement::Host(AccessMode::Uva));
+        let h1 = uva.register_table(&table, "t").unwrap();
+        let t_uva = uva.execute(h1, &table, &q).unwrap().time;
+        let mut dev = engine(DataPlacement::DeviceResident);
+        let h2 = dev.register_table(&table, "t").unwrap();
+        let t_dev = dev.execute(h2, &table, &q).unwrap().time;
+        assert!(t_dev < t_uva, "device {} uva {}", t_dev, t_uva);
+    }
+
+    #[test]
+    fn memcpy_placement_charges_transfers() {
+        let table = snapshot_table(Layout::Dsm, 100_000);
+        let mut eng = engine(DataPlacement::Host(AccessMode::Memcpy));
+        let handle = eng.register_table(&table, "t").unwrap();
+        let out = eng.execute(handle, &table, &bucket_query()).unwrap();
+        assert!(out.interconnect_bytes > 0);
+    }
+
+    #[test]
+    fn empty_table_is_rejected() {
+        let db = Database::new(1);
+        let t = db.create_table("t", Schema::homogeneous("c", 2, AttrType::Int32), Layout::Dsm).unwrap();
+        let snap = db.snapshot();
+        let table = snap.table(t).unwrap().clone();
+        let mut eng = engine(DataPlacement::Host(AccessMode::Uva));
+        let handle = eng.register_table(&table, "t").unwrap();
+        assert!(eng.execute(handle, &table, &bucket_query()).is_err());
+    }
+}

@@ -1,0 +1,14 @@
+//! Caldera's OLAP runtime: analytical queries on the data-parallel
+//! archipelago.
+//!
+//! Analytical queries always run against an immutable [`h2tap_storage::Snapshot`]
+//! and are executed kernel-at-a-time on the simulated GPU
+//! ([`engine::GpuOlapEngine`]). Users trade freshness for performance by
+//! choosing how many queries share one snapshot ([`policy::SnapshotPolicy`]),
+//! which is the knob behind Figures 5-7 of the paper.
+
+pub mod engine;
+pub mod policy;
+
+pub use engine::{DataPlacement, GpuOlapEngine, OlapOutcome, RegisteredTable};
+pub use policy::SnapshotPolicy;

@@ -1,0 +1,85 @@
+//! Snapshot policies: the freshness / performance trade-off.
+//!
+//! "Users can trade off data freshness for performance by having several OLAP
+//! queries share a snapshot, or maximize freshness by taking a snapshot
+//! before running each OLAP query." A [`SnapshotPolicy`] says how many
+//! queries may share one snapshot; the engine consults it before each query.
+
+use serde::{Deserialize, Serialize};
+
+/// How often the engine refreshes the snapshot OLAP queries run against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SnapshotPolicy {
+    /// Take a fresh snapshot before every query (maximum freshness, maximum
+    /// copy-on-write pressure) — the "q1-10" series of Figure 5.
+    PerQuery,
+    /// Share one snapshot across every `queries` consecutive queries — the
+    /// "q1,5" / "q1,3,5,7" series of Figure 5 and the sweep of Figure 7.
+    EveryN {
+        /// Queries per snapshot (must be at least 1).
+        queries: u32,
+    },
+    /// Never refresh automatically; the caller snapshots explicitly.
+    Manual,
+}
+
+impl SnapshotPolicy {
+    /// Whether a new snapshot should be taken before running query number
+    /// `query_index` (0-based since the engine started or since the last
+    /// manual refresh).
+    pub fn should_refresh(self, query_index: u64) -> bool {
+        match self {
+            SnapshotPolicy::PerQuery => true,
+            SnapshotPolicy::EveryN { queries } => query_index % u64::from(queries.max(1)) == 0,
+            SnapshotPolicy::Manual => false,
+        }
+    }
+
+    /// Number of queries that share each snapshot (`None` for manual).
+    pub fn sharing_degree(self) -> Option<u32> {
+        match self {
+            SnapshotPolicy::PerQuery => Some(1),
+            SnapshotPolicy::EveryN { queries } => Some(queries.max(1)),
+            SnapshotPolicy::Manual => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_query_always_refreshes() {
+        for i in 0..5 {
+            assert!(SnapshotPolicy::PerQuery.should_refresh(i));
+        }
+        assert_eq!(SnapshotPolicy::PerQuery.sharing_degree(), Some(1));
+    }
+
+    #[test]
+    fn every_n_refreshes_on_boundaries() {
+        let p = SnapshotPolicy::EveryN { queries: 5 };
+        assert!(p.should_refresh(0));
+        assert!(!p.should_refresh(1));
+        assert!(!p.should_refresh(4));
+        assert!(p.should_refresh(5));
+        assert_eq!(p.sharing_degree(), Some(5));
+    }
+
+    #[test]
+    fn manual_never_refreshes() {
+        let p = SnapshotPolicy::Manual;
+        assert!(!p.should_refresh(0));
+        assert!(!p.should_refresh(100));
+        assert_eq!(p.sharing_degree(), None);
+    }
+
+    #[test]
+    fn zero_query_sharing_is_clamped() {
+        let p = SnapshotPolicy::EveryN { queries: 0 };
+        assert!(p.should_refresh(0));
+        assert!(p.should_refresh(1));
+        assert_eq!(p.sharing_degree(), Some(1));
+    }
+}

@@ -1,0 +1,106 @@
+//! Thread-private primary-key indexes.
+//!
+//! "Each thread uses ... a primary-key index to assist in record lookup.
+//! Unlike data, which is shared across archipelagos, the lock tables and
+//! indices are private to each thread ... and do not belong to the snapshot
+//! hierarchy. Thus, they refer to logical records whose physical location
+//! changes during copy-on-write operations."
+//!
+//! The index therefore maps a primary key to a *logical* row slot within the
+//! owning partition's table fragment — never to a page pointer.
+
+use h2tap_common::{H2Error, PartitionId, RecordId, Result, TableId};
+use std::collections::{BTreeMap, HashMap};
+
+/// The primary-key indexes of one partition (one map per table).
+#[derive(Debug, Default, Clone)]
+pub struct PartitionIndex {
+    tables: HashMap<TableId, BTreeMap<i64, u64>>,
+}
+
+impl PartitionIndex {
+    /// Creates an empty index set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `key -> row` for `table`, replacing any previous mapping.
+    pub fn insert(&mut self, table: TableId, key: i64, row: u64) {
+        self.tables.entry(table).or_default().insert(key, row);
+    }
+
+    /// Looks up the row of `key` in `table`.
+    pub fn lookup(&self, table: TableId, key: i64) -> Option<u64> {
+        self.tables.get(&table).and_then(|m| m.get(&key)).copied()
+    }
+
+    /// Looks up a key and converts it to a [`RecordId`] in `partition`.
+    pub fn lookup_rid(&self, partition: PartitionId, table: TableId, key: i64) -> Result<RecordId> {
+        self.lookup(table, key)
+            .map(|row| RecordId::new(partition, table, row))
+            .ok_or_else(|| H2Error::UnknownRecord(format!("key {key} in {table} of {partition}")))
+    }
+
+    /// Removes a key (used only by tests and future delete support).
+    pub fn remove(&mut self, table: TableId, key: i64) -> Option<u64> {
+        self.tables.get_mut(&table).and_then(|m| m.remove(&key))
+    }
+
+    /// Number of keys indexed for `table`.
+    pub fn key_count(&self, table: TableId) -> usize {
+        self.tables.get(&table).map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Iterates `(key, row)` pairs of `table` in key order.
+    pub fn iter_table(&self, table: TableId) -> impl Iterator<Item = (i64, u64)> + '_ {
+        self.tables.get(&table).into_iter().flat_map(|m| m.iter().map(|(k, v)| (*k, *v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut idx = PartitionIndex::new();
+        let t = TableId(3);
+        idx.insert(t, 10, 0);
+        idx.insert(t, 20, 1);
+        assert_eq!(idx.lookup(t, 10), Some(0));
+        assert_eq!(idx.lookup(t, 30), None);
+        assert_eq!(idx.key_count(t), 2);
+        assert_eq!(idx.remove(t, 10), Some(0));
+        assert_eq!(idx.lookup(t, 10), None);
+    }
+
+    #[test]
+    fn lookup_rid_builds_record_ids() {
+        let mut idx = PartitionIndex::new();
+        let t = TableId(1);
+        idx.insert(t, 7, 42);
+        let rid = idx.lookup_rid(PartitionId(5), t, 7).unwrap();
+        assert_eq!(rid, RecordId::new(PartitionId(5), t, 42));
+        assert!(idx.lookup_rid(PartitionId(5), t, 8).is_err());
+    }
+
+    #[test]
+    fn keys_are_per_table() {
+        let mut idx = PartitionIndex::new();
+        idx.insert(TableId(1), 5, 0);
+        idx.insert(TableId(2), 5, 9);
+        assert_eq!(idx.lookup(TableId(1), 5), Some(0));
+        assert_eq!(idx.lookup(TableId(2), 5), Some(9));
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let mut idx = PartitionIndex::new();
+        let t = TableId(0);
+        for k in [5i64, 1, 3] {
+            idx.insert(t, k, k as u64);
+        }
+        let keys: Vec<i64> = idx.iter_table(t).map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![1, 3, 5]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Thread-private two-phase-locking tables.
+//!
+//! Each OLTP worker owns one lock table covering the records of its
+//! partition. The table is an ordinary (non-thread-safe) map — it never needs
+//! atomics or latches because only its owning thread touches it; remote
+//! transactions reach it through messages. Conflicts are resolved with
+//! no-wait: the requester is told to abort and retry, which keeps the
+//! message protocol deadlock-free without a waits-for graph.
+
+use crate::messages::{LockMode, TxnToken};
+use h2tap_common::RecordId;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// State of one locked record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum LockState {
+    Shared(Vec<TxnToken>),
+    Exclusive(TxnToken),
+}
+
+/// A per-worker lock table.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    locks: HashMap<RecordId, LockState>,
+    acquired: u64,
+    denied: u64,
+}
+
+impl LockTable {
+    /// Creates an empty lock table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tries to acquire a lock for `txn`. Returns `true` on success; `false`
+    /// means the caller must abort (no-wait conflict resolution).
+    ///
+    /// Re-entrant requests by the same transaction succeed, and a shared
+    /// holder that is the *only* holder may upgrade to exclusive.
+    pub fn acquire(&mut self, rid: RecordId, mode: LockMode, txn: TxnToken) -> bool {
+        let granted = match self.locks.entry(rid) {
+            Entry::Vacant(v) => {
+                v.insert(match mode {
+                    LockMode::Shared => LockState::Shared(vec![txn]),
+                    LockMode::Exclusive => LockState::Exclusive(txn),
+                });
+                true
+            }
+            Entry::Occupied(mut o) => match (o.get_mut(), mode) {
+                (LockState::Shared(holders), LockMode::Shared) => {
+                    if !holders.contains(&txn) {
+                        holders.push(txn);
+                    }
+                    true
+                }
+                (LockState::Shared(holders), LockMode::Exclusive) => {
+                    if holders.len() == 1 && holders[0] == txn {
+                        *o.get_mut() = LockState::Exclusive(txn);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                (LockState::Exclusive(holder), _) => *holder == txn,
+            },
+        };
+        if granted {
+            self.acquired += 1;
+        } else {
+            self.denied += 1;
+        }
+        granted
+    }
+
+    /// Releases `txn`'s lock on `rid` (no-op if it holds none).
+    pub fn release(&mut self, rid: RecordId, txn: TxnToken) {
+        if let Entry::Occupied(mut o) = self.locks.entry(rid) {
+            let remove = match o.get_mut() {
+                LockState::Shared(holders) => {
+                    holders.retain(|t| *t != txn);
+                    holders.is_empty()
+                }
+                LockState::Exclusive(holder) => *holder == txn,
+            };
+            if remove {
+                o.remove();
+            }
+        }
+    }
+
+    /// Releases every lock held by `txn`. Used for local locks at
+    /// commit/abort; remote locks are released via explicit messages instead.
+    pub fn release_all(&mut self, txn: TxnToken) {
+        self.locks.retain(|_, state| match state {
+            LockState::Shared(holders) => {
+                holders.retain(|t| *t != txn);
+                !holders.is_empty()
+            }
+            LockState::Exclusive(holder) => *holder != txn,
+        });
+    }
+
+    /// Whether any lock is currently held on `rid`.
+    pub fn is_locked(&self, rid: RecordId) -> bool {
+        self.locks.contains_key(&rid)
+    }
+
+    /// Number of records currently locked.
+    pub fn len(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Whether the table holds no locks.
+    pub fn is_empty(&self) -> bool {
+        self.locks.is_empty()
+    }
+
+    /// Successful acquisitions so far.
+    pub fn acquired(&self) -> u64 {
+        self.acquired
+    }
+
+    /// Denied acquisitions so far.
+    pub fn denied(&self) -> u64 {
+        self.denied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2tap_common::{PartitionId, TableId};
+
+    fn rid(row: u64) -> RecordId {
+        RecordId::new(PartitionId(0), TableId(0), row)
+    }
+
+    #[test]
+    fn shared_locks_are_compatible() {
+        let mut lt = LockTable::new();
+        assert!(lt.acquire(rid(1), LockMode::Shared, TxnToken::new(0, 0)));
+        assert!(lt.acquire(rid(1), LockMode::Shared, TxnToken::new(1, 0)));
+        assert_eq!(lt.len(), 1);
+    }
+
+    #[test]
+    fn exclusive_conflicts_with_everything() {
+        let mut lt = LockTable::new();
+        let a = TxnToken::new(0, 0);
+        let b = TxnToken::new(1, 0);
+        assert!(lt.acquire(rid(1), LockMode::Exclusive, a));
+        assert!(!lt.acquire(rid(1), LockMode::Exclusive, b));
+        assert!(!lt.acquire(rid(1), LockMode::Shared, b));
+        assert_eq!(lt.denied(), 2);
+    }
+
+    #[test]
+    fn reentrant_acquisition_succeeds() {
+        let mut lt = LockTable::new();
+        let a = TxnToken::new(0, 0);
+        assert!(lt.acquire(rid(1), LockMode::Exclusive, a));
+        assert!(lt.acquire(rid(1), LockMode::Exclusive, a));
+        assert!(lt.acquire(rid(1), LockMode::Shared, a));
+    }
+
+    #[test]
+    fn sole_shared_holder_can_upgrade() {
+        let mut lt = LockTable::new();
+        let a = TxnToken::new(0, 0);
+        let b = TxnToken::new(1, 0);
+        assert!(lt.acquire(rid(1), LockMode::Shared, a));
+        assert!(lt.acquire(rid(1), LockMode::Exclusive, a));
+        // Now exclusive: another shared request fails.
+        assert!(!lt.acquire(rid(1), LockMode::Shared, b));
+    }
+
+    #[test]
+    fn upgrade_with_other_holders_is_denied() {
+        let mut lt = LockTable::new();
+        let a = TxnToken::new(0, 0);
+        let b = TxnToken::new(1, 0);
+        assert!(lt.acquire(rid(1), LockMode::Shared, a));
+        assert!(lt.acquire(rid(1), LockMode::Shared, b));
+        assert!(!lt.acquire(rid(1), LockMode::Exclusive, a));
+    }
+
+    #[test]
+    fn release_frees_the_record() {
+        let mut lt = LockTable::new();
+        let a = TxnToken::new(0, 0);
+        let b = TxnToken::new(1, 0);
+        lt.acquire(rid(1), LockMode::Exclusive, a);
+        lt.release(rid(1), a);
+        assert!(!lt.is_locked(rid(1)));
+        assert!(lt.acquire(rid(1), LockMode::Exclusive, b));
+    }
+
+    #[test]
+    fn release_by_non_holder_is_a_noop() {
+        let mut lt = LockTable::new();
+        let a = TxnToken::new(0, 0);
+        let b = TxnToken::new(1, 0);
+        lt.acquire(rid(1), LockMode::Exclusive, a);
+        lt.release(rid(1), b);
+        assert!(lt.is_locked(rid(1)));
+    }
+
+    #[test]
+    fn release_all_only_drops_own_locks() {
+        let mut lt = LockTable::new();
+        let a = TxnToken::new(0, 0);
+        let b = TxnToken::new(1, 0);
+        lt.acquire(rid(1), LockMode::Shared, a);
+        lt.acquire(rid(1), LockMode::Shared, b);
+        lt.acquire(rid(2), LockMode::Exclusive, a);
+        lt.release_all(a);
+        assert!(lt.is_locked(rid(1)), "b still holds the shared lock");
+        assert!(!lt.is_locked(rid(2)));
+        assert!(lt.is_empty() || lt.len() == 1);
+    }
+}

@@ -1,0 +1,427 @@
+//! The OLTP runtime: spawning, driving and measuring the worker fleet.
+//!
+//! The runtime owns the task-parallel archipelago's worker threads. It can be
+//! driven in two ways:
+//!
+//! * **Submission mode** — callers submit individual transactions to a chosen
+//!   home worker and wait for the outcome ([`OltpRuntime::submit`] /
+//!   [`OltpRuntime::execute`]). Used by the engine API and the examples.
+//! * **Benchmark mode** — every worker generates transactions back-to-back
+//!   from a [`TxnGenerator`] for a fixed wall-clock window
+//!   ([`OltpRuntime::run_for`]). Used by the Figure 5-9 experiments.
+
+use crate::index::PartitionIndex;
+use crate::messages::OltpMsg;
+use crate::txn::TxnCtx;
+use crate::worker::{TxnOutcome, Worker, WorkerState};
+use crossbeam_channel::{bounded, Sender};
+use h2tap_common::rng::SplitMixRng;
+use h2tap_common::stats::throughput;
+use h2tap_common::{H2Error, PartitionId, Result, TableId};
+use h2tap_mpmsg::build_fabric;
+use h2tap_storage::Database;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A transaction body. It is re-run from scratch on retry, so it must be a
+/// pure function of the context (no side effects outside it).
+pub type TxnProc = Arc<dyn Fn(&mut TxnCtx<'_>) -> Result<()> + Send + Sync>;
+
+/// Maps `(table, key)` to the partition that owns the record.
+pub trait Partitioner: Send + Sync {
+    /// The owning partition of `key` in `table`.
+    fn partition_of(&self, table: TableId, key: i64) -> PartitionId;
+}
+
+/// Default partitioner: keys are spread round-robin over partitions.
+#[derive(Debug, Clone)]
+pub struct ModuloPartitioner {
+    partitions: u32,
+}
+
+impl ModuloPartitioner {
+    /// Creates a partitioner over `partitions` partitions.
+    pub fn new(partitions: usize) -> Self {
+        assert!(partitions > 0);
+        Self { partitions: partitions as u32 }
+    }
+}
+
+impl Partitioner for ModuloPartitioner {
+    fn partition_of(&self, _table: TableId, key: i64) -> PartitionId {
+        PartitionId((key.unsigned_abs() % u64::from(self.partitions)) as u32)
+    }
+}
+
+/// Partitioner whose keys carry their partition in the high bits:
+/// `key = partition * stride + local_key`. Used by TPC-C (warehouse-per-
+/// partition) and the multisite microbenchmark.
+#[derive(Debug, Clone)]
+pub struct StridePartitioner {
+    stride: i64,
+    partitions: u32,
+}
+
+impl StridePartitioner {
+    /// Creates a stride partitioner.
+    pub fn new(stride: i64, partitions: usize) -> Self {
+        assert!(stride > 0 && partitions > 0);
+        Self { stride, partitions: partitions as u32 }
+    }
+
+    /// Encodes a (partition, local key) pair into a global key.
+    pub fn encode(&self, partition: PartitionId, local_key: i64) -> i64 {
+        i64::from(partition.0) * self.stride + local_key
+    }
+}
+
+impl Partitioner for StridePartitioner {
+    fn partition_of(&self, _table: TableId, key: i64) -> PartitionId {
+        PartitionId(((key / self.stride).unsigned_abs() % u64::from(self.partitions)) as u32)
+    }
+}
+
+/// Produces the next transaction for a worker in benchmark mode.
+pub trait TxnGenerator: Send + Sync {
+    /// The transaction that worker `home` should run as its `seq`-th
+    /// generated transaction.
+    fn next_txn(&self, home: PartitionId, seq: u64, rng: &mut SplitMixRng) -> TxnProc;
+}
+
+/// Shared per-worker counters.
+#[derive(Debug, Default)]
+pub struct WorkerCounters {
+    committed: AtomicU64,
+    aborted: AtomicU64,
+    retries: AtomicU64,
+    remote_requests: AtomicU64,
+    remote_denied: AtomicU64,
+    messages: AtomicU64,
+    writebacks: AtomicU64,
+}
+
+impl WorkerCounters {
+    pub(crate) fn add_committed(&self) {
+        self.committed.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn add_aborted(&self) {
+        self.aborted.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn add_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn add_remote_request(&self) {
+        self.remote_requests.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn add_remote_denied(&self) {
+        self.remote_denied.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn add_message(&self) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn add_writeback(&self) {
+        self.writebacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Committed transactions.
+    pub fn committed(&self) -> u64 {
+        self.committed.load(Ordering::Relaxed)
+    }
+    /// Aborted (retry-exhausted) transactions.
+    pub fn aborted(&self) -> u64 {
+        self.aborted.load(Ordering::Relaxed)
+    }
+    /// Abort-and-retry events.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+    /// Remote lock requests issued.
+    pub fn remote_requests(&self) -> u64 {
+        self.remote_requests.load(Ordering::Relaxed)
+    }
+    /// Remote lock requests denied.
+    pub fn remote_denied(&self) -> u64 {
+        self.remote_denied.load(Ordering::Relaxed)
+    }
+    /// Messages handled in the server role.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+    /// Explicit cache write-back events (software-managed coherence).
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks.load(Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time aggregate across all workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OltpStats {
+    /// Committed transactions.
+    pub committed: u64,
+    /// Aborted transactions.
+    pub aborted: u64,
+    /// Abort-and-retry events.
+    pub retries: u64,
+    /// Remote lock requests.
+    pub remote_requests: u64,
+    /// Remote lock denials.
+    pub remote_denied: u64,
+    /// Messages handled.
+    pub messages: u64,
+    /// Software cache write-backs.
+    pub writebacks: u64,
+}
+
+impl OltpStats {
+    /// Difference between two aggregates.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &OltpStats) -> OltpStats {
+        OltpStats {
+            committed: self.committed - earlier.committed,
+            aborted: self.aborted - earlier.aborted,
+            retries: self.retries - earlier.retries,
+            remote_requests: self.remote_requests - earlier.remote_requests,
+            remote_denied: self.remote_denied - earlier.remote_denied,
+            messages: self.messages - earlier.messages,
+            writebacks: self.writebacks - earlier.writebacks,
+        }
+    }
+}
+
+/// Result of one benchmark window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkWindow {
+    /// Wall-clock duration of the window.
+    pub elapsed: Duration,
+    /// Counter deltas over the window.
+    pub stats: OltpStats,
+    /// Committed transactions per second.
+    pub throughput_tps: f64,
+}
+
+/// An externally submitted transaction.
+pub struct Job {
+    /// The transaction body.
+    pub proc: TxnProc,
+    /// Where to report the outcome (None for fire-and-forget).
+    pub reply: Option<Sender<TxnOutcome>>,
+}
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct OltpConfig {
+    /// Number of worker threads (= partitions = cores of the task-parallel
+    /// archipelago).
+    pub workers: usize,
+    /// Mailbox depth per worker.
+    pub mailbox_capacity: usize,
+    /// How many times an aborted transaction is retried before giving up.
+    pub max_retries: u32,
+    /// Client-side timeout for remote lock replies.
+    pub remote_timeout: Duration,
+    /// Seed for the per-worker workload RNGs.
+    pub seed: u64,
+}
+
+impl Default for OltpConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            mailbox_capacity: 1024,
+            max_retries: 32,
+            remote_timeout: Duration::from_millis(500),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl OltpConfig {
+    /// Config with a specific worker count and defaults elsewhere.
+    pub fn with_workers(workers: usize) -> Self {
+        Self { workers, ..Self::default() }
+    }
+}
+
+/// The running OLTP archipelago.
+pub struct OltpRuntime {
+    db: Arc<Database>,
+    config: OltpConfig,
+    job_senders: Vec<Sender<Job>>,
+    counters: Vec<Arc<WorkerCounters>>,
+    generating: Arc<AtomicBool>,
+    shutdown: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl OltpRuntime {
+    /// Starts `config.workers` worker threads over `db`.
+    ///
+    /// `indexes` supplies each worker's pre-built primary-key index (one per
+    /// partition, in partition order); missing entries start empty.
+    /// `generator` is the optional benchmark-mode workload.
+    ///
+    /// The database must have exactly as many partitions as workers.
+    pub fn start(
+        db: Arc<Database>,
+        config: OltpConfig,
+        partitioner: Arc<dyn Partitioner>,
+        mut indexes: Vec<PartitionIndex>,
+        generator: Option<Arc<dyn TxnGenerator>>,
+    ) -> Result<Self> {
+        if config.workers == 0 {
+            return Err(H2Error::Config("OLTP runtime needs at least one worker".into()));
+        }
+        if db.partition_count() != config.workers {
+            return Err(H2Error::Config(format!(
+                "database has {} partitions but runtime was asked for {} workers",
+                db.partition_count(),
+                config.workers
+            )));
+        }
+        indexes.resize_with(config.workers, PartitionIndex::new);
+
+        let (postboxes, mailboxes, _fabric_stats) = build_fabric::<OltpMsg>(config.workers, config.mailbox_capacity);
+        let generating = Arc::new(AtomicBool::new(false));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut job_senders = Vec::with_capacity(config.workers);
+        let mut counters = Vec::with_capacity(config.workers);
+        let mut handles = Vec::with_capacity(config.workers);
+
+        let mut mailboxes: Vec<Option<_>> = mailboxes.into_iter().map(Some).collect();
+        for (i, index) in indexes.into_iter().enumerate() {
+            let (job_tx, job_rx) = bounded::<Job>(256);
+            job_senders.push(job_tx);
+            let worker_counters = Arc::new(WorkerCounters::default());
+            counters.push(Arc::clone(&worker_counters));
+            let state = WorkerState {
+                id: i as u32,
+                db: Arc::clone(&db),
+                postbox: postboxes[i].clone(),
+                mailbox: mailboxes[i].take().expect("mailbox taken once"),
+                lock_table: crate::locktable::LockTable::new(),
+                index,
+                partitioner: Arc::clone(&partitioner),
+                counters: worker_counters,
+                remote_timeout: config.remote_timeout,
+            };
+            let worker = Worker {
+                state,
+                jobs: job_rx,
+                generator: generator.clone(),
+                generating: Arc::clone(&generating),
+                shutdown: Arc::clone(&shutdown),
+                max_retries: config.max_retries,
+                rng: SplitMixRng::new(config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9)),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("oltp-worker-{i}"))
+                .spawn(move || worker.run())
+                .map_err(|e| H2Error::Config(format!("failed to spawn worker: {e}")))?;
+            handles.push(handle);
+        }
+
+        Ok(Self { db, config, job_senders, counters, generating, shutdown, handles })
+    }
+
+    /// The database this runtime operates on.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.config.workers
+    }
+
+    /// Submits a transaction to a home worker and returns immediately; the
+    /// outcome arrives on the returned channel.
+    pub fn submit(&self, home: PartitionId, proc: TxnProc) -> Result<crossbeam_channel::Receiver<TxnOutcome>> {
+        let (tx, rx) = bounded(1);
+        let sender = self
+            .job_senders
+            .get(home.0 as usize)
+            .ok_or_else(|| H2Error::Config(format!("no worker for {home}")))?;
+        sender
+            .send(Job { proc, reply: Some(tx) })
+            .map_err(|_| H2Error::ChannelClosed(format!("worker {home} is gone")))?;
+        Ok(rx)
+    }
+
+    /// Submits a transaction and blocks until it commits or aborts.
+    pub fn execute(&self, home: PartitionId, proc: TxnProc) -> Result<()> {
+        let rx = self.submit(home, proc)?;
+        match rx.recv() {
+            Ok(TxnOutcome::Committed) => Ok(()),
+            Ok(TxnOutcome::Aborted(err)) => Err(err),
+            Err(_) => Err(H2Error::ChannelClosed("worker dropped the reply channel".into())),
+        }
+    }
+
+    /// Aggregated counters across all workers.
+    pub fn stats(&self) -> OltpStats {
+        let mut s = OltpStats::default();
+        for c in &self.counters {
+            s.committed += c.committed();
+            s.aborted += c.aborted();
+            s.retries += c.retries();
+            s.remote_requests += c.remote_requests();
+            s.remote_denied += c.remote_denied();
+            s.messages += c.messages();
+            s.writebacks += c.writebacks();
+        }
+        s
+    }
+
+    /// Per-worker committed counts (for scalability plots).
+    pub fn per_worker_committed(&self) -> Vec<u64> {
+        self.counters.iter().map(|c| c.committed()).collect()
+    }
+
+    /// Runs the benchmark-mode generator on every worker for `window` and
+    /// returns the counter deltas and throughput.
+    ///
+    /// # Errors
+    /// Returns an error if the runtime was started without a generator — the
+    /// workers would simply idle and report zero throughput.
+    pub fn run_for(&self, window: Duration) -> Result<BenchmarkWindow> {
+        let before = self.stats();
+        let start = Instant::now();
+        self.generating.store(true, Ordering::Release);
+        std::thread::sleep(window);
+        self.generating.store(false, Ordering::Release);
+        // Let in-flight transactions drain before sampling counters.
+        std::thread::sleep(Duration::from_millis(10));
+        let elapsed = start.elapsed();
+        let stats = self.stats().delta_since(&before);
+        if stats.committed == 0 && stats.aborted == 0 {
+            return Err(H2Error::Config(
+                "benchmark window produced no transactions; was a generator configured?".into(),
+            ));
+        }
+        Ok(BenchmarkWindow { elapsed, stats, throughput_tps: throughput(stats.committed, elapsed) })
+    }
+
+    /// Stops all workers and waits for them to exit.
+    pub fn shutdown(mut self) -> OltpStats {
+        self.generating.store(false, Ordering::Release);
+        self.shutdown.store(true, Ordering::Release);
+        // Dropping the job senders unblocks workers waiting on submissions.
+        self.job_senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for OltpRuntime {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.job_senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

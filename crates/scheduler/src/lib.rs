@@ -1,0 +1,16 @@
+//! The archipelago scheduler.
+//!
+//! "Archipelagos are resource containers defined by a set of processor cores
+//! and a target workload." The scheduler owns core–archipelago membership,
+//! supports on-the-fly migration of CPU cores between the task-parallel
+//! (OLTP) and data-parallel (OLAP) archipelagos, keeps utilisation
+//! statistics, and decides where an analytical query should run (CPU cores of
+//! the data-parallel archipelago or the GPU) from a simple locality- and
+//! size-aware cost heuristic — the role Figure 2 assigns to the scheduler
+//! box.
+
+pub mod archipelago;
+pub mod placement;
+
+pub use archipelago::{Archipelago, ArchipelagoKind, Scheduler};
+pub use placement::{place_olap_query, OlapTarget, PlacementHints};

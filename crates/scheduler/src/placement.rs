@@ -1,0 +1,110 @@
+//! OLAP placement: should a query run on the GPU or on the data-parallel
+//! archipelago's CPU cores?
+//!
+//! "The scheduler can combine dynamic run-time information, such as data
+//! locality, with static optimizer cost models to decide if a given
+//! analytical query should be executed on CPU or GPU cores in the
+//! data-parallel archipelago." The heuristic here uses the two dominant
+//! terms of that decision for scan-heavy queries: how many bytes have to
+//! cross the interconnect (scaled by whether they are already GPU-resident)
+//! versus how fast the CPU cores could stream the same bytes from memory.
+
+use h2tap_gpu_sim::GpuSpec;
+use serde::{Deserialize, Serialize};
+
+/// Where an analytical query should execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OlapTarget {
+    /// Execute on the GPU of the data-parallel archipelago.
+    Gpu,
+    /// Execute on the CPU cores of the data-parallel archipelago.
+    Cpu,
+}
+
+/// Inputs to the placement decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacementHints {
+    /// Bytes the query needs to read.
+    pub bytes_to_scan: u64,
+    /// Fraction of those bytes already resident in GPU memory, in [0, 1].
+    pub gpu_resident_fraction: f64,
+    /// CPU cores currently available in the data-parallel archipelago.
+    pub available_cpu_cores: u32,
+    /// Sustained per-core CPU memory bandwidth in GB/s.
+    pub cpu_core_bandwidth_gbps: f64,
+}
+
+impl Default for PlacementHints {
+    fn default() -> Self {
+        Self { bytes_to_scan: 0, gpu_resident_fraction: 0.0, available_cpu_cores: 0, cpu_core_bandwidth_gbps: 3.0 }
+    }
+}
+
+/// Estimates GPU and CPU scan times and picks the faster target. Ties (and
+/// the degenerate no-CPU case) go to the GPU, which is the Caldera
+/// prototype's static choice.
+pub fn place_olap_query(gpu: &GpuSpec, hints: &PlacementHints) -> OlapTarget {
+    if hints.available_cpu_cores == 0 || hints.bytes_to_scan == 0 {
+        return OlapTarget::Gpu;
+    }
+    let resident = hints.gpu_resident_fraction.clamp(0.0, 1.0);
+    let bytes = hints.bytes_to_scan as f64;
+    // GPU: resident bytes stream at device bandwidth, the rest crosses the
+    // interconnect.
+    let gpu_time = resident * bytes / gpu.mem_bytes_per_sec()
+        + (1.0 - resident) * bytes / (gpu.interconnect.kind.bandwidth_gbps() * 1e9);
+    // CPU: all bytes stream from host memory across the available cores.
+    let cpu_bw = f64::from(hints.available_cpu_cores) * hints.cpu_core_bandwidth_gbps * 1e9;
+    let cpu_time = bytes / cpu_bw.max(1.0);
+    if cpu_time < gpu_time {
+        OlapTarget::Cpu
+    } else {
+        OlapTarget::Gpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_wins_when_data_is_resident() {
+        let hints = PlacementHints {
+            bytes_to_scan: 1 << 30,
+            gpu_resident_fraction: 1.0,
+            available_cpu_cores: 24,
+            cpu_core_bandwidth_gbps: 3.0,
+        };
+        assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &hints), OlapTarget::Gpu);
+    }
+
+    #[test]
+    fn many_idle_cpu_cores_win_for_host_resident_data() {
+        // 24 cores x 3 GB/s = 72 GB/s of CPU bandwidth beats a 16 GB/s PCIe
+        // link when nothing is resident on the GPU.
+        let hints = PlacementHints {
+            bytes_to_scan: 1 << 30,
+            gpu_resident_fraction: 0.0,
+            available_cpu_cores: 24,
+            cpu_core_bandwidth_gbps: 3.0,
+        };
+        assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &hints), OlapTarget::Cpu);
+    }
+
+    #[test]
+    fn few_cpu_cores_lose_to_the_gpu() {
+        let hints = PlacementHints {
+            bytes_to_scan: 1 << 30,
+            gpu_resident_fraction: 0.0,
+            available_cpu_cores: 2,
+            cpu_core_bandwidth_gbps: 3.0,
+        };
+        assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &hints), OlapTarget::Gpu);
+    }
+
+    #[test]
+    fn no_cpu_cores_defaults_to_gpu() {
+        let hints = PlacementHints { bytes_to_scan: 1 << 20, ..PlacementHints::default() };
+        assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &hints), OlapTarget::Gpu);
+    }
+}

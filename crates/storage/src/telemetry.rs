@@ -1,0 +1,141 @@
+//! Copy-on-write and garbage-collection telemetry.
+//!
+//! The paper's Figures 5-7 are entirely about the cost of the shadow-copy
+//! mechanism: how much memory bandwidth the copy-on-write traffic consumes
+//! and how it recedes as a snapshot "converges". These counters expose that
+//! traffic so experiments can report it alongside throughput.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared counters describing shadow-copy activity.
+#[derive(Debug, Default)]
+pub struct CowTelemetry {
+    pages_copied: AtomicU64,
+    bytes_copied: AtomicU64,
+    in_place_updates: AtomicU64,
+    pages_reclaimed: AtomicU64,
+    bytes_reclaimed: AtomicU64,
+}
+
+impl CowTelemetry {
+    /// Creates a fresh telemetry handle.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Records one page shadow copy of `bytes` bytes.
+    pub fn record_copy(&self, bytes: u64) {
+        self.pages_copied.fetch_add(1, Ordering::Relaxed);
+        self.bytes_copied.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records an update that did not need a shadow copy.
+    pub fn record_in_place(&self) {
+        self.in_place_updates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records garbage collection of superseded pages.
+    pub fn record_reclaim(&self, pages: u64, bytes: u64) {
+        self.pages_reclaimed.fetch_add(pages, Ordering::Relaxed);
+        self.bytes_reclaimed.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Pages shadow-copied so far.
+    pub fn pages_copied(&self) -> u64 {
+        self.pages_copied.load(Ordering::Relaxed)
+    }
+
+    /// Bytes shadow-copied so far.
+    pub fn bytes_copied(&self) -> u64 {
+        self.bytes_copied.load(Ordering::Relaxed)
+    }
+
+    /// Updates that hit an already-private page.
+    pub fn in_place_updates(&self) -> u64 {
+        self.in_place_updates.load(Ordering::Relaxed)
+    }
+
+    /// Pages reclaimed by snapshot garbage collection.
+    pub fn pages_reclaimed(&self) -> u64 {
+        self.pages_reclaimed.load(Ordering::Relaxed)
+    }
+
+    /// Bytes reclaimed by snapshot garbage collection.
+    pub fn bytes_reclaimed(&self) -> u64 {
+        self.bytes_reclaimed.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all counters, for experiment output.
+    pub fn snapshot(&self) -> CowStats {
+        CowStats {
+            pages_copied: self.pages_copied(),
+            bytes_copied: self.bytes_copied(),
+            in_place_updates: self.in_place_updates(),
+            pages_reclaimed: self.pages_reclaimed(),
+            bytes_reclaimed: self.bytes_reclaimed(),
+        }
+    }
+}
+
+/// Point-in-time copy of the [`CowTelemetry`] counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CowStats {
+    /// Pages shadow-copied.
+    pub pages_copied: u64,
+    /// Bytes shadow-copied.
+    pub bytes_copied: u64,
+    /// Updates applied in place.
+    pub in_place_updates: u64,
+    /// Pages reclaimed by GC.
+    pub pages_reclaimed: u64,
+    /// Bytes reclaimed by GC.
+    pub bytes_reclaimed: u64,
+}
+
+impl CowStats {
+    /// Difference between two counter snapshots (self - earlier).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &CowStats) -> CowStats {
+        CowStats {
+            pages_copied: self.pages_copied - earlier.pages_copied,
+            bytes_copied: self.bytes_copied - earlier.bytes_copied,
+            in_place_updates: self.in_place_updates - earlier.in_place_updates,
+            pages_reclaimed: self.pages_reclaimed - earlier.pages_reclaimed,
+            bytes_reclaimed: self.bytes_reclaimed - earlier.bytes_reclaimed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let t = CowTelemetry::new();
+        t.record_copy(4096);
+        t.record_copy(4096);
+        t.record_in_place();
+        t.record_reclaim(3, 12288);
+        assert_eq!(t.pages_copied(), 2);
+        assert_eq!(t.bytes_copied(), 8192);
+        assert_eq!(t.in_place_updates(), 1);
+        assert_eq!(t.pages_reclaimed(), 3);
+        assert_eq!(t.bytes_reclaimed(), 12288);
+    }
+
+    #[test]
+    fn stats_delta() {
+        let t = CowTelemetry::new();
+        t.record_copy(100);
+        let before = t.snapshot();
+        t.record_copy(50);
+        t.record_in_place();
+        let after = t.snapshot();
+        let d = after.delta_since(&before);
+        assert_eq!(d.pages_copied, 1);
+        assert_eq!(d.bytes_copied, 50);
+        assert_eq!(d.in_place_updates, 1);
+    }
+}

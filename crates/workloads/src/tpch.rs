@@ -1,0 +1,184 @@
+//! TPC-H `lineitem` generator and query 6.
+//!
+//! The paper's HTAP experiments (Figures 4-7) run over a TPC-H SF-300
+//! `lineitem` table, use Q6 as the analytical query, and an update-only
+//! YCSB-like workload over the same table as the transactional side. The
+//! generator here produces a `lineitem`-shaped table at any scale factor with
+//! the value distributions Q6's predicates rely on (uniform quantity 1-50,
+//! discount 0-0.10, dates over seven years).
+
+use caldera::CalderaBuilder;
+use h2tap_common::rng::SplitMixRng;
+use h2tap_common::{AggExpr, AttrType, Attribute, Predicate, Result, ScanAggQuery, Schema, TableId, Value};
+use h2tap_storage::Layout;
+
+/// Rows per TPC-H scale factor unit (the spec's 6,000,000 lineitems per SF).
+pub const ROWS_PER_SCALE_FACTOR: u64 = 6_000_000;
+
+/// Attribute positions within [`lineitem_schema`]. Kept as constants so query
+/// builders and experiments cannot drift from the schema.
+pub mod columns {
+    /// l_orderkey
+    pub const ORDERKEY: usize = 0;
+    /// l_partkey
+    pub const PARTKEY: usize = 1;
+    /// l_suppkey
+    pub const SUPPKEY: usize = 2;
+    /// l_linenumber
+    pub const LINENUMBER: usize = 3;
+    /// l_quantity
+    pub const QUANTITY: usize = 4;
+    /// l_extendedprice
+    pub const EXTENDEDPRICE: usize = 5;
+    /// l_discount
+    pub const DISCOUNT: usize = 6;
+    /// l_tax
+    pub const TAX: usize = 7;
+    /// l_shipdate (days since 1992-01-01)
+    pub const SHIPDATE: usize = 8;
+    /// l_commitdate
+    pub const COMMITDATE: usize = 9;
+    /// l_receiptdate
+    pub const RECEIPTDATE: usize = 10;
+}
+
+/// The subset of `lineitem` Caldera's evaluation needs (11 fixed-width
+/// attributes; the three string attributes of the full schema carry no
+/// predicate or aggregate in any experiment and are omitted).
+pub fn lineitem_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::new("l_orderkey", AttrType::Int64),
+        Attribute::new("l_partkey", AttrType::Int64),
+        Attribute::new("l_suppkey", AttrType::Int64),
+        Attribute::new("l_linenumber", AttrType::Int32),
+        Attribute::new("l_quantity", AttrType::Float64),
+        Attribute::new("l_extendedprice", AttrType::Float64),
+        Attribute::new("l_discount", AttrType::Float64),
+        Attribute::new("l_tax", AttrType::Float64),
+        Attribute::new("l_shipdate", AttrType::Date),
+        Attribute::new("l_commitdate", AttrType::Date),
+        Attribute::new("l_receiptdate", AttrType::Date),
+    ])
+    .expect("lineitem schema is valid")
+}
+
+/// Generates one lineitem row for global row number `key`.
+pub fn lineitem_row(key: u64, rng: &mut SplitMixRng) -> Vec<Value> {
+    let quantity = 1.0 + rng.next_below(50) as f64;
+    let extendedprice = 900.0 + rng.next_f64() * 104_000.0;
+    let discount = rng.next_below(11) as f64 / 100.0;
+    let tax = rng.next_below(9) as f64 / 100.0;
+    let shipdate = rng.next_below(2_526) as i32; // ~7 years of days
+    vec![
+        Value::Int64((key / 4) as i64),
+        Value::Int64(rng.next_below(200_000) as i64),
+        Value::Int64(rng.next_below(10_000) as i64),
+        Value::Int32((key % 7) as i32 + 1),
+        Value::Float64(quantity),
+        Value::Float64(extendedprice),
+        Value::Float64(discount),
+        Value::Float64(tax),
+        Value::Date(shipdate),
+        Value::Date(shipdate + 30),
+        Value::Date(shipdate + 45),
+    ]
+}
+
+/// TPC-H Q6 over [`lineitem_schema`]:
+/// `SELECT SUM(l_extendedprice * l_discount) FROM lineitem WHERE l_shipdate
+/// in [date, date+1y) AND l_discount in [0.05, 0.07] AND l_quantity < 24`.
+pub fn q6() -> ScanAggQuery {
+    ScanAggQuery {
+        predicates: vec![
+            Predicate::between(columns::SHIPDATE, 730.0, 1094.0),
+            Predicate::between(columns::DISCOUNT, 0.05, 0.07),
+            Predicate::between(columns::QUANTITY, 0.0, 23.0),
+        ],
+        aggregate: AggExpr::SumProduct(columns::EXTENDEDPRICE, columns::DISCOUNT),
+    }
+}
+
+/// Loads a lineitem table with `rows` records into a Caldera builder,
+/// spreading rows round-robin across partitions (key = global row number).
+/// Returns the table id.
+pub fn load_lineitem(builder: &mut CalderaBuilder, layout: Layout, rows: u64, seed: u64) -> Result<TableId> {
+    let table = builder.create_table("lineitem", lineitem_schema(), layout)?;
+    let mut rng = SplitMixRng::new(seed);
+    for key in 0..rows {
+        let row = lineitem_row(key, &mut rng);
+        builder.load(table, key as i64, &row)?;
+    }
+    Ok(table)
+}
+
+/// Reference (scalar) evaluation of Q6 over freshly generated rows — used by
+/// tests to check that every engine agrees with a straightforward
+/// implementation.
+pub fn q6_reference(rows: u64, seed: u64) -> f64 {
+    let mut rng = SplitMixRng::new(seed);
+    let mut sum = 0.0;
+    for key in 0..rows {
+        let row = lineitem_row(key, &mut rng);
+        let quantity = row[columns::QUANTITY].as_f64().unwrap();
+        let price = row[columns::EXTENDEDPRICE].as_f64().unwrap();
+        let discount = row[columns::DISCOUNT].as_f64().unwrap();
+        let shipdate = row[columns::SHIPDATE].as_f64().unwrap();
+        if (730.0..=1094.0).contains(&shipdate) && (0.05..=0.07).contains(&discount) && quantity < 24.0 {
+            sum += price * discount;
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_and_column_constants_agree() {
+        let s = lineitem_schema();
+        assert_eq!(s.arity(), 11);
+        assert_eq!(s.index_of("l_quantity"), Some(columns::QUANTITY));
+        assert_eq!(s.index_of("l_shipdate"), Some(columns::SHIPDATE));
+        assert_eq!(s.index_of("l_extendedprice"), Some(columns::EXTENDEDPRICE));
+    }
+
+    #[test]
+    fn rows_have_q6_friendly_distributions() {
+        let mut rng = SplitMixRng::new(1);
+        let mut qualifying = 0u64;
+        let n = 50_000;
+        for key in 0..n {
+            let row = lineitem_row(key, &mut rng);
+            let quantity = row[columns::QUANTITY].as_f64().unwrap();
+            assert!((1.0..=50.0).contains(&quantity));
+            let discount = row[columns::DISCOUNT].as_f64().unwrap();
+            assert!((0.0..=0.10).contains(&discount));
+            let shipdate = row[columns::SHIPDATE].as_f64().unwrap();
+            if (730.0..=1094.0).contains(&shipdate) && (0.05..=0.07).contains(&discount) && quantity < 24.0 {
+                qualifying += 1;
+            }
+        }
+        // Q6 selects roughly 2% of lineitem.
+        let fraction = qualifying as f64 / n as f64;
+        assert!((0.005..0.05).contains(&fraction), "Q6 selectivity {fraction}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = SplitMixRng::new(9);
+        let mut b = SplitMixRng::new(9);
+        for key in 0..100 {
+            assert_eq!(lineitem_row(key, &mut a), lineitem_row(key, &mut b));
+        }
+        assert_eq!(q6_reference(1000, 5), q6_reference(1000, 5));
+    }
+
+    #[test]
+    fn q6_touches_four_columns() {
+        assert_eq!(
+            q6().columns_accessed(),
+            vec![columns::QUANTITY, columns::EXTENDEDPRICE, columns::DISCOUNT, columns::SHIPDATE]
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! The update-only YCSB-like OLTP workload of Figures 5-7.
+//!
+//! "Each transaction performs ten read-modify-update operations on records
+//! randomly chosen from the lineitem table. Thus, the OLTP workload is
+//! similar to an update-only YCSB workload with a theta value (zipfian
+//! distribution) of zero. ... We make the target key range used by the OLTP
+//! workload a parameter so that we test sensitivity to skewed OLTP working
+//! set sizes."
+//!
+//! Keys are chosen from the hosting worker's own partition (Caldera's
+//! partition-per-worker design makes the update path local; the multisite
+//! sensitivity is measured separately by Figure 9's microbenchmark) and are
+//! restricted to the first `working_set_pct` percent of the partition.
+
+use h2tap_common::rng::{SplitMixRng, Zipf};
+use h2tap_common::{PartitionId, TableId, Value};
+use h2tap_oltp::{TxnGenerator, TxnProc};
+use std::sync::Arc;
+
+/// Configuration of the YCSB-like read-modify-update workload.
+#[derive(Debug, Clone)]
+pub struct YcsbConfig {
+    /// Table the updates target (the lineitem table in the paper).
+    pub table: TableId,
+    /// Total rows in the table.
+    pub total_rows: u64,
+    /// Number of partitions the table is spread over (round-robin by key).
+    pub partitions: u64,
+    /// Read-modify-update operations per transaction.
+    pub ops_per_txn: usize,
+    /// Percentage (1-100) of the partition's rows the workload touches.
+    pub working_set_pct: u32,
+    /// Zipfian skew within the working set (0 = uniform, as in the paper).
+    pub theta: f64,
+    /// Which attribute the transaction increments.
+    pub update_column: usize,
+}
+
+impl YcsbConfig {
+    /// The paper's configuration: ten uniform updates per transaction.
+    pub fn paper_default(table: TableId, total_rows: u64, partitions: u64) -> Self {
+        Self {
+            table,
+            total_rows,
+            partitions,
+            ops_per_txn: 10,
+            working_set_pct: 100,
+            theta: 0.0,
+            update_column: crate::tpch::columns::QUANTITY,
+        }
+    }
+
+    /// Rows of one partition that are eligible under the working-set knob.
+    pub fn working_rows_per_partition(&self) -> u64 {
+        let per_partition = (self.total_rows / self.partitions).max(1);
+        (per_partition * u64::from(self.working_set_pct.clamp(1, 100)) / 100).max(1)
+    }
+}
+
+/// Generator producing the read-modify-update transactions.
+pub struct YcsbGenerator {
+    config: YcsbConfig,
+    zipf: Zipf,
+}
+
+impl YcsbGenerator {
+    /// Creates a generator for `config`.
+    pub fn new(config: YcsbConfig) -> Self {
+        let zipf = Zipf::new(config.working_rows_per_partition(), config.theta);
+        Self { config, zipf }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &YcsbConfig {
+        &self.config
+    }
+
+    /// The global key of the `local_row`-th eligible row of `home`.
+    fn key_for(&self, home: PartitionId, local_row: u64) -> i64 {
+        (local_row * self.config.partitions + u64::from(home.0)) as i64
+    }
+}
+
+impl TxnGenerator for YcsbGenerator {
+    fn next_txn(&self, home: PartitionId, _seq: u64, rng: &mut SplitMixRng) -> TxnProc {
+        let table = self.config.table;
+        let update_column = self.config.update_column;
+        let keys: Vec<i64> =
+            (0..self.config.ops_per_txn).map(|_| self.key_for(home, self.zipf.sample(rng))).collect();
+        Arc::new(move |ctx| {
+            for &key in &keys {
+                let mut record = ctx.read_for_update(table, key)?;
+                let current = record[update_column].as_f64().unwrap_or(0.0);
+                record[update_column] = Value::Float64(current + 1.0);
+                ctx.update(table, key, record)?;
+            }
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(pct: u32) -> YcsbConfig {
+        YcsbConfig {
+            working_set_pct: pct,
+            ..YcsbConfig::paper_default(TableId(0), 1000, 4)
+        }
+    }
+
+    #[test]
+    fn working_set_scales_with_percentage() {
+        assert_eq!(config(100).working_rows_per_partition(), 250);
+        assert_eq!(config(16).working_rows_per_partition(), 40);
+        assert_eq!(config(1).working_rows_per_partition(), 2);
+    }
+
+    #[test]
+    fn generated_keys_stay_in_the_home_partition_and_working_set() {
+        let generator = YcsbGenerator::new(config(10));
+        let mut rng = SplitMixRng::new(3);
+        for seq in 0..50 {
+            // Reach into key_for via the same math the generator uses.
+            let _ = generator.next_txn(PartitionId(2), seq, &mut rng);
+            let key = generator.key_for(PartitionId(2), generator.zipf.sample(&mut rng));
+            assert_eq!(key as u64 % 4, 2, "key {key} not in partition 2");
+            assert!((key as u64 / 4) < 25, "key {key} outside 10% working set");
+        }
+    }
+
+    #[test]
+    fn paper_default_matches_description() {
+        let c = YcsbConfig::paper_default(TableId(1), 10_000, 8);
+        assert_eq!(c.ops_per_txn, 10);
+        assert_eq!(c.theta, 0.0);
+        assert_eq!(c.working_set_pct, 100);
+    }
+}

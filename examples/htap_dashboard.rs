@@ -1,0 +1,63 @@
+//! A realistic HTAP scenario: an order-processing workload updates the
+//! lineitem table on the CPU archipelago while an analyst dashboard refreshes
+//! TPC-H Q6 on the GPU archipelago, demonstrating the freshness/performance
+//! trade-off of snapshot sharing (Section 5.1 of the paper).
+//!
+//! ```text
+//! cargo run --release --example htap_dashboard
+//! ```
+
+use caldera::{Caldera, CalderaConfig, SnapshotPolicy};
+use caldera_repro as _;
+use h2tap_oltp::OltpConfig;
+use h2tap_storage::Layout;
+use h2tap_workloads::tpch::{self, q6};
+use h2tap_workloads::ycsb::{YcsbConfig, YcsbGenerator};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn run_scenario(queries_per_snapshot: u32) {
+    let workers = 4;
+    let rows = 120_000u64;
+    let mut config = CalderaConfig::with_workers(workers);
+    config.oltp = OltpConfig::with_workers(workers);
+    config.snapshot_policy = SnapshotPolicy::EveryN { queries: queries_per_snapshot };
+    let mut builder = Caldera::builder(config);
+    let lineitem = tpch::load_lineitem(&mut builder, Layout::PAPER_PAX, rows, 2024).unwrap();
+    builder.set_generator(Arc::new(YcsbGenerator::new(YcsbConfig {
+        working_set_pct: 25,
+        ..YcsbConfig::paper_default(lineitem, rows, workers as u64)
+    })));
+    let caldera = builder.start().unwrap();
+
+    // The "dashboard": ten Q6 refreshes while order processing runs.
+    let query = q6();
+    let caldera_ref = &caldera;
+    let (window, olap_times) = std::thread::scope(|scope| {
+        let oltp = scope.spawn(move || caldera_ref.run_oltp_window(Duration::from_millis(800)));
+        let mut times = Vec::new();
+        for _ in 0..10 {
+            times.push(caldera_ref.run_olap(lineitem, &query).unwrap().time.as_millis_f64());
+        }
+        (oltp.join().unwrap().unwrap(), times)
+    });
+    let stats = caldera.shutdown();
+
+    let avg: f64 = olap_times.iter().sum::<f64>() / olap_times.len() as f64;
+    println!(
+        "snapshot shared by {queries_per_snapshot:>2} queries | OLTP {:>8.1} KTps | Q6 avg {:>7.2} ms | \
+         {} snapshots, {} pages shadow-copied",
+        window.throughput_tps / 1e3,
+        avg,
+        stats.snapshots_taken,
+        stats.cow.pages_copied,
+    );
+}
+
+fn main() {
+    println!("Order processing (YCSB-style updates) + Q6 dashboard on shared data\n");
+    // Maximum freshness: every dashboard refresh takes a new snapshot.
+    run_scenario(1);
+    // Trade freshness for throughput: all ten refreshes share one snapshot.
+    run_scenario(10);
+}
