@@ -4,8 +4,8 @@
 //! stores running TPC-H Q6 parallelised across all 24 cores: MonetDB (open
 //! source, 1.27x faster than the commercial engine thanks to secondary
 //! indexes) and an anonymised commercial column store "DBMS-C". Neither is
-//! available here, so this module implements two scan engines with the same
-//! architectural distinction:
+//! available here, so this module exposes two scan-engine configurations with
+//! the same architectural distinction:
 //!
 //! * [`CpuEngineKind::MonetLike`] builds per-chunk zonemaps (min/max
 //!   "secondary indexes") on predicate columns and skips chunks that cannot
@@ -13,14 +13,17 @@
 //!   vectorised execution).
 //! * [`CpuEngineKind::DbmsCLike`] always scans every chunk.
 //!
-//! Both compute exact answers over the real data; reported time combines a
-//! measured wall-clock component with a bandwidth-bound analytical model so
-//! that cross-engine comparisons (CPU vs the simulated GPU) use the same
-//! simulated-hardware frame of reference.
+//! The scan engine itself lives in [`h2tap_olap::cpu`] — it was promoted out
+//! of this module when it became Caldera's CPU execution site — so the
+//! Figure-4 baselines and Caldera's own CPU dispatch exercise exactly the
+//! same code path. This module is a thin wrapper that keeps the paper's
+//! engine names and the baseline-facing API.
 
-use h2tap_common::{AggExpr, Result, ScanAggQuery, SimDuration};
+use h2tap_common::{Result, ScanAggQuery};
+use h2tap_olap::cpu::CpuScanProfile;
 use h2tap_storage::SnapshotTable;
-use std::time::Instant;
+
+pub use h2tap_olap::cpu::{CpuOlapResult, CpuSpec};
 
 /// The two CPU baseline engines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,78 +43,33 @@ impl CpuEngineKind {
         }
     }
 
-    /// Per-tuple processing cost in nanoseconds, calibrated against the
-    /// paper's Figure 4: MonetDB answers Q6 over SF-300 (1.8 B rows) in about
-    /// 7 s on 24 cores, i.e. roughly 93 ns of aggregate per-tuple work, and
-    /// DBMS-C is 1.27x slower. Column-at-a-time execution materialises
-    /// intermediates per operator, which is why the constant is far above a
-    /// single fused-loop pass.
-    fn per_tuple_ns(self) -> f64 {
+    /// The shared-engine profile this baseline runs with.
+    pub fn profile(self) -> CpuScanProfile {
         match self {
-            CpuEngineKind::MonetLike => 93.0,
-            CpuEngineKind::DbmsCLike => 118.0,
+            CpuEngineKind::MonetLike => CpuScanProfile::vectorized(),
+            CpuEngineKind::DbmsCLike => CpuScanProfile::materializing(),
         }
     }
-
-    /// Whether the engine consults zonemaps before scanning a chunk.
-    fn uses_zonemaps(self) -> bool {
-        matches!(self, CpuEngineKind::MonetLike)
-    }
 }
 
-/// The CPU socket configuration of the paper's evaluation server: two
-/// 12-core Xeon E5-2650L v3 with about 2 x 34 GB/s of sustained memory
-/// bandwidth.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct CpuSpec {
-    /// Cores used for the scan.
-    pub cores: u32,
-    /// Sustained aggregate memory bandwidth in GB/s.
-    pub mem_bandwidth_gbps: f64,
-}
-
-impl Default for CpuSpec {
-    fn default() -> Self {
-        Self { cores: 24, mem_bandwidth_gbps: 68.0 }
-    }
-}
-
-/// Result of running a query on a CPU baseline.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CpuOlapResult {
-    /// The aggregate value.
-    pub value: f64,
-    /// Number of qualifying records.
-    pub qualifying_rows: u64,
-    /// Records actually scanned (after zonemap skipping).
-    pub rows_scanned: u64,
-    /// Chunks skipped thanks to zonemaps.
-    pub chunks_skipped: u64,
-    /// Modelled execution time on the paper's 24-core server.
-    pub sim_time: SimDuration,
-    /// Wall-clock time of the real computation in this process.
-    pub wall_time: std::time::Duration,
-}
-
-/// A CPU columnar scan engine.
-#[derive(Debug, Clone, Copy)]
+/// A CPU columnar scan baseline: [`CpuEngineKind`] branding over the shared
+/// [`h2tap_olap::CpuOlapEngine`].
+#[derive(Debug, Clone)]
 pub struct CpuOlapEngine {
     kind: CpuEngineKind,
-    spec: CpuSpec,
-    /// Rows per scan chunk (zonemap granularity).
-    chunk_rows: usize,
+    inner: h2tap_olap::CpuOlapEngine,
 }
 
 impl CpuOlapEngine {
     /// Creates an engine of the given kind on the default server spec.
     pub fn new(kind: CpuEngineKind) -> Self {
-        Self { kind, spec: CpuSpec::default(), chunk_rows: 64 * 1024 }
+        Self { kind, inner: h2tap_olap::CpuOlapEngine::new(kind.profile()) }
     }
 
     /// Overrides the hardware spec (used by ablation benches).
     #[must_use]
     pub fn with_spec(mut self, spec: CpuSpec) -> Self {
-        self.spec = spec;
+        self.inner = self.inner.with_spec(spec);
         self
     }
 
@@ -123,137 +81,14 @@ impl CpuOlapEngine {
     /// Executes `query` over a frozen table, returning the exact result and
     /// modelled/measured costs.
     pub fn execute(&self, table: &SnapshotTable, query: &ScanAggQuery) -> Result<CpuOlapResult> {
-        let started = Instant::now();
-        let cols = query.columns_accessed();
-        let attr_types: Vec<_> = cols
-            .iter()
-            .map(|&c| table.schema.attr(c).map(|a| a.ty))
-            .collect::<Result<Vec<_>>>()?;
-
-        // Materialise the accessed columns chunk by chunk so zonemaps have a
-        // real structure to work against.
-        let mut value = 0.0f64;
-        let mut qualifying = 0u64;
-        let mut rows_scanned = 0u64;
-        let mut chunks_skipped = 0u64;
-        let total_rows = table.row_count();
-
-        // Column positions within the materialised row buffer.
-        let pos_of = |col: usize| cols.iter().position(|&c| c == col).expect("accessed column");
-
-        let mut chunk: Vec<Vec<f64>> = vec![Vec::with_capacity(self.chunk_rows); cols.len()];
-        let flush = |chunk: &mut Vec<Vec<f64>>,
-                         value: &mut f64,
-                         qualifying: &mut u64,
-                         rows_scanned: &mut u64,
-                         chunks_skipped: &mut u64| {
-            let rows = chunk[0].len();
-            if rows == 0 {
-                return;
-            }
-            // Zonemap check: can any row in this chunk qualify?
-            if self.kind.uses_zonemaps() {
-                let mut possible = true;
-                for pred in &query.predicates {
-                    let col = &chunk[pos_of(pred.column)];
-                    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-                    for v in col {
-                        lo = lo.min(*v);
-                        hi = hi.max(*v);
-                    }
-                    if hi < pred.lo || lo > pred.hi {
-                        possible = false;
-                        break;
-                    }
-                }
-                if !possible {
-                    *chunks_skipped += 1;
-                    for c in chunk.iter_mut() {
-                        c.clear();
-                    }
-                    return;
-                }
-            }
-            *rows_scanned += rows as u64;
-            for row in 0..rows {
-                let mut ok = true;
-                for pred in &query.predicates {
-                    if !pred.matches(chunk[pos_of(pred.column)][row]) {
-                        ok = false;
-                        break;
-                    }
-                }
-                if !ok {
-                    continue;
-                }
-                *qualifying += 1;
-                match &query.aggregate {
-                    AggExpr::SumProduct(a, b) => {
-                        *value += chunk[pos_of(*a)][row] * chunk[pos_of(*b)][row];
-                    }
-                    AggExpr::SumColumns(sum_cols) => {
-                        for c in sum_cols {
-                            *value += chunk[pos_of(*c)][row];
-                        }
-                    }
-                    AggExpr::Count => *value += 1.0,
-                }
-            }
-            for c in chunk.iter_mut() {
-                c.clear();
-            }
-        };
-
-        let mut buffered = 0usize;
-        let mut row_buf = vec![0u64; cols.len()];
-        table.for_each_row(&cols, |cells| {
-            row_buf.copy_from_slice(cells);
-            for (i, cell) in row_buf.iter().enumerate() {
-                let v = match attr_types[i] {
-                    h2tap_common::AttrType::Float64 => f64::from_bits(*cell),
-                    h2tap_common::AttrType::Int32 | h2tap_common::AttrType::Date => (*cell as u32 as i32) as f64,
-                    _ => *cell as i64 as f64,
-                };
-                chunk[i].push(v);
-            }
-            buffered += 1;
-            if buffered == self.chunk_rows {
-                flush(&mut chunk, &mut value, &mut qualifying, &mut rows_scanned, &mut chunks_skipped);
-                buffered = 0;
-            }
-        });
-        flush(&mut chunk, &mut value, &mut qualifying, &mut rows_scanned, &mut chunks_skipped);
-
-        // Analytical time model: the scan is memory-bandwidth bound; zonemap
-        // skipping reduces the bytes moved (predicate columns of skipped
-        // chunks are still summarised by the index, charged at 1% of their
-        // size), and per-tuple work is spread over all cores.
-        let accessed_width: u64 = cols
-            .iter()
-            .map(|&c| table.schema.attr(c).map(|a| a.ty.width() as u64).unwrap_or(8))
-            .sum();
-        let scanned_bytes = rows_scanned * accessed_width;
-        let skipped_bytes = (total_rows - rows_scanned) * accessed_width;
-        let bytes_moved = scanned_bytes + skipped_bytes / 100;
-        let bandwidth_time = bytes_moved as f64 / (self.spec.mem_bandwidth_gbps * 1e9);
-        let cpu_time = rows_scanned as f64 * self.kind.per_tuple_ns() * 1e-9 / f64::from(self.spec.cores.max(1));
-        let sim_time = SimDuration::from_secs_f64(bandwidth_time.max(cpu_time) + bandwidth_time.min(cpu_time) * 0.25);
-
-        Ok(CpuOlapResult {
-            value,
-            qualifying_rows: qualifying,
-            rows_scanned,
-            chunks_skipped,
-            sim_time,
-            wall_time: started.elapsed(),
-        })
+        self.inner.execute_scan(table, query)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use h2tap_common::{AttrType, PartitionId, Predicate, Schema, Value};
+    use h2tap_common::{AggExpr, AttrType, PartitionId, Predicate, Schema, Value};
     use h2tap_storage::{Database, Layout};
 
     /// Builds a 2-column table: col0 = 0..n (sorted), col1 = col0 * 2.
@@ -271,10 +106,8 @@ mod tests {
     #[test]
     fn both_engines_compute_the_same_exact_answer() {
         let t = table(10_000);
-        let query = ScanAggQuery {
-            predicates: vec![Predicate::between(0, 0.0, 999.0)],
-            aggregate: AggExpr::SumProduct(0, 1),
-        };
+        let query =
+            ScanAggQuery { predicates: vec![Predicate::between(0, 0.0, 999.0)], aggregate: AggExpr::SumProduct(0, 1) };
         let monet = CpuOlapEngine::new(CpuEngineKind::MonetLike).execute(&t, &query).unwrap();
         let dbmsc = CpuOlapEngine::new(CpuEngineKind::DbmsCLike).execute(&t, &query).unwrap();
         let expected: f64 = (0..1000).map(|i| (i * i * 2) as f64).sum();
@@ -287,10 +120,7 @@ mod tests {
     fn monet_like_skips_chunks_on_clustered_predicates() {
         // col0 is inserted in sorted order, so zonemaps can skip chunks.
         let t = table(300_000);
-        let query = ScanAggQuery {
-            predicates: vec![Predicate::between(0, 0.0, 9_999.0)],
-            aggregate: AggExpr::Count,
-        };
+        let query = ScanAggQuery { predicates: vec![Predicate::between(0, 0.0, 9_999.0)], aggregate: AggExpr::Count };
         let monet = CpuOlapEngine::new(CpuEngineKind::MonetLike).execute(&t, &query).unwrap();
         let dbmsc = CpuOlapEngine::new(CpuEngineKind::DbmsCLike).execute(&t, &query).unwrap();
         assert_eq!(monet.value, 10_000.0);
@@ -303,29 +133,31 @@ mod tests {
     #[test]
     fn count_aggregate_counts_qualifying_rows() {
         let t = table(1000);
-        let query = ScanAggQuery {
-            predicates: vec![Predicate::between(1, 0.0, 10.0)],
-            aggregate: AggExpr::Count,
-        };
+        let query = ScanAggQuery { predicates: vec![Predicate::between(1, 0.0, 10.0)], aggregate: AggExpr::Count };
         let r = CpuOlapEngine::new(CpuEngineKind::DbmsCLike).execute(&t, &query).unwrap();
         assert_eq!(r.value, 6.0); // col1 in {0,2,4,6,8,10}
-    }
-
-    #[test]
-    fn sim_time_scales_with_data_size() {
-        let small = table(10_000);
-        let big = table(100_000);
-        let query = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![0, 1]));
-        let engine = CpuOlapEngine::new(CpuEngineKind::DbmsCLike);
-        let ts = engine.execute(&small, &query).unwrap().sim_time;
-        let tb = engine.execute(&big, &query).unwrap().sim_time;
-        let ratio = tb.as_secs_f64() / ts.as_secs_f64();
-        assert!((8.0..12.5).contains(&ratio), "ratio {ratio}");
     }
 
     #[test]
     fn labels_match_the_paper() {
         assert_eq!(CpuEngineKind::MonetLike.label(), "MonetDB");
         assert_eq!(CpuEngineKind::DbmsCLike.label(), "DBMS-C");
+    }
+
+    #[test]
+    fn baseline_and_caldera_cpu_site_share_the_engine() {
+        // The MonetDB-like baseline and the archipelago CPU site run the same
+        // scan kernel, so with the same spec they must report identical
+        // answers and identical modelled times.
+        let t = table(50_000);
+        let query = ScanAggQuery {
+            predicates: vec![Predicate::between(0, 100.0, 40_000.0)],
+            aggregate: AggExpr::SumColumns(vec![1]),
+        };
+        let baseline = CpuOlapEngine::new(CpuEngineKind::MonetLike).execute(&t, &query).unwrap();
+        let site = h2tap_olap::CpuOlapEngine::new(CpuScanProfile::vectorized()).execute_scan(&t, &query).unwrap();
+        assert_eq!(baseline.value, site.value);
+        assert_eq!(baseline.qualifying_rows, site.qualifying_rows);
+        assert_eq!(baseline.sim_time, site.sim_time);
     }
 }

@@ -257,16 +257,14 @@ mod tests {
     fn single_site_transactions_avoid_messaging() {
         let sn = loaded(2, 10);
         let sum = sn.read_transaction(0, T, &[0, 1, 2], &[]).unwrap();
-        assert_eq!(sum, 0 + 1 + 2);
+        assert_eq!(sum, (0..3u64).sum::<u64>());
         sn.shutdown();
     }
 
     #[test]
     fn multi_site_transactions_read_remote_instances() {
         let sn = loaded(3, 10);
-        let sum = sn
-            .read_transaction(0, T, &[0, 1], &[(1, 1_000_000), (2, 2_000_005)])
-            .unwrap();
+        let sum = sn.read_transaction(0, T, &[0, 1], &[(1, 1_000_000), (2, 2_000_005)]).unwrap();
         assert_eq!(sum, 1 + 1_000_000 + 2_000_005);
         sn.shutdown();
     }
@@ -283,7 +281,8 @@ mod tests {
         struct Gen;
         impl SnSiloGenerator for Gen {
             fn run_one(&self, sn: &SnSilo, coordinator: usize, _seq: u64, rng: &mut SplitMixRng) -> Result<()> {
-                let local: Vec<i64> = (0..4).map(|_| coordinator as i64 * 1_000_000 + rng.next_below(10) as i64).collect();
+                let local: Vec<i64> =
+                    (0..4).map(|_| coordinator as i64 * 1_000_000 + rng.next_below(10) as i64).collect();
                 let remote_p = (coordinator + 1) % sn.partitions();
                 let remote = vec![(remote_p, remote_p as i64 * 1_000_000 + rng.next_below(10) as i64)];
                 sn.read_transaction(coordinator, TableId(0), &local, &remote).map(|_| ())

@@ -76,7 +76,13 @@ fn main() {
         for r in exp::table1() {
             println!(
                 "{:<14} {:<9} {:>6} {:>10.1} {:>9} {:>9.1} {:>9} {:>7.0}",
-                r.gpu, r.architecture, r.cores, r.fp32_gflops, r.mem_capacity_mib, r.mem_bandwidth_gbps, r.interface,
+                r.gpu,
+                r.architecture,
+                r.cores,
+                r.fp32_gflops,
+                r.mem_capacity_mib,
+                r.mem_bandwidth_gbps,
+                r.interface,
                 r.interface_gbps
             );
         }
@@ -96,11 +102,31 @@ fn main() {
         for r in &rows {
             println!("{:<16} {:>9.4}s   revenue {:.2}", r.engine, r.seconds, r.revenue);
         }
-        if let (Some(gpu), Some(monet)) = (
-            rows.iter().find(|r| r.engine.contains("Caldera")),
-            rows.iter().find(|r| r.engine.contains("MonetDB")),
-        ) {
+        if let (Some(gpu), Some(monet)) =
+            (rows.iter().find(|r| r.engine.contains("Caldera")), rows.iter().find(|r| r.engine.contains("MonetDB")))
+        {
             println!("-> Caldera speedup over MonetDB: {:.2}x", monet.seconds / gpu.seconds);
+        }
+    }
+
+    if wants("placement") {
+        header("Placement: CPU/GPU crossover for Q6 (data size x residency)");
+        println!(
+            "{:<10} {:>16} {:>6} {:>12} {:>8} {:>12} {:>12}",
+            "rows", "placement", "cores", "scan bytes", "chosen", "cpu (ms)", "gpu (ms)"
+        );
+        let sweep: Vec<u64> = if quick { vec![5_000, 120_000] } else { vec![5_000, 20_000, 60_000, 120_000, 300_000] };
+        for r in exp::fig_placement(&sweep, 24) {
+            println!(
+                "{:<10} {:>16} {:>6} {:>12} {:>8} {:>12.4} {:>12.4}",
+                r.lineitem_rows,
+                r.placement,
+                r.cpu_cores,
+                r.bytes_to_scan,
+                r.chosen,
+                r.cpu_secs * 1e3,
+                r.gpu_secs * 1e3
+            );
         }
     }
 

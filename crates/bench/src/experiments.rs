@@ -6,16 +6,17 @@
 //! down from the paper's (SF-300, 16 GB, 24 cores) so a full sweep finishes
 //! in minutes on a laptop; the scale knobs are explicit parameters.
 
-use caldera::{Caldera, CalderaConfig, DataPlacement, SnapshotPolicy};
+use caldera::{Caldera, CalderaConfig, DataPlacement, OlapTarget, SnapshotPolicy};
 use h2tap_baselines::{CpuEngineKind, CpuOlapEngine, SiloDb, SiloRuntime, SnSilo};
 use h2tap_common::{SimDuration, TableId};
 use h2tap_gpu_sim::{AccessMode, AccessPattern, GpuDevice, GpuSpec, KernelDesc, TransferDirection};
 use h2tap_olap::GpuOlapEngine;
 use h2tap_oltp::OltpConfig;
-use h2tap_storage::{Database, Layout, Snapshot};
+use h2tap_storage::Layout;
+use h2tap_workloads::layoutbench;
 use h2tap_workloads::multisite::{
-    load_multisite_caldera, load_multisite_silo, load_multisite_sn, multisite_partitioner,
-    CalderaMultisiteGenerator, MultisiteConfig, SiloMultisiteGenerator, SnSiloMultisiteGenerator,
+    load_multisite_caldera, load_multisite_silo, load_multisite_sn, multisite_partitioner, CalderaMultisiteGenerator,
+    MultisiteConfig, SiloMultisiteGenerator, SnSiloMultisiteGenerator,
 };
 use h2tap_workloads::tpcc::{
     load_tpcc, load_tpcc_silo, standalone_tables, tpcc_partitioner, NewOrderGenerator, SiloNewOrderGenerator,
@@ -23,7 +24,6 @@ use h2tap_workloads::tpcc::{
 };
 use h2tap_workloads::tpch::{self, q6};
 use h2tap_workloads::ycsb::{YcsbConfig, YcsbGenerator};
-use h2tap_workloads::layoutbench;
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Duration;
@@ -152,35 +152,108 @@ pub struct Fig4Row {
     pub revenue: f64,
 }
 
-fn build_lineitem_snapshot(rows: u64, layout: Layout) -> (Arc<Database>, TableId, Arc<Snapshot>) {
-    let db = Database::new(1);
-    let table = db.create_table("lineitem", tpch::lineitem_schema(), layout).unwrap();
-    let mut rng = h2tap_common::rng::SplitMixRng::new(42);
-    for key in 0..rows {
-        db.insert(h2tap_common::PartitionId(0), table, &tpch::lineitem_row(key, &mut rng)).unwrap();
-    }
-    let snap = db.snapshot();
-    (db, table, snap)
-}
-
-/// Runs Figure 4: Q6 on Caldera's GPU engine and on the two CPU baselines,
-/// without concurrent transactions.
+/// Runs Figure 4: Q6 on Caldera and on the two CPU baselines, without
+/// concurrent transactions. The Caldera bar goes through `Caldera::run_olap_on`
+/// — the exact dispatch path production queries take — and the CPU baselines
+/// are thin wrappers over the same shared scan engine as Caldera's CPU site,
+/// so every bar exercises first-class code.
 pub fn fig4(rows: u64) -> Vec<Fig4Row> {
-    let (_db, table, snap) = build_lineitem_snapshot(rows, Layout::Dsm);
-    let frozen = snap.table(table).unwrap();
+    let mut config = CalderaConfig::with_workers(1);
+    config.snapshot_policy = SnapshotPolicy::Manual;
+    let mut builder = Caldera::builder(config);
+    let table = tpch::load_lineitem(&mut builder, Layout::Dsm, rows, 42).unwrap();
+    let caldera = builder.start().unwrap();
     let query = q6();
     let mut rows_out = Vec::new();
 
-    let mut gpu = GpuOlapEngine::new(GpuDevice::new(GpuSpec::gtx_980()), DataPlacement::Host(AccessMode::Uva));
-    let handle = gpu.register_table(frozen, "lineitem").unwrap();
-    let outcome = gpu.execute(handle, frozen, &query).unwrap();
-    rows_out.push(Fig4Row { engine: "Caldera (GPU)".into(), seconds: outcome.time.as_secs_f64(), revenue: outcome.value });
+    let outcome = caldera.run_olap_on(table, &query, OlapTarget::Gpu).unwrap();
+    rows_out.push(Fig4Row {
+        engine: "Caldera (GPU)".into(),
+        seconds: outcome.time.as_secs_f64(),
+        revenue: outcome.value,
+    });
 
+    // The baselines answer the same query over a snapshot of the same data.
+    let snap = caldera.database().snapshot();
+    let frozen = snap.table(table).unwrap();
     for kind in [CpuEngineKind::DbmsCLike, CpuEngineKind::MonetLike] {
         let result = CpuOlapEngine::new(kind).execute(frozen, &query).unwrap();
-        rows_out.push(Fig4Row { engine: kind.label().into(), seconds: result.sim_time.as_secs_f64(), revenue: result.value });
+        rows_out.push(Fig4Row {
+            engine: kind.label().into(),
+            seconds: result.sim_time.as_secs_f64(),
+            revenue: result.value,
+        });
     }
+    let _ = caldera.database().release_snapshot(&snap);
+    caldera.shutdown();
     rows_out
+}
+
+// ---------------------------------------------------------------------------
+// Placement: the CPU/GPU crossover the ExecutionSite dispatch makes real
+// ---------------------------------------------------------------------------
+
+/// One configuration of the placement sweep: where the scheduler routed Q6
+/// and what each site would have charged for it.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlacementRow {
+    /// Rows in the lineitem table.
+    pub lineitem_rows: u64,
+    /// GPU data placement label ("host-uva" or "device-resident").
+    pub placement: String,
+    /// CPU cores owned by the data-parallel archipelago.
+    pub cpu_cores: u32,
+    /// Bytes Q6 must scan at this size.
+    pub bytes_to_scan: u64,
+    /// Site the placement heuristic chose ("cpu" or "gpu").
+    pub chosen: String,
+    /// Simulated Q6 time on the CPU site in seconds.
+    pub cpu_secs: f64,
+    /// Simulated Q6 time on the GPU site in seconds.
+    pub gpu_secs: f64,
+}
+
+/// Sweeps data size x GPU residency and records, per configuration, the
+/// scheduler's routing decision next to both sites' actual simulated times —
+/// the crossover behind the paper's claim that the scheduler should pick
+/// CPU or GPU per query. All queries run through `Caldera::run_olap` /
+/// `run_olap_on`, i.e. the production dispatch path.
+pub fn fig_placement(row_counts: &[u64], cpu_cores: usize) -> Vec<PlacementRow> {
+    let mut out = Vec::new();
+    for &rows in row_counts {
+        for (placement, label) in
+            [(DataPlacement::Host(AccessMode::Uva), "host-uva"), (DataPlacement::DeviceResident, "device-resident")]
+        {
+            let mut config = CalderaConfig::with_workers(1);
+            config.olap_cpu_cores = cpu_cores;
+            config.olap_device.placement = placement;
+            // One snapshot for the whole sweep: routing, CPU and GPU probes
+            // must see identical data.
+            config.snapshot_policy = SnapshotPolicy::Manual;
+            let mut builder = Caldera::builder(config);
+            let table = tpch::load_lineitem(&mut builder, Layout::Dsm, rows, 7).unwrap();
+            let caldera = builder.start().unwrap();
+            let query = q6();
+            let routed = caldera.run_olap(table, &query).unwrap();
+            let cpu = caldera.run_olap_on(table, &query, OlapTarget::Cpu).unwrap();
+            let gpu = caldera.run_olap_on(table, &query, OlapTarget::Gpu).unwrap();
+            assert_eq!(cpu.value, gpu.value, "sites disagree on Q6 revenue");
+            out.push(PlacementRow {
+                lineitem_rows: rows,
+                placement: label.to_string(),
+                cpu_cores: cpu_cores as u32,
+                bytes_to_scan: tpch::q6_scan_bytes(rows),
+                chosen: match routed.site {
+                    OlapTarget::Cpu => "cpu".to_string(),
+                    OlapTarget::Gpu => "gpu".to_string(),
+                },
+                cpu_secs: cpu.time.as_secs_f64(),
+                gpu_secs: gpu.time.as_secs_f64(),
+            });
+            caldera.shutdown();
+        }
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -330,7 +403,6 @@ pub fn fig7(lineitem_rows: u64, oltp_workers: usize, query_counts: &[u32]) -> Ve
                 olap_queries: n,
                 queries_per_snapshot: n,
                 working_set_pct: 100,
-                ..HtapParams::default()
             })
         })
         .collect()
@@ -419,12 +491,8 @@ pub fn fig9(
         let sn = SnSilo::new(partitions);
         load_multisite_sn(&sn, table_id, rows_per_partition).unwrap();
         let sn_cfg = MultisiteConfig::paper(table_id, rows_per_partition, partitions, pct);
-        let snw = h2tap_baselines::run_sn_silo_benchmark(
-            &sn,
-            Arc::new(SnSiloMultisiteGenerator::new(sn_cfg)),
-            window,
-            0xF19,
-        );
+        let snw =
+            h2tap_baselines::run_sn_silo_benchmark(&sn, Arc::new(SnSiloMultisiteGenerator::new(sn_cfg)), window, 0xF19);
         out.push(OltpComparisonRow { x: pct, system: "SN-Silo".into(), tps: snw.throughput_tps });
         sn.shutdown();
     }
@@ -458,8 +526,7 @@ pub fn fig10(rows: u64, attribute_counts: &[usize]) -> Vec<LayoutRow> {
         let (db, table) = layoutbench::build_layout_table(rows, layout, 99).unwrap();
         let snap = db.snapshot();
         let frozen = snap.table(table).unwrap();
-        let mut engine =
-            GpuOlapEngine::new(GpuDevice::new(GpuSpec::gtx_980()), DataPlacement::Host(AccessMode::Uva));
+        let mut engine = GpuOlapEngine::new(GpuDevice::new(GpuSpec::gtx_980()), DataPlacement::Host(AccessMode::Uva));
         let handle = engine.register_table(frozen, "dataset").unwrap();
         for &n in attribute_counts {
             let outcome = engine.execute(handle, frozen, &layoutbench::sum_query(n)).unwrap();
@@ -537,6 +604,26 @@ mod tests {
         // All engines agree on the revenue.
         assert!((caldera.revenue - monet.revenue).abs() < 1e-6);
         assert!((caldera.revenue - dbmsc.revenue).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fig_placement_shows_the_cpu_gpu_crossover() {
+        let rows = fig_placement(&[5_000, 120_000], 24);
+        let get =
+            |placement: &str, n: u64| rows.iter().find(|r| r.placement == placement && r.lineitem_rows == n).unwrap();
+        // Tiny scans route to the CPU regardless of residency: the fixed GPU
+        // dispatch cost dominates at this size.
+        assert_eq!(get("host-uva", 5_000).chosen, "cpu");
+        assert_eq!(get("device-resident", 5_000).chosen, "cpu");
+        // Large scans route to the GPU: device bandwidth (resident) or the
+        // interconnect (UVA) beats per-tuple-bound CPU execution.
+        assert_eq!(get("host-uva", 120_000).chosen, "gpu");
+        assert_eq!(get("device-resident", 120_000).chosen, "gpu");
+        // The routing decisions agree with the sites' actual simulated times.
+        for r in &rows {
+            let faster = if r.cpu_secs < r.gpu_secs { "cpu" } else { "gpu" };
+            assert_eq!(r.chosen, faster, "{r:?}");
+        }
     }
 
     #[test]

@@ -9,6 +9,6 @@
 pub mod experiments;
 
 pub use experiments::{
-    fig1, fig10, fig11, fig4, fig5, fig6, fig7, fig8, fig9, run_htap, table1, Fig1Row, Fig4Row, HtapParams, HtapRow,
-    LayoutRow, OltpComparisonRow, Table1Row, DEFAULT_LINEITEM_ROWS,
+    fig1, fig10, fig11, fig4, fig5, fig6, fig7, fig8, fig9, fig_placement, run_htap, table1, Fig1Row, Fig4Row,
+    HtapParams, HtapRow, LayoutRow, OltpComparisonRow, PlacementRow, Table1Row, DEFAULT_LINEITEM_ROWS,
 };

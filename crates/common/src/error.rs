@@ -48,10 +48,9 @@ impl fmt::Display for H2Error {
             H2Error::UnknownRecord(m) => write!(f, "unknown record: {m}"),
             H2Error::TxnAborted(m) => write!(f, "transaction aborted: {m}"),
             H2Error::LockTimeout(m) => write!(f, "lock timeout: {m}"),
-            H2Error::GpuOutOfMemory { requested_bytes, capacity_bytes } => write!(
-                f,
-                "GPU out of memory: requested {requested_bytes} bytes, capacity {capacity_bytes} bytes"
-            ),
+            H2Error::GpuOutOfMemory { requested_bytes, capacity_bytes } => {
+                write!(f, "GPU out of memory: requested {requested_bytes} bytes, capacity {capacity_bytes} bytes")
+            }
             H2Error::InvalidKernel(m) => write!(f, "invalid kernel: {m}"),
             H2Error::ChannelClosed(m) => write!(f, "channel closed: {m}"),
             H2Error::Placement(m) => write!(f, "placement error: {m}"),

@@ -7,6 +7,7 @@
 //! the Caldera OLAP engine and the CPU columnar baselines so that all engines
 //! answer exactly the same question.
 
+use crate::schema::Schema;
 use serde::{Deserialize, Serialize};
 
 /// An inclusive range predicate over one attribute, evaluated on the
@@ -74,11 +75,23 @@ impl ScanAggQuery {
     /// deduplicated and sorted — this is what determines how many columns an
     /// engine must move.
     pub fn columns_accessed(&self) -> Vec<usize> {
-        let mut cols: Vec<usize> =
-            self.predicates.iter().map(|p| p.column).chain(self.aggregate.columns()).collect();
+        let mut cols: Vec<usize> = self.predicates.iter().map(|p| p.column).chain(self.aggregate.columns()).collect();
         cols.sort_unstable();
         cols.dedup();
         cols
+    }
+
+    /// Bytes a columnar engine must read to answer this query over `rows`
+    /// records of `schema`: the accessed columns' widths times the row count.
+    /// Attributes missing from the schema are ignored (the engine will reject
+    /// them at execution time anyway). This is the `bytes_to_scan` term of
+    /// the scheduler's placement hints.
+    pub fn scan_bytes(&self, schema: &Schema, rows: u64) -> u64 {
+        self.columns_accessed()
+            .iter()
+            .filter_map(|&c| schema.attr(c).ok())
+            .map(|attr| rows * attr.ty.width() as u64)
+            .sum()
     }
 }
 
@@ -102,6 +115,21 @@ mod tests {
             aggregate: AggExpr::SumProduct(3, 2),
         };
         assert_eq!(q.columns_accessed(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn scan_bytes_counts_accessed_columns_once() {
+        use crate::schema::{AttrType, Attribute};
+        let schema =
+            Schema::new(vec![Attribute::new("a", AttrType::Int32), Attribute::new("b", AttrType::Float64)]).unwrap();
+        let q =
+            ScanAggQuery { predicates: vec![Predicate::between(0, 0.0, 1.0)], aggregate: AggExpr::SumProduct(0, 1) };
+        // Column 0 (4 bytes) is shared by predicate and aggregate; column 1
+        // is 8 bytes: 12 bytes per row.
+        assert_eq!(q.scan_bytes(&schema, 100), 1200);
+        // Out-of-schema columns are ignored.
+        let bad = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![9]));
+        assert_eq!(bad.scan_bytes(&schema, 100), 0);
     }
 
     #[test]

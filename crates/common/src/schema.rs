@@ -134,10 +134,7 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_names() {
-        let err = Schema::new(vec![
-            Attribute::new("a", AttrType::Int32),
-            Attribute::new("a", AttrType::Int64),
-        ]);
+        let err = Schema::new(vec![Attribute::new("a", AttrType::Int32), Attribute::new("a", AttrType::Int64)]);
         assert!(matches!(err, Err(H2Error::InvalidSchema(_))));
     }
 

@@ -9,8 +9,8 @@ use crate::config::CalderaConfig;
 use crate::engine::Caldera;
 use h2tap_common::{H2Error, PartitionId, RecordId, Result, Schema, TableId, Value};
 use h2tap_gpu_sim::GpuDevice;
-use h2tap_olap::GpuOlapEngine;
-use h2tap_oltp::{ModuloPartitioner, OltpRuntime, PartitionIndex, Partitioner, TxnGenerator};
+use h2tap_olap::{CpuOlapEngine, CpuSpec, ExecutionSite, GpuOlapEngine};
+use h2tap_oltp::{OltpRuntime, PartitionIndex, Partitioner, TxnGenerator};
 use h2tap_scheduler::Scheduler;
 use h2tap_storage::{Database, Layout};
 use std::sync::Arc;
@@ -28,11 +28,12 @@ impl CalderaBuilder {
     /// Creates a builder for the given configuration.
     pub fn new(config: CalderaConfig) -> Self {
         let workers = config.oltp.workers;
+        let partitioner = config.partitioner.build(workers);
         Self {
             config,
             db: Database::new(workers),
             indexes: vec![PartitionIndex::new(); workers],
-            partitioner: Arc::new(ModuloPartitioner::new(workers)),
+            partitioner,
             generator: None,
         }
     }
@@ -88,14 +89,22 @@ impl CalderaBuilder {
     /// Starts both archipelagos and returns the running engine.
     pub fn start(self) -> Result<Caldera> {
         let CalderaBuilder { config, db, indexes, partitioner, generator } = self;
-        let scheduler = Scheduler::new(
-            config.oltp.workers,
-            config.olap_cpu_cores,
-            vec![config.olap_device.gpu.name.clone()],
+        let scheduler =
+            Scheduler::new(config.oltp.workers, config.olap_cpu_cores, vec![config.olap_device.gpu.name.clone()]);
+        // Both execution sites of the data-parallel archipelago: the GPU
+        // model and the CPU scan engine over the archipelago's cores.
+        let gpu = GpuOlapEngine::new(GpuDevice::new(config.olap_device.gpu.clone()), config.olap_device.placement);
+        let cpu_cores = (config.olap_cpu_cores as u32).max(1);
+        let cpu = CpuOlapEngine::with_spec_and_profile(
+            CpuSpec {
+                cores: cpu_cores,
+                mem_bandwidth_gbps: config.olap_cpu.per_core_bandwidth_gbps * f64::from(cpu_cores),
+            },
+            config.olap_cpu.profile,
         );
-        let olap = GpuOlapEngine::new(GpuDevice::new(config.olap_device.gpu.clone()), config.olap_device.placement);
+        let sites: Vec<Box<dyn ExecutionSite>> = vec![Box::new(gpu), Box::new(cpu)];
         let oltp = OltpRuntime::start(Arc::clone(&db), config.oltp.clone(), partitioner, indexes, generator)?;
-        Ok(Caldera::assemble(config, db, oltp, olap, scheduler))
+        Ok(Caldera::assemble(config, db, oltp, sites, scheduler))
     }
 }
 
@@ -121,6 +130,18 @@ mod tests {
         let t = b.create_table("t", Schema::homogeneous("c", 2, AttrType::Int64), Layout::Dsm).unwrap();
         // Key 1 belongs to partition 1 under the modulo partitioner.
         assert!(b.load_to(PartitionId(0), t, 1, &[Value::Int64(1), Value::Int64(0)]).is_err());
+    }
+
+    #[test]
+    fn config_selects_the_partitioner() {
+        let mut config = CalderaConfig::with_workers(2);
+        config.partitioner = h2tap_oltp::PartitionerKind::Stride { stride: 100 };
+        let mut b = CalderaBuilder::new(config);
+        let t = b.create_table("t", Schema::homogeneous("c", 2, AttrType::Int64), Layout::Dsm).unwrap();
+        // Key 150 belongs to partition 1 under the configured stride scheme
+        // (it would belong to partition 0 under the default modulo scheme).
+        b.load_to(PartitionId(1), t, 150, &[Value::Int64(150), Value::Int64(0)]).unwrap();
+        assert!(b.load_to(PartitionId(0), t, 151, &[Value::Int64(151), Value::Int64(0)]).is_err());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Engine configuration.
 
 use h2tap_gpu_sim::{AccessMode, GpuSpec};
-use h2tap_olap::{DataPlacement, SnapshotPolicy};
-use h2tap_oltp::OltpConfig;
+use h2tap_olap::{CpuScanProfile, CpuSpec, DataPlacement, SnapshotPolicy};
+use h2tap_oltp::{OltpConfig, PartitionerKind};
+use h2tap_scheduler::DEFAULT_GPU_DISPATCH_OVERHEAD_SECS;
 
 /// Which simulated GPU the data-parallel archipelago uses and how table data
 /// is exposed to it.
@@ -13,11 +14,38 @@ pub struct OlapDeviceConfig {
     /// Data placement (defaults to UVA host-resident shared memory, the
     /// Caldera prototype's choice).
     pub placement: DataPlacement,
+    /// Fixed per-query GPU dispatch cost the placement heuristic charges
+    /// (kernel launches, registration, read-back).
+    pub dispatch_overhead_secs: f64,
 }
 
 impl Default for OlapDeviceConfig {
     fn default() -> Self {
-        Self { gpu: GpuSpec::gtx_980(), placement: DataPlacement::Host(AccessMode::Uva) }
+        Self {
+            gpu: GpuSpec::gtx_980(),
+            placement: DataPlacement::Host(AccessMode::Uva),
+            dispatch_overhead_secs: DEFAULT_GPU_DISPATCH_OVERHEAD_SECS,
+        }
+    }
+}
+
+/// The CPU execution site of the data-parallel archipelago.
+#[derive(Debug, Clone)]
+pub struct OlapCpuConfig {
+    /// Scan execution profile (defaults to zonemap-skipping vectorised
+    /// execution, the shared engine's Caldera configuration).
+    pub profile: CpuScanProfile,
+    /// Sustained per-core memory bandwidth in GB/s (defaults to the paper
+    /// server's 68 GB/s spread over its 24 cores).
+    pub per_core_bandwidth_gbps: f64,
+}
+
+impl Default for OlapCpuConfig {
+    fn default() -> Self {
+        Self {
+            profile: CpuScanProfile::vectorized(),
+            per_core_bandwidth_gbps: CpuSpec::default().per_core_bandwidth_gbps(),
+        }
     }
 }
 
@@ -27,11 +55,17 @@ pub struct CalderaConfig {
     /// The task-parallel (OLTP) archipelago configuration: one worker per
     /// CPU core, one partition per worker.
     pub oltp: OltpConfig,
+    /// How keys map to OLTP partitions (pluggable here instead of hard-coded
+    /// at runtime construction; `CalderaBuilder::set_partitioner` still
+    /// accepts fully custom implementations).
+    pub partitioner: PartitionerKind,
     /// CPU cores reserved for the data-parallel archipelago (available for
     /// scheduler-driven migration and CPU-side OLAP).
     pub olap_cpu_cores: usize,
     /// The data-parallel archipelago's GPU.
     pub olap_device: OlapDeviceConfig,
+    /// The data-parallel archipelago's CPU execution site.
+    pub olap_cpu: OlapCpuConfig,
     /// How often OLAP queries refresh their snapshot.
     pub snapshot_policy: SnapshotPolicy,
 }
@@ -40,8 +74,10 @@ impl Default for CalderaConfig {
     fn default() -> Self {
         Self {
             oltp: OltpConfig::default(),
+            partitioner: PartitionerKind::default(),
             olap_cpu_cores: 0,
             olap_device: OlapDeviceConfig::default(),
+            olap_cpu: OlapCpuConfig::default(),
             snapshot_policy: SnapshotPolicy::PerQuery,
         }
     }
@@ -65,6 +101,10 @@ mod tests {
         assert_eq!(c.olap_device.gpu.name, "GTX 980");
         assert!(matches!(c.olap_device.placement, DataPlacement::Host(AccessMode::Uva)));
         assert!(matches!(c.snapshot_policy, SnapshotPolicy::PerQuery));
+        assert_eq!(c.partitioner, PartitionerKind::Modulo);
+        // 24-core server with 68 GB/s aggregate: ~2.83 GB/s per core.
+        assert!((c.olap_cpu.per_core_bandwidth_gbps - 68.0 / 24.0).abs() < 1e-9);
+        assert!(c.olap_device.dispatch_overhead_secs > 0.0);
     }
 
     #[test]

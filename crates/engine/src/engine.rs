@@ -1,16 +1,35 @@
 //! The running Caldera engine: both archipelagos over one shared database.
+//!
+//! Analytical queries are not hard-wired to a device: `run_olap` builds
+//! [`PlacementHints`] from live state (query scan footprint, GPU residency,
+//! the CPU cores the data-parallel archipelago currently owns), asks
+//! [`place_olap_query`] for a target, and dispatches to the matching
+//! [`ExecutionSite`] — the simulated GPU or the archipelago's CPU cores.
 
 use crate::config::CalderaConfig;
-use h2tap_common::{PartitionId, Result, ScanAggQuery, SimDuration, TableId};
-use h2tap_olap::{GpuOlapEngine, OlapOutcome, RegisteredTable, SnapshotPolicy};
+use h2tap_common::{H2Error, PartitionId, Result, ScanAggQuery, SimDuration, TableId};
+use h2tap_olap::{ExecutionSite, OlapOutcome, RegisteredTable, SnapshotPolicy};
 use h2tap_oltp::{BenchmarkWindow, OltpRuntime, OltpStats, TxnProc};
-use h2tap_scheduler::{ArchipelagoKind, Scheduler};
+use h2tap_scheduler::{place_olap_query, ArchipelagoKind, OlapTarget, PlacementHints, Scheduler};
 use h2tap_storage::{CowStats, Database, Snapshot};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Per-execution-site OLAP counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OlapSiteStats {
+    /// The placement target this site serves.
+    pub target: OlapTarget,
+    /// Site name ("gpu", "cpu").
+    pub label: &'static str,
+    /// Queries dispatched to the site.
+    pub queries: u64,
+    /// Total simulated execution time on the site.
+    pub time: SimDuration,
+}
 
 /// Combined HTAP statistics for experiment reporting.
 #[derive(Debug, Clone, Default)]
@@ -19,22 +38,53 @@ pub struct HtapStats {
     pub oltp: OltpStats,
     /// Copy-on-write / snapshot GC counters.
     pub cow: CowStats,
-    /// Analytical queries executed.
+    /// Analytical queries executed (all sites).
     pub olap_queries: u64,
-    /// Total simulated OLAP execution time.
+    /// Total simulated OLAP execution time (all sites).
     pub olap_time: SimDuration,
+    /// Per-site OLAP counters, in site order (GPU first).
+    pub olap_sites: Vec<OlapSiteStats>,
     /// Snapshots taken by the OLAP path.
     pub snapshots_taken: u64,
 }
 
+impl HtapStats {
+    /// Queries the given site answered.
+    pub fn olap_queries_on(&self, target: OlapTarget) -> u64 {
+        self.olap_sites.iter().find(|s| s.target == target).map_or(0, |s| s.queries)
+    }
+}
+
+/// One execution site plus its registrations and counters.
+struct SiteSlot {
+    site: Box<dyn ExecutionSite>,
+    registered: HashMap<TableId, RegisteredTable>,
+    queries: u64,
+    time: SimDuration,
+}
+
+impl SiteSlot {
+    fn new(site: Box<dyn ExecutionSite>) -> Self {
+        Self { site, registered: HashMap::new(), queries: 0, time: SimDuration::ZERO }
+    }
+}
+
 /// State of the data-parallel archipelago's query loop.
 struct OlapState {
-    engine: GpuOlapEngine,
+    sites: Vec<SiteSlot>,
     snapshot: Option<Arc<Snapshot>>,
-    registered: HashMap<TableId, RegisteredTable>,
     query_index: u64,
     snapshots_taken: u64,
     total_time: SimDuration,
+}
+
+impl OlapState {
+    fn slot_mut(&mut self, target: OlapTarget) -> &mut SiteSlot {
+        self.sites
+            .iter_mut()
+            .find(|slot| slot.site.target() == target)
+            .expect("every placement target has an execution site")
+    }
 }
 
 /// The running engine.
@@ -57,7 +107,7 @@ impl Caldera {
         config: CalderaConfig,
         db: Arc<Database>,
         oltp: OltpRuntime,
-        olap: GpuOlapEngine,
+        sites: Vec<Box<dyn ExecutionSite>>,
         scheduler: Scheduler,
     ) -> Self {
         Self {
@@ -65,9 +115,8 @@ impl Caldera {
             db,
             oltp,
             olap: Mutex::new(OlapState {
-                engine: olap,
+                sites: sites.into_iter().map(SiteSlot::new).collect(),
                 snapshot: None,
-                registered: HashMap::new(),
                 query_index: 0,
                 snapshots_taken: 0,
                 total_time: SimDuration::ZERO,
@@ -127,8 +176,10 @@ impl Caldera {
         if let Some(old) = olap.snapshot.take() {
             let _ = db.release_snapshot(&old);
         }
-        olap.engine.reset_tables();
-        olap.registered.clear();
+        for slot in &mut olap.sites {
+            slot.site.reset_tables();
+            slot.registered.clear();
+        }
         olap.snapshot = Some(db.snapshot());
         olap.snapshots_taken += 1;
         Ok(())
@@ -136,8 +187,25 @@ impl Caldera {
 
     /// Runs an analytical query against `table` on the data-parallel
     /// archipelago, refreshing the snapshot according to the configured
-    /// [`SnapshotPolicy`].
+    /// [`SnapshotPolicy`] and dispatching to the execution site the
+    /// scheduler's placement heuristic picks from live hints.
     pub fn run_olap(&self, table: TableId, query: &ScanAggQuery) -> Result<OlapOutcome> {
+        self.run_olap_dispatch(table, query, None)
+    }
+
+    /// Like [`Caldera::run_olap`] but forces the execution site, bypassing
+    /// the placement heuristic (used by experiments and site-equivalence
+    /// tests; production queries should go through `run_olap`).
+    pub fn run_olap_on(&self, table: TableId, query: &ScanAggQuery, target: OlapTarget) -> Result<OlapOutcome> {
+        self.run_olap_dispatch(table, query, Some(target))
+    }
+
+    fn run_olap_dispatch(
+        &self,
+        table: TableId,
+        query: &ScanAggQuery,
+        forced: Option<OlapTarget>,
+    ) -> Result<OlapOutcome> {
         self.scheduler.record_dispatch(ArchipelagoKind::DataParallel, 1.0);
         let mut olap = self.olap.lock();
         let policy = self.config.snapshot_policy;
@@ -149,16 +217,65 @@ impl Caldera {
         let snapshot = Arc::clone(olap.snapshot.as_ref().expect("snapshot present after refresh"));
         let meta = self.db.table_meta(table)?;
         let frozen = snapshot.table(table)?;
-        let handle = match olap.registered.get(&table) {
+
+        // Live placement inputs: the query's scan footprint, how much of the
+        // data already sits in device memory, and the CPU cores the
+        // data-parallel archipelago owns right now (core migration included).
+        let cpu_cores = self.scheduler.archipelago(ArchipelagoKind::DataParallel).core_count() as u32;
+        let target = forced.unwrap_or_else(|| {
+            let hints = PlacementHints {
+                bytes_to_scan: query.scan_bytes(&frozen.schema, frozen.row_count()),
+                gpu_resident_fraction: olap.slot_mut(OlapTarget::Gpu).site.resident_fraction(),
+                available_cpu_cores: cpu_cores,
+                cpu_core_bandwidth_gbps: self.config.olap_cpu.per_core_bandwidth_gbps,
+                gpu_dispatch_overhead_secs: self.config.olap_device.dispatch_overhead_secs,
+                rows: frozen.row_count(),
+                cpu_per_tuple_ns: self.config.olap_cpu.profile.per_tuple_ns,
+            };
+            place_olap_query(&self.config.olap_device.gpu, &hints)
+        });
+
+        let outcome = match Self::execute_on_slot(&mut olap, target, cpu_cores, table, frozen, &meta.name, query) {
+            // The placement hints cannot see every device constraint (a
+            // device-resident table can simply not fit); when the GPU was the
+            // heuristic's choice and runs out of memory, the CPU site still
+            // holds the data in host DRAM — fall back instead of failing the
+            // query. Explicitly forced targets keep their error.
+            Err(H2Error::GpuOutOfMemory { .. }) if forced.is_none() && target == OlapTarget::Gpu => {
+                Self::execute_on_slot(&mut olap, OlapTarget::Cpu, cpu_cores, table, frozen, &meta.name, query)?
+            }
+            other => other?,
+        };
+        olap.total_time += outcome.time;
+        Ok(outcome)
+    }
+
+    fn execute_on_slot(
+        olap: &mut OlapState,
+        target: OlapTarget,
+        cpu_cores: u32,
+        table: TableId,
+        frozen: &h2tap_storage::SnapshotTable,
+        label: &str,
+        query: &ScanAggQuery,
+    ) -> Result<OlapOutcome> {
+        let slot = olap.slot_mut(target);
+        if target == OlapTarget::Cpu {
+            // A query placed on CPU must see the archipelago's current core
+            // count, not the count at construction time.
+            slot.site.set_cores(cpu_cores.max(1));
+        }
+        let handle = match slot.registered.get(&table) {
             Some(h) => *h,
             None => {
-                let h = olap.engine.register_table(frozen, &meta.name)?;
-                olap.registered.insert(table, h);
+                let h = slot.site.register_table(frozen, label)?;
+                slot.registered.insert(table, h);
                 h
             }
         };
-        let outcome = olap.engine.execute(handle, frozen, query)?;
-        olap.total_time += outcome.time;
+        let outcome = slot.site.execute(handle, frozen, query)?;
+        slot.queries += 1;
+        slot.time += outcome.time;
         Ok(outcome)
     }
 
@@ -170,6 +287,16 @@ impl Caldera {
             cow: self.db.telemetry(),
             olap_queries: olap.query_index,
             olap_time: olap.total_time,
+            olap_sites: olap
+                .sites
+                .iter()
+                .map(|slot| OlapSiteStats {
+                    target: slot.site.target(),
+                    label: slot.site.label(),
+                    queries: slot.queries,
+                    time: slot.time,
+                })
+                .collect(),
             snapshots_taken: olap.snapshots_taken,
         }
     }
@@ -194,15 +321,19 @@ mod tests {
     use super::*;
     use crate::config::CalderaConfig;
     use h2tap_common::{AggExpr, AttrType, Schema, Value};
+    use h2tap_olap::DataPlacement;
     use h2tap_storage::Layout;
 
     fn engine_with_rows(workers: usize, rows: i64, policy: SnapshotPolicy) -> (Caldera, TableId) {
         let mut config = CalderaConfig::with_workers(workers);
         config.snapshot_policy = policy;
+        engine_with_config(config, rows)
+    }
+
+    fn engine_with_config(config: CalderaConfig, rows: i64) -> (Caldera, TableId) {
         let mut builder = Caldera::builder(config);
-        let t = builder
-            .create_table("accounts", Schema::homogeneous("c", 2, AttrType::Int64), Layout::PAPER_PAX)
-            .unwrap();
+        let t =
+            builder.create_table("accounts", Schema::homogeneous("c", 2, AttrType::Int64), Layout::PAPER_PAX).unwrap();
         for k in 0..rows {
             builder.load(t, k, &[Value::Int64(k), Value::Int64(1)]).unwrap();
         }
@@ -232,6 +363,9 @@ mod tests {
         assert_eq!(stats.olap_queries, 2);
         assert_eq!(stats.snapshots_taken, 2);
         assert!(stats.olap_time > SimDuration::ZERO);
+        // No CPU cores were reserved, so every query ran on the GPU.
+        assert_eq!(stats.olap_queries_on(OlapTarget::Gpu), 2);
+        assert_eq!(stats.olap_queries_on(OlapTarget::Cpu), 0);
     }
 
     #[test]
@@ -286,5 +420,94 @@ mod tests {
         // Three of every four transactions were hosted away from key 1's
         // partition and had to use the message protocol.
         assert!(stats.oltp.remote_requests >= 4);
+    }
+
+    #[test]
+    fn host_resident_scans_route_to_cpu_when_cores_are_available() {
+        // 8 archipelago CPU cores at ~2.8 GB/s each beat the PCIe link for
+        // host-resident (UVA) data, so placement must pick the CPU site.
+        let mut config = CalderaConfig::with_workers(2);
+        config.olap_cpu_cores = 8;
+        let (caldera, t) = engine_with_config(config, 200);
+        let q = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![1]));
+        let out = caldera.run_olap(t, &q).unwrap();
+        assert_eq!(out.site, OlapTarget::Cpu);
+        assert_eq!(out.value, 200.0);
+        let stats = caldera.shutdown();
+        assert_eq!(stats.olap_queries_on(OlapTarget::Cpu), 1);
+        assert_eq!(stats.olap_queries_on(OlapTarget::Gpu), 0);
+    }
+
+    #[test]
+    fn device_resident_scans_route_to_gpu() {
+        let mut config = CalderaConfig::with_workers(2);
+        config.olap_cpu_cores = 8;
+        config.olap_device.placement = DataPlacement::DeviceResident;
+        let (caldera, t) = engine_with_config(config, 200_000);
+        let q = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![0, 1]));
+        let out = caldera.run_olap(t, &q).unwrap();
+        assert_eq!(out.site, OlapTarget::Gpu);
+        let stats = caldera.shutdown();
+        assert_eq!(stats.olap_queries_on(OlapTarget::Gpu), 1);
+    }
+
+    #[test]
+    fn gpu_out_of_memory_falls_back_to_the_cpu_site() {
+        // A device-resident table that cannot fit in device memory must not
+        // fail the query: the scheduler's choice is overridden by the OOM and
+        // the CPU site (which reads host DRAM) answers instead.
+        let mut config = CalderaConfig::with_workers(2);
+        config.olap_cpu_cores = 2;
+        config.olap_device.placement = DataPlacement::DeviceResident;
+        config.olap_device.gpu.mem_capacity_mib = 1; // 1 MiB device
+        let (caldera, t) = engine_with_config(config, 200_000); // ~3 MiB of columns
+        let q = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![1]));
+        let out = caldera.run_olap(t, &q).unwrap();
+        assert_eq!(out.site, OlapTarget::Cpu);
+        assert_eq!(out.value, 200_000.0);
+        // Forcing the GPU surfaces the real error instead of falling back.
+        assert!(caldera.run_olap_on(t, &q, OlapTarget::Gpu).is_err());
+        let stats = caldera.shutdown();
+        assert_eq!(stats.olap_queries_on(OlapTarget::Cpu), 1);
+        assert_eq!(stats.olap_queries_on(OlapTarget::Gpu), 0);
+    }
+
+    #[test]
+    fn forced_sites_agree_and_are_counted_separately() {
+        let (caldera, t) = engine_with_rows(2, 500, SnapshotPolicy::EveryN { queries: 10 });
+        let q = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![1]));
+        let gpu = caldera.run_olap_on(t, &q, OlapTarget::Gpu).unwrap();
+        let cpu = caldera.run_olap_on(t, &q, OlapTarget::Cpu).unwrap();
+        assert_eq!(gpu.site, OlapTarget::Gpu);
+        assert_eq!(cpu.site, OlapTarget::Cpu);
+        assert_eq!(gpu.value, cpu.value);
+        assert_eq!(gpu.qualifying_rows, cpu.qualifying_rows);
+        let stats = caldera.shutdown();
+        assert_eq!(stats.olap_queries, 2);
+        assert_eq!(stats.olap_queries_on(OlapTarget::Gpu), 1);
+        assert_eq!(stats.olap_queries_on(OlapTarget::Cpu), 1);
+        assert_eq!(stats.olap_sites.iter().map(|s| s.queries).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn cpu_queries_see_migrated_cores() {
+        // Start with 2 OLAP CPU cores, then migrate 6 more from the (8-core)
+        // task-parallel archipelago: the same CPU query must get faster.
+        let mut config = CalderaConfig::with_workers(8);
+        config.olap_cpu_cores = 2;
+        config.snapshot_policy = SnapshotPolicy::EveryN { queries: 100 };
+        let (caldera, t) = engine_with_config(config, 50_000);
+        let q = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![0, 1]));
+        let before = caldera.run_olap_on(t, &q, OlapTarget::Cpu).unwrap();
+        for core in 0..6 {
+            caldera
+                .scheduler()
+                .migrate_core(core, ArchipelagoKind::TaskParallel, ArchipelagoKind::DataParallel)
+                .unwrap();
+        }
+        let after = caldera.run_olap_on(t, &q, OlapTarget::Cpu).unwrap();
+        assert_eq!(before.value, after.value);
+        assert!(after.time < before.time, "8 cores {} should beat 2 cores {}", after.time, before.time);
+        caldera.shutdown();
     }
 }

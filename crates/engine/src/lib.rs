@@ -36,8 +36,9 @@ pub mod config;
 pub mod engine;
 
 pub use builder::CalderaBuilder;
-pub use config::{CalderaConfig, OlapDeviceConfig};
-pub use engine::{Caldera, HtapStats};
+pub use config::{CalderaConfig, OlapCpuConfig, OlapDeviceConfig};
+pub use engine::{Caldera, HtapStats, OlapSiteStats};
 
-pub use h2tap_olap::{DataPlacement, OlapOutcome, SnapshotPolicy};
-pub use h2tap_oltp::{OltpConfig, TxnProc};
+pub use h2tap_olap::{CpuScanProfile, DataPlacement, ExecutionSite, OlapOutcome, SnapshotPolicy};
+pub use h2tap_oltp::{OltpConfig, PartitionerKind, TxnProc};
+pub use h2tap_scheduler::OlapTarget;

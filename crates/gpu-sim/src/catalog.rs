@@ -237,8 +237,7 @@ mod tests {
     #[test]
     fn noncoalesced_penalty_shrinks_with_newer_architectures() {
         assert!(
-            GpuArchitecture::Fermi.max_noncoalesced_penalty()
-                > GpuArchitecture::Maxwell.max_noncoalesced_penalty()
+            GpuArchitecture::Fermi.max_noncoalesced_penalty() > GpuArchitecture::Maxwell.max_noncoalesced_penalty()
         );
     }
 

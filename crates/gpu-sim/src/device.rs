@@ -193,9 +193,8 @@ impl GpuDevice {
             streaming += SimDuration::from_secs_f64(desc.write_bytes as f64 / self.spec.mem_bytes_per_sec());
         }
 
-        let compute = SimDuration::from_secs_f64(
-            desc.elements as f64 * desc.flops_per_element / (self.spec.fp32_gflops * 1e9),
-        );
+        let compute =
+            SimDuration::from_secs_f64(desc.elements as f64 * desc.flops_per_element / (self.spec.fp32_gflops * 1e9));
 
         let memory_time = streaming + migration;
         let time = LAUNCH_OVERHEAD + migration + compute.max(streaming);
@@ -380,8 +379,11 @@ mod tests {
         let buf = dev.register_buffer("table", 4 * GIB, AccessMode::Uva).unwrap();
         let useful = GIB;
         let seq = KernelDesc::new("dsm", useful / 4).read(buf, useful, AccessPattern::Sequential);
-        let strided = KernelDesc::new("nsm", useful / 4)
-            .read(buf, useful, AccessPattern::Strided { stride_bytes: 64, elem_bytes: 4 });
+        let strided = KernelDesc::new("nsm", useful / 4).read(
+            buf,
+            useful,
+            AccessPattern::Strided { stride_bytes: 64, elem_bytes: 4 },
+        );
         let t_seq = dev.account(&seq).unwrap().time.as_secs_f64();
         let t_str = dev.account(&strided).unwrap().time.as_secs_f64();
         assert!(t_str > 8.0 * t_seq, "strided {t_str} sequential {t_seq}");
@@ -395,8 +397,11 @@ mod tests {
         let buf = dev.register_device_buffer("table", GIB).unwrap();
         let useful = 128 << 20;
         let seq = KernelDesc::new("dsm", useful / 4).read(buf, useful, AccessPattern::Sequential);
-        let strided = KernelDesc::new("nsm", useful / 4)
-            .read(buf, useful, AccessPattern::Strided { stride_bytes: 64, elem_bytes: 4 });
+        let strided = KernelDesc::new("nsm", useful / 4).read(
+            buf,
+            useful,
+            AccessPattern::Strided { stride_bytes: 64, elem_bytes: 4 },
+        );
         let t_seq = dev.account(&seq).unwrap().time.as_secs_f64();
         let t_str = dev.account(&strided).unwrap().time.as_secs_f64();
         let ratio = t_str / t_seq;

@@ -67,12 +67,7 @@ impl Interconnect {
     /// An interconnect of the given kind with the default 512-byte MTU,
     /// 10 microseconds of setup latency and 85% sustained efficiency.
     pub fn new(kind: InterconnectKind) -> Self {
-        Self {
-            kind,
-            mtu_bytes: 512,
-            setup_latency: SimDuration::from_micros(10),
-            efficiency: 0.85,
-        }
+        Self { kind, mtu_bytes: 512, setup_latency: SimDuration::from_micros(10), efficiency: 0.85 }
     }
 
     /// Sustained bandwidth in bytes per second.
@@ -97,8 +92,7 @@ impl Interconnect {
         if bytes == 0 {
             return SimDuration::ZERO;
         }
-        self.setup_latency
-            + SimDuration::from_secs_f64(bytes as f64 / (self.effective_bytes_per_sec() * 0.75))
+        self.setup_latency + SimDuration::from_secs_f64(bytes as f64 / (self.effective_bytes_per_sec() * 0.75))
     }
 
     /// Time for a kernel to stream `wire_bytes` of bus traffic (already
@@ -113,9 +107,7 @@ impl Interconnect {
         let transactions = wire_bytes.div_ceil(self.mtu_bytes);
         // ~64 bytes of packet/protocol overhead per transaction.
         let overhead_bytes = transactions * 64;
-        SimDuration::from_secs_f64(
-            (wire_bytes + overhead_bytes) as f64 / self.effective_bytes_per_sec(),
-        )
+        SimDuration::from_secs_f64((wire_bytes + overhead_bytes) as f64 / self.effective_bytes_per_sec())
     }
 }
 

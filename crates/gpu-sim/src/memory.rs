@@ -163,10 +163,7 @@ impl MemoryManager {
 
     /// Frees a buffer, releasing any device memory it held.
     pub fn free(&mut self, id: BufferId) -> Result<()> {
-        let info = self
-            .buffers
-            .remove(&id)
-            .ok_or_else(|| H2Error::InvalidKernel(format!("unknown buffer {id:?}")))?;
+        let info = self.buffers.remove(&id).ok_or_else(|| H2Error::InvalidKernel(format!("unknown buffer {id:?}")))?;
         match info.residency {
             Residency::Device => self.used_bytes = self.used_bytes.saturating_sub(info.bytes),
             Residency::HostUm { resident_pages, .. } => {
@@ -186,10 +183,8 @@ impl MemoryManager {
         let capacity = self.capacity_bytes;
         let mut newly_used = 0u64;
         let migrated = {
-            let info = self
-                .buffers
-                .get_mut(&id)
-                .ok_or_else(|| H2Error::InvalidKernel(format!("unknown buffer {id:?}")))?;
+            let info =
+                self.buffers.get_mut(&id).ok_or_else(|| H2Error::InvalidKernel(format!("unknown buffer {id:?}")))?;
             match &mut info.residency {
                 Residency::HostUm { resident_pages, total_pages } => {
                     let touched_pages = touched_bytes.div_ceil(page_bytes).min(*total_pages);
@@ -213,10 +208,7 @@ impl MemoryManager {
     /// model a cold start between experiment repetitions).
     pub fn evict_um(&mut self, id: BufferId) -> Result<()> {
         let page_bytes = self.page_bytes;
-        let info = self
-            .buffers
-            .get_mut(&id)
-            .ok_or_else(|| H2Error::InvalidKernel(format!("unknown buffer {id:?}")))?;
+        let info = self.buffers.get_mut(&id).ok_or_else(|| H2Error::InvalidKernel(format!("unknown buffer {id:?}")))?;
         if let Residency::HostUm { resident_pages, .. } = &mut info.residency {
             self.used_bytes = self.used_bytes.saturating_sub(*resident_pages * page_bytes);
             *resident_pages = 0;

@@ -95,11 +95,7 @@ impl SoftwareCache {
     /// *not* visible to other cores until [`SoftwareCache::writeback`].
     /// Returns the new (locally visible) version.
     pub fn write(&mut self, line: LineId) -> u64 {
-        let base = self
-            .lines
-            .get(&line)
-            .map(|(v, _)| *v)
-            .unwrap_or_else(|| self.domain.memory_version(line));
+        let base = self.lines.get(&line).map(|(v, _)| *v).unwrap_or_else(|| self.domain.memory_version(line));
         let new = base + 1;
         self.lines.insert(line, (new, true));
         new

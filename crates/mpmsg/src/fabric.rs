@@ -69,10 +69,8 @@ impl<M> Postbox<M> {
     /// Sends `payload` to `to`. Blocks if the destination mailbox is full,
     /// which provides natural back-pressure between OLTP workers.
     pub fn send(&self, to: CoreId, payload: M) -> Result<()> {
-        let sender = self
-            .senders
-            .get(to.0 as usize)
-            .ok_or_else(|| H2Error::ChannelClosed(format!("no such core {to:?}")))?;
+        let sender =
+            self.senders.get(to.0 as usize).ok_or_else(|| H2Error::ChannelClosed(format!("no such core {to:?}")))?;
         sender
             .send(Envelope { from: self.core, to, payload })
             .map_err(|_| H2Error::ChannelClosed(format!("mailbox of {to:?} closed")))?;

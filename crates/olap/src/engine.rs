@@ -13,10 +13,12 @@
 //! according to the table's layout (coalesced for DSM/PAX, strided for NSM)
 //! and the configured access mode (memcpy / UVA / UM / device-resident).
 
+use crate::site::ExecutionSite;
 use h2tap_common::{AggExpr, H2Error, Result, ScanAggQuery, SimDuration};
 use h2tap_gpu_sim::{
-    AccessMode, AccessPattern, BufferId, GpuDevice, KernelDesc, KernelMetrics, TransferDirection,
+    AccessMode, AccessPattern, BufferId, GpuDevice, KernelDesc, KernelMetrics, Residency, TransferDirection,
 };
+use h2tap_scheduler::OlapTarget;
 use h2tap_storage::{decode_cell_f64, Layout, SnapshotTable};
 use std::collections::HashMap;
 
@@ -40,10 +42,13 @@ pub struct OlapOutcome {
     pub qualifying_rows: u64,
     /// Simulated execution time (kernels plus any explicit transfers).
     pub time: SimDuration,
-    /// Per-kernel metrics, in launch order.
+    /// Per-kernel metrics, in launch order (empty for sites that do not
+    /// launch kernels, such as the CPU scan engine).
     pub kernels: Vec<KernelMetrics>,
     /// Bytes moved over the host-device interconnect.
     pub interconnect_bytes: u64,
+    /// The execution site that answered the query.
+    pub site: OlapTarget,
 }
 
 /// Kernel-at-a-time OLAP executor bound to one simulated GPU.
@@ -58,13 +63,26 @@ pub struct GpuOlapEngine {
     next_tag: usize,
 }
 
-/// Handle to a table registered with the engine.
+/// Handle to a table registered with an execution site. Opaque to callers;
+/// handles are only meaningful to the site that vended them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RegisteredTable {
     tag: usize,
     /// Whether the data had to be copied to the device explicitly (memcpy
     /// placement); the copy cost is charged per query batch by `execute`.
     explicit_copy: bool,
+}
+
+impl RegisteredTable {
+    /// Handle vended by the CPU site (which never copies explicitly).
+    pub(crate) fn cpu(tag: usize) -> Self {
+        Self { tag, explicit_copy: false }
+    }
+
+    /// The site-local registration tag.
+    pub(crate) fn tag(&self) -> usize {
+        self.tag
+    }
 }
 
 impl GpuOlapEngine {
@@ -251,29 +269,25 @@ impl GpuOlapEngine {
                 AggExpr::SumProduct(a, b) => {
                     let ta = schema.attr(*a).map(|x| x.ty).unwrap_or(h2tap_common::AttrType::Float64);
                     let tb = schema.attr(*b).map(|x| x.ty).unwrap_or(h2tap_common::AttrType::Float64);
-                    let mut idx = 0usize;
                     let col_b: Vec<u64> = table.iter_attr(*b).collect();
-                    for cell_a in table.iter_attr(*a) {
+                    for (idx, cell_a) in table.iter_attr(*a).enumerate() {
                         if selection[idx] {
                             value += decode_cell_f64(ta, cell_a) * decode_cell_f64(tb, col_b[idx]);
                             qualifying += 1;
                         }
-                        idx += 1;
                     }
                 }
                 AggExpr::SumColumns(cols) => {
                     let mut counted = false;
                     for &c in cols {
                         let ty = schema.attr(c).map(|x| x.ty).unwrap_or(h2tap_common::AttrType::Int64);
-                        let mut idx = 0usize;
-                        for cell in table.iter_attr(c) {
+                        for (idx, cell) in table.iter_attr(c).enumerate() {
                             if selection[idx] {
                                 value += decode_cell_f64(ty, cell);
                                 if !counted {
                                     qualifying += 1;
                                 }
                             }
-                            idx += 1;
                         }
                         counted = true;
                     }
@@ -294,7 +308,63 @@ impl GpuOlapEngine {
             total += self.device.memcpy(8, TransferDirection::DeviceToHost);
         }
 
-        Ok(OlapOutcome { value, qualifying_rows, time: total, kernels, interconnect_bytes })
+        Ok(OlapOutcome { value, qualifying_rows, time: total, kernels, interconnect_bytes, site: OlapTarget::Gpu })
+    }
+
+    /// Fraction of this engine's registered bytes already resident in device
+    /// memory — the data-locality term of the placement heuristic. Explicit
+    /// copies re-pay the transfer every query batch, so memcpy placement
+    /// counts as non-resident.
+    pub fn resident_fraction(&self) -> f64 {
+        match self.placement {
+            DataPlacement::DeviceResident => 1.0,
+            DataPlacement::Host(AccessMode::Memcpy) | DataPlacement::Host(AccessMode::Uva) => 0.0,
+            DataPlacement::Host(AccessMode::UnifiedMemory) => {
+                let mem = self.device.memory();
+                let mut total = 0u64;
+                let mut resident = 0u64;
+                for id in self.buffers.values().chain(self.nsm_buffers.values()) {
+                    let Ok(info) = mem.info(*id) else { continue };
+                    total += info.bytes;
+                    resident += match info.residency {
+                        Residency::Device => info.bytes,
+                        Residency::HostUm { resident_pages, .. } => (resident_pages * mem.page_bytes()).min(info.bytes),
+                        Residency::HostUva => 0,
+                    };
+                }
+                if total == 0 {
+                    0.0
+                } else {
+                    resident as f64 / total as f64
+                }
+            }
+        }
+    }
+}
+
+impl ExecutionSite for GpuOlapEngine {
+    fn target(&self) -> OlapTarget {
+        OlapTarget::Gpu
+    }
+
+    fn label(&self) -> &'static str {
+        "gpu"
+    }
+
+    fn register_table(&mut self, table: &SnapshotTable, label: &str) -> Result<RegisteredTable> {
+        GpuOlapEngine::register_table(self, table, label)
+    }
+
+    fn reset_tables(&mut self) {
+        GpuOlapEngine::reset_tables(self);
+    }
+
+    fn execute(&mut self, handle: RegisteredTable, table: &SnapshotTable, query: &ScanAggQuery) -> Result<OlapOutcome> {
+        GpuOlapEngine::execute(self, handle, table, query)
+    }
+
+    fn resident_fraction(&self) -> f64 {
+        GpuOlapEngine::resident_fraction(self)
     }
 }
 
@@ -317,12 +387,8 @@ mod tests {
         .unwrap();
         let t = db.create_table("t", schema, layout).unwrap();
         for i in 0..rows {
-            db.insert(
-                PartitionId(0),
-                t,
-                &[Value::Int64(i), Value::Int32((i % 10) as i32), Value::Float64(2.5)],
-            )
-            .unwrap();
+            db.insert(PartitionId(0), t, &[Value::Int64(i), Value::Int32((i % 10) as i32), Value::Float64(2.5)])
+                .unwrap();
         }
         let snap = db.snapshot();
         snap.table(t).unwrap().clone()
@@ -333,10 +399,7 @@ mod tests {
     }
 
     fn bucket_query() -> ScanAggQuery {
-        ScanAggQuery {
-            predicates: vec![Predicate::between(1, 0.0, 4.0)],
-            aggregate: AggExpr::SumProduct(1, 2),
-        }
+        ScanAggQuery { predicates: vec![Predicate::between(1, 0.0, 4.0)], aggregate: AggExpr::SumProduct(1, 2) }
     }
 
     #[test]

@@ -2,13 +2,20 @@
 //! archipelago.
 //!
 //! Analytical queries always run against an immutable [`h2tap_storage::Snapshot`]
-//! and are executed kernel-at-a-time on the simulated GPU
-//! ([`engine::GpuOlapEngine`]). Users trade freshness for performance by
-//! choosing how many queries share one snapshot ([`policy::SnapshotPolicy`]),
-//! which is the knob behind Figures 5-7 of the paper.
+//! on one of two [`site::ExecutionSite`]s: kernel-at-a-time on the simulated
+//! GPU ([`engine::GpuOlapEngine`]) or vectorised-scan on the archipelago's
+//! CPU cores ([`cpu::CpuOlapEngine`]). The engine picks the site per query
+//! with [`h2tap_scheduler::place_olap_query`] from live placement hints.
+//! Users trade freshness for performance by choosing how many queries share
+//! one snapshot ([`policy::SnapshotPolicy`]), which is the knob behind
+//! Figures 5-7 of the paper.
 
+pub mod cpu;
 pub mod engine;
 pub mod policy;
+pub mod site;
 
+pub use cpu::{CpuOlapEngine, CpuOlapResult, CpuScanProfile, CpuSpec};
 pub use engine::{DataPlacement, GpuOlapEngine, OlapOutcome, RegisteredTable};
 pub use policy::SnapshotPolicy;
+pub use site::ExecutionSite;

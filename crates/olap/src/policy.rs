@@ -30,7 +30,7 @@ impl SnapshotPolicy {
     pub fn should_refresh(self, query_index: u64) -> bool {
         match self {
             SnapshotPolicy::PerQuery => true,
-            SnapshotPolicy::EveryN { queries } => query_index % u64::from(queries.max(1)) == 0,
+            SnapshotPolicy::EveryN { queries } => query_index.is_multiple_of(u64::from(queries.max(1))),
             SnapshotPolicy::Manual => false,
         }
     }

@@ -1,0 +1,124 @@
+//! The `ExecutionSite` abstraction: one interface over every place an
+//! analytical query can run in the data-parallel archipelago.
+//!
+//! "The scheduler can combine dynamic run-time information, such as data
+//! locality, with static optimizer cost models to decide if a given
+//! analytical query should be executed on CPU or GPU cores in the
+//! data-parallel archipelago." For that decision to be *real* the engine
+//! needs both targets behind one dispatchable interface: the GPU
+//! kernel-at-a-time executor ([`crate::GpuOlapEngine`]) and the CPU
+//! vectorised scan engine ([`crate::CpuOlapEngine`]) both implement
+//! [`ExecutionSite`], and `Caldera::run_olap` picks between them per query
+//! with [`h2tap_scheduler::place_olap_query`].
+//!
+//! Besides execution, a site exposes the *cost and capability hints* the
+//! placement heuristic consumes: which [`OlapTarget`] it serves, what
+//! fraction of registered bytes already lives next to its compute
+//! ([`ExecutionSite::resident_fraction`]), and how it reacts to core
+//! migration ([`ExecutionSite::set_cores`]).
+
+use crate::engine::{OlapOutcome, RegisteredTable};
+use h2tap_common::{Result, ScanAggQuery};
+use h2tap_scheduler::OlapTarget;
+use h2tap_storage::SnapshotTable;
+
+/// A place where analytical queries execute: the simulated GPU or the CPU
+/// cores of the data-parallel archipelago.
+///
+/// The lifecycle mirrors snapshot-based OLAP: tables of the current snapshot
+/// are registered once ([`ExecutionSite::register_table`]), queried any
+/// number of times ([`ExecutionSite::execute`]), and dropped together when
+/// the snapshot is refreshed ([`ExecutionSite::reset_tables`]).
+pub trait ExecutionSite: Send {
+    /// Which placement target this site serves.
+    fn target(&self) -> OlapTarget;
+
+    /// Human-readable site name for stats and experiment output.
+    fn label(&self) -> &'static str;
+
+    /// Registers a snapshot table with the site. Must be called once per
+    /// snapshot table before queries run against it.
+    fn register_table(&mut self, table: &SnapshotTable, label: &str) -> Result<RegisteredTable>;
+
+    /// Releases every registration (called on snapshot refresh).
+    fn reset_tables(&mut self);
+
+    /// Executes `query` against a registered snapshot table, returning the
+    /// exact answer and the site's simulated cost.
+    fn execute(&mut self, handle: RegisteredTable, table: &SnapshotTable, query: &ScanAggQuery) -> Result<OlapOutcome>;
+
+    /// Cost hint: the fraction of registered bytes already resident next to
+    /// this site's compute (device memory for the GPU, host DRAM for the
+    /// CPU), in `[0, 1]`. The placement heuristic charges non-resident bytes
+    /// to the interconnect.
+    fn resident_fraction(&self) -> f64;
+
+    /// Capability hint: reacts to archipelago core migration. Sites that do
+    /// not execute on CPU cores ignore it.
+    fn set_cores(&mut self, _cores: u32) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuOlapEngine;
+    use crate::engine::{DataPlacement, GpuOlapEngine};
+    use h2tap_common::{AggExpr, AttrType, PartitionId, Schema, Value};
+    use h2tap_gpu_sim::{GpuDevice, GpuSpec};
+    use h2tap_storage::{Database, Layout};
+
+    fn snapshot_table(rows: i64) -> SnapshotTable {
+        let db = Database::new(1);
+        let t = db.create_table("t", Schema::homogeneous("c", 2, AttrType::Int64), Layout::Dsm).unwrap();
+        for i in 0..rows {
+            db.insert(PartitionId(0), t, &[Value::Int64(i), Value::Int64(2 * i)]).unwrap();
+        }
+        let snap = db.snapshot();
+        snap.table(t).unwrap().clone()
+    }
+
+    fn sites() -> Vec<Box<dyn ExecutionSite>> {
+        vec![
+            Box::new(GpuOlapEngine::new(GpuDevice::new(GpuSpec::gtx_980()), DataPlacement::DeviceResident)),
+            Box::new(CpuOlapEngine::archipelago_default(4)),
+        ]
+    }
+
+    #[test]
+    fn both_sites_agree_through_the_trait() {
+        let table = snapshot_table(1_000);
+        let query = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![1]));
+        let mut answers = Vec::new();
+        for mut site in sites() {
+            let handle = site.register_table(&table, "t").unwrap();
+            let out = site.execute(handle, &table, &query).unwrap();
+            assert_eq!(out.site, site.target());
+            answers.push(out.value);
+            site.reset_tables();
+        }
+        assert_eq!(answers[0], answers[1]);
+        assert_eq!(answers[0], (0..1_000).map(|i| 2.0 * i as f64).sum::<f64>());
+    }
+
+    #[test]
+    fn targets_and_labels_identify_the_sites() {
+        let all = sites();
+        assert_eq!(all[0].target(), OlapTarget::Gpu);
+        assert_eq!(all[1].target(), OlapTarget::Cpu);
+        assert_ne!(all[0].label(), all[1].label());
+    }
+
+    #[test]
+    fn resident_fraction_reflects_placement() {
+        let device_resident = sites().remove(0);
+        assert_eq!(device_resident.resident_fraction(), 1.0);
+        let uva: Box<dyn ExecutionSite> = Box::new(GpuOlapEngine::new(
+            GpuDevice::new(GpuSpec::gtx_980()),
+            DataPlacement::Host(h2tap_gpu_sim::AccessMode::Uva),
+        ));
+        assert_eq!(uva.resident_fraction(), 0.0);
+        // The CPU always streams from host DRAM: everything is "resident".
+        let cpu: Box<dyn ExecutionSite> = Box::new(CpuOlapEngine::archipelago_default(8));
+        assert_eq!(cpu.resident_fraction(), 1.0);
+    }
+}

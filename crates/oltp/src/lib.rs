@@ -34,8 +34,8 @@ pub use index::PartitionIndex;
 pub use locktable::LockTable;
 pub use messages::{LockMode, OltpMsg, TxnToken};
 pub use runtime::{
-    BenchmarkWindow, ModuloPartitioner, OltpConfig, OltpRuntime, OltpStats, Partitioner, StridePartitioner,
-    TxnGenerator, TxnProc, WorkerCounters,
+    BenchmarkWindow, ModuloPartitioner, OltpConfig, OltpRuntime, OltpStats, Partitioner, PartitionerKind,
+    StridePartitioner, TxnGenerator, TxnProc, WorkerCounters,
 };
 pub use txn::TxnCtx;
 pub use worker::TxnOutcome;
@@ -53,17 +53,13 @@ mod tests {
     /// round-robin (key % workers == partition), and the matching indexes.
     fn setup(workers: usize, rows_per_partition: u64) -> (Arc<Database>, TableId, Vec<PartitionIndex>) {
         let db = Database::new(workers);
-        let table = db
-            .create_table("accounts", Schema::homogeneous("c", 2, AttrType::Int64), Layout::Dsm)
-            .unwrap();
+        let table = db.create_table("accounts", Schema::homogeneous("c", 2, AttrType::Int64), Layout::Dsm).unwrap();
         let mut indexes = vec![PartitionIndex::new(); workers];
-        for p in 0..workers {
+        for (p, index) in indexes.iter_mut().enumerate() {
             for i in 0..rows_per_partition {
                 let key = (i * workers as u64 + p as u64) as i64;
-                let rid = db
-                    .insert(PartitionId(p as u32), table, &[Value::Int64(key), Value::Int64(100)])
-                    .unwrap();
-                indexes[p].insert(table, key, rid.row);
+                let rid = db.insert(PartitionId(p as u32), table, &[Value::Int64(key), Value::Int64(100)]).unwrap();
+                index.insert(table, key, rid.row);
             }
         }
         (db, table, indexes)
@@ -287,14 +283,18 @@ mod tests {
     #[test]
     fn runtime_rejects_mismatched_partition_count() {
         let (db, _, indexes) = setup(2, 4);
-        let err = OltpRuntime::start(
-            db,
-            OltpConfig::with_workers(3),
-            Arc::new(ModuloPartitioner::new(3)),
-            indexes,
-            None,
-        );
+        let err =
+            OltpRuntime::start(db, OltpConfig::with_workers(3), Arc::new(ModuloPartitioner::new(3)), indexes, None);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn partitioner_kind_builds_the_matching_partitioner() {
+        let modulo = PartitionerKind::Modulo.build(4);
+        assert_eq!(modulo.partition_of(TableId(0), 6), PartitionId(2));
+        let stride = PartitionerKind::Stride { stride: 100 }.build(4);
+        assert_eq!(stride.partition_of(TableId(0), 250), PartitionId(2));
+        assert_eq!(PartitionerKind::default(), PartitionerKind::Modulo);
     }
 
     #[test]

@@ -101,10 +101,8 @@ mod tests {
 
     #[test]
     fn messages_are_cloneable_for_fanout() {
-        let msg = OltpMsg::Release {
-            txn: TxnToken::new(2, 9),
-            rids: vec![RecordId::new(PartitionId(1), TableId(0), 3)],
-        };
+        let msg =
+            OltpMsg::Release { txn: TxnToken::new(2, 9), rids: vec![RecordId::new(PartitionId(1), TableId(0), 3)] };
         let copy = msg.clone();
         match copy {
             OltpMsg::Release { txn, rids } => {

@@ -35,7 +35,10 @@ pub trait Partitioner: Send + Sync {
     fn partition_of(&self, table: TableId, key: i64) -> PartitionId;
 }
 
-/// Default partitioner: keys are spread round-robin over partitions.
+/// Default partitioner: a key is owned by partition `|key| % partitions`
+/// (modulo hashing). Consecutive keys land on consecutive partitions, but
+/// ownership is a pure function of the key value — unlike round-robin, the
+/// arrival order of keys plays no role.
 #[derive(Debug, Clone)]
 pub struct ModuloPartitioner {
     partitions: u32,
@@ -80,6 +83,33 @@ impl StridePartitioner {
 impl Partitioner for StridePartitioner {
     fn partition_of(&self, _table: TableId, key: i64) -> PartitionId {
         PartitionId(((key / self.stride).unsigned_abs() % u64::from(self.partitions)) as u32)
+    }
+}
+
+/// Declarative choice of a built-in [`Partitioner`], so engine configuration
+/// can select the partitioning scheme instead of callers hard-wiring one at
+/// runtime construction. Custom partitioners still plug in through
+/// [`Partitioner`] directly (e.g. `CalderaBuilder::set_partitioner`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionerKind {
+    /// [`ModuloPartitioner`]: partition = `|key| % partitions`.
+    #[default]
+    Modulo,
+    /// [`StridePartitioner`]: keys carry their partition in the high bits
+    /// (`key = partition * stride + local_key`).
+    Stride {
+        /// Keys per partition block.
+        stride: i64,
+    },
+}
+
+impl PartitionerKind {
+    /// Builds the chosen partitioner over `partitions` partitions.
+    pub fn build(self, partitions: usize) -> Arc<dyn Partitioner> {
+        match self {
+            PartitionerKind::Modulo => Arc::new(ModuloPartitioner::new(partitions)),
+            PartitionerKind::Stride { stride } => Arc::new(StridePartitioner::new(stride, partitions)),
+        }
     }
 }
 
@@ -339,10 +369,8 @@ impl OltpRuntime {
     /// outcome arrives on the returned channel.
     pub fn submit(&self, home: PartitionId, proc: TxnProc) -> Result<crossbeam_channel::Receiver<TxnOutcome>> {
         let (tx, rx) = bounded(1);
-        let sender = self
-            .job_senders
-            .get(home.0 as usize)
-            .ok_or_else(|| H2Error::Config(format!("no worker for {home}")))?;
+        let sender =
+            self.job_senders.get(home.0 as usize).ok_or_else(|| H2Error::Config(format!("no worker for {home}")))?;
         sender
             .send(Job { proc, reply: Some(tx) })
             .map_err(|_| H2Error::ChannelClosed(format!("worker {home} is gone")))?;

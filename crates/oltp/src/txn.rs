@@ -88,9 +88,7 @@ impl<'a> TxnCtx<'a> {
     pub fn insert_local(&mut self, table: TableId, key: i64, values: Vec<Value>) -> Result<()> {
         let home = self.home();
         if self.state.partitioner.partition_of(table, key) != home {
-            return Err(H2Error::TxnAborted(format!(
-                "insert of key {key} does not belong to home partition {home}"
-            )));
+            return Err(H2Error::TxnAborted(format!("insert of key {key} does not belong to home partition {home}")));
         }
         if self.state.index.lookup(table, key).is_some() {
             return Err(H2Error::TxnAborted(format!("duplicate primary key {key}")));
@@ -125,7 +123,11 @@ impl<'a> TxnCtx<'a> {
             }
         }
         let target = self.state.partitioner.partition_of(table, key);
-        let rid = if target == self.home() { self.acquire_local(table, key, mode)? } else { self.acquire_remote(target, table, key, mode)? };
+        let rid = if target == self.home() {
+            self.acquire_local(table, key, mode)?
+        } else {
+            self.acquire_remote(target, table, key, mode)?
+        };
         self.held.insert((table, key), HeldLock { rid, mode });
         Ok(rid)
     }
@@ -146,16 +148,15 @@ impl<'a> TxnCtx<'a> {
 
     fn acquire_remote(&mut self, target: PartitionId, table: TableId, key: i64, mode: LockMode) -> Result<RecordId> {
         self.state.counters.add_remote_request();
-        self.state
-            .postbox
-            .send(core_of(target), OltpMsg::LockRequest { txn: self.token, table, key, mode })?;
+        self.state.postbox.send(core_of(target), OltpMsg::LockRequest { txn: self.token, table, key, mode })?;
         let deadline = Instant::now() + self.state.remote_timeout;
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 return Err(H2Error::LockTimeout(format!("no reply for key {key} from {target}")));
             }
-            let Some(env) = self.state.mailbox.recv_timeout(remaining.min(std::time::Duration::from_micros(500)))? else {
+            let Some(env) = self.state.mailbox.recv_timeout(remaining.min(std::time::Duration::from_micros(500)))?
+            else {
                 continue;
             };
             // While waiting for our grant we keep playing the server role so
@@ -218,10 +219,7 @@ impl<'a> TxnCtx<'a> {
         self.finished = true;
         self.state.lock_table.release_all(self.token);
         for (server, rids) in self.remote.drain() {
-            let _ = self
-                .state
-                .postbox
-                .send(core_of(PartitionId(server)), OltpMsg::Release { txn: self.token, rids });
+            let _ = self.state.postbox.send(core_of(PartitionId(server)), OltpMsg::Release { txn: self.token, rids });
         }
         self.held.clear();
     }

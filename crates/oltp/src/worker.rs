@@ -87,9 +87,7 @@ impl WorkerState {
             }
             msg @ (OltpMsg::LockGrant { .. } | OltpMsg::LockDenied { .. }) => {
                 let for_me = match (&msg, waiting_for) {
-                    (OltpMsg::LockGrant { txn, .. }, Some(t)) | (OltpMsg::LockDenied { txn, .. }, Some(t)) => {
-                        *txn == t
-                    }
+                    (OltpMsg::LockGrant { txn, .. }, Some(t)) | (OltpMsg::LockDenied { txn, .. }, Some(t)) => *txn == t,
                     _ => false,
                 };
                 if for_me {

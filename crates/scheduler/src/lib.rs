@@ -13,4 +13,4 @@ pub mod archipelago;
 pub mod placement;
 
 pub use archipelago::{Archipelago, ArchipelagoKind, Scheduler};
-pub use placement::{place_olap_query, OlapTarget, PlacementHints};
+pub use placement::{place_olap_query, OlapTarget, PlacementHints, DEFAULT_GPU_DISPATCH_OVERHEAD_SECS};

@@ -4,10 +4,11 @@
 //! "The scheduler can combine dynamic run-time information, such as data
 //! locality, with static optimizer cost models to decide if a given
 //! analytical query should be executed on CPU or GPU cores in the
-//! data-parallel archipelago." The heuristic here uses the two dominant
-//! terms of that decision for scan-heavy queries: how many bytes have to
-//! cross the interconnect (scaled by whether they are already GPU-resident)
-//! versus how fast the CPU cores could stream the same bytes from memory.
+//! data-parallel archipelago." The heuristic here uses the dominant terms of
+//! that decision for scan-heavy queries: how many bytes have to cross the
+//! interconnect (scaled by whether they are already GPU-resident) plus a
+//! fixed GPU dispatch cost, versus how fast the CPU cores can stream the
+//! same bytes from memory plus their per-tuple processing work.
 
 use h2tap_gpu_sim::GpuSpec;
 use serde::{Deserialize, Serialize};
@@ -21,6 +22,12 @@ pub enum OlapTarget {
     Cpu,
 }
 
+/// Fixed per-query cost of dispatching to the GPU (kernel launches, snapshot
+/// table registration, result read-back): roughly 30 µs, the right order for
+/// a handful of CUDA kernel launches. This is what routes *tiny* scans to the
+/// CPU even when their data is device-resident.
+pub const DEFAULT_GPU_DISPATCH_OVERHEAD_SECS: f64 = 30e-6;
+
 /// Inputs to the placement decision.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PlacementHints {
@@ -32,11 +39,29 @@ pub struct PlacementHints {
     pub available_cpu_cores: u32,
     /// Sustained per-core CPU memory bandwidth in GB/s.
     pub cpu_core_bandwidth_gbps: f64,
+    /// Fixed per-query GPU dispatch cost in seconds (kernel launch and
+    /// registration overheads the bandwidth terms do not capture).
+    pub gpu_dispatch_overhead_secs: f64,
+    /// Rows the query scans (0 when unknown; disables the per-tuple term).
+    pub rows: u64,
+    /// Aggregate per-tuple CPU processing cost in nanoseconds, spread over
+    /// the available cores. Column-at-a-time engines are per-tuple bound well
+    /// before they are bandwidth bound, so ignoring this term would
+    /// systematically over-place queries on the CPU.
+    pub cpu_per_tuple_ns: f64,
 }
 
 impl Default for PlacementHints {
     fn default() -> Self {
-        Self { bytes_to_scan: 0, gpu_resident_fraction: 0.0, available_cpu_cores: 0, cpu_core_bandwidth_gbps: 3.0 }
+        Self {
+            bytes_to_scan: 0,
+            gpu_resident_fraction: 0.0,
+            available_cpu_cores: 0,
+            cpu_core_bandwidth_gbps: 3.0,
+            gpu_dispatch_overhead_secs: DEFAULT_GPU_DISPATCH_OVERHEAD_SECS,
+            rows: 0,
+            cpu_per_tuple_ns: 0.0,
+        }
     }
 }
 
@@ -50,12 +75,15 @@ pub fn place_olap_query(gpu: &GpuSpec, hints: &PlacementHints) -> OlapTarget {
     let resident = hints.gpu_resident_fraction.clamp(0.0, 1.0);
     let bytes = hints.bytes_to_scan as f64;
     // GPU: resident bytes stream at device bandwidth, the rest crosses the
-    // interconnect.
-    let gpu_time = resident * bytes / gpu.mem_bytes_per_sec()
+    // interconnect, plus the fixed dispatch cost every query pays.
+    let gpu_time = hints.gpu_dispatch_overhead_secs.max(0.0)
+        + resident * bytes / gpu.mem_bytes_per_sec()
         + (1.0 - resident) * bytes / (gpu.interconnect.kind.bandwidth_gbps() * 1e9);
-    // CPU: all bytes stream from host memory across the available cores.
+    // CPU: all bytes stream from host memory across the available cores,
+    // plus per-tuple processing work spread over the same cores.
     let cpu_bw = f64::from(hints.available_cpu_cores) * hints.cpu_core_bandwidth_gbps * 1e9;
-    let cpu_time = bytes / cpu_bw.max(1.0);
+    let cpu_time = bytes / cpu_bw.max(1.0)
+        + hints.rows as f64 * hints.cpu_per_tuple_ns.max(0.0) * 1e-9 / f64::from(hints.available_cpu_cores.max(1));
     if cpu_time < gpu_time {
         OlapTarget::Cpu
     } else {
@@ -74,6 +102,7 @@ mod tests {
             gpu_resident_fraction: 1.0,
             available_cpu_cores: 24,
             cpu_core_bandwidth_gbps: 3.0,
+            ..PlacementHints::default()
         };
         assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &hints), OlapTarget::Gpu);
     }
@@ -87,6 +116,7 @@ mod tests {
             gpu_resident_fraction: 0.0,
             available_cpu_cores: 24,
             cpu_core_bandwidth_gbps: 3.0,
+            ..PlacementHints::default()
         };
         assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &hints), OlapTarget::Cpu);
     }
@@ -98,6 +128,7 @@ mod tests {
             gpu_resident_fraction: 0.0,
             available_cpu_cores: 2,
             cpu_core_bandwidth_gbps: 3.0,
+            ..PlacementHints::default()
         };
         assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &hints), OlapTarget::Gpu);
     }
@@ -106,5 +137,39 @@ mod tests {
     fn no_cpu_cores_defaults_to_gpu() {
         let hints = PlacementHints { bytes_to_scan: 1 << 20, ..PlacementHints::default() };
         assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &hints), OlapTarget::Gpu);
+    }
+
+    #[test]
+    fn tiny_scans_route_to_cpu_even_when_device_resident() {
+        // 64 KiB fully resident: the bandwidth terms are microseconds either
+        // way, so the fixed GPU dispatch overhead dominates and the CPU wins.
+        let hints = PlacementHints {
+            bytes_to_scan: 64 << 10,
+            gpu_resident_fraction: 1.0,
+            available_cpu_cores: 4,
+            ..PlacementHints::default()
+        };
+        assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &hints), OlapTarget::Cpu);
+        // Without the overhead term the same tiny resident scan goes to the
+        // GPU (224 GB/s of device bandwidth beats 12 GB/s of CPU bandwidth).
+        let no_overhead = PlacementHints { gpu_dispatch_overhead_secs: 0.0, ..hints };
+        assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &no_overhead), OlapTarget::Gpu);
+    }
+
+    #[test]
+    fn per_tuple_cost_pushes_large_host_scans_back_to_gpu() {
+        // 64 M rows of 16 bytes streaming from host memory: bandwidth alone
+        // favours 24 CPU cores over PCIe, but 93 ns/tuple of column-at-a-time
+        // work (the Figure-4 calibration) makes the CPU slower end to end.
+        let hints = PlacementHints {
+            bytes_to_scan: (64 << 20) * 16,
+            available_cpu_cores: 24,
+            rows: 64 << 20,
+            cpu_per_tuple_ns: 93.0,
+            ..PlacementHints::default()
+        };
+        assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &hints), OlapTarget::Gpu);
+        let streaming_only = PlacementHints { cpu_per_tuple_ns: 0.0, ..hints };
+        assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &streaming_only), OlapTarget::Cpu);
     }
 }

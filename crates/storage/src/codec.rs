@@ -52,11 +52,7 @@ pub fn decode_record(schema: &Schema, cells: &[u64]) -> Result<Vec<Value>> {
     if cells.len() != schema.arity() {
         return Err(H2Error::Config("cell count does not match schema arity".into()));
     }
-    Ok(cells
-        .iter()
-        .zip(schema.attributes())
-        .map(|(cell, attr)| decode_cell(attr.ty, *cell))
-        .collect())
+    Ok(cells.iter().zip(schema.attributes()).map(|(cell, attr)| decode_cell(attr.ty, *cell)).collect())
 }
 
 #[cfg(test)]

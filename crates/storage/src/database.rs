@@ -81,10 +81,7 @@ impl Database {
 
     /// The store of one partition.
     pub fn partition(&self, p: PartitionId) -> Result<Arc<RwLock<PartitionStore>>> {
-        self.partitions
-            .get(p.0 as usize)
-            .cloned()
-            .ok_or_else(|| H2Error::Config(format!("partition {p} out of range")))
+        self.partitions.get(p.0 as usize).cloned().ok_or_else(|| H2Error::Config(format!("partition {p} out of range")))
     }
 
     /// Copy-on-write telemetry counters.

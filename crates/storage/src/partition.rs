@@ -33,9 +33,7 @@ impl PartitionStore {
 
     /// Registers a table in this partition.
     pub fn register_table(&mut self, table: TableId, schema: Arc<Schema>, layout: Layout) {
-        self.fragments
-            .entry(table)
-            .or_insert_with(|| TableFragment::new(schema, layout, Arc::clone(&self.telemetry)));
+        self.fragments.entry(table).or_insert_with(|| TableFragment::new(schema, layout, Arc::clone(&self.telemetry)));
     }
 
     /// The fragment of `table`, if registered.
@@ -45,9 +43,7 @@ impl PartitionStore {
 
     /// Mutable access to the fragment of `table`.
     pub fn fragment_mut(&mut self, table: TableId) -> Result<&mut TableFragment> {
-        self.fragments
-            .get_mut(&table)
-            .ok_or_else(|| H2Error::UnknownTable(format!("{table} in partition {}", self.id)))
+        self.fragments.get_mut(&table).ok_or_else(|| H2Error::UnknownTable(format!("{table} in partition {}", self.id)))
     }
 
     /// Tables registered in this partition.

@@ -117,11 +117,7 @@ mod tests {
         for i in 5..9u64 {
             p1.push(&[i, i * 2, i * 3]).unwrap();
         }
-        SnapshotTable {
-            schema,
-            layout: Layout::Dsm,
-            partitions: vec![vec![Arc::new(p0)], vec![Arc::new(p1)]],
-        }
+        SnapshotTable { schema, layout: Layout::Dsm, partitions: vec![vec![Arc::new(p0)], vec![Arc::new(p1)]] }
     }
 
     #[test]

@@ -72,10 +72,8 @@ impl TableFragment {
     fn locate(&self, row: u64) -> Result<(usize, usize)> {
         let page_idx = (row as usize) / self.rows_per_page;
         let slot = (row as usize) % self.rows_per_page;
-        let page = self
-            .pages
-            .get(page_idx)
-            .ok_or_else(|| H2Error::UnknownRecord(format!("row {row} beyond fragment")))?;
+        let page =
+            self.pages.get(page_idx).ok_or_else(|| H2Error::UnknownRecord(format!("row {row} beyond fragment")))?;
         if slot >= page.len() {
             return Err(H2Error::UnknownRecord(format!("row {row} beyond fragment")));
         }
@@ -185,7 +183,7 @@ mod tests {
         let mut f = TableFragment::new(schema, Layout::PAPER_PAX, CowTelemetry::new());
         // PAX pages for this schema hold 64 rows; insert 200.
         for i in 0..200u64 {
-            f.insert(&vec![i; 16], Epoch::ZERO).unwrap();
+            f.insert(&[i; 16], Epoch::ZERO).unwrap();
         }
         assert_eq!(f.rows_per_page(), 64);
         assert_eq!(f.pages().len(), 4);

@@ -67,7 +67,11 @@ pub fn multisite_partitioner(partitions: usize) -> StridePartitioner {
 
 /// Loads the table into a Caldera builder (partitioner must already be
 /// [`multisite_partitioner`]). Returns the table id.
-pub fn load_multisite_caldera(builder: &mut CalderaBuilder, rows_per_partition: u64, partitions: usize) -> Result<TableId> {
+pub fn load_multisite_caldera(
+    builder: &mut CalderaBuilder,
+    rows_per_partition: u64,
+    partitions: usize,
+) -> Result<TableId> {
     let table = builder.create_table("records", multisite_schema(), Layout::Nsm)?;
     for p in 0..partitions {
         for row in 0..rows_per_partition {
@@ -107,8 +111,7 @@ fn draw_keys(cfg: &MultisiteConfig, home: usize, rng: &mut SplitMixRng) -> (Vec<
     let multisite = cfg.partitions > 1 && rng.next_below(100) < u64::from(cfg.multisite_pct.min(100));
     let remote_count = if multisite { cfg.remote_reads.min(cfg.reads_per_txn) } else { 0 };
     let local_count = cfg.reads_per_txn - remote_count;
-    let local: Vec<i64> =
-        (0..local_count).map(|_| cfg.key(home, rng.next_below(cfg.rows_per_partition))).collect();
+    let local: Vec<i64> = (0..local_count).map(|_| cfg.key(home, rng.next_below(cfg.rows_per_partition))).collect();
     let mut remote = Vec::with_capacity(remote_count);
     if remote_count > 0 {
         let mut target = rng.next_below(cfg.partitions as u64) as usize;

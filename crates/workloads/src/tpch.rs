@@ -98,6 +98,13 @@ pub fn q6() -> ScanAggQuery {
     }
 }
 
+/// Bytes a columnar engine must read to answer Q6 over `rows` lineitem
+/// records — the query's `bytes_to_scan` placement hint, exposed here so
+/// experiments can report the footprint the scheduler reasons about.
+pub fn q6_scan_bytes(rows: u64) -> u64 {
+    q6().scan_bytes(&lineitem_schema(), rows)
+}
+
 /// Loads a lineitem table with `rows` records into a Caldera builder,
 /// spreading rows round-robin across partitions (key = global row number).
 /// Returns the table id.
@@ -141,6 +148,15 @@ mod tests {
         assert_eq!(s.index_of("l_quantity"), Some(columns::QUANTITY));
         assert_eq!(s.index_of("l_shipdate"), Some(columns::SHIPDATE));
         assert_eq!(s.index_of("l_extendedprice"), Some(columns::EXTENDEDPRICE));
+    }
+
+    #[test]
+    fn q6_scan_bytes_counts_the_four_accessed_columns() {
+        let schema = lineitem_schema();
+        let per_row: u64 = q6().columns_accessed().iter().map(|&c| schema.attr(c).unwrap().ty.width() as u64).sum();
+        assert_eq!(q6().columns_accessed().len(), 4);
+        assert_eq!(q6_scan_bytes(1_000), per_row * 1_000);
+        assert_eq!(q6_scan_bytes(0), 0);
     }
 
     #[test]

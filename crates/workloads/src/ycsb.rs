@@ -85,8 +85,7 @@ impl TxnGenerator for YcsbGenerator {
     fn next_txn(&self, home: PartitionId, _seq: u64, rng: &mut SplitMixRng) -> TxnProc {
         let table = self.config.table;
         let update_column = self.config.update_column;
-        let keys: Vec<i64> =
-            (0..self.config.ops_per_txn).map(|_| self.key_for(home, self.zipf.sample(rng))).collect();
+        let keys: Vec<i64> = (0..self.config.ops_per_txn).map(|_| self.key_for(home, self.zipf.sample(rng))).collect();
         Arc::new(move |ctx| {
             for &key in &keys {
                 let mut record = ctx.read_for_update(table, key)?;
@@ -104,10 +103,7 @@ mod tests {
     use super::*;
 
     fn config(pct: u32) -> YcsbConfig {
-        YcsbConfig {
-            working_set_pct: pct,
-            ..YcsbConfig::paper_default(TableId(0), 1000, 4)
-        }
+        YcsbConfig { working_set_pct: pct, ..YcsbConfig::paper_default(TableId(0), 1000, 4) }
     }
 
     #[test]

@@ -29,9 +29,7 @@ fn main() {
         )
         .unwrap();
     for id in 0..100_000i64 {
-        builder
-            .load(accounts, id, &[Value::Int64(id), Value::Int32((id % 50) as i32), Value::Float64(100.0)])
-            .unwrap();
+        builder.load(accounts, id, &[Value::Int64(id), Value::Int32((id % 50) as i32), Value::Float64(100.0)]).unwrap();
     }
     let caldera = builder.start().unwrap();
 
@@ -54,10 +52,8 @@ fn main() {
 
     // 3. OLAP: total balance of regions 0-9, computed by the GPU model over a
     //    transactionally consistent snapshot.
-    let query = ScanAggQuery {
-        predicates: vec![Predicate::between(1, 0.0, 9.0)],
-        aggregate: AggExpr::SumColumns(vec![2]),
-    };
+    let query =
+        ScanAggQuery { predicates: vec![Predicate::between(1, 0.0, 9.0)], aggregate: AggExpr::SumColumns(vec![2]) };
     let outcome = caldera.run_olap(accounts, &query).unwrap();
     println!(
         "regions 0-9 hold {:.2} across {} accounts (GPU time {}, {} kernels)",

@@ -4,8 +4,8 @@
 //! releasing) are exactly what keeps readers from seeing stale data on
 //! non-cache-coherent hardware.
 
-use h2tap_mpmsg::{build_fabric, CoherenceDomain, CoreId, LineId, OwnershipRegistry, SoftwareCache};
 use h2tap_common::PartitionId;
+use h2tap_mpmsg::{build_fabric, CoherenceDomain, CoreId, LineId, OwnershipRegistry, SoftwareCache};
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -1,0 +1,135 @@
+//! Integration tests for heterogeneous OLAP dispatch: the CPU and GPU
+//! execution sites must be interchangeable answer-wise, and the scheduler's
+//! placement decision must route real queries to the site the paper's
+//! heuristic predicts.
+
+use caldera::{Caldera, CalderaConfig, DataPlacement, OlapTarget, SnapshotPolicy};
+use h2tap_common::{AggExpr, PartitionId, Predicate, ScanAggQuery, Value};
+use h2tap_storage::Layout;
+use h2tap_workloads::tpch::{self, q6};
+use std::sync::Arc;
+
+fn caldera_with_lineitem(mut config: CalderaConfig, layout: Layout, rows: u64) -> (Caldera, h2tap_common::TableId) {
+    config.snapshot_policy = SnapshotPolicy::Manual;
+    let mut builder = Caldera::builder(config);
+    let table = tpch::load_lineitem(&mut builder, layout, rows, 7).unwrap();
+    (builder.start().unwrap(), table)
+}
+
+/// CPU and GPU sites must return identical `value` / `qualifying_rows` for
+/// the same snapshot, whatever the storage layout.
+#[test]
+fn cpu_and_gpu_sites_agree_on_q6_across_all_layouts() {
+    let rows = 40_000;
+    let expected = tpch::q6_reference(rows, 7);
+    for layout in [Layout::Nsm, Layout::Dsm, Layout::PAPER_PAX] {
+        let (caldera, table) = caldera_with_lineitem(CalderaConfig::with_workers(1), layout, rows);
+        let query = q6();
+        let gpu = caldera.run_olap_on(table, &query, OlapTarget::Gpu).unwrap();
+        let cpu = caldera.run_olap_on(table, &query, OlapTarget::Cpu).unwrap();
+        assert_eq!(gpu.site, OlapTarget::Gpu);
+        assert_eq!(cpu.site, OlapTarget::Cpu);
+        assert!((gpu.value - expected).abs() < 1e-6, "{layout:?}: gpu {} vs reference {expected}", gpu.value);
+        assert_eq!(gpu.value, cpu.value, "{layout:?}");
+        assert_eq!(gpu.qualifying_rows, cpu.qualifying_rows, "{layout:?}");
+        let stats = caldera.shutdown();
+        assert_eq!(stats.olap_queries_on(OlapTarget::Gpu), 1);
+        assert_eq!(stats.olap_queries_on(OlapTarget::Cpu), 1);
+    }
+}
+
+/// Sites also agree under predicates + sum aggregates on a hand-built table
+/// that mixes attribute types.
+#[test]
+fn sites_agree_on_filtered_aggregates_over_mixed_types() {
+    let mut config = CalderaConfig::with_workers(2);
+    config.snapshot_policy = SnapshotPolicy::Manual;
+    let mut builder = Caldera::builder(config);
+    let schema = h2tap_common::Schema::new(vec![
+        h2tap_common::Attribute::new("k", h2tap_common::AttrType::Int64),
+        h2tap_common::Attribute::new("bucket", h2tap_common::AttrType::Int32),
+        h2tap_common::Attribute::new("price", h2tap_common::AttrType::Float64),
+    ])
+    .unwrap();
+    let table = builder.create_table("orders", schema, Layout::PAPER_PAX).unwrap();
+    for k in 0..10_000i64 {
+        builder
+            .load(table, k, &[Value::Int64(k), Value::Int32((k % 10) as i32), Value::Float64(k as f64 * 0.5)])
+            .unwrap();
+    }
+    let caldera = builder.start().unwrap();
+    let query =
+        ScanAggQuery { predicates: vec![Predicate::between(1, 2.0, 6.0)], aggregate: AggExpr::SumProduct(1, 2) };
+    let gpu = caldera.run_olap_on(table, &query, OlapTarget::Gpu).unwrap();
+    let cpu = caldera.run_olap_on(table, &query, OlapTarget::Cpu).unwrap();
+    assert_eq!(gpu.value, cpu.value);
+    assert_eq!(gpu.qualifying_rows, cpu.qualifying_rows);
+    assert_eq!(gpu.qualifying_rows, 5_000);
+    caldera.shutdown();
+}
+
+/// A tiny scan over host-resident data routes to the CPU site: the fixed GPU
+/// dispatch cost dominates and the snapshot already lives in host DRAM.
+#[test]
+fn tiny_host_resident_scan_routes_to_cpu() {
+    let mut config = CalderaConfig::with_workers(2);
+    config.olap_cpu_cores = 8;
+    let (caldera, table) = caldera_with_lineitem(config, Layout::Dsm, 2_000);
+    let out = caldera.run_olap(table, &q6()).unwrap();
+    assert_eq!(out.site, OlapTarget::Cpu);
+    let stats = caldera.shutdown();
+    assert_eq!(stats.olap_queries_on(OlapTarget::Cpu), 1);
+    assert_eq!(stats.olap_queries_on(OlapTarget::Gpu), 0);
+}
+
+/// A large device-resident scan routes to the GPU site: device memory
+/// bandwidth dwarfs what the archipelago's CPU cores can stream.
+#[test]
+fn large_device_resident_scan_routes_to_gpu() {
+    let mut config = CalderaConfig::with_workers(2);
+    config.olap_cpu_cores = 8;
+    config.olap_device.placement = DataPlacement::DeviceResident;
+    let (caldera, table) = caldera_with_lineitem(config, Layout::Dsm, 150_000);
+    let out = caldera.run_olap(table, &q6()).unwrap();
+    assert_eq!(out.site, OlapTarget::Gpu);
+    let stats = caldera.shutdown();
+    assert_eq!(stats.olap_queries_on(OlapTarget::Gpu), 1);
+    assert_eq!(stats.olap_queries_on(OlapTarget::Cpu), 0);
+}
+
+/// The dispatch loop keeps working across snapshot refreshes and OLTP
+/// updates: both sites see the same fresh data after a refresh.
+#[test]
+fn sites_stay_consistent_across_snapshot_refreshes() {
+    let mut config = CalderaConfig::with_workers(2);
+    config.snapshot_policy = SnapshotPolicy::Manual;
+    let mut builder = Caldera::builder(config);
+    let table = builder
+        .create_table("accounts", h2tap_common::Schema::homogeneous("c", 2, h2tap_common::AttrType::Int64), Layout::Dsm)
+        .unwrap();
+    for k in 0..1_000i64 {
+        builder.load(table, k, &[Value::Int64(k), Value::Int64(1)]).unwrap();
+    }
+    let caldera = builder.start().unwrap();
+    let query = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![1]));
+    assert_eq!(caldera.run_olap_on(table, &query, OlapTarget::Cpu).unwrap().value, 1_000.0);
+    assert_eq!(caldera.run_olap_on(table, &query, OlapTarget::Gpu).unwrap().value, 1_000.0);
+    caldera
+        .execute_txn_on(
+            PartitionId(0),
+            Arc::new(move |ctx| {
+                let mut rec = ctx.read_for_update(table, 0)?;
+                rec[1] = Value::Int64(501);
+                ctx.update(table, 0, rec)
+            }),
+        )
+        .unwrap();
+    // Stale until the snapshot refreshes, on both sites.
+    assert_eq!(caldera.run_olap_on(table, &query, OlapTarget::Cpu).unwrap().value, 1_000.0);
+    caldera.refresh_snapshot().unwrap();
+    assert_eq!(caldera.run_olap_on(table, &query, OlapTarget::Cpu).unwrap().value, 1_500.0);
+    assert_eq!(caldera.run_olap_on(table, &query, OlapTarget::Gpu).unwrap().value, 1_500.0);
+    let stats = caldera.shutdown();
+    assert_eq!(stats.olap_queries, 5);
+    assert_eq!(stats.snapshots_taken, 2);
+}

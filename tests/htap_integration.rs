@@ -43,9 +43,8 @@ fn olap_queries_see_exactly_the_committed_updates_of_their_snapshot() {
     let caldera = builder.start().unwrap();
 
     // Sum of quantity before any update.
-    let sum_quantity = h2tap_common::ScanAggQuery::aggregate_only(h2tap_common::AggExpr::SumColumns(vec![
-        tpch::columns::QUANTITY,
-    ]));
+    let sum_quantity =
+        h2tap_common::ScanAggQuery::aggregate_only(h2tap_common::AggExpr::SumColumns(vec![tpch::columns::QUANTITY]));
     let before = caldera.run_olap(table, &sum_quantity).unwrap().value;
 
     // Commit 100 transactions, each adding exactly 1.0 to one record's quantity.
@@ -83,15 +82,10 @@ fn concurrent_oltp_and_olap_preserve_snapshot_consistency() {
         let mut rng = h2tap_common::rng::SplitMixRng::new(3);
         (0..rows).map(|k| tpch::lineitem_row(k, &mut rng)[tpch::columns::QUANTITY].as_f64().unwrap()).sum::<f64>()
     };
-    builder.set_generator(Arc::new(YcsbGenerator::new(YcsbConfig::paper_default(
-        table,
-        rows,
-        workers as u64,
-    ))));
+    builder.set_generator(Arc::new(YcsbGenerator::new(YcsbConfig::paper_default(table, rows, workers as u64))));
     let caldera = builder.start().unwrap();
-    let sum_quantity = h2tap_common::ScanAggQuery::aggregate_only(h2tap_common::AggExpr::SumColumns(vec![
-        tpch::columns::QUANTITY,
-    ]));
+    let sum_quantity =
+        h2tap_common::ScanAggQuery::aggregate_only(h2tap_common::AggExpr::SumColumns(vec![tpch::columns::QUANTITY]));
 
     let caldera_ref = &caldera;
     std::thread::scope(|scope| {
@@ -172,15 +166,10 @@ fn scheduler_migration_works_while_the_engine_runs() {
     }
     let caldera = builder.start().unwrap();
     use h2tap_scheduler::ArchipelagoKind;
-    caldera
-        .scheduler()
-        .migrate_core(2, ArchipelagoKind::TaskParallel, ArchipelagoKind::DataParallel)
-        .unwrap();
+    caldera.scheduler().migrate_core(2, ArchipelagoKind::TaskParallel, ArchipelagoKind::DataParallel).unwrap();
     assert_eq!(caldera.scheduler().archipelago(ArchipelagoKind::DataParallel).core_count(), 1);
     // Transactions still run after the (logical) migration.
-    caldera
-        .execute_txn_on(PartitionId(0), Arc::new(move |ctx| ctx.read(table, 0).map(|_| ())))
-        .unwrap();
+    caldera.execute_txn_on(PartitionId(0), Arc::new(move |ctx| ctx.read(table, 0).map(|_| ()))).unwrap();
     caldera.shutdown();
 }
 

@@ -1,72 +1,86 @@
-//! Property-based tests over the core data structures and invariants.
+//! Property-style tests over the core data structures and invariants.
+//!
+//! The registry `proptest` crate is unavailable in the offline build
+//! environment, so these properties are exercised with the workspace's own
+//! deterministic PRNG ([`h2tap_common::rng::SplitMixRng`]): each test draws
+//! many random cases from fixed seeds, which keeps failures reproducible
+//! while still sweeping a wide input space.
 
+use h2tap_common::rng::SplitMixRng;
 use h2tap_common::{AttrType, Epoch, PartitionId, Schema, TableId, Value};
 use h2tap_gpu_sim::{coalescing_efficiency, AccessPattern};
 use h2tap_oltp::{LockMode, LockTable, TxnToken};
 use h2tap_storage::{decode_record, encode_record, Database, Layout};
-use proptest::prelude::*;
 
-fn arbitrary_value(ty: AttrType) -> BoxedStrategy<Value> {
-    match ty {
-        AttrType::Int32 => any::<i32>().prop_map(Value::Int32).boxed(),
-        AttrType::Int64 => any::<i64>().prop_map(Value::Int64).boxed(),
-        AttrType::Date => any::<i32>().prop_map(Value::Date).boxed(),
-        AttrType::Float64 => (-1e12f64..1e12f64).prop_map(Value::Float64).boxed(),
-        AttrType::Str => "[a-z]{0,12}".prop_map(|s| Value::Str(s.into())).boxed(),
-    }
+const CASES: usize = 64;
+
+fn rand_i64(rng: &mut SplitMixRng) -> i64 {
+    rng.next_u64() as i64
 }
 
-proptest! {
-    /// Encoding a record to cells and back is lossless for every fixed-width
-    /// type (strings are hashed by design, so they are excluded here).
-    #[test]
-    fn record_codec_roundtrips(
-        ints in proptest::collection::vec(any::<i64>(), 1..6),
-        floats in proptest::collection::vec(-1e12f64..1e12f64, 1..6),
-    ) {
+fn rand_i32(rng: &mut SplitMixRng) -> i32 {
+    rng.next_u64() as i32
+}
+
+fn rand_f64(rng: &mut SplitMixRng) -> f64 {
+    (rng.next_f64() - 0.5) * 2e12
+}
+
+/// Encoding a record to cells and back is lossless for every fixed-width
+/// type (strings are hashed by design, so they are excluded here).
+#[test]
+fn record_codec_roundtrips() {
+    let mut rng = SplitMixRng::new(0xC0DEC);
+    for _ in 0..CASES {
+        let ints = 1 + rng.next_below(5) as usize;
+        let floats = 1 + rng.next_below(5) as usize;
         let mut attrs = Vec::new();
         let mut values = Vec::new();
-        for (i, v) in ints.iter().enumerate() {
+        for i in 0..ints {
             attrs.push(h2tap_common::Attribute::new(format!("i{i}"), AttrType::Int64));
-            values.push(Value::Int64(*v));
+            values.push(Value::Int64(rand_i64(&mut rng)));
         }
-        for (i, v) in floats.iter().enumerate() {
+        for i in 0..floats {
             attrs.push(h2tap_common::Attribute::new(format!("f{i}"), AttrType::Float64));
-            values.push(Value::Float64(*v));
+            values.push(Value::Float64(rand_f64(&mut rng)));
         }
         let schema = Schema::new(attrs).unwrap();
         let cells = encode_record(&schema, &values).unwrap();
         let back = decode_record(&schema, &cells).unwrap();
-        prop_assert_eq!(back, values);
+        assert_eq!(back, values);
     }
+}
 
-    /// Coalescing efficiency is always in (0, 1] and never improves when the
-    /// stride grows.
-    #[test]
-    fn coalescing_efficiency_is_bounded_and_monotone(
-        elem in 1u32..64,
-        stride_a in 1u32..4096,
-        stride_b in 1u32..4096,
-        txn in prop::sample::select(vec![32u64, 128, 512]),
-    ) {
+/// Coalescing efficiency is always in (0, 1] and never improves when the
+/// stride grows.
+#[test]
+fn coalescing_efficiency_is_bounded_and_monotone() {
+    let mut rng = SplitMixRng::new(0xC0A1);
+    for _ in 0..CASES * 4 {
+        let elem = 1 + rng.next_below(63) as u32;
+        let stride_a = 1 + rng.next_below(4095) as u32;
+        let stride_b = 1 + rng.next_below(4095) as u32;
+        let txn = [32u64, 128, 512][rng.next_below(3) as usize];
         let (small, large) = if stride_a <= stride_b { (stride_a, stride_b) } else { (stride_b, stride_a) };
-        let e_small = coalescing_efficiency(AccessPattern::Strided { stride_bytes: small.max(elem), elem_bytes: elem }, txn);
-        let e_large = coalescing_efficiency(AccessPattern::Strided { stride_bytes: large.max(elem), elem_bytes: elem }, txn);
-        prop_assert!(e_small > 0.0 && e_small <= 1.0);
-        prop_assert!(e_large > 0.0 && e_large <= 1.0);
-        prop_assert!(e_large <= e_small + 1e-9, "stride {small}->{large}: {e_small} -> {e_large}");
+        let e_small =
+            coalescing_efficiency(AccessPattern::Strided { stride_bytes: small.max(elem), elem_bytes: elem }, txn);
+        let e_large =
+            coalescing_efficiency(AccessPattern::Strided { stride_bytes: large.max(elem), elem_bytes: elem }, txn);
+        assert!(e_small > 0.0 && e_small <= 1.0);
+        assert!(e_large > 0.0 && e_large <= 1.0);
+        assert!(e_large <= e_small + 1e-9, "stride {small}->{large}: {e_small} -> {e_large}");
     }
+}
 
-    /// Snapshot isolation: whatever sequence of updates runs after a snapshot
-    /// is taken, the snapshot always reads the values that were current when
-    /// it was taken, and the live database reads the latest committed values.
-    #[test]
-    fn snapshots_are_immutable_under_arbitrary_updates(
-        initial in proptest::collection::vec(any::<i32>(), 1..40),
-        updates in proptest::collection::vec((0usize..40, any::<i32>()), 0..60),
-        layout_choice in 0usize..3,
-    ) {
-        let layout = [Layout::Nsm, Layout::Dsm, Layout::PAPER_PAX][layout_choice];
+/// Snapshot isolation: whatever sequence of updates runs after a snapshot
+/// is taken, the snapshot always reads the values that were current when
+/// it was taken, and the live database reads the latest committed values.
+#[test]
+fn snapshots_are_immutable_under_arbitrary_updates() {
+    let mut rng = SplitMixRng::new(0x5AF5);
+    for case in 0..CASES {
+        let layout = [Layout::Nsm, Layout::Dsm, Layout::PAPER_PAX][case % 3];
+        let initial: Vec<i32> = (0..1 + rng.next_below(39)).map(|_| rand_i32(&mut rng)).collect();
         let db = Database::new(1);
         let table = db.create_table("t", Schema::homogeneous("c", 1, AttrType::Int32), layout).unwrap();
         let mut rids = Vec::new();
@@ -75,35 +89,39 @@ proptest! {
         }
         let snapshot = db.snapshot();
         let mut expected_live: Vec<i32> = initial.clone();
-        for (idx, v) in &updates {
-            if let Some(rid) = rids.get(idx % rids.len()) {
-                db.update(*rid, &[Value::Int32(*v)]).unwrap();
-                expected_live[idx % rids.len()] = *v;
-            }
+        for _ in 0..rng.next_below(60) {
+            let idx = rng.next_below(rids.len() as u64) as usize;
+            let v = rand_i32(&mut rng);
+            db.update(rids[idx], &[Value::Int32(v)]).unwrap();
+            expected_live[idx] = v;
         }
         // Snapshot still sees the initial values.
         let frozen: Vec<i32> = snapshot.table(table).unwrap().column(0).iter().map(|c| *c as u32 as i32).collect();
-        prop_assert_eq!(&frozen, &initial);
+        assert_eq!(frozen, initial);
         // Live database sees the updated values.
         for (rid, expected) in rids.iter().zip(expected_live.iter()) {
-            prop_assert_eq!(db.read(*rid).unwrap()[0].clone(), Value::Int32(*expected));
+            assert_eq!(db.read(*rid).unwrap()[0], Value::Int32(*expected));
         }
         // Releasing the snapshot reports at most one superseded page per live page.
         let report = db.release_snapshot(&snapshot).unwrap();
-        prop_assert!(report.pages_reclaimed as usize <= rids.len());
+        assert!(report.pages_reclaimed as usize <= rids.len());
     }
+}
 
-    /// The lock table never grants incompatible locks and always frees
-    /// records after release_all, whatever the interleaving.
-    #[test]
-    fn lock_table_compatibility_invariants(
-        ops in proptest::collection::vec((0u32..4, 0u64..8, prop::bool::ANY), 1..200),
-    ) {
+/// The lock table never grants incompatible locks and always frees
+/// records after release_all, whatever the interleaving.
+#[test]
+fn lock_table_compatibility_invariants() {
+    let mut rng = SplitMixRng::new(0x10CC);
+    for _ in 0..CASES {
         let mut table = LockTable::new();
         // holders[record] = (exclusive_owner, shared_holders)
         let mut model: std::collections::HashMap<u64, (Option<u32>, std::collections::HashSet<u32>)> =
             std::collections::HashMap::new();
-        for (txn_id, record, exclusive) in ops {
+        for _ in 0..1 + rng.next_below(199) {
+            let txn_id = rng.next_below(4) as u32;
+            let record = rng.next_below(8);
+            let exclusive = rng.next_below(2) == 1;
             let token = TxnToken::new(txn_id, 0);
             let rid = h2tap_common::RecordId::new(PartitionId(0), TableId(0), record);
             let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
@@ -114,7 +132,7 @@ proptest! {
                 (None, true) => entry.1.is_empty() || (entry.1.len() == 1 && entry.1.contains(&txn_id)),
                 (None, false) => true,
             };
-            prop_assert_eq!(granted, compatible, "record {} txn {} exclusive {}", record, txn_id, exclusive);
+            assert_eq!(granted, compatible, "record {record} txn {txn_id} exclusive {exclusive}");
             if granted {
                 if exclusive {
                     entry.0 = Some(txn_id);
@@ -128,21 +146,25 @@ proptest! {
         for txn_id in 0..4 {
             table.release_all(TxnToken::new(txn_id, 0));
         }
-        prop_assert!(table.is_empty());
+        assert!(table.is_empty());
     }
+}
 
-    /// Values survive a write/read round trip through a multi-partition
-    /// database regardless of which partition they land on.
-    #[test]
-    fn database_read_back_matches_inserted_values(
-        rows in proptest::collection::vec((any::<i64>(), -1e9f64..1e9f64), 1..50),
-        partitions in 1usize..5,
-    ) {
+/// Values survive a write/read round trip through a multi-partition
+/// database regardless of which partition they land on.
+#[test]
+fn database_read_back_matches_inserted_values() {
+    let mut rng = SplitMixRng::new(0xDBDB);
+    for _ in 0..CASES {
+        let partitions = 1 + rng.next_below(4) as usize;
+        let rows: Vec<(i64, f64)> =
+            (0..1 + rng.next_below(49)).map(|_| (rand_i64(&mut rng), rng.next_f64() * 2e9 - 1e9)).collect();
         let db = Database::new(partitions);
         let schema = Schema::new(vec![
             h2tap_common::Attribute::new("k", AttrType::Int64),
             h2tap_common::Attribute::new("v", AttrType::Float64),
-        ]).unwrap();
+        ])
+        .unwrap();
         let table = db.create_table("t", schema, Layout::Dsm).unwrap();
         let mut rids = Vec::new();
         for (i, (k, v)) in rows.iter().enumerate() {
@@ -151,18 +173,22 @@ proptest! {
         }
         for (rid, k, v) in rids {
             let rec = db.read(rid).unwrap();
-            prop_assert_eq!(rec[0].clone(), Value::Int64(k));
-            prop_assert_eq!(rec[1].clone(), Value::Float64(v));
+            assert_eq!(rec[0], Value::Int64(k));
+            assert_eq!(rec[1], Value::Float64(v));
         }
-        prop_assert_eq!(db.row_count(table).unwrap(), rows.len() as u64);
-        prop_assert_eq!(db.live_epoch(), Epoch(0));
+        assert_eq!(db.row_count(table).unwrap(), rows.len() as u64);
+        assert_eq!(db.live_epoch(), Epoch(0));
     }
+}
 
-    /// Arbitrary values encode to cells without panicking and numeric types
-    /// round-trip their numeric interpretation.
-    #[test]
-    fn value_cells_preserve_numeric_interpretation(ty in 0usize..4, seed in any::<i64>()) {
-        let ty = [AttrType::Int32, AttrType::Int64, AttrType::Float64, AttrType::Date][ty];
+/// Arbitrary values encode to cells without panicking and numeric types
+/// round-trip their numeric interpretation.
+#[test]
+fn value_cells_preserve_numeric_interpretation() {
+    let mut rng = SplitMixRng::new(0xCE11);
+    for _ in 0..CASES * 4 {
+        let ty = [AttrType::Int32, AttrType::Int64, AttrType::Float64, AttrType::Date][rng.next_below(4) as usize];
+        let seed = rand_i64(&mut rng);
         let value = match ty {
             AttrType::Int32 => Value::Int32(seed as i32),
             AttrType::Int64 => Value::Int64(seed),
@@ -171,16 +197,6 @@ proptest! {
         };
         let cell = h2tap_storage::encode_value(&value);
         let decoded = h2tap_storage::decode_cell(ty, cell);
-        prop_assert_eq!(decoded.as_f64(), value.as_f64());
-    }
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Strategy sanity: generated values always match their declared type.
-    #[test]
-    fn value_strategies_match_types(v in arbitrary_value(AttrType::Int32)) {
-        prop_assert!(matches!(v, Value::Int32(_)));
+        assert_eq!(decoded.as_f64(), value.as_f64());
     }
 }

@@ -1,0 +1,133 @@
+//! Offline stand-in for the slice of the `criterion` API the `h2tap-bench`
+//! benches use: `criterion_group!` / `criterion_main!`, benchmark groups with
+//! `sample_size` / `measurement_time`, and `Bencher::iter`.
+//!
+//! Statistics are deliberately simple — each `bench_function` runs the
+//! closure `sample_size` times and reports the mean wall-clock time per
+//! iteration. When invoked with `--test` (which `cargo test` passes to
+//! harness-less bench targets) every benchmark runs exactly once, mirroring
+//! real criterion's smoke-test mode.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to every bench function by [`criterion_group!`].
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { test_mode: std::env::args().any(|a| a == "--test") }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.to_string(), sample_size: 10, test_mode: self.test_mode }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in always runs exactly
+    /// `sample_size` iterations regardless of target measurement time.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = if self.test_mode { 1 } else { self.sample_size };
+        let mut bencher = Bencher { samples, elapsed: Duration::ZERO, iterations: 0 };
+        f(&mut bencher);
+        let mean = if bencher.iterations > 0 { bencher.elapsed / bencher.iterations as u32 } else { Duration::ZERO };
+        println!("{}/{}: {} iterations, mean {:?}/iter", self.name, id, bencher.iterations, mean);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iterations: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += self.samples;
+    }
+}
+
+/// Bundles bench functions into a single group runner, like real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a harness-less bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure_sample_size_times() {
+        let mut c = Criterion { test_mode: false };
+        let mut group = c.benchmark_group("g");
+        let mut count = 0;
+        group.sample_size(7).bench_function("count", |b| b.iter(|| count += 1));
+        group.finish();
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        let mut count = 0;
+        group.sample_size(50).bench_function("count", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+    }
+}

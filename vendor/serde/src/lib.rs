@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` crate surface this workspace uses.
+//!
+//! The workspace annotates plain-data types with
+//! `#[derive(Serialize, Deserialize)]` but never serialises anything, so the
+//! traits here are empty markers and the derives (re-exported from the
+//! sibling `serde_derive` shim) expand to nothing. Replacing the two
+//! `vendor/serde*` path dependencies with the real crates restores full
+//! serde behaviour with no source changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,23 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! This workspace builds in an environment without access to a crates
+//! registry, and nothing in it actually serialises data — the
+//! `#[derive(Serialize, Deserialize)]` annotations on config and stats types
+//! only document intent (and keep the door open for a real `serde` swap-in).
+//! The derives therefore expand to nothing; swapping the `vendor/serde*`
+//! path dependencies for the real crates re-enables full codegen without any
+//! source change.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
