@@ -130,6 +130,39 @@ fn main() {
         }
     }
 
+    if wants("operators") {
+        header("Operators: join/group-by placement vs pure scans (selectivity x group cardinality)");
+        println!(
+            "{:<16} {:>9} {:>8} {:>7} {:>8} {:>11} {:>6} {:>6} {:>12} {:>12}",
+            "placement",
+            "max_size",
+            "group",
+            "groups",
+            "joined",
+            "plan chosen",
+            "scan",
+            "agree",
+            "cpu (ms)",
+            "gpu (ms)"
+        );
+        let (rows, parts) = if quick { (60_000, 2_000) } else { (scale.lineitem_rows, 20_000) };
+        for r in exp::fig_operators(rows, parts, 24) {
+            println!(
+                "{:<16} {:>9} {:>8} {:>7} {:>8} {:>11} {:>6} {:>6} {:>12.4} {:>12.4}",
+                r.placement,
+                r.max_size,
+                r.group_by,
+                r.groups,
+                r.joined_rows,
+                r.plan_chosen,
+                r.scan_chosen,
+                if r.plan_chosen == r.scan_chosen { "same" } else { "DIFF" },
+                r.cpu_secs * 1e3,
+                r.gpu_secs * 1e3
+            );
+        }
+    }
+
     if wants("fig5") {
         header("Figure 5: OLTP throughput vs working set and snapshot frequency");
         println!("{:<18} {:>12} {:>14}", "queries/snapshot", "working set %", "OLTP KTps");

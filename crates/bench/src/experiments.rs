@@ -243,15 +243,111 @@ pub fn fig_placement(row_counts: &[u64], cpu_cores: usize) -> Vec<PlacementRow> 
                 placement: label.to_string(),
                 cpu_cores: cpu_cores as u32,
                 bytes_to_scan: tpch::q6_scan_bytes(rows),
-                chosen: match routed.site {
-                    OlapTarget::Cpu => "cpu".to_string(),
-                    OlapTarget::Gpu => "gpu".to_string(),
-                },
+                chosen: site_label(routed.site),
                 cpu_secs: cpu.time.as_secs_f64(),
                 gpu_secs: gpu.time.as_secs_f64(),
             });
             caldera.shutdown();
         }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Operators: join/group-by placement vs pure scans (the relational operator
+// subsystem's experiment)
+// ---------------------------------------------------------------------------
+
+/// One configuration of the operators sweep: where the scheduler routed the
+/// TPC-H-style join/group-by plan versus the pure scan of the same probe
+/// columns, with both sites' actual simulated plan times.
+#[derive(Debug, Clone, Serialize)]
+pub struct OperatorsRow {
+    /// Rows in the lineitem (probe) table.
+    pub lineitem_rows: u64,
+    /// Rows in the part (build) table.
+    pub parts: u64,
+    /// GPU data placement label ("host-uva" or "device-resident").
+    pub placement: String,
+    /// Build-side selectivity knob: parts with `p_size <= max_size` (of 50)
+    /// enter the hash table.
+    pub max_size: i32,
+    /// Group-by column ("brand" = 25 groups, "partkey" = one per part).
+    pub group_by: String,
+    /// Result groups the plan produced.
+    pub groups: u64,
+    /// Lineitem rows surviving filter + join.
+    pub joined_rows: u64,
+    /// Site the placement heuristic chose for the join plan.
+    pub plan_chosen: String,
+    /// Site the placement heuristic chose for the pure scan of the same
+    /// probe columns.
+    pub scan_chosen: String,
+    /// Simulated plan time on the CPU site in seconds.
+    pub cpu_secs: f64,
+    /// Simulated plan time on the GPU site in seconds.
+    pub gpu_secs: f64,
+}
+
+fn site_label(site: OlapTarget) -> String {
+    match site {
+        OlapTarget::Cpu => "cpu".to_string(),
+        OlapTarget::Gpu => "gpu".to_string(),
+    }
+}
+
+/// Sweeps GPU residency × build selectivity × group cardinality for the
+/// `lineitem ⋈ part` brand-revenue plan, recording the scheduler's routing
+/// decision for the plan *and* for a pure scan of the same probe columns.
+/// This is the experiment behind the paper's claim that placement must see
+/// access patterns: with host-resident data the probes' random gathers make
+/// the GPU pay an interconnect transaction per row, so join plans flip to
+/// the CPU while the equivalent scan stays on the GPU.
+pub fn fig_operators(lineitem_rows: u64, parts: u64, cpu_cores: usize) -> Vec<OperatorsRow> {
+    let mut out = Vec::new();
+    for (placement, placement_label) in
+        [(DataPlacement::Host(AccessMode::Uva), "host-uva"), (DataPlacement::DeviceResident, "device-resident")]
+    {
+        let mut config = CalderaConfig::with_workers(1);
+        config.olap_cpu_cores = cpu_cores;
+        config.olap_device.placement = placement;
+        config.snapshot_policy = SnapshotPolicy::Manual;
+        let mut builder = Caldera::builder(config);
+        let lineitem = tpch::load_lineitem(&mut builder, Layout::Dsm, lineitem_rows, 7).unwrap();
+        let part = tpch::load_part(&mut builder, Layout::Dsm, parts, 11).unwrap();
+        let caldera = builder.start().unwrap();
+
+        // The pure scan of the same probe columns, for the routing contrast.
+        let scan = h2tap_common::ScanAggQuery {
+            predicates: vec![h2tap_common::Predicate::between(tpch::columns::SHIPDATE, 730.0, 1094.0)],
+            aggregate: h2tap_common::AggExpr::SumProduct(tpch::columns::EXTENDEDPRICE, tpch::columns::DISCOUNT),
+        };
+        let scan_chosen = site_label(caldera.run_olap(lineitem, &scan).unwrap().site);
+
+        for max_size in [12, 50] {
+            for by_partkey in [false, true] {
+                let plan =
+                    if by_partkey { tpch::partkey_revenue_plan(max_size) } else { tpch::brand_revenue_plan(max_size) };
+                let routed = caldera.run_olap_plan(lineitem, Some(part), &plan).unwrap();
+                let cpu = caldera.run_olap_plan_on(lineitem, Some(part), &plan, OlapTarget::Cpu).unwrap();
+                let gpu = caldera.run_olap_plan_on(lineitem, Some(part), &plan, OlapTarget::Gpu).unwrap();
+                assert_eq!(cpu.groups, gpu.groups, "sites disagree on the join/group-by result");
+                out.push(OperatorsRow {
+                    lineitem_rows,
+                    parts,
+                    placement: placement_label.to_string(),
+                    max_size,
+                    group_by: if by_partkey { "partkey".to_string() } else { "brand".to_string() },
+                    groups: routed.groups.len() as u64,
+                    joined_rows: routed.qualifying_rows,
+                    plan_chosen: site_label(routed.site),
+                    scan_chosen: scan_chosen.clone(),
+                    cpu_secs: cpu.time.as_secs_f64(),
+                    gpu_secs: gpu.time.as_secs_f64(),
+                });
+            }
+        }
+        caldera.shutdown();
     }
     out
 }
@@ -624,6 +720,37 @@ mod tests {
             let faster = if r.cpu_secs < r.gpu_secs { "cpu" } else { "gpu" };
             assert_eq!(r.chosen, faster, "{r:?}");
         }
+    }
+
+    #[test]
+    fn fig_operators_routes_join_plans_differently_than_scans() {
+        let rows = fig_operators(60_000, 2_000, 24);
+        assert_eq!(rows.len(), 8);
+        // Host-resident data: streaming the scan favours the GPU, but the
+        // join's random probes flip every plan configuration to the CPU —
+        // the acceptance contrast of the operator subsystem.
+        for r in rows.iter().filter(|r| r.placement == "host-uva") {
+            assert_eq!(r.scan_chosen, "gpu", "{r:?}");
+            assert_eq!(r.plan_chosen, "cpu", "{r:?}");
+            assert!(r.cpu_secs < r.gpu_secs, "routing must agree with the measured site times: {r:?}");
+        }
+        // Device-resident hash state caps the probe waste: plans stay where
+        // the scan goes.
+        for r in rows.iter().filter(|r| r.placement == "device-resident") {
+            assert_eq!(r.scan_chosen, "gpu", "{r:?}");
+            assert_eq!(r.plan_chosen, "gpu", "{r:?}");
+        }
+        // The sweep knobs act: wider size range → more joined rows; partkey
+        // grouping → more groups.
+        let get = |placement: &str, size: i32, group: &str| {
+            rows.iter().find(|r| r.placement == placement && r.max_size == size && r.group_by == group).unwrap()
+        };
+        assert!(get("host-uva", 50, "brand").joined_rows > get("host-uva", 12, "brand").joined_rows);
+        assert!(get("host-uva", 50, "partkey").groups > get("host-uva", 50, "brand").groups);
+        // Every group is one of the 25 brands (empty brands may drop out at
+        // this scale).
+        assert!(get("host-uva", 50, "brand").groups <= tpch::PART_BRANDS);
+        assert!(get("host-uva", 50, "brand").groups > 1);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! * [`schema`] — table schemas and attribute descriptors,
 //! * [`rid`] — record, partition and table identifiers,
 //! * [`epoch`] — epoch numbers used by the shadow-copy snapshot mechanism,
+//! * [`query`] — the scan-and-aggregate query IR,
+//! * [`plan`] — the relational logical plan (filter / hash join / group-by),
 //! * [`simtime`] — the simulated-time type used by the hardware models,
 //! * [`stats`] — streaming statistics (mean/min/max/percentiles),
 //! * [`rng`] — a small deterministic PRNG plus a Zipfian generator,
@@ -14,6 +16,7 @@
 
 pub mod epoch;
 pub mod error;
+pub mod plan;
 pub mod query;
 pub mod rid;
 pub mod rng;
@@ -24,6 +27,7 @@ pub mod value;
 
 pub use epoch::Epoch;
 pub use error::{H2Error, Result};
+pub use plan::{GroupRow, JoinSpec, OlapPlan, PlanColumn, HASH_ENTRY_BYTES, PLAN_CHUNK_ROWS};
 pub use query::{AggExpr, Predicate, ScanAggQuery};
 pub use rid::{PartitionId, RecordId, TableId};
 pub use schema::{AttrType, Attribute, Schema};

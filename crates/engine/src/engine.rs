@@ -7,8 +7,8 @@
 //! [`ExecutionSite`] — the simulated GPU or the archipelago's CPU cores.
 
 use crate::config::CalderaConfig;
-use h2tap_common::{H2Error, PartitionId, Result, ScanAggQuery, SimDuration, TableId};
-use h2tap_olap::{ExecutionSite, OlapOutcome, RegisteredTable, SnapshotPolicy};
+use h2tap_common::{H2Error, OlapPlan, PartitionId, Result, ScanAggQuery, SimDuration, TableId};
+use h2tap_olap::{ExecutionSite, OlapOutcome, PlanOutcome, RegisteredTable, SnapshotPolicy};
 use h2tap_oltp::{BenchmarkWindow, OltpRuntime, OltpStats, TxnProc};
 use h2tap_scheduler::{place_olap_query, ArchipelagoKind, OlapTarget, PlacementHints, Scheduler};
 use h2tap_storage::{CowStats, Database, Snapshot};
@@ -200,6 +200,51 @@ impl Caldera {
         self.run_olap_dispatch(table, query, Some(target))
     }
 
+    /// Runs a relational plan (filter → optional hash join on `build` →
+    /// optional group-by, see [`OlapPlan`]) on the data-parallel
+    /// archipelago. Placement uses the plan's access-pattern features —
+    /// probe-side random bytes and hash-table footprint against free device
+    /// memory — on top of the scan hints, so a join plan can route
+    /// differently than a scan of the same table.
+    pub fn run_olap_plan(&self, probe: TableId, build: Option<TableId>, plan: &OlapPlan) -> Result<PlanOutcome> {
+        self.run_olap_plan_dispatch(probe, build, plan, None)
+    }
+
+    /// Like [`Caldera::run_olap_plan`] but forces the execution site,
+    /// bypassing the placement heuristic.
+    pub fn run_olap_plan_on(
+        &self,
+        probe: TableId,
+        build: Option<TableId>,
+        plan: &OlapPlan,
+        target: OlapTarget,
+    ) -> Result<PlanOutcome> {
+        self.run_olap_plan_dispatch(probe, build, plan, Some(target))
+    }
+
+    /// Takes (or refreshes) the snapshot a new analytical query runs against
+    /// and bumps the query counter.
+    fn snapshot_for_query(&self, olap: &mut OlapState) -> Result<Arc<Snapshot>> {
+        if olap.snapshot.is_none() || self.config.snapshot_policy.should_refresh(olap.query_index) {
+            Self::refresh_locked(&self.db, olap)?;
+        }
+        olap.query_index += 1;
+        Ok(Arc::clone(olap.snapshot.as_ref().expect("snapshot present after refresh")))
+    }
+
+    /// Base placement hints every analytical query shares: residency, core
+    /// count, bandwidth and cost constants from live engine state.
+    fn base_hints(&self, olap: &mut OlapState, cpu_cores: u32) -> PlacementHints {
+        PlacementHints {
+            gpu_resident_fraction: olap.slot_mut(OlapTarget::Gpu).site.resident_fraction(),
+            available_cpu_cores: cpu_cores,
+            cpu_core_bandwidth_gbps: self.config.olap_cpu.per_core_bandwidth_gbps,
+            gpu_dispatch_overhead_secs: self.config.olap_device.dispatch_overhead_secs,
+            cpu_per_tuple_ns: self.config.olap_cpu.profile.per_tuple_ns,
+            ..PlacementHints::default()
+        }
+    }
+
     fn run_olap_dispatch(
         &self,
         table: TableId,
@@ -208,13 +253,7 @@ impl Caldera {
     ) -> Result<OlapOutcome> {
         self.scheduler.record_dispatch(ArchipelagoKind::DataParallel, 1.0);
         let mut olap = self.olap.lock();
-        let policy = self.config.snapshot_policy;
-        if olap.snapshot.is_none() || policy.should_refresh(olap.query_index) {
-            Self::refresh_locked(&self.db, &mut olap)?;
-        }
-        olap.query_index += 1;
-
-        let snapshot = Arc::clone(olap.snapshot.as_ref().expect("snapshot present after refresh"));
+        let snapshot = self.snapshot_for_query(&mut olap)?;
         let meta = self.db.table_meta(table)?;
         let frozen = snapshot.table(table)?;
 
@@ -225,12 +264,8 @@ impl Caldera {
         let target = forced.unwrap_or_else(|| {
             let hints = PlacementHints {
                 bytes_to_scan: query.scan_bytes(&frozen.schema, frozen.row_count()),
-                gpu_resident_fraction: olap.slot_mut(OlapTarget::Gpu).site.resident_fraction(),
-                available_cpu_cores: cpu_cores,
-                cpu_core_bandwidth_gbps: self.config.olap_cpu.per_core_bandwidth_gbps,
-                gpu_dispatch_overhead_secs: self.config.olap_device.dispatch_overhead_secs,
                 rows: frozen.row_count(),
-                cpu_per_tuple_ns: self.config.olap_cpu.profile.per_tuple_ns,
+                ..self.base_hints(&mut olap, cpu_cores)
             };
             place_olap_query(&self.config.olap_device.gpu, &hints)
         });
@@ -250,6 +285,118 @@ impl Caldera {
         Ok(outcome)
     }
 
+    fn run_olap_plan_dispatch(
+        &self,
+        probe: TableId,
+        build: Option<TableId>,
+        plan: &OlapPlan,
+        forced: Option<OlapTarget>,
+    ) -> Result<PlanOutcome> {
+        self.scheduler.record_dispatch(ArchipelagoKind::DataParallel, 1.0);
+        let mut olap = self.olap.lock();
+        let snapshot = self.snapshot_for_query(&mut olap)?;
+        let probe_meta = self.db.table_meta(probe)?;
+        let probe_frozen = snapshot.table(probe)?;
+        let build_parts = match build {
+            Some(id) => Some((id, snapshot.table(id)?, self.db.table_meta(id)?)),
+            None => None,
+        };
+
+        // Plan placement adds the access-pattern features to the scan hints:
+        // how many bytes the hash probes gather at random, and whether the
+        // hash state fits in free device memory at all.
+        let cpu_cores = self.scheduler.archipelago(ArchipelagoKind::DataParallel).core_count() as u32;
+        let target = forced.unwrap_or_else(|| {
+            let probe_rows = probe_frozen.row_count();
+            let build_bytes = build_parts
+                .as_ref()
+                .map_or(0, |(_, frozen, _)| plan.build_scan_bytes(&frozen.schema, frozen.row_count()));
+            let hints = PlacementHints {
+                bytes_to_scan: plan.probe_scan_bytes(&probe_frozen.schema, probe_rows) + build_bytes,
+                rows: probe_rows,
+                random_access_bytes: plan.random_access_bytes(probe_rows),
+                hash_table_bytes: build_parts
+                    .as_ref()
+                    .map_or(0, |(_, frozen, _)| plan.hash_table_bytes(frozen.row_count())),
+                // None (a host-DRAM "device") means unbounded headroom.
+                gpu_free_bytes: olap.slot_mut(OlapTarget::Gpu).site.free_device_bytes().unwrap_or(u64::MAX),
+                ..self.base_hints(&mut olap, cpu_cores)
+            };
+            place_olap_query(&self.config.olap_device.gpu, &hints)
+        });
+
+        let run = |olap: &mut OlapState, target: OlapTarget| -> Result<PlanOutcome> {
+            let slot = olap.slot_mut(target);
+            if target == OlapTarget::Cpu {
+                slot.site.set_cores(cpu_cores.max(1));
+            }
+            // Track tables this attempt registers: if the attempt fails
+            // (e.g. the build table or the plan's scratch OOMs after the
+            // probe table was registered), roll the new registrations back
+            // so the fallback — and every later query on this snapshot —
+            // does not inherit stranded device buffers.
+            let mut newly: Vec<TableId> = Vec::new();
+            let attempt = (|| {
+                let probe_handle = Self::handle_for(slot, probe, probe_frozen, &probe_meta.name, Some(&mut newly))?;
+                let build_pair = match &build_parts {
+                    Some((id, frozen, meta)) => {
+                        Some((Self::handle_for(slot, *id, frozen, &meta.name, Some(&mut newly))?, *frozen))
+                    }
+                    None => None,
+                };
+                slot.site.execute_plan(probe_handle, probe_frozen, build_pair, plan)
+            })();
+            match attempt {
+                Ok(outcome) => {
+                    slot.queries += 1;
+                    slot.time += outcome.time;
+                    Ok(outcome)
+                }
+                Err(err) => {
+                    for table in newly {
+                        if let Some(handle) = slot.registered.remove(&table) {
+                            slot.site.unregister_table(handle);
+                        }
+                    }
+                    Err(err)
+                }
+            }
+        };
+
+        let outcome = match run(&mut olap, target) {
+            // Same OOM fallback as the scan path: the CPU site still holds
+            // every table (and its hash state) in host DRAM.
+            Err(H2Error::GpuOutOfMemory { .. }) if forced.is_none() && target == OlapTarget::Gpu => {
+                run(&mut olap, OlapTarget::Cpu)?
+            }
+            other => other?,
+        };
+        olap.total_time += outcome.time;
+        Ok(outcome)
+    }
+
+    /// Returns the slot's handle for `table`, registering the frozen image
+    /// with the site on first use within the current snapshot. When `track`
+    /// is given, a table registered by this call is appended to it so the
+    /// caller can roll the registration back if its overall attempt fails.
+    fn handle_for(
+        slot: &mut SiteSlot,
+        table: TableId,
+        frozen: &h2tap_storage::SnapshotTable,
+        label: &str,
+        track: Option<&mut Vec<TableId>>,
+    ) -> Result<RegisteredTable> {
+        if let Some(h) = slot.registered.get(&table) {
+            return Ok(*h);
+        }
+        let h = slot.site.register_table(frozen, label)?;
+        slot.registered.insert(table, h);
+        if let Some(track) = track {
+            track.push(table);
+        }
+        Ok(h)
+    }
+
     fn execute_on_slot(
         olap: &mut OlapState,
         target: OlapTarget,
@@ -265,14 +412,7 @@ impl Caldera {
             // count, not the count at construction time.
             slot.site.set_cores(cpu_cores.max(1));
         }
-        let handle = match slot.registered.get(&table) {
-            Some(h) => *h,
-            None => {
-                let h = slot.site.register_table(frozen, label)?;
-                slot.registered.insert(table, h);
-                h
-            }
-        };
+        let handle = Self::handle_for(slot, table, frozen, label, None)?;
         let outcome = slot.site.execute(handle, frozen, query)?;
         slot.queries += 1;
         slot.time += outcome.time;
@@ -487,6 +627,115 @@ mod tests {
         assert_eq!(stats.olap_queries_on(OlapTarget::Gpu), 1);
         assert_eq!(stats.olap_queries_on(OlapTarget::Cpu), 1);
         assert_eq!(stats.olap_sites.iter().map(|s| s.queries).sum::<u64>(), 2);
+    }
+
+    /// Fact table (k, fk = k % 40, v = 1) plus a 40-key dimension table
+    /// (key, class = key % 4) loaded into one engine.
+    fn engine_with_join_tables(mut config: CalderaConfig, rows: i64) -> (Caldera, TableId, TableId) {
+        config.snapshot_policy = SnapshotPolicy::Manual;
+        let mut builder = Caldera::builder(config);
+        let fact = builder.create_table("fact", Schema::homogeneous("c", 3, AttrType::Int64), Layout::Dsm).unwrap();
+        for k in 0..rows {
+            builder.load(fact, k, &[Value::Int64(k), Value::Int64(k % 40), Value::Int64(1)]).unwrap();
+        }
+        let dim = builder.create_table("dim", Schema::homogeneous("d", 2, AttrType::Int64), Layout::Dsm).unwrap();
+        for k in 0..40i64 {
+            builder.load(dim, k, &[Value::Int64(k), Value::Int64(k % 4)]).unwrap();
+        }
+        (builder.start().unwrap(), fact, dim)
+    }
+
+    fn class_revenue_plan() -> OlapPlan {
+        OlapPlan {
+            predicates: vec![],
+            join: Some(h2tap_common::JoinSpec {
+                probe_column: 1,
+                build_key: 0,
+                // Keep keys 0..=19: half the fact rows join.
+                build_predicates: vec![h2tap_common::Predicate::between(0, 0.0, 19.0)],
+            }),
+            group_by: Some(h2tap_common::PlanColumn::Build(1)),
+            aggregates: vec![h2tap_common::AggExpr::SumColumns(vec![2]), h2tap_common::AggExpr::Count],
+        }
+    }
+
+    #[test]
+    fn join_plans_run_through_dispatch_and_agree_across_sites() {
+        let (caldera, fact, dim) = engine_with_join_tables(CalderaConfig::with_workers(2), 2_000);
+        let plan = class_revenue_plan();
+        let gpu = caldera.run_olap_plan_on(fact, Some(dim), &plan, OlapTarget::Gpu).unwrap();
+        let cpu = caldera.run_olap_plan_on(fact, Some(dim), &plan, OlapTarget::Cpu).unwrap();
+        assert_eq!(gpu.site, OlapTarget::Gpu);
+        assert_eq!(cpu.site, OlapTarget::Cpu);
+        // Byte-identical groups through the production dispatch path.
+        assert_eq!(gpu.groups, cpu.groups);
+        assert_eq!(gpu.qualifying_rows, 1_000);
+        // Classes 0..4 of the 20 surviving keys, 50 fact rows per key.
+        assert_eq!(gpu.groups.len(), 4);
+        for g in &gpu.groups {
+            assert_eq!(g.rows, 250);
+            assert_eq!(g.values[0], 250.0, "SUM(v) with v = 1 counts rows");
+        }
+        let stats = caldera.shutdown();
+        assert_eq!(stats.olap_queries, 2);
+        assert_eq!(stats.olap_queries_on(OlapTarget::Gpu), 1);
+        assert_eq!(stats.olap_queries_on(OlapTarget::Cpu), 1);
+    }
+
+    #[test]
+    fn join_plans_route_to_cpu_where_the_same_scan_routes_to_gpu() {
+        // Host-resident (UVA) data, 8 archipelago cores: streaming 150k rows
+        // favours the GPU, but the join's hash probes gather an interconnect
+        // transaction per row — the planner must split the two.
+        let mut config = CalderaConfig::with_workers(2);
+        config.olap_cpu_cores = 8;
+        let (caldera, fact, dim) = engine_with_join_tables(config, 150_000);
+        let scan = ScanAggQuery::aggregate_only(h2tap_common::AggExpr::SumColumns(vec![1, 2]));
+        let scan_out = caldera.run_olap(fact, &scan).unwrap();
+        assert_eq!(scan_out.site, OlapTarget::Gpu);
+        let plan_out = caldera.run_olap_plan(fact, Some(dim), &class_revenue_plan()).unwrap();
+        assert_eq!(plan_out.site, OlapTarget::Cpu);
+        let stats = caldera.shutdown();
+        assert_eq!(stats.olap_queries_on(OlapTarget::Gpu), 1);
+        assert_eq!(stats.olap_queries_on(OlapTarget::Cpu), 1);
+    }
+
+    #[test]
+    fn plan_gpu_oom_falls_back_to_the_cpu_site() {
+        let mut config = CalderaConfig::with_workers(2);
+        config.olap_cpu_cores = 2;
+        config.olap_device.placement = DataPlacement::DeviceResident;
+        config.olap_device.gpu.mem_capacity_mib = 1; // ~5 MiB of fact columns
+        let (caldera, fact, dim) = engine_with_join_tables(config, 200_000);
+        let plan = class_revenue_plan();
+        let out = caldera.run_olap_plan(fact, Some(dim), &plan).unwrap();
+        assert_eq!(out.site, OlapTarget::Cpu);
+        assert_eq!(out.qualifying_rows, 100_000);
+        // Forcing the GPU surfaces the real error instead of falling back.
+        assert!(caldera.run_olap_plan_on(fact, Some(dim), &plan, OlapTarget::Gpu).is_err());
+        caldera.shutdown();
+    }
+
+    #[test]
+    fn plan_snapshot_freshness_follows_the_policy() {
+        let (caldera, fact, dim) = engine_with_join_tables(CalderaConfig::with_workers(2), 400);
+        let plan = class_revenue_plan();
+        let before = caldera.run_olap_plan(fact, Some(dim), &plan).unwrap();
+        let sum_before: f64 = before.groups.iter().map(|g| g.values[0]).sum();
+        caldera
+            .execute_txn(Arc::new(move |ctx| {
+                let mut rec = ctx.read_for_update(fact, 0)?;
+                rec[2] = Value::Int64(100);
+                ctx.update(fact, 0, rec)
+            }))
+            .unwrap();
+        // Manual policy: stale until an explicit refresh.
+        let stale = caldera.run_olap_plan(fact, Some(dim), &plan).unwrap();
+        assert_eq!(stale.groups.iter().map(|g| g.values[0]).sum::<f64>(), sum_before);
+        caldera.refresh_snapshot().unwrap();
+        let fresh = caldera.run_olap_plan(fact, Some(dim), &plan).unwrap();
+        assert_eq!(fresh.groups.iter().map(|g| g.values[0]).sum::<f64>(), sum_before + 99.0);
+        caldera.shutdown();
     }
 
     #[test]

@@ -44,8 +44,10 @@ pub struct KernelRun<R> {
 }
 
 /// Device-memory transaction size used by the coalescing model (one L2
-/// cache-line-sized transaction per warp segment).
-const DEVICE_TRANSACTION_BYTES: u64 = 128;
+/// cache-line-sized transaction per warp segment). Public so cost heuristics
+/// outside the simulator (e.g. the scheduler's placement model) can reason
+/// about the waste per random access without replaying a kernel.
+pub const DEVICE_TRANSACTION_BYTES: u64 = 128;
 
 /// Fixed cost of launching one kernel (driver + queue + scheduling).
 const LAUNCH_OVERHEAD: SimDuration = SimDuration::from_micros(8);

@@ -30,7 +30,7 @@ pub mod memory;
 
 pub use access::{coalescing_efficiency, AccessPattern};
 pub use catalog::{table1_catalog, GpuArchitecture, GpuSpec};
-pub use device::{GpuDevice, KernelRun, TransferDirection};
+pub use device::{GpuDevice, KernelRun, TransferDirection, DEVICE_TRANSACTION_BYTES};
 pub use interconnect::{Interconnect, InterconnectKind};
 pub use kernel::{BufferRead, KernelDesc, KernelMetrics};
 pub use memory::{AccessMode, BufferId, MemoryManager, Residency};

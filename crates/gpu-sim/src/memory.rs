@@ -99,6 +99,12 @@ impl MemoryManager {
         self.used_bytes
     }
 
+    /// Device memory still available for allocations — the headroom the
+    /// placement heuristic checks a plan's hash-table footprint against.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity_bytes.saturating_sub(self.used_bytes)
+    }
+
     /// UM page size in bytes.
     pub fn page_bytes(&self) -> u64 {
         self.page_bytes

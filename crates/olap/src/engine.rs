@@ -13,8 +13,11 @@
 //! according to the table's layout (coalesced for DSM/PAX, strided for NSM)
 //! and the configured access mode (memcpy / UVA / UM / device-resident).
 
+use crate::operators::{self, ChunkPartial};
 use crate::site::ExecutionSite;
-use h2tap_common::{AggExpr, H2Error, Result, ScanAggQuery, SimDuration};
+use h2tap_common::{
+    AggExpr, GroupRow, H2Error, OlapPlan, PlanColumn, Result, ScanAggQuery, SimDuration, HASH_ENTRY_BYTES,
+};
 use h2tap_gpu_sim::{
     AccessMode, AccessPattern, BufferId, GpuDevice, KernelDesc, KernelMetrics, Residency, TransferDirection,
 };
@@ -49,6 +52,51 @@ pub struct OlapOutcome {
     pub interconnect_bytes: u64,
     /// The execution site that answered the query.
     pub site: OlapTarget,
+}
+
+/// Result of one relational-plan execution: per-group aggregates plus the
+/// site's simulated cost.
+#[derive(Debug, Clone)]
+pub struct PlanOutcome {
+    /// Result groups in ascending raw-key order (one global group with key 0
+    /// for plans without `group_by`). Byte-identical across sites.
+    pub groups: Vec<GroupRow>,
+    /// Rows that reached the aggregation (post filter and join).
+    pub qualifying_rows: u64,
+    /// Whether the plan had a `group_by` (a grouped result with one group
+    /// whose key happens to be 0 is otherwise indistinguishable from the
+    /// global group of a scan-style plan).
+    pub grouped: bool,
+    /// Simulated execution time (kernels plus any explicit transfers).
+    pub time: SimDuration,
+    /// Per-kernel metrics in launch order (empty for the CPU site).
+    pub kernels: Vec<KernelMetrics>,
+    /// Bytes moved over the host-device interconnect.
+    pub interconnect_bytes: u64,
+    /// The execution site that answered the plan.
+    pub site: OlapTarget,
+}
+
+impl PlanOutcome {
+    /// The group with the given raw key cell, if present.
+    pub fn group(&self, key: u64) -> Option<&GroupRow> {
+        self.groups.iter().find(|g| g.key == key)
+    }
+
+    /// First aggregate of the single global group — the scan-plan
+    /// equivalent of [`OlapOutcome::value`]. Plans without `group_by` always
+    /// produce exactly one global group (zeroed when nothing qualified), so
+    /// this is `Some` for them; `None` when the plan grouped (including a
+    /// grouped result that happens to be empty).
+    pub fn single_value(&self) -> Option<f64> {
+        if self.grouped {
+            return None;
+        }
+        match self.groups.as_slice() {
+            [g] if g.key == 0 => g.values.first().copied(),
+            _ => None,
+        }
+    }
 }
 
 /// Kernel-at-a-time OLAP executor bound to one simulated GPU.
@@ -103,7 +151,11 @@ impl GpuOlapEngine {
 
     /// Registers the columns of `table` with the device according to the
     /// placement policy. Must be called once per snapshot table before
-    /// queries run against it.
+    /// queries run against it. Registration is all-or-nothing: if any column
+    /// fails (device out of memory), the columns registered so far are freed
+    /// again — callers retry on every OOM fallback, so a partial
+    /// registration must not keep eating capacity until the next snapshot
+    /// refresh.
     pub fn register_table(&mut self, table: &SnapshotTable, label: &str) -> Result<RegisteredTable> {
         let tag = self.next_tag;
         self.next_tag += 1;
@@ -119,10 +171,23 @@ impl GpuOlapEngine {
             }
             Layout::Dsm | Layout::Pax { .. } => {
                 for attr in 0..arity {
-                    let width = table.schema.attr(attr)?.ty.width() as u64;
-                    let bytes = rows * width;
-                    let id = self.register_bytes(&format!("{label}.col{attr}"), bytes)?;
-                    self.buffers.insert((tag, attr), id);
+                    let registered = (|| {
+                        let width = table.schema.attr(attr)?.ty.width() as u64;
+                        self.register_bytes(&format!("{label}.col{attr}"), rows * width)
+                    })();
+                    match registered {
+                        Ok(id) => {
+                            self.buffers.insert((tag, attr), id);
+                        }
+                        Err(err) => {
+                            for a in 0..attr {
+                                if let Some(id) = self.buffers.remove(&(tag, a)) {
+                                    let _ = self.device.memory_mut().free(id);
+                                }
+                            }
+                            return Err(err);
+                        }
+                    }
                 }
             }
         }
@@ -137,6 +202,20 @@ impl GpuOlapEngine {
         }
         for (_, id) in self.nsm_buffers.drain() {
             let _ = self.device.memory_mut().free(id);
+        }
+    }
+
+    /// Frees the buffers of one registered table (see
+    /// [`ExecutionSite::unregister_table`]).
+    pub fn unregister_table(&mut self, handle: RegisteredTable) {
+        if let Some(id) = self.nsm_buffers.remove(&handle.tag) {
+            let _ = self.device.memory_mut().free(id);
+        }
+        let cols: Vec<(usize, usize)> = self.buffers.keys().filter(|(tag, _)| *tag == handle.tag).copied().collect();
+        for key in cols {
+            if let Some(id) = self.buffers.remove(&key) {
+                let _ = self.device.memory_mut().free(id);
+            }
         }
     }
 
@@ -311,6 +390,192 @@ impl GpuOlapEngine {
         Ok(OlapOutcome { value, qualifying_rows, time: total, kernels, interconnect_bytes, site: OlapTarget::Gpu })
     }
 
+    /// Executes a relational plan kernel-at-a-time: selection kernels over
+    /// the probe predicates, a hash-build kernel over the (filtered) build
+    /// table, a hash-probe kernel whose table lookups are data-dependent
+    /// [`AccessPattern::Random`] reads — the pattern whose coalescing penalty
+    /// separates plan placement from scan placement — and per-chunk partial
+    /// aggregation plus a merge kernel. The hash table and the partial-group
+    /// arena are registered as scratch buffers under the engine's data
+    /// placement (the Caldera prototype keeps "all input, intermediate, and
+    /// output data" in UVA), so under host placement every probe crosses the
+    /// interconnect while device-resident placement pays only the capped
+    /// device-transaction waste.
+    ///
+    /// The real answer is computed on the host through the shared
+    /// [`operators`] data path (fixed chunking, chunk-ordered merge), so the
+    /// groups are byte-identical to the CPU site's.
+    pub fn execute_plan(
+        &mut self,
+        probe: RegisteredTable,
+        probe_table: &SnapshotTable,
+        build: Option<(RegisteredTable, &SnapshotTable)>,
+        plan: &OlapPlan,
+    ) -> Result<PlanOutcome> {
+        let mut scratch: Vec<BufferId> = Vec::new();
+        let result = self.execute_plan_inner(probe, probe_table, build, plan, &mut scratch);
+        // Scratch (hash table, partial-group arena) lives only for the query;
+        // free it even on error so an OOM mid-plan does not leak capacity.
+        for id in scratch {
+            let _ = self.device.memory_mut().free(id);
+        }
+        result
+    }
+
+    fn execute_plan_inner(
+        &mut self,
+        probe: RegisteredTable,
+        probe_table: &SnapshotTable,
+        build: Option<(RegisteredTable, &SnapshotTable)>,
+        plan: &OlapPlan,
+        scratch: &mut Vec<BufferId>,
+    ) -> Result<PlanOutcome> {
+        operators::check_plan(plan, build.is_some())?;
+        let rows = probe_table.row_count();
+
+        let mut kernels = Vec::new();
+        let mut total = SimDuration::ZERO;
+        let mut interconnect_bytes = 0u64;
+
+        // Reserve the join's hash scratch up front at its worst-case size
+        // (one entry per build row — the same bound the placement heuristic
+        // uses): an out-of-memory device fails here, *before* the host-side
+        // join is computed, so the dispatch-level CPU fallback does not pay
+        // for the work twice.
+        let hash_buf = match build {
+            Some((_, build_table)) if plan.join.is_some() => {
+                let bytes = plan.hash_table_bytes(build_table.row_count()).max(HASH_ENTRY_BYTES);
+                let id = self.register_bytes("plan.hash", bytes)?;
+                scratch.push(id);
+                Some((id, bytes))
+            }
+            _ => None,
+        };
+
+        // Explicit-copy placement pays the host-to-device transfer of every
+        // accessed column of both tables before the first kernel.
+        if probe.explicit_copy {
+            let bytes = plan.probe_scan_bytes(&probe_table.schema, rows);
+            total += self.device.memcpy(bytes, TransferDirection::HostToDevice);
+            interconnect_bytes += bytes;
+        }
+        if let Some((build_handle, build_table)) = build {
+            if build_handle.explicit_copy {
+                let bytes = plan.build_scan_bytes(&build_table.schema, build_table.row_count());
+                total += self.device.memcpy(bytes, TransferDirection::HostToDevice);
+                interconnect_bytes += bytes;
+            }
+        }
+
+        // Host-side data path, shared with the CPU site so results are
+        // byte-identical: materialise, build the hash table, evaluate the
+        // fixed-size chunks in ascending order, merge in chunk order. The
+        // kernels below charge the simulated cost of this same pipeline.
+        let operators::PlanData { mat, hash } = operators::prepare_plan(probe_table, build.map(|(_, t)| t), plan)?;
+        let partials: Vec<ChunkPartial> = (0..mat.chunk_count())
+            .map(|i| operators::process_chunk(&mat, plan, hash.as_ref(), mat.chunk_range(i)))
+            .collect();
+        let (groups, totals) = operators::merge_partials(plan, partials);
+        let n_chunks = mat.chunk_count() as u64;
+        let n_groups = groups.len().max(1) as u64;
+        // One group slot holds the key, one f64 per aggregate, and the count.
+        let group_entry_bytes = (2 + plan.aggregates.len() as u64) * 8;
+
+        let mut charge = |device: &mut GpuDevice, desc: &KernelDesc| -> Result<()> {
+            let metrics = device.account(desc)?;
+            total += metrics.time;
+            interconnect_bytes += metrics.interconnect_bytes;
+            kernels.push(metrics);
+            Ok(())
+        };
+
+        // Selection kernels: one per probe predicate, producing a bitmap.
+        for (i, pred) in plan.predicates.iter().enumerate() {
+            let (buffer, useful, pattern) = self.read_plan(probe, probe_table, pred.column)?;
+            let desc = KernelDesc::new(format!("select_{i}"), rows)
+                .flops_per_element(2.0)
+                .read(buffer, useful, pattern)
+                .write(rows.div_ceil(8));
+            charge(&mut self.device, &desc)?;
+        }
+
+        // Join kernels: build the hash table from the filtered build side,
+        // then probe it once per selected row with data-dependent gathers.
+        if let (Some(join), Some((build_handle, build_table)), Some((hash_buf, hash_bytes))) =
+            (&plan.join, build, hash_buf)
+        {
+            let build_rows = build_table.row_count();
+            let mut desc = KernelDesc::new("hash_build", build_rows).flops_per_element(4.0).write(hash_bytes);
+            for &attr in &plan.build_columns_accessed() {
+                let (buffer, useful, pattern) = self.read_plan(build_handle, build_table, attr)?;
+                desc = desc.read(buffer, useful, pattern);
+            }
+            charge(&mut self.device, &desc)?;
+
+            let (key_buf, key_useful, key_pattern) = self.read_plan(probe, probe_table, join.probe_column)?;
+            let probe_desc = KernelDesc::new("hash_probe", rows)
+                .flops_per_element(6.0)
+                .read(key_buf, key_useful, key_pattern)
+                .read(
+                    hash_buf,
+                    totals.selected * HASH_ENTRY_BYTES,
+                    AccessPattern::Random { elem_bytes: HASH_ENTRY_BYTES as u32 },
+                )
+                .write(rows.div_ceil(8));
+            charge(&mut self.device, &probe_desc)?;
+        }
+
+        // Partial aggregation: every surviving row updates its group's
+        // accumulators. With a real group-by the accumulator slot is
+        // data-dependent (random); the global aggregate of a plain scan stays
+        // in registers. Partials land in a per-chunk arena that the merge
+        // kernel folds in chunk order.
+        let arena_buf = self.register_bytes("plan.groups", n_chunks * n_groups * group_entry_bytes)?;
+        scratch.push(arena_buf);
+        let mut agg_desc = KernelDesc::new("partial_aggregate", rows)
+            .flops_per_element(2.0 + plan.aggregates.len() as f64)
+            .write(n_chunks * n_groups * group_entry_bytes);
+        let mut agg_cols: Vec<usize> = plan.aggregates.iter().flat_map(|a| a.columns()).collect();
+        if let Some(PlanColumn::Probe(c)) = plan.group_by {
+            agg_cols.push(c);
+        }
+        agg_cols.sort_unstable();
+        agg_cols.dedup();
+        for &attr in &agg_cols {
+            let (buffer, useful, pattern) = self.read_plan(probe, probe_table, attr)?;
+            agg_desc = agg_desc.read(buffer, useful, pattern);
+        }
+        if plan.group_by.is_some() {
+            agg_desc = agg_desc.read(
+                arena_buf,
+                totals.joined * group_entry_bytes,
+                AccessPattern::Random { elem_bytes: group_entry_bytes as u32 },
+            );
+        }
+        charge(&mut self.device, &agg_desc)?;
+
+        let merge_desc = KernelDesc::new("merge_groups", (n_chunks * n_groups).max(1))
+            .flops_per_element(1.0 + plan.aggregates.len() as f64)
+            .read(arena_buf, n_chunks * n_groups * group_entry_bytes, AccessPattern::Sequential)
+            .write(n_groups * group_entry_bytes);
+        charge(&mut self.device, &merge_desc)?;
+
+        // Explicit-copy placement copies the (small) group table back.
+        if probe.explicit_copy {
+            total += self.device.memcpy(n_groups * group_entry_bytes, TransferDirection::DeviceToHost);
+        }
+
+        Ok(PlanOutcome {
+            groups,
+            qualifying_rows: totals.joined,
+            grouped: plan.group_by.is_some(),
+            time: total,
+            kernels,
+            interconnect_bytes,
+            site: OlapTarget::Gpu,
+        })
+    }
+
     /// Fraction of this engine's registered bytes already resident in device
     /// memory — the data-locality term of the placement heuristic. Explicit
     /// copies re-pay the transfer every query batch, so memcpy placement
@@ -359,8 +624,26 @@ impl ExecutionSite for GpuOlapEngine {
         GpuOlapEngine::reset_tables(self);
     }
 
+    fn unregister_table(&mut self, handle: RegisteredTable) {
+        GpuOlapEngine::unregister_table(self, handle);
+    }
+
     fn execute(&mut self, handle: RegisteredTable, table: &SnapshotTable, query: &ScanAggQuery) -> Result<OlapOutcome> {
         GpuOlapEngine::execute(self, handle, table, query)
+    }
+
+    fn execute_plan(
+        &mut self,
+        probe: RegisteredTable,
+        probe_table: &SnapshotTable,
+        build: Option<(RegisteredTable, &SnapshotTable)>,
+        plan: &OlapPlan,
+    ) -> Result<PlanOutcome> {
+        GpuOlapEngine::execute_plan(self, probe, probe_table, build, plan)
+    }
+
+    fn free_device_bytes(&self) -> Option<u64> {
+        Some(self.device.memory().free_bytes())
     }
 
     fn resident_fraction(&self) -> f64 {
@@ -499,5 +782,153 @@ mod tests {
         let mut eng = engine(DataPlacement::Host(AccessMode::Uva));
         let handle = eng.register_table(&table, "t").unwrap();
         assert!(eng.execute(handle, &table, &bucket_query()).is_err());
+    }
+
+    /// Build table keyed 0..10: key = i, size = i, brand = i % 3.
+    fn build_table(keys: i64) -> SnapshotTable {
+        let db = Database::new(1);
+        let schema = h2tap_common::Schema::new(vec![
+            h2tap_common::Attribute::new("key", AttrType::Int64),
+            h2tap_common::Attribute::new("size", AttrType::Int32),
+            h2tap_common::Attribute::new("brand", AttrType::Int32),
+        ])
+        .unwrap();
+        let t = db.create_table("dim", schema, Layout::Dsm).unwrap();
+        for i in 0..keys {
+            db.insert(PartitionId(0), t, &[Value::Int64(i), Value::Int32(i as i32), Value::Int32((i % 3) as i32)])
+                .unwrap();
+        }
+        let snap = db.snapshot();
+        snap.table(t).unwrap().clone()
+    }
+
+    /// Join the fact table's bucket column (i % 10) against the dimension
+    /// keys with size <= 4, group by brand, SUM(bucket * price) + COUNT.
+    fn join_plan() -> OlapPlan {
+        OlapPlan {
+            predicates: vec![],
+            join: Some(h2tap_common::JoinSpec {
+                probe_column: 1,
+                build_key: 0,
+                build_predicates: vec![Predicate::between(1, 0.0, 4.0)],
+            }),
+            group_by: Some(PlanColumn::Build(2)),
+            aggregates: vec![AggExpr::SumProduct(1, 2), AggExpr::Count],
+        }
+    }
+
+    #[test]
+    fn failed_registration_frees_its_partial_allocations() {
+        // A device that fits the first columns but not the whole table: the
+        // failed registration must not consume capacity (OOM fallback
+        // retries registration on every query).
+        let table = snapshot_table(Layout::Dsm, 100_000); // 8 + 4 + 8 bytes/row
+        let mut spec = GpuSpec::gtx_980();
+        spec.mem_capacity_mib = 1;
+        let mut eng = GpuOlapEngine::new(GpuDevice::new(spec), DataPlacement::DeviceResident);
+        assert!(eng.register_table(&table, "t").is_err());
+        assert_eq!(eng.device().memory().used_bytes(), 0, "partial column buffers must be freed");
+    }
+
+    #[test]
+    fn unregister_table_frees_only_that_tables_buffers() {
+        let t1 = snapshot_table(Layout::Dsm, 10_000);
+        let t2 = snapshot_table(Layout::Dsm, 20_000);
+        let mut eng = engine(DataPlacement::DeviceResident);
+        let h1 = eng.register_table(&t1, "a").unwrap();
+        let after_first = eng.device().memory().used_bytes();
+        let h2 = eng.register_table(&t2, "b").unwrap();
+        assert!(eng.device().memory().used_bytes() > after_first);
+        eng.unregister_table(h2);
+        assert_eq!(eng.device().memory().used_bytes(), after_first, "only t2's buffers are freed");
+        // t1 stays fully queryable.
+        let out = eng.execute(h1, &t1, &bucket_query()).unwrap();
+        assert_eq!(out.qualifying_rows, 5_000);
+    }
+
+    #[test]
+    fn join_group_by_plan_computes_exact_groups() {
+        let probe = snapshot_table(Layout::Dsm, 1_000);
+        let build = build_table(10);
+        let mut eng = engine(DataPlacement::Host(AccessMode::Uva));
+        let ph = eng.register_table(&probe, "fact").unwrap();
+        let bh = eng.register_table(&build, "dim").unwrap();
+        let out = eng.execute_plan(ph, &probe, Some((bh, &build)), &join_plan()).unwrap();
+        // Buckets 0..=4 join (size <= 4); brands of keys 0..=4 are
+        // 0 -> {0,3}, 1 -> {1,4}, 2 -> {2}; 100 rows per bucket.
+        assert_eq!(out.qualifying_rows, 500);
+        assert_eq!(out.groups.len(), 3);
+        let sums: Vec<(u64, f64, u64)> = out.groups.iter().map(|g| (g.key, g.values[0], g.rows)).collect();
+        assert_eq!(sums, vec![(0, 750.0, 200), (1, 1250.0, 200), (2, 500.0, 100)]);
+        for g in &out.groups {
+            assert_eq!(g.values[1], g.rows as f64, "COUNT aggregate tracks rows");
+        }
+        let names: Vec<&str> = out.kernels.iter().map(|k| k.name.as_str()).collect();
+        assert_eq!(names, vec!["hash_build", "hash_probe", "partial_aggregate", "merge_groups"]);
+        assert!(out.time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn random_probes_dominate_join_cost_over_uva() {
+        let probe = snapshot_table(Layout::Dsm, 200_000);
+        let build = build_table(10);
+        let plan = join_plan();
+        let scan_equivalent = OlapPlan { join: None, group_by: None, ..plan.clone() };
+        let mut eng = engine(DataPlacement::Host(AccessMode::Uva));
+        let ph = eng.register_table(&probe, "fact").unwrap();
+        let bh = eng.register_table(&build, "dim").unwrap();
+        let join_time = eng.execute_plan(ph, &probe, Some((bh, &build)), &plan).unwrap().time.as_secs_f64();
+        let scan_time = eng.execute_plan(ph, &probe, None, &scan_equivalent).unwrap().time.as_secs_f64();
+        // Every probe gathers a full interconnect transaction: the join costs
+        // far more than streaming the same probe columns.
+        assert!(join_time > 3.0 * scan_time, "join {join_time} scan {scan_time}");
+
+        // Device-resident hash state caps the waste at the 128-byte device
+        // transaction, collapsing the penalty.
+        let mut dev = engine(DataPlacement::DeviceResident);
+        let ph = dev.register_table(&probe, "fact").unwrap();
+        let bh = dev.register_table(&build, "dim").unwrap();
+        let dev_join = dev.execute_plan(ph, &probe, Some((bh, &build)), &plan).unwrap().time.as_secs_f64();
+        assert!(dev_join < join_time / 3.0, "device {dev_join} uva {join_time}");
+    }
+
+    #[test]
+    fn plan_scratch_buffers_do_not_leak_device_memory() {
+        let probe = snapshot_table(Layout::Dsm, 10_000);
+        let build = build_table(10);
+        let mut eng = engine(DataPlacement::DeviceResident);
+        let ph = eng.register_table(&probe, "fact").unwrap();
+        let bh = eng.register_table(&build, "dim").unwrap();
+        let before = eng.device().memory().used_bytes();
+        eng.execute_plan(ph, &probe, Some((bh, &build)), &join_plan()).unwrap();
+        assert_eq!(eng.device().memory().used_bytes(), before, "hash/group scratch must be freed");
+    }
+
+    #[test]
+    fn plan_rejects_mismatched_join_and_build() {
+        let probe = snapshot_table(Layout::Dsm, 100);
+        let build = build_table(10);
+        let mut eng = engine(DataPlacement::Host(AccessMode::Uva));
+        let ph = eng.register_table(&probe, "fact").unwrap();
+        let bh = eng.register_table(&build, "dim").unwrap();
+        // Join without a build table.
+        assert!(eng.execute_plan(ph, &probe, None, &join_plan()).is_err());
+        // Build table without a join.
+        let scan = OlapPlan { predicates: vec![], join: None, group_by: None, aggregates: vec![AggExpr::Count] };
+        assert!(eng.execute_plan(ph, &probe, Some((bh, &build)), &scan).is_err());
+    }
+
+    #[test]
+    fn scan_plan_matches_the_scan_query_answer() {
+        let probe = snapshot_table(Layout::Dsm, 5_000);
+        let query = bucket_query();
+        let plan = OlapPlan::scan(&query);
+        let mut eng = engine(DataPlacement::Host(AccessMode::Uva));
+        let handle = eng.register_table(&probe, "t").unwrap();
+        let scan = eng.execute(handle, &probe, &query).unwrap();
+        let planned = eng.execute_plan(handle, &probe, None, &plan).unwrap();
+        assert_eq!(planned.qualifying_rows, scan.qualifying_rows);
+        let value = planned.single_value().expect("global group");
+        assert!((value - scan.value).abs() < 1e-9, "plan {value} scan {}", scan.value);
     }
 }

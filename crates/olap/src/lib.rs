@@ -12,10 +12,12 @@
 
 pub mod cpu;
 pub mod engine;
+pub mod operators;
 pub mod policy;
 pub mod site;
 
-pub use cpu::{CpuOlapEngine, CpuOlapResult, CpuScanProfile, CpuSpec};
-pub use engine::{DataPlacement, GpuOlapEngine, OlapOutcome, RegisteredTable};
+pub use cpu::{CpuOlapEngine, CpuOlapResult, CpuPlanResult, CpuScanProfile, CpuSpec};
+pub use engine::{DataPlacement, GpuOlapEngine, OlapOutcome, PlanOutcome, RegisteredTable};
+pub use operators::{JoinHashTable, MaterializedColumns};
 pub use policy::SnapshotPolicy;
 pub use site::ExecutionSite;

@@ -1,0 +1,469 @@
+//! The shared data path of the relational operator subsystem.
+//!
+//! Both execution sites answer an [`OlapPlan`] with the same logical
+//! pipeline — filter the probe table, probe a hash table built from the
+//! filtered build table, accumulate per-group aggregates — and the plan IR
+//! requires their results to be **byte-identical**. Floating-point addition
+//! is not associative, so this module pins the evaluation order once for
+//! everyone: rows are processed in storage order within fixed chunks of
+//! [`PLAN_CHUNK_ROWS`] rows ([`process_chunk`]), and per-chunk partials are
+//! merged in ascending chunk order ([`merge_partials`]). The CPU site runs
+//! the chunks on a thread pool and the GPU site maps them onto simulated
+//! thread blocks, but because every site uses these functions over the same
+//! materialised columns, the numbers that come out are bit-equal.
+//!
+//! What the sites do *not* share is the cost model: the CPU charges cache-
+//! line-granular random access against host memory bandwidth, the GPU
+//! charges build/probe/aggregate kernels (with [`h2tap_gpu_sim::AccessPattern::Random`]
+//! probes) through the gpu-sim memory model.
+
+use h2tap_common::{AggExpr, AttrType, GroupRow, H2Error, JoinSpec, OlapPlan, PlanColumn, Result, PLAN_CHUNK_ROWS};
+use h2tap_storage::{decode_cell_f64, SnapshotTable};
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Range;
+
+/// Accessed columns of a table, materialised as raw 64-bit cells in storage
+/// order. Chunked operators index rows directly, which an iterator over
+/// pages cannot do.
+#[derive(Debug, Clone)]
+pub struct MaterializedColumns {
+    cols: Vec<usize>,
+    types: Vec<AttrType>,
+    data: Vec<Vec<u64>>,
+    rows: usize,
+}
+
+impl MaterializedColumns {
+    /// Materialises `cols` (attribute indexes) of `table`.
+    pub fn new(table: &SnapshotTable, cols: Vec<usize>) -> Result<Self> {
+        let types: Vec<AttrType> = cols.iter().map(|&c| table.schema.attr(c).map(|a| a.ty)).collect::<Result<_>>()?;
+        let data: Vec<Vec<u64>> = cols.iter().map(|&c| table.column(c)).collect();
+        Ok(Self { cols, types, data, rows: table.row_count() as usize })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of [`PLAN_CHUNK_ROWS`]-sized chunks covering the rows.
+    pub fn chunk_count(&self) -> usize {
+        self.rows.div_ceil(PLAN_CHUNK_ROWS).max(1)
+    }
+
+    /// Row range of chunk `idx`.
+    pub fn chunk_range(&self, idx: usize) -> Range<usize> {
+        let lo = idx * PLAN_CHUNK_ROWS;
+        lo..((idx + 1) * PLAN_CHUNK_ROWS).min(self.rows)
+    }
+
+    fn pos(&self, col: usize) -> usize {
+        self.cols.iter().position(|&c| c == col).expect("column was materialised")
+    }
+
+    /// Raw cell of attribute `col` at `row`.
+    fn raw(&self, col_pos: usize, row: usize) -> u64 {
+        self.data[col_pos][row]
+    }
+
+    /// Numeric interpretation of attribute `col` at `row`.
+    fn value(&self, col_pos: usize, row: usize) -> f64 {
+        decode_cell_f64(self.types[col_pos], self.data[col_pos][row])
+    }
+}
+
+/// The hash table of a primary-key equi-join: filtered build rows keyed by
+/// the bit pattern of the numeric join key, carrying the raw group-key cell
+/// as payload.
+#[derive(Debug, Clone)]
+pub struct JoinHashTable {
+    map: HashMap<u64, u64>,
+    /// Build rows considered (before build predicates).
+    pub build_rows_in: u64,
+}
+
+impl JoinHashTable {
+    /// Entries surviving the build predicates.
+    pub fn entries(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    /// Simulated footprint of the table.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.entries().max(1) * h2tap_common::HASH_ENTRY_BYTES
+    }
+
+    /// Payload for `key` (the bit pattern of the numeric join key value).
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.map.get(&key).copied()
+    }
+}
+
+/// Builds the join hash table: one pass over the build table that filters by
+/// `join.build_predicates` and inserts `join.build_key` with the raw cell of
+/// `group_col` (when the plan groups by a build attribute) as payload.
+/// Duplicate keys among surviving rows violate the PK-join contract and are
+/// rejected.
+pub fn build_hash_table(build: &SnapshotTable, join: &JoinSpec, group_col: Option<usize>) -> Result<JoinHashTable> {
+    let mut cols: Vec<usize> = std::iter::once(join.build_key)
+        .chain(join.build_predicates.iter().map(|p| p.column))
+        .chain(group_col)
+        .collect();
+    cols.sort_unstable();
+    cols.dedup();
+    let mat = MaterializedColumns::new(build, cols)?;
+    let key_pos = mat.pos(join.build_key);
+    let pred_pos: Vec<usize> = join.build_predicates.iter().map(|p| mat.pos(p.column)).collect();
+    let group_pos = group_col.map(|c| mat.pos(c));
+    let mut map = HashMap::new();
+    for row in 0..mat.rows() {
+        if join.build_predicates.iter().zip(&pred_pos).any(|(p, &pos)| !p.matches(mat.value(pos, row))) {
+            continue;
+        }
+        let key = mat.value(key_pos, row).to_bits();
+        let payload = group_pos.map_or(0, |pos| mat.raw(pos, row));
+        if map.insert(key, payload).is_some() {
+            return Err(H2Error::InvalidKernel(format!(
+                "duplicate build key {} — hash joins require a unique build key",
+                f64::from_bits(key)
+            )));
+        }
+    }
+    Ok(JoinHashTable { map, build_rows_in: mat.rows() as u64 })
+}
+
+/// Per-group accumulator: one f64 per aggregate plus the contributing row
+/// count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupAcc {
+    /// Aggregate values in plan order.
+    pub values: Vec<f64>,
+    /// Rows accumulated into the group.
+    pub rows: u64,
+}
+
+/// The result of evaluating one chunk of the probe table.
+#[derive(Debug, Clone, Default)]
+pub struct ChunkPartial {
+    /// Per-group partial aggregates, keyed by the raw group-key cell.
+    pub groups: BTreeMap<u64, GroupAcc>,
+    /// Rows that satisfied the probe predicates.
+    pub selected: u64,
+    /// Rows that additionally found a join partner (equals `selected` for
+    /// plans without a join).
+    pub joined: u64,
+}
+
+/// Plan-wide row counters, summed over all chunks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanTotals {
+    /// Rows that satisfied the probe predicates.
+    pub selected: u64,
+    /// Rows that reached the aggregation (post join).
+    pub joined: u64,
+}
+
+/// Evaluates `plan` over `rows` of the materialised probe columns: predicate
+/// filter, optional hash-table probe, per-group aggregation. Rows are
+/// processed in ascending storage order; this function is deterministic and
+/// side-effect free, so chunks can be evaluated on any thread in any order.
+pub fn process_chunk(
+    probe: &MaterializedColumns,
+    plan: &OlapPlan,
+    hash: Option<&JoinHashTable>,
+    rows: Range<usize>,
+) -> ChunkPartial {
+    let pred_pos: Vec<usize> = plan.predicates.iter().map(|p| probe.pos(p.column)).collect();
+    let probe_key_pos = plan.join.as_ref().map(|j| probe.pos(j.probe_column));
+    let group_probe_pos = match plan.group_by {
+        Some(PlanColumn::Probe(c)) => Some(probe.pos(c)),
+        _ => None,
+    };
+    // Aggregate inputs resolved to materialised positions once per chunk.
+    let agg_pos: Vec<Vec<usize>> =
+        plan.aggregates.iter().map(|a| a.columns().iter().map(|&c| probe.pos(c)).collect()).collect();
+
+    let mut partial = ChunkPartial::default();
+    for row in rows {
+        if plan.predicates.iter().zip(&pred_pos).any(|(p, &pos)| !p.matches(probe.value(pos, row))) {
+            continue;
+        }
+        partial.selected += 1;
+        let mut group_key = group_probe_pos.map_or(0, |pos| probe.raw(pos, row));
+        if let Some(key_pos) = probe_key_pos {
+            let table = hash.expect("join plans carry a hash table");
+            let Some(payload) = table.get(probe.value(key_pos, row).to_bits()) else { continue };
+            if matches!(plan.group_by, Some(PlanColumn::Build(_))) {
+                group_key = payload;
+            }
+        }
+        partial.joined += 1;
+        let acc = partial
+            .groups
+            .entry(group_key)
+            .or_insert_with(|| GroupAcc { values: vec![0.0; plan.aggregates.len()], rows: 0 });
+        acc.rows += 1;
+        for (slot, (agg, pos)) in plan.aggregates.iter().zip(&agg_pos).enumerate() {
+            acc.values[slot] += match agg {
+                AggExpr::SumProduct(..) => probe.value(pos[0], row) * probe.value(pos[1], row),
+                AggExpr::SumColumns(_) => pos.iter().map(|&p| probe.value(p, row)).sum(),
+                AggExpr::Count => 1.0,
+            };
+        }
+    }
+    partial
+}
+
+/// Merges per-chunk partials **in the order given** (callers pass ascending
+/// chunk order — this is what keeps f64 aggregates byte-identical across
+/// sites) and emits groups in ascending raw-key order. A plan without
+/// `group_by` always yields exactly one global group (key 0, zeroed when no
+/// row qualified), so scan-style plans have a scalar answer even on empty
+/// selections; grouped plans yield one group per key that actually occurred.
+pub fn merge_partials(plan: &OlapPlan, partials: Vec<ChunkPartial>) -> (Vec<GroupRow>, PlanTotals) {
+    let mut totals = PlanTotals::default();
+    let mut merged: BTreeMap<u64, GroupAcc> = BTreeMap::new();
+    for partial in partials {
+        totals.selected += partial.selected;
+        totals.joined += partial.joined;
+        for (key, acc) in partial.groups {
+            match merged.entry(key) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(acc);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    let g = slot.get_mut();
+                    g.rows += acc.rows;
+                    for (v, add) in g.values.iter_mut().zip(&acc.values) {
+                        *v += add;
+                    }
+                }
+            }
+        }
+    }
+    if plan.group_by.is_none() && merged.is_empty() {
+        merged.insert(0, GroupAcc { values: vec![0.0; plan.aggregates.len()], rows: 0 });
+    }
+    let groups = merged.into_iter().map(|(key, acc)| GroupRow { key, values: acc.values, rows: acc.rows }).collect();
+    (groups, totals)
+}
+
+/// Everything both sites need before they can evaluate a plan's chunks: the
+/// materialised probe columns and the (optional) join hash table.
+#[derive(Debug, Clone)]
+pub struct PlanData {
+    /// Accessed probe columns, materialised in storage order.
+    pub mat: MaterializedColumns,
+    /// The join hash table (present exactly when the plan joins).
+    pub hash: Option<JoinHashTable>,
+}
+
+/// The shared preamble of plan execution: validates the plan against the
+/// presence of a build table, rejects empty tables, builds the join hash
+/// table from the filtered build side and materialises the accessed probe
+/// columns. Both sites call this so their data paths — and their error
+/// behaviour on malformed or empty inputs — cannot drift apart; what remains
+/// site-specific is how the chunks are scheduled and what the pipeline is
+/// charged.
+pub fn prepare_plan(
+    probe_table: &SnapshotTable,
+    build_table: Option<&SnapshotTable>,
+    plan: &OlapPlan,
+) -> Result<PlanData> {
+    let build_group_col = check_plan(plan, build_table.is_some())?;
+    if probe_table.row_count() == 0 {
+        return Err(H2Error::InvalidKernel("cannot execute a plan over an empty probe table".into()));
+    }
+    if let Some(build) = build_table {
+        if build.row_count() == 0 {
+            return Err(H2Error::InvalidKernel("cannot execute a join plan over an empty build table".into()));
+        }
+    }
+    let hash = match (&plan.join, build_table) {
+        (Some(join), Some(build)) => Some(build_hash_table(build, join, build_group_col)?),
+        _ => None,
+    };
+    let mat = MaterializedColumns::new(probe_table, plan.probe_columns_accessed())?;
+    Ok(PlanData { mat, hash })
+}
+
+/// Validates `plan` against the presence of a build table and returns the
+/// group column on the build side (if any). Shared by both sites so they
+/// reject malformed plans identically.
+pub fn check_plan(plan: &OlapPlan, has_build: bool) -> Result<Option<usize>> {
+    plan.validate().map_err(H2Error::Config)?;
+    match (&plan.join, has_build) {
+        (Some(_), false) => return Err(H2Error::Config("join plan executed without a build table".into())),
+        (None, true) => return Err(H2Error::Config("build table supplied but the plan has no join".into())),
+        _ => {}
+    }
+    Ok(match plan.group_by {
+        Some(PlanColumn::Build(c)) => Some(c),
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2tap_common::{PartitionId, Predicate, Schema, Value};
+    use h2tap_storage::{Database, Layout};
+
+    /// probe: key = i, fk = i % 100, val = i as f64; build: key = 0..50,
+    /// size = key % 10, brand = key % 5.
+    fn tables(probe_rows: i64) -> (SnapshotTable, SnapshotTable) {
+        let db = Database::new(1);
+        let probe_schema = Schema::new(vec![
+            h2tap_common::Attribute::new("k", AttrType::Int64),
+            h2tap_common::Attribute::new("fk", AttrType::Int64),
+            h2tap_common::Attribute::new("val", AttrType::Float64),
+        ])
+        .unwrap();
+        let p = db.create_table("probe", probe_schema, Layout::Dsm).unwrap();
+        for i in 0..probe_rows {
+            db.insert(PartitionId(0), p, &[Value::Int64(i), Value::Int64(i % 100), Value::Float64(i as f64)]).unwrap();
+        }
+        let build_schema = Schema::new(vec![
+            h2tap_common::Attribute::new("key", AttrType::Int64),
+            h2tap_common::Attribute::new("size", AttrType::Int32),
+            h2tap_common::Attribute::new("brand", AttrType::Int32),
+        ])
+        .unwrap();
+        let b = db.create_table("build", build_schema, Layout::Dsm).unwrap();
+        for i in 0..50i64 {
+            db.insert(
+                PartitionId(0),
+                b,
+                &[Value::Int64(i), Value::Int32((i % 10) as i32), Value::Int32((i % 5) as i32)],
+            )
+            .unwrap();
+        }
+        let snap = db.snapshot();
+        (snap.table(p).unwrap().clone(), snap.table(b).unwrap().clone())
+    }
+
+    fn join_plan() -> OlapPlan {
+        OlapPlan {
+            predicates: vec![],
+            join: Some(JoinSpec {
+                probe_column: 1,
+                build_key: 0,
+                build_predicates: vec![Predicate::between(1, 0.0, 4.0)],
+            }),
+            group_by: Some(PlanColumn::Build(2)),
+            aggregates: vec![AggExpr::SumColumns(vec![2]), AggExpr::Count],
+        }
+    }
+
+    #[test]
+    fn hash_build_filters_and_carries_group_payload() {
+        let (_, build) = tables(10);
+        let plan = join_plan();
+        let table = build_hash_table(&build, plan.join.as_ref().unwrap(), Some(2)).unwrap();
+        // size <= 4 keeps keys with key % 10 in 0..=4: 25 of 50.
+        assert_eq!(table.entries(), 25);
+        assert_eq!(table.build_rows_in, 50);
+        // Key 3 survives, payload is brand 3 % 5 = 3 (raw Int32 cell).
+        assert_eq!(table.get(3.0f64.to_bits()), Some(3));
+        assert_eq!(table.get(5.0f64.to_bits()), None);
+    }
+
+    #[test]
+    fn duplicate_build_keys_are_rejected() {
+        // A build table keyed on a column with repeats (i % 2) violates the
+        // PK-join contract.
+        let join = JoinSpec { probe_column: 0, build_key: 1, build_predicates: vec![] };
+        let db = Database::new(1);
+        let t = db.create_table("b", Schema::homogeneous("c", 2, AttrType::Int64), Layout::Dsm).unwrap();
+        for i in 0..4i64 {
+            db.insert(PartitionId(0), t, &[Value::Int64(i), Value::Int64(i % 2)]).unwrap();
+        }
+        let snap = db.snapshot();
+        let dup = snap.table(t).unwrap().clone();
+        assert!(build_hash_table(&dup, &join, None).is_err());
+    }
+
+    #[test]
+    fn chunked_evaluation_matches_a_scalar_reference() {
+        let (probe, build) = tables(1_000);
+        let plan = join_plan();
+        let hash = build_hash_table(&build, plan.join.as_ref().unwrap(), Some(2)).unwrap();
+        let mat = MaterializedColumns::new(&probe, plan.probe_columns_accessed()).unwrap();
+        let partials: Vec<ChunkPartial> =
+            (0..mat.chunk_count()).map(|i| process_chunk(&mat, &plan, Some(&hash), mat.chunk_range(i))).collect();
+        let (groups, totals) = merge_partials(&plan, partials);
+        // fk = i % 100 joins when it hits one of the 25 surviving build keys
+        // (fk < 50 and fk % 10 <= 4), each fk value occurring 10 times.
+        assert_eq!(totals.selected, 1_000);
+        assert_eq!(totals.joined, 250);
+        // Groups are brands 0..5 of surviving keys.
+        assert_eq!(groups.len(), 5);
+        let total_rows: u64 = groups.iter().map(|g| g.rows).sum();
+        assert_eq!(total_rows, 250);
+        // SumColumns([2]) over probe col2 = i as f64; reference per brand.
+        let mut expect: BTreeMap<u64, f64> = BTreeMap::new();
+        for i in 0..1_000u64 {
+            let fk = i % 100;
+            if fk % 10 <= 4 && fk < 50 {
+                let brand = (fk % 5) as u32 as u64;
+                *expect.entry(brand).or_default() += i as f64;
+            }
+        }
+        for g in &groups {
+            let want = expect[&g.key];
+            assert!((g.values[0] - want).abs() < 1e-9, "brand {} got {} want {want}", g.key, g.values[0]);
+            assert_eq!(g.values[1], g.rows as f64, "count aggregate tracks rows");
+        }
+    }
+
+    #[test]
+    fn merge_order_is_chunk_order() {
+        let (probe, _) = tables(200_000);
+        let plan =
+            OlapPlan { predicates: vec![], join: None, group_by: None, aggregates: vec![AggExpr::SumColumns(vec![2])] };
+        let mat = MaterializedColumns::new(&probe, plan.probe_columns_accessed()).unwrap();
+        assert!(mat.chunk_count() > 1, "test needs several chunks");
+        let partials: Vec<ChunkPartial> =
+            (0..mat.chunk_count()).map(|i| process_chunk(&mat, &plan, None, mat.chunk_range(i))).collect();
+        let (a, _) = merge_partials(&plan, partials.clone());
+        let (b, _) = merge_partials(&plan, partials);
+        // Bit-equal on repeat evaluation: the contract the sites rely on.
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].key, 0);
+    }
+
+    #[test]
+    fn ungrouped_plans_always_emit_the_global_group() {
+        let (probe, _) = tables(100);
+        // A predicate nothing satisfies: the selection is empty.
+        let plan = OlapPlan {
+            predicates: vec![Predicate::between(0, 1e9, 2e9)],
+            join: None,
+            group_by: None,
+            aggregates: vec![AggExpr::SumColumns(vec![2]), AggExpr::Count],
+        };
+        let mat = MaterializedColumns::new(&probe, plan.probe_columns_accessed()).unwrap();
+        let partials = vec![process_chunk(&mat, &plan, None, mat.chunk_range(0))];
+        let (groups, totals) = merge_partials(&plan, partials);
+        assert_eq!(totals.joined, 0);
+        assert_eq!(groups, vec![GroupRow { key: 0, values: vec![0.0, 0.0], rows: 0 }]);
+        // A grouped plan with an empty selection stays empty: no phantom
+        // groups.
+        let grouped = OlapPlan { group_by: Some(PlanColumn::Probe(0)), ..plan.clone() };
+        let mat = MaterializedColumns::new(&probe, grouped.probe_columns_accessed()).unwrap();
+        let partials = vec![process_chunk(&mat, &grouped, None, mat.chunk_range(0))];
+        let (groups, _) = merge_partials(&grouped, partials);
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn check_plan_enforces_join_build_pairing() {
+        let plan = join_plan();
+        assert_eq!(check_plan(&plan, true).unwrap(), Some(2));
+        assert!(check_plan(&plan, false).is_err());
+        let scan = OlapPlan { predicates: vec![], join: None, group_by: None, aggregates: vec![AggExpr::Count] };
+        assert_eq!(check_plan(&scan, false).unwrap(), None);
+        assert!(check_plan(&scan, true).is_err());
+    }
+}

@@ -17,8 +17,8 @@
 //! ([`ExecutionSite::resident_fraction`]), and how it reacts to core
 //! migration ([`ExecutionSite::set_cores`]).
 
-use crate::engine::{OlapOutcome, RegisteredTable};
-use h2tap_common::{Result, ScanAggQuery};
+use crate::engine::{OlapOutcome, PlanOutcome, RegisteredTable};
+use h2tap_common::{OlapPlan, Result, ScanAggQuery};
 use h2tap_scheduler::OlapTarget;
 use h2tap_storage::SnapshotTable;
 
@@ -43,9 +43,37 @@ pub trait ExecutionSite: Send {
     /// Releases every registration (called on snapshot refresh).
     fn reset_tables(&mut self);
 
+    /// Releases one table registration, freeing whatever site-local
+    /// resources (device buffers) it holds. Used to roll back the tables a
+    /// *failed* multi-table attempt registered, so an OOM fallback does not
+    /// strand device memory until the next snapshot refresh.
+    fn unregister_table(&mut self, handle: RegisteredTable);
+
     /// Executes `query` against a registered snapshot table, returning the
     /// exact answer and the site's simulated cost.
     fn execute(&mut self, handle: RegisteredTable, table: &SnapshotTable, query: &ScanAggQuery) -> Result<OlapOutcome>;
+
+    /// Executes a relational plan (filter → optional hash join → optional
+    /// group-by) against a registered probe table and, for join plans, a
+    /// registered build table. Sites must return **byte-identical**
+    /// [`h2tap_common::GroupRow`]s for the same plan over the same snapshot
+    /// (see [`h2tap_common::plan`] for the evaluation-order contract); only
+    /// the simulated cost differs.
+    fn execute_plan(
+        &mut self,
+        probe: RegisteredTable,
+        probe_table: &SnapshotTable,
+        build: Option<(RegisteredTable, &SnapshotTable)>,
+        plan: &OlapPlan,
+    ) -> Result<PlanOutcome>;
+
+    /// Capacity hint: free device-local memory in bytes, for sites whose
+    /// compute sits next to a bounded memory (the GPU). `None` for sites
+    /// that stream from host DRAM — the placement heuristic then skips its
+    /// hash-table footprint check.
+    fn free_device_bytes(&self) -> Option<u64> {
+        None
+    }
 
     /// Cost hint: the fraction of registered bytes already resident next to
     /// this site's compute (device memory for the GPU, host DRAM for the
@@ -98,6 +126,58 @@ mod tests {
         }
         assert_eq!(answers[0], answers[1]);
         assert_eq!(answers[0], (0..1_000).map(|i| 2.0 * i as f64).sum::<f64>());
+    }
+
+    #[test]
+    fn both_sites_agree_on_a_join_group_by_plan() {
+        // Probe: c0 = i, c1 = 2i; the build table is keyed on the even
+        // values c1 takes, classed modulo 3.
+        let probe = snapshot_table(500);
+        let db = Database::new(1);
+        let t = db
+            .create_table(
+                "dim",
+                Schema::new(vec![
+                    h2tap_common::Attribute::new("key", h2tap_common::AttrType::Int64),
+                    h2tap_common::Attribute::new("class", h2tap_common::AttrType::Int32),
+                ])
+                .unwrap(),
+                Layout::Dsm,
+            )
+            .unwrap();
+        for i in 0..300i64 {
+            db.insert(PartitionId(0), t, &[Value::Int64(2 * i), Value::Int32((i % 3) as i32)]).unwrap();
+        }
+        let build = db.snapshot().table(t).unwrap().clone();
+        let plan = h2tap_common::OlapPlan {
+            predicates: vec![h2tap_common::Predicate::between(0, 0.0, 399.0)],
+            join: Some(h2tap_common::JoinSpec { probe_column: 1, build_key: 0, build_predicates: vec![] }),
+            group_by: Some(h2tap_common::PlanColumn::Build(1)),
+            aggregates: vec![AggExpr::SumColumns(vec![1]), AggExpr::Count],
+        };
+        let mut results = Vec::new();
+        for mut site in sites() {
+            let ph = site.register_table(&probe, "fact").unwrap();
+            let bh = site.register_table(&build, "dim").unwrap();
+            let out = site.execute_plan(ph, &probe, Some((bh, &build)), &plan).unwrap();
+            assert_eq!(out.site, site.target());
+            results.push(out);
+            site.reset_tables();
+        }
+        // Byte-identical groups through the trait.
+        assert_eq!(results[0].groups, results[1].groups);
+        assert_eq!(results[0].qualifying_rows, results[1].qualifying_rows);
+        // Probe rows 0..=399 have c1 = 2i in 0..=798; build keys reach 598,
+        // so rows with c1 <= 598 (i <= 299) survive the join.
+        assert_eq!(results[0].qualifying_rows, 300);
+        assert_eq!(results[0].groups.len(), 3);
+    }
+
+    #[test]
+    fn free_device_bytes_distinguishes_bounded_sites() {
+        let all = sites();
+        assert!(all[0].free_device_bytes().is_some(), "the GPU site has bounded device memory");
+        assert!(all[1].free_device_bytes().is_none(), "the CPU streams from host DRAM");
     }
 
     #[test]

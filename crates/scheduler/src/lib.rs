@@ -13,4 +13,6 @@ pub mod archipelago;
 pub mod placement;
 
 pub use archipelago::{Archipelago, ArchipelagoKind, Scheduler};
-pub use placement::{place_olap_query, OlapTarget, PlacementHints, DEFAULT_GPU_DISPATCH_OVERHEAD_SECS};
+pub use placement::{
+    place_olap_query, OlapTarget, PlacementHints, CPU_CACHE_LINE_BYTES, DEFAULT_GPU_DISPATCH_OVERHEAD_SECS,
+};

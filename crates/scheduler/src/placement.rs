@@ -10,7 +10,8 @@
 //! fixed GPU dispatch cost, versus how fast the CPU cores can stream the
 //! same bytes from memory plus their per-tuple processing work.
 
-use h2tap_gpu_sim::GpuSpec;
+use h2tap_common::HASH_ENTRY_BYTES;
+use h2tap_gpu_sim::{GpuSpec, DEVICE_TRANSACTION_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// Where an analytical query should execute.
@@ -49,7 +50,27 @@ pub struct PlacementHints {
     /// before they are bandwidth bound, so ignoring this term would
     /// systematically over-place queries on the CPU.
     pub cpu_per_tuple_ns: f64,
+    /// Bytes the query touches with data-dependent random access (hash-join
+    /// probes, group-accumulator updates). Zero for streaming scans. Random
+    /// bytes cost far more than their payload on both sites — cache lines on
+    /// the CPU, memory/interconnect transactions on the GPU — and the
+    /// asymmetry between those penalties is what separates plan placement
+    /// from scan placement.
+    pub random_access_bytes: u64,
+    /// Footprint of the query's hash state (join build side), in bytes. A
+    /// plan whose hash table cannot fit in free device memory cannot keep
+    /// its probes on the device.
+    pub hash_table_bytes: u64,
+    /// Free GPU device memory in bytes. `u64::MAX` (the default) means
+    /// unknown/unbounded and disables the footprint check; `0` means the
+    /// device is genuinely full — which must route joins away from it, so
+    /// full and unknown are deliberately distinct values.
+    pub gpu_free_bytes: u64,
 }
+
+/// Cache-line granularity of CPU random access: every hash probe touches one
+/// 64-byte line of the table regardless of entry size.
+pub const CPU_CACHE_LINE_BYTES: u64 = 64;
 
 impl Default for PlacementHints {
     fn default() -> Self {
@@ -61,6 +82,9 @@ impl Default for PlacementHints {
             gpu_dispatch_overhead_secs: DEFAULT_GPU_DISPATCH_OVERHEAD_SECS,
             rows: 0,
             cpu_per_tuple_ns: 0.0,
+            random_access_bytes: 0,
+            hash_table_bytes: 0,
+            gpu_free_bytes: u64::MAX,
         }
     }
 }
@@ -72,17 +96,36 @@ pub fn place_olap_query(gpu: &GpuSpec, hints: &PlacementHints) -> OlapTarget {
     if hints.available_cpu_cores == 0 || hints.bytes_to_scan == 0 {
         return OlapTarget::Gpu;
     }
+    // A hash table that cannot fit in free device memory (including a
+    // completely full device, gpu_free_bytes == 0) forces the GPU to probe
+    // across the interconnect on every access; with CPU cores on hand that
+    // is never competitive, so the footprint check short-circuits.
+    if hints.hash_table_bytes > 0 && hints.hash_table_bytes > hints.gpu_free_bytes {
+        return OlapTarget::Cpu;
+    }
     let resident = hints.gpu_resident_fraction.clamp(0.0, 1.0);
     let bytes = hints.bytes_to_scan as f64;
+    let random = hints.random_access_bytes as f64;
+    // Random access delivers one hash entry per memory transaction: the
+    // waste factor is transaction size over entry size — the 128-byte device
+    // transaction when the hash state is device-resident, the interconnect
+    // MTU when probes cross the bus (the kernel-at-a-time executor keeps
+    // intermediates wherever table data lives, so residency is the proxy).
+    let gpu_random_device = (DEVICE_TRANSACTION_BYTES / HASH_ENTRY_BYTES) as f64;
+    let gpu_random_interconnect = (gpu.interconnect.mtu_bytes.max(HASH_ENTRY_BYTES) / HASH_ENTRY_BYTES) as f64;
     // GPU: resident bytes stream at device bandwidth, the rest crosses the
-    // interconnect, plus the fixed dispatch cost every query pays.
+    // interconnect, random bytes pay the coalescing waste, plus the fixed
+    // dispatch cost every query pays.
     let gpu_time = hints.gpu_dispatch_overhead_secs.max(0.0)
-        + resident * bytes / gpu.mem_bytes_per_sec()
-        + (1.0 - resident) * bytes / (gpu.interconnect.kind.bandwidth_gbps() * 1e9);
+        + (resident * (bytes + random * gpu_random_device)) / gpu.mem_bytes_per_sec()
+        + ((1.0 - resident) * (bytes + random * gpu_random_interconnect))
+            / (gpu.interconnect.kind.bandwidth_gbps() * 1e9);
     // CPU: all bytes stream from host memory across the available cores,
-    // plus per-tuple processing work spread over the same cores.
+    // random bytes touch whole cache lines, plus per-tuple processing work
+    // spread over the same cores.
+    let cpu_random = (CPU_CACHE_LINE_BYTES / HASH_ENTRY_BYTES) as f64;
     let cpu_bw = f64::from(hints.available_cpu_cores) * hints.cpu_core_bandwidth_gbps * 1e9;
-    let cpu_time = bytes / cpu_bw.max(1.0)
+    let cpu_time = (bytes + random * cpu_random) / cpu_bw.max(1.0)
         + hints.rows as f64 * hints.cpu_per_tuple_ns.max(0.0) * 1e-9 / f64::from(hints.available_cpu_cores.max(1));
     if cpu_time < gpu_time {
         OlapTarget::Cpu
@@ -154,6 +197,55 @@ mod tests {
         // GPU (224 GB/s of device bandwidth beats 12 GB/s of CPU bandwidth).
         let no_overhead = PlacementHints { gpu_dispatch_overhead_secs: 0.0, ..hints };
         assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &no_overhead), OlapTarget::Gpu);
+    }
+
+    #[test]
+    fn random_probes_push_host_resident_joins_to_cpu() {
+        // A scan of this size over host-resident data routes to the GPU
+        // (per-tuple work makes the CPU slower end to end, see below), but
+        // the same bytes with one hash probe per row pay the interconnect
+        // MTU per access on the GPU — placement must flip to the CPU.
+        let scan = PlacementHints {
+            bytes_to_scan: (4 << 20) * 16,
+            available_cpu_cores: 24,
+            rows: 4 << 20,
+            cpu_per_tuple_ns: 93.0,
+            ..PlacementHints::default()
+        };
+        assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &scan), OlapTarget::Gpu);
+        let join =
+            PlacementHints { random_access_bytes: (4 << 20) * HASH_ENTRY_BYTES, hash_table_bytes: 1 << 20, ..scan };
+        assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &join), OlapTarget::Cpu);
+        // Fully device-resident, the same probes ride the capped device
+        // transaction waste and the GPU stays ahead.
+        let resident_join = PlacementHints { gpu_resident_fraction: 1.0, ..join };
+        assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &resident_join), OlapTarget::Gpu);
+    }
+
+    #[test]
+    fn oversized_hash_tables_route_to_cpu() {
+        let hints = PlacementHints {
+            bytes_to_scan: 1 << 30,
+            gpu_resident_fraction: 1.0,
+            available_cpu_cores: 24,
+            hash_table_bytes: 8 << 30,
+            gpu_free_bytes: 4 << 30,
+            ..PlacementHints::default()
+        };
+        assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &hints), OlapTarget::Cpu);
+        // The same footprint with room to spare keeps the GPU.
+        let fits = PlacementHints { gpu_free_bytes: 16 << 30, ..hints };
+        assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &fits), OlapTarget::Gpu);
+        // Unknown headroom (the u64::MAX default) disables the check rather
+        // than guessing.
+        let unknown = PlacementHints { gpu_free_bytes: u64::MAX, ..hints };
+        assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &unknown), OlapTarget::Gpu);
+        // A genuinely full device (0 free bytes) routes joins to the CPU.
+        let full = PlacementHints { gpu_free_bytes: 0, ..hints };
+        assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &full), OlapTarget::Cpu);
+        // With no CPU cores the footprint check cannot help.
+        let no_cores = PlacementHints { available_cpu_cores: 0, ..hints };
+        assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &no_cores), OlapTarget::Gpu);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! TPC-H `lineitem` generator and query 6.
+//! TPC-H `lineitem` / `part` generators, query 6, and a join/group-by plan.
 //!
 //! The paper's HTAP experiments (Figures 4-7) run over a TPC-H SF-300
 //! `lineitem` table, use Q6 as the analytical query, and an update-only
@@ -6,10 +6,18 @@
 //! generator here produces a `lineitem`-shaped table at any scale factor with
 //! the value distributions Q6's predicates rely on (uniform quantity 1-50,
 //! discount 0-0.10, dates over seven years).
+//!
+//! For the relational operator subsystem there is additionally a `part`
+//! dimension table (`l_partkey` references it) and [`brand_revenue_plan`], a
+//! TPC-H-style join + group-by: revenue per brand over parts in a size
+//! range, in the spirit of Q14/Q19's `lineitem ⋈ part` shapes.
 
 use caldera::CalderaBuilder;
 use h2tap_common::rng::SplitMixRng;
-use h2tap_common::{AggExpr, AttrType, Attribute, Predicate, Result, ScanAggQuery, Schema, TableId, Value};
+use h2tap_common::{
+    AggExpr, AttrType, Attribute, GroupRow, JoinSpec, OlapPlan, PlanColumn, Predicate, Result, ScanAggQuery, Schema,
+    TableId, Value,
+};
 use h2tap_storage::Layout;
 
 /// Rows per TPC-H scale factor unit (the spec's 6,000,000 lineitems per SF).
@@ -105,6 +113,144 @@ pub fn q6_scan_bytes(rows: u64) -> u64 {
     q6().scan_bytes(&lineitem_schema(), rows)
 }
 
+/// Distinct `l_partkey` values the lineitem generator draws (uniformly).
+/// A `part` table smaller than this acts as a join filter: only lineitems
+/// whose partkey falls inside the loaded part range find a partner.
+pub const LINEITEM_PART_KEYS: u64 = 200_000;
+
+/// Number of distinct `p_brand` values (the TPC-H spec has 25).
+pub const PART_BRANDS: u64 = 25;
+
+/// Attribute positions within [`part_schema`].
+pub mod part_columns {
+    /// p_partkey
+    pub const PARTKEY: usize = 0;
+    /// p_brand (0..25)
+    pub const BRAND: usize = 1;
+    /// p_size (1..=50)
+    pub const SIZE: usize = 2;
+    /// p_container (0..40)
+    pub const CONTAINER: usize = 3;
+    /// p_retailprice
+    pub const RETAILPRICE: usize = 4;
+}
+
+/// The fixed-width subset of TPC-H `part` the join experiments need.
+pub fn part_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::new("p_partkey", AttrType::Int64),
+        Attribute::new("p_brand", AttrType::Int32),
+        Attribute::new("p_size", AttrType::Int32),
+        Attribute::new("p_container", AttrType::Int32),
+        Attribute::new("p_retailprice", AttrType::Float64),
+    ])
+    .expect("part schema is valid")
+}
+
+/// Generates the part row for `p_partkey = key`. Brand and container are
+/// derived from the key (deterministic group structure); size and price are
+/// drawn from the generator's distributions (uniform 1..=50 and around the
+/// spec's retail-price formula).
+pub fn part_row(key: u64, rng: &mut SplitMixRng) -> Vec<Value> {
+    let size = 1 + rng.next_below(50) as i32;
+    let retailprice = 900.0 + (key % 1_000) as f64 + rng.next_f64() * 100.0;
+    vec![
+        Value::Int64(key as i64),
+        Value::Int32((key % PART_BRANDS) as i32),
+        Value::Int32(size),
+        Value::Int32((key % 40) as i32),
+        Value::Float64(retailprice),
+    ]
+}
+
+/// Loads a `part` table with keys `0..parts` (keyed so `l_partkey` joins
+/// directly). Returns the table id.
+pub fn load_part(builder: &mut CalderaBuilder, layout: Layout, parts: u64, seed: u64) -> Result<TableId> {
+    let table = builder.create_table("part", part_schema(), layout)?;
+    let mut rng = SplitMixRng::new(seed);
+    for key in 0..parts {
+        let row = part_row(key, &mut rng);
+        builder.load(table, key as i64, &row)?;
+    }
+    Ok(table)
+}
+
+/// Revenue per brand over parts in a size range — the TPC-H-style join +
+/// group-by plan of the operator subsystem:
+///
+/// ```sql
+/// SELECT p_brand, SUM(l_extendedprice * l_discount), COUNT(*)
+/// FROM lineitem JOIN part ON l_partkey = p_partkey
+/// WHERE l_shipdate BETWEEN 730 AND 1094 AND p_size <= :max_size
+/// GROUP BY p_brand
+/// ```
+///
+/// `max_size` (1..=50) controls build-side selectivity: `max_size/50` of the
+/// loaded parts survive the filter and populate the join hash table.
+pub fn brand_revenue_plan(max_size: i32) -> OlapPlan {
+    OlapPlan {
+        predicates: vec![Predicate::between(columns::SHIPDATE, 730.0, 1094.0)],
+        join: Some(JoinSpec {
+            probe_column: columns::PARTKEY,
+            build_key: part_columns::PARTKEY,
+            build_predicates: vec![Predicate::between(part_columns::SIZE, 1.0, f64::from(max_size))],
+        }),
+        group_by: Some(PlanColumn::Build(part_columns::BRAND)),
+        aggregates: vec![AggExpr::SumProduct(columns::EXTENDEDPRICE, columns::DISCOUNT), AggExpr::Count],
+    }
+}
+
+/// Like [`brand_revenue_plan`] but grouped by `p_partkey` itself — the
+/// high-cardinality end of the group sweep (one group per surviving part).
+pub fn partkey_revenue_plan(max_size: i32) -> OlapPlan {
+    OlapPlan { group_by: Some(PlanColumn::Build(part_columns::PARTKEY)), ..brand_revenue_plan(max_size) }
+}
+
+/// Reference (scalar) evaluation of [`brand_revenue_plan`] /
+/// [`partkey_revenue_plan`] over freshly generated rows: regenerates both
+/// tables and evaluates the plan naively, returning `(key, revenue, rows)`
+/// per group in ascending key order. Aggregation order differs from the
+/// engines' chunked order, so compare revenues with a tolerance.
+pub fn brand_revenue_reference(
+    lineitem_rows: u64,
+    parts: u64,
+    max_size: i32,
+    lineitem_seed: u64,
+    part_seed: u64,
+    by_partkey: bool,
+) -> Vec<GroupRow> {
+    let mut part_rng = SplitMixRng::new(part_seed);
+    // partkey -> group key (brand or partkey) for parts in the size range.
+    let mut surviving: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for key in 0..parts {
+        let row = part_row(key, &mut part_rng);
+        let size = row[part_columns::SIZE].as_i64().unwrap();
+        if size <= i64::from(max_size) {
+            let group = if by_partkey { key } else { key % PART_BRANDS };
+            surviving.insert(key, group);
+        }
+    }
+    let mut groups: std::collections::BTreeMap<u64, (f64, u64)> = std::collections::BTreeMap::new();
+    let mut rng = SplitMixRng::new(lineitem_seed);
+    for key in 0..lineitem_rows {
+        let row = lineitem_row(key, &mut rng);
+        let shipdate = row[columns::SHIPDATE].as_f64().unwrap();
+        if !(730.0..=1094.0).contains(&shipdate) {
+            continue;
+        }
+        let partkey = row[columns::PARTKEY].as_i64().unwrap() as u64;
+        let Some(&group) = surviving.get(&partkey) else { continue };
+        let revenue = row[columns::EXTENDEDPRICE].as_f64().unwrap() * row[columns::DISCOUNT].as_f64().unwrap();
+        let e = groups.entry(group).or_insert((0.0, 0));
+        e.0 += revenue;
+        e.1 += 1;
+    }
+    groups
+        .into_iter()
+        .map(|(key, (revenue, rows))| GroupRow { key, values: vec![revenue, rows as f64], rows })
+        .collect()
+}
+
 /// Loads a lineitem table with `rows` records into a Caldera builder,
 /// spreading rows round-robin across partitions (key = global row number).
 /// Returns the table id.
@@ -188,6 +334,56 @@ mod tests {
             assert_eq!(lineitem_row(key, &mut a), lineitem_row(key, &mut b));
         }
         assert_eq!(q6_reference(1000, 5), q6_reference(1000, 5));
+    }
+
+    #[test]
+    fn part_schema_and_constants_agree() {
+        let s = part_schema();
+        assert_eq!(s.arity(), 5);
+        assert_eq!(s.index_of("p_partkey"), Some(part_columns::PARTKEY));
+        assert_eq!(s.index_of("p_brand"), Some(part_columns::BRAND));
+        assert_eq!(s.index_of("p_size"), Some(part_columns::SIZE));
+        let mut rng = SplitMixRng::new(3);
+        for key in 0..1_000u64 {
+            let row = part_row(key, &mut rng);
+            assert_eq!(row[part_columns::PARTKEY].as_i64(), Some(key as i64));
+            let brand = row[part_columns::BRAND].as_i64().unwrap();
+            assert!((0..PART_BRANDS as i64).contains(&brand));
+            let size = row[part_columns::SIZE].as_i64().unwrap();
+            assert!((1..=50).contains(&size));
+        }
+    }
+
+    #[test]
+    fn brand_revenue_plan_is_valid_and_selective() {
+        let plan = brand_revenue_plan(25);
+        assert!(plan.validate().is_ok());
+        assert_eq!(
+            plan.probe_columns_accessed(),
+            vec![columns::PARTKEY, columns::EXTENDEDPRICE, columns::DISCOUNT, columns::SHIPDATE]
+        );
+        assert_eq!(plan.build_columns_accessed(), vec![part_columns::PARTKEY, part_columns::BRAND, part_columns::SIZE]);
+        assert!(plan.random_access_bytes(1_000) > 0, "join plans must report random access");
+        // Grouping by partkey only changes the group column.
+        let by_key = partkey_revenue_plan(25);
+        assert_eq!(by_key.build_columns_accessed(), vec![part_columns::PARTKEY, part_columns::SIZE]);
+    }
+
+    #[test]
+    fn brand_revenue_reference_groups_by_brand_or_partkey() {
+        let by_brand = brand_revenue_reference(20_000, 2_000, 25, 7, 11, false);
+        assert!(!by_brand.is_empty());
+        assert!(by_brand.len() <= PART_BRANDS as usize);
+        let by_key = brand_revenue_reference(20_000, 2_000, 25, 7, 11, true);
+        assert!(by_key.len() > by_brand.len(), "partkey grouping has higher cardinality");
+        // Same total revenue and row count either way.
+        let rev = |g: &[GroupRow]| g.iter().map(|r| r.values[0]).sum::<f64>();
+        let rows = |g: &[GroupRow]| g.iter().map(|r| r.rows).sum::<u64>();
+        assert!((rev(&by_brand) - rev(&by_key)).abs() < 1e-6);
+        assert_eq!(rows(&by_brand), rows(&by_key));
+        // Halving the size range cannot increase the joined row count.
+        let narrow = brand_revenue_reference(20_000, 2_000, 12, 7, 11, false);
+        assert!(rows(&narrow) < rows(&by_brand));
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! A realistic HTAP scenario: an order-processing workload updates the
 //! lineitem table on the CPU archipelago while an analyst dashboard refreshes
-//! TPC-H Q6 on the GPU archipelago, demonstrating the freshness/performance
-//! trade-off of snapshot sharing (Section 5.1 of the paper).
+//! TPC-H Q6 and a brand-revenue join (`lineitem ⋈ part`, grouped by brand) on
+//! the data-parallel archipelago, demonstrating the freshness/performance
+//! trade-off of snapshot sharing (Section 5.1 of the paper) and per-query
+//! CPU/GPU routing: streaming scans and random-access join plans can land on
+//! different sites, and `HtapStats::olap_sites` makes that visible.
 //!
 //! ```text
 //! cargo run --release --example htap_dashboard
@@ -19,45 +22,66 @@ use std::time::Duration;
 fn run_scenario(queries_per_snapshot: u32) {
     let workers = 4;
     let rows = 120_000u64;
+    let parts = 5_000u64;
     let mut config = CalderaConfig::with_workers(workers);
     config.oltp = OltpConfig::with_workers(workers);
+    // Give the data-parallel archipelago CPU cores so the scheduler has a
+    // real choice between the sites.
+    config.olap_cpu_cores = 8;
     config.snapshot_policy = SnapshotPolicy::EveryN { queries: queries_per_snapshot };
     let mut builder = Caldera::builder(config);
     let lineitem = tpch::load_lineitem(&mut builder, Layout::PAPER_PAX, rows, 2024).unwrap();
+    let part = tpch::load_part(&mut builder, Layout::PAPER_PAX, parts, 2025).unwrap();
     builder.set_generator(Arc::new(YcsbGenerator::new(YcsbConfig {
         working_set_pct: 25,
         ..YcsbConfig::paper_default(lineitem, rows, workers as u64)
     })));
     let caldera = builder.start().unwrap();
 
-    // The "dashboard": ten Q6 refreshes while order processing runs.
+    // The "dashboard": ten Q6 refreshes plus ten brand-revenue join refreshes
+    // while order processing runs.
     let query = q6();
+    let brand_plan = tpch::brand_revenue_plan(30);
     let caldera_ref = &caldera;
-    let (window, olap_times) = std::thread::scope(|scope| {
+    let (window, q6_times, join_times) = std::thread::scope(|scope| {
         let oltp = scope.spawn(move || caldera_ref.run_oltp_window(Duration::from_millis(800)));
-        let mut times = Vec::new();
+        let mut scans = Vec::new();
+        let mut joins = Vec::new();
         for _ in 0..10 {
-            times.push(caldera_ref.run_olap(lineitem, &query).unwrap().time.as_millis_f64());
+            scans.push(caldera_ref.run_olap(lineitem, &query).unwrap().time.as_millis_f64());
+            joins.push(caldera_ref.run_olap_plan(lineitem, Some(part), &brand_plan).unwrap().time.as_millis_f64());
         }
-        (oltp.join().unwrap().unwrap(), times)
+        (oltp.join().unwrap().unwrap(), scans, joins)
     });
     let stats = caldera.shutdown();
 
-    let avg: f64 = olap_times.iter().sum::<f64>() / olap_times.len() as f64;
+    let avg = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
     println!(
         "snapshot shared by {queries_per_snapshot:>2} queries | OLTP {:>8.1} KTps | Q6 avg {:>7.2} ms | \
-         {} snapshots, {} pages shadow-copied",
+         join avg {:>7.2} ms | {} snapshots, {} pages shadow-copied",
         window.throughput_tps / 1e3,
-        avg,
+        avg(&q6_times),
+        avg(&join_times),
         stats.snapshots_taken,
         stats.cow.pages_copied,
     );
+    // Per-site routing: where the scheduler actually placed the 20 queries.
+    for site in &stats.olap_sites {
+        println!(
+            "    site {:<4} ({:?}): {:>2} queries, {:>9.2} ms simulated",
+            site.label,
+            site.target,
+            site.queries,
+            site.time.as_millis_f64(),
+        );
+    }
 }
 
 fn main() {
-    println!("Order processing (YCSB-style updates) + Q6 dashboard on shared data\n");
+    println!("Order processing (YCSB-style updates) + Q6 & brand-revenue dashboard on shared data\n");
     // Maximum freshness: every dashboard refresh takes a new snapshot.
     run_scenario(1);
-    // Trade freshness for throughput: all ten refreshes share one snapshot.
+    // Trade freshness for throughput: the 20 dashboard queries (10 scans +
+    // 10 join plans) share two snapshots instead of taking twenty.
     run_scenario(10);
 }

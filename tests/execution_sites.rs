@@ -97,6 +97,100 @@ fn large_device_resident_scan_routes_to_gpu() {
     assert_eq!(stats.olap_queries_on(OlapTarget::Cpu), 0);
 }
 
+fn caldera_with_lineitem_and_part(
+    mut config: CalderaConfig,
+    layout: Layout,
+    rows: u64,
+    parts: u64,
+) -> (Caldera, h2tap_common::TableId, h2tap_common::TableId) {
+    config.snapshot_policy = SnapshotPolicy::Manual;
+    let mut builder = Caldera::builder(config);
+    let lineitem = tpch::load_lineitem(&mut builder, layout, rows, 7).unwrap();
+    let part = tpch::load_part(&mut builder, layout, parts, 11).unwrap();
+    (builder.start().unwrap(), lineitem, part)
+}
+
+/// CPU and GPU sites must return **byte-identical** join/group-by results
+/// for the same snapshot, whatever the storage layout of either table —
+/// the cross-site equivalence contract of the relational operator subsystem.
+#[test]
+fn cpu_and_gpu_sites_agree_on_join_group_by_across_all_layouts() {
+    let rows = 30_000;
+    let parts = 2_000;
+    let max_size = 25;
+    for layout in [Layout::Nsm, Layout::Dsm, Layout::PAPER_PAX] {
+        let (caldera, lineitem, part) =
+            caldera_with_lineitem_and_part(CalderaConfig::with_workers(2), layout, rows, parts);
+        for plan in [tpch::brand_revenue_plan(max_size), tpch::partkey_revenue_plan(max_size)] {
+            let gpu = caldera.run_olap_plan_on(lineitem, Some(part), &plan, OlapTarget::Gpu).unwrap();
+            let cpu = caldera.run_olap_plan_on(lineitem, Some(part), &plan, OlapTarget::Cpu).unwrap();
+            assert_eq!(gpu.site, OlapTarget::Gpu);
+            assert_eq!(cpu.site, OlapTarget::Cpu);
+            // Byte-identical: same keys, bit-equal f64 aggregates, same counts.
+            assert_eq!(gpu.groups, cpu.groups, "{layout:?}");
+            assert_eq!(gpu.qualifying_rows, cpu.qualifying_rows, "{layout:?}");
+            assert!(!gpu.groups.is_empty(), "{layout:?}: the join must produce groups at this scale");
+        }
+        caldera.shutdown();
+    }
+}
+
+/// The engines' group results agree with an independent scalar evaluation of
+/// the same generated data (tolerance compare: the reference accumulates in
+/// generation order, the engines in chunked storage order).
+#[test]
+fn join_group_by_matches_the_scalar_reference() {
+    let rows = 30_000;
+    let parts = 2_000;
+    let max_size = 25;
+    let (caldera, lineitem, part) =
+        caldera_with_lineitem_and_part(CalderaConfig::with_workers(1), Layout::Dsm, rows, parts);
+    for by_partkey in [false, true] {
+        let plan = if by_partkey { tpch::partkey_revenue_plan(max_size) } else { tpch::brand_revenue_plan(max_size) };
+        let out = caldera.run_olap_plan(lineitem, Some(part), &plan).unwrap();
+        let reference = tpch::brand_revenue_reference(rows, parts, max_size, 7, 11, by_partkey);
+        assert_eq!(out.groups.len(), reference.len(), "by_partkey={by_partkey}");
+        for (got, want) in out.groups.iter().zip(&reference) {
+            assert_eq!(got.key, want.key);
+            assert_eq!(got.rows, want.rows);
+            assert!(
+                (got.values[0] - want.values[0]).abs() < 1e-6,
+                "group {}: engine {} reference {}",
+                got.key,
+                got.values[0],
+                want.values[0]
+            );
+        }
+    }
+    caldera.shutdown();
+}
+
+/// Identical byte-level results must survive the CPU site's thread pool:
+/// migrating cores mid-workload changes the parallel schedule but not a bit
+/// of the answer.
+#[test]
+fn cpu_plan_results_are_stable_under_core_migration() {
+    let mut config = CalderaConfig::with_workers(8);
+    config.olap_cpu_cores = 1;
+    let (caldera, lineitem, part) = caldera_with_lineitem_and_part(config, Layout::Dsm, 150_000, 2_000);
+    let plan = tpch::brand_revenue_plan(30);
+    let single = caldera.run_olap_plan_on(lineitem, Some(part), &plan, OlapTarget::Cpu).unwrap();
+    for core in 0..6 {
+        caldera
+            .scheduler()
+            .migrate_core(
+                core,
+                h2tap_scheduler::ArchipelagoKind::TaskParallel,
+                h2tap_scheduler::ArchipelagoKind::DataParallel,
+            )
+            .unwrap();
+    }
+    let pooled = caldera.run_olap_plan_on(lineitem, Some(part), &plan, OlapTarget::Cpu).unwrap();
+    assert_eq!(single.groups, pooled.groups);
+    assert!(pooled.time < single.time, "7 cores {} should beat 1 core {}", pooled.time, single.time);
+    caldera.shutdown();
+}
+
 /// The dispatch loop keeps working across snapshot refreshes and OLTP
 /// updates: both sites see the same fresh data after a refresh.
 #[test]
