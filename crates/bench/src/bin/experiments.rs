@@ -59,9 +59,48 @@ fn header(title: &str) {
     println!("\n=== {title} ===");
 }
 
+fn model_line(m: &h2tap_scheduler::CostModel) -> String {
+    format!(
+        "per-tuple {:.1} ns | per-core bw {:.2} GB/s | gpu dispatch {:.1} us | gpu bw scale {:.2}",
+        m.cpu_per_tuple_ns,
+        m.cpu_core_bandwidth_gbps,
+        m.gpu_dispatch_overhead_secs * 1e6,
+        m.gpu_bandwidth_scale
+    )
+}
+
+fn model_json(m: &h2tap_scheduler::CostModel) -> String {
+    format!(
+        "{{\"cpu_per_tuple_ns\":{},\"cpu_core_bandwidth_gbps\":{},\"gpu_dispatch_overhead_secs\":{},\"gpu_bandwidth_scale\":{}}}",
+        m.cpu_per_tuple_ns, m.cpu_core_bandwidth_gbps, m.gpu_dispatch_overhead_secs, m.gpu_bandwidth_scale
+    )
+}
+
+/// Serialises the calibration summary to JSON by hand — the workspace's
+/// offline serde stand-in has no serializer, and the artifact format is
+/// small and stable (tracked across PRs as `BENCH_calibration.json`).
+fn calibration_json(s: &exp::CalibrationSummary) -> String {
+    let misplaced: Vec<String> = s.rows.iter().filter(|r| !r.agree).map(|r| r.query.to_string()).collect();
+    format!(
+        "{{\n  \"queries\": {},\n  \"warmup_queries\": {},\n  \"agreement_early\": {:.4},\n  \
+         \"agreement_steady\": {:.4},\n  \"cpu_mean_rel_error\": {:.4},\n  \"gpu_mean_rel_error\": {:.4},\n  \
+         \"misplaced_queries\": [{}],\n  \"initial_model\": {},\n  \"calibrated_model\": {}\n}}\n",
+        s.queries,
+        s.warmup_queries,
+        s.agreement_early,
+        s.agreement_steady,
+        s.cpu_mean_rel_error,
+        s.gpu_mean_rel_error,
+        misplaced.join(","),
+        model_json(&s.initial_model),
+        model_json(&s.calibrated_model)
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
     let selected: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
     let run_all = selected.is_empty() || selected.iter().any(|a| a == "all");
     let scale = if quick { Scale::quick() } else { Scale::full() };
@@ -160,6 +199,36 @@ fn main() {
                 r.cpu_secs * 1e3,
                 r.gpu_secs * 1e3
             );
+        }
+    }
+
+    if wants("calibration") {
+        header("Calibration: placement feedback loop from deliberately wrong cost constants");
+        let queries = if quick { 80 } else { 200 };
+        let s = exp::fig_calibration(queries, 24);
+        println!("seed model:       {}", model_line(&s.initial_model));
+        println!("calibrated model: {}", model_line(&s.calibrated_model));
+        println!(
+            "oracle agreement: {:>5.1}% during warm-up | {:>5.1}% after the first 50 observations",
+            s.agreement_early * 100.0,
+            s.agreement_steady * 100.0
+        );
+        println!(
+            "steady-state prediction error: cpu {:.1}% | gpu {:.1}%",
+            s.cpu_mean_rel_error * 100.0,
+            s.gpu_mean_rel_error * 100.0
+        );
+        let misses: Vec<u64> = s.rows.iter().filter(|r| !r.agree).map(|r| r.query).collect();
+        println!(
+            "{} of {} queries disagreed with the forced-site oracle (query indexes {:?})",
+            misses.len(),
+            s.queries,
+            misses
+        );
+        if json {
+            let path = "BENCH_calibration.json";
+            std::fs::write(path, calibration_json(&s)).expect("write calibration summary");
+            println!("wrote {path}");
         }
     }
 

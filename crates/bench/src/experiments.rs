@@ -353,6 +353,134 @@ pub fn fig_operators(lineitem_rows: u64, parts: u64, cpu_cores: usize) -> Vec<Op
 }
 
 // ---------------------------------------------------------------------------
+// Calibration: the placement feedback loop converging on the oracle
+// ---------------------------------------------------------------------------
+
+/// One query of the calibration experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct CalibrationQueryRow {
+    /// Query index within the stream.
+    pub query: u64,
+    /// Rows of the lineitem table this query scanned.
+    pub lineitem_rows: u64,
+    /// Site the (continuously recalibrated) placement heuristic chose.
+    pub chosen: String,
+    /// Site that was actually faster, measured by forced runs on both sites.
+    pub oracle: String,
+    /// Whether placement agreed with the oracle.
+    pub agree: bool,
+    /// Measured CPU-site time in milliseconds.
+    pub cpu_ms: f64,
+    /// Measured GPU-site time in milliseconds.
+    pub gpu_ms: f64,
+}
+
+/// Summary of one calibration run: agreement trajectory, steady-state
+/// prediction error, and the model before/after.
+#[derive(Debug, Clone, Serialize)]
+pub struct CalibrationSummary {
+    /// Queries in the stream (each also runs forced on both sites).
+    pub queries: u64,
+    /// Queries counted as warm-up — the stream position at which 50 total
+    /// observations (placed + forced) have been folded into the calibrator.
+    pub warmup_queries: u64,
+    /// Oracle-agreement fraction during warm-up.
+    pub agreement_early: f64,
+    /// Oracle-agreement fraction after the first 50 observations — the
+    /// acceptance metric (>= 0.9 with 2x/5x-wrong seeds).
+    pub agreement_steady: f64,
+    /// Steady-state mean relative prediction error on the CPU site.
+    pub cpu_mean_rel_error: f64,
+    /// Steady-state mean relative prediction error on the GPU site.
+    pub gpu_mean_rel_error: f64,
+    /// The deliberately wrong seed model the engine started from.
+    pub initial_model: h2tap_scheduler::CostModel,
+    /// The calibrated model after the stream.
+    pub calibrated_model: h2tap_scheduler::CostModel,
+    /// Per-query rows, in stream order.
+    pub rows: Vec<CalibrationQueryRow>,
+}
+
+/// Runs the placement-calibration experiment: one engine whose cost model is
+/// seeded deliberately wrong — per-tuple CPU cost 2x too high, GPU dispatch
+/// overhead 5x too low, exactly the drift ROADMAP warns about — answering a
+/// round-robin stream of Q6 instances over four lineitem sizes that straddle
+/// the CPU/GPU crossover. Every query also runs forced on both sites, which
+/// (a) measures the oracle placement and (b) feeds the calibrator
+/// ground-truth observations from each site. With the wrong seeds the small
+/// sizes misroute to the GPU at first; the feedback loop re-estimates the
+/// constants from the sites' reported time breakdowns and placement converges
+/// to the oracle within tens of observations.
+pub fn fig_calibration(queries: u64, cpu_cores: usize) -> CalibrationSummary {
+    use h2tap_scheduler::CostModel;
+    let sizes: [u64; 4] = [3_000, 8_000, 30_000, 100_000];
+    let true_model = CalderaConfig::default().initial_cost_model();
+    let initial_model = CostModel {
+        cpu_per_tuple_ns: true_model.cpu_per_tuple_ns * 2.0,
+        gpu_dispatch_overhead_secs: true_model.gpu_dispatch_overhead_secs / 5.0,
+        ..true_model
+    };
+
+    let mut config = CalderaConfig::with_workers(1);
+    config.olap_cpu_cores = cpu_cores;
+    config.snapshot_policy = SnapshotPolicy::Manual;
+    config.cost_model_seed = Some(initial_model);
+    let mut builder = Caldera::builder(config);
+    let tables: Vec<TableId> = sizes
+        .iter()
+        .map(|&rows| {
+            tpch::load_lineitem_named(&mut builder, &format!("lineitem_{rows}"), Layout::Dsm, rows, 7).unwrap()
+        })
+        .collect();
+    let caldera = builder.start().unwrap();
+    let query = q6();
+
+    // Each stream position records three observations (placed + two forced);
+    // "after the first 50 observations" therefore begins at this query index.
+    let warmup_queries = 50u64.div_ceil(3);
+    let mut rows_out = Vec::with_capacity(queries as usize);
+    let mut agree_early = 0u64;
+    let mut agree_steady = 0u64;
+    for i in 0..queries {
+        let rows = sizes[(i % sizes.len() as u64) as usize];
+        let table = tables[(i % sizes.len() as u64) as usize];
+        let routed = caldera.run_olap(table, &query).unwrap();
+        let cpu = caldera.run_olap_on(table, &query, OlapTarget::Cpu).unwrap();
+        let gpu = caldera.run_olap_on(table, &query, OlapTarget::Gpu).unwrap();
+        let oracle = if cpu.time < gpu.time { OlapTarget::Cpu } else { OlapTarget::Gpu };
+        let agree = routed.site == oracle;
+        if i < warmup_queries {
+            agree_early += u64::from(agree);
+        } else {
+            agree_steady += u64::from(agree);
+        }
+        rows_out.push(CalibrationQueryRow {
+            query: i,
+            lineitem_rows: rows,
+            chosen: site_label(routed.site),
+            oracle: site_label(oracle),
+            agree,
+            cpu_ms: cpu.time.as_millis_f64(),
+            gpu_ms: gpu.time.as_millis_f64(),
+        });
+    }
+    let calibrated_model = caldera.cost_model();
+    let stats = caldera.shutdown();
+    let steady = queries.saturating_sub(warmup_queries);
+    CalibrationSummary {
+        queries,
+        warmup_queries,
+        agreement_early: agree_early as f64 / warmup_queries.min(queries).max(1) as f64,
+        agreement_steady: agree_steady as f64 / steady.max(1) as f64,
+        cpu_mean_rel_error: stats.prediction_error_on(OlapTarget::Cpu).unwrap_or(f64::NAN),
+        gpu_mean_rel_error: stats.prediction_error_on(OlapTarget::Gpu).unwrap_or(f64::NAN),
+        initial_model,
+        calibrated_model,
+        rows: rows_out,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Figures 5-7: HTAP with software snapshotting
 // ---------------------------------------------------------------------------
 
@@ -751,6 +879,33 @@ mod tests {
         // this scale).
         assert!(get("host-uva", 50, "brand").groups <= tpch::PART_BRANDS);
         assert!(get("host-uva", 50, "brand").groups > 1);
+    }
+
+    #[test]
+    fn fig_calibration_converges_to_the_oracle_placement() {
+        let s = fig_calibration(120, 24);
+        // The very first query (3k rows) misroutes: the 5x-low dispatch
+        // overhead and 2x-high per-tuple cost both push small scans to the
+        // GPU while the measured oracle is the CPU.
+        assert!(!s.rows[0].agree, "seed constants must misplace the first small query: {:?}", s.rows[0]);
+        assert_eq!(s.rows[0].chosen, "gpu");
+        assert_eq!(s.rows[0].oracle, "cpu");
+        // Acceptance: >= 90% oracle agreement after the first 50 observations
+        // and per-site steady-state prediction error under 10%.
+        assert!(s.agreement_steady >= 0.9, "steady agreement {}", s.agreement_steady);
+        assert!(s.cpu_mean_rel_error < 0.10, "cpu error {}", s.cpu_mean_rel_error);
+        assert!(s.gpu_mean_rel_error < 0.10, "gpu error {}", s.gpu_mean_rel_error);
+        // The model moved from the wrong seeds toward the true constants.
+        assert!(
+            (s.calibrated_model.cpu_per_tuple_ns - 93.0).abs() < (s.initial_model.cpu_per_tuple_ns - 93.0).abs(),
+            "per-tuple: {} -> {}",
+            s.initial_model.cpu_per_tuple_ns,
+            s.calibrated_model.cpu_per_tuple_ns
+        );
+        assert!(
+            s.calibrated_model.gpu_dispatch_overhead_secs > s.initial_model.gpu_dispatch_overhead_secs,
+            "dispatch overhead must rise from its 5x-low seed"
+        );
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! Per-query execution-time breakdown reported by execution sites.
+//!
+//! The placement cost model is a sum of a bandwidth-bound streaming term, a
+//! compute (per-tuple) term and a fixed dispatch overhead. For the placement
+//! feedback loop to recalibrate those constants *individually*, a site must
+//! report not only its total simulated time but how that time splits across
+//! the same three terms — otherwise one term's error is unattributable and
+//! the estimator can only rescale the whole prediction.
+
+use serde::{Deserialize, Serialize};
+
+/// How a site's simulated execution time decomposes into the cost model's
+/// three linear terms. All fields are seconds in the simulated-hardware frame
+/// of reference (the same frame `OlapOutcome::time` uses).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ExecBreakdown {
+    /// Bandwidth-bound data movement: column streaming, interconnect
+    /// transfers, random-access (cache-line / transaction) traffic.
+    pub stream_secs: f64,
+    /// Arithmetic / per-tuple processing work.
+    pub compute_secs: f64,
+    /// Fixed per-dispatch overheads that neither scale with bytes nor with
+    /// rows (kernel launch latency, registration, result read-back setup).
+    pub overhead_secs: f64,
+}
+
+impl ExecBreakdown {
+    /// A breakdown with the given terms.
+    pub fn new(stream_secs: f64, compute_secs: f64, overhead_secs: f64) -> Self {
+        Self { stream_secs, compute_secs, overhead_secs }
+    }
+
+    /// Sum of all three terms. Sites whose terms overlap (e.g. compute hidden
+    /// behind memory stalls) may report a total below their actual `time`;
+    /// the calibrator only relies on the per-term magnitudes.
+    pub fn total_secs(&self) -> f64 {
+        self.stream_secs + self.compute_secs + self.overhead_secs
+    }
+
+    /// Accumulates another breakdown (used by multi-kernel executions).
+    pub fn accumulate(&mut self, other: &ExecBreakdown) {
+        self.stream_secs += other.stream_secs;
+        self.compute_secs += other.compute_secs;
+        self.overhead_secs += other.overhead_secs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_accumulation() {
+        let mut a = ExecBreakdown::new(1.0, 2.0, 0.5);
+        assert_eq!(a.total_secs(), 3.5);
+        a.accumulate(&ExecBreakdown::new(0.5, 0.5, 0.25));
+        assert_eq!(a, ExecBreakdown::new(1.5, 2.5, 0.75));
+    }
+}

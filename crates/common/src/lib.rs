@@ -4,6 +4,7 @@
 //! crate in the workspace uses:
 //!
 //! * [`value`] — scalar values and column types,
+//! * [`breakdown`] — per-query execution-time breakdowns (cost-model terms),
 //! * [`schema`] — table schemas and attribute descriptors,
 //! * [`rid`] — record, partition and table identifiers,
 //! * [`epoch`] — epoch numbers used by the shadow-copy snapshot mechanism,
@@ -14,6 +15,7 @@
 //! * [`rng`] — a small deterministic PRNG plus a Zipfian generator,
 //! * [`error`] — the shared error type.
 
+pub mod breakdown;
 pub mod epoch;
 pub mod error;
 pub mod plan;
@@ -25,6 +27,7 @@ pub mod simtime;
 pub mod stats;
 pub mod value;
 
+pub use breakdown::ExecBreakdown;
 pub use epoch::Epoch;
 pub use error::{H2Error, Result};
 pub use plan::{GroupRow, JoinSpec, OlapPlan, PlanColumn, HASH_ENTRY_BYTES, PLAN_CHUNK_ROWS};

@@ -3,7 +3,7 @@
 use h2tap_gpu_sim::{AccessMode, GpuSpec};
 use h2tap_olap::{CpuScanProfile, CpuSpec, DataPlacement, SnapshotPolicy};
 use h2tap_oltp::{OltpConfig, PartitionerKind};
-use h2tap_scheduler::DEFAULT_GPU_DISPATCH_OVERHEAD_SECS;
+use h2tap_scheduler::{CalibrationConfig, CostModel, DEFAULT_GPU_DISPATCH_OVERHEAD_SECS};
 
 /// Which simulated GPU the data-parallel archipelago uses and how table data
 /// is exposed to it.
@@ -68,6 +68,15 @@ pub struct CalderaConfig {
     pub olap_cpu: OlapCpuConfig,
     /// How often OLAP queries refresh their snapshot.
     pub snapshot_policy: SnapshotPolicy,
+    /// The placement feedback loop: whether (and how fast) measured site
+    /// times recalibrate the cost-model constants placement decides on.
+    pub calibration: CalibrationConfig,
+    /// Optional explicit seed for the placement cost model. `None` (the
+    /// default) derives the seed from `olap_cpu` / `olap_device` — per-tuple
+    /// cost, per-core bandwidth, dispatch overhead. Experiments set `Some`
+    /// to start from deliberately wrong constants and watch the feedback
+    /// loop correct them.
+    pub cost_model_seed: Option<CostModel>,
 }
 
 impl Default for CalderaConfig {
@@ -79,6 +88,8 @@ impl Default for CalderaConfig {
             olap_device: OlapDeviceConfig::default(),
             olap_cpu: OlapCpuConfig::default(),
             snapshot_policy: SnapshotPolicy::PerQuery,
+            calibration: CalibrationConfig::default(),
+            cost_model_seed: None,
         }
     }
 }
@@ -88,6 +99,18 @@ impl CalderaConfig {
     /// everywhere else.
     pub fn with_workers(workers: usize) -> Self {
         Self { oltp: OltpConfig::with_workers(workers), ..Self::default() }
+    }
+
+    /// The cost-model seed the engine's calibrator starts from: the explicit
+    /// `cost_model_seed` when set, otherwise the constants of the configured
+    /// CPU profile and GPU device.
+    pub fn initial_cost_model(&self) -> CostModel {
+        self.cost_model_seed.unwrap_or(CostModel {
+            cpu_per_tuple_ns: self.olap_cpu.profile.per_tuple_ns,
+            cpu_core_bandwidth_gbps: self.olap_cpu.per_core_bandwidth_gbps,
+            gpu_dispatch_overhead_secs: self.olap_device.dispatch_overhead_secs,
+            gpu_bandwidth_scale: 1.0,
+        })
     }
 }
 
@@ -105,6 +128,22 @@ mod tests {
         // 24-core server with 68 GB/s aggregate: ~2.83 GB/s per core.
         assert!((c.olap_cpu.per_core_bandwidth_gbps - 68.0 / 24.0).abs() < 1e-9);
         assert!(c.olap_device.dispatch_overhead_secs > 0.0);
+        // Calibration is on by default and seeds from the same constants.
+        assert!(c.calibration.enabled);
+        let seed = c.initial_cost_model();
+        assert_eq!(seed.cpu_per_tuple_ns, c.olap_cpu.profile.per_tuple_ns);
+        assert_eq!(seed.cpu_core_bandwidth_gbps, c.olap_cpu.per_core_bandwidth_gbps);
+        assert_eq!(seed.gpu_dispatch_overhead_secs, c.olap_device.dispatch_overhead_secs);
+        assert_eq!(seed.gpu_bandwidth_scale, 1.0);
+    }
+
+    #[test]
+    fn explicit_cost_model_seed_wins() {
+        let c = CalderaConfig {
+            cost_model_seed: Some(CostModel { cpu_per_tuple_ns: 500.0, ..CostModel::default() }),
+            ..CalderaConfig::default()
+        };
+        assert_eq!(c.initial_cost_model().cpu_per_tuple_ns, 500.0);
     }
 
     #[test]

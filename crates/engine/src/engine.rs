@@ -10,7 +10,10 @@ use crate::config::CalderaConfig;
 use h2tap_common::{H2Error, OlapPlan, PartitionId, Result, ScanAggQuery, SimDuration, TableId};
 use h2tap_olap::{ExecutionSite, OlapOutcome, PlanOutcome, RegisteredTable, SnapshotPolicy};
 use h2tap_oltp::{BenchmarkWindow, OltpRuntime, OltpStats, TxnProc};
-use h2tap_scheduler::{place_olap_query, ArchipelagoKind, OlapTarget, PlacementHints, Scheduler};
+use h2tap_scheduler::{
+    estimate_site_times, place_olap_query, ArchipelagoKind, CalibrationReport, CoreMigrationPolicy, CostCalibrator,
+    CostModel, OlapTarget, PlacementHints, PlacementObservation, Scheduler,
+};
 use h2tap_storage::{CowStats, Database, Snapshot};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -46,12 +49,21 @@ pub struct HtapStats {
     pub olap_sites: Vec<OlapSiteStats>,
     /// Snapshots taken by the OLAP path.
     pub snapshots_taken: u64,
+    /// Placement feedback-loop state: the current calibrated cost model and
+    /// per-site predicted-vs-actual error statistics.
+    pub calibration: CalibrationReport,
 }
 
 impl HtapStats {
     /// Queries the given site answered.
     pub fn olap_queries_on(&self, target: OlapTarget) -> u64 {
         self.olap_sites.iter().find(|s| s.target == target).map_or(0, |s| s.queries)
+    }
+
+    /// Mean relative prediction error for `target` (EWMA of
+    /// `|predicted - actual| / actual` over that site's observations).
+    pub fn prediction_error_on(&self, target: OlapTarget) -> Option<f64> {
+        self.calibration.site(target).filter(|s| s.observations > 0).map(|s| s.mean_rel_error)
     }
 }
 
@@ -76,6 +88,9 @@ struct OlapState {
     query_index: u64,
     snapshots_taken: u64,
     total_time: SimDuration,
+    /// The placement feedback loop: every dispatch records an observation
+    /// here, and placement reads its calibrated model back out.
+    calibrator: CostCalibrator,
 }
 
 impl OlapState {
@@ -95,6 +110,9 @@ pub struct Caldera {
     olap: Mutex<OlapState>,
     scheduler: Scheduler,
     next_home: AtomicU64,
+    /// Optional core-migration policy consulted after every placement
+    /// observation (see [`Caldera::set_migration_policy`]).
+    migration_policy: Mutex<Option<Box<dyn CoreMigrationPolicy>>>,
 }
 
 impl Caldera {
@@ -110,6 +128,7 @@ impl Caldera {
         sites: Vec<Box<dyn ExecutionSite>>,
         scheduler: Scheduler,
     ) -> Self {
+        let calibrator = CostCalibrator::new(config.calibration, config.initial_cost_model());
         Self {
             config,
             db,
@@ -120,9 +139,11 @@ impl Caldera {
                 query_index: 0,
                 snapshots_taken: 0,
                 total_time: SimDuration::ZERO,
+                calibrator,
             }),
             scheduler,
             next_home: AtomicU64::new(0),
+            migration_policy: Mutex::new(None),
         }
     }
 
@@ -144,6 +165,71 @@ impl Caldera {
     /// The configured snapshot policy.
     pub fn snapshot_policy(&self) -> SnapshotPolicy {
         self.config.snapshot_policy
+    }
+
+    /// The current calibrated placement cost model — starts at the
+    /// configured seed and tracks measured site times from then on.
+    pub fn cost_model(&self) -> CostModel {
+        self.olap.lock().calibrator.model()
+    }
+
+    /// A snapshot of the placement feedback loop's state (also available as
+    /// [`HtapStats::calibration`]).
+    pub fn calibration_report(&self) -> CalibrationReport {
+        self.olap.lock().calibrator.report()
+    }
+
+    /// Installs a core-migration policy. After every placement observation
+    /// the engine consults it with the current calibration report and the
+    /// archipelagos' core counts; a recommendation moves one core through the
+    /// scheduler (which keeps enforcing its own invariants, e.g. the
+    /// task-parallel archipelago is never emptied). `None` (the default)
+    /// leaves core membership entirely manual.
+    pub fn set_migration_policy(&self, policy: Option<Box<dyn CoreMigrationPolicy>>) {
+        *self.migration_policy.lock() = policy;
+    }
+
+    /// Consults the installed migration policy (if any) with the latest
+    /// calibration report and applies at most one core move.
+    fn apply_migration_policy(&self, report: &CalibrationReport) {
+        let mut guard = self.migration_policy.lock();
+        let Some(policy) = guard.as_mut() else { return };
+        let data_cores = self.scheduler.archipelago(ArchipelagoKind::DataParallel).core_count() as u32;
+        let task_cores = self.scheduler.archipelago(ArchipelagoKind::TaskParallel).core_count() as u32;
+        if let Some(migration) = policy.recommend(report, data_cores, task_cores) {
+            let source = self.scheduler.archipelago(migration.from);
+            if let Some(&core) = source.cpu_cores.iter().next() {
+                // The scheduler re-validates the move; a racing manual
+                // migration losing the core is not an error worth failing a
+                // query over.
+                let _ = self.scheduler.migrate_core(core, migration.from, migration.to);
+            }
+        }
+    }
+
+    /// Records one completed dispatch with the calibrator and returns the
+    /// updated report for the migration-policy hook. Runs under the OLAP
+    /// lock; the policy itself is applied after the lock is released.
+    fn record_observation(
+        &self,
+        olap: &mut OlapState,
+        hints: &PlacementHints,
+        forced: bool,
+        site: OlapTarget,
+        time: SimDuration,
+        breakdown: h2tap_common::ExecBreakdown,
+    ) -> CalibrationReport {
+        let estimate = estimate_site_times(&self.config.olap_device.gpu, hints);
+        let observation = PlacementObservation {
+            site,
+            forced,
+            hints: *hints,
+            predicted_secs: estimate.secs_for(site),
+            actual_secs: time.as_secs_f64(),
+            breakdown: Some(breakdown),
+        };
+        olap.calibrator.observe(&self.config.olap_device.gpu, &observation);
+        olap.calibrator.report()
     }
 
     /// Executes a transaction on an explicitly chosen home worker.
@@ -232,17 +318,19 @@ impl Caldera {
         Ok(Arc::clone(olap.snapshot.as_ref().expect("snapshot present after refresh")))
     }
 
-    /// Base placement hints every analytical query shares: residency, core
-    /// count, bandwidth and cost constants from live engine state.
+    /// Base placement hints every analytical query shares: residency and
+    /// core count from live engine state, cost constants from the
+    /// **calibrated** model (seeded by configuration, then continuously
+    /// re-estimated from measured site times — the feedback loop that keeps
+    /// hand-tuned constants from silently drifting away from what the
+    /// engines actually report).
     fn base_hints(&self, olap: &mut OlapState, cpu_cores: u32) -> PlacementHints {
-        PlacementHints {
+        let model = olap.calibrator.model();
+        model.apply_to(PlacementHints {
             gpu_resident_fraction: olap.slot_mut(OlapTarget::Gpu).site.resident_fraction(),
             available_cpu_cores: cpu_cores,
-            cpu_core_bandwidth_gbps: self.config.olap_cpu.per_core_bandwidth_gbps,
-            gpu_dispatch_overhead_secs: self.config.olap_device.dispatch_overhead_secs,
-            cpu_per_tuple_ns: self.config.olap_cpu.profile.per_tuple_ns,
             ..PlacementHints::default()
-        }
+        })
     }
 
     fn run_olap_dispatch(
@@ -260,15 +348,16 @@ impl Caldera {
         // Live placement inputs: the query's scan footprint, how much of the
         // data already sits in device memory, and the CPU cores the
         // data-parallel archipelago owns right now (core migration included).
+        // Hints are built for forced dispatches too: a forced run is ground
+        // truth about its site and must still feed the calibrator — it just
+        // never consults the placement heuristic.
         let cpu_cores = self.scheduler.archipelago(ArchipelagoKind::DataParallel).core_count() as u32;
-        let target = forced.unwrap_or_else(|| {
-            let hints = PlacementHints {
-                bytes_to_scan: query.scan_bytes(&frozen.schema, frozen.row_count()),
-                rows: frozen.row_count(),
-                ..self.base_hints(&mut olap, cpu_cores)
-            };
-            place_olap_query(&self.config.olap_device.gpu, &hints)
-        });
+        let hints = PlacementHints {
+            bytes_to_scan: query.scan_bytes(&frozen.schema, frozen.row_count()),
+            rows: frozen.row_count(),
+            ..self.base_hints(&mut olap, cpu_cores)
+        };
+        let target = forced.unwrap_or_else(|| place_olap_query(&self.config.olap_device.gpu, &hints));
 
         let outcome = match Self::execute_on_slot(&mut olap, target, cpu_cores, table, frozen, &meta.name, query) {
             // The placement hints cannot see every device constraint (a
@@ -282,6 +371,13 @@ impl Caldera {
             other => other?,
         };
         olap.total_time += outcome.time;
+        // Close the loop: predicted vs site-reported time recalibrates the
+        // cost model (outcome.site, not target — an OOM fallback is a CPU
+        // observation), then the migration policy sees the fresh report.
+        let report =
+            self.record_observation(&mut olap, &hints, forced.is_some(), outcome.site, outcome.time, outcome.breakdown);
+        drop(olap);
+        self.apply_migration_policy(&report);
         Ok(outcome)
     }
 
@@ -304,26 +400,25 @@ impl Caldera {
 
         // Plan placement adds the access-pattern features to the scan hints:
         // how many bytes the hash probes gather at random, and whether the
-        // hash state fits in free device memory at all.
+        // hash state fits in free device memory at all. As in the scan path,
+        // the hints are built even for forced dispatches so they can feed
+        // the calibrator.
         let cpu_cores = self.scheduler.archipelago(ArchipelagoKind::DataParallel).core_count() as u32;
-        let target = forced.unwrap_or_else(|| {
-            let probe_rows = probe_frozen.row_count();
-            let build_bytes = build_parts
+        let probe_rows = probe_frozen.row_count();
+        let build_bytes =
+            build_parts.as_ref().map_or(0, |(_, frozen, _)| plan.build_scan_bytes(&frozen.schema, frozen.row_count()));
+        let hints = PlacementHints {
+            bytes_to_scan: plan.probe_scan_bytes(&probe_frozen.schema, probe_rows) + build_bytes,
+            rows: probe_rows,
+            random_access_bytes: plan.random_access_bytes(probe_rows),
+            hash_table_bytes: build_parts
                 .as_ref()
-                .map_or(0, |(_, frozen, _)| plan.build_scan_bytes(&frozen.schema, frozen.row_count()));
-            let hints = PlacementHints {
-                bytes_to_scan: plan.probe_scan_bytes(&probe_frozen.schema, probe_rows) + build_bytes,
-                rows: probe_rows,
-                random_access_bytes: plan.random_access_bytes(probe_rows),
-                hash_table_bytes: build_parts
-                    .as_ref()
-                    .map_or(0, |(_, frozen, _)| plan.hash_table_bytes(frozen.row_count())),
-                // None (a host-DRAM "device") means unbounded headroom.
-                gpu_free_bytes: olap.slot_mut(OlapTarget::Gpu).site.free_device_bytes().unwrap_or(u64::MAX),
-                ..self.base_hints(&mut olap, cpu_cores)
-            };
-            place_olap_query(&self.config.olap_device.gpu, &hints)
-        });
+                .map_or(0, |(_, frozen, _)| plan.hash_table_bytes(frozen.row_count())),
+            // None (a host-DRAM "device") means unbounded headroom.
+            gpu_free_bytes: olap.slot_mut(OlapTarget::Gpu).site.free_device_bytes().unwrap_or(u64::MAX),
+            ..self.base_hints(&mut olap, cpu_cores)
+        };
+        let target = forced.unwrap_or_else(|| place_olap_query(&self.config.olap_device.gpu, &hints));
 
         let run = |olap: &mut OlapState, target: OlapTarget| -> Result<PlanOutcome> {
             let slot = olap.slot_mut(target);
@@ -372,6 +467,10 @@ impl Caldera {
             other => other?,
         };
         olap.total_time += outcome.time;
+        let report =
+            self.record_observation(&mut olap, &hints, forced.is_some(), outcome.site, outcome.time, outcome.breakdown);
+        drop(olap);
+        self.apply_migration_policy(&report);
         Ok(outcome)
     }
 
@@ -438,6 +537,7 @@ impl Caldera {
                 })
                 .collect(),
             snapshots_taken: olap.snapshots_taken,
+            calibration: olap.calibrator.report(),
         }
     }
 
@@ -735,6 +835,91 @@ mod tests {
         caldera.refresh_snapshot().unwrap();
         let fresh = caldera.run_olap_plan(fact, Some(dim), &plan).unwrap();
         assert_eq!(fresh.groups.iter().map(|g| g.values[0]).sum::<f64>(), sum_before + 99.0);
+        caldera.shutdown();
+    }
+
+    #[test]
+    fn calibration_recalibrates_wrong_seeds_from_forced_runs() {
+        use h2tap_scheduler::CostModel;
+        // Seed the placement model with a 2x-too-high per-tuple cost; the
+        // sites themselves run with the true constants, so every dispatch
+        // produces a corrective observation.
+        let mut config = CalderaConfig::with_workers(2);
+        config.olap_cpu_cores = 8;
+        config.snapshot_policy = SnapshotPolicy::EveryN { queries: 1000 };
+        config.cost_model_seed = Some(CostModel { cpu_per_tuple_ns: 186.0, ..CostModel::default() });
+        let (caldera, t) = engine_with_config(config, 100_000);
+        assert_eq!(caldera.cost_model().cpu_per_tuple_ns, 186.0);
+        let q = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![0, 1]));
+        for _ in 0..40 {
+            caldera.run_olap_on(t, &q, OlapTarget::Cpu).unwrap();
+        }
+        let model = caldera.cost_model();
+        assert!(
+            (model.cpu_per_tuple_ns - 93.0).abs() / 93.0 < 0.05,
+            "model should converge to the site's true 93 ns/tuple, got {}",
+            model.cpu_per_tuple_ns
+        );
+        let stats = caldera.shutdown();
+        assert_eq!(stats.calibration.site(OlapTarget::Cpu).unwrap().observations, 40);
+        assert_eq!(stats.calibration.site(OlapTarget::Gpu).unwrap().observations, 0);
+        let err = stats.prediction_error_on(OlapTarget::Cpu).unwrap();
+        assert!(err < 0.10, "steady-state CPU prediction error {err} should be under 10%");
+        // Forced runs fed calibration but never recursed into placement: all
+        // 40 queries ran exactly where they were forced.
+        assert_eq!(stats.olap_queries_on(OlapTarget::Cpu), 40);
+        assert_eq!(stats.olap_queries_on(OlapTarget::Gpu), 0);
+    }
+
+    #[test]
+    fn calibration_can_be_disabled() {
+        use h2tap_scheduler::{CalibrationConfig, CostModel};
+        let mut config = CalderaConfig::with_workers(2);
+        config.olap_cpu_cores = 4;
+        config.calibration = CalibrationConfig { enabled: false, ..CalibrationConfig::default() };
+        config.cost_model_seed = Some(CostModel { cpu_per_tuple_ns: 186.0, ..CostModel::default() });
+        let (caldera, t) = engine_with_config(config, 50_000);
+        let q = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![1]));
+        for _ in 0..5 {
+            caldera.run_olap_on(t, &q, OlapTarget::Cpu).unwrap();
+        }
+        // The model is frozen, but the error is still measured.
+        assert_eq!(caldera.cost_model().cpu_per_tuple_ns, 186.0);
+        let report = caldera.calibration_report();
+        assert!(!report.enabled);
+        assert_eq!(report.site(OlapTarget::Cpu).unwrap().observations, 5);
+        assert!(report.site(OlapTarget::Cpu).unwrap().mean_rel_error > 0.0);
+        caldera.shutdown();
+    }
+
+    #[test]
+    fn migration_policy_shifts_cores_when_the_cpu_side_is_saturated() {
+        use h2tap_scheduler::{CalibrationConfig, CostModel, SaturationMigrationPolicy};
+        // Freeze calibration on a model that predicts the CPU side far too
+        // fast (zero per-tuple work, absurd bandwidth): every CPU query runs
+        // much slower than predicted — sustained positive signed error, the
+        // saturation signal.
+        let mut config = CalderaConfig::with_workers(6);
+        config.olap_cpu_cores = 2;
+        config.snapshot_policy = SnapshotPolicy::EveryN { queries: 1000 };
+        config.calibration = CalibrationConfig { enabled: false, ..CalibrationConfig::default() };
+        config.cost_model_seed =
+            Some(CostModel { cpu_per_tuple_ns: 0.0, cpu_core_bandwidth_gbps: 1e4, ..CostModel::default() });
+        let (caldera, t) = engine_with_config(config, 100_000);
+        caldera.set_migration_policy(Some(Box::new(
+            SaturationMigrationPolicy::default().with_threshold(0.2).with_min_observations(2).with_cooldown(2),
+        )));
+        let before = caldera.scheduler().archipelago(ArchipelagoKind::DataParallel).core_count();
+        assert_eq!(before, 2);
+        let q = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![0, 1]));
+        for _ in 0..10 {
+            caldera.run_olap_on(t, &q, OlapTarget::Cpu).unwrap();
+        }
+        let data_cores = caldera.scheduler().archipelago(ArchipelagoKind::DataParallel).core_count();
+        let task_cores = caldera.scheduler().archipelago(ArchipelagoKind::TaskParallel).core_count();
+        assert!(data_cores > before, "sustained error must pull cores into the data-parallel archipelago");
+        assert!(task_cores >= 1, "the task-parallel archipelago is never emptied");
+        assert_eq!(data_cores + task_cores, 8, "cores move, they do not appear or vanish");
         caldera.shutdown();
     }
 

@@ -10,18 +10,23 @@
 //! the real data while charging time to the same simulated-hardware frame of
 //! reference (the paper's dual-socket 24-core server by default).
 //!
-//! Execution model: accessed columns are materialised chunk-at-a-time
-//! (column-at-a-time vectorised execution), per-chunk min/max zonemaps skip
-//! chunks that cannot satisfy the predicates, and the analytical time model
-//! treats the scan as memory-bandwidth bound with per-tuple work spread over
-//! the cores the archipelago currently owns — so core migration directly
-//! changes CPU-site query times.
+//! Execution model: accessed columns are materialised into fixed
+//! [`h2tap_common::PLAN_CHUNK_ROWS`] chunks (column-at-a-time vectorised
+//! execution) that both the scan and the plan pipeline evaluate **on a scoped
+//! thread pool sized by the archipelago's current core count**; per-chunk
+//! min/max zonemaps skip chunks that cannot satisfy the predicates, and the
+//! analytical time model treats the work as memory-bandwidth bound with
+//! per-tuple work spread over the cores the archipelago currently owns — so
+//! core migration changes both the simulated and the wall-clock query times.
+//! Chunk boundaries and the ascending merge order are part of the IR
+//! contract ([`h2tap_common::plan`]), which is why the thread schedule cannot
+//! perturb a single bit of the f64 results.
 
 use crate::engine::{OlapOutcome, PlanOutcome, RegisteredTable};
-use crate::operators::{self, ChunkPartial};
+use crate::operators::{self, ChunkPartial, ScanChunkPartial};
 use crate::site::ExecutionSite;
-use h2tap_common::{AggExpr, GroupRow, H2Error, OlapPlan, Result, ScanAggQuery, SimDuration};
-use h2tap_scheduler::{OlapTarget, CPU_CACHE_LINE_BYTES};
+use h2tap_common::{ExecBreakdown, GroupRow, H2Error, OlapPlan, Result, ScanAggQuery, SimDuration};
+use h2tap_scheduler::{overlap_secs, OlapTarget, CPU_CACHE_LINE_BYTES};
 use h2tap_storage::SnapshotTable;
 use std::collections::HashSet;
 use std::time::Instant;
@@ -104,8 +109,12 @@ pub struct CpuOlapResult {
     pub rows_scanned: u64,
     /// Chunks skipped thanks to zonemaps.
     pub chunks_skipped: u64,
+    /// Worker threads the chunked scan actually used.
+    pub threads_used: usize,
     /// Modelled execution time on the configured server spec.
     pub sim_time: SimDuration,
+    /// How the modelled time splits into the cost model's terms.
+    pub breakdown: ExecBreakdown,
     /// Wall-clock time of the real computation in this process.
     pub wall_time: std::time::Duration,
 }
@@ -123,6 +132,8 @@ pub struct CpuPlanResult {
     pub threads_used: usize,
     /// Modelled execution time on the configured server spec.
     pub sim_time: SimDuration,
+    /// How the modelled time splits into the cost model's terms.
+    pub breakdown: ExecBreakdown,
     /// Wall-clock time of the real computation in this process.
     pub wall_time: std::time::Duration,
 }
@@ -136,11 +147,33 @@ pub struct CpuOlapEngine {
     /// Per-core bandwidth fixed at construction so [`CpuOlapEngine::set_cores`]
     /// scales aggregate bandwidth with the core count.
     per_core_bandwidth_gbps: f64,
-    /// Rows per scan chunk (zonemap granularity).
-    chunk_rows: usize,
     /// Handles this site has vended for the current snapshot.
     registered: HashSet<usize>,
     next_tag: usize,
+}
+
+/// Runs `eval` over chunk indexes `0..chunks` on a scoped pool of `threads`
+/// workers (strided chunk assignment) and returns the results in ascending
+/// chunk order — the execution harness both the scan and the plan pipeline
+/// share. Because every chunk's evaluation is deterministic and the caller
+/// merges in index order, the thread schedule cannot perturb f64 results.
+fn run_chunked<T: Send>(chunks: usize, threads: usize, eval: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if threads <= 1 {
+        return (0..chunks).map(eval).collect();
+    }
+    let mut slots: Vec<Option<T>> = (0..chunks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let eval = &eval;
+        let workers: Vec<_> = (0..threads)
+            .map(|t| scope.spawn(move || (t..chunks).step_by(threads).map(|i| (i, eval(i))).collect::<Vec<_>>()))
+            .collect();
+        for worker in workers {
+            for (i, result) in worker.join().expect("chunk worker panicked") {
+                slots[i] = Some(result);
+            }
+        }
+    });
+    slots.into_iter().map(|p| p.expect("every chunk evaluated")).collect()
 }
 
 impl CpuOlapEngine {
@@ -169,7 +202,6 @@ impl CpuOlapEngine {
             profile,
             spec,
             per_core_bandwidth_gbps: spec.per_core_bandwidth_gbps(),
-            chunk_rows: 64 * 1024,
             registered: HashSet::new(),
             next_tag: 0,
         }
@@ -196,113 +228,45 @@ impl CpuOlapEngine {
     /// Executes `query` over a frozen table, returning the exact result and
     /// modelled/measured costs. This is the shared scan kernel behind both
     /// the [`ExecutionSite`] impl and the Figure-4 CPU baselines.
+    ///
+    /// The scan runs on the same scoped thread pool as the plan pipeline:
+    /// fixed [`h2tap_common::PLAN_CHUNK_ROWS`] chunks are evaluated by up to
+    /// `cores` workers (per-chunk min/max zonemaps skip chunks that cannot
+    /// qualify first) and the per-chunk partials merge in ascending chunk
+    /// order. Because the chunk evaluation and merge order come from the
+    /// shared [`operators`] data path, `ScanAggQuery` f64 answers are
+    /// byte-identical to the GPU site's, for any thread count.
     pub fn execute_scan(&self, table: &SnapshotTable, query: &ScanAggQuery) -> Result<CpuOlapResult> {
         let started = Instant::now();
         let cols = query.columns_accessed();
-        let attr_types: Vec<_> =
-            cols.iter().map(|&c| table.schema.attr(c).map(|a| a.ty)).collect::<Result<Vec<_>>>()?;
         let total_rows = table.row_count();
-
-        let mut value = 0.0f64;
-        let mut qualifying = 0u64;
+        let mat = operators::MaterializedColumns::new(table, cols.clone())?;
+        let chunks = mat.chunk_count();
+        let threads = (self.spec.cores as usize).clamp(1, MAX_PLAN_THREADS).min(chunks);
+        let use_zonemaps = self.profile.use_zonemaps && !query.predicates.is_empty();
+        let evaluated: Vec<Option<ScanChunkPartial>> = run_chunked(chunks, threads, |i| {
+            let range = mat.chunk_range(i);
+            if use_zonemaps && !operators::scan_chunk_can_qualify(&mat, &query.predicates, range.clone()) {
+                // Zonemap skip: the chunk provably holds no qualifying row,
+                // so its partial is exactly zero and omitting it from the
+                // merge cannot change the f64 answer.
+                return None;
+            }
+            Some(operators::scan_chunk(&mat, query, range))
+        });
         let mut rows_scanned = 0u64;
         let mut chunks_skipped = 0u64;
-
-        if cols.is_empty() {
-            // COUNT(*) without predicates touches no column data at all.
-            qualifying = total_rows;
-            value = total_rows as f64;
-            rows_scanned = total_rows;
-        } else {
-            // Materialise the accessed columns chunk by chunk so zonemaps
-            // have a real structure to work against.
-            // Column positions within the materialised row buffer.
-            let pos_of = |col: usize| cols.iter().position(|&c| c == col).expect("accessed column");
-
-            let mut chunk: Vec<Vec<f64>> = vec![Vec::with_capacity(self.chunk_rows); cols.len()];
-            let flush = |chunk: &mut Vec<Vec<f64>>,
-                         value: &mut f64,
-                         qualifying: &mut u64,
-                         rows_scanned: &mut u64,
-                         chunks_skipped: &mut u64| {
-                let rows = chunk[0].len();
-                if rows == 0 {
-                    return;
+        let mut kept: Vec<ScanChunkPartial> = Vec::with_capacity(chunks);
+        for (i, partial) in evaluated.into_iter().enumerate() {
+            match partial {
+                Some(p) => {
+                    rows_scanned += mat.chunk_range(i).len() as u64;
+                    kept.push(p);
                 }
-                // Zonemap check: can any row in this chunk qualify?
-                if self.profile.use_zonemaps {
-                    let mut possible = true;
-                    for pred in &query.predicates {
-                        let col = &chunk[pos_of(pred.column)];
-                        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-                        for v in col {
-                            lo = lo.min(*v);
-                            hi = hi.max(*v);
-                        }
-                        if hi < pred.lo || lo > pred.hi {
-                            possible = false;
-                            break;
-                        }
-                    }
-                    if !possible {
-                        *chunks_skipped += 1;
-                        for c in chunk.iter_mut() {
-                            c.clear();
-                        }
-                        return;
-                    }
-                }
-                *rows_scanned += rows as u64;
-                #[allow(clippy::needless_range_loop)] // `row` indexes several parallel column vectors
-                for row in 0..rows {
-                    let mut ok = true;
-                    for pred in &query.predicates {
-                        if !pred.matches(chunk[pos_of(pred.column)][row]) {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    if !ok {
-                        continue;
-                    }
-                    *qualifying += 1;
-                    match &query.aggregate {
-                        AggExpr::SumProduct(a, b) => {
-                            *value += chunk[pos_of(*a)][row] * chunk[pos_of(*b)][row];
-                        }
-                        AggExpr::SumColumns(sum_cols) => {
-                            for c in sum_cols {
-                                *value += chunk[pos_of(*c)][row];
-                            }
-                        }
-                        AggExpr::Count => *value += 1.0,
-                    }
-                }
-                for c in chunk.iter_mut() {
-                    c.clear();
-                }
-            };
-
-            let mut buffered = 0usize;
-            let mut row_buf = vec![0u64; cols.len()];
-            table.for_each_row(&cols, |cells| {
-                row_buf.copy_from_slice(cells);
-                for (i, cell) in row_buf.iter().enumerate() {
-                    let v = match attr_types[i] {
-                        h2tap_common::AttrType::Float64 => f64::from_bits(*cell),
-                        h2tap_common::AttrType::Int32 | h2tap_common::AttrType::Date => (*cell as u32 as i32) as f64,
-                        _ => *cell as i64 as f64,
-                    };
-                    chunk[i].push(v);
-                }
-                buffered += 1;
-                if buffered == self.chunk_rows {
-                    flush(&mut chunk, &mut value, &mut qualifying, &mut rows_scanned, &mut chunks_skipped);
-                    buffered = 0;
-                }
-            });
-            flush(&mut chunk, &mut value, &mut qualifying, &mut rows_scanned, &mut chunks_skipped);
+                None => chunks_skipped += 1,
+            }
         }
+        let (value, qualifying) = operators::merge_scan_partials(kept);
 
         // Analytical time model: the scan is memory-bandwidth bound; zonemap
         // skipping reduces the bytes moved (predicate columns of skipped
@@ -315,14 +279,17 @@ impl CpuOlapEngine {
         let bytes_moved = scanned_bytes + skipped_bytes / 100;
         let bandwidth_time = bytes_moved as f64 / (self.spec.mem_bandwidth_gbps * 1e9);
         let cpu_time = rows_scanned as f64 * self.profile.per_tuple_ns * 1e-9 / f64::from(self.spec.cores.max(1));
-        let sim_time = SimDuration::from_secs_f64(bandwidth_time.max(cpu_time) + bandwidth_time.min(cpu_time) * 0.25);
+        let breakdown = ExecBreakdown::new(bandwidth_time, cpu_time, 0.0);
+        let sim_time = SimDuration::from_secs_f64(overlap_secs(bandwidth_time, cpu_time));
 
         Ok(CpuOlapResult {
             value,
             qualifying_rows: qualifying,
             rows_scanned,
             chunks_skipped,
+            threads_used: threads,
             sim_time,
+            breakdown,
             wall_time: started.elapsed(),
         })
     }
@@ -349,31 +316,8 @@ impl CpuOlapEngine {
         let chunks = mat.chunk_count();
         let threads = (self.spec.cores as usize).clamp(1, MAX_PLAN_THREADS).min(chunks);
 
-        let partials: Vec<ChunkPartial> = if threads <= 1 {
-            (0..chunks).map(|i| operators::process_chunk(&mat, plan, hash.as_ref(), mat.chunk_range(i))).collect()
-        } else {
-            let mut slots: Vec<Option<ChunkPartial>> = vec![None; chunks];
-            std::thread::scope(|scope| {
-                let workers: Vec<_> = (0..threads)
-                    .map(|t| {
-                        let mat = &mat;
-                        let hash = hash.as_ref();
-                        scope.spawn(move || {
-                            (t..chunks)
-                                .step_by(threads)
-                                .map(|i| (i, operators::process_chunk(mat, plan, hash, mat.chunk_range(i))))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                for worker in workers {
-                    for (i, partial) in worker.join().expect("plan worker panicked") {
-                        slots[i] = Some(partial);
-                    }
-                }
-            });
-            slots.into_iter().map(|p| p.expect("every chunk evaluated")).collect()
-        };
+        let partials: Vec<ChunkPartial> =
+            run_chunked(chunks, threads, |i| operators::process_chunk(&mat, plan, hash.as_ref(), mat.chunk_range(i)));
         let (groups, totals) = operators::merge_partials(plan, partials);
 
         // Analytical time model, same frame of reference as the scan path:
@@ -394,13 +338,15 @@ impl CpuOlapEngine {
         }
         let bandwidth_time = bytes_moved as f64 / (self.spec.mem_bandwidth_gbps * 1e9);
         let cpu_time = tuple_ns * 1e-9 / f64::from(self.spec.cores.max(1));
-        let sim_time = SimDuration::from_secs_f64(bandwidth_time.max(cpu_time) + bandwidth_time.min(cpu_time) * 0.25);
+        let breakdown = ExecBreakdown::new(bandwidth_time, cpu_time, 0.0);
+        let sim_time = SimDuration::from_secs_f64(overlap_secs(bandwidth_time, cpu_time));
 
         Ok(CpuPlanResult {
             groups,
             qualifying_rows: totals.joined,
             threads_used: threads,
             sim_time,
+            breakdown,
             wall_time: started.elapsed(),
         })
     }
@@ -447,6 +393,7 @@ impl ExecutionSite for CpuOlapEngine {
             time: result.sim_time,
             kernels: Vec::new(),
             interconnect_bytes: 0,
+            breakdown: result.breakdown,
             site: OlapTarget::Cpu,
         })
     }
@@ -474,6 +421,7 @@ impl ExecutionSite for CpuOlapEngine {
             time: result.sim_time,
             kernels: Vec::new(),
             interconnect_bytes: 0,
+            breakdown: result.breakdown,
             site: OlapTarget::Cpu,
         })
     }
@@ -494,7 +442,7 @@ impl ExecutionSite for CpuOlapEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use h2tap_common::{AttrType, PartitionId, Predicate, Schema, Value};
+    use h2tap_common::{AggExpr, AttrType, PartitionId, Predicate, Schema, Value};
     use h2tap_storage::{Database, Layout};
 
     /// Builds a 2-column table: col0 = 0..n (sorted), col1 = col0 * 2.

@@ -16,13 +16,13 @@
 use crate::operators::{self, ChunkPartial};
 use crate::site::ExecutionSite;
 use h2tap_common::{
-    AggExpr, GroupRow, H2Error, OlapPlan, PlanColumn, Result, ScanAggQuery, SimDuration, HASH_ENTRY_BYTES,
+    ExecBreakdown, GroupRow, H2Error, OlapPlan, PlanColumn, Result, ScanAggQuery, SimDuration, HASH_ENTRY_BYTES,
 };
 use h2tap_gpu_sim::{
     AccessMode, AccessPattern, BufferId, GpuDevice, KernelDesc, KernelMetrics, Residency, TransferDirection,
 };
 use h2tap_scheduler::OlapTarget;
-use h2tap_storage::{decode_cell_f64, Layout, SnapshotTable};
+use h2tap_storage::{Layout, SnapshotTable};
 use std::collections::HashMap;
 
 /// Where the engine keeps table data relative to the GPU.
@@ -50,6 +50,10 @@ pub struct OlapOutcome {
     pub kernels: Vec<KernelMetrics>,
     /// Bytes moved over the host-device interconnect.
     pub interconnect_bytes: u64,
+    /// How the simulated time splits into the cost model's terms (streaming,
+    /// compute, fixed overhead) — the signal the placement calibrator fits
+    /// its per-term constants against.
+    pub breakdown: ExecBreakdown,
     /// The execution site that answered the query.
     pub site: OlapTarget,
 }
@@ -73,6 +77,8 @@ pub struct PlanOutcome {
     pub kernels: Vec<KernelMetrics>,
     /// Bytes moved over the host-device interconnect.
     pub interconnect_bytes: u64,
+    /// How the simulated time splits into the cost model's terms.
+    pub breakdown: ExecBreakdown,
     /// The execution site that answered the plan.
     pub site: OlapTarget,
 }
@@ -266,7 +272,14 @@ impl GpuOlapEngine {
         }
     }
 
-    /// Executes `query` against a registered snapshot table.
+    /// Executes `query` against a registered snapshot table: one selection
+    /// kernel per predicate (each producing a selection bitmap) followed by
+    /// one aggregation kernel, each charged to the device model. The real
+    /// answer is computed on the host through the shared chunked scan path
+    /// ([`operators::scan_chunk`] over fixed [`h2tap_common::PLAN_CHUNK_ROWS`]
+    /// chunks, merged in ascending chunk order), so `ScanAggQuery` f64
+    /// answers are **byte-identical** to the CPU site's for the same
+    /// snapshot — the same contract relational plans already have.
     pub fn execute(
         &mut self,
         handle: RegisteredTable,
@@ -280,6 +293,7 @@ impl GpuOlapEngine {
         let mut kernels = Vec::new();
         let mut total = SimDuration::ZERO;
         let mut interconnect_bytes = 0u64;
+        let mut breakdown = ExecBreakdown::default();
 
         // Explicit-copy placement pays the host-to-device transfer of every
         // accessed column before the first kernel (the "memcpy" bars of
@@ -293,32 +307,34 @@ impl GpuOlapEngine {
                     _ => rows * width,
                 };
             }
-            total += self.device.memcpy(bytes, TransferDirection::HostToDevice);
+            let copy = self.device.memcpy(bytes, TransferDirection::HostToDevice);
+            total += copy;
+            breakdown.stream_secs += copy.as_secs_f64();
             interconnect_bytes += bytes;
         }
 
+        let mut charge = |device: &mut GpuDevice, desc: &KernelDesc| -> Result<()> {
+            let metrics = device.account(desc)?;
+            total += metrics.time;
+            interconnect_bytes += metrics.interconnect_bytes;
+            // Launch latency is the fixed dispatch cost; everything else in
+            // the launch is data movement (or compute hidden behind it).
+            breakdown.overhead_secs += metrics.launch_overhead.as_secs_f64();
+            breakdown.stream_secs += metrics.time.saturating_sub(metrics.launch_overhead).as_secs_f64();
+            breakdown.compute_secs += metrics.compute_time.as_secs_f64();
+            kernels.push(metrics);
+            Ok(())
+        };
+
         // Selection kernels: one per predicate, producing a selection bitmap.
-        let mut selection: Vec<bool> = vec![true; rows as usize];
         for (i, pred) in query.predicates.iter().enumerate() {
             let (buffer, useful, pattern) = self.read_plan(handle, table, pred.column)?;
-            let ty = table.schema.attr(pred.column)?.ty;
             let desc = KernelDesc::new(format!("select_{i}"), rows)
                 .flops_per_element(2.0)
                 .read(buffer, useful, pattern)
                 // The bitmap write (1 bit per row, byte-packed here).
                 .write(rows.div_ceil(8));
-            let run = self.device.launch(&desc, || {
-                let mut qualified = 0u64;
-                for (idx, cell) in table.iter_attr(pred.column).enumerate() {
-                    let keep = selection[idx] && pred.matches(decode_cell_f64(ty, cell));
-                    selection[idx] = keep;
-                    qualified += u64::from(keep);
-                }
-                qualified
-            })?;
-            total += run.metrics.time;
-            interconnect_bytes += run.metrics.interconnect_bytes;
-            kernels.push(run.metrics);
+            charge(&mut self.device, &desc)?;
         }
 
         // Aggregation kernel.
@@ -333,61 +349,30 @@ impl GpuOlapEngine {
             desc = desc.flops_per_element(2.0 + agg_cols.len() as f64);
         }
         desc = desc.write(8);
-        let aggregate = &query.aggregate;
-        let schema = &table.schema;
-        let run = self.device.launch(&desc, || {
-            let mut value = 0.0f64;
-            let mut qualifying = 0u64;
-            match aggregate {
-                AggExpr::Count => {
-                    for keep in &selection {
-                        qualifying += u64::from(*keep);
-                    }
-                    value = qualifying as f64;
-                }
-                AggExpr::SumProduct(a, b) => {
-                    let ta = schema.attr(*a).map(|x| x.ty).unwrap_or(h2tap_common::AttrType::Float64);
-                    let tb = schema.attr(*b).map(|x| x.ty).unwrap_or(h2tap_common::AttrType::Float64);
-                    let col_b: Vec<u64> = table.iter_attr(*b).collect();
-                    for (idx, cell_a) in table.iter_attr(*a).enumerate() {
-                        if selection[idx] {
-                            value += decode_cell_f64(ta, cell_a) * decode_cell_f64(tb, col_b[idx]);
-                            qualifying += 1;
-                        }
-                    }
-                }
-                AggExpr::SumColumns(cols) => {
-                    let mut counted = false;
-                    for &c in cols {
-                        let ty = schema.attr(c).map(|x| x.ty).unwrap_or(h2tap_common::AttrType::Int64);
-                        for (idx, cell) in table.iter_attr(c).enumerate() {
-                            if selection[idx] {
-                                value += decode_cell_f64(ty, cell);
-                                if !counted {
-                                    qualifying += 1;
-                                }
-                            }
-                        }
-                        counted = true;
-                    }
-                    if cols.is_empty() {
-                        qualifying = selection.iter().map(|k| u64::from(*k)).sum();
-                    }
-                }
-            }
-            (value, qualifying)
-        })?;
-        total += run.metrics.time;
-        interconnect_bytes += run.metrics.interconnect_bytes;
-        kernels.push(run.metrics);
-        let (value, qualifying_rows) = run.result;
+        charge(&mut self.device, &desc)?;
+
+        // Host-side data path, shared with the CPU site: same chunking, same
+        // per-chunk row order, same merge order — bit-equal answers.
+        let mat = operators::MaterializedColumns::new(table, query.columns_accessed())?;
+        let partials = (0..mat.chunk_count()).map(|i| operators::scan_chunk(&mat, query, mat.chunk_range(i)));
+        let (value, qualifying_rows) = operators::merge_scan_partials(partials);
 
         // Explicit-copy placement copies the (tiny) result back.
         if handle.explicit_copy {
-            total += self.device.memcpy(8, TransferDirection::DeviceToHost);
+            let copy = self.device.memcpy(8, TransferDirection::DeviceToHost);
+            total += copy;
+            breakdown.stream_secs += copy.as_secs_f64();
         }
 
-        Ok(OlapOutcome { value, qualifying_rows, time: total, kernels, interconnect_bytes, site: OlapTarget::Gpu })
+        Ok(OlapOutcome {
+            value,
+            qualifying_rows,
+            time: total,
+            kernels,
+            interconnect_bytes,
+            breakdown,
+            site: OlapTarget::Gpu,
+        })
     }
 
     /// Executes a relational plan kernel-at-a-time: selection kernels over
@@ -436,6 +421,7 @@ impl GpuOlapEngine {
         let mut kernels = Vec::new();
         let mut total = SimDuration::ZERO;
         let mut interconnect_bytes = 0u64;
+        let mut breakdown = ExecBreakdown::default();
 
         // Reserve the join's hash scratch up front at its worst-case size
         // (one entry per build row — the same bound the placement heuristic
@@ -456,13 +442,17 @@ impl GpuOlapEngine {
         // accessed column of both tables before the first kernel.
         if probe.explicit_copy {
             let bytes = plan.probe_scan_bytes(&probe_table.schema, rows);
-            total += self.device.memcpy(bytes, TransferDirection::HostToDevice);
+            let copy = self.device.memcpy(bytes, TransferDirection::HostToDevice);
+            total += copy;
+            breakdown.stream_secs += copy.as_secs_f64();
             interconnect_bytes += bytes;
         }
         if let Some((build_handle, build_table)) = build {
             if build_handle.explicit_copy {
                 let bytes = plan.build_scan_bytes(&build_table.schema, build_table.row_count());
-                total += self.device.memcpy(bytes, TransferDirection::HostToDevice);
+                let copy = self.device.memcpy(bytes, TransferDirection::HostToDevice);
+                total += copy;
+                breakdown.stream_secs += copy.as_secs_f64();
                 interconnect_bytes += bytes;
             }
         }
@@ -485,6 +475,9 @@ impl GpuOlapEngine {
             let metrics = device.account(desc)?;
             total += metrics.time;
             interconnect_bytes += metrics.interconnect_bytes;
+            breakdown.overhead_secs += metrics.launch_overhead.as_secs_f64();
+            breakdown.stream_secs += metrics.time.saturating_sub(metrics.launch_overhead).as_secs_f64();
+            breakdown.compute_secs += metrics.compute_time.as_secs_f64();
             kernels.push(metrics);
             Ok(())
         };
@@ -562,7 +555,9 @@ impl GpuOlapEngine {
 
         // Explicit-copy placement copies the (small) group table back.
         if probe.explicit_copy {
-            total += self.device.memcpy(n_groups * group_entry_bytes, TransferDirection::DeviceToHost);
+            let copy = self.device.memcpy(n_groups * group_entry_bytes, TransferDirection::DeviceToHost);
+            total += copy;
+            breakdown.stream_secs += copy.as_secs_f64();
         }
 
         Ok(PlanOutcome {
@@ -572,6 +567,7 @@ impl GpuOlapEngine {
             time: total,
             kernels,
             interconnect_bytes,
+            breakdown,
             site: OlapTarget::Gpu,
         })
     }
@@ -654,7 +650,7 @@ impl ExecutionSite for GpuOlapEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use h2tap_common::{AttrType, PartitionId, Predicate, Schema, Value};
+    use h2tap_common::{AggExpr, AttrType, PartitionId, Predicate, Schema, Value};
     use h2tap_gpu_sim::GpuSpec;
     use h2tap_storage::{Database, Layout};
 

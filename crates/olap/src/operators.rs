@@ -17,7 +17,10 @@
 //! charges build/probe/aggregate kernels (with [`h2tap_gpu_sim::AccessPattern::Random`]
 //! probes) through the gpu-sim memory model.
 
-use h2tap_common::{AggExpr, AttrType, GroupRow, H2Error, JoinSpec, OlapPlan, PlanColumn, Result, PLAN_CHUNK_ROWS};
+use h2tap_common::{
+    AggExpr, AttrType, GroupRow, H2Error, JoinSpec, OlapPlan, PlanColumn, Predicate, Result, ScanAggQuery,
+    PLAN_CHUNK_ROWS,
+};
 use h2tap_storage::{decode_cell_f64, SnapshotTable};
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Range;
@@ -248,6 +251,76 @@ pub fn merge_partials(plan: &OlapPlan, partials: Vec<ChunkPartial>) -> (Vec<Grou
     (groups, totals)
 }
 
+/// The result of evaluating one scan chunk of a [`ScanAggQuery`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScanChunkPartial {
+    /// Partial aggregate over the chunk's qualifying rows.
+    pub value: f64,
+    /// Rows in the chunk that satisfied every predicate.
+    pub qualifying: u64,
+}
+
+/// Whether any row of the chunk *could* satisfy the predicates, judged from
+/// the chunk's per-column min/max — the zonemap ("secondary index") check.
+/// `true` is always safe; `false` guarantees the chunk holds no qualifying
+/// row, so skipping it cannot change the aggregate (the chunk's partial
+/// would be exactly zero).
+pub fn scan_chunk_can_qualify(mat: &MaterializedColumns, predicates: &[Predicate], rows: Range<usize>) -> bool {
+    for pred in predicates {
+        let pos = mat.pos(pred.column);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for row in rows.clone() {
+            let v = mat.value(pos, row);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if hi < pred.lo || lo > pred.hi {
+            return false;
+        }
+    }
+    true
+}
+
+/// Evaluates a [`ScanAggQuery`] over one chunk of the materialised columns,
+/// in ascending storage order — the scan-side counterpart of
+/// [`process_chunk`]. Rows are filtered and aggregated row-at-a-time, so a
+/// chunk's partial is deterministic regardless of which thread (or simulated
+/// thread block) evaluates it; [`merge_scan_partials`] then pins the merge
+/// order, which together makes `ScanAggQuery` f64 answers **byte-identical
+/// across execution sites**.
+pub fn scan_chunk(mat: &MaterializedColumns, query: &ScanAggQuery, rows: Range<usize>) -> ScanChunkPartial {
+    let pred_pos: Vec<usize> = query.predicates.iter().map(|p| mat.pos(p.column)).collect();
+    let agg_pos: Vec<usize> = query.aggregate.columns().iter().map(|&c| mat.pos(c)).collect();
+    let mut partial = ScanChunkPartial::default();
+    for row in rows {
+        if query.predicates.iter().zip(&pred_pos).any(|(p, &pos)| !p.matches(mat.value(pos, row))) {
+            continue;
+        }
+        partial.qualifying += 1;
+        partial.value += match &query.aggregate {
+            AggExpr::SumProduct(..) => mat.value(agg_pos[0], row) * mat.value(agg_pos[1], row),
+            AggExpr::SumColumns(_) => agg_pos.iter().map(|&p| mat.value(p, row)).sum(),
+            AggExpr::Count => 1.0,
+        };
+    }
+    partial
+}
+
+/// Merges scan-chunk partials **in the order given** (callers pass ascending
+/// chunk order) into the query's `(value, qualifying_rows)` answer. Chunks a
+/// zonemap proved empty may simply be omitted: their partial is exactly
+/// `0.0`, and `x + 0.0` is the f64 identity, so skipping preserves
+/// bit-equality with a site that evaluated every chunk.
+pub fn merge_scan_partials(partials: impl IntoIterator<Item = ScanChunkPartial>) -> (f64, u64) {
+    let mut value = 0.0f64;
+    let mut qualifying = 0u64;
+    for p in partials {
+        value += p.value;
+        qualifying += p.qualifying;
+    }
+    (value, qualifying)
+}
+
 /// Everything both sites need before they can evaluate a plan's chunks: the
 /// materialised probe columns and the (optional) join hash table.
 #[derive(Debug, Clone)]
@@ -455,6 +528,56 @@ mod tests {
         let partials = vec![process_chunk(&mat, &grouped, None, mat.chunk_range(0))];
         let (groups, _) = merge_partials(&grouped, partials);
         assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn scan_chunks_match_a_scalar_reference_and_merge_bit_equal() {
+        let (probe, _) = tables(200_000);
+        let query =
+            ScanAggQuery { predicates: vec![Predicate::between(1, 10.0, 59.0)], aggregate: AggExpr::SumProduct(1, 2) };
+        let mat = MaterializedColumns::new(&probe, query.columns_accessed()).unwrap();
+        assert!(mat.chunk_count() > 1, "test needs several chunks");
+        let partials: Vec<ScanChunkPartial> =
+            (0..mat.chunk_count()).map(|i| scan_chunk(&mat, &query, mat.chunk_range(i))).collect();
+        let (value, qualifying) = merge_scan_partials(partials.clone());
+        let (again, _) = merge_scan_partials(partials);
+        assert_eq!(value, again, "same partials in the same order are bit-equal");
+        // Scalar reference: fk = i % 100 in 10..=59, aggregate fk * i.
+        let mut expect = 0.0f64;
+        let mut rows = 0u64;
+        for i in 0..200_000u64 {
+            let fk = i % 100;
+            if (10..=59).contains(&fk) {
+                expect += fk as f64 * i as f64;
+                rows += 1;
+            }
+        }
+        assert_eq!(qualifying, rows);
+        assert!((value - expect).abs() < expect.abs() * 1e-12, "{value} vs {expect}");
+    }
+
+    #[test]
+    fn zonemap_check_is_safe_and_skipping_preserves_the_answer() {
+        // col0 = i is inserted sorted, so chunk min/max bound it tightly.
+        let (probe, _) = tables(200_000);
+        let query = ScanAggQuery { predicates: vec![Predicate::between(0, 0.0, 999.0)], aggregate: AggExpr::Count };
+        let mat = MaterializedColumns::new(&probe, query.columns_accessed()).unwrap();
+        let mut skipped = 0usize;
+        let mut kept = Vec::new();
+        for i in 0..mat.chunk_count() {
+            let range = mat.chunk_range(i);
+            if scan_chunk_can_qualify(&mat, &query.predicates, range.clone()) {
+                kept.push(scan_chunk(&mat, &query, range));
+            } else {
+                // Safety: a skipped chunk must truly have an all-zero partial.
+                assert_eq!(scan_chunk(&mat, &query, range), ScanChunkPartial::default());
+                skipped += 1;
+            }
+        }
+        assert!(skipped > 0, "sorted data must allow skipping");
+        let (value, qualifying) = merge_scan_partials(kept);
+        assert_eq!(value, 1_000.0);
+        assert_eq!(qualifying, 1_000);
     }
 
     #[test]

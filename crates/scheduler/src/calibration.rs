@@ -1,0 +1,707 @@
+//! Online cost-model calibration: the placement feedback loop.
+//!
+//! "The scheduler can combine dynamic run-time information … with static
+//! optimizer cost models." The static half lives in [`crate::placement`]; this
+//! module supplies the dynamic half. Every analytical dispatch produces a
+//! [`PlacementObservation`] — the hints the decision saw, the site that ran,
+//! the closed-form prediction and the time the site actually reported — and
+//! the [`CostCalibrator`] folds it into an exponentially-weighted regression
+//! over the model's linear terms:
+//!
+//! * **CPU site**: the time model is `overlap(stream, tuple)` with
+//!   `stream = bytes / (cores · bw)` and `tuple = rows · ns / cores`. The
+//!   site reports both terms in its [`ExecBreakdown`], so each constant is a
+//!   one-dimensional regression `y = θ·x` solved per observation and smoothed
+//!   exponentially: effective per-core bandwidth and per-tuple nanoseconds.
+//! * **GPU site**: the time model is affine in the spec-derived streaming
+//!   time, `y = overhead + scale · t_stream(spec, hints)`. The site's
+//!   breakdown separates launch overhead from data movement, so the intercept
+//!   (dispatch overhead) and slope (bandwidth scale) are each estimated
+//!   directly and smoothed.
+//!
+//! A hand-tuned constant that drifts from what the engines actually report is
+//! a systematic mis-placement bug; with this loop it self-corrects within
+//! tens of queries, and placement can flip mid-workload when one side's
+//! measured behaviour changes. The sustained *signed* prediction error also
+//! feeds a [`CoreMigrationPolicy`]: when one side keeps running slower than
+//! its calibrated model says it should, that side is saturated and cores can
+//! be shifted between archipelagos.
+
+use crate::archipelago::ArchipelagoKind;
+use crate::placement::{
+    gpu_streaming_secs, OlapTarget, PlacementHints, CPU_CACHE_LINE_BYTES, DEFAULT_GPU_DISPATCH_OVERHEAD_SECS,
+};
+use h2tap_common::{ExecBreakdown, HASH_ENTRY_BYTES};
+use h2tap_gpu_sim::GpuSpec;
+use serde::{Deserialize, Serialize};
+
+/// The calibratable constants of the placement cost model. Seeded from
+/// configuration, then continuously re-estimated from measured site times.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Aggregate per-tuple CPU processing cost in nanoseconds.
+    pub cpu_per_tuple_ns: f64,
+    /// Effective sustained per-core CPU memory bandwidth in GB/s.
+    pub cpu_core_bandwidth_gbps: f64,
+    /// Fixed per-query GPU dispatch cost in seconds.
+    pub gpu_dispatch_overhead_secs: f64,
+    /// Multiplier on the spec-derived GPU streaming time (1.0 = datasheet).
+    pub gpu_bandwidth_scale: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            cpu_per_tuple_ns: 93.0,
+            cpu_core_bandwidth_gbps: 68.0 / 24.0,
+            gpu_dispatch_overhead_secs: DEFAULT_GPU_DISPATCH_OVERHEAD_SECS,
+            gpu_bandwidth_scale: 1.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Returns `hints` with the model's four constants filled in — the hook
+    /// `Caldera` uses so every placement decision consults the *calibrated*
+    /// model instead of the static configuration seeds.
+    #[must_use]
+    pub fn apply_to(&self, hints: PlacementHints) -> PlacementHints {
+        PlacementHints {
+            cpu_per_tuple_ns: self.cpu_per_tuple_ns,
+            cpu_core_bandwidth_gbps: self.cpu_core_bandwidth_gbps,
+            gpu_dispatch_overhead_secs: self.gpu_dispatch_overhead_secs,
+            gpu_bandwidth_scale: self.gpu_bandwidth_scale,
+            ..hints
+        }
+        .sanitized()
+    }
+}
+
+/// One completed analytical dispatch, as seen by the feedback loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementObservation {
+    /// The site that actually executed the query (after any OOM fallback).
+    pub site: OlapTarget,
+    /// Whether the site was forced (`run_olap_on`) rather than placed.
+    /// Forced observations still calibrate the model — they are ground truth
+    /// about the site — but they never *came from* the placement heuristic,
+    /// so they are reported separately
+    /// ([`SiteCalibration::forced_observations`]) and agreement statistics
+    /// must not count them.
+    pub forced: bool,
+    /// The placement hints the dispatch was (or would have been) decided on.
+    pub hints: PlacementHints,
+    /// The closed-form predicted time for `site`, in seconds.
+    pub predicted_secs: f64,
+    /// The simulated time the site reported, in seconds.
+    pub actual_secs: f64,
+    /// The site's time breakdown, when it reports one.
+    pub breakdown: Option<ExecBreakdown>,
+}
+
+/// Tuning knobs of the calibrator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationConfig {
+    /// Whether observations update the model. Error statistics are tracked
+    /// either way, so a disabled calibrator still measures how wrong the
+    /// static constants are.
+    pub enabled: bool,
+    /// EWMA gain for the model terms, in (0, 1]. Higher adapts faster but
+    /// tracks noise; 0.25 converges within tens of queries.
+    pub gain: f64,
+    /// EWMA gain for the error statistics (kept slower than the model so
+    /// "steady-state error" means something).
+    pub error_gain: f64,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        Self { enabled: true, gain: 0.25, error_gain: 0.1 }
+    }
+}
+
+/// Per-site prediction-quality statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SiteCalibration {
+    /// Which site the row describes.
+    pub target: OlapTarget,
+    /// Observations recorded for the site (placed and forced).
+    pub observations: u64,
+    /// How many of those came from forced dispatches (`run_olap_on`) rather
+    /// than the placement heuristic — they calibrate the model like any
+    /// other observation, but agreement/placement statistics must not count
+    /// them as decisions.
+    pub forced_observations: u64,
+    /// Exponentially-weighted mean of `|predicted - actual| / actual` — the
+    /// headline "how well does the model predict this site" number.
+    pub mean_rel_error: f64,
+    /// Exponentially-weighted mean of `(actual - predicted) / actual`.
+    /// Persistently positive means the site keeps running slower than its
+    /// calibrated model — the saturation signal the migration policy watches.
+    pub signed_error: f64,
+    /// Most recent prediction, in seconds.
+    pub last_predicted_secs: f64,
+    /// Most recent site-reported time, in seconds.
+    pub last_actual_secs: f64,
+    /// Valid (finite, positive-time) error samples folded into the EWMAs.
+    /// Kept separate from `observations` so a degenerate first observation
+    /// cannot consume the EWMA seed slot and dilute later real samples.
+    error_samples: u64,
+}
+
+impl SiteCalibration {
+    fn new(target: OlapTarget) -> Self {
+        Self {
+            target,
+            observations: 0,
+            forced_observations: 0,
+            mean_rel_error: 0.0,
+            signed_error: 0.0,
+            last_predicted_secs: 0.0,
+            last_actual_secs: 0.0,
+            error_samples: 0,
+        }
+    }
+
+    fn record(&mut self, predicted: f64, actual: f64, forced: bool, gain: f64) {
+        self.observations += 1;
+        self.forced_observations += u64::from(forced);
+        self.last_predicted_secs = predicted;
+        self.last_actual_secs = actual;
+        if actual <= 0.0 || !predicted.is_finite() || !actual.is_finite() {
+            return;
+        }
+        let rel = (predicted - actual).abs() / actual;
+        let signed = (actual - predicted) / actual;
+        // Seed the EWMAs with the first *valid* sample so early readings are
+        // not dragged toward an arbitrary zero start.
+        self.error_samples += 1;
+        if self.error_samples == 1 {
+            self.mean_rel_error = rel;
+            self.signed_error = signed;
+        } else {
+            self.mean_rel_error += gain * (rel - self.mean_rel_error);
+            self.signed_error += gain * (signed - self.signed_error);
+        }
+    }
+}
+
+/// Snapshot of the feedback loop's state, exposed through `HtapStats`.
+/// The `Default` value (no sites, zero observations) is only a placeholder
+/// for empty statistics; a live engine always reports both sites.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationReport {
+    /// Whether observations were updating the model.
+    pub enabled: bool,
+    /// Observations folded in so far (all sites).
+    pub observations: u64,
+    /// The current calibrated model.
+    pub model: CostModel,
+    /// Per-site prediction-quality rows, GPU first.
+    pub sites: Vec<SiteCalibration>,
+}
+
+impl CalibrationReport {
+    /// The row for `target`.
+    pub fn site(&self, target: OlapTarget) -> Option<&SiteCalibration> {
+        self.sites.iter().find(|s| s.target == target)
+    }
+}
+
+/// The online estimator: holds the current [`CostModel`] and re-fits its
+/// terms from every [`PlacementObservation`].
+#[derive(Debug, Clone)]
+pub struct CostCalibrator {
+    cfg: CalibrationConfig,
+    model: CostModel,
+    gpu: SiteCalibration,
+    cpu: SiteCalibration,
+}
+
+/// Bytes the CPU model charges to the bandwidth term for one query — the
+/// *hint-side* (pre-execution) bytes, deliberately: placement only ever sees
+/// hint features, so inverting against them makes the calibrated constant an
+/// **effective** bandwidth that absorbs whatever the hints cannot express
+/// (zonemap skipping, join selectivity). Predictions then match what the
+/// site actually reports for the observed workload class; the cost is that
+/// the constant tracks the recent class rather than physical hardware, which
+/// is why samples are trust-region-clamped below and why per-query-class
+/// calibration is the recorded ROADMAP follow-on.
+fn cpu_stream_bytes(hints: &PlacementHints) -> f64 {
+    let cache_waste = (CPU_CACHE_LINE_BYTES / HASH_ENTRY_BYTES) as f64;
+    hints.bytes_to_scan as f64 + hints.random_access_bytes as f64 * cache_waste
+}
+
+/// Largest multiplicative move a single observation may propose. EWMA steps
+/// toward `sample`, but a workload whose effective constants differ wildly
+/// from the model's (a 97%-zonemap-skipped scan implies a ~30x "effective"
+/// bandwidth) must bend the model gradually — sustained evidence still gets
+/// there, one outlier cannot teleport placement.
+const MAX_SAMPLE_STEP: f64 = 4.0;
+
+/// EWMA step toward `sample`, ignoring non-finite or out-of-range samples so
+/// one degenerate observation (zero-byte breakdown, infinite ratio) cannot
+/// wreck the model, and clamping each sample into a trust region of
+/// [`MAX_SAMPLE_STEP`] around the current estimate.
+fn ewma_toward(current: &mut f64, sample: f64, gain: f64, lo: f64, hi: f64) {
+    if sample.is_finite() && sample >= lo && sample <= hi {
+        let stepped =
+            if *current > 0.0 { sample.clamp(*current / MAX_SAMPLE_STEP, *current * MAX_SAMPLE_STEP) } else { sample };
+        *current += gain * (stepped - *current);
+    }
+}
+
+impl CostCalibrator {
+    /// Creates a calibrator seeded with `model`.
+    pub fn new(cfg: CalibrationConfig, model: CostModel) -> Self {
+        Self { cfg, model, gpu: SiteCalibration::new(OlapTarget::Gpu), cpu: SiteCalibration::new(OlapTarget::Cpu) }
+    }
+
+    /// The current calibrated model.
+    pub fn model(&self) -> CostModel {
+        self.model
+    }
+
+    /// Folds one completed dispatch into the error statistics and (when
+    /// enabled) the model terms. `gpu` is the device the GPU-side streaming
+    /// feature is computed against — the same spec placement used.
+    pub fn observe(&mut self, gpu: &GpuSpec, obs: &PlacementObservation) {
+        match obs.site {
+            OlapTarget::Gpu => self.gpu.record(obs.predicted_secs, obs.actual_secs, obs.forced, self.cfg.error_gain),
+            OlapTarget::Cpu => self.cpu.record(obs.predicted_secs, obs.actual_secs, obs.forced, self.cfg.error_gain),
+        }
+        if !self.cfg.enabled || !obs.actual_secs.is_finite() || obs.actual_secs <= 0.0 {
+            return;
+        }
+        let hints = obs.hints.sanitized();
+        let gain = self.cfg.gain;
+        match obs.site {
+            OlapTarget::Cpu => {
+                let Some(b) = obs.breakdown else { return };
+                let cores = f64::from(hints.available_cpu_cores.max(1));
+                // tuple = rows · ns / cores  ⇒  ns = tuple · cores / rows.
+                if hints.rows > 0 && b.compute_secs > 0.0 {
+                    let ns = b.compute_secs * 1e9 * cores / hints.rows as f64;
+                    ewma_toward(&mut self.model.cpu_per_tuple_ns, ns, gain, 0.0, 1e6);
+                }
+                // stream = bytes / (cores · bw · 1e9)  ⇒  bw = bytes / (stream · cores · 1e9).
+                let bytes = cpu_stream_bytes(&hints);
+                if bytes > 0.0 && b.stream_secs > 0.0 {
+                    let bw = bytes / (b.stream_secs * cores * 1e9);
+                    ewma_toward(&mut self.model.cpu_core_bandwidth_gbps, bw, gain, 1e-3, 1e4);
+                }
+            }
+            OlapTarget::Gpu => {
+                let stream_feature = gpu_streaming_secs(gpu, &hints);
+                match obs.breakdown {
+                    Some(b) => {
+                        ewma_toward(&mut self.model.gpu_dispatch_overhead_secs, b.overhead_secs, gain, 0.0, 1.0);
+                        if stream_feature > 1e-12 && b.stream_secs > 0.0 {
+                            let scale = b.stream_secs / stream_feature;
+                            ewma_toward(&mut self.model.gpu_bandwidth_scale, scale, gain, 1e-2, 1e2);
+                        }
+                    }
+                    None => {
+                        // Without a breakdown only the intercept is
+                        // attributable: whatever the bandwidth terms cannot
+                        // explain is charged to the dispatch overhead.
+                        let residual = (obs.actual_secs - self.model.gpu_bandwidth_scale * stream_feature).max(0.0);
+                        ewma_toward(&mut self.model.gpu_dispatch_overhead_secs, residual, gain, 0.0, 1.0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A snapshot of the current state for statistics reporting.
+    pub fn report(&self) -> CalibrationReport {
+        CalibrationReport {
+            enabled: self.cfg.enabled,
+            observations: self.gpu.observations + self.cpu.observations,
+            model: self.model,
+            sites: vec![self.gpu, self.cpu],
+        }
+    }
+}
+
+/// A recommendation to move one CPU core between archipelagos.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreMigration {
+    /// Archipelago losing a core.
+    pub from: ArchipelagoKind,
+    /// Archipelago gaining a core.
+    pub to: ArchipelagoKind,
+}
+
+/// Policy hook consulted after every placement observation: given the current
+/// calibration report and core counts, optionally recommend shifting one core
+/// between the archipelagos. The engine applies the recommendation through
+/// the scheduler (which enforces its own invariants, e.g. the task-parallel
+/// archipelago can never be emptied).
+pub trait CoreMigrationPolicy: Send {
+    /// Returns the migration to apply now, if any.
+    fn recommend(
+        &mut self,
+        report: &CalibrationReport,
+        data_parallel_cores: u32,
+        task_parallel_cores: u32,
+    ) -> Option<CoreMigration>;
+}
+
+/// Error-driven elasticity: when the CPU site's *sustained signed* prediction
+/// error shows it running slower than its calibrated model — the side is
+/// saturated, queries queue behind too few cores — shift a core from the
+/// task-parallel archipelago into the data-parallel one; when it runs
+/// persistently faster than predicted, the side is overprovisioned and a core
+/// flows back to transactions.
+#[derive(Debug, Clone)]
+pub struct SaturationMigrationPolicy {
+    /// Sustained signed error (fraction of actual time) that triggers a
+    /// migration in either direction.
+    pub signed_error_threshold: f64,
+    /// Minimum CPU-site observations before the policy acts at all.
+    pub min_observations: u64,
+    /// Cores the task-parallel archipelago must keep.
+    pub min_task_cores: u32,
+    /// Observations to wait between migrations, so one burst of error moves
+    /// one core, not the whole archipelago.
+    pub cooldown: u64,
+    last_migration_at: Option<u64>,
+}
+
+impl Default for SaturationMigrationPolicy {
+    fn default() -> Self {
+        Self {
+            signed_error_threshold: 0.25,
+            min_observations: 8,
+            min_task_cores: 1,
+            cooldown: 4,
+            last_migration_at: None,
+        }
+    }
+}
+
+impl SaturationMigrationPolicy {
+    /// Sets the sustained signed-error threshold.
+    #[must_use]
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.signed_error_threshold = threshold;
+        self
+    }
+
+    /// Sets the minimum CPU-site observation count before the policy acts.
+    #[must_use]
+    pub fn with_min_observations(mut self, min: u64) -> Self {
+        self.min_observations = min;
+        self
+    }
+
+    /// Sets the observation cooldown between migrations.
+    #[must_use]
+    pub fn with_cooldown(mut self, cooldown: u64) -> Self {
+        self.cooldown = cooldown;
+        self
+    }
+
+    /// Sets the task-parallel archipelago's core floor.
+    #[must_use]
+    pub fn with_min_task_cores(mut self, cores: u32) -> Self {
+        self.min_task_cores = cores;
+        self
+    }
+}
+
+impl CoreMigrationPolicy for SaturationMigrationPolicy {
+    fn recommend(
+        &mut self,
+        report: &CalibrationReport,
+        data_parallel_cores: u32,
+        task_parallel_cores: u32,
+    ) -> Option<CoreMigration> {
+        let cpu = report.site(OlapTarget::Cpu)?;
+        if cpu.observations < self.min_observations {
+            return None;
+        }
+        if let Some(at) = self.last_migration_at {
+            if report.observations.saturating_sub(at) < self.cooldown {
+                return None;
+            }
+        }
+        let migration = if cpu.signed_error > self.signed_error_threshold && task_parallel_cores > self.min_task_cores {
+            Some(CoreMigration { from: ArchipelagoKind::TaskParallel, to: ArchipelagoKind::DataParallel })
+        } else if cpu.signed_error < -self.signed_error_threshold && data_parallel_cores > 1 {
+            Some(CoreMigration { from: ArchipelagoKind::DataParallel, to: ArchipelagoKind::TaskParallel })
+        } else {
+            None
+        };
+        if migration.is_some() {
+            self.last_migration_at = Some(report.observations);
+        }
+        migration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::cpu_term_secs;
+
+    /// Emulates a CPU site whose true constants differ from the model seeds:
+    /// builds the observation a dispatch over `rows`/`bytes` would produce.
+    fn cpu_observation(model: &CostModel, rows: u64, bytes: u64, cores: u32) -> PlacementObservation {
+        const TRUE_NS: f64 = 93.0;
+        const TRUE_BW: f64 = 68.0 / 24.0;
+        let hints = model.apply_to(PlacementHints {
+            bytes_to_scan: bytes,
+            rows,
+            available_cpu_cores: cores,
+            ..PlacementHints::default()
+        });
+        let stream = bytes as f64 / (f64::from(cores) * TRUE_BW * 1e9);
+        let tuple = rows as f64 * TRUE_NS * 1e-9 / f64::from(cores);
+        let actual = crate::placement::overlap_secs(stream, tuple);
+        let (pred_stream, pred_tuple) = cpu_term_secs(&hints);
+        PlacementObservation {
+            site: OlapTarget::Cpu,
+            forced: false,
+            hints,
+            predicted_secs: crate::placement::overlap_secs(pred_stream, pred_tuple),
+            actual_secs: actual,
+            breakdown: Some(ExecBreakdown::new(stream, tuple, 0.0)),
+        }
+    }
+
+    #[test]
+    fn cpu_terms_recalibrate_from_wrong_seeds() {
+        // Per-tuple cost seeded 2x too high, bandwidth 2x too low.
+        let seed = CostModel { cpu_per_tuple_ns: 186.0, cpu_core_bandwidth_gbps: 68.0 / 48.0, ..CostModel::default() };
+        let mut cal = CostCalibrator::new(CalibrationConfig::default(), seed);
+        let gpu = GpuSpec::gtx_980();
+        for i in 0..40u64 {
+            let rows = 10_000 + (i % 5) * 20_000;
+            let obs = cpu_observation(&cal.model(), rows, rows * 16, 24);
+            cal.observe(&gpu, &obs);
+        }
+        let m = cal.model();
+        assert!((m.cpu_per_tuple_ns - 93.0).abs() / 93.0 < 0.02, "per-tuple {}", m.cpu_per_tuple_ns);
+        assert!(
+            (m.cpu_core_bandwidth_gbps - 68.0 / 24.0).abs() / (68.0 / 24.0) < 0.02,
+            "bw {}",
+            m.cpu_core_bandwidth_gbps
+        );
+        // Steady state: the model predicts the site within a few percent.
+        let report = cal.report();
+        assert!(report.site(OlapTarget::Cpu).unwrap().mean_rel_error < 0.10, "{report:?}");
+    }
+
+    #[test]
+    fn gpu_overhead_and_scale_recalibrate() {
+        // Overhead seeded 5x too low, true device 20% slower than datasheet.
+        let seed = CostModel { gpu_dispatch_overhead_secs: 6e-6, ..CostModel::default() };
+        let mut cal = CostCalibrator::new(CalibrationConfig::default(), seed);
+        let gpu = GpuSpec::gtx_980();
+        const TRUE_OVERHEAD: f64 = 32e-6;
+        const TRUE_SCALE: f64 = 1.2;
+        for i in 0..40u64 {
+            let bytes = (1 + i % 4) * (8 << 20);
+            let hints = cal.model().apply_to(PlacementHints {
+                bytes_to_scan: bytes,
+                available_cpu_cores: 24,
+                ..PlacementHints::default()
+            });
+            let stream_feature = gpu_streaming_secs(&gpu, &hints);
+            let actual_stream = TRUE_SCALE * stream_feature;
+            let obs = PlacementObservation {
+                site: OlapTarget::Gpu,
+                forced: false,
+                hints,
+                predicted_secs: hints.gpu_dispatch_overhead_secs + hints.gpu_bandwidth_scale * stream_feature,
+                actual_secs: TRUE_OVERHEAD + actual_stream,
+                breakdown: Some(ExecBreakdown::new(actual_stream, 0.0, TRUE_OVERHEAD)),
+            };
+            cal.observe(&gpu, &obs);
+        }
+        let m = cal.model();
+        assert!((m.gpu_dispatch_overhead_secs - TRUE_OVERHEAD).abs() / TRUE_OVERHEAD < 0.02, "{m:?}");
+        assert!((m.gpu_bandwidth_scale - TRUE_SCALE).abs() / TRUE_SCALE < 0.02, "{m:?}");
+        assert!(cal.report().site(OlapTarget::Gpu).unwrap().mean_rel_error < 0.10);
+    }
+
+    #[test]
+    fn disabled_calibration_tracks_error_but_freezes_the_model() {
+        let seed = CostModel { cpu_per_tuple_ns: 186.0, ..CostModel::default() };
+        let cfg = CalibrationConfig { enabled: false, ..CalibrationConfig::default() };
+        let mut cal = CostCalibrator::new(cfg, seed);
+        let gpu = GpuSpec::gtx_980();
+        for _ in 0..10 {
+            let obs = cpu_observation(&cal.model(), 1_000_000, 16_000_000, 24);
+            cal.observe(&gpu, &obs);
+        }
+        assert_eq!(cal.model(), seed, "disabled calibration must not move the model");
+        let report = cal.report();
+        let cpu = report.site(OlapTarget::Cpu).unwrap();
+        assert_eq!(cpu.observations, 10);
+        assert!(cpu.mean_rel_error > 0.3, "2x-wrong per-tuple cost must show up as error: {cpu:?}");
+    }
+
+    #[test]
+    fn one_outlier_sample_moves_the_model_only_within_the_trust_region() {
+        // A 97%-zonemap-skipped scan reports a stream time implying a ~30x
+        // "effective" bandwidth. One such observation may bend the model by
+        // at most gain * (MAX_SAMPLE_STEP - 1); sustained evidence still
+        // converges, a single outlier cannot teleport placement.
+        let mut cal = CostCalibrator::new(CalibrationConfig::default(), CostModel::default());
+        let before = cal.model().cpu_core_bandwidth_gbps;
+        let gpu = GpuSpec::gtx_980();
+        let hints = cal.model().apply_to(PlacementHints {
+            bytes_to_scan: 150_000 * 28,
+            rows: 150_000,
+            available_cpu_cores: 24,
+            ..PlacementHints::default()
+        });
+        let implied_stream = 150_000.0 * 28.0 / (24.0 * before * 1e9);
+        let obs = PlacementObservation {
+            site: OlapTarget::Cpu,
+            forced: true,
+            hints,
+            predicted_secs: implied_stream,
+            actual_secs: implied_stream / 30.0,
+            // Stream time 30x shorter than the hint bytes imply.
+            breakdown: Some(ExecBreakdown::new(implied_stream / 30.0, 1e-4, 0.0)),
+        };
+        cal.observe(&gpu, &obs);
+        let after = cal.model().cpu_core_bandwidth_gbps;
+        assert!(after > before, "the sample must still pull the estimate up");
+        assert!(
+            after <= before * (1.0 + 0.25 * (MAX_SAMPLE_STEP - 1.0)) + 1e-9,
+            "one observation moved bandwidth {before} -> {after}, beyond the trust region"
+        );
+        // Sustained identical evidence keeps converging toward the sample.
+        for _ in 0..40 {
+            cal.observe(&gpu, &obs);
+        }
+        assert!(cal.model().cpu_core_bandwidth_gbps > before * 10.0, "sustained evidence must still get there");
+    }
+
+    #[test]
+    fn degenerate_first_observation_does_not_consume_the_ewma_seed() {
+        let mut cal = CostCalibrator::new(CalibrationConfig::default(), CostModel::default());
+        let gpu = GpuSpec::gtx_980();
+        let hints = PlacementHints { available_cpu_cores: 4, ..PlacementHints::default() };
+        // First observation is degenerate (zero actual time): no error sample.
+        cal.observe(
+            &gpu,
+            &PlacementObservation {
+                site: OlapTarget::Cpu,
+                forced: false,
+                hints,
+                predicted_secs: 1.0,
+                actual_secs: 0.0,
+                breakdown: None,
+            },
+        );
+        // The first *valid* sample must seed the EWMA outright, not be
+        // diluted toward the artificial 0.0 start.
+        cal.observe(
+            &gpu,
+            &PlacementObservation {
+                site: OlapTarget::Cpu,
+                forced: false,
+                hints,
+                predicted_secs: 2.0,
+                actual_secs: 1.0,
+                breakdown: None,
+            },
+        );
+        let cpu = cal.report();
+        let cpu = cpu.site(OlapTarget::Cpu).unwrap();
+        assert_eq!(cpu.observations, 2);
+        assert_eq!(cpu.mean_rel_error, 1.0, "a 2x-wrong prediction must read as 100% error, not 10%");
+    }
+
+    #[test]
+    fn forced_observations_are_counted_separately() {
+        let mut cal = CostCalibrator::new(CalibrationConfig::default(), CostModel::default());
+        let gpu = GpuSpec::gtx_980();
+        for forced in [true, true, false] {
+            let mut obs = cpu_observation(&cal.model(), 10_000, 160_000, 8);
+            obs.forced = forced;
+            cal.observe(&gpu, &obs);
+        }
+        let report = cal.report();
+        let cpu = report.site(OlapTarget::Cpu).unwrap();
+        assert_eq!(cpu.observations, 3);
+        assert_eq!(cpu.forced_observations, 2);
+    }
+
+    #[test]
+    fn degenerate_observations_cannot_wreck_the_model() {
+        let mut cal = CostCalibrator::new(CalibrationConfig::default(), CostModel::default());
+        let before = cal.model();
+        let gpu = GpuSpec::gtx_980();
+        let hints = PlacementHints { bytes_to_scan: 0, rows: 0, available_cpu_cores: 4, ..PlacementHints::default() };
+        for actual in [f64::NAN, 0.0, -1.0] {
+            cal.observe(
+                &gpu,
+                &PlacementObservation {
+                    site: OlapTarget::Cpu,
+                    forced: true,
+                    hints,
+                    predicted_secs: f64::NAN,
+                    actual_secs: actual,
+                    breakdown: Some(ExecBreakdown::new(f64::NAN, f64::INFINITY, -1.0)),
+                },
+            );
+        }
+        assert_eq!(cal.model(), before);
+        assert!(cal.report().site(OlapTarget::Cpu).unwrap().mean_rel_error.is_finite());
+    }
+
+    #[test]
+    fn saturation_policy_migrates_on_sustained_error_with_cooldown() {
+        let mut policy = SaturationMigrationPolicy {
+            signed_error_threshold: 0.2,
+            min_observations: 2,
+            cooldown: 3,
+            ..SaturationMigrationPolicy::default()
+        };
+        let mut report = CostCalibrator::new(CalibrationConfig::default(), CostModel::default()).report();
+        // Not enough observations yet.
+        assert!(policy.recommend(&report, 2, 4).is_none());
+        report.sites[1].observations = 5;
+        report.sites[1].signed_error = 0.5; // CPU persistently slower: saturated.
+        report.observations = 5;
+        let m = policy.recommend(&report, 2, 4).expect("saturated CPU side pulls a core");
+        assert_eq!(m.from, ArchipelagoKind::TaskParallel);
+        assert_eq!(m.to, ArchipelagoKind::DataParallel);
+        // Cooldown: no second migration until more observations arrive.
+        assert!(policy.recommend(&report, 3, 3).is_none());
+        report.observations = 9;
+        assert!(policy.recommend(&report, 3, 3).is_some());
+        // Overprovisioned CPU side returns a core to transactions.
+        report.observations = 20;
+        report.sites[1].signed_error = -0.5;
+        let back = policy.recommend(&report, 3, 3).expect("overprovisioned side gives a core back");
+        assert_eq!(back.from, ArchipelagoKind::DataParallel);
+        // The task-parallel floor is respected.
+        report.observations = 40;
+        report.sites[1].signed_error = 0.5;
+        assert!(policy.recommend(&report, 7, 1).is_none(), "task archipelago at its floor");
+    }
+
+    #[test]
+    fn apply_to_fills_the_model_constants() {
+        let model = CostModel {
+            cpu_per_tuple_ns: 50.0,
+            cpu_core_bandwidth_gbps: 4.0,
+            gpu_dispatch_overhead_secs: 1e-5,
+            gpu_bandwidth_scale: 1.5,
+        };
+        let hints = model.apply_to(PlacementHints { bytes_to_scan: 100, ..PlacementHints::default() });
+        assert_eq!(hints.cpu_per_tuple_ns, 50.0);
+        assert_eq!(hints.cpu_core_bandwidth_gbps, 4.0);
+        assert_eq!(hints.gpu_dispatch_overhead_secs, 1e-5);
+        assert_eq!(hints.gpu_bandwidth_scale, 1.5);
+        assert_eq!(hints.bytes_to_scan, 100);
+    }
+}

@@ -10,9 +10,15 @@
 //! box.
 
 pub mod archipelago;
+pub mod calibration;
 pub mod placement;
 
 pub use archipelago::{Archipelago, ArchipelagoKind, Scheduler};
+pub use calibration::{
+    CalibrationConfig, CalibrationReport, CoreMigration, CoreMigrationPolicy, CostCalibrator, CostModel,
+    PlacementObservation, SaturationMigrationPolicy, SiteCalibration,
+};
 pub use placement::{
-    place_olap_query, OlapTarget, PlacementHints, CPU_CACHE_LINE_BYTES, DEFAULT_GPU_DISPATCH_OVERHEAD_SECS,
+    cpu_term_secs, estimate_site_times, gpu_streaming_secs, overlap_secs, place_olap_query, OlapTarget, PlacementHints,
+    SiteEstimate, CPU_CACHE_LINE_BYTES, DEFAULT_GPU_DISPATCH_OVERHEAD_SECS, GPU_SCRATCH_HEADROOM_BYTES,
 };

@@ -66,6 +66,50 @@ pub struct PlacementHints {
     /// device is genuinely full — which must route joins away from it, so
     /// full and unknown are deliberately distinct values.
     pub gpu_free_bytes: u64,
+    /// Multiplier on the spec-derived GPU streaming time (1.0 = trust the
+    /// catalogue bandwidths). The online calibrator raises it when the
+    /// measured device is slower than its datasheet (extra bitmap writes,
+    /// imperfect coalescing) and lowers it when it is faster.
+    pub gpu_bandwidth_scale: f64,
+}
+
+/// Device-memory headroom a GPU-placed plan needs beyond its hash table: the
+/// partial-group arena and per-kernel scratch also live in device memory, so
+/// a hash table that *exactly* fills free memory still OOMs at execution
+/// time. Placement reserves this margin in the footprint check instead of
+/// relying on the (expensive) OOM fallback.
+pub const GPU_SCRATCH_HEADROOM_BYTES: u64 = 1 << 20;
+
+/// Closed-form per-site time estimates for one query's placement hints — the
+/// reusable predictor behind [`place_olap_query`]. The calibration feedback
+/// loop compares these predictions against the times the sites actually
+/// report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiteEstimate {
+    /// Predicted execution time on the GPU site, in seconds.
+    pub gpu_secs: f64,
+    /// Predicted execution time on the CPU site, in seconds.
+    pub cpu_secs: f64,
+}
+
+impl SiteEstimate {
+    /// The faster target under this estimate (ties go to the GPU, the
+    /// Caldera prototype's static choice).
+    pub fn faster(&self) -> OlapTarget {
+        if self.cpu_secs < self.gpu_secs {
+            OlapTarget::Cpu
+        } else {
+            OlapTarget::Gpu
+        }
+    }
+
+    /// The predicted time for `target`, in seconds.
+    pub fn secs_for(&self, target: OlapTarget) -> f64 {
+        match target {
+            OlapTarget::Gpu => self.gpu_secs,
+            OlapTarget::Cpu => self.cpu_secs,
+        }
+    }
 }
 
 /// Cache-line granularity of CPU random access: every hash probe touches one
@@ -85,25 +129,47 @@ impl Default for PlacementHints {
             random_access_bytes: 0,
             hash_table_bytes: 0,
             gpu_free_bytes: u64::MAX,
+            gpu_bandwidth_scale: 1.0,
         }
     }
 }
 
-/// Estimates GPU and CPU scan times and picks the faster target. Ties (and
-/// the degenerate no-CPU case) go to the GPU, which is the Caldera
-/// prototype's static choice.
-pub fn place_olap_query(gpu: &GpuSpec, hints: &PlacementHints) -> OlapTarget {
-    if hints.available_cpu_cores == 0 || hints.bytes_to_scan == 0 {
-        return OlapTarget::Gpu;
+impl PlacementHints {
+    /// Returns the hints with every floating-point field forced into its
+    /// valid domain, so the closed-form predictor is total: NaN or negative
+    /// inputs (a fresh engine's unmeasured residency, a mis-configured cost
+    /// constant) must degrade to a deterministic default instead of
+    /// poisoning both time estimates and making placement arbitrary.
+    #[must_use]
+    pub fn sanitized(mut self) -> Self {
+        let defaults = Self::default();
+        // NaN fails every comparison, so `clamp` alone cannot contain it.
+        self.gpu_resident_fraction =
+            if self.gpu_resident_fraction.is_finite() { self.gpu_resident_fraction.clamp(0.0, 1.0) } else { 0.0 };
+        if !(self.cpu_core_bandwidth_gbps.is_finite() && self.cpu_core_bandwidth_gbps > 0.0) {
+            self.cpu_core_bandwidth_gbps = defaults.cpu_core_bandwidth_gbps;
+        }
+        if !(self.gpu_dispatch_overhead_secs.is_finite() && self.gpu_dispatch_overhead_secs >= 0.0) {
+            self.gpu_dispatch_overhead_secs = defaults.gpu_dispatch_overhead_secs;
+        }
+        if !(self.cpu_per_tuple_ns.is_finite() && self.cpu_per_tuple_ns >= 0.0) {
+            self.cpu_per_tuple_ns = 0.0;
+        }
+        if !(self.gpu_bandwidth_scale.is_finite() && self.gpu_bandwidth_scale > 0.0) {
+            self.gpu_bandwidth_scale = 1.0;
+        }
+        self
     }
-    // A hash table that cannot fit in free device memory (including a
-    // completely full device, gpu_free_bytes == 0) forces the GPU to probe
-    // across the interconnect on every access; with CPU cores on hand that
-    // is never competitive, so the footprint check short-circuits.
-    if hints.hash_table_bytes > 0 && hints.hash_table_bytes > hints.gpu_free_bytes {
-        return OlapTarget::Cpu;
-    }
-    let resident = hints.gpu_resident_fraction.clamp(0.0, 1.0);
+}
+
+/// Spec-derived GPU streaming time at `gpu_bandwidth_scale == 1.0`: resident
+/// bytes stream at device bandwidth, the rest crosses the interconnect, and
+/// random bytes pay the coalescing waste. This is the bandwidth *feature* of
+/// the GPU cost model — the calibrator fits an overhead intercept and a
+/// bandwidth scale on top of it.
+pub fn gpu_streaming_secs(gpu: &GpuSpec, hints: &PlacementHints) -> f64 {
+    let resident =
+        if hints.gpu_resident_fraction.is_finite() { hints.gpu_resident_fraction.clamp(0.0, 1.0) } else { 0.0 };
     let bytes = hints.bytes_to_scan as f64;
     let random = hints.random_access_bytes as f64;
     // Random access delivers one hash entry per memory transaction: the
@@ -113,25 +179,66 @@ pub fn place_olap_query(gpu: &GpuSpec, hints: &PlacementHints) -> OlapTarget {
     // intermediates wherever table data lives, so residency is the proxy).
     let gpu_random_device = (DEVICE_TRANSACTION_BYTES / HASH_ENTRY_BYTES) as f64;
     let gpu_random_interconnect = (gpu.interconnect.mtu_bytes.max(HASH_ENTRY_BYTES) / HASH_ENTRY_BYTES) as f64;
-    // GPU: resident bytes stream at device bandwidth, the rest crosses the
-    // interconnect, random bytes pay the coalescing waste, plus the fixed
-    // dispatch cost every query pays.
-    let gpu_time = hints.gpu_dispatch_overhead_secs.max(0.0)
-        + (resident * (bytes + random * gpu_random_device)) / gpu.mem_bytes_per_sec()
+    (resident * (bytes + random * gpu_random_device)) / gpu.mem_bytes_per_sec()
         + ((1.0 - resident) * (bytes + random * gpu_random_interconnect))
-            / (gpu.interconnect.kind.bandwidth_gbps() * 1e9);
-    // CPU: all bytes stream from host memory across the available cores,
-    // random bytes touch whole cache lines, plus per-tuple processing work
-    // spread over the same cores.
+            / (gpu.interconnect.kind.bandwidth_gbps() * 1e9)
+}
+
+/// The CPU model's two linear terms, in seconds: `(streaming, per-tuple)`.
+/// All bytes stream from host memory across the available cores (random
+/// bytes touch whole cache lines); per-tuple processing work is spread over
+/// the same cores. Uses `max(cores, 1)` so forced-CPU runs on an engine with
+/// no reserved OLAP cores still get a finite prediction.
+pub fn cpu_term_secs(hints: &PlacementHints) -> (f64, f64) {
+    let bytes = hints.bytes_to_scan as f64;
+    let random = hints.random_access_bytes as f64;
+    let cores = f64::from(hints.available_cpu_cores.max(1));
     let cpu_random = (CPU_CACHE_LINE_BYTES / HASH_ENTRY_BYTES) as f64;
-    let cpu_bw = f64::from(hints.available_cpu_cores) * hints.cpu_core_bandwidth_gbps * 1e9;
-    let cpu_time = (bytes + random * cpu_random) / cpu_bw.max(1.0)
-        + hints.rows as f64 * hints.cpu_per_tuple_ns.max(0.0) * 1e-9 / f64::from(hints.available_cpu_cores.max(1));
-    if cpu_time < gpu_time {
-        OlapTarget::Cpu
-    } else {
-        OlapTarget::Gpu
+    let cpu_bw = cores * hints.cpu_core_bandwidth_gbps * 1e9;
+    let stream = (bytes + random * cpu_random) / cpu_bw.max(1.0);
+    let tuple = hints.rows as f64 * hints.cpu_per_tuple_ns.max(0.0) * 1e-9 / cores;
+    (stream, tuple)
+}
+
+/// Combines a streaming term and a compute term the way the CPU site's time
+/// model does: the two overlap, so the query costs the larger term plus a
+/// quarter of the smaller one. Shared between prediction and execution so the
+/// predictor cannot drift from the site it models.
+pub fn overlap_secs(stream: f64, compute: f64) -> f64 {
+    stream.max(compute) + stream.min(compute) * 0.25
+}
+
+/// The closed-form predictor: estimates both sites' execution times from the
+/// (sanitized) hints. Total for any input — NaN/negative fields degrade to
+/// defaults rather than making both estimates NaN.
+pub fn estimate_site_times(gpu: &GpuSpec, hints: &PlacementHints) -> SiteEstimate {
+    let hints = hints.sanitized();
+    let gpu_secs = hints.gpu_dispatch_overhead_secs + hints.gpu_bandwidth_scale * gpu_streaming_secs(gpu, &hints);
+    let (stream, tuple) = cpu_term_secs(&hints);
+    SiteEstimate { gpu_secs, cpu_secs: overlap_secs(stream, tuple) }
+}
+
+/// Estimates GPU and CPU scan times and picks the faster target. Ties (and
+/// the degenerate no-CPU case) go to the GPU, which is the Caldera
+/// prototype's static choice.
+pub fn place_olap_query(gpu: &GpuSpec, hints: &PlacementHints) -> OlapTarget {
+    if hints.available_cpu_cores == 0 || hints.bytes_to_scan == 0 {
+        return OlapTarget::Gpu;
     }
+    // A hash table that cannot fit in free device memory — including the
+    // scratch headroom the plan's group arena needs, and a completely full
+    // device (gpu_free_bytes == 0) — forces the GPU to probe across the
+    // interconnect on every access or OOM-fall-back mid-query; with CPU
+    // cores on hand that is never competitive, so the footprint check
+    // short-circuits. `u64::MAX` means headroom is unknown and the check is
+    // disabled rather than guessed.
+    if hints.hash_table_bytes > 0
+        && hints.gpu_free_bytes != u64::MAX
+        && hints.hash_table_bytes.saturating_add(GPU_SCRATCH_HEADROOM_BYTES) > hints.gpu_free_bytes
+    {
+        return OlapTarget::Cpu;
+    }
+    estimate_site_times(gpu, hints).faster()
 }
 
 #[cfg(test)]
@@ -246,6 +353,83 @@ mod tests {
         // With no CPU cores the footprint check cannot help.
         let no_cores = PlacementHints { available_cpu_cores: 0, ..hints };
         assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &no_cores), OlapTarget::Gpu);
+    }
+
+    #[test]
+    fn hash_table_exactly_filling_free_memory_routes_to_cpu() {
+        // The boundary of the footprint check: a hash table that exactly
+        // fills free device memory leaves no headroom for the group arena and
+        // kernel scratch, so it must route to the CPU instead of OOM-falling
+        // back mid-query.
+        let hints = PlacementHints {
+            bytes_to_scan: 1 << 30,
+            gpu_resident_fraction: 1.0,
+            available_cpu_cores: 24,
+            hash_table_bytes: 4 << 30,
+            gpu_free_bytes: 4 << 30,
+            ..PlacementHints::default()
+        };
+        assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &hints), OlapTarget::Cpu);
+        // One byte short of the scratch headroom still routes to the CPU …
+        let just_short = PlacementHints { gpu_free_bytes: (4 << 30) + GPU_SCRATCH_HEADROOM_BYTES - 1, ..hints };
+        assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &just_short), OlapTarget::Cpu);
+        // … and exactly hash table + headroom fits.
+        let fits = PlacementHints { gpu_free_bytes: (4 << 30) + GPU_SCRATCH_HEADROOM_BYTES, ..hints };
+        assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &fits), OlapTarget::Gpu);
+        // A saturating footprint near u64::MAX must not wrap around the
+        // headroom addition, and MAX-as-unknown still disables the check.
+        let huge = PlacementHints { hash_table_bytes: u64::MAX - 1, gpu_free_bytes: u64::MAX - 1, ..hints };
+        assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &huge), OlapTarget::Cpu);
+        let unknown = PlacementHints { gpu_free_bytes: u64::MAX, ..huge };
+        assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &unknown), OlapTarget::Gpu);
+    }
+
+    #[test]
+    fn nan_hints_are_sanitized_and_the_predictor_stays_total() {
+        let poisoned = PlacementHints {
+            bytes_to_scan: 1 << 30,
+            gpu_resident_fraction: f64::NAN,
+            available_cpu_cores: 24,
+            cpu_core_bandwidth_gbps: f64::NAN,
+            gpu_dispatch_overhead_secs: -1.0,
+            rows: 1 << 20,
+            cpu_per_tuple_ns: f64::NEG_INFINITY,
+            gpu_bandwidth_scale: f64::NAN,
+            ..PlacementHints::default()
+        };
+        let clean = poisoned.sanitized();
+        assert_eq!(clean.gpu_resident_fraction, 0.0);
+        assert_eq!(clean.cpu_core_bandwidth_gbps, PlacementHints::default().cpu_core_bandwidth_gbps);
+        assert_eq!(clean.gpu_dispatch_overhead_secs, DEFAULT_GPU_DISPATCH_OVERHEAD_SECS);
+        assert_eq!(clean.cpu_per_tuple_ns, 0.0);
+        assert_eq!(clean.gpu_bandwidth_scale, 1.0);
+        // The predictor is total: finite estimates even on the raw hints.
+        let est = estimate_site_times(&GpuSpec::gtx_980(), &poisoned);
+        assert!(est.cpu_secs.is_finite() && est.gpu_secs.is_finite(), "{est:?}");
+        assert_eq!(est, estimate_site_times(&GpuSpec::gtx_980(), &clean));
+        // NaN resident fraction must not poison the decision: the sanitized
+        // hints behave like the explicit-zero-residency hints.
+        let zeroed = PlacementHints { gpu_resident_fraction: 0.0, ..clean };
+        assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &poisoned), place_olap_query(&GpuSpec::gtx_980(), &zeroed));
+        // Negative residency clamps instead of producing negative time.
+        let negative = PlacementHints { gpu_resident_fraction: -3.0, ..clean }.sanitized();
+        assert_eq!(negative.gpu_resident_fraction, 0.0);
+    }
+
+    #[test]
+    fn placement_agrees_with_the_reusable_estimator() {
+        let hints = PlacementHints {
+            bytes_to_scan: 1 << 28,
+            gpu_resident_fraction: 0.4,
+            available_cpu_cores: 12,
+            rows: 1 << 22,
+            cpu_per_tuple_ns: 93.0,
+            ..PlacementHints::default()
+        };
+        let est = estimate_site_times(&GpuSpec::gtx_980(), &hints);
+        assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &hints), est.faster());
+        assert_eq!(est.secs_for(OlapTarget::Cpu), est.cpu_secs);
+        assert_eq!(est.secs_for(OlapTarget::Gpu), est.gpu_secs);
     }
 
     #[test]

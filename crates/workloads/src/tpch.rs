@@ -255,7 +255,20 @@ pub fn brand_revenue_reference(
 /// spreading rows round-robin across partitions (key = global row number).
 /// Returns the table id.
 pub fn load_lineitem(builder: &mut CalderaBuilder, layout: Layout, rows: u64, seed: u64) -> Result<TableId> {
-    let table = builder.create_table("lineitem", lineitem_schema(), layout)?;
+    load_lineitem_named(builder, "lineitem", layout, rows, seed)
+}
+
+/// Like [`load_lineitem`] but with an explicit table name, so several
+/// lineitem instances (e.g. a sweep of sizes straddling the placement
+/// crossover) can coexist in one engine.
+pub fn load_lineitem_named(
+    builder: &mut CalderaBuilder,
+    name: &str,
+    layout: Layout,
+    rows: u64,
+    seed: u64,
+) -> Result<TableId> {
+    let table = builder.create_table(name, lineitem_schema(), layout)?;
     let mut rng = SplitMixRng::new(seed);
     for key in 0..rows {
         let row = lineitem_row(key, &mut rng);

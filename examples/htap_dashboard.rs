@@ -65,16 +65,29 @@ fn run_scenario(queries_per_snapshot: u32) {
         stats.snapshots_taken,
         stats.cow.pages_copied,
     );
-    // Per-site routing: where the scheduler actually placed the 20 queries.
+    // Per-site routing: where the scheduler actually placed the 20 queries,
+    // and how well the continuously calibrated cost model predicted each
+    // site (the placement feedback loop).
     for site in &stats.olap_sites {
+        let error =
+            stats.prediction_error_on(site.target).map_or("     n/a".to_string(), |e| format!("{:>7.1}%", e * 100.0));
         println!(
-            "    site {:<4} ({:?}): {:>2} queries, {:>9.2} ms simulated",
+            "    site {:<4} ({:?}): {:>2} queries, {:>9.2} ms simulated, prediction error {}",
             site.label,
             site.target,
             site.queries,
             site.time.as_millis_f64(),
+            error,
         );
     }
+    let model = stats.calibration.model;
+    println!(
+        "    calibrated model: {:.1} ns/tuple | {:.2} GB/s/core | {:.1} us gpu dispatch | gpu bw scale {:.2}",
+        model.cpu_per_tuple_ns,
+        model.cpu_core_bandwidth_gbps,
+        model.gpu_dispatch_overhead_secs * 1e6,
+        model.gpu_bandwidth_scale,
+    );
 }
 
 fn main() {

@@ -68,6 +68,68 @@ fn sites_agree_on_filtered_aggregates_over_mixed_types() {
     caldera.shutdown();
 }
 
+/// Scan answers are **byte-identical** across sites — the same chunked-merge
+/// contract join plans have — even over float data whose sums are not
+/// exactly representable, where any difference in chunking or merge order
+/// would change low-order bits. Q6's SumProduct over generated f64 prices
+/// and discounts is exactly such a sum.
+#[test]
+fn scan_answers_are_byte_identical_across_sites_and_thread_counts() {
+    let mut config = CalderaConfig::with_workers(1);
+    config.olap_cpu_cores = 8;
+    // > 2 chunks of PLAN_CHUNK_ROWS so the parallel scan really splits.
+    let (caldera, table) = caldera_with_lineitem(config, Layout::Dsm, 150_000);
+    let query = q6();
+    let gpu = caldera.run_olap_on(table, &query, OlapTarget::Gpu).unwrap();
+    let cpu = caldera.run_olap_on(table, &query, OlapTarget::Cpu).unwrap();
+    assert_eq!(gpu.value.to_bits(), cpu.value.to_bits(), "gpu {} vs cpu {}", gpu.value, cpu.value);
+    assert_eq!(gpu.qualifying_rows, cpu.qualifying_rows);
+
+    // The CPU scan actually runs on the scoped thread pool, and the thread
+    // count cannot perturb a single bit of the answer.
+    let snap = caldera.database().snapshot();
+    let frozen = snap.table(table).unwrap();
+    let sequential = h2tap_olap::CpuOlapEngine::archipelago_default(1).execute_scan(frozen, &query).unwrap();
+    let parallel = h2tap_olap::CpuOlapEngine::archipelago_default(16).execute_scan(frozen, &query).unwrap();
+    assert_eq!(sequential.threads_used, 1);
+    assert!(parallel.threads_used > 1, "a multi-chunk scan on 16 cores must use the pool");
+    assert_eq!(sequential.value.to_bits(), parallel.value.to_bits());
+    assert_eq!(sequential.value.to_bits(), cpu.value.to_bits(), "standalone engine agrees with the site");
+    assert_eq!(sequential.qualifying_rows, parallel.qualifying_rows);
+    assert_eq!(sequential.rows_scanned, parallel.rows_scanned);
+    assert_eq!(sequential.chunks_skipped, parallel.chunks_skipped);
+    let _ = caldera.database().release_snapshot(&snap);
+    caldera.shutdown();
+}
+
+/// Zonemap skipping (the vectorised profile) still cannot change the f64
+/// answer relative to a profile that scans everything: a skipped chunk's
+/// partial is exactly zero.
+#[test]
+fn zonemap_skipping_preserves_bitwise_equality_on_clustered_predicates() {
+    let mut config = CalderaConfig::with_workers(1);
+    config.olap_cpu_cores = 8;
+    let (caldera, table) = caldera_with_lineitem(config, Layout::Dsm, 150_000);
+    // ORDERKEY is loaded in ascending order, so its zonemaps are tight.
+    let query = ScanAggQuery {
+        predicates: vec![Predicate::between(tpch::columns::ORDERKEY, 0.0, 9_999.0)],
+        aggregate: AggExpr::SumProduct(tpch::columns::EXTENDEDPRICE, tpch::columns::DISCOUNT),
+    };
+    let snap = caldera.database().snapshot();
+    let frozen = snap.table(table).unwrap();
+    let skipping =
+        h2tap_olap::CpuOlapEngine::new(h2tap_olap::CpuScanProfile::vectorized()).execute_scan(frozen, &query).unwrap();
+    let full = h2tap_olap::CpuOlapEngine::new(h2tap_olap::CpuScanProfile::materializing())
+        .execute_scan(frozen, &query)
+        .unwrap();
+    assert!(skipping.chunks_skipped > 0, "clustered predicate must skip chunks");
+    assert_eq!(full.chunks_skipped, 0);
+    assert_eq!(skipping.value.to_bits(), full.value.to_bits());
+    assert_eq!(skipping.qualifying_rows, full.qualifying_rows);
+    let _ = caldera.database().release_snapshot(&snap);
+    caldera.shutdown();
+}
+
 /// A tiny scan over host-resident data routes to the CPU site: the fixed GPU
 /// dispatch cost dominates and the snapshot already lives in host DRAM.
 #[test]
