@@ -36,6 +36,22 @@ pub const PLAN_CHUNK_ROWS: usize = 64 * 1024;
 /// traffic and build-side footprint).
 pub const HASH_ENTRY_BYTES: u64 = 16;
 
+/// The shard a chunk belongs to when a table's [`PLAN_CHUNK_ROWS`] chunks are
+/// spread across `shards` execution units (the devices of a multi-GPU site):
+/// round-robin in ascending chunk order. Part of the IR contract alongside
+/// the chunk size — the assignment is a *partition* (every chunk lands on
+/// exactly one shard, shards are disjoint, their union covers the table) and
+/// it never changes the merge order: partials always merge in ascending chunk
+/// index regardless of which shard (or device, or thread) produced them, so
+/// sharding cannot perturb a single bit of the f64 aggregates.
+pub const fn chunk_shard(chunk: usize, shards: usize) -> usize {
+    if shards == 0 {
+        0
+    } else {
+        chunk % shards
+    }
+}
+
 /// The side of a plan a column reference points at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PlanColumn {
@@ -247,6 +263,24 @@ mod tests {
             OlapPlan { predicates: vec![], join: Some(join()), group_by: None, aggregates: vec![AggExpr::Count] };
         assert_eq!(plan.random_access_bytes(1_000), 1_000 * HASH_ENTRY_BYTES);
         assert_eq!(plan.hash_table_bytes(500), 500 * HASH_ENTRY_BYTES);
+    }
+
+    #[test]
+    fn chunk_shard_is_a_round_robin_partition() {
+        for shards in 1..=6usize {
+            let mut counts = vec![0usize; shards];
+            for chunk in 0..97 {
+                let s = chunk_shard(chunk, shards);
+                assert!(s < shards);
+                counts[s] += 1;
+            }
+            // Round-robin balance: shard sizes differ by at most one chunk.
+            let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            assert!(max - min <= 1, "{counts:?}");
+        }
+        // Degenerate shard counts stay total.
+        assert_eq!(chunk_shard(5, 0), 0);
+        assert_eq!(chunk_shard(5, 1), 0);
     }
 
     #[test]

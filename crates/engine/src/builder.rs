@@ -9,7 +9,7 @@ use crate::config::CalderaConfig;
 use crate::engine::Caldera;
 use h2tap_common::{H2Error, PartitionId, RecordId, Result, Schema, TableId, Value};
 use h2tap_gpu_sim::GpuDevice;
-use h2tap_olap::{CpuOlapEngine, CpuSpec, ExecutionSite, GpuOlapEngine};
+use h2tap_olap::{CpuOlapEngine, CpuSpec, ExecutionSite, GpuOlapEngine, MultiGpuOlapEngine};
 use h2tap_oltp::{OltpRuntime, PartitionIndex, Partitioner, TxnGenerator};
 use h2tap_scheduler::Scheduler;
 use h2tap_storage::{Database, Layout};
@@ -89,10 +89,14 @@ impl CalderaBuilder {
     /// Starts both archipelagos and returns the running engine.
     pub fn start(self) -> Result<Caldera> {
         let CalderaBuilder { config, db, indexes, partitioner, generator } = self;
-        let scheduler =
-            Scheduler::new(config.oltp.workers, config.olap_cpu_cores, vec![config.olap_device.gpu.name.clone()]);
-        // Both execution sites of the data-parallel archipelago: the GPU
-        // model and the CPU scan engine over the archipelago's cores.
+        let mut accelerators = vec![config.olap_device.gpu.name.clone()];
+        if let Some(mg) = &config.olap_multi_gpu {
+            accelerators.extend(mg.gpus.iter().map(|g| g.name.clone()));
+        }
+        let scheduler = Scheduler::new(config.oltp.workers, config.olap_cpu_cores, accelerators);
+        // The execution sites of the data-parallel archipelago: the GPU
+        // model, the CPU scan engine over the archipelago's cores, and —
+        // when configured — the sharded multi-GPU device mix.
         let gpu = GpuOlapEngine::new(GpuDevice::new(config.olap_device.gpu.clone()), config.olap_device.placement);
         let cpu_cores = (config.olap_cpu_cores as u32).max(1);
         let cpu = CpuOlapEngine::with_spec_and_profile(
@@ -102,7 +106,11 @@ impl CalderaBuilder {
             },
             config.olap_cpu.profile,
         );
-        let sites: Vec<Box<dyn ExecutionSite>> = vec![Box::new(gpu), Box::new(cpu)];
+        let mut sites: Vec<Box<dyn ExecutionSite>> = vec![Box::new(gpu), Box::new(cpu)];
+        if let Some(mg) = &config.olap_multi_gpu {
+            let devices = mg.gpus.iter().map(|spec| GpuDevice::new(spec.clone())).collect();
+            sites.push(Box::new(MultiGpuOlapEngine::new(devices, mg.placement)?));
+        }
         let oltp = OltpRuntime::start(Arc::clone(&db), config.oltp.clone(), partitioner, indexes, generator)?;
         Ok(Caldera::assemble(config, db, oltp, sites, scheduler))
     }

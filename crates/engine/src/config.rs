@@ -29,6 +29,41 @@ impl Default for OlapDeviceConfig {
     }
 }
 
+/// An optional third execution site: several (possibly heterogeneous) GPUs
+/// that shard each table's chunks and run them in parallel — the Table 1
+/// device-mix scenario. `None` (the default) leaves the engine with the
+/// classic CPU + single-GPU pair.
+#[derive(Debug, Clone)]
+pub struct OlapMultiGpuConfig {
+    /// The device mix, in shard order (e.g. `h2tap_gpu_sim::table1_mix(3)`).
+    pub gpus: Vec<GpuSpec>,
+    /// Data placement shared by every device of the mix.
+    pub placement: DataPlacement,
+    /// Fixed per-query dispatch cost of the site (kernel launches on every
+    /// device, shard bookkeeping, cross-device merge) — the seed of the
+    /// site's own calibrated intercept.
+    pub dispatch_overhead_secs: f64,
+}
+
+impl OlapMultiGpuConfig {
+    /// A multi-GPU site over `gpus` with the Caldera default placement
+    /// (UVA host-resident shared memory) and dispatch overhead.
+    pub fn new(gpus: Vec<GpuSpec>) -> Self {
+        Self {
+            gpus,
+            placement: DataPlacement::Host(AccessMode::Uva),
+            dispatch_overhead_secs: DEFAULT_GPU_DISPATCH_OVERHEAD_SECS,
+        }
+    }
+
+    /// Overrides the placement.
+    #[must_use]
+    pub fn with_placement(mut self, placement: DataPlacement) -> Self {
+        self.placement = placement;
+        self
+    }
+}
+
 /// The CPU execution site of the data-parallel archipelago.
 #[derive(Debug, Clone)]
 pub struct OlapCpuConfig {
@@ -64,6 +99,9 @@ pub struct CalderaConfig {
     pub olap_cpu_cores: usize,
     /// The data-parallel archipelago's GPU.
     pub olap_device: OlapDeviceConfig,
+    /// Optional multi-GPU execution site (a Table 1 device mix with sharded
+    /// tables). `None` keeps the classic CPU + single-GPU pair.
+    pub olap_multi_gpu: Option<OlapMultiGpuConfig>,
     /// The data-parallel archipelago's CPU execution site.
     pub olap_cpu: OlapCpuConfig,
     /// How often OLAP queries refresh their snapshot.
@@ -86,6 +124,7 @@ impl Default for CalderaConfig {
             partitioner: PartitionerKind::default(),
             olap_cpu_cores: 0,
             olap_device: OlapDeviceConfig::default(),
+            olap_multi_gpu: None,
             olap_cpu: OlapCpuConfig::default(),
             snapshot_policy: SnapshotPolicy::PerQuery,
             calibration: CalibrationConfig::default(),
@@ -110,6 +149,11 @@ impl CalderaConfig {
             cpu_core_bandwidth_gbps: self.olap_cpu.per_core_bandwidth_gbps,
             gpu_dispatch_overhead_secs: self.olap_device.dispatch_overhead_secs,
             gpu_bandwidth_scale: 1.0,
+            multi_gpu_dispatch_overhead_secs: self
+                .olap_multi_gpu
+                .as_ref()
+                .map_or(h2tap_scheduler::DEFAULT_GPU_DISPATCH_OVERHEAD_SECS, |mg| mg.dispatch_overhead_secs),
+            multi_gpu_bandwidth_scale: 1.0,
         })
     }
 }
@@ -135,6 +179,21 @@ mod tests {
         assert_eq!(seed.cpu_core_bandwidth_gbps, c.olap_cpu.per_core_bandwidth_gbps);
         assert_eq!(seed.gpu_dispatch_overhead_secs, c.olap_device.dispatch_overhead_secs);
         assert_eq!(seed.gpu_bandwidth_scale, 1.0);
+    }
+
+    #[test]
+    fn multi_gpu_config_seeds_its_own_dispatch_overhead() {
+        let mut c = CalderaConfig::default();
+        assert!(c.olap_multi_gpu.is_none(), "the multi-GPU site is opt-in");
+        c.olap_multi_gpu = Some(OlapMultiGpuConfig {
+            dispatch_overhead_secs: 75e-6,
+            ..OlapMultiGpuConfig::new(h2tap_gpu_sim::table1_mix(2))
+        });
+        let seed = c.initial_cost_model();
+        assert_eq!(seed.multi_gpu_dispatch_overhead_secs, 75e-6);
+        assert_eq!(seed.multi_gpu_bandwidth_scale, 1.0);
+        // The single-GPU intercept is untouched by the multi site's.
+        assert_eq!(seed.gpu_dispatch_overhead_secs, c.olap_device.dispatch_overhead_secs);
     }
 
     #[test]

@@ -11,8 +11,8 @@ use h2tap_common::{H2Error, OlapPlan, PartitionId, Result, ScanAggQuery, SimDura
 use h2tap_olap::{ExecutionSite, OlapOutcome, PlanOutcome, RegisteredTable, SnapshotPolicy};
 use h2tap_oltp::{BenchmarkWindow, OltpRuntime, OltpStats, TxnProc};
 use h2tap_scheduler::{
-    estimate_site_times, place_olap_query, ArchipelagoKind, CalibrationReport, CoreMigrationPolicy, CostCalibrator,
-    CostModel, OlapTarget, PlacementHints, PlacementObservation, Scheduler,
+    estimate_target_secs, place_olap_query_sites, ArchipelagoKind, CalibrationReport, CoreMigrationPolicy,
+    CostCalibrator, CostModel, OlapTarget, PlacementHints, PlacementObservation, Scheduler, SiteCapability,
 };
 use h2tap_storage::{CowStats, Database, Snapshot};
 use parking_lot::Mutex;
@@ -94,11 +94,22 @@ struct OlapState {
 }
 
 impl OlapState {
-    fn slot_mut(&mut self, target: OlapTarget) -> &mut SiteSlot {
-        self.sites
-            .iter_mut()
-            .find(|slot| slot.site.target() == target)
-            .expect("every placement target has an execution site")
+    fn slot_mut(&mut self, target: OlapTarget) -> Option<&mut SiteSlot> {
+        self.sites.iter_mut().find(|slot| slot.site.target() == target)
+    }
+
+    /// The slot serving `target`, or a configuration error when the engine
+    /// was built without that site (e.g. `run_olap_on(.., MultiGpu)` with no
+    /// `olap_multi_gpu` configured).
+    fn require_slot(&mut self, target: OlapTarget) -> Result<&mut SiteSlot> {
+        self.slot_mut(target)
+            .ok_or_else(|| H2Error::Config(format!("no execution site configured for target {target:?}")))
+    }
+
+    /// The capabilities of every site the engine actually runs — what the
+    /// N-way placement argmin and the calibrator consume.
+    fn capabilities(&self) -> Vec<SiteCapability> {
+        self.sites.iter().map(|slot| slot.site.capability()).collect()
     }
 }
 
@@ -209,26 +220,30 @@ impl Caldera {
 
     /// Records one completed dispatch with the calibrator and returns the
     /// updated report for the migration-policy hook. Runs under the OLAP
-    /// lock; the policy itself is applied after the lock is released.
+    /// lock; the policy itself is applied after the lock is released. The
+    /// sites' enumerated capabilities supply the streaming feature of the
+    /// site that actually answered (per-device specs and shard fractions for
+    /// the GPU family), so each site's terms calibrate against its own mix.
+    #[allow(clippy::too_many_arguments)]
     fn record_observation(
         &self,
         olap: &mut OlapState,
+        capabilities: &[SiteCapability],
         hints: &PlacementHints,
         forced: bool,
         site: OlapTarget,
         time: SimDuration,
         breakdown: h2tap_common::ExecBreakdown,
     ) -> CalibrationReport {
-        let estimate = estimate_site_times(&self.config.olap_device.gpu, hints);
         let observation = PlacementObservation {
             site,
             forced,
             hints: *hints,
-            predicted_secs: estimate.secs_for(site),
+            predicted_secs: estimate_target_secs(capabilities, site, hints),
             actual_secs: time.as_secs_f64(),
             breakdown: Some(breakdown),
         };
-        olap.calibrator.observe(&self.config.olap_device.gpu, &observation);
+        olap.calibrator.observe_sites(capabilities, &observation);
         olap.calibrator.report()
     }
 
@@ -326,8 +341,9 @@ impl Caldera {
     /// engines actually report).
     fn base_hints(&self, olap: &mut OlapState, cpu_cores: u32) -> PlacementHints {
         let model = olap.calibrator.model();
+        let gpu_resident = olap.slot_mut(OlapTarget::Gpu).map_or(0.0, |slot| slot.site.resident_fraction());
         model.apply_to(PlacementHints {
-            gpu_resident_fraction: olap.slot_mut(OlapTarget::Gpu).site.resident_fraction(),
+            gpu_resident_fraction: gpu_resident,
             available_cpu_cores: cpu_cores,
             ..PlacementHints::default()
         })
@@ -357,15 +373,17 @@ impl Caldera {
             rows: frozen.row_count(),
             ..self.base_hints(&mut olap, cpu_cores)
         };
-        let target = forced.unwrap_or_else(|| place_olap_query(&self.config.olap_device.gpu, &hints));
+        let capabilities = olap.capabilities();
+        let target = forced.unwrap_or_else(|| place_olap_query_sites(&capabilities, &hints));
 
         let outcome = match Self::execute_on_slot(&mut olap, target, cpu_cores, table, frozen, &meta.name, query) {
             // The placement hints cannot see every device constraint (a
-            // device-resident table can simply not fit); when the GPU was the
-            // heuristic's choice and runs out of memory, the CPU site still
-            // holds the data in host DRAM — fall back instead of failing the
-            // query. Explicitly forced targets keep their error.
-            Err(H2Error::GpuOutOfMemory { .. }) if forced.is_none() && target == OlapTarget::Gpu => {
+            // device-resident table can simply not fit); when a GPU-family
+            // site was the heuristic's choice and runs out of memory, the
+            // CPU site still holds the data in host DRAM — fall back instead
+            // of failing the query. Explicitly forced targets keep their
+            // error.
+            Err(H2Error::GpuOutOfMemory { .. }) if forced.is_none() && target != OlapTarget::Cpu => {
                 Self::execute_on_slot(&mut olap, OlapTarget::Cpu, cpu_cores, table, frozen, &meta.name, query)?
             }
             other => other?,
@@ -374,8 +392,15 @@ impl Caldera {
         // Close the loop: predicted vs site-reported time recalibrates the
         // cost model (outcome.site, not target — an OOM fallback is a CPU
         // observation), then the migration policy sees the fresh report.
-        let report =
-            self.record_observation(&mut olap, &hints, forced.is_some(), outcome.site, outcome.time, outcome.breakdown);
+        let report = self.record_observation(
+            &mut olap,
+            &capabilities,
+            &hints,
+            forced.is_some(),
+            outcome.site,
+            outcome.time,
+            outcome.breakdown,
+        );
         drop(olap);
         self.apply_migration_policy(&report);
         Ok(outcome)
@@ -407,6 +432,7 @@ impl Caldera {
         let probe_rows = probe_frozen.row_count();
         let build_bytes =
             build_parts.as_ref().map_or(0, |(_, frozen, _)| plan.build_scan_bytes(&frozen.schema, frozen.row_count()));
+        let gpu_free = olap.slot_mut(OlapTarget::Gpu).and_then(|slot| slot.site.free_device_bytes());
         let hints = PlacementHints {
             bytes_to_scan: plan.probe_scan_bytes(&probe_frozen.schema, probe_rows) + build_bytes,
             rows: probe_rows,
@@ -414,14 +440,17 @@ impl Caldera {
             hash_table_bytes: build_parts
                 .as_ref()
                 .map_or(0, |(_, frozen, _)| plan.hash_table_bytes(frozen.row_count())),
-            // None (a host-DRAM "device") means unbounded headroom.
-            gpu_free_bytes: olap.slot_mut(OlapTarget::Gpu).site.free_device_bytes().unwrap_or(u64::MAX),
+            // None (a host-DRAM "device") means unbounded headroom. The
+            // multi-GPU site's per-device free memory travels through the
+            // enumerated capabilities instead (min-per-shard footprint).
+            gpu_free_bytes: gpu_free.unwrap_or(u64::MAX),
             ..self.base_hints(&mut olap, cpu_cores)
         };
-        let target = forced.unwrap_or_else(|| place_olap_query(&self.config.olap_device.gpu, &hints));
+        let capabilities = olap.capabilities();
+        let target = forced.unwrap_or_else(|| place_olap_query_sites(&capabilities, &hints));
 
         let run = |olap: &mut OlapState, target: OlapTarget| -> Result<PlanOutcome> {
-            let slot = olap.slot_mut(target);
+            let slot = olap.require_slot(target)?;
             if target == OlapTarget::Cpu {
                 slot.site.set_cores(cpu_cores.max(1));
             }
@@ -461,14 +490,21 @@ impl Caldera {
         let outcome = match run(&mut olap, target) {
             // Same OOM fallback as the scan path: the CPU site still holds
             // every table (and its hash state) in host DRAM.
-            Err(H2Error::GpuOutOfMemory { .. }) if forced.is_none() && target == OlapTarget::Gpu => {
+            Err(H2Error::GpuOutOfMemory { .. }) if forced.is_none() && target != OlapTarget::Cpu => {
                 run(&mut olap, OlapTarget::Cpu)?
             }
             other => other?,
         };
         olap.total_time += outcome.time;
-        let report =
-            self.record_observation(&mut olap, &hints, forced.is_some(), outcome.site, outcome.time, outcome.breakdown);
+        let report = self.record_observation(
+            &mut olap,
+            &capabilities,
+            &hints,
+            forced.is_some(),
+            outcome.site,
+            outcome.time,
+            outcome.breakdown,
+        );
         drop(olap);
         self.apply_migration_policy(&report);
         Ok(outcome)
@@ -505,7 +541,7 @@ impl Caldera {
         label: &str,
         query: &ScanAggQuery,
     ) -> Result<OlapOutcome> {
-        let slot = olap.slot_mut(target);
+        let slot = olap.require_slot(target)?;
         if target == OlapTarget::Cpu {
             // A query placed on CPU must see the archipelago's current core
             // count, not the count at construction time.

@@ -36,10 +36,10 @@ pub mod config;
 pub mod engine;
 
 pub use builder::CalderaBuilder;
-pub use config::{CalderaConfig, OlapCpuConfig, OlapDeviceConfig};
+pub use config::{CalderaConfig, OlapCpuConfig, OlapDeviceConfig, OlapMultiGpuConfig};
 pub use engine::{Caldera, HtapStats, OlapSiteStats};
 
 pub use h2tap_common::{GroupRow, JoinSpec, OlapPlan, PlanColumn};
 pub use h2tap_olap::{CpuScanProfile, DataPlacement, ExecutionSite, OlapOutcome, PlanOutcome, SnapshotPolicy};
 pub use h2tap_oltp::{OltpConfig, PartitionerKind, TxnProc};
-pub use h2tap_scheduler::OlapTarget;
+pub use h2tap_scheduler::{OlapTarget, SiteCapability};

@@ -198,6 +198,18 @@ pub fn table1_catalog() -> Vec<GpuSpec> {
     ]
 }
 
+/// A device mix of `n` cards for a multi-GPU execution site, cycling through
+/// the **zero-copy-capable** (Fermi and newer, per Section 2.1's CUDA feature
+/// matrix) generations of Table 1 from newest to oldest — real deployments
+/// mix generations as cards are added over the years, which is exactly why
+/// the paper catalogues five of them. The GeForce 8800 is excluded: its
+/// Tesla-generation architecture predates UVA, so it cannot join a site
+/// whose tables live in host shared memory.
+pub fn table1_mix(n: usize) -> Vec<GpuSpec> {
+    let pool = [GpuSpec::gtx_1080_ti(), GpuSpec::gtx_980_ti(), GpuSpec::gtx_780_ti(), GpuSpec::gtx_580()];
+    (0..n.max(1)).map(|i| pool[i % pool.len()].clone()).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +251,20 @@ mod tests {
         assert!(
             GpuArchitecture::Fermi.max_noncoalesced_penalty() > GpuArchitecture::Maxwell.max_noncoalesced_penalty()
         );
+    }
+
+    #[test]
+    fn table1_mixes_are_uva_capable_and_cycle_the_generations() {
+        for n in 1..=6 {
+            let mix = table1_mix(n);
+            assert_eq!(mix.len(), n);
+            assert!(mix.iter().all(|s| s.architecture.supports_uva()), "every mix member must support zero-copy");
+        }
+        // A mix larger than the pool repeats generations rather than failing.
+        let six = table1_mix(6);
+        assert_eq!(six[0].name, six[4].name);
+        // Degenerate request still yields one device.
+        assert_eq!(table1_mix(0).len(), 1);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod kernel;
 pub mod memory;
 
 pub use access::{coalescing_efficiency, AccessPattern};
-pub use catalog::{table1_catalog, GpuArchitecture, GpuSpec};
+pub use catalog::{table1_catalog, table1_mix, GpuArchitecture, GpuSpec};
 pub use device::{GpuDevice, KernelRun, TransferDirection, DEVICE_TRANSACTION_BYTES};
 pub use interconnect::{Interconnect, InterconnectKind};
 pub use kernel::{BufferRead, KernelDesc, KernelMetrics};

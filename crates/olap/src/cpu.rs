@@ -26,7 +26,7 @@ use crate::engine::{OlapOutcome, PlanOutcome, RegisteredTable};
 use crate::operators::{self, ChunkPartial, ScanChunkPartial};
 use crate::site::ExecutionSite;
 use h2tap_common::{ExecBreakdown, GroupRow, H2Error, OlapPlan, Result, ScanAggQuery, SimDuration};
-use h2tap_scheduler::{overlap_secs, OlapTarget, CPU_CACHE_LINE_BYTES};
+use h2tap_scheduler::{overlap_secs, OlapTarget, SiteCapability, CPU_CACHE_LINE_BYTES};
 use h2tap_storage::SnapshotTable;
 use std::collections::HashSet;
 use std::time::Instant;
@@ -430,6 +430,10 @@ impl ExecutionSite for CpuOlapEngine {
         // The CPU's "device memory" is host DRAM, where every snapshot
         // already lives.
         1.0
+    }
+
+    fn capability(&self) -> SiteCapability {
+        SiteCapability::Cpu { cores: self.spec.cores }
     }
 
     fn set_cores(&mut self, cores: u32) {

@@ -19,9 +19,10 @@ use h2tap_common::{
     ExecBreakdown, GroupRow, H2Error, OlapPlan, PlanColumn, Result, ScanAggQuery, SimDuration, HASH_ENTRY_BYTES,
 };
 use h2tap_gpu_sim::{
-    AccessMode, AccessPattern, BufferId, GpuDevice, KernelDesc, KernelMetrics, Residency, TransferDirection,
+    AccessMode, AccessPattern, BufferId, GpuDevice, KernelDesc, KernelMetrics, MemoryManager, Residency,
+    TransferDirection,
 };
-use h2tap_scheduler::OlapTarget;
+use h2tap_scheduler::{GpuDeviceCapability, OlapTarget, SiteCapability};
 use h2tap_storage::{Layout, SnapshotTable};
 use std::collections::HashMap;
 
@@ -105,6 +106,20 @@ impl PlanOutcome {
     }
 }
 
+/// Accumulates one registered buffer's `(total, device-resident)` bytes —
+/// the residency arithmetic every GPU-family site shares for its
+/// UnifiedMemory accounting, factored out so the sites' residency hints
+/// cannot silently diverge.
+pub(crate) fn accumulate_residency(mem: &MemoryManager, id: BufferId, total: &mut u64, resident: &mut u64) {
+    let Ok(info) = mem.info(id) else { return };
+    *total += info.bytes;
+    *resident += match info.residency {
+        Residency::Device => info.bytes,
+        Residency::HostUm { resident_pages, .. } => (resident_pages * mem.page_bytes()).min(info.bytes),
+        Residency::HostUva => 0,
+    };
+}
+
 /// Kernel-at-a-time OLAP executor bound to one simulated GPU.
 pub struct GpuOlapEngine {
     device: GpuDevice,
@@ -133,9 +148,20 @@ impl RegisteredTable {
         Self { tag, explicit_copy: false }
     }
 
+    /// Handle vended by a GPU-family site with the given copy policy.
+    pub(crate) fn site(tag: usize, explicit_copy: bool) -> Self {
+        Self { tag, explicit_copy }
+    }
+
     /// The site-local registration tag.
     pub(crate) fn tag(&self) -> usize {
         self.tag
+    }
+
+    /// Whether the vending site pays an explicit host-to-device copy per
+    /// query batch (memcpy placement).
+    pub(crate) fn explicit_copy(&self) -> bool {
+        self.explicit_copy
     }
 }
 
@@ -585,13 +611,7 @@ impl GpuOlapEngine {
                 let mut total = 0u64;
                 let mut resident = 0u64;
                 for id in self.buffers.values().chain(self.nsm_buffers.values()) {
-                    let Ok(info) = mem.info(*id) else { continue };
-                    total += info.bytes;
-                    resident += match info.residency {
-                        Residency::Device => info.bytes,
-                        Residency::HostUm { resident_pages, .. } => (resident_pages * mem.page_bytes()).min(info.bytes),
-                        Residency::HostUva => 0,
-                    };
+                    accumulate_residency(mem, *id, &mut total, &mut resident);
                 }
                 if total == 0 {
                     0.0
@@ -644,6 +664,18 @@ impl ExecutionSite for GpuOlapEngine {
 
     fn resident_fraction(&self) -> f64 {
         GpuOlapEngine::resident_fraction(self)
+    }
+
+    fn capability(&self) -> SiteCapability {
+        SiteCapability::Gpu {
+            target: OlapTarget::Gpu,
+            devices: vec![GpuDeviceCapability {
+                spec: self.device.spec().clone(),
+                shard_fraction: 1.0,
+                resident_fraction: GpuOlapEngine::resident_fraction(self),
+                free_bytes: Some(self.device.memory().free_bytes()),
+            }],
+        }
     }
 }
 

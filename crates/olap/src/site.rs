@@ -19,7 +19,7 @@
 
 use crate::engine::{OlapOutcome, PlanOutcome, RegisteredTable};
 use h2tap_common::{OlapPlan, Result, ScanAggQuery};
-use h2tap_scheduler::OlapTarget;
+use h2tap_scheduler::{OlapTarget, SiteCapability};
 use h2tap_storage::SnapshotTable;
 
 /// A place where analytical queries execute: the simulated GPU or the CPU
@@ -81,6 +81,13 @@ pub trait ExecutionSite: Send {
     /// to the interconnect.
     fn resident_fraction(&self) -> f64;
 
+    /// The site's self-description for placement: CPU core count, or the
+    /// per-device specs / shard fractions / residency / free memory of a
+    /// GPU-backed site. Sites *enumerate* their capabilities so the
+    /// scheduler's decision is an N-way argmin over whatever sites the
+    /// engine actually runs, not a hardcoded CPU-vs-GPU pair.
+    fn capability(&self) -> SiteCapability;
+
     /// Capability hint: reacts to archipelago core migration. Sites that do
     /// not execute on CPU cores ignore it.
     fn set_cores(&mut self, _cores: u32) {}
@@ -109,11 +116,18 @@ mod tests {
         vec![
             Box::new(GpuOlapEngine::new(GpuDevice::new(GpuSpec::gtx_980()), DataPlacement::DeviceResident)),
             Box::new(CpuOlapEngine::archipelago_default(4)),
+            Box::new(
+                crate::multi_gpu::MultiGpuOlapEngine::new(
+                    vec![GpuDevice::new(GpuSpec::gtx_980_ti()), GpuDevice::new(GpuSpec::gtx_580())],
+                    DataPlacement::DeviceResident,
+                )
+                .unwrap(),
+            ),
         ]
     }
 
     #[test]
-    fn both_sites_agree_through_the_trait() {
+    fn all_sites_agree_through_the_trait() {
         let table = snapshot_table(1_000);
         let query = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![1]));
         let mut answers = Vec::new();
@@ -124,7 +138,7 @@ mod tests {
             answers.push(out.value);
             site.reset_tables();
         }
-        assert_eq!(answers[0], answers[1]);
+        assert!(answers.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()), "{answers:?}");
         assert_eq!(answers[0], (0..1_000).map(|i| 2.0 * i as f64).sum::<f64>());
     }
 
@@ -164,9 +178,11 @@ mod tests {
             results.push(out);
             site.reset_tables();
         }
-        // Byte-identical groups through the trait.
-        assert_eq!(results[0].groups, results[1].groups);
-        assert_eq!(results[0].qualifying_rows, results[1].qualifying_rows);
+        // Byte-identical groups through the trait, on every site.
+        for pair in results.windows(2) {
+            assert_eq!(pair[0].groups, pair[1].groups);
+            assert_eq!(pair[0].qualifying_rows, pair[1].qualifying_rows);
+        }
         // Probe rows 0..=399 have c1 = 2i in 0..=798; build keys reach 598,
         // so rows with c1 <= 598 (i <= 299) survive the join.
         assert_eq!(results[0].qualifying_rows, 300);
@@ -178,6 +194,7 @@ mod tests {
         let all = sites();
         assert!(all[0].free_device_bytes().is_some(), "the GPU site has bounded device memory");
         assert!(all[1].free_device_bytes().is_none(), "the CPU streams from host DRAM");
+        assert!(all[2].free_device_bytes().is_some(), "the multi-GPU site reports its min per-device headroom");
     }
 
     #[test]
@@ -185,7 +202,28 @@ mod tests {
         let all = sites();
         assert_eq!(all[0].target(), OlapTarget::Gpu);
         assert_eq!(all[1].target(), OlapTarget::Cpu);
-        assert_ne!(all[0].label(), all[1].label());
+        assert_eq!(all[2].target(), OlapTarget::MultiGpu);
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.label(), b.label());
+            }
+        }
+    }
+
+    #[test]
+    fn capabilities_enumerate_the_sites_for_placement() {
+        let all = sites();
+        for site in &all {
+            assert_eq!(site.capability().target(), site.target());
+        }
+        match all[2].capability() {
+            h2tap_scheduler::SiteCapability::Gpu { devices, .. } => {
+                assert_eq!(devices.len(), 2);
+                let total: f64 = devices.iter().map(|d| d.shard_fraction).sum();
+                assert!((total - 1.0).abs() < 1e-12, "shard fractions cover the table");
+            }
+            other => panic!("multi-GPU capability must enumerate devices: {other:?}"),
+        }
     }
 
     #[test]

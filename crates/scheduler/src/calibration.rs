@@ -29,7 +29,8 @@
 
 use crate::archipelago::ArchipelagoKind;
 use crate::placement::{
-    gpu_streaming_secs, OlapTarget, PlacementHints, CPU_CACHE_LINE_BYTES, DEFAULT_GPU_DISPATCH_OVERHEAD_SECS,
+    gpu_site_stream_feature, OlapTarget, PlacementHints, SiteCapability, CPU_CACHE_LINE_BYTES,
+    DEFAULT_GPU_DISPATCH_OVERHEAD_SECS,
 };
 use h2tap_common::{ExecBreakdown, HASH_ENTRY_BYTES};
 use h2tap_gpu_sim::GpuSpec;
@@ -47,6 +48,14 @@ pub struct CostModel {
     pub gpu_dispatch_overhead_secs: f64,
     /// Multiplier on the spec-derived GPU streaming time (1.0 = datasheet).
     pub gpu_bandwidth_scale: f64,
+    /// Fixed per-query dispatch cost of the multi-GPU site in seconds.
+    /// A separate intercept from the single GPU's: launching on every device
+    /// of a shard has its own fixed cost.
+    pub multi_gpu_dispatch_overhead_secs: f64,
+    /// Multiplier on the multi-GPU site's streaming feature (the critical
+    /// device's shard time). Per-site so each device mix converges to its
+    /// own effective bandwidth.
+    pub multi_gpu_bandwidth_scale: f64,
 }
 
 impl Default for CostModel {
@@ -56,14 +65,16 @@ impl Default for CostModel {
             cpu_core_bandwidth_gbps: 68.0 / 24.0,
             gpu_dispatch_overhead_secs: DEFAULT_GPU_DISPATCH_OVERHEAD_SECS,
             gpu_bandwidth_scale: 1.0,
+            multi_gpu_dispatch_overhead_secs: DEFAULT_GPU_DISPATCH_OVERHEAD_SECS,
+            multi_gpu_bandwidth_scale: 1.0,
         }
     }
 }
 
 impl CostModel {
-    /// Returns `hints` with the model's four constants filled in — the hook
-    /// `Caldera` uses so every placement decision consults the *calibrated*
-    /// model instead of the static configuration seeds.
+    /// Returns `hints` with the model's calibratable constants filled in —
+    /// the hook `Caldera` uses so every placement decision consults the
+    /// *calibrated* model instead of the static configuration seeds.
     #[must_use]
     pub fn apply_to(&self, hints: PlacementHints) -> PlacementHints {
         PlacementHints {
@@ -71,6 +82,8 @@ impl CostModel {
             cpu_core_bandwidth_gbps: self.cpu_core_bandwidth_gbps,
             gpu_dispatch_overhead_secs: self.gpu_dispatch_overhead_secs,
             gpu_bandwidth_scale: self.gpu_bandwidth_scale,
+            multi_gpu_dispatch_overhead_secs: self.multi_gpu_dispatch_overhead_secs,
+            multi_gpu_bandwidth_scale: self.multi_gpu_bandwidth_scale,
             ..hints
         }
         .sanitized()
@@ -216,6 +229,7 @@ pub struct CostCalibrator {
     model: CostModel,
     gpu: SiteCalibration,
     cpu: SiteCalibration,
+    multi_gpu: SiteCalibration,
 }
 
 /// Bytes the CPU model charges to the bandwidth term for one query — the
@@ -254,7 +268,13 @@ fn ewma_toward(current: &mut f64, sample: f64, gain: f64, lo: f64, hi: f64) {
 impl CostCalibrator {
     /// Creates a calibrator seeded with `model`.
     pub fn new(cfg: CalibrationConfig, model: CostModel) -> Self {
-        Self { cfg, model, gpu: SiteCalibration::new(OlapTarget::Gpu), cpu: SiteCalibration::new(OlapTarget::Cpu) }
+        Self {
+            cfg,
+            model,
+            gpu: SiteCalibration::new(OlapTarget::Gpu),
+            cpu: SiteCalibration::new(OlapTarget::Cpu),
+            multi_gpu: SiteCalibration::new(OlapTarget::MultiGpu),
+        }
     }
 
     /// The current calibrated model.
@@ -263,13 +283,28 @@ impl CostCalibrator {
     }
 
     /// Folds one completed dispatch into the error statistics and (when
-    /// enabled) the model terms. `gpu` is the device the GPU-side streaming
-    /// feature is computed against — the same spec placement used.
+    /// enabled) the model terms, for the classic CPU + single-GPU pair.
+    /// `gpu` is the device the GPU-side streaming feature is computed
+    /// against — the same spec placement used. Engines with more sites call
+    /// [`CostCalibrator::observe_sites`] with their enumerated capabilities.
     pub fn observe(&mut self, gpu: &GpuSpec, obs: &PlacementObservation) {
-        match obs.site {
-            OlapTarget::Gpu => self.gpu.record(obs.predicted_secs, obs.actual_secs, obs.forced, self.cfg.error_gain),
-            OlapTarget::Cpu => self.cpu.record(obs.predicted_secs, obs.actual_secs, obs.forced, self.cfg.error_gain),
-        }
+        let sites =
+            [SiteCapability::single_gpu(gpu, &obs.hints), SiteCapability::Cpu { cores: obs.hints.available_cpu_cores }];
+        self.observe_sites(&sites, obs);
+    }
+
+    /// Folds one completed dispatch into the error statistics and (when
+    /// enabled) the model terms. `sites` are the engine's enumerated
+    /// capabilities — the GPU-family streaming feature of the observed site
+    /// (critical device's shard time) is computed from them, which is what
+    /// lets the bandwidth scale converge **per device mix**.
+    pub fn observe_sites(&mut self, sites: &[SiteCapability], obs: &PlacementObservation) {
+        let row = match obs.site {
+            OlapTarget::Gpu => &mut self.gpu,
+            OlapTarget::Cpu => &mut self.cpu,
+            OlapTarget::MultiGpu => &mut self.multi_gpu,
+        };
+        row.record(obs.predicted_secs, obs.actual_secs, obs.forced, self.cfg.error_gain);
         if !self.cfg.enabled || !obs.actual_secs.is_finite() || obs.actual_secs <= 0.0 {
             return;
         }
@@ -291,22 +326,41 @@ impl CostCalibrator {
                     ewma_toward(&mut self.model.cpu_core_bandwidth_gbps, bw, gain, 1e-3, 1e4);
                 }
             }
-            OlapTarget::Gpu => {
-                let stream_feature = gpu_streaming_secs(gpu, &hints);
+            OlapTarget::Gpu | OlapTarget::MultiGpu => {
+                // The streaming feature comes from the observed site's own
+                // device list; without it no bandwidth term is attributable.
+                let Some(SiteCapability::Gpu { devices, .. }) = sites.iter().find(|s| s.target() == obs.site) else {
+                    return;
+                };
+                let stream_feature = gpu_site_stream_feature(devices, &hints);
+                let (mut overhead, mut scale) = match obs.site {
+                    OlapTarget::Gpu => (self.model.gpu_dispatch_overhead_secs, self.model.gpu_bandwidth_scale),
+                    _ => (self.model.multi_gpu_dispatch_overhead_secs, self.model.multi_gpu_bandwidth_scale),
+                };
                 match obs.breakdown {
                     Some(b) => {
-                        ewma_toward(&mut self.model.gpu_dispatch_overhead_secs, b.overhead_secs, gain, 0.0, 1.0);
+                        ewma_toward(&mut overhead, b.overhead_secs, gain, 0.0, 1.0);
                         if stream_feature > 1e-12 && b.stream_secs > 0.0 {
-                            let scale = b.stream_secs / stream_feature;
-                            ewma_toward(&mut self.model.gpu_bandwidth_scale, scale, gain, 1e-2, 1e2);
+                            let sample = b.stream_secs / stream_feature;
+                            ewma_toward(&mut scale, sample, gain, 1e-2, 1e2);
                         }
                     }
                     None => {
                         // Without a breakdown only the intercept is
                         // attributable: whatever the bandwidth terms cannot
                         // explain is charged to the dispatch overhead.
-                        let residual = (obs.actual_secs - self.model.gpu_bandwidth_scale * stream_feature).max(0.0);
-                        ewma_toward(&mut self.model.gpu_dispatch_overhead_secs, residual, gain, 0.0, 1.0);
+                        let residual = (obs.actual_secs - scale * stream_feature).max(0.0);
+                        ewma_toward(&mut overhead, residual, gain, 0.0, 1.0);
+                    }
+                }
+                match obs.site {
+                    OlapTarget::Gpu => {
+                        self.model.gpu_dispatch_overhead_secs = overhead;
+                        self.model.gpu_bandwidth_scale = scale;
+                    }
+                    _ => {
+                        self.model.multi_gpu_dispatch_overhead_secs = overhead;
+                        self.model.multi_gpu_bandwidth_scale = scale;
                     }
                 }
             }
@@ -317,9 +371,9 @@ impl CostCalibrator {
     pub fn report(&self) -> CalibrationReport {
         CalibrationReport {
             enabled: self.cfg.enabled,
-            observations: self.gpu.observations + self.cpu.observations,
+            observations: self.gpu.observations + self.cpu.observations + self.multi_gpu.observations,
             model: self.model,
-            sites: vec![self.gpu, self.cpu],
+            sites: vec![self.gpu, self.cpu, self.multi_gpu],
         }
     }
 }
@@ -444,7 +498,7 @@ impl CoreMigrationPolicy for SaturationMigrationPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::placement::cpu_term_secs;
+    use crate::placement::{cpu_term_secs, gpu_streaming_secs, GpuDeviceCapability};
 
     /// Emulates a CPU site whose true constants differ from the model seeds:
     /// builds the observation a dispatch over `rows`/`bytes` would produce.
@@ -525,6 +579,69 @@ mod tests {
         assert!((m.gpu_dispatch_overhead_secs - TRUE_OVERHEAD).abs() / TRUE_OVERHEAD < 0.02, "{m:?}");
         assert!((m.gpu_bandwidth_scale - TRUE_SCALE).abs() / TRUE_SCALE < 0.02, "{m:?}");
         assert!(cal.report().site(OlapTarget::Gpu).unwrap().mean_rel_error < 0.10);
+    }
+
+    #[test]
+    fn multi_gpu_terms_recalibrate_independently_of_the_single_gpu() {
+        // Multi-GPU bandwidth scale seeded 3x too high; the single GPU's
+        // terms must not move from multi-GPU observations (per-site terms).
+        let seed = CostModel { multi_gpu_bandwidth_scale: 3.0, ..CostModel::default() };
+        let mut cal = CostCalibrator::new(CalibrationConfig::default(), seed);
+        let device =
+            |spec: GpuSpec| GpuDeviceCapability { spec, shard_fraction: 0.5, resident_fraction: 1.0, free_bytes: None };
+        let sites = [
+            SiteCapability::single_gpu(&GpuSpec::gtx_980(), &PlacementHints::default()),
+            SiteCapability::Cpu { cores: 24 },
+            SiteCapability::Gpu {
+                target: OlapTarget::MultiGpu,
+                devices: vec![device(GpuSpec::gtx_980()), device(GpuSpec::gtx_980())],
+            },
+        ];
+        const TRUE_SCALE: f64 = 1.1;
+        const TRUE_OVERHEAD: f64 = 40e-6;
+        for i in 0..40u64 {
+            let bytes = (1 + i % 4) * (8 << 20);
+            let hints = cal.model().apply_to(PlacementHints {
+                bytes_to_scan: bytes,
+                gpu_resident_fraction: 1.0,
+                available_cpu_cores: 24,
+                ..PlacementHints::default()
+            });
+            let feature = gpu_site_stream_feature(
+                match &sites[2] {
+                    SiteCapability::Gpu { devices, .. } => devices,
+                    _ => unreachable!(),
+                },
+                &hints,
+            );
+            let actual_stream = TRUE_SCALE * feature;
+            let obs = PlacementObservation {
+                site: OlapTarget::MultiGpu,
+                forced: true,
+                hints,
+                predicted_secs: hints.multi_gpu_dispatch_overhead_secs + hints.multi_gpu_bandwidth_scale * feature,
+                actual_secs: TRUE_OVERHEAD + actual_stream,
+                breakdown: Some(ExecBreakdown::new(actual_stream, 0.0, TRUE_OVERHEAD)),
+            };
+            cal.observe_sites(&sites, &obs);
+        }
+        let m = cal.model();
+        assert!((m.multi_gpu_bandwidth_scale - TRUE_SCALE).abs() / TRUE_SCALE < 0.05, "{m:?}");
+        assert!((m.multi_gpu_dispatch_overhead_secs - TRUE_OVERHEAD).abs() / TRUE_OVERHEAD < 0.05, "{m:?}");
+        // The single-GPU terms never moved.
+        assert_eq!(m.gpu_bandwidth_scale, seed.gpu_bandwidth_scale);
+        assert_eq!(m.gpu_dispatch_overhead_secs, seed.gpu_dispatch_overhead_secs);
+        let report = cal.report();
+        let row = report.site(OlapTarget::MultiGpu).unwrap();
+        assert_eq!(row.observations, 40);
+        assert_eq!(row.forced_observations, 40);
+        assert!(row.mean_rel_error.is_finite());
+        // The report now carries three rows, GPU first, CPU second (the
+        // index the migration policy tests rely on).
+        assert_eq!(report.sites.len(), 3);
+        assert_eq!(report.sites[0].target, OlapTarget::Gpu);
+        assert_eq!(report.sites[1].target, OlapTarget::Cpu);
+        assert_eq!(report.sites[2].target, OlapTarget::MultiGpu);
     }
 
     #[test]
@@ -696,12 +813,16 @@ mod tests {
             cpu_core_bandwidth_gbps: 4.0,
             gpu_dispatch_overhead_secs: 1e-5,
             gpu_bandwidth_scale: 1.5,
+            multi_gpu_dispatch_overhead_secs: 2e-5,
+            multi_gpu_bandwidth_scale: 0.8,
         };
         let hints = model.apply_to(PlacementHints { bytes_to_scan: 100, ..PlacementHints::default() });
         assert_eq!(hints.cpu_per_tuple_ns, 50.0);
         assert_eq!(hints.cpu_core_bandwidth_gbps, 4.0);
         assert_eq!(hints.gpu_dispatch_overhead_secs, 1e-5);
         assert_eq!(hints.gpu_bandwidth_scale, 1.5);
+        assert_eq!(hints.multi_gpu_dispatch_overhead_secs, 2e-5);
+        assert_eq!(hints.multi_gpu_bandwidth_scale, 0.8);
         assert_eq!(hints.bytes_to_scan, 100);
     }
 }

@@ -17,10 +17,13 @@ use serde::{Deserialize, Serialize};
 /// Where an analytical query should execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum OlapTarget {
-    /// Execute on the GPU of the data-parallel archipelago.
+    /// Execute on the (single) GPU of the data-parallel archipelago.
     Gpu,
     /// Execute on the CPU cores of the data-parallel archipelago.
     Cpu,
+    /// Execute on the multi-GPU site: a table's chunks sharded across
+    /// several (possibly heterogeneous) devices that run in parallel.
+    MultiGpu,
 }
 
 /// Fixed per-query cost of dispatching to the GPU (kernel launches, snapshot
@@ -71,6 +74,15 @@ pub struct PlacementHints {
     /// measured device is slower than its datasheet (extra bitmap writes,
     /// imperfect coalescing) and lowers it when it is faster.
     pub gpu_bandwidth_scale: f64,
+    /// Fixed per-query dispatch cost of the multi-GPU site in seconds
+    /// (kernel launches on every device, shard bookkeeping, cross-device
+    /// merge). Calibrated independently of the single-GPU overhead so the
+    /// two sites' intercepts can diverge.
+    pub multi_gpu_dispatch_overhead_secs: f64,
+    /// Multiplier on the multi-GPU site's spec-derived streaming feature
+    /// (the critical — slowest — device's shard time). Per-site by design:
+    /// each device mix converges to its own scale.
+    pub multi_gpu_bandwidth_scale: f64,
 }
 
 /// Device-memory headroom a GPU-placed plan needs beyond its hash table: the
@@ -103,10 +115,13 @@ impl SiteEstimate {
         }
     }
 
-    /// The predicted time for `target`, in seconds.
+    /// The predicted time for `target`, in seconds. `SiteEstimate` is the
+    /// legacy CPU-vs-single-GPU pair; the multi-GPU site is estimated through
+    /// [`estimate_site_secs`] / [`estimate_target_secs`], so `MultiGpu` here
+    /// falls back to the single-GPU figure.
     pub fn secs_for(&self, target: OlapTarget) -> f64 {
         match target {
-            OlapTarget::Gpu => self.gpu_secs,
+            OlapTarget::Gpu | OlapTarget::MultiGpu => self.gpu_secs,
             OlapTarget::Cpu => self.cpu_secs,
         }
     }
@@ -130,6 +145,8 @@ impl Default for PlacementHints {
             hash_table_bytes: 0,
             gpu_free_bytes: u64::MAX,
             gpu_bandwidth_scale: 1.0,
+            multi_gpu_dispatch_overhead_secs: DEFAULT_GPU_DISPATCH_OVERHEAD_SECS,
+            multi_gpu_bandwidth_scale: 1.0,
         }
     }
 }
@@ -158,18 +175,93 @@ impl PlacementHints {
         if !(self.gpu_bandwidth_scale.is_finite() && self.gpu_bandwidth_scale > 0.0) {
             self.gpu_bandwidth_scale = 1.0;
         }
+        if !(self.multi_gpu_dispatch_overhead_secs.is_finite() && self.multi_gpu_dispatch_overhead_secs >= 0.0) {
+            self.multi_gpu_dispatch_overhead_secs = defaults.multi_gpu_dispatch_overhead_secs;
+        }
+        if !(self.multi_gpu_bandwidth_scale.is_finite() && self.multi_gpu_bandwidth_scale > 0.0) {
+            self.multi_gpu_bandwidth_scale = 1.0;
+        }
         self
     }
 }
 
-/// Spec-derived GPU streaming time at `gpu_bandwidth_scale == 1.0`: resident
-/// bytes stream at device bandwidth, the rest crosses the interconnect, and
-/// random bytes pay the coalescing waste. This is the bandwidth *feature* of
-/// the GPU cost model — the calibrator fits an overhead intercept and a
-/// bandwidth scale on top of it.
-pub fn gpu_streaming_secs(gpu: &GpuSpec, hints: &PlacementHints) -> f64 {
-    let resident =
-        if hints.gpu_resident_fraction.is_finite() { hints.gpu_resident_fraction.clamp(0.0, 1.0) } else { 0.0 };
+/// One GPU device of a (possibly multi-device) execution site, as the
+/// placement heuristic sees it: its catalogue spec, the fraction of a
+/// table's chunks sharded onto it, how much of its shard is already resident
+/// next to its compute, and how much device memory it has free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuDeviceCapability {
+    /// The device's catalogue spec (bandwidths, interconnect, architecture).
+    pub spec: GpuSpec,
+    /// Fraction of each registered table's chunks this device executes, in
+    /// `[0, 1]` (1.0 for a single-device site; ~`1/n` under the round-robin
+    /// chunk shard of an `n`-device site).
+    pub shard_fraction: f64,
+    /// Fraction of this device's shard already resident in its device
+    /// memory, in `[0, 1]`.
+    pub resident_fraction: f64,
+    /// Free device memory in bytes; `None` when unknown. Deliberately an
+    /// `Option` instead of a `u64::MAX` sentinel so that one unknown device
+    /// can never saturate an aggregate — the footprint check takes the
+    /// minimum over the *known* devices and is disabled only when every
+    /// device is unknown.
+    pub free_bytes: Option<u64>,
+}
+
+/// What one execution site tells the placement heuristic about itself. Sites
+/// *enumerate* their capabilities — placement is an argmin over whatever
+/// sites the engine actually has, not a hardcoded CPU-vs-GPU pair.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SiteCapability {
+    /// The CPU cores of the data-parallel archipelago. The time model's
+    /// constants (per-core bandwidth, per-tuple cost, core count) travel in
+    /// the [`PlacementHints`], which the calibrated cost model fills.
+    Cpu {
+        /// Cores the site currently owns (informational; the estimate uses
+        /// `PlacementHints::available_cpu_cores`, the live archipelago count).
+        cores: u32,
+    },
+    /// A GPU-backed site: one device (`target == Gpu`) or several sharded
+    /// devices (`target == MultiGpu`).
+    Gpu {
+        /// Which placement target this site serves.
+        target: OlapTarget,
+        /// The site's devices, in shard order.
+        devices: Vec<GpuDeviceCapability>,
+    },
+}
+
+impl SiteCapability {
+    /// The placement target this capability describes.
+    pub fn target(&self) -> OlapTarget {
+        match self {
+            SiteCapability::Cpu { .. } => OlapTarget::Cpu,
+            SiteCapability::Gpu { target, .. } => *target,
+        }
+    }
+
+    /// The capability of the classic single-GPU site, reconstructed from the
+    /// legacy scalar hint fields (`gpu_resident_fraction`, `gpu_free_bytes`
+    /// with `u64::MAX` meaning unknown). Bridges the 2-way API onto the
+    /// N-way one.
+    pub fn single_gpu(spec: &GpuSpec, hints: &PlacementHints) -> Self {
+        SiteCapability::Gpu {
+            target: OlapTarget::Gpu,
+            devices: vec![GpuDeviceCapability {
+                spec: spec.clone(),
+                shard_fraction: 1.0,
+                resident_fraction: hints.gpu_resident_fraction,
+                free_bytes: (hints.gpu_free_bytes != u64::MAX).then_some(hints.gpu_free_bytes),
+            }],
+        }
+    }
+}
+
+/// Spec-derived streaming time of one device over a given share of the
+/// query's bytes: resident bytes stream at device bandwidth, the rest
+/// crosses the interconnect, and random bytes pay the coalescing waste.
+fn device_streaming_secs(spec: &GpuSpec, resident_fraction: f64, hints: &PlacementHints) -> f64 {
+    let resident = if resident_fraction.is_finite() { resident_fraction.clamp(0.0, 1.0) } else { 0.0 };
     let bytes = hints.bytes_to_scan as f64;
     let random = hints.random_access_bytes as f64;
     // Random access delivers one hash entry per memory transaction: the
@@ -178,10 +270,57 @@ pub fn gpu_streaming_secs(gpu: &GpuSpec, hints: &PlacementHints) -> f64 {
     // MTU when probes cross the bus (the kernel-at-a-time executor keeps
     // intermediates wherever table data lives, so residency is the proxy).
     let gpu_random_device = (DEVICE_TRANSACTION_BYTES / HASH_ENTRY_BYTES) as f64;
-    let gpu_random_interconnect = (gpu.interconnect.mtu_bytes.max(HASH_ENTRY_BYTES) / HASH_ENTRY_BYTES) as f64;
-    (resident * (bytes + random * gpu_random_device)) / gpu.mem_bytes_per_sec()
+    let gpu_random_interconnect = (spec.interconnect.mtu_bytes.max(HASH_ENTRY_BYTES) / HASH_ENTRY_BYTES) as f64;
+    (resident * (bytes + random * gpu_random_device)) / spec.mem_bytes_per_sec()
         + ((1.0 - resident) * (bytes + random * gpu_random_interconnect))
-            / (gpu.interconnect.kind.bandwidth_gbps() * 1e9)
+            / (spec.interconnect.kind.bandwidth_gbps() * 1e9)
+}
+
+/// Spec-derived GPU streaming time at `gpu_bandwidth_scale == 1.0`: resident
+/// bytes stream at device bandwidth, the rest crosses the interconnect, and
+/// random bytes pay the coalescing waste. This is the bandwidth *feature* of
+/// the GPU cost model — the calibrator fits an overhead intercept and a
+/// bandwidth scale on top of it.
+pub fn gpu_streaming_secs(gpu: &GpuSpec, hints: &PlacementHints) -> f64 {
+    device_streaming_secs(gpu, hints.gpu_resident_fraction, hints)
+}
+
+/// The streaming feature of a (possibly multi-device) GPU site: each device
+/// streams its shard of the bytes concurrently, so the site is bound by its
+/// critical — slowest — device. With one device at `shard_fraction == 1.0`
+/// this is exactly [`gpu_streaming_secs`]; with a fast+slow mix the slow
+/// generation's shard dominates, which is what makes heterogeneous mixes
+/// slower than their aggregate bandwidth suggests.
+pub fn gpu_site_stream_feature(devices: &[GpuDeviceCapability], hints: &PlacementHints) -> f64 {
+    devices
+        .iter()
+        .map(|d| {
+            let frac = if d.shard_fraction.is_finite() { d.shard_fraction.clamp(0.0, 1.0) } else { 0.0 };
+            frac * device_streaming_secs(&d.spec, d.resident_fraction, hints)
+        })
+        .fold(0.0, f64::max)
+}
+
+/// The smallest known per-device free memory of a GPU site — the headroom a
+/// *replicated* per-device structure (the join hash table every device
+/// probes locally) must fit into. Unknown devices are skipped rather than
+/// poisoning the aggregate; `None` means no device reported at all.
+pub fn min_free_shard_bytes(devices: &[GpuDeviceCapability]) -> Option<u64> {
+    devices.iter().filter_map(|d| d.free_bytes).min()
+}
+
+/// Whether the hash-table footprint check rules a GPU site out: the plan's
+/// hash state plus the scratch headroom must fit the *minimum* known
+/// per-device free memory (every device holds a full replica). Disabled when
+/// the plan has no hash state or no device reports its free memory.
+pub fn gpu_footprint_blocks(devices: &[GpuDeviceCapability], hints: &PlacementHints) -> bool {
+    if hints.hash_table_bytes == 0 {
+        return false;
+    }
+    match min_free_shard_bytes(devices) {
+        Some(free) => hints.hash_table_bytes.saturating_add(GPU_SCRATCH_HEADROOM_BYTES) > free,
+        None => false,
+    }
 }
 
 /// The CPU model's two linear terms, in seconds: `(streaming, per-tuple)`.
@@ -218,27 +357,81 @@ pub fn estimate_site_times(gpu: &GpuSpec, hints: &PlacementHints) -> SiteEstimat
     SiteEstimate { gpu_secs, cpu_secs: overlap_secs(stream, tuple) }
 }
 
+/// The closed-form time estimate for one enumerated site. CPU sites use the
+/// overlap of the hints' streaming and per-tuple terms; GPU sites pay their
+/// target's calibrated dispatch intercept plus the calibrated bandwidth
+/// scale times the site's streaming feature (critical device's shard time).
+pub fn estimate_site_secs(site: &SiteCapability, hints: &PlacementHints) -> f64 {
+    let hints = hints.sanitized();
+    match site {
+        SiteCapability::Cpu { .. } => {
+            let (stream, tuple) = cpu_term_secs(&hints);
+            overlap_secs(stream, tuple)
+        }
+        SiteCapability::Gpu { target, devices } => {
+            let (overhead, scale) = match target {
+                OlapTarget::MultiGpu => (hints.multi_gpu_dispatch_overhead_secs, hints.multi_gpu_bandwidth_scale),
+                _ => (hints.gpu_dispatch_overhead_secs, hints.gpu_bandwidth_scale),
+            };
+            overhead + scale * gpu_site_stream_feature(devices, &hints)
+        }
+    }
+}
+
+/// The estimate for `target` among the enumerated sites. A CPU target is
+/// always estimable (its terms live in the hints); a GPU target whose site
+/// is not in the list is unplaceable and estimates to infinity.
+pub fn estimate_target_secs(sites: &[SiteCapability], target: OlapTarget, hints: &PlacementHints) -> f64 {
+    match sites.iter().find(|s| s.target() == target) {
+        Some(site) => estimate_site_secs(site, hints),
+        None if target == OlapTarget::Cpu => {
+            estimate_site_secs(&SiteCapability::Cpu { cores: hints.available_cpu_cores }, hints)
+        }
+        None => f64::INFINITY,
+    }
+}
+
+/// The N-way placement decision: an argmin over whatever sites the engine
+/// enumerates. Eligibility first — the CPU site needs cores and a real scan,
+/// a GPU site whose per-device free memory cannot hold the plan's hash-state
+/// replica is excluded while a CPU fallback exists — then the smallest
+/// estimate wins, with ties going to the earliest site in the list (engines
+/// list their GPU sites first, preserving the Caldera prototype's static
+/// GPU preference).
+pub fn place_olap_query_sites(sites: &[SiteCapability], hints: &PlacementHints) -> OlapTarget {
+    let hints = hints.sanitized();
+    let cpu_eligible = hints.available_cpu_cores > 0 && hints.bytes_to_scan > 0;
+    let mut best: Option<(OlapTarget, f64)> = None;
+    for site in sites {
+        match site {
+            SiteCapability::Cpu { .. } if !cpu_eligible => continue,
+            // A hash table that cannot fit a per-device replica — including
+            // the scratch headroom the plan's group arena needs, and a
+            // completely full device — forces the site to probe across the
+            // interconnect on every access or OOM-fall-back mid-query; with
+            // CPU cores on hand that is never competitive. Unknown free
+            // memory disables the check rather than guessing.
+            SiteCapability::Gpu { devices, .. } if cpu_eligible && gpu_footprint_blocks(devices, &hints) => continue,
+            _ => {}
+        }
+        let secs = estimate_site_secs(site, &hints);
+        if best.is_none_or(|(_, b)| secs < b) {
+            best = Some((site.target(), secs));
+        }
+    }
+    best.map_or(OlapTarget::Gpu, |(target, _)| target)
+}
+
 /// Estimates GPU and CPU scan times and picks the faster target. Ties (and
 /// the degenerate no-CPU case) go to the GPU, which is the Caldera
-/// prototype's static choice.
+/// prototype's static choice. This is the classic 2-way decision, expressed
+/// as the N-way [`place_olap_query_sites`] over the CPU site and a
+/// single-GPU site reconstructed from the legacy hint fields.
 pub fn place_olap_query(gpu: &GpuSpec, hints: &PlacementHints) -> OlapTarget {
-    if hints.available_cpu_cores == 0 || hints.bytes_to_scan == 0 {
-        return OlapTarget::Gpu;
-    }
-    // A hash table that cannot fit in free device memory — including the
-    // scratch headroom the plan's group arena needs, and a completely full
-    // device (gpu_free_bytes == 0) — forces the GPU to probe across the
-    // interconnect on every access or OOM-fall-back mid-query; with CPU
-    // cores on hand that is never competitive, so the footprint check
-    // short-circuits. `u64::MAX` means headroom is unknown and the check is
-    // disabled rather than guessed.
-    if hints.hash_table_bytes > 0
-        && hints.gpu_free_bytes != u64::MAX
-        && hints.hash_table_bytes.saturating_add(GPU_SCRATCH_HEADROOM_BYTES) > hints.gpu_free_bytes
-    {
-        return OlapTarget::Cpu;
-    }
-    estimate_site_times(gpu, hints).faster()
+    place_olap_query_sites(
+        &[SiteCapability::single_gpu(gpu, hints), SiteCapability::Cpu { cores: hints.available_cpu_cores }],
+        hints,
+    )
 }
 
 #[cfg(test)]
@@ -430,6 +623,126 @@ mod tests {
         assert_eq!(place_olap_query(&GpuSpec::gtx_980(), &hints), est.faster());
         assert_eq!(est.secs_for(OlapTarget::Cpu), est.cpu_secs);
         assert_eq!(est.secs_for(OlapTarget::Gpu), est.gpu_secs);
+    }
+
+    fn resident_device(spec: GpuSpec, shard_fraction: f64) -> GpuDeviceCapability {
+        GpuDeviceCapability { spec, shard_fraction, resident_fraction: 1.0, free_bytes: None }
+    }
+
+    fn three_sites() -> Vec<SiteCapability> {
+        vec![
+            SiteCapability::Gpu { target: OlapTarget::Gpu, devices: vec![resident_device(GpuSpec::gtx_980(), 1.0)] },
+            SiteCapability::Cpu { cores: 24 },
+            SiteCapability::Gpu {
+                target: OlapTarget::MultiGpu,
+                devices: vec![resident_device(GpuSpec::gtx_980(), 0.5), resident_device(GpuSpec::gtx_980(), 0.5)],
+            },
+        ]
+    }
+
+    #[test]
+    fn n_way_argmin_routes_large_resident_scans_to_the_multi_gpu_site() {
+        let hints = PlacementHints {
+            bytes_to_scan: 1 << 30,
+            gpu_resident_fraction: 1.0,
+            available_cpu_cores: 24,
+            ..PlacementHints::default()
+        };
+        let sites = three_sites();
+        // Two devices halve the critical shard: the multi site beats both the
+        // single GPU and the CPU on a large resident scan …
+        assert_eq!(place_olap_query_sites(&sites, &hints), OlapTarget::MultiGpu);
+        // … but a tiny scan is dominated by the (equal) dispatch overheads,
+        // so the CPU still wins with cores on hand.
+        let tiny = PlacementHints { bytes_to_scan: 64 << 10, ..hints };
+        assert_eq!(place_olap_query_sites(&sites, &tiny), OlapTarget::Cpu);
+        // And with no CPU cores the argmin still runs over the GPU sites.
+        let no_cores = PlacementHints { available_cpu_cores: 0, ..hints };
+        assert_eq!(place_olap_query_sites(&sites, &no_cores), OlapTarget::MultiGpu);
+    }
+
+    #[test]
+    fn the_slowest_generation_bounds_a_heterogeneous_mix() {
+        let hints = PlacementHints {
+            bytes_to_scan: 1 << 30,
+            gpu_resident_fraction: 1.0,
+            available_cpu_cores: 24,
+            ..PlacementHints::default()
+        };
+        // A fast+slow half-half mix is bound by the GTX 580's shard.
+        let mixed = [resident_device(GpuSpec::gtx_980_ti(), 0.5), resident_device(GpuSpec::gtx_580(), 0.5)];
+        let fast_only = [resident_device(GpuSpec::gtx_980_ti(), 0.5), resident_device(GpuSpec::gtx_980_ti(), 0.5)];
+        let mixed_feature = gpu_site_stream_feature(&mixed, &hints);
+        let fast_feature = gpu_site_stream_feature(&fast_only, &hints);
+        assert!(mixed_feature > fast_feature, "mixed {mixed_feature} vs fast {fast_feature}");
+        let slow_share =
+            0.5 * gpu_streaming_secs(&GpuSpec::gtx_580(), &PlacementHints { gpu_resident_fraction: 1.0, ..hints });
+        assert!((mixed_feature - slow_share).abs() < 1e-12, "the slow shard is the critical path");
+    }
+
+    #[test]
+    fn multi_gpu_footprint_checks_the_min_known_free_and_skips_unknown_devices() {
+        let hash = 4u64 << 30;
+        let mut hints = PlacementHints {
+            bytes_to_scan: 1 << 30,
+            gpu_resident_fraction: 1.0,
+            available_cpu_cores: 24,
+            hash_table_bytes: hash,
+            ..PlacementHints::default()
+        };
+        let device = |free: Option<u64>| GpuDeviceCapability {
+            spec: GpuSpec::gtx_980(),
+            shard_fraction: 0.25,
+            resident_fraction: 1.0,
+            free_bytes: free,
+        };
+        // One unknown device must not saturate the aggregate: the min over the
+        // *known* devices decides.
+        let devices = vec![device(Some(hash)), device(None), device(Some(8 << 30))];
+        assert_eq!(min_free_shard_bytes(&devices), Some(hash));
+        let site = |devices: Vec<GpuDeviceCapability>| {
+            vec![SiteCapability::Gpu { target: OlapTarget::MultiGpu, devices }, SiteCapability::Cpu { cores: 24 }]
+        };
+        // Exact fit leaves no scratch headroom: blocked, routes to the CPU.
+        assert!(gpu_footprint_blocks(&devices, &hints));
+        assert_eq!(place_olap_query_sites(&site(devices.clone()), &hints), OlapTarget::Cpu);
+        // One byte short of headroom still blocks; exactly hash + headroom fits.
+        let just_short = vec![device(Some(hash + GPU_SCRATCH_HEADROOM_BYTES - 1)), device(None)];
+        assert!(gpu_footprint_blocks(&just_short, &hints));
+        let fits = vec![device(Some(hash + GPU_SCRATCH_HEADROOM_BYTES)), device(None)];
+        assert!(!gpu_footprint_blocks(&fits, &hints));
+        assert_eq!(place_olap_query_sites(&site(fits), &hints), OlapTarget::MultiGpu);
+        // All devices unknown: the check is disabled rather than guessed.
+        let unknown = vec![device(None), device(None)];
+        assert!(!gpu_footprint_blocks(&unknown, &hints));
+        // No hash state: never blocked.
+        hints.hash_table_bytes = 0;
+        assert!(!gpu_footprint_blocks(&devices, &hints));
+    }
+
+    #[test]
+    fn the_two_way_wrapper_matches_the_n_way_argmin_and_estimator() {
+        let hints = PlacementHints {
+            bytes_to_scan: 1 << 28,
+            gpu_resident_fraction: 0.4,
+            available_cpu_cores: 12,
+            rows: 1 << 22,
+            cpu_per_tuple_ns: 93.0,
+            gpu_free_bytes: 2 << 30,
+            hash_table_bytes: 1 << 20,
+            ..PlacementHints::default()
+        };
+        let gpu = GpuSpec::gtx_980();
+        let sites = [SiteCapability::single_gpu(&gpu, &hints), SiteCapability::Cpu { cores: 12 }];
+        assert_eq!(place_olap_query(&gpu, &hints), place_olap_query_sites(&sites, &hints));
+        // The per-site estimator reproduces the legacy pair exactly.
+        let est = estimate_site_times(&gpu, &hints);
+        assert_eq!(estimate_site_secs(&sites[0], &hints), est.gpu_secs);
+        assert_eq!(estimate_site_secs(&sites[1], &hints), est.cpu_secs);
+        assert_eq!(estimate_target_secs(&sites, OlapTarget::Gpu, &hints), est.gpu_secs);
+        assert_eq!(estimate_target_secs(&sites, OlapTarget::Cpu, &hints), est.cpu_secs);
+        // A target with no site is unplaceable.
+        assert_eq!(estimate_target_secs(&sites, OlapTarget::MultiGpu, &hints), f64::INFINITY);
     }
 
     #[test]

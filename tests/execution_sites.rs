@@ -3,7 +3,7 @@
 //! placement decision must route real queries to the site the paper's
 //! heuristic predicts.
 
-use caldera::{Caldera, CalderaConfig, DataPlacement, OlapTarget, SnapshotPolicy};
+use caldera::{Caldera, CalderaConfig, DataPlacement, OlapMultiGpuConfig, OlapTarget, SnapshotPolicy};
 use h2tap_common::{AggExpr, PartitionId, Predicate, ScanAggQuery, Value};
 use h2tap_storage::Layout;
 use h2tap_workloads::tpch::{self, q6};
@@ -128,6 +128,28 @@ fn zonemap_skipping_preserves_bitwise_equality_on_clustered_predicates() {
     assert_eq!(skipping.qualifying_rows, full.qualifying_rows);
     let _ = caldera.database().release_snapshot(&snap);
     caldera.shutdown();
+}
+
+/// With a third (multi-GPU) site configured, all three sites remain
+/// byte-identical on Q6 through the production dispatch path — the same
+/// chunked-merge contract, now across a heterogeneous device mix.
+#[test]
+fn all_three_sites_agree_byte_identically_on_q6() {
+    let mut config = CalderaConfig::with_workers(1);
+    config.olap_cpu_cores = 8;
+    config.olap_multi_gpu = Some(OlapMultiGpuConfig::new(h2tap_gpu_sim::table1_mix(3)));
+    let (caldera, table) = caldera_with_lineitem(config, Layout::Dsm, 150_000);
+    let query = q6();
+    let cpu = caldera.run_olap_on(table, &query, OlapTarget::Cpu).unwrap();
+    let gpu = caldera.run_olap_on(table, &query, OlapTarget::Gpu).unwrap();
+    let multi = caldera.run_olap_on(table, &query, OlapTarget::MultiGpu).unwrap();
+    assert_eq!(multi.site, OlapTarget::MultiGpu);
+    assert_eq!(cpu.value.to_bits(), gpu.value.to_bits());
+    assert_eq!(cpu.value.to_bits(), multi.value.to_bits());
+    assert_eq!(cpu.qualifying_rows, multi.qualifying_rows);
+    let stats = caldera.shutdown();
+    assert_eq!(stats.olap_sites.len(), 3);
+    assert_eq!(stats.olap_queries_on(OlapTarget::MultiGpu), 1);
 }
 
 /// A tiny scan over host-resident data routes to the CPU site: the fixed GPU

@@ -7,8 +7,9 @@
 //! while still sweeping a wide input space.
 
 use h2tap_common::rng::SplitMixRng;
-use h2tap_common::{AttrType, Epoch, PartitionId, Schema, TableId, Value};
+use h2tap_common::{chunk_shard, AttrType, Epoch, PartitionId, Schema, TableId, Value};
 use h2tap_gpu_sim::{coalescing_efficiency, AccessPattern};
+use h2tap_olap::{merge_scan_partials, shard_chunk_indexes, shard_rows, ScanChunkPartial};
 use h2tap_oltp::{LockMode, LockTable, TxnToken};
 use h2tap_storage::{decode_record, encode_record, Database, Layout};
 
@@ -178,6 +179,78 @@ fn database_read_back_matches_inserted_values() {
         }
         assert_eq!(db.row_count(table).unwrap(), rows.len() as u64);
         assert_eq!(db.live_epoch(), Epoch(0));
+    }
+}
+
+/// The multi-GPU chunk shard is a partition for every chunk count and shard
+/// count: each chunk is assigned exactly once, shards are pairwise disjoint,
+/// their union covers the table, and the assignment agrees with the
+/// canonical [`chunk_shard`] contract. Row totals are conserved too.
+#[test]
+fn shard_assignment_is_a_partition() {
+    let mut rng = SplitMixRng::new(0x5AD5);
+    for _ in 0..CASES * 2 {
+        let chunk_count = rng.next_below(500) as usize;
+        let devices = 1 + rng.next_below(5) as usize;
+        let shards = shard_chunk_indexes(chunk_count, devices);
+        assert_eq!(shards.len(), devices);
+        let mut seen = vec![false; chunk_count];
+        for (d, shard) in shards.iter().enumerate() {
+            for &chunk in shard {
+                assert!(chunk < chunk_count, "assigned chunk out of range");
+                assert!(!seen[chunk], "chunk {chunk} assigned to more than one shard");
+                seen[chunk] = true;
+                assert_eq!(chunk_shard(chunk, devices), d, "assignment must follow the canonical contract");
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every chunk must be assigned: union covers the table");
+        // Round-robin balance: shard sizes differ by at most one chunk.
+        let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "{sizes:?}");
+        // Sharded row counts conserve the table's rows.
+        let rows = rng.next_below(2_000_000);
+        let per = shard_rows(rows, devices);
+        assert_eq!(per.iter().sum::<u64>(), rows, "sharding must conserve rows");
+    }
+}
+
+/// The merged scan answer is invariant under device completion order:
+/// however the shards finish, partials are reassembled into ascending chunk
+/// order before merging, so the f64 result is bit-equal to a sequential
+/// evaluation. This is the property that makes the multi-GPU site's answers
+/// byte-identical to the single-threaded ones.
+#[test]
+fn merge_order_is_invariant_under_device_completion_order() {
+    let mut rng = SplitMixRng::new(0x33E6);
+    for _ in 0..CASES {
+        let chunk_count = 1 + rng.next_below(64) as usize;
+        let devices = 1 + rng.next_below(5) as usize;
+        let partials: Vec<ScanChunkPartial> = (0..chunk_count)
+            .map(|_| ScanChunkPartial { value: rand_f64(&mut rng), qualifying: rng.next_below(1 << 16) })
+            .collect();
+        let (sequential_value, sequential_rows) = merge_scan_partials(partials.iter().copied());
+
+        // Simulate devices completing in a random order: each shard finishes
+        // as a unit, its chunk partials land in a slot table, and the merge
+        // walks the slots in ascending chunk order.
+        let shards = shard_chunk_indexes(chunk_count, devices);
+        let mut completion: Vec<usize> = (0..devices).collect();
+        // Fisher-Yates with the deterministic rng.
+        for i in (1..completion.len()).rev() {
+            let j = rng.next_below((i + 1) as u64) as usize;
+            completion.swap(i, j);
+        }
+        let mut slots: Vec<Option<ScanChunkPartial>> = vec![None; chunk_count];
+        for &device in &completion {
+            for &chunk in &shards[device] {
+                slots[chunk] = Some(partials[chunk]);
+            }
+        }
+        let reassembled = slots.into_iter().map(|p| p.expect("partition covers every chunk"));
+        let (value, rows) = merge_scan_partials(reassembled);
+        assert_eq!(value.to_bits(), sequential_value.to_bits(), "completion order {completion:?} changed bits");
+        assert_eq!(rows, sequential_rows);
     }
 }
 
