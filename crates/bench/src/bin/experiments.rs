@@ -97,6 +97,42 @@ fn calibration_json(s: &exp::CalibrationSummary) -> String {
     )
 }
 
+/// Serialises the host-path wall-clock summary to JSON by hand (the offline
+/// serde stand-in has no serializer; the artifact is tracked across PRs as
+/// `BENCH_hostperf.json` — the first entry of the measured perf trajectory).
+fn hostperf_json(s: &exp::HostPerfSummary) -> String {
+    let items: Vec<String> = s
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"workload\":\"{}\",\"lineitem_rows\":{},\"queries\":{},\"reference_ms\":{:.3},\
+                 \"vectorized_cold_ms\":{:.3},\"vectorized_cached_ms\":{:.3},\"cold_speedup\":{:.3},\
+                 \"cached_speedup\":{:.3}}}",
+                r.workload,
+                r.lineitem_rows,
+                r.queries,
+                r.reference_ms,
+                r.vectorized_cold_ms,
+                r.vectorized_cached_ms,
+                r.cold_speedup,
+                r.cached_speedup
+            )
+        })
+        .collect();
+    format!(
+        "{{\n\"min_cold_speedup\": {:.3},\n\"min_cached_speedup\": {:.3},\n\"cache\": {{\"column_hits\": {}, \
+         \"column_misses\": {}, \"hash_hits\": {}, \"hash_misses\": {}}},\n\"rows\": [\n{}\n]\n}}\n",
+        s.min_cold_speedup,
+        s.min_cached_speedup,
+        s.cache.column_hits,
+        s.cache.column_misses,
+        s.cache.hash_hits,
+        s.cache.hash_misses,
+        items.join(",\n")
+    )
+}
+
 /// Serialises the multi-GPU sweep to JSON by hand (the offline serde
 /// stand-in has no serializer; the artifact is tracked across PRs as
 /// `BENCH_multigpu.json`).
@@ -244,6 +280,41 @@ fn main() {
         if json {
             let path = "BENCH_multigpu.json";
             std::fs::write(path, multigpu_json(&rows)).expect("write multi-GPU summary");
+            println!("wrote {path}");
+        }
+    }
+
+    if wants("hostperf") {
+        header("Host path: real wall-clock, reference vs vectorized vs cached (repeated-query stream)");
+        println!(
+            "{:<12} {:>10} {:>8} {:>14} {:>14} {:>14} {:>8} {:>8}",
+            "workload", "rows", "queries", "reference ms", "vector ms", "cached ms", "cold x", "cached x"
+        );
+        let (rows, parts, repeats) = if quick { (120_000, 5_000, 6) } else { (scale.lineitem_rows, 20_000, 10) };
+        let s = exp::fig_hostperf(rows, parts, repeats);
+        for r in &s.rows {
+            println!(
+                "{:<12} {:>10} {:>8} {:>14.2} {:>14.2} {:>14.2} {:>8.2} {:>8.2}",
+                r.workload,
+                r.lineitem_rows,
+                r.queries,
+                r.reference_ms,
+                r.vectorized_cold_ms,
+                r.vectorized_cached_ms,
+                r.cold_speedup,
+                r.cached_speedup
+            );
+        }
+        println!(
+            "-> worst-case speedups: {:.2}x cold (vectorization alone), {:.2}x cached | cache: {} hits / {} misses",
+            s.min_cold_speedup,
+            s.min_cached_speedup,
+            s.cache.hits(),
+            s.cache.misses()
+        );
+        if json {
+            let path = "BENCH_hostperf.json";
+            std::fs::write(path, hostperf_json(&s)).expect("write hostperf summary");
             println!("wrote {path}");
         }
     }

@@ -869,6 +869,202 @@ pub fn fig11(rows: u64) -> Vec<LayoutRow> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// hostperf: real wall-clock of the shared host data path
+// ---------------------------------------------------------------------------
+
+/// One workload of the host-path wall-clock experiment: the same repeated
+/// query stream timed on three code paths of the shared operator pipeline.
+#[derive(Debug, Clone, Serialize)]
+pub struct HostPerfRow {
+    /// Workload label ("q6-scan", "brand-join").
+    pub workload: String,
+    /// Rows of the lineitem (probe) table.
+    pub lineitem_rows: u64,
+    /// Queries in the repeated stream (per code path).
+    pub queries: u32,
+    /// Total wall-clock of the retained pre-PR path: row-at-a-time chunk
+    /// evaluation, per-query O(chunk) zonemap recomputation, and a fresh
+    /// materialisation + hash build per query.
+    pub reference_ms: f64,
+    /// Total wall-clock of the vectorized path with a *cold* cache (every
+    /// query re-derives its plan data): isolates the vectorization win.
+    pub vectorized_cold_ms: f64,
+    /// Total wall-clock of the vectorized path against a *warm* shared
+    /// plan-data cache: every query reuses the snapshot's materialised
+    /// columns, zonemap stats and join hash table.
+    pub vectorized_cached_ms: f64,
+    /// `reference_ms / vectorized_cold_ms`.
+    pub cold_speedup: f64,
+    /// `reference_ms / vectorized_cached_ms`.
+    pub cached_speedup: f64,
+}
+
+/// Result of the hostperf experiment: per-workload rows plus the worst-case
+/// speedups (the acceptance figures) and the warm cache's counters.
+#[derive(Debug, Clone)]
+pub struct HostPerfSummary {
+    /// Per-workload measurements.
+    pub rows: Vec<HostPerfRow>,
+    /// Smallest cold (vectorization-only) speedup across workloads.
+    pub min_cold_speedup: f64,
+    /// Smallest cached speedup across workloads.
+    pub min_cached_speedup: f64,
+    /// Hit/miss counters of the warm cache after the cached runs.
+    pub cache: h2tap_common::PlanCacheStats,
+}
+
+/// Measures **real wall-clock** (not simulated) execution of the shared
+/// host data path over a repeated-query workload — Q6 (selective scan) and
+/// the brand-revenue join plan — on three code paths: the retained
+/// row-at-a-time reference, the vectorized path cold (fresh derivation per
+/// query), and the vectorized path against the warm snapshot-keyed cache.
+/// All three paths must produce bit-identical answers (asserted here), so
+/// the only thing that differs is time. This is the first entry of the
+/// repository's measured performance trajectory.
+pub fn fig_hostperf(lineitem_rows: u64, part_keys: u64, repeats: u32) -> HostPerfSummary {
+    use h2tap_olap::operators as ops;
+    use h2tap_olap::PlanDataCache;
+    use std::time::Instant;
+
+    // Load both tables once; every path queries the same frozen snapshot.
+    let mut builder = Caldera::builder(CalderaConfig::with_workers(1));
+    let lineitem = tpch::load_lineitem(&mut builder, Layout::Dsm, lineitem_rows, 7).unwrap();
+    let part = tpch::load_part(&mut builder, Layout::Dsm, part_keys, 11).unwrap();
+    let snap = builder.database().snapshot();
+    let fact = snap.table(lineitem).unwrap();
+    let dim = snap.table(part).unwrap();
+
+    let time_stream = |mut query_once: Box<dyn FnMut() + '_>| -> f64 {
+        let started = Instant::now();
+        for _ in 0..repeats {
+            query_once();
+        }
+        started.elapsed().as_secs_f64() * 1e3
+    };
+
+    let mut rows = Vec::new();
+
+    // ---- Workload 1: Q6, the selective scan-and-aggregate. -------------
+    let query = q6();
+    // Pre-PR path: fresh materialisation *without* zonemap statistics
+    // (they did not exist), O(chunk) zonemap recomputation per chunk per
+    // query, row-at-a-time evaluation. (One residual deviation understates
+    // the win: the reference's hash build below uses the new multiply-shift
+    // hasher rather than the old SipHash.)
+    let scan_reference = || -> (f64, u64) {
+        let mat = ops::MaterializedColumns::new_without_zonemaps(fact, query.columns_accessed()).unwrap();
+        let mut kept = Vec::new();
+        for i in 0..mat.chunk_count() {
+            let range = mat.chunk_range(i);
+            if ops::scan_chunk_can_qualify_reference(&mat, &query.predicates, range.clone()) {
+                kept.push(ops::scan_chunk_reference(&mat, &query, range));
+            }
+        }
+        ops::merge_scan_partials(kept)
+    };
+    let scan_vectorized = |cache: &PlanDataCache| -> (f64, u64) {
+        let mat = cache.materialized(fact, query.columns_accessed()).unwrap();
+        let mut kept = Vec::new();
+        for i in 0..mat.chunk_count() {
+            if ops::scan_chunk_can_qualify(&mat, &query.predicates, i) {
+                kept.push(ops::scan_chunk(&mat, &query, mat.chunk_range(i)));
+            }
+        }
+        ops::merge_scan_partials(kept)
+    };
+    let want = scan_reference();
+    let cold_cache = PlanDataCache::new();
+    assert_eq!(scan_vectorized(&cold_cache).0.to_bits(), want.0.to_bits(), "vectorized scan must be bit-identical");
+    let warm_cache = PlanDataCache::new();
+    assert_eq!(scan_vectorized(&warm_cache).0.to_bits(), want.0.to_bits());
+
+    let reference_ms = time_stream(Box::new(|| {
+        scan_reference();
+    }));
+    let vectorized_cold_ms = time_stream(Box::new(|| {
+        cold_cache.invalidate();
+        scan_vectorized(&cold_cache);
+    }));
+    // The warm cache already holds the snapshot's derivation (warmed by the
+    // equivalence check above): this is the repeated-query, cache-hit regime.
+    let vectorized_cached_ms = time_stream(Box::new(|| {
+        scan_vectorized(&warm_cache);
+    }));
+    rows.push(HostPerfRow {
+        workload: "q6-scan".into(),
+        lineitem_rows,
+        queries: repeats,
+        reference_ms,
+        vectorized_cold_ms,
+        vectorized_cached_ms,
+        cold_speedup: reference_ms / vectorized_cold_ms.max(1e-9),
+        cached_speedup: reference_ms / vectorized_cached_ms.max(1e-9),
+    });
+
+    // ---- Workload 2: the brand-revenue join + group-by plan. -----------
+    let plan = tpch::brand_revenue_plan(30);
+    let group_col = ops::check_plan(&plan, true).unwrap();
+    let join_reference = || -> (Vec<h2tap_common::GroupRow>, u64) {
+        let hash = ops::build_hash_table(dim, plan.join.as_ref().unwrap(), group_col).unwrap();
+        let mat = ops::MaterializedColumns::new_without_zonemaps(fact, plan.probe_columns_accessed()).unwrap();
+        let partials: Vec<_> = (0..mat.chunk_count())
+            .map(|i| ops::process_chunk_reference(&mat, &plan, Some(&hash), mat.chunk_range(i)))
+            .collect();
+        let (groups, totals) = ops::merge_partials(&plan, partials);
+        (groups, totals.joined)
+    };
+    let join_vectorized = |cache: &PlanDataCache| -> (Vec<h2tap_common::GroupRow>, u64) {
+        let data = cache.prepare_plan(fact, Some(dim), &plan).unwrap();
+        let partials: Vec<_> = (0..data.mat.chunk_count())
+            .map(|i| ops::process_chunk(&data.mat, &plan, data.hash.as_deref(), data.mat.chunk_range(i)))
+            .collect();
+        let (groups, totals) = ops::merge_partials(&plan, partials);
+        (groups, totals.joined)
+    };
+    let want = join_reference();
+    // Bitwise comparison (f64 `==` would both miss a -0.0/+0.0 drift and
+    // spuriously reject bit-identical NaN aggregates).
+    let assert_bit_identical = |(groups, joined): (Vec<h2tap_common::GroupRow>, u64)| {
+        assert_eq!(joined, want.1, "vectorized join plan must agree on joined rows");
+        assert_eq!(groups.len(), want.0.len());
+        for (g, w) in groups.iter().zip(&want.0) {
+            assert_eq!((g.key, g.rows), (w.key, w.rows));
+            for (x, y) in g.values.iter().zip(&w.values) {
+                assert_eq!(x.to_bits(), y.to_bits(), "vectorized join plan must be bit-identical: {x} vs {y}");
+            }
+        }
+    };
+    cold_cache.invalidate();
+    assert_bit_identical(join_vectorized(&cold_cache));
+    assert_bit_identical(join_vectorized(&warm_cache));
+
+    let reference_ms = time_stream(Box::new(|| {
+        join_reference();
+    }));
+    let vectorized_cold_ms = time_stream(Box::new(|| {
+        cold_cache.invalidate();
+        join_vectorized(&cold_cache);
+    }));
+    let vectorized_cached_ms = time_stream(Box::new(|| {
+        join_vectorized(&warm_cache);
+    }));
+    rows.push(HostPerfRow {
+        workload: "brand-join".into(),
+        lineitem_rows,
+        queries: repeats,
+        reference_ms,
+        vectorized_cold_ms,
+        vectorized_cached_ms,
+        cold_speedup: reference_ms / vectorized_cold_ms.max(1e-9),
+        cached_speedup: reference_ms / vectorized_cached_ms.max(1e-9),
+    });
+
+    let min_cold = rows.iter().map(|r| r.cold_speedup).fold(f64::INFINITY, f64::min);
+    let min_cached = rows.iter().map(|r| r.cached_speedup).fold(f64::INFINITY, f64::min);
+    HostPerfSummary { cache: warm_cache.stats(), rows, min_cold_speedup: min_cold, min_cached_speedup: min_cached }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -879,6 +1075,39 @@ mod tests {
         assert_eq!(rows.len(), 5);
         assert_eq!(rows[0].gpu, "GeForce 8800");
         assert_eq!(rows[4].interface, "NVLink");
+    }
+
+    #[test]
+    fn hostperf_vectorized_and_cached_paths_beat_the_reference() {
+        // Small scale to stay fast in CI; fig_hostperf itself asserts the
+        // three code paths are bit-identical. The thresholds here are
+        // deliberately looser than the full-scale acceptance figures
+        // (>= 1.5x cold, >= 3x cached) to tolerate noisy shared runners.
+        let s = fig_hostperf(60_000, 4_000, 4);
+        assert_eq!(s.rows.len(), 2);
+        // Wall-clock ratios are only meaningful in optimised builds; in
+        // debug builds (tier-1 `cargo test`) the vectorized loops keep
+        // their bounds checks and closure frames, so only the structural
+        // and bit-identity guarantees are asserted there.
+        #[cfg(not(debug_assertions))]
+        {
+            assert!(s.min_cold_speedup > 1.0, "vectorization must beat row-at-a-time: {:.2}x", s.min_cold_speedup);
+            assert!(
+                s.min_cached_speedup > 1.5,
+                "the warm cache must amortise derivation: {:.2}x",
+                s.min_cached_speedup
+            );
+            for r in &s.rows {
+                assert!(
+                    r.cached_speedup >= r.cold_speedup * 0.8,
+                    "{}: caching must not materially lose to cold",
+                    r.workload
+                );
+            }
+        }
+        // The warm cache served every repeat from its derived state.
+        assert_eq!(s.cache.misses(), 3, "one scan materialisation + one probe materialisation + one hash build");
+        assert!(s.cache.hits() > 0);
     }
 
     #[test]

@@ -80,6 +80,44 @@ impl Summary {
     }
 }
 
+/// Hit/miss counters of the snapshot-keyed plan-data cache (materialised
+/// columns + zonemap stats, and join hash tables) shared by the execution
+/// sites. Reported through the engine's `HtapStats` so workloads can see how
+/// much of the shared OLAP data path they amortise across queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Column-materialisation requests answered from the cache.
+    pub column_hits: u64,
+    /// Column-materialisation requests that had to materialise.
+    pub column_misses: u64,
+    /// Join-hash-table requests answered from the cache.
+    pub hash_hits: u64,
+    /// Join-hash-table requests that had to build.
+    pub hash_misses: u64,
+    /// Entries evicted because a newer snapshot epoch superseded them (or
+    /// the whole cache was invalidated on a snapshot refresh).
+    pub invalidations: u64,
+}
+
+impl PlanCacheStats {
+    /// Total requests answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.column_hits + self.hash_hits
+    }
+
+    /// Total requests that had to recompute.
+    pub fn misses(&self) -> u64 {
+        self.column_misses + self.hash_misses
+    }
+
+    /// Fraction of requests answered from the cache, or `None` before any
+    /// request was made.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits() + self.misses();
+        (total > 0).then(|| self.hits() as f64 / total as f64)
+    }
+}
+
 /// Computes throughput in operations per second from a count and a wall-clock
 /// duration, returning 0 for zero durations.
 pub fn throughput(ops: u64, elapsed: std::time::Duration) -> f64 {

@@ -7,8 +7,8 @@
 //! [`ExecutionSite`] — the simulated GPU or the archipelago's CPU cores.
 
 use crate::config::CalderaConfig;
-use h2tap_common::{H2Error, OlapPlan, PartitionId, Result, ScanAggQuery, SimDuration, TableId};
-use h2tap_olap::{ExecutionSite, OlapOutcome, PlanOutcome, RegisteredTable, SnapshotPolicy};
+use h2tap_common::{H2Error, OlapPlan, PartitionId, PlanCacheStats, Result, ScanAggQuery, SimDuration, TableId};
+use h2tap_olap::{ExecutionSite, OlapOutcome, PlanDataCache, PlanOutcome, RegisteredTable, SnapshotPolicy};
 use h2tap_oltp::{BenchmarkWindow, OltpRuntime, OltpStats, TxnProc};
 use h2tap_scheduler::{
     estimate_target_secs, place_olap_query_sites, ArchipelagoKind, CalibrationReport, CoreMigrationPolicy,
@@ -52,6 +52,9 @@ pub struct HtapStats {
     /// Placement feedback-loop state: the current calibrated cost model and
     /// per-site predicted-vs-actual error statistics.
     pub calibration: CalibrationReport,
+    /// Hit/miss counters of the plan-data cache shared by every execution
+    /// site (materialised columns + zonemap stats, join hash tables).
+    pub plan_cache: PlanCacheStats,
 }
 
 impl HtapStats {
@@ -91,6 +94,9 @@ struct OlapState {
     /// The placement feedback loop: every dispatch records an observation
     /// here, and placement reads its calibrated model back out.
     calibrator: CostCalibrator,
+    /// The plan-data cache shared by every site; invalidated on snapshot
+    /// refresh so a stale snapshot's derived state is never retained.
+    plan_cache: PlanDataCache,
 }
 
 impl OlapState {
@@ -136,10 +142,17 @@ impl Caldera {
         config: CalderaConfig,
         db: Arc<Database>,
         oltp: OltpRuntime,
-        sites: Vec<Box<dyn ExecutionSite>>,
+        mut sites: Vec<Box<dyn ExecutionSite>>,
         scheduler: Scheduler,
     ) -> Self {
         let calibrator = CostCalibrator::new(config.calibration, config.initial_cost_model());
+        // One plan-data cache for every site: derived state (materialised
+        // columns, zonemap stats, join hash tables) built by one site's
+        // dispatch is reused by all of them for the same snapshot.
+        let plan_cache = PlanDataCache::new();
+        for site in &mut sites {
+            site.set_plan_cache(plan_cache.clone());
+        }
         Self {
             config,
             db,
@@ -151,6 +164,7 @@ impl Caldera {
                 snapshots_taken: 0,
                 total_time: SimDuration::ZERO,
                 calibrator,
+                plan_cache,
             }),
             scheduler,
             next_home: AtomicU64::new(0),
@@ -281,6 +295,10 @@ impl Caldera {
             slot.site.reset_tables();
             slot.registered.clear();
         }
+        // The old snapshot's derived plan data can never be served again
+        // (fresh epoch, fresh cache keys); drop it eagerly so its column
+        // copies and hash tables do not outlive the snapshot itself.
+        olap.plan_cache.invalidate();
         olap.snapshot = Some(db.snapshot());
         olap.snapshots_taken += 1;
         Ok(())
@@ -574,6 +592,7 @@ impl Caldera {
                 .collect(),
             snapshots_taken: olap.snapshots_taken,
             calibration: olap.calibrator.report(),
+            plan_cache: olap.plan_cache.stats(),
         }
     }
 
@@ -872,6 +891,42 @@ mod tests {
         let fresh = caldera.run_olap_plan(fact, Some(dim), &plan).unwrap();
         assert_eq!(fresh.groups.iter().map(|g| g.values[0]).sum::<f64>(), sum_before + 99.0);
         caldera.shutdown();
+    }
+
+    #[test]
+    fn plan_cache_is_shared_across_sites_and_invalidated_on_refresh() {
+        let (caldera, t) = engine_with_rows(2, 5_000, SnapshotPolicy::EveryN { queries: 100 });
+        let q = ScanAggQuery {
+            predicates: vec![h2tap_common::Predicate::between(0, 0.0, 2_000.0)],
+            aggregate: AggExpr::SumColumns(vec![1]),
+        };
+        // First dispatch (GPU) materialises; the forced CPU repeat of the
+        // same snapshot + column set must reuse the same derived state.
+        let gpu = caldera.run_olap_on(t, &q, OlapTarget::Gpu).unwrap();
+        let after_first = caldera.stats().plan_cache;
+        assert_eq!(after_first.column_misses, 1);
+        assert_eq!(after_first.column_hits, 0);
+        let cpu = caldera.run_olap_on(t, &q, OlapTarget::Cpu).unwrap();
+        assert_eq!(gpu.value.to_bits(), cpu.value.to_bits());
+        let after_second = caldera.stats().plan_cache;
+        assert_eq!(after_second.column_misses, 1, "the CPU site reuses the GPU dispatch's materialisation");
+        assert_eq!(after_second.column_hits, 1);
+        // A transaction plus an explicit refresh: the stale derivation is
+        // dropped and the fresh snapshot recomputes — and sees the update.
+        caldera
+            .execute_txn(Arc::new(move |ctx| {
+                let mut rec = ctx.read_for_update(t, 7)?;
+                rec[1] = Value::Int64(rec[1].as_i64().unwrap() + 41);
+                ctx.update(t, 7, rec)
+            }))
+            .unwrap();
+        caldera.refresh_snapshot().unwrap();
+        let fresh = caldera.run_olap_on(t, &q, OlapTarget::Cpu).unwrap();
+        assert_eq!(fresh.value, cpu.value + 41.0, "a stale cached materialisation must never be served");
+        let stats = caldera.shutdown();
+        assert!(stats.plan_cache.invalidations >= 1);
+        assert_eq!(stats.plan_cache.column_misses, 2);
+        assert_eq!(stats.plan_cache.hit_rate(), Some(1.0 / 3.0));
     }
 
     #[test]

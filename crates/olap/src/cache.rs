@@ -1,0 +1,367 @@
+//! The snapshot-keyed plan-data cache: one shared store of derived
+//! analytical state — materialised columns (with their zonemap statistics)
+//! and join hash tables — keyed by the identity of the frozen table image
+//! they were derived from.
+//!
+//! Every execution site funnels through the same host data path
+//! ([`crate::operators`]), and before this cache existed every dispatch
+//! re-materialised the accessed columns, re-derived the per-chunk zonemap
+//! min/max and re-built the join hash table — even when the next query hit
+//! the *same snapshot* of the *same table*. Analytical engines amortise that
+//! work over consistent snapshots (columnar scan caching is table stakes in
+//! the HTAP literature), and because our sites compute bit-identical answers
+//! from the shared data path, they can also share the derived state itself:
+//! a hash table built for the GPU site's dispatch is byte-for-byte the one
+//! the CPU site would build for the same snapshot.
+//!
+//! # Keying and invalidation
+//!
+//! Entries are keyed by [`h2tap_storage::SnapshotTableId`] — database
+//! instance + table + **snapshot epoch** — plus the derivation parameters
+//! (accessed column set, or join spec + group column). The epoch is bumped
+//! on every snapshot and copy-on-write keeps a frozen epoch's pages
+//! immutable, so two requests with equal keys are provably over identical
+//! data and a *stale* snapshot can never be served: a fresh snapshot has a
+//! fresh epoch and therefore a fresh key. Superseded epochs are evicted
+//! lazily (a request at epoch `e` drops entries of the same table at
+//! epochs `< e`) and eagerly on [`PlanDataCache::invalidate`], which the
+//! engine calls on every snapshot refresh.
+
+use crate::operators::{self, JoinHashTable, MaterializedColumns, PlanData};
+use h2tap_common::{JoinSpec, OlapPlan, PlanCacheStats, Result};
+use h2tap_storage::{SnapshotTable, SnapshotTableId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key of one materialised column set: the frozen image it came from
+/// plus the (sorted, deduplicated) accessed columns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ColumnsKey {
+    id: SnapshotTableId,
+    cols: Vec<usize>,
+}
+
+/// Cache key of one join hash table: the frozen build image plus every
+/// parameter of the build — the join key, the carried group column and the
+/// build predicates (bounds keyed by bit pattern: f64 is not `Eq`, but two
+/// predicates with bit-equal bounds filter identically).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct HashKey {
+    id: SnapshotTableId,
+    build_key: usize,
+    group_col: Option<usize>,
+    predicates: Vec<(usize, u64, u64)>,
+}
+
+impl HashKey {
+    fn new(id: SnapshotTableId, join: &JoinSpec, group_col: Option<usize>) -> Self {
+        Self {
+            id,
+            build_key: join.build_key,
+            group_col,
+            predicates: join.build_predicates.iter().map(|p| (p.column, p.lo.to_bits(), p.hi.to_bits())).collect(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    columns: HashMap<ColumnsKey, Arc<MaterializedColumns>>,
+    hashes: HashMap<HashKey, Arc<JoinHashTable>>,
+    /// Highest epoch observed per (database instance, table) — lazy
+    /// eviction only runs when this *advances*, so a pure hit stream costs
+    /// O(1) per access and a request at an older (still-live) epoch is
+    /// served, never punished.
+    latest_epoch: HashMap<(u64, h2tap_common::TableId), h2tap_common::Epoch>,
+    stats: PlanCacheStats,
+}
+
+impl CacheInner {
+    /// Notes an access at `id`'s epoch. The first time a *newer* epoch of a
+    /// table is seen, entries of that table's older epochs are evicted —
+    /// they are usually superseded snapshots. Entries of *other* tables
+    /// (and other databases) are untouched, and an older-epoch request
+    /// after the advance simply re-derives and is cached again (a caller
+    /// legitimately alternating between two live snapshots converges to
+    /// both being cached, since eviction fires only on the advance itself).
+    fn note_epoch(&mut self, id: SnapshotTableId) {
+        let latest = self.latest_epoch.entry((id.source, id.table)).or_insert(id.epoch);
+        if *latest >= id.epoch {
+            return;
+        }
+        *latest = id.epoch;
+        let stale =
+            |entry: &SnapshotTableId| entry.source == id.source && entry.table == id.table && entry.epoch < id.epoch;
+        let before = self.columns.len() + self.hashes.len();
+        self.columns.retain(|key, _| !stale(&key.id));
+        self.hashes.retain(|key, _| !stale(&key.id));
+        self.stats.invalidations += (before - self.columns.len() - self.hashes.len()) as u64;
+    }
+}
+
+/// The shared plan-data cache. Cheap to clone (`Arc` inside); the engine
+/// builder hands one instance to all execution sites so queries share
+/// derived state across sites as well as across time.
+#[derive(Debug, Clone, Default)]
+pub struct PlanDataCache {
+    inner: Arc<Mutex<CacheInner>>,
+}
+
+impl PlanDataCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The materialised columns (with zonemap statistics) of `cols` of the
+    /// frozen `table`, shared if a query — on any site — already derived
+    /// them for this snapshot epoch; materialised and cached otherwise.
+    pub fn materialized(&self, table: &SnapshotTable, mut cols: Vec<usize>) -> Result<Arc<MaterializedColumns>> {
+        cols.sort_unstable();
+        cols.dedup();
+        let key = ColumnsKey { id: table.identity, cols };
+        let mut inner = self.inner.lock();
+        inner.note_epoch(table.identity);
+        if let Some(hit) = inner.columns.get(&key).cloned() {
+            inner.stats.column_hits += 1;
+            return Ok(hit);
+        }
+        inner.stats.column_misses += 1;
+        let mat = Arc::new(MaterializedColumns::new(table, key.cols.clone())?);
+        inner.columns.insert(key, Arc::clone(&mat));
+        Ok(mat)
+    }
+
+    /// The join hash table of `join` (carrying `group_col` payloads) over
+    /// the frozen `build` table, shared across queries and sites for this
+    /// snapshot epoch; built and cached otherwise. Build errors (duplicate
+    /// PK-join keys) are never cached.
+    pub fn hash_table(
+        &self,
+        build: &SnapshotTable,
+        join: &JoinSpec,
+        group_col: Option<usize>,
+    ) -> Result<Arc<JoinHashTable>> {
+        let key = HashKey::new(build.identity, join, group_col);
+        let mut inner = self.inner.lock();
+        inner.note_epoch(build.identity);
+        if let Some(hit) = inner.hashes.get(&key).cloned() {
+            inner.stats.hash_hits += 1;
+            return Ok(hit);
+        }
+        inner.stats.hash_misses += 1;
+        let hash = Arc::new(operators::build_hash_table(build, join, group_col)?);
+        inner.hashes.insert(key, Arc::clone(&hash));
+        Ok(hash)
+    }
+
+    /// The cached counterpart of [`operators::prepare_plan`]: identical
+    /// validation and identical `PlanData`, but the materialised probe
+    /// columns and the join hash table are shared through the cache.
+    pub fn prepare_plan(
+        &self,
+        probe_table: &SnapshotTable,
+        build_table: Option<&SnapshotTable>,
+        plan: &OlapPlan,
+    ) -> Result<PlanData> {
+        let build_group_col = operators::check_plan_tables(probe_table, build_table, plan)?;
+        let hash = match (&plan.join, build_table) {
+            (Some(join), Some(build)) => Some(self.hash_table(build, join, build_group_col)?),
+            _ => None,
+        };
+        let mat = self.materialized(probe_table, plan.probe_columns_accessed())?;
+        Ok(PlanData { mat, hash })
+    }
+
+    /// Drops every entry (called on snapshot refresh, and usable as a
+    /// manual reset). Counts the dropped entries as invalidations.
+    pub fn invalidate(&self) {
+        let mut inner = self.inner.lock();
+        let dropped = (inner.columns.len() + inner.hashes.len()) as u64;
+        inner.stats.invalidations += dropped;
+        inner.columns.clear();
+        inner.hashes.clear();
+        inner.latest_epoch.clear();
+    }
+
+    /// Current hit/miss/invalidation counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Live entries (materialised column sets + hash tables).
+    pub fn entries(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.columns.len() + inner.hashes.len()
+    }
+
+    /// Raw cell bytes held by the cached materialisations — how much host
+    /// memory the cache trades for the re-materialisation work.
+    pub fn cached_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.columns.values().map(|m| m.cell_bytes()).sum::<u64>()
+            + inner.hashes.values().map(|h| h.footprint_bytes()).sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2tap_common::{AggExpr, AttrType, PartitionId, Predicate, Schema, Value};
+    use h2tap_storage::{Database, Layout};
+    use std::sync::Arc as StdArc;
+
+    fn db_with_rows(rows: i64) -> (StdArc<Database>, h2tap_common::TableId) {
+        let db = Database::new(1);
+        let t = db.create_table("t", Schema::homogeneous("c", 2, AttrType::Int64), Layout::Dsm).unwrap();
+        for i in 0..rows {
+            db.insert(PartitionId(0), t, &[Value::Int64(i), Value::Int64(2 * i)]).unwrap();
+        }
+        (db, t)
+    }
+
+    #[test]
+    fn repeated_materialisations_hit() {
+        let (db, t) = db_with_rows(1_000);
+        let snap = db.snapshot();
+        let frozen = snap.table(t).unwrap();
+        let cache = PlanDataCache::new();
+        let a = cache.materialized(frozen, vec![0, 1]).unwrap();
+        let b = cache.materialized(frozen, vec![1, 0, 1]).unwrap();
+        assert!(StdArc::ptr_eq(&a, &b), "same snapshot, same (normalised) columns: same instance");
+        let stats = cache.stats();
+        assert_eq!((stats.column_hits, stats.column_misses), (1, 1));
+        assert_eq!(stats.hit_rate(), Some(0.5));
+        // A different column set is a different derivation.
+        let c = cache.materialized(frozen, vec![0]).unwrap();
+        assert!(!StdArc::ptr_eq(&a, &c));
+        assert_eq!(cache.stats().column_misses, 2);
+        assert!(cache.cached_bytes() > 0);
+    }
+
+    #[test]
+    fn a_new_epoch_is_never_served_stale_data() {
+        let (db, t) = db_with_rows(100);
+        let s1 = db.snapshot();
+        let cache = PlanDataCache::new();
+        let old = cache.materialized(s1.table(t).unwrap(), vec![1]).unwrap();
+        // Update a row, take a new snapshot: same table id, new epoch.
+        let rid = h2tap_common::RecordId::new(PartitionId(0), t, 0);
+        db.update(rid, &[Value::Int64(0), Value::Int64(999)]).unwrap();
+        let s2 = db.snapshot();
+        let fresh = cache.materialized(s2.table(t).unwrap(), vec![1]).unwrap();
+        assert!(!StdArc::ptr_eq(&old, &fresh), "the stale materialisation must not be served");
+        let sum = |mat: &MaterializedColumns, query: &h2tap_common::ScanAggQuery| {
+            operators::merge_scan_partials(
+                (0..mat.chunk_count()).map(|i| operators::scan_chunk(mat, query, mat.chunk_range(i))),
+            )
+            .0
+        };
+        let q = h2tap_common::ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![1]));
+        assert_eq!(sum(&old, &q), (0..100).map(|i| 2.0 * i as f64).sum::<f64>());
+        assert_eq!(sum(&fresh, &q), sum(&old, &q) - 0.0 + 999.0, "fresh epoch sees the update");
+        // The superseded epoch was evicted, not retained alongside.
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(cache.entries(), 1);
+    }
+
+    #[test]
+    fn hash_tables_are_shared_and_keyed_by_spec() {
+        let (db, t) = db_with_rows(50);
+        let snap = db.snapshot();
+        let frozen = snap.table(t).unwrap();
+        let cache = PlanDataCache::new();
+        let join = JoinSpec { probe_column: 1, build_key: 0, build_predicates: vec![Predicate::between(1, 0.0, 40.0)] };
+        let a = cache.hash_table(frozen, &join, None).unwrap();
+        let b = cache.hash_table(frozen, &join, None).unwrap();
+        assert!(StdArc::ptr_eq(&a, &b));
+        // A different predicate bound (or group column) is a different build.
+        let narrower = JoinSpec { build_predicates: vec![Predicate::between(1, 0.0, 10.0)], ..join.clone() };
+        let c = cache.hash_table(frozen, &narrower, None).unwrap();
+        assert!(!StdArc::ptr_eq(&a, &c));
+        let d = cache.hash_table(frozen, &join, Some(1)).unwrap();
+        assert!(!StdArc::ptr_eq(&a, &d));
+        let stats = cache.stats();
+        assert_eq!((stats.hash_hits, stats.hash_misses), (1, 3));
+    }
+
+    #[test]
+    fn alternating_live_snapshots_converge_to_both_cached() {
+        // Two snapshots of the same table can be live at once; a caller
+        // alternating between them must not thrash the cache. The first
+        // access at the newer epoch evicts the older generation once;
+        // after the older snapshot re-derives, both stay cached (epoch
+        // observation only fires eviction on an *advance*).
+        let (db, t) = db_with_rows(200);
+        let s1 = db.snapshot();
+        let s2 = db.snapshot();
+        let cache = PlanDataCache::new();
+        cache.materialized(s1.table(t).unwrap(), vec![0]).unwrap(); // miss (e1)
+        cache.materialized(s2.table(t).unwrap(), vec![0]).unwrap(); // miss (e2), evicts e1
+        let again_old = cache.materialized(s1.table(t).unwrap(), vec![0]).unwrap(); // miss, re-derives e1
+        let stats = cache.stats();
+        assert_eq!(stats.column_misses, 3);
+        assert_eq!(stats.invalidations, 1, "the epoch advance evicted e1 exactly once");
+        // From here on both generations hit.
+        let old_hit = cache.materialized(s1.table(t).unwrap(), vec![0]).unwrap();
+        let new_hit = cache.materialized(s2.table(t).unwrap(), vec![0]).unwrap();
+        assert!(StdArc::ptr_eq(&again_old, &old_hit));
+        assert!(!StdArc::ptr_eq(&old_hit, &new_hit));
+        let stats = cache.stats();
+        assert_eq!(stats.column_hits, 2);
+        assert_eq!(stats.invalidations, 1, "no further eviction without an epoch advance");
+        assert_eq!(cache.entries(), 2, "both live generations stay cached");
+    }
+
+    #[test]
+    fn invalidate_clears_everything() {
+        let (db, t) = db_with_rows(10);
+        let snap = db.snapshot();
+        let cache = PlanDataCache::new();
+        cache.materialized(snap.table(t).unwrap(), vec![0]).unwrap();
+        assert_eq!(cache.entries(), 1);
+        cache.invalidate();
+        assert_eq!(cache.entries(), 0);
+        assert_eq!(cache.stats().invalidations, 1);
+        // The next request is a miss again.
+        cache.materialized(snap.table(t).unwrap(), vec![0]).unwrap();
+        assert_eq!(cache.stats().column_misses, 2);
+    }
+
+    #[test]
+    fn prepare_plan_matches_the_uncached_preamble() {
+        let (db, fact) = db_with_rows(500);
+        let dim = db.create_table("dim", Schema::homogeneous("d", 2, AttrType::Int64), Layout::Dsm).unwrap();
+        for i in 0..20i64 {
+            db.insert(PartitionId(0), dim, &[Value::Int64(2 * i), Value::Int64(i % 3)]).unwrap();
+        }
+        let snap = db.snapshot();
+        let probe = snap.table(fact).unwrap();
+        let build = snap.table(dim).unwrap();
+        let plan = OlapPlan {
+            predicates: vec![],
+            join: Some(JoinSpec { probe_column: 1, build_key: 0, build_predicates: vec![] }),
+            group_by: Some(h2tap_common::PlanColumn::Build(1)),
+            aggregates: vec![AggExpr::SumColumns(vec![0]), AggExpr::Count],
+        };
+        let cache = PlanDataCache::new();
+        let cached = cache.prepare_plan(probe, Some(build), &plan).unwrap();
+        let uncached = operators::prepare_plan(probe, Some(build), &plan).unwrap();
+        let run = |data: &PlanData| {
+            let partials: Vec<_> = (0..data.mat.chunk_count())
+                .map(|i| operators::process_chunk(&data.mat, &plan, data.hash.as_deref(), data.mat.chunk_range(i)))
+                .collect();
+            operators::merge_partials(&plan, partials)
+        };
+        let (a, ta) = run(&cached);
+        let (b, tb) = run(&uncached);
+        assert_eq!(a, b);
+        assert_eq!(ta.joined, tb.joined);
+        // Error behaviour is shared too: a join plan without a build table
+        // is rejected identically.
+        assert!(cache.prepare_plan(probe, None, &plan).is_err());
+        assert!(operators::prepare_plan(probe, None, &plan).is_err());
+    }
+}

@@ -22,6 +22,7 @@
 //! contract ([`h2tap_common::plan`]), which is why the thread schedule cannot
 //! perturb a single bit of the f64 results.
 
+use crate::cache::PlanDataCache;
 use crate::engine::{OlapOutcome, PlanOutcome, RegisteredTable};
 use crate::operators::{self, ChunkPartial, ScanChunkPartial};
 use crate::site::ExecutionSite;
@@ -150,6 +151,9 @@ pub struct CpuOlapEngine {
     /// Handles this site has vended for the current snapshot.
     registered: HashSet<usize>,
     next_tag: usize,
+    /// Snapshot-keyed plan-data cache (shared across all sites when built
+    /// into an engine, private otherwise).
+    cache: PlanDataCache,
 }
 
 /// Runs `eval` over chunk indexes `0..chunks` on a scoped pool of `threads`
@@ -204,6 +208,7 @@ impl CpuOlapEngine {
             per_core_bandwidth_gbps: spec.per_core_bandwidth_gbps(),
             registered: HashSet::new(),
             next_tag: 0,
+            cache: PlanDataCache::new(),
         }
     }
 
@@ -240,19 +245,19 @@ impl CpuOlapEngine {
         let started = Instant::now();
         let cols = query.columns_accessed();
         let total_rows = table.row_count();
-        let mat = operators::MaterializedColumns::new(table, cols.clone())?;
+        let mat = self.cache.materialized(table, cols.clone())?;
         let chunks = mat.chunk_count();
         let threads = (self.spec.cores as usize).clamp(1, MAX_PLAN_THREADS).min(chunks);
         let use_zonemaps = self.profile.use_zonemaps && !query.predicates.is_empty();
         let evaluated: Vec<Option<ScanChunkPartial>> = run_chunked(chunks, threads, |i| {
-            let range = mat.chunk_range(i);
-            if use_zonemaps && !operators::scan_chunk_can_qualify(&mat, &query.predicates, range.clone()) {
-                // Zonemap skip: the chunk provably holds no qualifying row,
-                // so its partial is exactly zero and omitting it from the
-                // merge cannot change the f64 answer.
+            if use_zonemaps && !operators::scan_chunk_can_qualify(&mat, &query.predicates, i) {
+                // Zonemap skip: the chunk provably holds no qualifying row
+                // (judged in O(#predicates) from the stats built at
+                // materialisation time), so its partial is exactly zero and
+                // omitting it from the merge cannot change the f64 answer.
                 return None;
             }
-            Some(operators::scan_chunk(&mat, query, range))
+            Some(operators::scan_chunk(&mat, query, mat.chunk_range(i)))
         });
         let mut rows_scanned = 0u64;
         let mut chunks_skipped = 0u64;
@@ -312,12 +317,12 @@ impl CpuOlapEngine {
     ) -> Result<CpuPlanResult> {
         let started = Instant::now();
         let rows = probe_table.row_count();
-        let operators::PlanData { mat, hash } = operators::prepare_plan(probe_table, build_table, plan)?;
+        let operators::PlanData { mat, hash } = self.cache.prepare_plan(probe_table, build_table, plan)?;
         let chunks = mat.chunk_count();
         let threads = (self.spec.cores as usize).clamp(1, MAX_PLAN_THREADS).min(chunks);
 
         let partials: Vec<ChunkPartial> =
-            run_chunked(chunks, threads, |i| operators::process_chunk(&mat, plan, hash.as_ref(), mat.chunk_range(i)));
+            run_chunked(chunks, threads, |i| operators::process_chunk(&mat, plan, hash.as_deref(), mat.chunk_range(i)));
         let (groups, totals) = operators::merge_partials(plan, partials);
 
         // Analytical time model, same frame of reference as the scan path:
@@ -440,6 +445,10 @@ impl ExecutionSite for CpuOlapEngine {
         let cores = cores.max(1);
         self.spec.cores = cores;
         self.spec.mem_bandwidth_gbps = self.per_core_bandwidth_gbps * f64::from(cores);
+    }
+
+    fn set_plan_cache(&mut self, cache: PlanDataCache) {
+        self.cache = cache;
     }
 }
 

@@ -13,6 +13,7 @@
 //! according to the table's layout (coalesced for DSM/PAX, strided for NSM)
 //! and the configured access mode (memcpy / UVA / UM / device-resident).
 
+use crate::cache::PlanDataCache;
 use crate::operators::{self, ChunkPartial};
 use crate::site::ExecutionSite;
 use h2tap_common::{
@@ -130,6 +131,9 @@ pub struct GpuOlapEngine {
     nsm_buffers: HashMap<usize, BufferId>,
     /// Monotonic tag generator for registered tables.
     next_tag: usize,
+    /// Snapshot-keyed plan-data cache for the host-side data path (shared
+    /// across all sites when built into an engine, private otherwise).
+    cache: PlanDataCache,
 }
 
 /// Handle to a table registered with an execution site. Opaque to callers;
@@ -168,7 +172,14 @@ impl RegisteredTable {
 impl GpuOlapEngine {
     /// Creates an executor on `device` with the given data placement.
     pub fn new(device: GpuDevice, placement: DataPlacement) -> Self {
-        Self { device, placement, buffers: HashMap::new(), nsm_buffers: HashMap::new(), next_tag: 0 }
+        Self {
+            device,
+            placement,
+            buffers: HashMap::new(),
+            nsm_buffers: HashMap::new(),
+            next_tag: 0,
+            cache: PlanDataCache::new(),
+        }
     }
 
     /// The underlying simulated device.
@@ -378,8 +389,10 @@ impl GpuOlapEngine {
         charge(&mut self.device, &desc)?;
 
         // Host-side data path, shared with the CPU site: same chunking, same
-        // per-chunk row order, same merge order — bit-equal answers.
-        let mat = operators::MaterializedColumns::new(table, query.columns_accessed())?;
+        // per-chunk row order, same merge order — bit-equal answers. The
+        // materialised columns come from the shared plan-data cache, so a
+        // repeat of this query (on any site) skips the re-materialisation.
+        let mat = self.cache.materialized(table, query.columns_accessed())?;
         let partials = (0..mat.chunk_count()).map(|i| operators::scan_chunk(&mat, query, mat.chunk_range(i)));
         let (value, qualifying_rows) = operators::merge_scan_partials(partials);
 
@@ -487,9 +500,9 @@ impl GpuOlapEngine {
         // byte-identical: materialise, build the hash table, evaluate the
         // fixed-size chunks in ascending order, merge in chunk order. The
         // kernels below charge the simulated cost of this same pipeline.
-        let operators::PlanData { mat, hash } = operators::prepare_plan(probe_table, build.map(|(_, t)| t), plan)?;
+        let operators::PlanData { mat, hash } = self.cache.prepare_plan(probe_table, build.map(|(_, t)| t), plan)?;
         let partials: Vec<ChunkPartial> = (0..mat.chunk_count())
-            .map(|i| operators::process_chunk(&mat, plan, hash.as_ref(), mat.chunk_range(i)))
+            .map(|i| operators::process_chunk(&mat, plan, hash.as_deref(), mat.chunk_range(i)))
             .collect();
         let (groups, totals) = operators::merge_partials(plan, partials);
         let n_chunks = mat.chunk_count() as u64;
@@ -676,6 +689,10 @@ impl ExecutionSite for GpuOlapEngine {
                 free_bytes: Some(self.device.memory().free_bytes()),
             }],
         }
+    }
+
+    fn set_plan_cache(&mut self, cache: PlanDataCache) {
+        self.cache = cache;
     }
 }
 

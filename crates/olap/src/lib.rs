@@ -12,6 +12,7 @@
 //! one snapshot ([`policy::SnapshotPolicy`]), which is the knob behind
 //! Figures 5-7 of the paper.
 
+pub mod cache;
 pub mod cpu;
 pub mod engine;
 pub mod multi_gpu;
@@ -19,9 +20,10 @@ pub mod operators;
 pub mod policy;
 pub mod site;
 
+pub use cache::PlanDataCache;
 pub use cpu::{CpuOlapEngine, CpuOlapResult, CpuPlanResult, CpuScanProfile, CpuSpec};
 pub use engine::{DataPlacement, GpuOlapEngine, OlapOutcome, PlanOutcome, RegisteredTable};
 pub use multi_gpu::{shard_chunk_indexes, shard_rows, MultiGpuOlapEngine};
-pub use operators::{merge_scan_partials, JoinHashTable, MaterializedColumns, ScanChunkPartial};
+pub use operators::{merge_scan_partials, JoinHashTable, MaterializedColumns, ScanChunkPartial, VECTOR_BATCH_ROWS};
 pub use policy::SnapshotPolicy;
 pub use site::ExecutionSite;

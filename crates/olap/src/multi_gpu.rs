@@ -33,6 +33,7 @@
 //! against its replica. The replica is why the placement footprint check is
 //! against the **minimum per-device** free memory, not the sum.
 
+use crate::cache::PlanDataCache;
 use crate::engine::{DataPlacement, OlapOutcome, PlanOutcome, RegisteredTable};
 use crate::operators::{self, ChunkPartial};
 use crate::site::ExecutionSite;
@@ -94,6 +95,9 @@ pub struct MultiGpuOlapEngine {
     /// Rows each device holds of a registered table: tag -> per-device rows.
     shard_rows: HashMap<usize, Vec<u64>>,
     next_tag: usize,
+    /// Snapshot-keyed plan-data cache for the host-side data path (shared
+    /// across all sites when built into an engine, private otherwise).
+    cache: PlanDataCache,
 }
 
 impl MultiGpuOlapEngine {
@@ -110,6 +114,7 @@ impl MultiGpuOlapEngine {
             nsm_buffers: HashMap::new(),
             shard_rows: HashMap::new(),
             next_tag: 0,
+            cache: PlanDataCache::new(),
         })
     }
 
@@ -405,8 +410,9 @@ impl MultiGpuOlapEngine {
 
         // Host-side data path shared with every other site: same chunking,
         // same per-chunk row order, same ascending merge — bit-equal answers
-        // regardless of device mix or completion order.
-        let mat = operators::MaterializedColumns::new(table, query.columns_accessed())?;
+        // regardless of device mix or completion order. The materialisation
+        // comes from the shared plan-data cache.
+        let mat = self.cache.materialized(table, query.columns_accessed())?;
         let partials = (0..mat.chunk_count()).map(|i| operators::scan_chunk(&mat, query, mat.chunk_range(i)));
         let (value, qualifying_rows) = operators::merge_scan_partials(partials);
 
@@ -494,9 +500,9 @@ impl MultiGpuOlapEngine {
         // row counters fall out of the same chunk partials via the shard
         // assignment, so the kernels below charge exactly the rows each
         // device would process.
-        let operators::PlanData { mat, hash } = operators::prepare_plan(probe_table, build.map(|(_, t)| t), plan)?;
+        let operators::PlanData { mat, hash } = self.cache.prepare_plan(probe_table, build.map(|(_, t)| t), plan)?;
         let chunk_partials: Vec<ChunkPartial> = (0..mat.chunk_count())
-            .map(|i| operators::process_chunk(&mat, plan, hash.as_ref(), mat.chunk_range(i)))
+            .map(|i| operators::process_chunk(&mat, plan, hash.as_deref(), mat.chunk_range(i)))
             .collect();
         let mut selected_d = vec![0u64; n];
         let mut joined_d = vec![0u64; n];
@@ -779,6 +785,10 @@ impl ExecutionSite for MultiGpuOlapEngine {
                 })
                 .collect(),
         }
+    }
+
+    fn set_plan_cache(&mut self, cache: PlanDataCache) {
+        self.cache = cache;
     }
 }
 

@@ -12,6 +12,35 @@
 //! thread blocks, but because every site uses these functions over the same
 //! materialised columns, the numbers that come out are bit-equal.
 //!
+//! # Vectorized batch execution
+//!
+//! Within a chunk, the hot functions ([`scan_chunk`], [`process_chunk`])
+//! execute **vectorized**: rows are processed in fixed
+//! [`VECTOR_BATCH_ROWS`]-row batches, predicate evaluation fills a
+//! *selection vector* with one tight, per-column-type monomorphised loop per
+//! predicate, hash probes compact the selection vector in a dedicated loop,
+//! and aggregate accumulation runs one specialised loop per [`AggExpr`]
+//! variant instead of a per-row `match`. None of this changes a single bit
+//! of the f64 results: a selection vector only *skips* rows a predicate
+//! rejected (exactly the rows the row-at-a-time loop `continue`d past), rows
+//! are visited in ascending storage order within every batch, and each
+//! accumulator still receives the same additions in the same order — only
+//! the interpretive overhead around them is gone. The row-at-a-time
+//! implementations are retained as [`scan_chunk_reference`] and
+//! [`process_chunk_reference`]; property tests pin the vectorized path
+//! bit-identical to them.
+//!
+//! # Zonemap statistics
+//!
+//! [`MaterializedColumns`] computes per-chunk min/max *zonemap statistics*
+//! for every materialised column once, at materialisation time.
+//! [`scan_chunk_can_qualify`] then answers in O(#predicates) per chunk
+//! instead of re-scanning the chunk's values per predicate per query (the
+//! old behaviour is retained as [`scan_chunk_can_qualify_reference`]).
+//! Because the stats live on the materialised columns, the snapshot-keyed
+//! plan-data cache ([`crate::cache::PlanDataCache`]) shares them across
+//! queries and across execution sites for free.
+//!
 //! What the sites do *not* share is the cost model: the CPU charges cache-
 //! line-granular random access against host memory bandwidth, the GPU
 //! charges build/probe/aggregate kernels (with [`h2tap_gpu_sim::AccessPattern::Random`]
@@ -23,30 +52,148 @@ use h2tap_common::{
 };
 use h2tap_storage::{decode_cell_f64, SnapshotTable};
 use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::ops::Range;
+use std::sync::Arc;
+
+/// Rows per vectorized execution batch. Unlike [`PLAN_CHUNK_ROWS`] this is
+/// **not** part of the IR contract: batches only bound how many rows a
+/// selection vector covers at a time, and since rows are visited in
+/// ascending order within and across batches, any batch size produces
+/// bit-identical results. 1024 keeps a batch's selection vector and the
+/// touched column slices comfortably inside the L1/L2 caches.
+pub const VECTOR_BATCH_ROWS: usize = 1024;
+
+#[inline(always)]
+fn dec_f64(cell: u64) -> f64 {
+    f64::from_bits(cell)
+}
+
+#[inline(always)]
+fn dec_i64(cell: u64) -> f64 {
+    cell as i64 as f64
+}
+
+#[inline(always)]
+fn dec_i32(cell: u64) -> f64 {
+    f64::from(cell as u32 as i32)
+}
+
+/// Calls `$f(decoder, args...)` with the cell decoder matching `$ty`, so the
+/// generic `$f` monomorphises into one tight loop per column type instead of
+/// re-dispatching [`decode_cell_f64`]'s type `match` on every row. The
+/// decoder arms mirror `decode_cell_f64` exactly — the numeric
+/// interpretation is identical, only the dispatch point moves out of the
+/// loop.
+macro_rules! with_decoder {
+    ($ty:expr, $f:ident ( $($args:expr),* $(,)? )) => {
+        match $ty {
+            AttrType::Float64 => $f(dec_f64, $($args),*),
+            AttrType::Int64 | AttrType::Str => $f(dec_i64, $($args),*),
+            AttrType::Int32 | AttrType::Date => $f(dec_i32, $($args),*),
+        }
+    };
+}
+
+/// Per-chunk min/max of one materialised column — the zonemap ("secondary
+/// index") statistics, computed once at materialisation time.
+#[derive(Debug, Clone, Default)]
+struct ColumnZonemap {
+    /// Minimum value per chunk (`+inf` for an empty chunk).
+    mins: Vec<f64>,
+    /// Maximum value per chunk (`-inf` for an empty chunk).
+    maxs: Vec<f64>,
+}
+
+#[inline(always)]
+fn zonemap_min_max<D: Fn(u64) -> f64>(decode: D, cells: &[u64]) -> (f64, f64) {
+    // Plain comparisons, not `f64::min`/`max`: NaN fails both (so NaN cells
+    // are ignored, exactly like the `min`/`max` fold the O(chunk) reference
+    // check uses), the rarely-taken branches predict perfectly, and the
+    // loop auto-vectorises. `-0.0` vs `0.0` ties may resolve differently
+    // than `f64::min`, but the bounds are only ever *compared* numerically,
+    // where the two zeros are equal.
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &cell in cells {
+        let v = decode(cell);
+        if v < lo {
+            lo = v;
+        }
+        if v > hi {
+            hi = v;
+        }
+    }
+    (lo, hi)
+}
 
 /// Accessed columns of a table, materialised as raw 64-bit cells in storage
-/// order. Chunked operators index rows directly, which an iterator over
-/// pages cannot do.
+/// order, with per-chunk zonemap statistics built in the same pass. Chunked
+/// operators index rows directly, which an iterator over pages cannot do.
 #[derive(Debug, Clone)]
 pub struct MaterializedColumns {
     cols: Vec<usize>,
     types: Vec<AttrType>,
     data: Vec<Vec<u64>>,
+    zonemaps: Vec<ColumnZonemap>,
     rows: usize,
 }
 
 impl MaterializedColumns {
-    /// Materialises `cols` (attribute indexes) of `table`.
+    /// Materialises `cols` (attribute indexes) of `table` and builds their
+    /// per-chunk zonemap statistics.
     pub fn new(table: &SnapshotTable, cols: Vec<usize>) -> Result<Self> {
+        let mut mat = Self::new_without_zonemaps(table, cols)?;
+        let rows = mat.rows;
+        let chunks = mat.chunk_count();
+        mat.zonemaps = mat
+            .types
+            .iter()
+            .zip(&mat.data)
+            .map(|(&ty, col)| {
+                let mut zm = ColumnZonemap { mins: Vec::with_capacity(chunks), maxs: Vec::with_capacity(chunks) };
+                for chunk in 0..chunks {
+                    let lo = chunk * PLAN_CHUNK_ROWS;
+                    let hi = ((chunk + 1) * PLAN_CHUNK_ROWS).min(rows);
+                    let (min, max) = with_decoder!(ty, zonemap_min_max(&col[lo.min(rows)..hi]));
+                    zm.mins.push(min);
+                    zm.maxs.push(max);
+                }
+                zm
+            })
+            .collect();
+        Ok(mat)
+    }
+
+    /// Materialises without building zonemap statistics — the pre-PR
+    /// materialisation cost, retained so the `hostperf` benchmark's
+    /// reference baseline pays exactly what the row-at-a-time path used to
+    /// pay. [`scan_chunk_can_qualify`] transparently falls back to the
+    /// O(chunk) recomputation on such an instance.
+    pub fn new_without_zonemaps(table: &SnapshotTable, cols: Vec<usize>) -> Result<Self> {
+        // Selection vectors index rows as u32; reject tables beyond that
+        // bound here, where it is an error, rather than wrapping silently
+        // in a release-build hot loop.
+        if table.row_count() > u64::from(u32::MAX) {
+            return Err(H2Error::InvalidKernel(format!(
+                "table has {} rows — the vectorized data path indexes rows as u32",
+                table.row_count()
+            )));
+        }
         let types: Vec<AttrType> = cols.iter().map(|&c| table.schema.attr(c).map(|a| a.ty)).collect::<Result<_>>()?;
         let data: Vec<Vec<u64>> = cols.iter().map(|&c| table.column(c)).collect();
-        Ok(Self { cols, types, data, rows: table.row_count() as usize })
+        let rows = table.row_count() as usize;
+        Ok(Self { cols, types, data, zonemaps: Vec::new(), rows })
     }
 
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
+    }
+
+    /// Bytes of raw cells this materialisation holds (the figure the
+    /// plan-data cache reports for sizing).
+    pub fn cell_bytes(&self) -> u64 {
+        self.data.iter().map(|col| (col.len() * 8) as u64).sum()
     }
 
     /// Number of [`PLAN_CHUNK_ROWS`]-sized chunks covering the rows.
@@ -75,12 +222,51 @@ impl MaterializedColumns {
     }
 }
 
+/// A deterministic multiply-shift (splitmix-style) finaliser for 64-bit hash
+/// keys. [`JoinHashTable`] keys are f64 bit patterns, already uniformly
+/// spread by the multiply/xor-shift mix, so the std `HashMap`'s SipHash —
+/// designed to resist adversarial keys that cannot occur here — only slows
+/// probes down. The hasher is deterministic across processes and
+/// independent of insertion order, so results stay build-order independent.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MulShiftHasher(u64);
+
+impl Hasher for MulShiftHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write_u64(&mut self, key: u64) {
+        // splitmix64 finaliser: two multiply-shifts with full avalanche, so
+        // both the low bits (bucket index) and the high bits (control byte)
+        // of the output are well mixed.
+        let mut x = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = x ^ (x >> 31);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 keys are hashed in practice; fold arbitrary bytes into
+        // 8-byte words for completeness.
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(self.0 ^ u64::from_le_bytes(word));
+        }
+    }
+}
+
+type JoinKeyMap = HashMap<u64, u64, BuildHasherDefault<MulShiftHasher>>;
+
 /// The hash table of a primary-key equi-join: filtered build rows keyed by
 /// the bit pattern of the numeric join key, carrying the raw group-key cell
-/// as payload.
+/// as payload. Probes hash with the deterministic [`MulShiftHasher`].
 #[derive(Debug, Clone)]
 pub struct JoinHashTable {
-    map: HashMap<u64, u64>,
+    map: JoinKeyMap,
     /// Build rows considered (before build predicates).
     pub build_rows_in: u64,
 }
@@ -118,7 +304,7 @@ pub fn build_hash_table(build: &SnapshotTable, join: &JoinSpec, group_col: Optio
     let key_pos = mat.pos(join.build_key);
     let pred_pos: Vec<usize> = join.build_predicates.iter().map(|p| mat.pos(p.column)).collect();
     let group_pos = group_col.map(|c| mat.pos(c));
-    let mut map = HashMap::new();
+    let mut map = JoinKeyMap::default();
     for row in 0..mat.rows() {
         if join.build_predicates.iter().zip(&pred_pos).any(|(p, &pos)| !p.matches(mat.value(pos, row))) {
             continue;
@@ -146,7 +332,7 @@ pub struct GroupAcc {
 }
 
 /// The result of evaluating one chunk of the probe table.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ChunkPartial {
     /// Per-group partial aggregates, keyed by the raw group-key cell.
     pub groups: BTreeMap<u64, GroupAcc>,
@@ -166,11 +352,299 @@ pub struct PlanTotals {
     pub joined: u64,
 }
 
-/// Evaluates `plan` over `rows` of the materialised probe columns: predicate
-/// filter, optional hash-table probe, per-group aggregation. Rows are
-/// processed in ascending storage order; this function is deterministic and
-/// side-effect free, so chunks can be evaluated on any thread in any order.
+#[inline(always)]
+fn fill_selection<D: Fn(u64) -> f64>(decode: D, col: &[u64], pred: &Predicate, base: usize, sel: &mut Vec<u32>) {
+    // Branchless compaction: write the candidate index unconditionally and
+    // advance the cursor by the predicate's boolean — no data-dependent
+    // branch for the predictor to miss on selective data.
+    sel.resize(col.len(), 0);
+    let mut k = 0usize;
+    for (i, &cell) in col.iter().enumerate() {
+        sel[k] = (base + i) as u32;
+        k += usize::from(pred.matches(decode(cell)));
+    }
+    sel.truncate(k);
+}
+
+#[inline(always)]
+fn refine_selection<D: Fn(u64) -> f64>(decode: D, col: &[u64], pred: &Predicate, sel: &mut Vec<u32>) {
+    let mut kept = 0usize;
+    for k in 0..sel.len() {
+        let row = sel[k];
+        sel[kept] = row;
+        kept += usize::from(pred.matches(decode(col[row as usize])));
+    }
+    sel.truncate(kept);
+}
+
+/// Fills `sel` with the chunk-relative indexes of the rows of
+/// `batch` (a subrange of the chunk, both relative to the start of the
+/// materialised columns) that satisfy every predicate, in ascending order.
+/// One tight monomorphised loop per predicate: the first fills, the rest
+/// compact in place.
+#[inline]
+fn select_batch(
+    mat: &MaterializedColumns,
+    predicates: &[Predicate],
+    pred_pos: &[usize],
+    batch: Range<usize>,
+    sel: &mut Vec<u32>,
+) {
+    sel.clear();
+    let mut first = true;
+    for (pred, &pos) in predicates.iter().zip(pred_pos) {
+        let ty = mat.types[pos];
+        let col = &mat.data[pos];
+        if first {
+            with_decoder!(ty, fill_selection(&col[batch.clone()], pred, batch.start, sel));
+            first = false;
+        } else {
+            with_decoder!(ty, refine_selection(col, pred, sel));
+        }
+        if sel.is_empty() {
+            return;
+        }
+    }
+}
+
+/// Accumulates one aggregate over the selected rows into `acc`, visiting
+/// rows in ascending order. The per-row expressions are verbatim those of
+/// the row-at-a-time reference, so each accumulator receives bit-identical
+/// additions in the same order — only the per-row `match` on the aggregate
+/// variant is hoisted out of the loop.
+#[inline]
+fn accumulate_selected(mat: &MaterializedColumns, agg: &AggExpr, pos: &[usize], sel: &[u32], acc: &mut f64) {
+    match agg {
+        AggExpr::SumProduct(..) => {
+            for &row in sel {
+                *acc += mat.value(pos[0], row as usize) * mat.value(pos[1], row as usize);
+            }
+        }
+        AggExpr::SumColumns(_) => {
+            for &row in sel {
+                *acc += pos.iter().map(|&p| mat.value(p, row as usize)).sum::<f64>();
+            }
+        }
+        AggExpr::Count => {
+            // Counting sums exact small integers: adding 1.0 per row and
+            // adding the (exactly representable) batch total are the same
+            // f64, bit for bit.
+            *acc += sel.len() as f64;
+        }
+    }
+}
+
+/// Like [`accumulate_selected`] for a dense row range (no predicates).
+#[inline]
+fn accumulate_dense(mat: &MaterializedColumns, agg: &AggExpr, pos: &[usize], rows: Range<usize>, acc: &mut f64) {
+    match agg {
+        AggExpr::SumProduct(..) => {
+            for row in rows {
+                *acc += mat.value(pos[0], row) * mat.value(pos[1], row);
+            }
+        }
+        AggExpr::SumColumns(_) => {
+            for row in rows {
+                *acc += pos.iter().map(|&p| mat.value(p, row)).sum::<f64>();
+            }
+        }
+        AggExpr::Count => {
+            *acc += rows.len() as f64;
+        }
+    }
+}
+
+/// How the rows of a batch map onto group accumulators.
+enum GroupMode {
+    /// No `group_by`: one global accumulator (key 0).
+    Global,
+    /// `group_by` on a probe column: key is the raw cell at that position.
+    Probe(usize),
+    /// `group_by` on a build column: key is the join payload.
+    Build,
+}
+
+/// Grouped accumulation state for one chunk: an insertion-ordered arena of
+/// accumulators plus a fast key → slot index. Per-group, per-aggregate
+/// addition order is the ascending row order of the rows that landed in the
+/// group — exactly the order the row-at-a-time reference uses — so arena
+/// bookkeeping cannot perturb a bit.
+struct GroupArena {
+    slot_of: HashMap<u64, u32, BuildHasherDefault<MulShiftHasher>>,
+    keys: Vec<u64>,
+    accs: Vec<GroupAcc>,
+    aggregates: usize,
+}
+
+impl GroupArena {
+    fn new(aggregates: usize) -> Self {
+        Self { slot_of: HashMap::default(), keys: Vec::new(), accs: Vec::new(), aggregates }
+    }
+
+    #[inline]
+    fn slot(&mut self, key: u64) -> u32 {
+        *self.slot_of.entry(key).or_insert_with(|| {
+            self.keys.push(key);
+            self.accs.push(GroupAcc { values: vec![0.0; self.aggregates], rows: 0 });
+            (self.keys.len() - 1) as u32
+        })
+    }
+
+    fn into_groups(self) -> BTreeMap<u64, GroupAcc> {
+        self.keys.into_iter().zip(self.accs).collect()
+    }
+}
+
+/// Evaluates `plan` over `rows` of the materialised probe columns —
+/// vectorized: per [`VECTOR_BATCH_ROWS`] batch, predicate selection fills a
+/// selection vector, the optional hash probe compacts it, and per-aggregate
+/// loops accumulate into the group arena. Rows are processed in ascending
+/// storage order; this function is deterministic, side-effect free and
+/// bit-identical to [`process_chunk_reference`], so chunks can be evaluated
+/// on any thread in any order.
 pub fn process_chunk(
+    probe: &MaterializedColumns,
+    plan: &OlapPlan,
+    hash: Option<&JoinHashTable>,
+    rows: Range<usize>,
+) -> ChunkPartial {
+    let pred_pos: Vec<usize> = plan.predicates.iter().map(|p| probe.pos(p.column)).collect();
+    let probe_key_pos = plan.join.as_ref().map(|j| probe.pos(j.probe_column));
+    let mode = match plan.group_by {
+        None => GroupMode::Global,
+        Some(PlanColumn::Probe(c)) => GroupMode::Probe(probe.pos(c)),
+        Some(PlanColumn::Build(_)) => GroupMode::Build,
+    };
+    // Aggregate inputs resolved to materialised positions once per chunk.
+    let agg_pos: Vec<Vec<usize>> =
+        plan.aggregates.iter().map(|a| a.columns().iter().map(|&c| probe.pos(c)).collect()).collect();
+
+    let mut partial = ChunkPartial::default();
+    let mut arena = GroupArena::new(plan.aggregates.len());
+    // The global group's accumulators live outside the arena: no per-row
+    // key lookup, and the accumulation order is unchanged (same additions,
+    // same order, one accumulator).
+    let mut global = GroupAcc { values: vec![0.0; plan.aggregates.len()], rows: 0 };
+
+    let mut sel: Vec<u32> = Vec::with_capacity(VECTOR_BATCH_ROWS);
+    let mut payloads: Vec<u64> = Vec::new();
+    let mut slots: Vec<u32> = Vec::new();
+
+    let mut lo = rows.start;
+    while lo < rows.end {
+        let hi = (lo + VECTOR_BATCH_ROWS).min(rows.end);
+
+        // 1. Predicate selection.
+        if plan.predicates.is_empty() {
+            sel.clear();
+            sel.extend((lo..hi).map(|r| r as u32));
+        } else {
+            select_batch(probe, &plan.predicates, &pred_pos, lo..hi, &mut sel);
+        }
+        partial.selected += sel.len() as u64;
+        lo = hi;
+        if sel.is_empty() {
+            continue;
+        }
+
+        // 2. Hash probe: compact the selection vector to the rows that
+        //    found a partner, collecting payloads for build-side grouping.
+        if let Some(key_pos) = probe_key_pos {
+            let table = hash.expect("join plans carry a hash table");
+            payloads.clear();
+            let mut kept = 0usize;
+            for k in 0..sel.len() {
+                let row = sel[k];
+                let Some(payload) = table.get(probe.value(key_pos, row as usize).to_bits()) else { continue };
+                sel[kept] = row;
+                kept += 1;
+                payloads.push(payload);
+            }
+            sel.truncate(kept);
+        }
+        partial.joined += sel.len() as u64;
+        if sel.is_empty() {
+            continue;
+        }
+
+        // 3. Group accumulation: resolve each surviving row's accumulator,
+        //    bump row counts, then run one specialised loop per aggregate.
+        match mode {
+            GroupMode::Global => {
+                global.rows += sel.len() as u64;
+                for (slot, (agg, pos)) in plan.aggregates.iter().zip(&agg_pos).enumerate() {
+                    accumulate_selected(probe, agg, pos, &sel, &mut global.values[slot]);
+                }
+            }
+            GroupMode::Probe(group_pos) => {
+                slots.clear();
+                for &row in &sel {
+                    let slot = arena.slot(probe.raw(group_pos, row as usize));
+                    arena.accs[slot as usize].rows += 1;
+                    slots.push(slot);
+                }
+                accumulate_grouped(probe, plan, &agg_pos, &sel, &slots, &mut arena);
+            }
+            GroupMode::Build => {
+                slots.clear();
+                for &payload in &payloads {
+                    let slot = arena.slot(payload);
+                    arena.accs[slot as usize].rows += 1;
+                    slots.push(slot);
+                }
+                accumulate_grouped(probe, plan, &agg_pos, &sel, &slots, &mut arena);
+            }
+        }
+    }
+
+    partial.groups = arena.into_groups();
+    if matches!(mode, GroupMode::Global) && global.rows > 0 {
+        partial.groups.insert(0, global);
+    }
+    partial
+}
+
+/// Runs one specialised accumulation loop per aggregate over the selected
+/// rows, each adding into its row's arena slot. Rows are visited in
+/// ascending order per loop, so every `(group, aggregate)` accumulator sees
+/// the same addition sequence as the row-at-a-time reference.
+#[inline]
+fn accumulate_grouped(
+    probe: &MaterializedColumns,
+    plan: &OlapPlan,
+    agg_pos: &[Vec<usize>],
+    sel: &[u32],
+    slots: &[u32],
+    arena: &mut GroupArena,
+) {
+    for (agg_slot, (agg, pos)) in plan.aggregates.iter().zip(agg_pos).enumerate() {
+        match agg {
+            AggExpr::SumProduct(..) => {
+                for (&row, &slot) in sel.iter().zip(slots) {
+                    arena.accs[slot as usize].values[agg_slot] +=
+                        probe.value(pos[0], row as usize) * probe.value(pos[1], row as usize);
+                }
+            }
+            AggExpr::SumColumns(_) => {
+                for (&row, &slot) in sel.iter().zip(slots) {
+                    arena.accs[slot as usize].values[agg_slot] +=
+                        pos.iter().map(|&p| probe.value(p, row as usize)).sum::<f64>();
+                }
+            }
+            AggExpr::Count => {
+                for &slot in slots {
+                    arena.accs[slot as usize].values[agg_slot] += 1.0;
+                }
+            }
+        }
+    }
+}
+
+/// The retained row-at-a-time implementation of [`process_chunk`] — the
+/// reference oracle the vectorized path is property-tested bit-identical
+/// against, and the "pre-vectorization" code path of the `hostperf`
+/// benchmark.
+pub fn process_chunk_reference(
     probe: &MaterializedColumns,
     plan: &OlapPlan,
     hash: Option<&JoinHashTable>,
@@ -182,7 +656,6 @@ pub fn process_chunk(
         Some(PlanColumn::Probe(c)) => Some(probe.pos(c)),
         _ => None,
     };
-    // Aggregate inputs resolved to materialised positions once per chunk.
     let agg_pos: Vec<Vec<usize>> =
         plan.aggregates.iter().map(|a| a.columns().iter().map(|&c| probe.pos(c)).collect()).collect();
 
@@ -260,12 +733,37 @@ pub struct ScanChunkPartial {
     pub qualifying: u64,
 }
 
-/// Whether any row of the chunk *could* satisfy the predicates, judged from
-/// the chunk's per-column min/max — the zonemap ("secondary index") check.
-/// `true` is always safe; `false` guarantees the chunk holds no qualifying
-/// row, so skipping it cannot change the aggregate (the chunk's partial
-/// would be exactly zero).
-pub fn scan_chunk_can_qualify(mat: &MaterializedColumns, predicates: &[Predicate], rows: Range<usize>) -> bool {
+/// Whether any row of chunk `chunk` *could* satisfy the predicates, judged
+/// from the zonemap statistics [`MaterializedColumns::new`] built at
+/// materialisation time — O(#predicates), no data scan. `true` is always
+/// safe; `false` guarantees the chunk holds no qualifying row, so skipping
+/// it cannot change the aggregate (the chunk's partial would be exactly
+/// zero).
+pub fn scan_chunk_can_qualify(mat: &MaterializedColumns, predicates: &[Predicate], chunk: usize) -> bool {
+    if mat.zonemaps.len() != mat.cols.len() {
+        // Materialised without statistics (the retained pre-PR baseline):
+        // fall back to recomputing from the data.
+        return scan_chunk_can_qualify_reference(mat, predicates, mat.chunk_range(chunk));
+    }
+    for pred in predicates {
+        let pos = mat.pos(pred.column);
+        let zm = &mat.zonemaps[pos];
+        if zm.maxs[chunk] < pred.lo || zm.mins[chunk] > pred.hi {
+            return false;
+        }
+    }
+    true
+}
+
+/// The retained pre-zonemap-statistics implementation: recomputes each
+/// predicate column's min/max with a full O(chunk) scan on every call. Kept
+/// as the oracle for [`scan_chunk_can_qualify`] and as the
+/// "pre-optimisation" code path of the `hostperf` benchmark.
+pub fn scan_chunk_can_qualify_reference(
+    mat: &MaterializedColumns,
+    predicates: &[Predicate],
+    rows: Range<usize>,
+) -> bool {
     for pred in predicates {
         let pos = mat.pos(pred.column);
         let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -281,14 +779,40 @@ pub fn scan_chunk_can_qualify(mat: &MaterializedColumns, predicates: &[Predicate
     true
 }
 
-/// Evaluates a [`ScanAggQuery`] over one chunk of the materialised columns,
-/// in ascending storage order — the scan-side counterpart of
-/// [`process_chunk`]. Rows are filtered and aggregated row-at-a-time, so a
-/// chunk's partial is deterministic regardless of which thread (or simulated
-/// thread block) evaluates it; [`merge_scan_partials`] then pins the merge
-/// order, which together makes `ScanAggQuery` f64 answers **byte-identical
-/// across execution sites**.
+/// Evaluates a [`ScanAggQuery`] over one chunk of the materialised columns —
+/// the scan-side counterpart of [`process_chunk`], vectorized the same way:
+/// per-batch predicate selection into a selection vector, then one
+/// specialised accumulation loop per aggregate variant. Rows are visited in
+/// ascending storage order, so a chunk's partial is deterministic (and
+/// bit-identical to [`scan_chunk_reference`]) regardless of which thread or
+/// simulated thread block evaluates it; [`merge_scan_partials`] then pins
+/// the merge order, which together makes `ScanAggQuery` f64 answers
+/// **byte-identical across execution sites**.
 pub fn scan_chunk(mat: &MaterializedColumns, query: &ScanAggQuery, rows: Range<usize>) -> ScanChunkPartial {
+    let pred_pos: Vec<usize> = query.predicates.iter().map(|p| mat.pos(p.column)).collect();
+    let agg_pos: Vec<usize> = query.aggregate.columns().iter().map(|&c| mat.pos(c)).collect();
+    let mut partial = ScanChunkPartial::default();
+    if query.predicates.is_empty() {
+        partial.qualifying = rows.len() as u64;
+        accumulate_dense(mat, &query.aggregate, &agg_pos, rows, &mut partial.value);
+        return partial;
+    }
+    let mut sel: Vec<u32> = Vec::with_capacity(VECTOR_BATCH_ROWS);
+    let mut lo = rows.start;
+    while lo < rows.end {
+        let hi = (lo + VECTOR_BATCH_ROWS).min(rows.end);
+        select_batch(mat, &query.predicates, &pred_pos, lo..hi, &mut sel);
+        partial.qualifying += sel.len() as u64;
+        accumulate_selected(mat, &query.aggregate, &agg_pos, &sel, &mut partial.value);
+        lo = hi;
+    }
+    partial
+}
+
+/// The retained row-at-a-time implementation of [`scan_chunk`] — the
+/// reference oracle for the vectorized path and the "pre-vectorization"
+/// code path of the `hostperf` benchmark.
+pub fn scan_chunk_reference(mat: &MaterializedColumns, query: &ScanAggQuery, rows: Range<usize>) -> ScanChunkPartial {
     let pred_pos: Vec<usize> = query.predicates.iter().map(|p| mat.pos(p.column)).collect();
     let agg_pos: Vec<usize> = query.aggregate.columns().iter().map(|&c| mat.pos(c)).collect();
     let mut partial = ScanChunkPartial::default();
@@ -322,13 +846,15 @@ pub fn merge_scan_partials(partials: impl IntoIterator<Item = ScanChunkPartial>)
 }
 
 /// Everything both sites need before they can evaluate a plan's chunks: the
-/// materialised probe columns and the (optional) join hash table.
+/// materialised probe columns and the (optional) join hash table. Both are
+/// shared (`Arc`) so the snapshot-keyed plan-data cache can hand the same
+/// instances to every site and every query of a snapshot.
 #[derive(Debug, Clone)]
 pub struct PlanData {
     /// Accessed probe columns, materialised in storage order.
-    pub mat: MaterializedColumns,
+    pub mat: Arc<MaterializedColumns>,
     /// The join hash table (present exactly when the plan joins).
-    pub hash: Option<JoinHashTable>,
+    pub hash: Option<Arc<JoinHashTable>>,
 }
 
 /// The shared preamble of plan execution: validates the plan against the
@@ -337,12 +863,32 @@ pub struct PlanData {
 /// columns. Both sites call this so their data paths — and their error
 /// behaviour on malformed or empty inputs — cannot drift apart; what remains
 /// site-specific is how the chunks are scheduled and what the pipeline is
-/// charged.
+/// charged. (Sites that hold a [`crate::cache::PlanDataCache`] go through
+/// [`crate::cache::PlanDataCache::prepare_plan`] instead, which produces the
+/// same `PlanData` but shares it across queries and sites.)
 pub fn prepare_plan(
     probe_table: &SnapshotTable,
     build_table: Option<&SnapshotTable>,
     plan: &OlapPlan,
 ) -> Result<PlanData> {
+    let build_group_col = check_plan_tables(probe_table, build_table, plan)?;
+    let hash = match (&plan.join, build_table) {
+        (Some(join), Some(build)) => Some(Arc::new(build_hash_table(build, join, build_group_col)?)),
+        _ => None,
+    };
+    let mat = Arc::new(MaterializedColumns::new(probe_table, plan.probe_columns_accessed())?);
+    Ok(PlanData { mat, hash })
+}
+
+/// The validation half of [`prepare_plan`]: checks the plan/table pairing
+/// and rejects empty tables, returning the build-side group column (if
+/// any). Shared with the cached preparation path so cached and uncached
+/// execution reject malformed inputs identically.
+pub fn check_plan_tables(
+    probe_table: &SnapshotTable,
+    build_table: Option<&SnapshotTable>,
+    plan: &OlapPlan,
+) -> Result<Option<usize>> {
     let build_group_col = check_plan(plan, build_table.is_some())?;
     if probe_table.row_count() == 0 {
         return Err(H2Error::InvalidKernel("cannot execute a plan over an empty probe table".into()));
@@ -352,12 +898,7 @@ pub fn prepare_plan(
             return Err(H2Error::InvalidKernel("cannot execute a join plan over an empty build table".into()));
         }
     }
-    let hash = match (&plan.join, build_table) {
-        (Some(join), Some(build)) => Some(build_hash_table(build, join, build_group_col)?),
-        _ => None,
-    };
-    let mat = MaterializedColumns::new(probe_table, plan.probe_columns_accessed())?;
-    Ok(PlanData { mat, hash })
+    Ok(build_group_col)
 }
 
 /// Validates `plan` against the presence of a build table and returns the
@@ -457,6 +998,24 @@ mod tests {
     }
 
     #[test]
+    fn mulshift_hasher_is_deterministic_and_spreads_bits() {
+        let hash = |key: u64| {
+            let mut h = MulShiftHasher::default();
+            h.write_u64(key);
+            h.finish()
+        };
+        assert_eq!(hash(42), hash(42), "same key, same hash, every time");
+        // f64 bit patterns of consecutive integers differ only in a few
+        // high mantissa bits; the finaliser must spread them across the low
+        // bits the hash map buckets on.
+        let mut low_bits = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            low_bits.insert(hash((i as f64).to_bits()) & 0x3f);
+        }
+        assert!(low_bits.len() > 32, "low 6 bits should be well spread, got {} distinct", low_bits.len());
+    }
+
+    #[test]
     fn chunked_evaluation_matches_a_scalar_reference() {
         let (probe, build) = tables(1_000);
         let plan = join_plan();
@@ -486,6 +1045,49 @@ mod tests {
             let want = expect[&g.key];
             assert!((g.values[0] - want).abs() < 1e-9, "brand {} got {} want {want}", g.key, g.values[0]);
             assert_eq!(g.values[1], g.rows as f64, "count aggregate tracks rows");
+        }
+    }
+
+    #[test]
+    fn vectorized_plan_chunks_are_bit_identical_to_the_reference() {
+        // Several chunks, every group mode, predicates + join.
+        let (probe, build) = tables(200_000);
+        let base = join_plan();
+        let plans = [
+            base.clone(),
+            OlapPlan { predicates: vec![Predicate::between(0, 100.0, 150_000.0)], ..base.clone() },
+            OlapPlan { group_by: Some(PlanColumn::Probe(1)), ..base.clone() },
+            OlapPlan { group_by: None, ..base.clone() },
+            OlapPlan {
+                predicates: vec![Predicate::between(1, 10.0, 59.0)],
+                join: None,
+                group_by: Some(PlanColumn::Probe(1)),
+                aggregates: vec![AggExpr::SumProduct(1, 2), AggExpr::Count, AggExpr::SumColumns(vec![0, 2])],
+            },
+        ];
+        for plan in plans {
+            let hash = match &plan.join {
+                Some(join) => {
+                    let group_col = check_plan(&plan, true).unwrap();
+                    Some(build_hash_table(&build, join, group_col).unwrap())
+                }
+                None => None,
+            };
+            let mat = MaterializedColumns::new(&probe, plan.probe_columns_accessed()).unwrap();
+            for i in 0..mat.chunk_count() {
+                let fast = process_chunk(&mat, &plan, hash.as_ref(), mat.chunk_range(i));
+                let slow = process_chunk_reference(&mat, &plan, hash.as_ref(), mat.chunk_range(i));
+                assert_eq!(fast.selected, slow.selected);
+                assert_eq!(fast.joined, slow.joined);
+                assert_eq!(fast.groups.len(), slow.groups.len());
+                for ((fk, fa), (sk, sa)) in fast.groups.iter().zip(&slow.groups) {
+                    assert_eq!(fk, sk);
+                    assert_eq!(fa.rows, sa.rows);
+                    for (x, y) in fa.values.iter().zip(&sa.values) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "chunk {i} group {fk}: {x} vs {y}");
+                    }
+                }
+            }
         }
     }
 
@@ -557,6 +1159,30 @@ mod tests {
     }
 
     #[test]
+    fn vectorized_scan_chunks_are_bit_identical_to_the_reference() {
+        let (probe, _) = tables(200_000);
+        let queries = [
+            ScanAggQuery { predicates: vec![Predicate::between(1, 10.0, 59.0)], aggregate: AggExpr::SumProduct(1, 2) },
+            ScanAggQuery {
+                predicates: vec![Predicate::between(1, 10.0, 59.0), Predicate::between(0, 1_000.0, 180_000.0)],
+                aggregate: AggExpr::SumColumns(vec![0, 2]),
+            },
+            ScanAggQuery { predicates: vec![], aggregate: AggExpr::SumColumns(vec![2]) },
+            ScanAggQuery { predicates: vec![Predicate::between(2, 0.0, 5_000.5)], aggregate: AggExpr::Count },
+            ScanAggQuery { predicates: vec![Predicate::between(0, 1e9, 2e9)], aggregate: AggExpr::SumProduct(0, 2) },
+        ];
+        for query in queries {
+            let mat = MaterializedColumns::new(&probe, query.columns_accessed()).unwrap();
+            for i in 0..mat.chunk_count() {
+                let fast = scan_chunk(&mat, &query, mat.chunk_range(i));
+                let slow = scan_chunk_reference(&mat, &query, mat.chunk_range(i));
+                assert_eq!(fast.qualifying, slow.qualifying, "chunk {i}");
+                assert_eq!(fast.value.to_bits(), slow.value.to_bits(), "chunk {i}: {} vs {}", fast.value, slow.value);
+            }
+        }
+    }
+
+    #[test]
     fn zonemap_check_is_safe_and_skipping_preserves_the_answer() {
         // col0 = i is inserted sorted, so chunk min/max bound it tightly.
         let (probe, _) = tables(200_000);
@@ -566,7 +1192,11 @@ mod tests {
         let mut kept = Vec::new();
         for i in 0..mat.chunk_count() {
             let range = mat.chunk_range(i);
-            if scan_chunk_can_qualify(&mat, &query.predicates, range.clone()) {
+            let can = scan_chunk_can_qualify(&mat, &query.predicates, i);
+            // The O(#preds) stats answer must agree with the O(chunk)
+            // recomputation it replaced.
+            assert_eq!(can, scan_chunk_can_qualify_reference(&mat, &query.predicates, range.clone()));
+            if can {
                 kept.push(scan_chunk(&mat, &query, range));
             } else {
                 // Safety: a skipped chunk must truly have an all-zero partial.

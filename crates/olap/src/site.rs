@@ -17,6 +17,7 @@
 //! ([`ExecutionSite::resident_fraction`]), and how it reacts to core
 //! migration ([`ExecutionSite::set_cores`]).
 
+use crate::cache::PlanDataCache;
 use crate::engine::{OlapOutcome, PlanOutcome, RegisteredTable};
 use h2tap_common::{OlapPlan, Result, ScanAggQuery};
 use h2tap_scheduler::{OlapTarget, SiteCapability};
@@ -91,6 +92,14 @@ pub trait ExecutionSite: Send {
     /// Capability hint: reacts to archipelago core migration. Sites that do
     /// not execute on CPU cores ignore it.
     fn set_cores(&mut self, _cores: u32) {}
+
+    /// Installs the shared snapshot-keyed plan-data cache. Every site built
+    /// into one engine receives the *same* cache, so materialised columns,
+    /// zonemap statistics and join hash tables derived by one site's
+    /// dispatch are reused by every other site for the same snapshot. Sites
+    /// default to a private cache, so standalone engines (tests, benches)
+    /// still amortise repeated queries.
+    fn set_plan_cache(&mut self, _cache: PlanDataCache) {}
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 use crate::codec::{decode_record, encode_record};
 use crate::layout::Layout;
 use crate::partition::PartitionStore;
-use crate::snapshot::{Snapshot, SnapshotTable};
+use crate::snapshot::{Snapshot, SnapshotTable, SnapshotTableId};
 use crate::telemetry::{CowStats, CowTelemetry};
 use h2tap_common::{Epoch, H2Error, PartitionId, RecordId, Result, Schema, TableId, Value};
 use parking_lot::{Mutex, RwLock};
@@ -43,6 +43,9 @@ pub struct GcReport {
 /// The Caldera shared-memory database.
 #[derive(Debug)]
 pub struct Database {
+    /// Process-unique instance id, part of every snapshot table's cache
+    /// identity so frozen images from different databases never alias.
+    instance: u64,
     partitions: Vec<Arc<RwLock<PartitionStore>>>,
     catalog: RwLock<BTreeMap<TableId, TableMeta>>,
     names: RwLock<BTreeMap<String, TableId>>,
@@ -63,6 +66,7 @@ impl Database {
             .map(|i| Arc::new(RwLock::new(PartitionStore::new(PartitionId(i as u32), Arc::clone(&telemetry)))))
             .collect();
         Arc::new(Self {
+            instance: crate::snapshot::next_source_id(),
             partitions,
             catalog: RwLock::new(BTreeMap::new()),
             names: RwLock::new(BTreeMap::new()),
@@ -181,7 +185,12 @@ impl Database {
             }
             tables.insert(
                 *tid,
-                SnapshotTable { schema: Arc::clone(&meta.schema), layout: meta.layout, partitions: per_partition },
+                SnapshotTable {
+                    schema: Arc::clone(&meta.schema),
+                    layout: meta.layout,
+                    partitions: per_partition,
+                    identity: SnapshotTableId { source: self.instance, table: *tid, epoch: snapshot_epoch },
+                },
             );
         }
         self.active_snapshots.lock().insert(id, snapshot_epoch);
@@ -314,6 +323,25 @@ mod tests {
         let snap = db.snapshot();
         let report = db.release_snapshot(&snap).unwrap();
         assert_eq!(report.pages_reclaimed, 0);
+    }
+
+    #[test]
+    fn snapshot_tables_carry_their_identity() {
+        let (first, t) = db();
+        let s1 = first.snapshot();
+        let s2 = first.snapshot();
+        let id1 = s1.table(t).unwrap().identity;
+        let id2 = s2.table(t).unwrap().identity;
+        assert_eq!(id1.table, t);
+        assert_eq!(id1.epoch, s1.epoch());
+        assert_eq!(id1.source, id2.source, "same database instance");
+        assert_ne!(id1, id2, "a new snapshot means a new epoch, so a new identity");
+        // A different database never shares a source id, even for the same
+        // table id and epoch.
+        let (other, t2) = db();
+        let s3 = other.snapshot();
+        assert_eq!(t2, t);
+        assert_ne!(s3.table(t2).unwrap().identity.source, id1.source);
     }
 
     #[test]

@@ -33,6 +33,6 @@ pub use database::{Database, GcReport, TableMeta};
 pub use layout::{Layout, ScanProfile};
 pub use page::Page;
 pub use partition::PartitionStore;
-pub use snapshot::{Snapshot, SnapshotTable};
+pub use snapshot::{Snapshot, SnapshotTable, SnapshotTableId};
 pub use table::TableFragment;
 pub use telemetry::{CowStats, CowTelemetry};

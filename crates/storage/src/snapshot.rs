@@ -11,7 +11,47 @@ use crate::layout::{Layout, ScanProfile};
 use crate::page::Page;
 use h2tap_common::{Epoch, H2Error, Result, Schema, TableId};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Source of globally unique data-source numbers: every [`crate::Database`]
+/// instance takes one at construction, and every detached
+/// ([`SnapshotTableId::detached`]) frozen table takes its own, so two frozen
+/// images from different origins can never share an identity.
+static NEXT_SOURCE: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn next_source_id() -> u64 {
+    NEXT_SOURCE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The identity of one frozen table image: which database instance it came
+/// from, which table, and which snapshot epoch froze it.
+///
+/// Two [`SnapshotTable`]s with equal identities reference byte-identical
+/// data — the epoch is bumped on every snapshot and copy-on-write keeps a
+/// frozen epoch's pages immutable — which is what makes the identity a safe
+/// key for caching *derived* plan data (materialised columns, zonemap stats,
+/// join hash tables) across queries and across execution sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SnapshotTableId {
+    /// Process-unique id of the owning [`crate::Database`] instance (or of
+    /// the detached table itself, see [`SnapshotTableId::detached`]).
+    pub source: u64,
+    /// The table within that database.
+    pub table: TableId,
+    /// The snapshot epoch the image was frozen at.
+    pub epoch: Epoch,
+}
+
+impl SnapshotTableId {
+    /// A fresh identity for a frozen table assembled outside any database
+    /// (tests, ad-hoc tooling). Each call returns a distinct `source`, so a
+    /// detached table never aliases a database snapshot — or another
+    /// detached table — in a plan-data cache.
+    pub fn detached() -> Self {
+        Self { source: next_source_id(), table: TableId(u32::MAX), epoch: Epoch::ZERO }
+    }
+}
 
 /// The frozen image of one table across all partitions.
 #[derive(Debug, Clone)]
@@ -22,6 +62,9 @@ pub struct SnapshotTable {
     pub layout: Layout,
     /// Page lists per partition, in partition order.
     pub partitions: Vec<Vec<Arc<Page>>>,
+    /// Cache identity of this frozen image (database instance + table +
+    /// snapshot epoch).
+    pub identity: SnapshotTableId,
 }
 
 impl SnapshotTable {
@@ -35,10 +78,17 @@ impl SnapshotTable {
         self.partitions.iter().flatten().flat_map(move |p| p.iter_attr(attr))
     }
 
-    /// Materialises one attribute as a contiguous vector.
+    /// Materialises one attribute as a contiguous vector. Column-major
+    /// (DSM/PAX) pages are bulk-copied slice-at-a-time; only row-major NSM
+    /// pages fall back to per-cell strided reads.
     pub fn column(&self, attr: usize) -> Vec<u64> {
         let mut out = Vec::with_capacity(self.row_count() as usize);
-        out.extend(self.iter_attr(attr));
+        for page in self.partitions.iter().flatten() {
+            match page.column_slice(attr) {
+                Some(slice) => out.extend_from_slice(slice),
+                None => out.extend(page.iter_attr(attr)),
+            }
+        }
         out
     }
 
@@ -117,7 +167,12 @@ mod tests {
         for i in 5..9u64 {
             p1.push(&[i, i * 2, i * 3]).unwrap();
         }
-        SnapshotTable { schema, layout: Layout::Dsm, partitions: vec![vec![Arc::new(p0)], vec![Arc::new(p1)]] }
+        SnapshotTable {
+            schema,
+            layout: Layout::Dsm,
+            partitions: vec![vec![Arc::new(p0)], vec![Arc::new(p1)]],
+            identity: SnapshotTableId::detached(),
+        }
     }
 
     #[test]
@@ -152,6 +207,14 @@ mod tests {
         assert!(snap.table(TableId(2)).is_err());
         assert_eq!(snap.tables().collect::<Vec<_>>(), vec![TableId(1)]);
         assert_eq!(snap.page_count(), 2);
+    }
+
+    #[test]
+    fn detached_identities_never_collide() {
+        let a = SnapshotTableId::detached();
+        let b = SnapshotTableId::detached();
+        assert_ne!(a, b, "every detached table gets its own source id");
+        assert_eq!(a.table, b.table);
     }
 
     #[test]

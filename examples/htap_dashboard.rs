@@ -67,6 +67,16 @@ fn run_scenario(queries_per_snapshot: u32) {
         stats.snapshots_taken,
         stats.cow.pages_copied,
     );
+    // The shared plan-data cache: how much of the host data path the
+    // dashboard's repeated queries amortised across snapshots and sites.
+    let cache = stats.plan_cache;
+    println!(
+        "    plan-data cache: {:>3} hits / {:>3} misses ({} invalidated) | hit rate {}",
+        cache.hits(),
+        cache.misses(),
+        cache.invalidations,
+        cache.hit_rate().map_or("  n/a".to_string(), |r| format!("{:>5.1}%", r * 100.0)),
+    );
     // Per-site routing: where the scheduler actually placed the 20 queries,
     // and how well the continuously calibrated cost model predicted each
     // site (the placement feedback loop).
