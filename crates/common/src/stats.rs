@@ -97,6 +97,14 @@ pub struct PlanCacheStats {
     /// Entries evicted because a newer snapshot epoch superseded them (or
     /// the whole cache was invalidated on a snapshot refresh).
     pub invalidations: u64,
+    /// Entries evicted by the byte-budget LRU policy (distinct from
+    /// `invalidations`, which counts correctness-driven drops).
+    pub evictions: u64,
+    /// Bytes currently held by cached entries (a gauge sampled when the
+    /// stats are read, not a counter).
+    pub occupancy_bytes: u64,
+    /// The configured byte budget, or `None` when the cache is unbounded.
+    pub budget_bytes: Option<u64>,
 }
 
 impl PlanCacheStats {

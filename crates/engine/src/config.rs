@@ -115,6 +115,12 @@ pub struct CalderaConfig {
     /// to start from deliberately wrong constants and watch the feedback
     /// loop correct them.
     pub cost_model_seed: Option<CostModel>,
+    /// Byte budget of the shared plan-data cache (materialised columns +
+    /// join hash tables). `None` (the default) is unbounded — the pre-budget
+    /// behaviour; `Some(0)` disables the cache; any other value bounds
+    /// occupancy with LRU eviction that never drops entries pinned by
+    /// in-flight queries.
+    pub olap_plan_cache_budget_bytes: Option<u64>,
 }
 
 impl Default for CalderaConfig {
@@ -129,6 +135,7 @@ impl Default for CalderaConfig {
             snapshot_policy: SnapshotPolicy::PerQuery,
             calibration: CalibrationConfig::default(),
             cost_model_seed: None,
+            olap_plan_cache_budget_bytes: None,
         }
     }
 }

@@ -148,8 +148,9 @@ impl Caldera {
         let calibrator = CostCalibrator::new(config.calibration, config.initial_cost_model());
         // One plan-data cache for every site: derived state (materialised
         // columns, zonemap stats, join hash tables) built by one site's
-        // dispatch is reused by all of them for the same snapshot.
-        let plan_cache = PlanDataCache::new();
+        // dispatch is reused by all of them for the same snapshot, bounded
+        // by the configured byte budget.
+        let plan_cache = PlanDataCache::with_budget(config.olap_plan_cache_budget_bytes);
         for site in &mut sites {
             site.set_plan_cache(plan_cache.clone());
         }
@@ -927,6 +928,44 @@ mod tests {
         assert!(stats.plan_cache.invalidations >= 1);
         assert_eq!(stats.plan_cache.column_misses, 2);
         assert_eq!(stats.plan_cache.hit_rate(), Some(1.0 / 3.0));
+    }
+
+    #[test]
+    fn plan_cache_budget_flows_from_config_to_stats() {
+        let q = ScanAggQuery {
+            predicates: vec![h2tap_common::Predicate::between(0, 0.0, 2_000.0)],
+            aggregate: AggExpr::SumColumns(vec![1]),
+        };
+        // A budget comfortably above one entry: the repeat hits and the
+        // occupancy stays within the configured bound.
+        let mut config = CalderaConfig::with_workers(2);
+        config.snapshot_policy = SnapshotPolicy::EveryN { queries: 100 };
+        config.olap_plan_cache_budget_bytes = Some(1 << 20);
+        let (caldera, t) = engine_with_config(config, 5_000);
+        caldera.run_olap(t, &q).unwrap();
+        caldera.run_olap(t, &q).unwrap();
+        let cache = caldera.stats().plan_cache;
+        assert_eq!(cache.budget_bytes, Some(1 << 20));
+        assert_eq!(cache.column_misses, 1);
+        assert_eq!(cache.column_hits, 1);
+        assert!(cache.occupancy_bytes > 0);
+        assert!(cache.occupancy_bytes <= 1 << 20);
+        caldera.shutdown();
+        // A budget too small for even one entry: every query recomputes,
+        // nothing is retained, and no futile eviction is counted.
+        let mut config = CalderaConfig::with_workers(2);
+        config.snapshot_policy = SnapshotPolicy::EveryN { queries: 100 };
+        config.olap_plan_cache_budget_bytes = Some(64);
+        let (caldera, t) = engine_with_config(config, 5_000);
+        caldera.run_olap(t, &q).unwrap();
+        caldera.run_olap(t, &q).unwrap();
+        let cache = caldera.stats().plan_cache;
+        assert_eq!(cache.budget_bytes, Some(64));
+        assert_eq!(cache.column_misses, 2);
+        assert_eq!(cache.column_hits, 0);
+        assert_eq!(cache.occupancy_bytes, 0);
+        assert_eq!(cache.evictions, 0);
+        caldera.shutdown();
     }
 
     #[test]

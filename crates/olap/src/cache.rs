@@ -26,6 +26,23 @@
 //! lazily (a request at epoch `e` drops entries of the same table at
 //! epochs `< e`) and eagerly on [`PlanDataCache::invalidate`], which the
 //! engine calls on every snapshot refresh.
+//!
+//! # Byte budget and LRU eviction
+//!
+//! An unbounded cache OOMs under many-table workloads, so the cache takes an
+//! optional **byte budget** ([`PlanDataCache::with_budget`], wired to
+//! `CalderaConfig::olap_plan_cache_budget_bytes`). On every miss the derived
+//! entry is *admitted* only if it fits: least-recently-used entries are
+//! evicted (across both maps, by a shared access tick) until it does, an
+//! entry larger than the whole budget is simply not cached (derive, return,
+//! forget — never flush the cache for an entry that cannot fit), and a
+//! budget of zero disables caching outright. Entries **pinned by in-flight
+//! queries** — anything whose `Arc` a caller still holds — are never
+//! evicted; if only pinned entries remain, admission fails and the new
+//! entry goes uncached. Occupancy therefore never exceeds the budget.
+//! Budget evictions count separately from epoch/refresh `invalidations`
+//! (policy vs correctness) and both, plus the occupancy gauge, surface
+//! through [`PlanCacheStats`].
 
 use crate::operators::{self, JoinHashTable, MaterializedColumns, PlanData};
 use h2tap_common::{JoinSpec, OlapPlan, PlanCacheStats, Result};
@@ -65,19 +82,82 @@ impl HashKey {
     }
 }
 
+/// One cached derivation: the shared value, its byte footprint (fixed at
+/// admission) and the access tick of its most recent use.
+#[derive(Debug)]
+struct Entry<T> {
+    value: Arc<T>,
+    bytes: u64,
+    last_used: u64,
+}
+
 #[derive(Debug, Default)]
 struct CacheInner {
-    columns: HashMap<ColumnsKey, Arc<MaterializedColumns>>,
-    hashes: HashMap<HashKey, Arc<JoinHashTable>>,
+    columns: HashMap<ColumnsKey, Entry<MaterializedColumns>>,
+    hashes: HashMap<HashKey, Entry<JoinHashTable>>,
     /// Highest epoch observed per (database instance, table) — lazy
     /// eviction only runs when this *advances*, so a pure hit stream costs
     /// O(1) per access and a request at an older (still-live) epoch is
     /// served, never punished.
     latest_epoch: HashMap<(u64, h2tap_common::TableId), h2tap_common::Epoch>,
     stats: PlanCacheStats,
+    /// Byte budget (`None` = unbounded, `Some(0)` = caching disabled).
+    budget: Option<u64>,
+    /// Monotonic access counter ordering uses across both maps for LRU.
+    tick: u64,
 }
 
 impl CacheInner {
+    /// Bumps and returns the access tick.
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Bytes currently held across both maps.
+    fn occupancy(&self) -> u64 {
+        self.columns.values().map(|e| e.bytes).sum::<u64>() + self.hashes.values().map(|e| e.bytes).sum::<u64>()
+    }
+
+    /// Decides whether an entry of `bytes` may be cached, evicting
+    /// least-recently-used **unpinned** entries until it fits. An entry is
+    /// pinned exactly while some caller still holds its `Arc`
+    /// (`strong_count > 1` — the cache holds the other reference), which is
+    /// what protects the currently-executing query's data: a prepared
+    /// plan's hash table stays resident while its columns are admitted, and
+    /// no eviction can free memory a query is still reading. Returns
+    /// `false` — derive but don't cache — when the entry can never fit or
+    /// only pinned entries remain.
+    fn admit(&mut self, bytes: u64) -> bool {
+        let Some(budget) = self.budget else { return true };
+        if bytes > budget {
+            // Evicting everything still wouldn't make room: don't flush a
+            // working set for an entry that cannot be cached anyway.
+            return false;
+        }
+        while self.occupancy() + bytes > budget {
+            let col_victim = self
+                .columns
+                .iter()
+                .filter(|(_, e)| Arc::strong_count(&e.value) == 1)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, e)| (k.clone(), e.last_used));
+            let hash_victim = self
+                .hashes
+                .iter()
+                .filter(|(_, e)| Arc::strong_count(&e.value) == 1)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, e)| (k.clone(), e.last_used));
+            match (col_victim, hash_victim) {
+                (Some((ck, ct)), Some((_, ht))) if ct <= ht => drop(self.columns.remove(&ck)),
+                (_, Some((hk, _))) => drop(self.hashes.remove(&hk)),
+                (Some((ck, _)), None) => drop(self.columns.remove(&ck)),
+                (None, None) => return false,
+            }
+            self.stats.evictions += 1;
+        }
+        true
+    }
     /// Notes an access at `id`'s epoch. The first time a *newer* epoch of a
     /// table is seen, entries of that table's older epochs are evicted —
     /// they are usually superseded snapshots. Entries of *other* tables
@@ -109,34 +189,55 @@ pub struct PlanDataCache {
 }
 
 impl PlanDataCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty cache with a byte budget: `None` is unbounded, `Some(0)`
+    /// disables caching (every request re-derives), any other value bounds
+    /// occupancy by LRU eviction (see the module doc).
+    pub fn with_budget(budget: Option<u64>) -> Self {
+        let cache = Self::default();
+        cache.inner.lock().budget = budget;
+        cache
+    }
+
+    /// The configured byte budget (`None` = unbounded).
+    pub fn budget(&self) -> Option<u64> {
+        self.inner.lock().budget
+    }
+
     /// The materialised columns (with zonemap statistics) of `cols` of the
     /// frozen `table`, shared if a query — on any site — already derived
-    /// them for this snapshot epoch; materialised and cached otherwise.
+    /// them for this snapshot epoch; materialised, and cached if the budget
+    /// admits it, otherwise.
     pub fn materialized(&self, table: &SnapshotTable, mut cols: Vec<usize>) -> Result<Arc<MaterializedColumns>> {
         cols.sort_unstable();
         cols.dedup();
         let key = ColumnsKey { id: table.identity, cols };
         let mut inner = self.inner.lock();
+        let inner = &mut *inner; // split the guard borrow across fields
         inner.note_epoch(table.identity);
-        if let Some(hit) = inner.columns.get(&key).cloned() {
+        let now = inner.touch();
+        if let Some(hit) = inner.columns.get_mut(&key) {
+            hit.last_used = now;
             inner.stats.column_hits += 1;
-            return Ok(hit);
+            return Ok(Arc::clone(&hit.value));
         }
         inner.stats.column_misses += 1;
         let mat = Arc::new(MaterializedColumns::new(table, key.cols.clone())?);
-        inner.columns.insert(key, Arc::clone(&mat));
+        let bytes = mat.cell_bytes();
+        if inner.admit(bytes) {
+            inner.columns.insert(key, Entry { value: Arc::clone(&mat), bytes, last_used: now });
+        }
         Ok(mat)
     }
 
     /// The join hash table of `join` (carrying `group_col` payloads) over
     /// the frozen `build` table, shared across queries and sites for this
-    /// snapshot epoch; built and cached otherwise. Build errors (duplicate
-    /// PK-join keys) are never cached.
+    /// snapshot epoch; built, and cached if the budget admits it,
+    /// otherwise. Build errors (duplicate PK-join keys) are never cached.
     pub fn hash_table(
         &self,
         build: &SnapshotTable,
@@ -145,14 +246,20 @@ impl PlanDataCache {
     ) -> Result<Arc<JoinHashTable>> {
         let key = HashKey::new(build.identity, join, group_col);
         let mut inner = self.inner.lock();
+        let inner = &mut *inner; // split the guard borrow across fields
         inner.note_epoch(build.identity);
-        if let Some(hit) = inner.hashes.get(&key).cloned() {
+        let now = inner.touch();
+        if let Some(hit) = inner.hashes.get_mut(&key) {
+            hit.last_used = now;
             inner.stats.hash_hits += 1;
-            return Ok(hit);
+            return Ok(Arc::clone(&hit.value));
         }
         inner.stats.hash_misses += 1;
         let hash = Arc::new(operators::build_hash_table(build, join, group_col)?);
-        inner.hashes.insert(key, Arc::clone(&hash));
+        let bytes = hash.footprint_bytes();
+        if inner.admit(bytes) {
+            inner.hashes.insert(key, Entry { value: Arc::clone(&hash), bytes, last_used: now });
+        }
         Ok(hash)
     }
 
@@ -185,9 +292,14 @@ impl PlanDataCache {
         inner.latest_epoch.clear();
     }
 
-    /// Current hit/miss/invalidation counters.
+    /// Current hit/miss/invalidation/eviction counters, with the occupancy
+    /// gauge and the configured budget sampled at call time.
     pub fn stats(&self) -> PlanCacheStats {
-        self.inner.lock().stats
+        let inner = self.inner.lock();
+        let mut stats = inner.stats;
+        stats.occupancy_bytes = inner.occupancy();
+        stats.budget_bytes = inner.budget;
+        stats
     }
 
     /// Live entries (materialised column sets + hash tables).
@@ -196,12 +308,10 @@ impl PlanDataCache {
         inner.columns.len() + inner.hashes.len()
     }
 
-    /// Raw cell bytes held by the cached materialisations — how much host
-    /// memory the cache trades for the re-materialisation work.
+    /// Bytes held by the cached entries — how much host memory the cache
+    /// trades for the re-derivation work. Never exceeds the budget.
     pub fn cached_bytes(&self) -> u64 {
-        let inner = self.inner.lock();
-        inner.columns.values().map(|m| m.cell_bytes()).sum::<u64>()
-            + inner.hashes.values().map(|h| h.footprint_bytes()).sum::<u64>()
+        self.inner.lock().occupancy()
     }
 }
 
@@ -313,6 +423,140 @@ mod tests {
         assert_eq!(stats.column_hits, 2);
         assert_eq!(stats.invalidations, 1, "no further eviction without an epoch advance");
         assert_eq!(cache.entries(), 2, "both live generations stay cached");
+    }
+
+    /// `n` single-column Int64 tables of `rows` rows each in one database:
+    /// every `materialized(_, vec![0])` entry is exactly `rows * 8` bytes.
+    fn tables_in_one_db(n: usize, rows: i64) -> (StdArc<Database>, Vec<h2tap_common::TableId>) {
+        let db = Database::new(1);
+        let ids: Vec<_> = (0..n)
+            .map(|i| {
+                db.create_table(format!("t{i}"), Schema::homogeneous("c", 1, AttrType::Int64), Layout::Dsm).unwrap()
+            })
+            .collect();
+        for &t in &ids {
+            for i in 0..rows {
+                db.insert(PartitionId(0), t, &[Value::Int64(i)]).unwrap();
+            }
+        }
+        (db, ids)
+    }
+
+    #[test]
+    fn permuted_column_sets_share_one_entry() {
+        let (db, t) = db_with_rows(64);
+        let snap = db.snapshot();
+        let frozen = snap.table(t).unwrap();
+        let cache = PlanDataCache::new();
+        let a = cache.materialized(frozen, vec![0, 1]).unwrap();
+        let b = cache.materialized(frozen, vec![1, 0]).unwrap();
+        let c = cache.materialized(frozen, vec![1, 0, 0, 1]).unwrap();
+        assert!(StdArc::ptr_eq(&a, &b) && StdArc::ptr_eq(&a, &c), "permutations and repeats normalise to one key");
+        let stats = cache.stats();
+        assert_eq!((stats.column_misses, stats.column_hits), (1, 2));
+        assert_eq!(cache.entries(), 1);
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let (db, t) = db_with_rows(100);
+        let snap = db.snapshot();
+        let frozen = snap.table(t).unwrap();
+        let cache = PlanDataCache::with_budget(Some(0));
+        let a = cache.materialized(frozen, vec![0]).unwrap();
+        let b = cache.materialized(frozen, vec![0]).unwrap();
+        assert!(!StdArc::ptr_eq(&a, &b), "every request re-derives");
+        let stats = cache.stats();
+        assert_eq!((stats.column_misses, stats.column_hits), (2, 0));
+        assert_eq!(stats.evictions, 0, "nothing was cached, so nothing was evicted");
+        assert_eq!(stats.budget_bytes, Some(0));
+        assert_eq!(cache.entries(), 0);
+        assert_eq!(cache.cached_bytes(), 0);
+    }
+
+    #[test]
+    fn an_entry_larger_than_the_budget_never_flushes_the_cache() {
+        let (db, ids) = tables_in_one_db(1, 10); // 80-byte entry
+        let wide = db.create_table("wide", Schema::homogeneous("w", 2, AttrType::Int64), Layout::Dsm).unwrap();
+        for i in 0..1_000i64 {
+            db.insert(PartitionId(0), wide, &[Value::Int64(i), Value::Int64(i)]).unwrap();
+        }
+        let snap = db.snapshot();
+        let cache = PlanDataCache::with_budget(Some(1_000));
+        let small = cache.materialized(snap.table(ids[0]).unwrap(), vec![0]).unwrap();
+        // 16_000 bytes can never fit in 1_000: derive, return, don't cache —
+        // and don't evict the working set trying.
+        let big = cache.materialized(snap.table(wide).unwrap(), vec![0, 1]).unwrap();
+        assert_eq!(big.rows(), 1_000);
+        assert_eq!(cache.stats().evictions, 0, "an unfittable entry must not flush the cache");
+        assert_eq!(cache.cached_bytes(), 80, "only the small entry is resident");
+        let again = cache.materialized(snap.table(ids[0]).unwrap(), vec![0]).unwrap();
+        assert!(StdArc::ptr_eq(&small, &again), "the small entry survived");
+    }
+
+    #[test]
+    fn eviction_follows_least_recent_use() {
+        let (db, ids) = tables_in_one_db(3, 100); // 800 bytes per entry
+        let snap = db.snapshot();
+        let cache = PlanDataCache::with_budget(Some(1_600)); // room for two
+        let _ = cache.materialized(snap.table(ids[0]).unwrap(), vec![0]).unwrap();
+        let _ = cache.materialized(snap.table(ids[1]).unwrap(), vec![0]).unwrap();
+        let _ = cache.materialized(snap.table(ids[0]).unwrap(), vec![0]).unwrap(); // t0 now most recent
+        let _ = cache.materialized(snap.table(ids[2]).unwrap(), vec![0]).unwrap(); // evicts t1 (LRU), not t0
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.column_hits, 1);
+        let _ = cache.materialized(snap.table(ids[0]).unwrap(), vec![0]).unwrap(); // hit: t0 survived
+        assert_eq!(cache.stats().column_hits, 2);
+        let _ = cache.materialized(snap.table(ids[1]).unwrap(), vec![0]).unwrap(); // miss: t1 was the victim
+        let s = cache.stats();
+        assert_eq!(s.column_misses, 4);
+        assert_eq!(s.evictions, 2);
+        assert!(cache.cached_bytes() <= 1_600);
+    }
+
+    #[test]
+    fn pinned_entries_are_never_evicted() {
+        let (db, ids) = tables_in_one_db(5, 100); // 800 bytes per entry
+        let snap = db.snapshot();
+        let cache = PlanDataCache::with_budget(Some(1_600)); // room for two
+                                                             // Pin t0 the way an in-flight query does: hold the Arc.
+        let pinned = cache.materialized(snap.table(ids[0]).unwrap(), vec![0]).unwrap();
+        for &t in &ids[1..4] {
+            let _ = cache.materialized(snap.table(t).unwrap(), vec![0]).unwrap();
+            assert!(cache.cached_bytes() <= 1_600, "occupancy must never exceed the budget");
+        }
+        // Despite being the least recently used entry throughout, t0 was
+        // never the victim — the stream evicted around it.
+        let again = cache.materialized(snap.table(ids[0]).unwrap(), vec![0]).unwrap();
+        assert!(StdArc::ptr_eq(&pinned, &again), "the pinned entry still hits");
+        assert_eq!(cache.stats().evictions, 2, "t1 and t2 were evicted instead");
+        // Once the query lets go, the entry is ordinary LRU prey again:
+        // stream two fresh tables without touching t0.
+        drop(again);
+        drop(pinned);
+        let _ = cache.materialized(snap.table(ids[4]).unwrap(), vec![0]).unwrap();
+        let _ = cache.materialized(snap.table(ids[1]).unwrap(), vec![0]).unwrap();
+        assert!(cache.stats().evictions >= 4, "unpinned t0 became evictable");
+        assert!(cache.cached_bytes() <= 1_600);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_the_budget_under_a_many_table_stream() {
+        let (db, ids) = tables_in_one_db(8, 100); // 800 bytes per entry
+        let snap = db.snapshot();
+        let cache = PlanDataCache::with_budget(Some(2_000)); // room for two
+        for _ in 0..2 {
+            for &t in &ids {
+                let _ = cache.materialized(snap.table(t).unwrap(), vec![0]).unwrap();
+                assert!(cache.cached_bytes() <= 2_000);
+                let s = cache.stats();
+                assert!(s.occupancy_bytes <= 2_000);
+                assert_eq!(s.budget_bytes, Some(2_000));
+            }
+        }
+        assert!(cache.stats().evictions > 0, "the stream must have exercised eviction");
+        assert!(cache.entries() <= 2);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 use crate::cache::PlanDataCache;
 use crate::engine::{OlapOutcome, PlanOutcome, RegisteredTable};
 use crate::operators::{self, ChunkPartial, ScanChunkPartial};
+use crate::pool::{run_chunked, MAX_PLAN_THREADS};
 use crate::site::ExecutionSite;
 use h2tap_common::{ExecBreakdown, GroupRow, H2Error, OlapPlan, Result, ScanAggQuery, SimDuration};
 use h2tap_scheduler::{overlap_secs, OlapTarget, SiteCapability, CPU_CACHE_LINE_BYTES};
@@ -39,10 +40,6 @@ const HASH_PROBE_NS: f64 = 24.0;
 /// Per-tuple cost of one group-accumulator update (hash the key, load/store
 /// the accumulators) in nanoseconds.
 const GROUP_UPDATE_NS: f64 = 12.0;
-
-/// Upper bound on worker threads per query; simulated core counts above this
-/// stop translating into real threads (the host machine has its own limits).
-const MAX_PLAN_THREADS: usize = 32;
 
 /// How the engine executes a scan: per-tuple cost and whether zonemaps are
 /// consulted before each chunk.
@@ -154,30 +151,6 @@ pub struct CpuOlapEngine {
     /// Snapshot-keyed plan-data cache (shared across all sites when built
     /// into an engine, private otherwise).
     cache: PlanDataCache,
-}
-
-/// Runs `eval` over chunk indexes `0..chunks` on a scoped pool of `threads`
-/// workers (strided chunk assignment) and returns the results in ascending
-/// chunk order — the execution harness both the scan and the plan pipeline
-/// share. Because every chunk's evaluation is deterministic and the caller
-/// merges in index order, the thread schedule cannot perturb f64 results.
-fn run_chunked<T: Send>(chunks: usize, threads: usize, eval: impl Fn(usize) -> T + Sync) -> Vec<T> {
-    if threads <= 1 {
-        return (0..chunks).map(eval).collect();
-    }
-    let mut slots: Vec<Option<T>> = (0..chunks).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let eval = &eval;
-        let workers: Vec<_> = (0..threads)
-            .map(|t| scope.spawn(move || (t..chunks).step_by(threads).map(|i| (i, eval(i))).collect::<Vec<_>>()))
-            .collect();
-        for worker in workers {
-            for (i, result) in worker.join().expect("chunk worker panicked") {
-                slots[i] = Some(result);
-            }
-        }
-    });
-    slots.into_iter().map(|p| p.expect("every chunk evaluated")).collect()
 }
 
 impl CpuOlapEngine {

@@ -18,6 +18,8 @@ pub mod engine;
 pub mod multi_gpu;
 pub mod operators;
 pub mod policy;
+mod pool;
+mod simd;
 pub mod site;
 
 pub use cache::PlanDataCache;

@@ -12,40 +12,52 @@
 //! thread blocks, but because every site uses these functions over the same
 //! materialised columns, the numbers that come out are bit-equal.
 //!
-//! # Vectorized batch execution
+//! # Vectorized batch execution and explicit SIMD kernels
 //!
 //! Within a chunk, the hot functions ([`scan_chunk`], [`process_chunk`])
 //! execute **vectorized**: rows are processed in fixed
 //! [`VECTOR_BATCH_ROWS`]-row batches, predicate evaluation fills a
-//! *selection vector* with one tight, per-column-type monomorphised loop per
-//! predicate, hash probes compact the selection vector in a dedicated loop,
-//! and aggregate accumulation runs one specialised loop per [`AggExpr`]
-//! variant instead of a per-row `match`. None of this changes a single bit
-//! of the f64 results: a selection vector only *skips* rows a predicate
-//! rejected (exactly the rows the row-at-a-time loop `continue`d past), rows
-//! are visited in ascending storage order within every batch, and each
-//! accumulator still receives the same additions in the same order — only
-//! the interpretive overhead around them is gone. The row-at-a-time
-//! implementations are retained as [`scan_chunk_reference`] and
-//! [`process_chunk_reference`]; property tests pin the vectorized path
-//! bit-identical to them.
+//! *selection vector*, hash probes compact it, and aggregate accumulation
+//! runs one specialised loop per [`AggExpr`] variant instead of a per-row
+//! `match`. The inner loops are **explicit SIMD kernels** ([`crate::simd`]):
+//! hand-unrolled 4/8-lane structs (the toolchain is stable Rust, so no
+//! `std::simd`) monomorphised per column type through [`with_decoder!`] —
+//! predicate masks, probe-key decodes and per-row aggregate staging are
+//! lane-parallel, while every f64 *accumulation* stays sequential in
+//! ascending row order. None of this changes a single bit of the results:
+//! a selection vector only *skips* rows a predicate rejected (exactly the
+//! rows the row-at-a-time loop `continue`d past), staged per-row values are
+//! computed by the very expressions the reference evaluates, and each
+//! accumulator receives the same additions in the same order. Two oracles
+//! are retained and property-tested bit-identical: the row-at-a-time
+//! references ([`scan_chunk_reference`], [`process_chunk_reference`]) and
+//! the pre-SIMD scalar batch path ([`scan_chunk_scalar`],
+//! [`process_chunk_scalar`]), which the `hostperf` benchmark also times as
+//! the prior-PR baseline.
 //!
-//! # Zonemap statistics
+//! # Zonemap statistics and parallel materialisation
 //!
-//! [`MaterializedColumns`] computes per-chunk min/max *zonemap statistics*
-//! for every materialised column once, at materialisation time.
+//! [`MaterializedColumns::new`] copies each accessed column and computes
+//! its per-chunk min/max *zonemap statistics* in one fused pass per chunk —
+//! the zonemap reads the chunk while it is still cache-resident from the
+//! copy — and runs those per-(column, chunk) tasks on the shared scoped
+//! pool ([`crate::pool`]), preserving chunk order in the output.
 //! [`scan_chunk_can_qualify`] then answers in O(#predicates) per chunk
 //! instead of re-scanning the chunk's values per predicate per query (the
-//! old behaviour is retained as [`scan_chunk_can_qualify_reference`]).
-//! Because the stats live on the materialised columns, the snapshot-keyed
-//! plan-data cache ([`crate::cache::PlanDataCache`]) shares them across
-//! queries and across execution sites for free.
+//! old behaviour is retained as [`scan_chunk_can_qualify_reference`], and
+//! the prior single-threaded two-pass build as
+//! [`MaterializedColumns::new_serial`]). Because the stats live on the
+//! materialised columns, the snapshot-keyed plan-data cache
+//! ([`crate::cache::PlanDataCache`]) shares them across queries and across
+//! execution sites for free.
 //!
 //! What the sites do *not* share is the cost model: the CPU charges cache-
 //! line-granular random access against host memory bandwidth, the GPU
 //! charges build/probe/aggregate kernels (with [`h2tap_gpu_sim::AccessPattern::Random`]
 //! probes) through the gpu-sim memory model.
 
+use crate::pool;
+use crate::simd::{min_max_lanes, stage_key_bits, F64x4, F64x8, SimdF64};
 use h2tap_common::{
     AggExpr, AttrType, GroupRow, H2Error, JoinSpec, OlapPlan, PlanColumn, Predicate, Result, ScanAggQuery,
     PLAN_CHUNK_ROWS,
@@ -139,9 +151,67 @@ pub struct MaterializedColumns {
 }
 
 impl MaterializedColumns {
+    /// Validates `cols` against the table and resolves their types.
+    /// Selection vectors index rows as u32; tables beyond that bound are
+    /// rejected here, where it is an error, rather than wrapping silently in
+    /// a release-build hot loop.
+    fn check_dims(table: &SnapshotTable, cols: &[usize]) -> Result<Vec<AttrType>> {
+        if table.row_count() > u64::from(u32::MAX) {
+            return Err(H2Error::InvalidKernel(format!(
+                "table has {} rows — the vectorized data path indexes rows as u32",
+                table.row_count()
+            )));
+        }
+        cols.iter().map(|&c| table.schema.attr(c).map(|a| a.ty)).collect()
+    }
+
     /// Materialises `cols` (attribute indexes) of `table` and builds their
-    /// per-chunk zonemap statistics.
+    /// per-chunk zonemap statistics — the cold-path critical path of plan
+    /// preparation. Column copy and zonemap min/max run **fused** (the
+    /// lane-parallel min/max reads each chunk while it is still
+    /// cache-resident from the copy, instead of re-streaming the whole
+    /// column from memory) and the per-(column, chunk) tasks run on the
+    /// shared scoped pool, preserving chunk order in the output.
     pub fn new(table: &SnapshotTable, cols: Vec<usize>) -> Result<Self> {
+        let types = Self::check_dims(table, &cols)?;
+        let rows = table.row_count() as usize;
+        let chunks = rows.div_ceil(PLAN_CHUNK_ROWS).max(1);
+        let mut data: Vec<Vec<u64>> = cols.iter().map(|_| vec![0u64; rows]).collect();
+        // One task per (column, chunk): an exclusive slice of that column's
+        // output buffer plus the indexes to scatter the bounds back with.
+        let mut tasks: Vec<(usize, usize, &mut [u64])> = Vec::with_capacity(cols.len() * chunks);
+        for (pos, col) in data.iter_mut().enumerate() {
+            for (chunk, out) in col.chunks_mut(PLAN_CHUNK_ROWS).enumerate() {
+                tasks.push((pos, chunk, out));
+            }
+        }
+        let threads = pool::host_threads(tasks.len());
+        let bounds = pool::run_tasks(tasks, threads, |(pos, chunk, out)| {
+            let lo = chunk * PLAN_CHUNK_ROWS;
+            table.column_into(cols[pos], lo..lo + out.len(), out);
+            let (min, max) = with_decoder!(types[pos], min_max_lanes(out));
+            (pos, chunk, min, max)
+        });
+        // `(+inf, -inf)` is both the empty-chunk zonemap and the identity
+        // the bounds fold from, so a zero-row table (which produces no
+        // tasks but still has `chunk_count() == 1`) needs no special case.
+        let mut zonemaps: Vec<ColumnZonemap> = cols
+            .iter()
+            .map(|_| ColumnZonemap { mins: vec![f64::INFINITY; chunks], maxs: vec![f64::NEG_INFINITY; chunks] })
+            .collect();
+        for (pos, chunk, min, max) in bounds {
+            zonemaps[pos].mins[chunk] = min;
+            zonemaps[pos].maxs[chunk] = max;
+        }
+        Ok(Self { cols, types, data, zonemaps, rows })
+    }
+
+    /// The prior single-threaded two-pass build — copy every column, then
+    /// re-scan each column per chunk for the zonemap — retained as the
+    /// equivalence oracle for [`MaterializedColumns::new`] and as the
+    /// prior-PR cold path the `hostperf` benchmark prices the fused
+    /// parallel build against.
+    pub fn new_serial(table: &SnapshotTable, cols: Vec<usize>) -> Result<Self> {
         let mut mat = Self::new_without_zonemaps(table, cols)?;
         let rows = mat.rows;
         let chunks = mat.chunk_count();
@@ -164,22 +234,15 @@ impl MaterializedColumns {
         Ok(mat)
     }
 
-    /// Materialises without building zonemap statistics — the pre-PR
-    /// materialisation cost, retained so the `hostperf` benchmark's
-    /// reference baseline pays exactly what the row-at-a-time path used to
-    /// pay. [`scan_chunk_can_qualify`] transparently falls back to the
-    /// O(chunk) recomputation on such an instance.
+    /// Materialises without building zonemap statistics, single-threaded —
+    /// used where the statistics would be pure waste (the build side of a
+    /// hash join is consumed exactly once, at build time) and as the
+    /// `hostperf` reference baseline, which pays exactly what the
+    /// row-at-a-time path used to pay. [`scan_chunk_can_qualify`]
+    /// transparently falls back to the O(chunk) recomputation on such an
+    /// instance.
     pub fn new_without_zonemaps(table: &SnapshotTable, cols: Vec<usize>) -> Result<Self> {
-        // Selection vectors index rows as u32; reject tables beyond that
-        // bound here, where it is an error, rather than wrapping silently
-        // in a release-build hot loop.
-        if table.row_count() > u64::from(u32::MAX) {
-            return Err(H2Error::InvalidKernel(format!(
-                "table has {} rows — the vectorized data path indexes rows as u32",
-                table.row_count()
-            )));
-        }
-        let types: Vec<AttrType> = cols.iter().map(|&c| table.schema.attr(c).map(|a| a.ty)).collect::<Result<_>>()?;
+        let types = Self::check_dims(table, &cols)?;
         let data: Vec<Vec<u64>> = cols.iter().map(|&c| table.column(c)).collect();
         let rows = table.row_count() as usize;
         Ok(Self { cols, types, data, zonemaps: Vec::new(), rows })
@@ -300,7 +363,9 @@ pub fn build_hash_table(build: &SnapshotTable, join: &JoinSpec, group_col: Optio
         .collect();
     cols.sort_unstable();
     cols.dedup();
-    let mat = MaterializedColumns::new(build, cols)?;
+    // No zonemaps: the build side is consumed exactly once, right here —
+    // per-chunk statistics would be computed and never read.
+    let mat = MaterializedColumns::new_without_zonemaps(build, cols)?;
     let key_pos = mat.pos(join.build_key);
     let pred_pos: Vec<usize> = join.build_predicates.iter().map(|p| mat.pos(p.column)).collect();
     let group_pos = group_col.map(|c| mat.pos(c));
@@ -407,6 +472,244 @@ fn select_batch(
     }
 }
 
+/// Which inner-loop kernels a chunk evaluation uses. The public entry
+/// points pin the flavour: [`scan_chunk`]/[`process_chunk`] run `Simd`,
+/// [`scan_chunk_scalar`]/[`process_chunk_scalar`] the retained pre-SIMD
+/// scalar batch loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kernels {
+    /// Explicit lane kernels ([`crate::simd`]).
+    Simd,
+    /// The retained scalar batch loops (the prior-PR vectorized path).
+    Scalar,
+}
+
+#[inline(always)]
+fn group_between_mask<D: Fn(u64) -> f64>(decode: D, cells: &[u64], pred: &Predicate) -> u32 {
+    F64x8::decode(&decode, cells).between_mask(pred.lo, pred.hi)
+}
+
+/// SIMD flavour of [`select_batch`]: per 8-lane group, AND together every
+/// predicate's lane mask (with an early out once a group's mask is empty),
+/// then compact the surviving lanes branchlessly. The result is exactly the
+/// fill+refine cascade's — the ascending set of rows every predicate
+/// accepts — the per-predicate intermediate selections simply never
+/// materialise, which also spares re-gathering rows per refine pass.
+#[inline]
+fn select_batch_simd(
+    mat: &MaterializedColumns,
+    predicates: &[Predicate],
+    pred_pos: &[usize],
+    batch: Range<usize>,
+    sel: &mut Vec<u32>,
+) {
+    sel.clear();
+    sel.resize(batch.len(), 0);
+    let mut k = 0usize;
+    let mut i = batch.start;
+    while i + F64x8::LANES <= batch.end {
+        let mut mask = (1u32 << F64x8::LANES) - 1;
+        for (pred, &pos) in predicates.iter().zip(pred_pos) {
+            let cells = &mat.data[pos][i..i + F64x8::LANES];
+            mask &= with_decoder!(mat.types[pos], group_between_mask(cells, pred));
+            if mask == 0 {
+                break;
+            }
+        }
+        for lane in 0..F64x8::LANES {
+            sel[k] = (i + lane) as u32;
+            k += ((mask >> lane) & 1) as usize;
+        }
+        i += F64x8::LANES;
+    }
+    for row in i..batch.end {
+        sel[k] = row as u32;
+        let keep = predicates.iter().zip(pred_pos).all(|(p, &pos)| p.matches(mat.value(pos, row)));
+        k += usize::from(keep);
+    }
+    sel.truncate(k);
+}
+
+#[inline(always)]
+fn stage_product_outer<D0: Fn(u64) -> f64>(
+    d0: D0,
+    ty1: AttrType,
+    c0: &[u64],
+    c1: &[u64],
+    sel: &[u32],
+    out: &mut [f64],
+) {
+    with_decoder!(ty1, stage_product_inner(d0, c0, c1, sel, out));
+}
+
+#[inline(always)]
+fn stage_product_inner<D1: Fn(u64) -> f64, D0: Fn(u64) -> f64>(
+    d1: D1,
+    d0: D0,
+    c0: &[u64],
+    c1: &[u64],
+    sel: &[u32],
+    out: &mut [f64],
+) {
+    let mut i = 0usize;
+    while i + F64x4::LANES <= sel.len() {
+        let idx = &sel[i..i + F64x4::LANES];
+        let prod = F64x4::gather(&d0, c0, idx).mul(F64x4::gather(&d1, c1, idx));
+        for lane in 0..F64x4::LANES {
+            out[i + lane] = prod.lane(lane);
+        }
+        i += F64x4::LANES;
+    }
+    for k in i..sel.len() {
+        out[k] = d0(c0[sel[k] as usize]) * d1(c1[sel[k] as usize]);
+    }
+}
+
+#[inline(always)]
+fn stage_add_column<D: Fn(u64) -> f64>(decode: D, col: &[u64], sel: &[u32], out: &mut [f64]) {
+    let mut i = 0usize;
+    while i + F64x4::LANES <= sel.len() {
+        let v = F64x4::gather(&decode, col, &sel[i..i + F64x4::LANES]);
+        for lane in 0..F64x4::LANES {
+            out[i + lane] += v.lane(lane);
+        }
+        i += F64x4::LANES;
+    }
+    for k in i..sel.len() {
+        out[k] += decode(col[sel[k] as usize]);
+    }
+}
+
+/// Stages each selected row's per-row aggregate input into `out[i]` (one
+/// slot per selected row, in selection order) with lane kernels. The staged
+/// value is computed by the very expression the scalar loops evaluate —
+/// `SumProduct` is the two-column product, `SumColumns` folds from `0.0`
+/// through the columns in column order exactly like the per-row
+/// `sum::<f64>()` (so `0.0 + -0.0` stays `+0.0`) — which is what lets the
+/// caller's sequential fold over `out` reproduce the reference bit for bit.
+#[inline]
+fn stage_rows_simd(mat: &MaterializedColumns, agg: &AggExpr, pos: &[usize], sel: &[u32], out: &mut Vec<f64>) {
+    out.clear();
+    out.resize(sel.len(), 0.0);
+    match agg {
+        AggExpr::SumProduct(..) => {
+            let (c0, c1) = (&mat.data[pos[0]], &mat.data[pos[1]]);
+            with_decoder!(mat.types[pos[0]], stage_product_outer(mat.types[pos[1]], c0, c1, sel, out));
+        }
+        AggExpr::SumColumns(_) => {
+            for &p in pos {
+                with_decoder!(mat.types[p], stage_add_column(&mat.data[p], sel, out));
+            }
+        }
+        AggExpr::Count => unreachable!("Count accumulates without staging"),
+    }
+}
+
+/// SIMD flavour of [`accumulate_selected`]: lane kernels stage the per-row
+/// inputs, then one sequential fold adds them in ascending row order — the
+/// same additions in the same order as the scalar loop, bit for bit.
+#[inline]
+fn accumulate_selected_simd(
+    mat: &MaterializedColumns,
+    agg: &AggExpr,
+    pos: &[usize],
+    sel: &[u32],
+    scratch: &mut Vec<f64>,
+    acc: &mut f64,
+) {
+    if matches!(agg, AggExpr::Count) {
+        *acc += sel.len() as f64;
+        return;
+    }
+    stage_rows_simd(mat, agg, pos, sel, scratch);
+    for &v in scratch.iter() {
+        *acc += v;
+    }
+}
+
+#[inline(always)]
+fn stage_product_dense_outer<D0: Fn(u64) -> f64>(d0: D0, ty1: AttrType, c0: &[u64], c1: &[u64], out: &mut [f64]) {
+    with_decoder!(ty1, stage_product_dense_inner(d0, c0, c1, out));
+}
+
+#[inline(always)]
+fn stage_product_dense_inner<D1: Fn(u64) -> f64, D0: Fn(u64) -> f64>(
+    d1: D1,
+    d0: D0,
+    c0: &[u64],
+    c1: &[u64],
+    out: &mut [f64],
+) {
+    let mut i = 0usize;
+    while i + F64x8::LANES <= out.len() {
+        let prod = F64x8::decode(&d0, &c0[i..i + F64x8::LANES]).mul(F64x8::decode(&d1, &c1[i..i + F64x8::LANES]));
+        for lane in 0..F64x8::LANES {
+            out[i + lane] = prod.lane(lane);
+        }
+        i += F64x8::LANES;
+    }
+    for k in i..out.len() {
+        out[k] = d0(c0[k]) * d1(c1[k]);
+    }
+}
+
+#[inline(always)]
+fn stage_add_column_dense<D: Fn(u64) -> f64>(decode: D, col: &[u64], out: &mut [f64]) {
+    let mut i = 0usize;
+    while i + F64x8::LANES <= out.len() {
+        let v = F64x8::decode(&decode, &col[i..i + F64x8::LANES]);
+        for lane in 0..F64x8::LANES {
+            out[i + lane] += v.lane(lane);
+        }
+        i += F64x8::LANES;
+    }
+    for k in i..out.len() {
+        out[k] += decode(col[k]);
+    }
+}
+
+/// SIMD flavour of [`accumulate_dense`] (no predicates): streams the
+/// columns 8 lanes at a time in [`VECTOR_BATCH_ROWS`] batches (bounding the
+/// staging scratch), folding each batch sequentially in ascending row
+/// order.
+#[inline]
+fn accumulate_dense_simd(
+    mat: &MaterializedColumns,
+    agg: &AggExpr,
+    pos: &[usize],
+    rows: Range<usize>,
+    scratch: &mut Vec<f64>,
+    acc: &mut f64,
+) {
+    if matches!(agg, AggExpr::Count) {
+        *acc += rows.len() as f64;
+        return;
+    }
+    let mut lo = rows.start;
+    while lo < rows.end {
+        let hi = (lo + VECTOR_BATCH_ROWS).min(rows.end);
+        scratch.clear();
+        scratch.resize(hi - lo, 0.0);
+        match agg {
+            AggExpr::SumProduct(..) => {
+                let c0 = &mat.data[pos[0]][lo..hi];
+                let c1 = &mat.data[pos[1]][lo..hi];
+                with_decoder!(mat.types[pos[0]], stage_product_dense_outer(mat.types[pos[1]], c0, c1, scratch));
+            }
+            AggExpr::SumColumns(_) => {
+                for &p in pos {
+                    with_decoder!(mat.types[p], stage_add_column_dense(&mat.data[p][lo..hi], scratch));
+                }
+            }
+            AggExpr::Count => unreachable!(),
+        }
+        for &v in scratch.iter() {
+            *acc += v;
+        }
+        lo = hi;
+    }
+}
+
 /// Accumulates one aggregate over the selected rows into `acc`, visiting
 /// rows in ascending order. The per-row expressions are verbatim those of
 /// the row-at-a-time reference, so each accumulator receives bit-identical
@@ -496,17 +799,41 @@ impl GroupArena {
 }
 
 /// Evaluates `plan` over `rows` of the materialised probe columns —
-/// vectorized: per [`VECTOR_BATCH_ROWS`] batch, predicate selection fills a
-/// selection vector, the optional hash probe compacts it, and per-aggregate
-/// loops accumulate into the group arena. Rows are processed in ascending
-/// storage order; this function is deterministic, side-effect free and
-/// bit-identical to [`process_chunk_reference`], so chunks can be evaluated
-/// on any thread in any order.
+/// vectorized with explicit SIMD kernels: per [`VECTOR_BATCH_ROWS`] batch,
+/// lane-parallel predicate masks fill a selection vector, the optional hash
+/// probe stages its key decodes lanewise and compacts, and per-aggregate
+/// staging kernels feed sequential accumulation into the group arena. Rows
+/// are processed in ascending storage order; this function is
+/// deterministic, side-effect free and bit-identical to
+/// [`process_chunk_reference`] and [`process_chunk_scalar`], so chunks can
+/// be evaluated on any thread in any order.
 pub fn process_chunk(
     probe: &MaterializedColumns,
     plan: &OlapPlan,
     hash: Option<&JoinHashTable>,
     rows: Range<usize>,
+) -> ChunkPartial {
+    process_chunk_with(probe, plan, hash, rows, Kernels::Simd)
+}
+
+/// The retained pre-SIMD scalar batch path of [`process_chunk`] — the
+/// prior-PR vectorized implementation, kept as a second oracle and as the
+/// baseline the `hostperf` benchmark prices the SIMD kernels against.
+pub fn process_chunk_scalar(
+    probe: &MaterializedColumns,
+    plan: &OlapPlan,
+    hash: Option<&JoinHashTable>,
+    rows: Range<usize>,
+) -> ChunkPartial {
+    process_chunk_with(probe, plan, hash, rows, Kernels::Scalar)
+}
+
+fn process_chunk_with(
+    probe: &MaterializedColumns,
+    plan: &OlapPlan,
+    hash: Option<&JoinHashTable>,
+    rows: Range<usize>,
+    kernels: Kernels,
 ) -> ChunkPartial {
     let pred_pos: Vec<usize> = plan.predicates.iter().map(|p| probe.pos(p.column)).collect();
     let probe_key_pos = plan.join.as_ref().map(|j| probe.pos(j.probe_column));
@@ -529,6 +856,8 @@ pub fn process_chunk(
     let mut sel: Vec<u32> = Vec::with_capacity(VECTOR_BATCH_ROWS);
     let mut payloads: Vec<u64> = Vec::new();
     let mut slots: Vec<u32> = Vec::new();
+    let mut key_bits: Vec<u64> = Vec::new();
+    let mut scratch: Vec<f64> = Vec::new();
 
     let mut lo = rows.start;
     while lo < rows.end {
@@ -539,7 +868,10 @@ pub fn process_chunk(
             sel.clear();
             sel.extend((lo..hi).map(|r| r as u32));
         } else {
-            select_batch(probe, &plan.predicates, &pred_pos, lo..hi, &mut sel);
+            match kernels {
+                Kernels::Simd => select_batch_simd(probe, &plan.predicates, &pred_pos, lo..hi, &mut sel),
+                Kernels::Scalar => select_batch(probe, &plan.predicates, &pred_pos, lo..hi, &mut sel),
+            }
         }
         partial.selected += sel.len() as u64;
         lo = hi;
@@ -549,16 +881,35 @@ pub fn process_chunk(
 
         // 2. Hash probe: compact the selection vector to the rows that
         //    found a partner, collecting payloads for build-side grouping.
+        //    The SIMD flavour stages the key decodes lanewise first; the
+        //    map lookups themselves are scalar either way, over the same
+        //    key bit patterns in the same order.
         if let Some(key_pos) = probe_key_pos {
             let table = hash.expect("join plans carry a hash table");
             payloads.clear();
             let mut kept = 0usize;
-            for k in 0..sel.len() {
-                let row = sel[k];
-                let Some(payload) = table.get(probe.value(key_pos, row as usize).to_bits()) else { continue };
-                sel[kept] = row;
-                kept += 1;
-                payloads.push(payload);
+            match kernels {
+                Kernels::Simd => {
+                    let col = &probe.data[key_pos];
+                    with_decoder!(probe.types[key_pos], stage_key_bits(col, &sel, &mut key_bits));
+                    for k in 0..sel.len() {
+                        let Some(payload) = table.get(key_bits[k]) else { continue };
+                        sel[kept] = sel[k];
+                        kept += 1;
+                        payloads.push(payload);
+                    }
+                }
+                Kernels::Scalar => {
+                    for k in 0..sel.len() {
+                        let row = sel[k];
+                        let Some(payload) = table.get(probe.value(key_pos, row as usize).to_bits()) else {
+                            continue;
+                        };
+                        sel[kept] = row;
+                        kept += 1;
+                        payloads.push(payload);
+                    }
+                }
             }
             sel.truncate(kept);
         }
@@ -573,7 +924,12 @@ pub fn process_chunk(
             GroupMode::Global => {
                 global.rows += sel.len() as u64;
                 for (slot, (agg, pos)) in plan.aggregates.iter().zip(&agg_pos).enumerate() {
-                    accumulate_selected(probe, agg, pos, &sel, &mut global.values[slot]);
+                    match kernels {
+                        Kernels::Simd => {
+                            accumulate_selected_simd(probe, agg, pos, &sel, &mut scratch, &mut global.values[slot])
+                        }
+                        Kernels::Scalar => accumulate_selected(probe, agg, pos, &sel, &mut global.values[slot]),
+                    }
                 }
             }
             GroupMode::Probe(group_pos) => {
@@ -583,7 +939,12 @@ pub fn process_chunk(
                     arena.accs[slot as usize].rows += 1;
                     slots.push(slot);
                 }
-                accumulate_grouped(probe, plan, &agg_pos, &sel, &slots, &mut arena);
+                match kernels {
+                    Kernels::Simd => {
+                        accumulate_grouped_simd(probe, plan, &agg_pos, &sel, &slots, &mut scratch, &mut arena)
+                    }
+                    Kernels::Scalar => accumulate_grouped(probe, plan, &agg_pos, &sel, &slots, &mut arena),
+                }
             }
             GroupMode::Build => {
                 slots.clear();
@@ -592,7 +953,12 @@ pub fn process_chunk(
                     arena.accs[slot as usize].rows += 1;
                     slots.push(slot);
                 }
-                accumulate_grouped(probe, plan, &agg_pos, &sel, &slots, &mut arena);
+                match kernels {
+                    Kernels::Simd => {
+                        accumulate_grouped_simd(probe, plan, &agg_pos, &sel, &slots, &mut scratch, &mut arena)
+                    }
+                    Kernels::Scalar => accumulate_grouped(probe, plan, &agg_pos, &sel, &slots, &mut arena),
+                }
             }
         }
     }
@@ -636,6 +1002,35 @@ fn accumulate_grouped(
                     arena.accs[slot as usize].values[agg_slot] += 1.0;
                 }
             }
+        }
+    }
+}
+
+/// SIMD flavour of [`accumulate_grouped`]: per aggregate, lane kernels
+/// stage the per-row inputs, then a sequential scatter adds each staged
+/// value into its row's arena slot. Every `(group, aggregate)` accumulator
+/// sees the same addition sequence as the scalar loop — staging changes
+/// where the per-row value is computed, not what is added or in what order.
+#[inline]
+fn accumulate_grouped_simd(
+    probe: &MaterializedColumns,
+    plan: &OlapPlan,
+    agg_pos: &[Vec<usize>],
+    sel: &[u32],
+    slots: &[u32],
+    scratch: &mut Vec<f64>,
+    arena: &mut GroupArena,
+) {
+    for (agg_slot, (agg, pos)) in plan.aggregates.iter().zip(agg_pos).enumerate() {
+        if matches!(agg, AggExpr::Count) {
+            for &slot in slots {
+                arena.accs[slot as usize].values[agg_slot] += 1.0;
+            }
+            continue;
+        }
+        stage_rows_simd(probe, agg, pos, sel, scratch);
+        for (&slot, &v) in slots.iter().zip(scratch.iter()) {
+            arena.accs[slot as usize].values[agg_slot] += v;
         }
     }
 }
@@ -781,29 +1176,61 @@ pub fn scan_chunk_can_qualify_reference(
 
 /// Evaluates a [`ScanAggQuery`] over one chunk of the materialised columns —
 /// the scan-side counterpart of [`process_chunk`], vectorized the same way:
-/// per-batch predicate selection into a selection vector, then one
-/// specialised accumulation loop per aggregate variant. Rows are visited in
-/// ascending storage order, so a chunk's partial is deterministic (and
-/// bit-identical to [`scan_chunk_reference`]) regardless of which thread or
-/// simulated thread block evaluates it; [`merge_scan_partials`] then pins
-/// the merge order, which together makes `ScanAggQuery` f64 answers
-/// **byte-identical across execution sites**.
+/// per-batch lane-parallel predicate selection into a selection vector,
+/// then SIMD staging + sequential accumulation per aggregate variant. Rows
+/// are visited in ascending storage order, so a chunk's partial is
+/// deterministic (and bit-identical to [`scan_chunk_reference`] and
+/// [`scan_chunk_scalar`]) regardless of which thread or simulated thread
+/// block evaluates it; [`merge_scan_partials`] then pins the merge order,
+/// which together makes `ScanAggQuery` f64 answers **byte-identical across
+/// execution sites**.
 pub fn scan_chunk(mat: &MaterializedColumns, query: &ScanAggQuery, rows: Range<usize>) -> ScanChunkPartial {
+    scan_chunk_with(mat, query, rows, Kernels::Simd)
+}
+
+/// The retained pre-SIMD scalar batch path of [`scan_chunk`] — the prior-PR
+/// vectorized implementation, kept as a second oracle and as the baseline
+/// the `hostperf` benchmark prices the SIMD kernels against.
+pub fn scan_chunk_scalar(mat: &MaterializedColumns, query: &ScanAggQuery, rows: Range<usize>) -> ScanChunkPartial {
+    scan_chunk_with(mat, query, rows, Kernels::Scalar)
+}
+
+fn scan_chunk_with(
+    mat: &MaterializedColumns,
+    query: &ScanAggQuery,
+    rows: Range<usize>,
+    kernels: Kernels,
+) -> ScanChunkPartial {
     let pred_pos: Vec<usize> = query.predicates.iter().map(|p| mat.pos(p.column)).collect();
     let agg_pos: Vec<usize> = query.aggregate.columns().iter().map(|&c| mat.pos(c)).collect();
     let mut partial = ScanChunkPartial::default();
+    let mut scratch: Vec<f64> = Vec::new();
     if query.predicates.is_empty() {
         partial.qualifying = rows.len() as u64;
-        accumulate_dense(mat, &query.aggregate, &agg_pos, rows, &mut partial.value);
+        match kernels {
+            Kernels::Simd => {
+                accumulate_dense_simd(mat, &query.aggregate, &agg_pos, rows, &mut scratch, &mut partial.value)
+            }
+            Kernels::Scalar => accumulate_dense(mat, &query.aggregate, &agg_pos, rows, &mut partial.value),
+        }
         return partial;
     }
     let mut sel: Vec<u32> = Vec::with_capacity(VECTOR_BATCH_ROWS);
     let mut lo = rows.start;
     while lo < rows.end {
         let hi = (lo + VECTOR_BATCH_ROWS).min(rows.end);
-        select_batch(mat, &query.predicates, &pred_pos, lo..hi, &mut sel);
-        partial.qualifying += sel.len() as u64;
-        accumulate_selected(mat, &query.aggregate, &agg_pos, &sel, &mut partial.value);
+        match kernels {
+            Kernels::Simd => {
+                select_batch_simd(mat, &query.predicates, &pred_pos, lo..hi, &mut sel);
+                partial.qualifying += sel.len() as u64;
+                accumulate_selected_simd(mat, &query.aggregate, &agg_pos, &sel, &mut scratch, &mut partial.value);
+            }
+            Kernels::Scalar => {
+                select_batch(mat, &query.predicates, &pred_pos, lo..hi, &mut sel);
+                partial.qualifying += sel.len() as u64;
+                accumulate_selected(mat, &query.aggregate, &agg_pos, &sel, &mut partial.value);
+            }
+        }
         lo = hi;
     }
     partial
@@ -1075,16 +1502,19 @@ mod tests {
             };
             let mat = MaterializedColumns::new(&probe, plan.probe_columns_accessed()).unwrap();
             for i in 0..mat.chunk_count() {
-                let fast = process_chunk(&mat, &plan, hash.as_ref(), mat.chunk_range(i));
+                let simd = process_chunk(&mat, &plan, hash.as_ref(), mat.chunk_range(i));
+                let scalar = process_chunk_scalar(&mat, &plan, hash.as_ref(), mat.chunk_range(i));
                 let slow = process_chunk_reference(&mat, &plan, hash.as_ref(), mat.chunk_range(i));
-                assert_eq!(fast.selected, slow.selected);
-                assert_eq!(fast.joined, slow.joined);
-                assert_eq!(fast.groups.len(), slow.groups.len());
-                for ((fk, fa), (sk, sa)) in fast.groups.iter().zip(&slow.groups) {
-                    assert_eq!(fk, sk);
-                    assert_eq!(fa.rows, sa.rows);
-                    for (x, y) in fa.values.iter().zip(&sa.values) {
-                        assert_eq!(x.to_bits(), y.to_bits(), "chunk {i} group {fk}: {x} vs {y}");
+                for fast in [&simd, &scalar] {
+                    assert_eq!(fast.selected, slow.selected);
+                    assert_eq!(fast.joined, slow.joined);
+                    assert_eq!(fast.groups.len(), slow.groups.len());
+                    for ((fk, fa), (sk, sa)) in fast.groups.iter().zip(&slow.groups) {
+                        assert_eq!(fk, sk);
+                        assert_eq!(fa.rows, sa.rows);
+                        for (x, y) in fa.values.iter().zip(&sa.values) {
+                            assert_eq!(x.to_bits(), y.to_bits(), "chunk {i} group {fk}: {x} vs {y}");
+                        }
                     }
                 }
             }
@@ -1174,10 +1604,40 @@ mod tests {
         for query in queries {
             let mat = MaterializedColumns::new(&probe, query.columns_accessed()).unwrap();
             for i in 0..mat.chunk_count() {
-                let fast = scan_chunk(&mat, &query, mat.chunk_range(i));
+                let simd = scan_chunk(&mat, &query, mat.chunk_range(i));
+                let scalar = scan_chunk_scalar(&mat, &query, mat.chunk_range(i));
                 let slow = scan_chunk_reference(&mat, &query, mat.chunk_range(i));
-                assert_eq!(fast.qualifying, slow.qualifying, "chunk {i}");
-                assert_eq!(fast.value.to_bits(), slow.value.to_bits(), "chunk {i}: {} vs {}", fast.value, slow.value);
+                for fast in [simd, scalar] {
+                    assert_eq!(fast.qualifying, slow.qualifying, "chunk {i}");
+                    assert_eq!(
+                        fast.value.to_bits(),
+                        slow.value.to_bits(),
+                        "chunk {i}: {} vs {}",
+                        fast.value,
+                        slow.value
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_materialisation_matches_the_serial_two_pass_build() {
+        // Cell data must be byte-identical (it is a pure copy); zonemap
+        // bounds must be numerically equal (the lane-split min/max may pick
+        // a different -0.0/+0.0 tie representative, which numeric equality
+        // deliberately admits). Row counts cross chunk and lane boundaries.
+        for rows in [1i64, 7, 1024, PLAN_CHUNK_ROWS as i64, PLAN_CHUNK_ROWS as i64 + 9, 200_000] {
+            let (probe, _) = tables(rows);
+            let cols = vec![0usize, 1, 2];
+            let par = MaterializedColumns::new(&probe, cols.clone()).unwrap();
+            let ser = MaterializedColumns::new_serial(&probe, cols).unwrap();
+            assert_eq!(par.rows, ser.rows);
+            assert_eq!(par.data, ser.data, "{rows} rows: copied cells must be byte-identical");
+            assert_eq!(par.zonemaps.len(), ser.zonemaps.len());
+            for (pz, sz) in par.zonemaps.iter().zip(&ser.zonemaps) {
+                assert_eq!(pz.mins, sz.mins, "{rows} rows");
+                assert_eq!(pz.maxs, sz.maxs, "{rows} rows");
             }
         }
     }

@@ -1,0 +1,273 @@
+//! Explicit SIMD lane kernels for the host data path.
+//!
+//! The repository pins a **stable** toolchain, so `std::simd` (nightly-only)
+//! is not available; the vectors here are hand-unrolled lane structs — fixed
+//! `[f64; N]` arrays behind the common [`SimdF64`] trait — whose elementwise
+//! operations are fixed-trip loops the backend turns into the target's
+//! vector instructions. The hot loops of [`crate::operators`] were
+//! previously at the mercy of the auto-vectorizer (a scalar loop that
+//! happens to vectorise today can silently stop vectorising after an
+//! innocuous refactor); routing them through these kernels makes the lane
+//! structure explicit and testable.
+//!
+//! # Bit-identity
+//!
+//! The plan IR requires f64 answers to be byte-identical across execution
+//! sites, and f64 addition is not associative — so these kernels vectorise
+//! only the **elementwise** work (cell decode, predicate compare, per-row
+//! multiply/sum staging) and leave every *accumulation* sequential in
+//! ascending row order. A lane never holds a partial sum that spans rows;
+//! it only ever holds per-row values that the caller then folds in exactly
+//! the reference order. The zonemap min/max kernel is the one deliberate
+//! exception: its lane-split fold can pick a different `-0.0`/`+0.0` tie
+//! representative than the sequential reference, which is safe because
+//! zonemap bounds are only ever *compared* numerically (where the two zeros
+//! are equal) and never enter an answer.
+
+/// The common trait of the hand-unrolled lane structs: elementwise f64
+/// operations over a fixed number of lanes. Kernels are generic over this
+/// trait, so the lane width is a per-call-site choice — 8 lanes for
+/// streaming loops over contiguous cells, 4 for gather-based loops over a
+/// selection vector (shorter tails, and gathers defeat wider unrolls
+/// anyway).
+pub(crate) trait SimdF64: Copy {
+    /// Number of f64 lanes.
+    const LANES: usize;
+
+    /// All lanes set to `v`.
+    fn splat(v: f64) -> Self;
+
+    /// Decodes `Self::LANES` consecutive raw cells.
+    fn decode<D: Fn(u64) -> f64>(decode: &D, cells: &[u64]) -> Self;
+
+    /// Decodes the cells of `col` at the `Self::LANES` row indexes `idx`.
+    fn gather<D: Fn(u64) -> f64>(decode: &D, col: &[u64], idx: &[u32]) -> Self;
+
+    /// Value of lane `i`.
+    fn lane(self, i: usize) -> f64;
+
+    /// Lanewise multiplication.
+    fn mul(self, other: Self) -> Self;
+
+    /// Bit `i` set iff `lo <= lane i <= hi` (false for NaN lanes, exactly
+    /// like [`h2tap_common::Predicate::matches`]).
+    fn between_mask(self, lo: f64, hi: f64) -> u32;
+
+    /// Lanewise minimum using a plain `<` comparison (NaN lanes of `other`
+    /// are ignored, NaN lanes of `self` are replaced).
+    fn min_lanes(self, other: Self) -> Self;
+
+    /// Lanewise maximum using a plain `>` comparison.
+    fn max_lanes(self, other: Self) -> Self;
+
+    /// Folds the lanes into running `(lo, hi)` bounds, visiting lanes in
+    /// ascending order with the same plain comparisons as the scalar
+    /// reference (NaN lanes are ignored).
+    fn fold_min_max(self, lo: f64, hi: f64) -> (f64, f64);
+}
+
+/// A hand-unrolled vector of `N` f64 lanes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Lanes<const N: usize>([f64; N]);
+
+/// 4-lane vector for gather-based kernels.
+pub(crate) type F64x4 = Lanes<4>;
+/// 8-lane (one cache line) vector for streaming kernels.
+pub(crate) type F64x8 = Lanes<8>;
+
+impl<const N: usize> SimdF64 for Lanes<N> {
+    const LANES: usize = N;
+
+    #[inline(always)]
+    fn splat(v: f64) -> Self {
+        Self([v; N])
+    }
+
+    #[inline(always)]
+    fn decode<D: Fn(u64) -> f64>(decode: &D, cells: &[u64]) -> Self {
+        debug_assert_eq!(cells.len(), N);
+        Self(std::array::from_fn(|i| decode(cells[i])))
+    }
+
+    #[inline(always)]
+    fn gather<D: Fn(u64) -> f64>(decode: &D, col: &[u64], idx: &[u32]) -> Self {
+        debug_assert_eq!(idx.len(), N);
+        Self(std::array::from_fn(|i| decode(col[idx[i] as usize])))
+    }
+
+    #[inline(always)]
+    fn lane(self, i: usize) -> f64 {
+        self.0[i]
+    }
+
+    #[inline(always)]
+    fn mul(self, other: Self) -> Self {
+        Self(std::array::from_fn(|i| self.0[i] * other.0[i]))
+    }
+
+    #[inline(always)]
+    fn between_mask(self, lo: f64, hi: f64) -> u32 {
+        let mut mask = 0u32;
+        for (i, &v) in self.0.iter().enumerate() {
+            mask |= u32::from(v >= lo && v <= hi) << i;
+        }
+        mask
+    }
+
+    #[inline(always)]
+    fn min_lanes(self, other: Self) -> Self {
+        Self(std::array::from_fn(|i| if other.0[i] < self.0[i] { other.0[i] } else { self.0[i] }))
+    }
+
+    #[inline(always)]
+    fn max_lanes(self, other: Self) -> Self {
+        Self(std::array::from_fn(|i| if other.0[i] > self.0[i] { other.0[i] } else { self.0[i] }))
+    }
+
+    #[inline(always)]
+    fn fold_min_max(self, lo: f64, hi: f64) -> (f64, f64) {
+        let (mut lo, mut hi) = (lo, hi);
+        for &v in &self.0 {
+            if v < lo {
+                lo = v;
+            }
+            if v > hi {
+                hi = v;
+            }
+        }
+        (lo, hi)
+    }
+}
+
+/// Min/max of `cells` under `decode` with plain comparisons (NaN cells are
+/// ignored; `(+inf, -inf)` for an empty slice) — the lane-parallel zonemap
+/// kernel. Lanewise bounds run over 8-lane groups, the lane bounds fold in
+/// ascending lane order, and the tail finishes scalar; the result equals
+/// the sequential reference everywhere except possibly the `-0.0`/`+0.0`
+/// tie representative (see the module doc for why that is safe).
+#[inline]
+pub(crate) fn min_max_lanes<D: Fn(u64) -> f64>(decode: D, cells: &[u64]) -> (f64, f64) {
+    let mut vlo = F64x8::splat(f64::INFINITY);
+    let mut vhi = F64x8::splat(f64::NEG_INFINITY);
+    let mut i = 0usize;
+    while i + F64x8::LANES <= cells.len() {
+        let v = F64x8::decode(&decode, &cells[i..i + F64x8::LANES]);
+        vlo = vlo.min_lanes(v);
+        vhi = vhi.max_lanes(v);
+        i += F64x8::LANES;
+    }
+    let (mut lo, _) = vlo.fold_min_max(f64::INFINITY, f64::NEG_INFINITY);
+    let (_, mut hi) = vhi.fold_min_max(f64::INFINITY, f64::NEG_INFINITY);
+    for &cell in &cells[i..] {
+        let v = decode(cell);
+        if v < lo {
+            lo = v;
+        }
+        if v > hi {
+            hi = v;
+        }
+    }
+    (lo, hi)
+}
+
+/// Stages the bit patterns of the decoded values of `col` at the selected
+/// rows into `out` (`out[i] = decode(col[sel[i]]).to_bits()`), gathering
+/// 4 lanes at a time — the vectorisable half of the hash-probe loop. The
+/// hash-map lookups themselves stay scalar in the caller; only the decode
+/// is lane-parallel.
+#[inline]
+pub(crate) fn stage_key_bits<D: Fn(u64) -> f64>(decode: D, col: &[u64], sel: &[u32], out: &mut Vec<u64>) {
+    out.clear();
+    out.reserve(sel.len());
+    let mut i = 0usize;
+    while i + F64x4::LANES <= sel.len() {
+        let v = F64x4::gather(&decode, col, &sel[i..i + F64x4::LANES]);
+        for lane in 0..F64x4::LANES {
+            out.push(v.lane(lane).to_bits());
+        }
+        i += F64x4::LANES;
+    }
+    for &row in &sel[i..] {
+        out.push(decode(col[row as usize]).to_bits());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dec(cell: u64) -> f64 {
+        f64::from_bits(cell)
+    }
+
+    #[test]
+    fn between_mask_matches_scalar_including_nan() {
+        let cells: Vec<u64> =
+            [1.0, f64::NAN, 3.0, -0.0, 5.0, f64::INFINITY, -7.0, 2.5].iter().map(|v| v.to_bits()).collect();
+        let v = F64x8::decode(&dec, &cells);
+        let mask = v.between_mask(0.0, 4.0);
+        for (lane, &cell) in cells.iter().enumerate() {
+            let x = dec(cell);
+            assert_eq!((mask >> lane) & 1 == 1, (0.0..=4.0).contains(&x), "lane {lane} ({x})");
+        }
+    }
+
+    #[test]
+    fn min_max_lanes_matches_sequential_reference() {
+        // NaN-salted, negative-zero-salted, and oddly sized inputs.
+        let salted: Vec<f64> = (0..67)
+            .map(|i| match i % 9 {
+                0 => f64::NAN,
+                1 => -0.0,
+                _ => (i as f64 - 30.0) * 1.25,
+            })
+            .collect();
+        for len in [0, 1, 7, 8, 9, 16, 23, 67] {
+            let cells: Vec<u64> = salted[..len].iter().map(|v| v.to_bits()).collect();
+            let (lo, hi) = min_max_lanes(dec, &cells);
+            let (mut rlo, mut rhi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &c in &cells {
+                let v = dec(c);
+                if v < rlo {
+                    rlo = v;
+                }
+                if v > rhi {
+                    rhi = v;
+                }
+            }
+            // Numeric equality: -0.0/+0.0 tie representatives may differ.
+            assert_eq!(lo, rlo, "len {len}");
+            assert_eq!(hi, rhi, "len {len}");
+        }
+    }
+
+    #[test]
+    fn all_nan_input_yields_the_empty_bounds() {
+        let cells: Vec<u64> = std::iter::repeat_n(f64::NAN.to_bits(), 13).collect();
+        let (lo, hi) = min_max_lanes(dec, &cells);
+        assert_eq!(lo, f64::INFINITY);
+        assert_eq!(hi, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn stage_key_bits_matches_scalar_gather() {
+        let col: Vec<u64> = (0..40).map(|i| (i as f64 * 0.5).to_bits()).collect();
+        for sel_len in [0usize, 1, 3, 4, 5, 11] {
+            let sel: Vec<u32> = (0..sel_len as u32).map(|i| (i * 3) % 40).collect();
+            let mut out = Vec::new();
+            stage_key_bits(dec, &col, &sel, &mut out);
+            let want: Vec<u64> = sel.iter().map(|&r| dec(col[r as usize]).to_bits()).collect();
+            assert_eq!(out, want, "sel_len {sel_len}");
+        }
+    }
+
+    #[test]
+    fn lane_arithmetic_is_elementwise() {
+        let a = F64x4::decode(&dec, &[1.0, 2.0, 3.0, 4.0].map(f64::to_bits));
+        let b = F64x4::splat(2.0);
+        let prod = a.mul(b);
+        for lane in 0..4 {
+            assert_eq!(prod.lane(lane), a.lane(lane) * 2.0);
+        }
+    }
+}

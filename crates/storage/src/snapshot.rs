@@ -92,6 +92,42 @@ impl SnapshotTable {
         out
     }
 
+    /// Copies rows `rows` (in storage order) of attribute `attr` into `out`
+    /// (`out.len()` must equal the range length) — the chunk-granular
+    /// counterpart of [`SnapshotTable::column`], which is what lets callers
+    /// materialise disjoint chunks of the same column from different
+    /// threads. Column-major (DSM/PAX) pages are bulk-copied slice-at-a-time;
+    /// row-major NSM pages fall back to per-cell strided reads.
+    pub fn column_into(&self, attr: usize, rows: std::ops::Range<usize>, out: &mut [u64]) {
+        debug_assert_eq!(out.len(), rows.len());
+        let mut page_start = 0usize;
+        let mut written = 0usize;
+        for page in self.partitions.iter().flatten() {
+            let page_end = page_start + page.len();
+            if page_end > rows.start && page_start < rows.end {
+                let lo = rows.start.max(page_start) - page_start;
+                let hi = rows.end.min(page_end) - page_start;
+                match page.column_slice(attr) {
+                    Some(slice) => out[written..written + (hi - lo)].copy_from_slice(&slice[lo..hi]),
+                    None => {
+                        for (slot, cell) in out[written..written + (hi - lo)]
+                            .iter_mut()
+                            .zip(page.iter_attr(attr).skip(lo).take(hi - lo))
+                        {
+                            *slot = cell;
+                        }
+                    }
+                }
+                written += hi - lo;
+            }
+            page_start = page_end;
+            if page_start >= rows.end {
+                break;
+            }
+        }
+        debug_assert_eq!(written, rows.len(), "range within the table's rows");
+    }
+
     /// Calls `f` once per record with the requested attributes, in storage
     /// order. This is the row-at-a-time access path the OLAP primitives use
     /// when they need several columns of the same record (e.g. TPC-H Q6).
@@ -185,6 +221,37 @@ mod tests {
         let t = frozen_table();
         let col: Vec<u64> = t.column(1);
         assert_eq!(col, vec![0, 2, 4, 6, 8, 10, 12, 14, 16]);
+    }
+
+    #[test]
+    fn column_into_copies_arbitrary_ranges_across_pages() {
+        let t = frozen_table(); // 9 rows over two pages (5 + 4)
+        let full: Vec<u64> = t.column(1);
+        for (lo, hi) in [(0, 9), (0, 0), (3, 7), (5, 9), (4, 5), (0, 5), (8, 9)] {
+            let mut out = vec![u64::MAX; hi - lo];
+            t.column_into(1, lo..hi, &mut out);
+            assert_eq!(out, &full[lo..hi], "range {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn column_into_handles_row_major_pages() {
+        // NSM pages have no contiguous column slice: the strided fallback
+        // must deliver the same cells.
+        let schema = Arc::new(Schema::homogeneous("c", 2, AttrType::Int64));
+        let mut page = Page::new(Layout::Nsm, 2, 8, Epoch::ZERO);
+        for i in 0..6u64 {
+            page.push(&[i, i * 7]).unwrap();
+        }
+        let t = SnapshotTable {
+            schema,
+            layout: Layout::Nsm,
+            partitions: vec![vec![Arc::new(page)]],
+            identity: SnapshotTableId::detached(),
+        };
+        let mut out = vec![0u64; 3];
+        t.column_into(1, 2..5, &mut out);
+        assert_eq!(out, vec![14, 21, 28]);
     }
 
     #[test]

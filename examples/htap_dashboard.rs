@@ -71,11 +71,15 @@ fn run_scenario(queries_per_snapshot: u32) {
     // dashboard's repeated queries amortised across snapshots and sites.
     let cache = stats.plan_cache;
     println!(
-        "    plan-data cache: {:>3} hits / {:>3} misses ({} invalidated) | hit rate {}",
+        "    plan-data cache: {:>3} hits / {:>3} misses ({} invalidated) | hit rate {} | {:>7.1} KiB held, \
+         {} evicted{}",
         cache.hits(),
         cache.misses(),
         cache.invalidations,
         cache.hit_rate().map_or("  n/a".to_string(), |r| format!("{:>5.1}%", r * 100.0)),
+        cache.occupancy_bytes as f64 / 1024.0,
+        cache.evictions,
+        cache.budget_bytes.map_or(String::new(), |b| format!(" (budget {:.1} KiB)", b as f64 / 1024.0)),
     );
     // Per-site routing: where the scheduler actually placed the 20 queries,
     // and how well the continuously calibrated cost model predicted each

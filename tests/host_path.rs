@@ -1,9 +1,10 @@
 //! The vectorized host data path and the snapshot-keyed plan-data cache:
-//! property tests pinning the vectorized batch execution bit-identical to
-//! the retained row-at-a-time reference across layouts, chunk-boundary row
-//! counts and adversarial values (NaN-bit group keys, negative zero), plus
-//! cache semantics through the production engine (epoch invalidation,
-//! hit/miss accounting, cross-site sharing).
+//! property tests pinning the explicit-SIMD batch execution bit-identical
+//! to both the retained scalar batch path and the row-at-a-time reference
+//! across layouts, chunk- and lane-boundary row counts and adversarial
+//! values (NaN-bit group keys, negative zero), plus cache semantics through
+//! the production engine (epoch invalidation, hit/miss accounting,
+//! cross-site sharing).
 
 use caldera::{Caldera, CalderaConfig, OlapMultiGpuConfig, OlapTarget, SnapshotPolicy};
 use h2tap_common::rng::SplitMixRng;
@@ -61,20 +62,44 @@ fn random_table(layout: Layout, rows: u64, seed: u64) -> SnapshotTable {
     db.snapshot().table(t).unwrap().clone()
 }
 
-/// Row counts covering the chunk-boundary cases: empty, one row, batch-edge
+/// Row counts covering the chunk- and lane-boundary cases: empty, one row,
+/// SIMD-lane edges (below/at/above the 4- and 8-lane widths), batch-edge
 /// sizes, one chunk exactly, an exact multiple of chunks, and a multiple
 /// plus a partial tail.
 fn boundary_row_counts() -> Vec<u64> {
-    vec![0, 1, 1023, 1024, 1025, PLAN_CHUNK_ROWS as u64, 2 * PLAN_CHUNK_ROWS as u64, 2 * PLAN_CHUNK_ROWS as u64 + 17]
+    vec![
+        0,
+        1,
+        5,
+        8,
+        9,
+        17,
+        1023,
+        1024,
+        1025,
+        1031,
+        PLAN_CHUNK_ROWS as u64,
+        2 * PLAN_CHUNK_ROWS as u64,
+        2 * PLAN_CHUNK_ROWS as u64 + 17,
+    ]
 }
 
 fn assert_scan_bit_identical(mat: &ops::MaterializedColumns, query: &ScanAggQuery, label: &str) {
     for i in 0..mat.chunk_count() {
         let range = mat.chunk_range(i);
         let fast = ops::scan_chunk(mat, query, range.clone());
+        let scalar = ops::scan_chunk_scalar(mat, query, range.clone());
         let slow = ops::scan_chunk_reference(mat, query, range.clone());
         assert_eq!(fast.qualifying, slow.qualifying, "{label} chunk {i}");
         assert_eq!(fast.value.to_bits(), slow.value.to_bits(), "{label} chunk {i}: {} vs {}", fast.value, slow.value);
+        assert_eq!(fast.qualifying, scalar.qualifying, "{label} chunk {i}: simd vs scalar batch");
+        assert_eq!(
+            fast.value.to_bits(),
+            scalar.value.to_bits(),
+            "{label} chunk {i}: simd {} vs scalar batch {}",
+            fast.value,
+            scalar.value
+        );
         // The zonemap-stats answer must agree with the O(chunk) recompute,
         // and a skip must truly be a zero partial.
         let can = ops::scan_chunk_can_qualify(mat, &query.predicates, i);
@@ -93,17 +118,21 @@ fn assert_plan_bit_identical(
 ) {
     let fast: Vec<_> =
         (0..mat.chunk_count()).map(|i| ops::process_chunk(mat, plan, hash, mat.chunk_range(i))).collect();
+    let scalar: Vec<_> =
+        (0..mat.chunk_count()).map(|i| ops::process_chunk_scalar(mat, plan, hash, mat.chunk_range(i))).collect();
     let slow: Vec<_> =
         (0..mat.chunk_count()).map(|i| ops::process_chunk_reference(mat, plan, hash, mat.chunk_range(i))).collect();
-    for (i, (f, s)) in fast.iter().zip(&slow).enumerate() {
-        assert_eq!(f.selected, s.selected, "{label} chunk {i}");
-        assert_eq!(f.joined, s.joined, "{label} chunk {i}");
-        assert_eq!(f.groups.len(), s.groups.len(), "{label} chunk {i}");
-        for ((fk, fa), (sk, sa)) in f.groups.iter().zip(&s.groups) {
-            assert_eq!(fk, sk, "{label} chunk {i}: group keys");
-            assert_eq!(fa.rows, sa.rows, "{label} chunk {i} group {fk:#x}");
-            for (x, y) in fa.values.iter().zip(&sa.values) {
-                assert_eq!(x.to_bits(), y.to_bits(), "{label} chunk {i} group {fk:#x}: {x} vs {y}");
+    for (pair, other) in [("simd vs reference", &slow), ("simd vs scalar batch", &scalar)] {
+        for (i, (f, s)) in fast.iter().zip(other).enumerate() {
+            assert_eq!(f.selected, s.selected, "{label} chunk {i} ({pair})");
+            assert_eq!(f.joined, s.joined, "{label} chunk {i} ({pair})");
+            assert_eq!(f.groups.len(), s.groups.len(), "{label} chunk {i} ({pair})");
+            for ((fk, fa), (sk, sa)) in f.groups.iter().zip(&s.groups) {
+                assert_eq!(fk, sk, "{label} chunk {i} ({pair}): group keys");
+                assert_eq!(fa.rows, sa.rows, "{label} chunk {i} ({pair}) group {fk:#x}");
+                for (x, y) in fa.values.iter().zip(&sa.values) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{label} chunk {i} ({pair}) group {fk:#x}: {x} vs {y}");
+                }
             }
         }
     }
