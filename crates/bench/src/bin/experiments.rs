@@ -108,7 +108,8 @@ fn hostperf_json(s: &exp::HostPerfSummary) -> String {
             format!(
                 "  {{\"workload\":\"{}\",\"lineitem_rows\":{},\"queries\":{},\"reference_ms\":{:.3},\
                  \"pr5_cold_ms\":{:.3},\"vectorized_cold_ms\":{:.3},\"vectorized_cached_ms\":{:.3},\
-                 \"cold_speedup\":{:.3},\"cached_speedup\":{:.3},\"simd_speedup\":{:.3}}}",
+                 \"cold_speedup\":{:.3},\"cached_speedup\":{:.3},\"simd_speedup\":{:.3},\
+                 \"latency\":{{\"reference\":{},\"pr5_cold\":{},\"vectorized_cold\":{},\"vectorized_cached\":{}}}}}",
                 r.workload,
                 r.lineitem_rows,
                 r.queries,
@@ -118,24 +119,35 @@ fn hostperf_json(s: &exp::HostPerfSummary) -> String {
                 r.vectorized_cached_ms,
                 r.cold_speedup,
                 r.cached_speedup,
-                r.simd_speedup
+                r.simd_speedup,
+                r.reference_latency.json(),
+                r.pr5_latency.json(),
+                r.vectorized_cold_latency.json(),
+                r.vectorized_cached_latency.json()
             )
         })
         .collect();
+    // Counter and gauge families stay separate in the artifact (see
+    // `PlanCacheStats::counters` / `gauges`): the counters may be diffed
+    // across PRs, the gauges are point-in-time samples.
+    let counters = s.cache.counters();
+    let gauges = s.cache.gauges();
     format!(
         "{{\n\"min_cold_speedup\": {:.3},\n\"min_cached_speedup\": {:.3},\n\"min_simd_speedup\": {:.3},\n\"cache\": \
-         {{\"column_hits\": {}, \"column_misses\": {}, \"hash_hits\": {}, \"hash_misses\": {}, \"evictions\": {}, \
-         \"occupancy_bytes\": {}, \"budget_bytes\": {}}},\n\"rows\": [\n{}\n]\n}}\n",
+         {{\"counters\": {{\"column_hits\": {}, \"column_misses\": {}, \"hash_hits\": {}, \"hash_misses\": {}, \
+         \"invalidations\": {}, \"evictions\": {}}}, \"gauges\": {{\"occupancy_bytes\": {}, \"budget_bytes\": \
+         {}}}}},\n\"rows\": [\n{}\n]\n}}\n",
         s.min_cold_speedup,
         s.min_cached_speedup,
         s.min_simd_speedup,
-        s.cache.column_hits,
-        s.cache.column_misses,
-        s.cache.hash_hits,
-        s.cache.hash_misses,
-        s.cache.evictions,
-        s.cache.occupancy_bytes,
-        s.cache.budget_bytes.map_or("null".into(), |b| b.to_string()),
+        counters.column_hits,
+        counters.column_misses,
+        counters.hash_hits,
+        counters.hash_misses,
+        counters.invalidations,
+        counters.evictions,
+        gauges.occupancy_bytes,
+        gauges.budget_bytes.map_or("null".into(), |b| b.to_string()),
         items.join(",\n")
     )
 }
@@ -167,7 +179,21 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    let selected: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let trace_out: Option<String> = args.iter().position(|a| a == "--trace-out").and_then(|i| args.get(i + 1)).cloned();
+    // Flag values must not be mistaken for experiment names.
+    let mut selected: Vec<String> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--trace-out" {
+            skip_next = true;
+        } else if !a.starts_with("--") {
+            selected.push(a.clone());
+        }
+    }
     let run_all = selected.is_empty() || selected.iter().any(|a| a == "all");
     let scale = if quick { Scale::quick() } else { Scale::full() };
     let wants = |name: &str| run_all || selected.iter().any(|a| a == name);
@@ -322,6 +348,14 @@ fn main() {
                 r.cached_speedup,
                 r.simd_speedup
             );
+            println!(
+                "  {:<10} latency (cached path): p50 {:.3} ms | p95 {:.3} ms | p99 {:.3} ms | max {:.3} ms",
+                "",
+                r.vectorized_cached_latency.p50_ms,
+                r.vectorized_cached_latency.p95_ms,
+                r.vectorized_cached_latency.p99_ms,
+                r.vectorized_cached_latency.max_ms
+            );
         }
         println!(
             "-> worst-case speedups: {:.2}x cold (vectorization alone), {:.2}x cached, {:.2}x simd-over-scalar | \
@@ -448,5 +482,16 @@ fn main() {
         for r in exp::fig11(scale.layout_rows) {
             println!("{:<24} {:<6} {:>12.3}", r.gpu, r.layout, r.seconds * 1e3);
         }
+    }
+
+    if let Some(path) = trace_out {
+        header("Trace: brand-revenue join stream with query tracing enabled");
+        let (rows, parts, queries) = if quick { (60_000, 4_000, 4) } else { (200_000, 20_000, 8) };
+        let trace = exp::capture_trace(rows, parts, queries);
+        std::fs::write(&path, &trace).expect("write Chrome trace");
+        println!(
+            "wrote {path} ({} bytes, {queries} queries x {rows} rows) — open in chrome://tracing or ui.perfetto.dev",
+            trace.len()
+        );
     }
 }

@@ -8,6 +8,7 @@
 
 use caldera::{Caldera, CalderaConfig, DataPlacement, OlapTarget, SnapshotPolicy};
 use h2tap_baselines::{CpuEngineKind, CpuOlapEngine, SiloDb, SiloRuntime, SnSilo};
+use h2tap_common::stats::Histogram;
 use h2tap_common::{SimDuration, TableId};
 use h2tap_gpu_sim::{AccessMode, AccessPattern, GpuDevice, GpuSpec, KernelDesc, TransferDirection};
 use h2tap_olap::GpuOlapEngine;
@@ -580,6 +581,10 @@ pub struct HtapRow {
     pub olap_min_secs: f64,
     /// Maximum OLAP response time in seconds.
     pub olap_max_secs: f64,
+    /// Median OLAP response time in seconds.
+    pub olap_p50_secs: f64,
+    /// 99th-percentile OLAP response time in seconds.
+    pub olap_p99_secs: f64,
     /// Pages shadow-copied during the run.
     pub cow_pages: u64,
 }
@@ -635,7 +640,7 @@ pub fn run_htap(params: HtapParams) -> HtapRow {
         let caldera_ref: &Caldera = &caldera;
         std::thread::scope(|scope| {
             let window = scope.spawn(move || caldera_ref.run_oltp_window(query_budget));
-            let mut times = h2tap_common::stats::Summary::new();
+            let mut times = Histogram::new();
             let query = q6();
             for _ in 0..params.olap_queries {
                 let outcome = caldera_ref.run_olap(table, &query).unwrap();
@@ -655,6 +660,8 @@ pub fn run_htap(params: HtapParams) -> HtapRow {
         olap_avg_secs: times.mean().unwrap_or(0.0),
         olap_min_secs: times.min().unwrap_or(0.0),
         olap_max_secs: times.max().unwrap_or(0.0),
+        olap_p50_secs: times.p50().unwrap_or(0.0),
+        olap_p99_secs: times.p99().unwrap_or(0.0),
         cow_pages: stats.cow.pages_copied,
     }
 }
@@ -873,6 +880,38 @@ pub fn fig11(rows: u64) -> Vec<LayoutRow> {
 // hostperf: real wall-clock of the shared host data path
 // ---------------------------------------------------------------------------
 
+/// Per-query wall-clock latency percentiles of one timed code path, in
+/// milliseconds — read off the same repeated stream the `*_ms` totals come
+/// from, so tail behaviour (allocator stalls, preemption) is visible next
+/// to the noise-robust min-based totals.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LatencyPercentiles {
+    /// Median per-query latency.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Slowest observed query.
+    pub max_ms: f64,
+}
+
+impl LatencyPercentiles {
+    /// Extracts the percentiles from a histogram of per-query *seconds*.
+    pub fn from_secs_histogram(h: &Histogram) -> Self {
+        let ms = |v: Option<f64>| v.unwrap_or(0.0) * 1e3;
+        Self { p50_ms: ms(h.p50()), p95_ms: ms(h.p95()), p99_ms: ms(h.p99()), max_ms: ms(h.max()) }
+    }
+
+    /// The `{"p50_ms":..}` object the tracked JSON artifacts embed.
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"p50_ms\":{:.4},\"p95_ms\":{:.4},\"p99_ms\":{:.4},\"max_ms\":{:.4}}}",
+            self.p50_ms, self.p95_ms, self.p99_ms, self.max_ms
+        )
+    }
+}
+
 /// One workload of the host-path wall-clock experiment: the same repeated
 /// query stream timed on three code paths of the shared operator pipeline.
 #[derive(Debug, Clone, Serialize)]
@@ -907,6 +946,14 @@ pub struct HostPerfRow {
     /// explicit SIMD kernels plus parallel materialisation over the scalar
     /// batch path, both cold.
     pub simd_speedup: f64,
+    /// Per-query latency percentiles of the reference path.
+    pub reference_latency: LatencyPercentiles,
+    /// Per-query latency percentiles of the scalar batch (pr5) path.
+    pub pr5_latency: LatencyPercentiles,
+    /// Per-query latency percentiles of the SIMD path, cold cache.
+    pub vectorized_cold_latency: LatencyPercentiles,
+    /// Per-query latency percentiles of the SIMD path, warm cache.
+    pub vectorized_cached_latency: LatencyPercentiles,
 }
 
 /// Result of the hostperf experiment: per-workload rows plus the worst-case
@@ -952,14 +999,19 @@ pub fn fig_hostperf(lineitem_rows: u64, part_keys: u64, repeats: u32) -> HostPer
     // a concurrent test thread on the same core), never fast, so the min
     // is the cleanest observation while keeping the total-stream-ms scale
     // of the tracked artifacts.
-    let time_stream = |mut query_once: Box<dyn FnMut() + '_>| -> f64 {
+    // Alongside the total, every per-query time feeds a histogram so the
+    // artifact also reports the latency *distribution* of each path.
+    let time_stream = |mut query_once: Box<dyn FnMut() + '_>| -> (f64, LatencyPercentiles) {
         let mut best = f64::INFINITY;
+        let mut hist = Histogram::new();
         for _ in 0..repeats {
             let started = Instant::now();
             query_once();
-            best = best.min(started.elapsed().as_secs_f64());
+            let secs = started.elapsed().as_secs_f64();
+            hist.record(secs);
+            best = best.min(secs);
         }
-        best * f64::from(repeats) * 1e3
+        (best * f64::from(repeats) * 1e3, LatencyPercentiles::from_secs_histogram(&hist))
     };
 
     let mut rows = Vec::new();
@@ -1013,19 +1065,19 @@ pub fn fig_hostperf(lineitem_rows: u64, part_keys: u64, repeats: u32) -> HostPer
     let warm_cache = PlanDataCache::new();
     assert_eq!(scan_vectorized(&warm_cache).0.to_bits(), want.0.to_bits());
 
-    let reference_ms = time_stream(Box::new(|| {
+    let (reference_ms, reference_latency) = time_stream(Box::new(|| {
         scan_reference();
     }));
-    let pr5_cold_ms = time_stream(Box::new(|| {
+    let (pr5_cold_ms, pr5_latency) = time_stream(Box::new(|| {
         scan_pr5();
     }));
-    let vectorized_cold_ms = time_stream(Box::new(|| {
+    let (vectorized_cold_ms, vectorized_cold_latency) = time_stream(Box::new(|| {
         cold_cache.invalidate();
         scan_vectorized(&cold_cache);
     }));
     // The warm cache already holds the snapshot's derivation (warmed by the
     // equivalence check above): this is the repeated-query, cache-hit regime.
-    let vectorized_cached_ms = time_stream(Box::new(|| {
+    let (vectorized_cached_ms, vectorized_cached_latency) = time_stream(Box::new(|| {
         scan_vectorized(&warm_cache);
     }));
     rows.push(HostPerfRow {
@@ -1039,6 +1091,10 @@ pub fn fig_hostperf(lineitem_rows: u64, part_keys: u64, repeats: u32) -> HostPer
         cold_speedup: reference_ms / vectorized_cold_ms.max(1e-9),
         cached_speedup: reference_ms / vectorized_cached_ms.max(1e-9),
         simd_speedup: pr5_cold_ms / vectorized_cold_ms.max(1e-9),
+        reference_latency,
+        pr5_latency,
+        vectorized_cold_latency,
+        vectorized_cached_latency,
     });
 
     // ---- Workload 2: the brand-revenue join + group-by plan. -----------
@@ -1088,17 +1144,17 @@ pub fn fig_hostperf(lineitem_rows: u64, part_keys: u64, repeats: u32) -> HostPer
     assert_bit_identical(join_vectorized(&cold_cache));
     assert_bit_identical(join_vectorized(&warm_cache));
 
-    let reference_ms = time_stream(Box::new(|| {
+    let (reference_ms, reference_latency) = time_stream(Box::new(|| {
         join_reference();
     }));
-    let pr5_cold_ms = time_stream(Box::new(|| {
+    let (pr5_cold_ms, pr5_latency) = time_stream(Box::new(|| {
         join_pr5();
     }));
-    let vectorized_cold_ms = time_stream(Box::new(|| {
+    let (vectorized_cold_ms, vectorized_cold_latency) = time_stream(Box::new(|| {
         cold_cache.invalidate();
         join_vectorized(&cold_cache);
     }));
-    let vectorized_cached_ms = time_stream(Box::new(|| {
+    let (vectorized_cached_ms, vectorized_cached_latency) = time_stream(Box::new(|| {
         join_vectorized(&warm_cache);
     }));
     rows.push(HostPerfRow {
@@ -1112,6 +1168,10 @@ pub fn fig_hostperf(lineitem_rows: u64, part_keys: u64, repeats: u32) -> HostPer
         cold_speedup: reference_ms / vectorized_cold_ms.max(1e-9),
         cached_speedup: reference_ms / vectorized_cached_ms.max(1e-9),
         simd_speedup: pr5_cold_ms / vectorized_cold_ms.max(1e-9),
+        reference_latency,
+        pr5_latency,
+        vectorized_cold_latency,
+        vectorized_cached_latency,
     });
 
     let min_cold = rows.iter().map(|r| r.cold_speedup).fold(f64::INFINITY, f64::min);
@@ -1124,6 +1184,32 @@ pub fn fig_hostperf(lineitem_rows: u64, part_keys: u64, repeats: u32) -> HostPer
         min_cached_speedup: min_cached,
         min_simd_speedup: min_simd,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Trace capture: the --trace-out artifact
+// ---------------------------------------------------------------------------
+
+/// Runs a brand-revenue join stream through the full engine with tracing
+/// enabled and returns the Chrome trace-event JSON (Perfetto-loadable).
+/// The stream shares one snapshot so the trace shows the cold dispatch
+/// (cache misses, materialisation, hash build) followed by warm cache-hit
+/// repeats — the shape `--trace-out` is meant to make visible.
+pub fn capture_trace(lineitem_rows: u64, part_keys: u64, queries: u32) -> String {
+    let mut config = CalderaConfig::with_workers(2);
+    config.observability.tracing = true;
+    config.snapshot_policy = SnapshotPolicy::EveryN { queries: 1_000 };
+    let mut builder = Caldera::builder(config);
+    let lineitem = tpch::load_lineitem(&mut builder, Layout::PAPER_PAX, lineitem_rows, 7).unwrap();
+    let part = tpch::load_part(&mut builder, Layout::PAPER_PAX, part_keys, 11).unwrap();
+    let caldera = builder.start().unwrap();
+    let plan = tpch::brand_revenue_plan(30);
+    for _ in 0..queries.max(1) {
+        caldera.run_olap_plan(lineitem, Some(part), &plan).unwrap();
+    }
+    let json = caldera.chrome_trace_json();
+    caldera.shutdown();
+    json
 }
 
 #[cfg(test)]

@@ -35,5 +35,5 @@ pub use query::{AggExpr, Predicate, ScanAggQuery};
 pub use rid::{PartitionId, RecordId, TableId};
 pub use schema::{AttrType, Attribute, Schema};
 pub use simtime::SimDuration;
-pub use stats::PlanCacheStats;
+pub use stats::{Histogram, PlanCacheCounters, PlanCacheGauges, PlanCacheStats};
 pub use value::Value;

@@ -1,6 +1,7 @@
 //! Engine configuration.
 
 use h2tap_gpu_sim::{AccessMode, GpuSpec};
+use h2tap_obs::ObsConfig;
 use h2tap_olap::{CpuScanProfile, CpuSpec, DataPlacement, SnapshotPolicy};
 use h2tap_oltp::{OltpConfig, PartitionerKind};
 use h2tap_scheduler::{CalibrationConfig, CostModel, DEFAULT_GPU_DISPATCH_OVERHEAD_SECS};
@@ -121,6 +122,11 @@ pub struct CalderaConfig {
     /// occupancy with LRU eviction that never drops entries pinned by
     /// in-flight queries.
     pub olap_plan_cache_budget_bytes: Option<u64>,
+    /// Query tracing. Off by default (the hot path pays one relaxed atomic
+    /// load per would-be span); when enabled every dispatch records typed
+    /// spans into a bounded ring readable via `Caldera::trace_spans` /
+    /// `Caldera::chrome_trace_json`.
+    pub observability: ObsConfig,
 }
 
 impl Default for CalderaConfig {
@@ -136,6 +142,7 @@ impl Default for CalderaConfig {
             calibration: CalibrationConfig::default(),
             cost_model_seed: None,
             olap_plan_cache_budget_bytes: None,
+            observability: ObsConfig::default(),
         }
     }
 }
@@ -179,6 +186,7 @@ mod tests {
         // 24-core server with 68 GB/s aggregate: ~2.83 GB/s per core.
         assert!((c.olap_cpu.per_core_bandwidth_gbps - 68.0 / 24.0).abs() < 1e-9);
         assert!(c.olap_device.dispatch_overhead_secs > 0.0);
+        assert!(!c.observability.tracing, "query tracing is opt-in");
         // Calibration is on by default and seeds from the same constants.
         assert!(c.calibration.enabled);
         let seed = c.initial_cost_model();

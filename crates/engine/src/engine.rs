@@ -8,11 +8,13 @@
 
 use crate::config::CalderaConfig;
 use h2tap_common::{H2Error, OlapPlan, PartitionId, PlanCacheStats, Result, ScanAggQuery, SimDuration, TableId};
+use h2tap_obs::{MetricsRegistry, MetricsSnapshot, SpanEvent, SpanKind, SpanRecord, Tracer};
 use h2tap_olap::{ExecutionSite, OlapOutcome, PlanDataCache, PlanOutcome, RegisteredTable, SnapshotPolicy};
 use h2tap_oltp::{BenchmarkWindow, OltpRuntime, OltpStats, TxnProc};
 use h2tap_scheduler::{
     estimate_target_secs, place_olap_query_sites, ArchipelagoKind, CalibrationReport, CoreMigrationPolicy,
-    CostCalibrator, CostModel, OlapTarget, PlacementHints, PlacementObservation, Scheduler, SiteCapability,
+    CostCalibrator, CostModel, OlapTarget, PlacementExplanation, PlacementHints, PlacementObservation, Scheduler,
+    SiteCapability,
 };
 use h2tap_storage::{CowStats, Database, Snapshot};
 use parking_lot::Mutex;
@@ -55,6 +57,14 @@ pub struct HtapStats {
     /// Hit/miss counters of the plan-data cache shared by every execution
     /// site (materialised columns + zonemap stats, join hash tables).
     pub plan_cache: PlanCacheStats,
+    /// Metrics registry snapshot: per-path latency histograms
+    /// (`olap.latency.*`, simulated seconds), per-site query counters, and
+    /// the plan-cache counter/gauge families mirrored at sampling time.
+    pub metrics: MetricsSnapshot,
+    /// The most recent placement decisions (bounded ring, newest last):
+    /// every site's estimated time, the chosen and executing site, the
+    /// observed time and the regret against the best estimate.
+    pub placements: Vec<PlacementExplanation>,
 }
 
 impl HtapStats {
@@ -67,6 +77,15 @@ impl HtapStats {
     /// `|predicted - actual| / actual` over that site's observations).
     pub fn prediction_error_on(&self, target: OlapTarget) -> Option<f64> {
         self.calibration.site(target).filter(|s| s.observations > 0).map(|s| s.mean_rel_error)
+    }
+}
+
+/// Stable metric-name suffix for a placement target.
+fn site_key(target: OlapTarget) -> &'static str {
+    match target {
+        OlapTarget::Gpu => "gpu",
+        OlapTarget::Cpu => "cpu",
+        OlapTarget::MultiGpu => "multi_gpu",
     }
 }
 
@@ -130,6 +149,12 @@ pub struct Caldera {
     /// Optional core-migration policy consulted after every placement
     /// observation (see [`Caldera::set_migration_policy`]).
     migration_policy: Mutex<Option<Box<dyn CoreMigrationPolicy>>>,
+    /// Query tracing (a no-op unless `config.observability.tracing`); the
+    /// same handle is installed into every execution site and the shared
+    /// plan-data cache at assembly.
+    tracer: Tracer,
+    /// Counters and latency histograms every dispatch feeds.
+    metrics: MetricsRegistry,
 }
 
 impl Caldera {
@@ -151,8 +176,12 @@ impl Caldera {
         // dispatch is reused by all of them for the same snapshot, bounded
         // by the configured byte budget.
         let plan_cache = PlanDataCache::with_budget(config.olap_plan_cache_budget_bytes);
+        let tracer = Tracer::from_config(&config.observability);
         for site in &mut sites {
             site.set_plan_cache(plan_cache.clone());
+            // After set_plan_cache: installing the tracer also threads it
+            // into the (shared) cache the site now holds.
+            site.set_tracer(tracer.clone());
         }
         Self {
             config,
@@ -170,6 +199,8 @@ impl Caldera {
             scheduler,
             next_home: AtomicU64::new(0),
             migration_policy: Mutex::new(None),
+            tracer,
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -203,6 +234,49 @@ impl Caldera {
     /// [`HtapStats::calibration`]).
     pub fn calibration_report(&self) -> CalibrationReport {
         self.olap.lock().calibrator.report()
+    }
+
+    /// The recorded trace spans, oldest first. Empty unless the engine was
+    /// built with `config.observability.tracing` set.
+    pub fn trace_spans(&self) -> Vec<SpanRecord> {
+        self.tracer.snapshot()
+    }
+
+    /// The recorded trace as Chrome trace-event JSON — load it in Perfetto
+    /// or `chrome://tracing` to see every query's placement, cache,
+    /// materialisation and kernel spans per execution site.
+    pub fn chrome_trace_json(&self) -> String {
+        h2tap_obs::chrome_trace_json(&self.trace_spans())
+    }
+
+    /// A point-in-time snapshot of the metrics registry (the same content
+    /// [`HtapStats::metrics`] carries): query counters, latency histograms,
+    /// plan-cache counter/gauge families, trace-ring health.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let cache = self.olap.lock().plan_cache.stats();
+        self.metrics_snapshot(&cache)
+    }
+
+    /// Mirrors the point-in-time cache and trace-ring state into the
+    /// registry (counters and gauges kept in their own families — see
+    /// [`PlanCacheStats::counters`] / [`PlanCacheStats::gauges`]) and
+    /// snapshots it.
+    fn metrics_snapshot(&self, cache: &PlanCacheStats) -> MetricsSnapshot {
+        let counters = cache.counters();
+        self.metrics.counter_set("plan_cache.column_hits", counters.column_hits);
+        self.metrics.counter_set("plan_cache.column_misses", counters.column_misses);
+        self.metrics.counter_set("plan_cache.hash_hits", counters.hash_hits);
+        self.metrics.counter_set("plan_cache.hash_misses", counters.hash_misses);
+        self.metrics.counter_set("plan_cache.invalidations", counters.invalidations);
+        self.metrics.counter_set("plan_cache.evictions", counters.evictions);
+        let gauges = cache.gauges();
+        self.metrics.gauge_set("plan_cache.occupancy_bytes", gauges.occupancy_bytes as f64);
+        if let Some(budget) = gauges.budget_bytes {
+            self.metrics.gauge_set("plan_cache.budget_bytes", budget as f64);
+        }
+        self.metrics.counter_set("trace.spans.recorded", self.tracer.recorded());
+        self.metrics.counter_set("trace.spans.dropped", self.tracer.dropped());
+        self.metrics.snapshot()
     }
 
     /// Installs a core-migration policy. After every placement observation
@@ -246,6 +320,7 @@ impl Caldera {
         capabilities: &[SiteCapability],
         hints: &PlacementHints,
         forced: bool,
+        chosen: OlapTarget,
         site: OlapTarget,
         time: SimDuration,
         breakdown: h2tap_common::ExecBreakdown,
@@ -259,6 +334,15 @@ impl Caldera {
             breakdown: Some(breakdown),
         };
         olap.calibrator.observe_sites(capabilities, &observation);
+        // Explain the dispatch against the freshly calibrated model: every
+        // site's estimate, the regret of the executing site vs the best, and
+        // the running regret summary `CalibrationReport::regret` exposes.
+        olap.calibrator.explain_dispatch(capabilities, chosen, &observation, olap.query_index);
+        self.metrics.counter_add("olap.queries", 1);
+        self.metrics.counter_add(&format!("olap.queries.{}", site_key(site)), 1);
+        let secs = time.as_secs_f64();
+        self.metrics.observe_secs("olap.latency.secs", secs);
+        self.metrics.observe_secs(&format!("olap.latency.{}", site_key(site)), secs);
         olap.calibrator.report()
     }
 
@@ -393,7 +477,10 @@ impl Caldera {
             ..self.base_hints(&mut olap, cpu_cores)
         };
         let capabilities = olap.capabilities();
+        self.tracer.set_query(olap.query_index);
+        let placing = self.tracer.start();
         let target = forced.unwrap_or_else(|| place_olap_query_sites(&capabilities, &hints));
+        self.tracer.record_wall(SpanEvent::new(SpanKind::Placement).site(target), placing);
 
         let outcome = match Self::execute_on_slot(&mut olap, target, cpu_cores, table, frozen, &meta.name, query) {
             // The placement hints cannot see every device constraint (a
@@ -403,6 +490,7 @@ impl Caldera {
             // of failing the query. Explicitly forced targets keep their
             // error.
             Err(H2Error::GpuOutOfMemory { .. }) if forced.is_none() && target != OlapTarget::Cpu => {
+                self.tracer.record(SpanEvent::new(SpanKind::Fallback).site(OlapTarget::Cpu));
                 Self::execute_on_slot(&mut olap, OlapTarget::Cpu, cpu_cores, table, frozen, &meta.name, query)?
             }
             other => other?,
@@ -416,6 +504,7 @@ impl Caldera {
             &capabilities,
             &hints,
             forced.is_some(),
+            target,
             outcome.site,
             outcome.time,
             outcome.breakdown,
@@ -466,7 +555,10 @@ impl Caldera {
             ..self.base_hints(&mut olap, cpu_cores)
         };
         let capabilities = olap.capabilities();
+        self.tracer.set_query(olap.query_index);
+        let placing = self.tracer.start();
         let target = forced.unwrap_or_else(|| place_olap_query_sites(&capabilities, &hints));
+        self.tracer.record_wall(SpanEvent::new(SpanKind::Placement).site(target), placing);
 
         let run = |olap: &mut OlapState, target: OlapTarget| -> Result<PlanOutcome> {
             let slot = olap.require_slot(target)?;
@@ -510,6 +602,7 @@ impl Caldera {
             // Same OOM fallback as the scan path: the CPU site still holds
             // every table (and its hash state) in host DRAM.
             Err(H2Error::GpuOutOfMemory { .. }) if forced.is_none() && target != OlapTarget::Cpu => {
+                self.tracer.record(SpanEvent::new(SpanKind::Fallback).site(OlapTarget::Cpu));
                 run(&mut olap, OlapTarget::Cpu)?
             }
             other => other?,
@@ -520,6 +613,7 @@ impl Caldera {
             &capabilities,
             &hints,
             forced.is_some(),
+            target,
             outcome.site,
             outcome.time,
             outcome.breakdown,
@@ -576,6 +670,7 @@ impl Caldera {
     /// Combined statistics across both archipelagos.
     pub fn stats(&self) -> HtapStats {
         let olap = self.olap.lock();
+        let plan_cache = olap.plan_cache.stats();
         HtapStats {
             oltp: self.oltp.stats(),
             cow: self.db.telemetry(),
@@ -593,7 +688,9 @@ impl Caldera {
                 .collect(),
             snapshots_taken: olap.snapshots_taken,
             calibration: olap.calibrator.report(),
-            plan_cache: olap.plan_cache.stats(),
+            plan_cache,
+            metrics: self.metrics_snapshot(&plan_cache),
+            placements: olap.calibrator.recent_placements().cloned().collect(),
         }
     }
 

@@ -40,6 +40,7 @@ pub use config::{CalderaConfig, OlapCpuConfig, OlapDeviceConfig, OlapMultiGpuCon
 pub use engine::{Caldera, HtapStats, OlapSiteStats};
 
 pub use h2tap_common::{GroupRow, JoinSpec, OlapPlan, PlanColumn};
+pub use h2tap_obs::{MetricsSnapshot, ObsConfig, SpanKind, SpanRecord};
 pub use h2tap_olap::{CpuScanProfile, DataPlacement, ExecutionSite, OlapOutcome, PlanOutcome, SnapshotPolicy};
 pub use h2tap_oltp::{OltpConfig, PartitionerKind, TxnProc};
-pub use h2tap_scheduler::{OlapTarget, SiteCapability};
+pub use h2tap_scheduler::{OlapTarget, PlacementExplanation, RegretSummary, SiteCapability};

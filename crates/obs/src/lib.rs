@@ -1,0 +1,28 @@
+//! Observability for the Caldera H2TAP engine.
+//!
+//! Three instruments, all designed to be near-free when disabled:
+//!
+//! * [`Tracer`] — per-query typed spans ([`SpanKind`]: placement,
+//!   cache lookup, materialise, hash build, kernel, merge, fallback)
+//!   recorded into a bounded ring. The hot path pays one relaxed atomic
+//!   load when tracing is off and one relaxed cursor bump plus an
+//!   uncontended slot store when it is on; a contended slot drops the span
+//!   rather than blocking the query.
+//! * [`MetricsRegistry`] — named counters, gauges and log-bucketed
+//!   latency [`Histogram`]s (p50/p95/p99/max), snapshotted into
+//!   `HtapStats::metrics` and the `BENCH_*.json` artifacts.
+//! * [`chrome_trace_json`] — exports captured spans as Chrome
+//!   trace-event JSON, loadable in Perfetto / `chrome://tracing`.
+//!
+//! The histogram itself lives in `h2tap_common::stats` (re-exported here)
+//! so latency percentiles are available below this crate in the dependency
+//! graph; this crate owns the recording and export machinery.
+
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+pub use export::{chrome_trace_json, json_is_valid};
+pub use h2tap_common::Histogram;
+pub use metrics::{format_latency_secs, MetricsRegistry, MetricsSnapshot};
+pub use trace::{ObsConfig, SpanEvent, SpanKind, SpanRecord, Tracer};

@@ -1,0 +1,239 @@
+//! The metrics registry: named counters, gauges and latency histograms.
+//!
+//! One registry per engine; every dispatch records its latency into
+//! log-bucketed [`Histogram`]s (overall and per site) and bumps per-site
+//! counters. [`MetricsRegistry::snapshot`] clones the current state into a
+//! [`MetricsSnapshot`] — what `HtapStats::metrics` carries and what the
+//! bench binary serialises into the `BENCH_*.json` artifacts.
+//!
+//! The three families have distinct semantics, mirroring the
+//! counters/gauges split of `PlanCacheStats`: counters are monotonic,
+//! gauges are point-in-time samples, histograms are mergeable
+//! distributions.
+
+use h2tap_common::Histogram;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A point-in-time copy of the registry. `BTreeMap`s keep iteration (and
+/// therefore every exported artifact) deterministically ordered by name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// The named monotonic counter, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The named gauge, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, name-ordered.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All gauges, name-ordered.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All histograms, name-ordered.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Whether nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Hand-written JSON (the workspace's offline serde stand-in has no
+    /// serializer): `{"counters":{...},"gauges":{...},"histograms":{name:
+    /// {count,p50,p95,p99,max,mean}}}`. Keys are emitted in `BTreeMap`
+    /// order, so the output is byte-stable for a given state.
+    pub fn json(&self) -> String {
+        let counters: Vec<String> = self.counters.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+        let gauges: Vec<String> = self.gauges.iter().map(|(k, v)| format!("\"{k}\":{}", fmt_f64(*v))).collect();
+        let hists: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                format!(
+                    "\"{k}\":{{\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{},\"mean\":{}}}",
+                    h.count(),
+                    fmt_opt(h.p50()),
+                    fmt_opt(h.p95()),
+                    fmt_opt(h.p99()),
+                    fmt_opt(h.max()),
+                    fmt_opt(h.mean()),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+            counters.join(","),
+            gauges.join(","),
+            hists.join(",")
+        )
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), fmt_f64)
+}
+
+/// The shared, thread-safe registry handle (one `Arc`-backed clone per
+/// holder). Recording takes one short mutex; OLAP dispatch records once per
+/// *query*, not per row, so the lock is far off the data hot path.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<MetricsSnapshot>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named monotonic counter (created at 0).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock();
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Overwrites the named counter with an externally tracked monotonic
+    /// value (e.g. mirroring the plan cache's own hit counters).
+    pub fn counter_set(&self, name: &str, value: u64) {
+        self.inner.lock().counters.insert(name.to_string(), value);
+    }
+
+    /// Sets the named gauge to a point-in-time sample.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.inner.lock().gauges.insert(name.to_string(), value);
+    }
+
+    /// Records one observation (seconds) into the named histogram.
+    pub fn observe_secs(&self, name: &str, secs: f64) {
+        self.inner.lock().histograms.entry(name.to_string()).or_default().record(secs);
+    }
+
+    /// Merges a whole histogram recorded elsewhere into the named one.
+    pub fn merge_histogram(&self, name: &str, h: &Histogram) {
+        self.inner.lock().histograms.entry(name.to_string()).or_default().merge(h);
+    }
+
+    /// A deep copy of the current state.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner.lock().clone()
+    }
+}
+
+/// The one shared percentile-line formatter: every latency report (bench
+/// binary, dashboard example, JSON artifacts) renders p50/p95/p99/max the
+/// same way, in milliseconds.
+pub fn format_latency_secs(h: &Histogram) -> String {
+    match (h.p50(), h.p95(), h.p99(), h.max()) {
+        (Some(p50), Some(p95), Some(p99), Some(max)) => format!(
+            "p50 {:.3} ms | p95 {:.3} ms | p99 {:.3} ms | max {:.3} ms ({} samples)",
+            p50 * 1e3,
+            p95 * 1e3,
+            p99 * 1e3,
+            max * 1e3,
+            h.count()
+        ),
+        _ => "no samples".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let m = MetricsRegistry::new();
+        m.counter_add("olap.queries.gpu", 2);
+        m.counter_add("olap.queries.gpu", 3);
+        m.counter_set("cache.hits", 11);
+        m.gauge_set("cache.occupancy_bytes", 4096.0);
+        for i in 1..=100 {
+            m.observe_secs("olap.latency.secs", i as f64 * 1e-3);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.counter("olap.queries.gpu"), Some(5));
+        assert_eq!(s.counter("cache.hits"), Some(11));
+        assert_eq!(s.gauge("cache.occupancy_bytes"), Some(4096.0));
+        let h = s.histogram("olap.latency.secs").unwrap();
+        assert_eq!(h.count(), 100);
+        let p50 = h.p50().unwrap();
+        assert!((p50 - 0.050).abs() / 0.050 < 0.05, "p50 {p50}");
+        assert!(s.counter("missing").is_none());
+        assert!(s.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn merge_histogram_aggregates_thread_local_recordings() {
+        let m = MetricsRegistry::new();
+        let mut local_a = Histogram::new();
+        let mut local_b = Histogram::new();
+        for i in 0..50 {
+            local_a.record(1e-3 + i as f64 * 1e-5);
+            local_b.record(2e-3 + i as f64 * 1e-5);
+        }
+        m.merge_histogram("lat", &local_a);
+        m.merge_histogram("lat", &local_b);
+        assert_eq!(m.snapshot().histogram("lat").unwrap().count(), 100);
+    }
+
+    #[test]
+    fn snapshot_json_is_valid_and_deterministic() {
+        let m = MetricsRegistry::new();
+        m.counter_add("b.count", 1);
+        m.counter_add("a.count", 2);
+        m.gauge_set("g", 1.5);
+        m.observe_secs("h", 0.25);
+        let json = m.snapshot().json();
+        assert!(crate::export::json_is_valid(&json), "{json}");
+        // BTreeMap ordering: "a.count" precedes "b.count".
+        assert!(json.find("a.count").unwrap() < json.find("b.count").unwrap());
+        assert_eq!(json, m.snapshot().json());
+        // Empty histograms/maps still serialise validly.
+        assert!(crate::export::json_is_valid(&MetricsSnapshot::default().json()));
+    }
+
+    #[test]
+    fn latency_line_formats_percentiles_once_for_everyone() {
+        let mut h = Histogram::new();
+        assert_eq!(format_latency_secs(&h), "no samples");
+        for _ in 0..10 {
+            h.record(0.002);
+        }
+        let line = format_latency_secs(&h);
+        assert!(line.contains("p50 2.000 ms"), "{line}");
+        assert!(line.contains("p99 2.000 ms"), "{line}");
+        assert!(line.contains("10 samples"), "{line}");
+    }
+}

@@ -46,6 +46,7 @@
 
 use crate::operators::{self, JoinHashTable, MaterializedColumns, PlanData};
 use h2tap_common::{JoinSpec, OlapPlan, PlanCacheStats, Result};
+use h2tap_obs::{SpanEvent, SpanKind, Tracer};
 use h2tap_storage::{SnapshotTable, SnapshotTableId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -105,6 +106,10 @@ struct CacheInner {
     budget: Option<u64>,
     /// Monotonic access counter ordering uses across both maps for LRU.
     tick: u64,
+    /// Shared trace handle: probes emit `cache_lookup` spans, misses emit
+    /// the `materialise` / `hash_build` span of the derivation they paid.
+    /// Disabled (one relaxed load per probe) until the engine installs one.
+    tracer: Tracer,
 }
 
 impl CacheInner {
@@ -208,6 +213,17 @@ impl PlanDataCache {
         self.inner.lock().budget
     }
 
+    /// Installs the engine's shared trace handle (all clones of this cache
+    /// share it — the tracer lives behind the same `Arc` as the entries).
+    pub fn set_tracer(&self, tracer: Tracer) {
+        self.inner.lock().tracer = tracer;
+    }
+
+    /// A span event stamped with a frozen table's identity.
+    fn span(kind: SpanKind, id: SnapshotTableId) -> SpanEvent {
+        SpanEvent::new(kind).table(u64::from(id.table.0)).epoch(id.epoch.0)
+    }
+
     /// The materialised columns (with zonemap statistics) of `cols` of the
     /// frozen `table`, shared if a query — on any site — already derived
     /// them for this snapshot epoch; materialised, and cached if the budget
@@ -218,16 +234,22 @@ impl PlanDataCache {
         let key = ColumnsKey { id: table.identity, cols };
         let mut inner = self.inner.lock();
         let inner = &mut *inner; // split the guard borrow across fields
+        let tracer = inner.tracer.clone();
+        let lookup = tracer.start();
         inner.note_epoch(table.identity);
         let now = inner.touch();
         if let Some(hit) = inner.columns.get_mut(&key) {
             hit.last_used = now;
             inner.stats.column_hits += 1;
+            tracer.record_wall(Self::span(SpanKind::CacheLookup, table.identity).hit(true), lookup);
             return Ok(Arc::clone(&hit.value));
         }
         inner.stats.column_misses += 1;
+        tracer.record_wall(Self::span(SpanKind::CacheLookup, table.identity).hit(false), lookup);
+        let derive = tracer.start();
         let mat = Arc::new(MaterializedColumns::new(table, key.cols.clone())?);
         let bytes = mat.cell_bytes();
+        tracer.record_wall(Self::span(SpanKind::Materialise, table.identity).bytes(bytes), derive);
         if inner.admit(bytes) {
             inner.columns.insert(key, Entry { value: Arc::clone(&mat), bytes, last_used: now });
         }
@@ -247,16 +269,22 @@ impl PlanDataCache {
         let key = HashKey::new(build.identity, join, group_col);
         let mut inner = self.inner.lock();
         let inner = &mut *inner; // split the guard borrow across fields
+        let tracer = inner.tracer.clone();
+        let lookup = tracer.start();
         inner.note_epoch(build.identity);
         let now = inner.touch();
         if let Some(hit) = inner.hashes.get_mut(&key) {
             hit.last_used = now;
             inner.stats.hash_hits += 1;
+            tracer.record_wall(Self::span(SpanKind::CacheLookup, build.identity).hit(true), lookup);
             return Ok(Arc::clone(&hit.value));
         }
         inner.stats.hash_misses += 1;
+        tracer.record_wall(Self::span(SpanKind::CacheLookup, build.identity).hit(false), lookup);
+        let derive = tracer.start();
         let hash = Arc::new(operators::build_hash_table(build, join, group_col)?);
         let bytes = hash.footprint_bytes();
+        tracer.record_wall(Self::span(SpanKind::HashBuild, build.identity).bytes(bytes), derive);
         if inner.admit(bytes) {
             inner.hashes.insert(key, Entry { value: Arc::clone(&hash), bytes, last_used: now });
         }

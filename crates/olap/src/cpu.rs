@@ -26,8 +26,9 @@ use crate::cache::PlanDataCache;
 use crate::engine::{OlapOutcome, PlanOutcome, RegisteredTable};
 use crate::operators::{self, ChunkPartial, ScanChunkPartial};
 use crate::pool::{run_chunked, MAX_PLAN_THREADS};
-use crate::site::ExecutionSite;
+use crate::site::{emit_execution_spans, ExecutionSite};
 use h2tap_common::{ExecBreakdown, GroupRow, H2Error, OlapPlan, Result, ScanAggQuery, SimDuration};
+use h2tap_obs::Tracer;
 use h2tap_scheduler::{overlap_secs, OlapTarget, SiteCapability, CPU_CACHE_LINE_BYTES};
 use h2tap_storage::SnapshotTable;
 use std::collections::HashSet;
@@ -151,6 +152,8 @@ pub struct CpuOlapEngine {
     /// Snapshot-keyed plan-data cache (shared across all sites when built
     /// into an engine, private otherwise).
     cache: PlanDataCache,
+    /// Trace handle; disabled (no-op) until the engine installs one.
+    tracer: Tracer,
 }
 
 impl CpuOlapEngine {
@@ -182,6 +185,7 @@ impl CpuOlapEngine {
             registered: HashSet::new(),
             next_tag: 0,
             cache: PlanDataCache::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -365,7 +369,7 @@ impl ExecutionSite for CpuOlapEngine {
             return Err(H2Error::InvalidKernel("cannot execute a query over an empty table".into()));
         }
         let result = self.execute_scan(table, query)?;
-        Ok(OlapOutcome {
+        let out = OlapOutcome {
             value: result.value,
             qualifying_rows: result.qualifying_rows,
             time: result.sim_time,
@@ -373,7 +377,9 @@ impl ExecutionSite for CpuOlapEngine {
             interconnect_bytes: 0,
             breakdown: result.breakdown,
             site: OlapTarget::Cpu,
-        })
+        };
+        emit_execution_spans(&self.tracer, out.site, &out.kernels, &out.breakdown, out.time, out.interconnect_bytes);
+        Ok(out)
     }
 
     fn execute_plan(
@@ -392,7 +398,7 @@ impl ExecutionSite for CpuOlapEngine {
             }
         }
         let result = self.execute_plan_pipeline(probe_table, build.map(|(_, t)| t), plan)?;
-        Ok(PlanOutcome {
+        let out = PlanOutcome {
             groups: result.groups,
             qualifying_rows: result.qualifying_rows,
             grouped: plan.group_by.is_some(),
@@ -401,7 +407,9 @@ impl ExecutionSite for CpuOlapEngine {
             interconnect_bytes: 0,
             breakdown: result.breakdown,
             site: OlapTarget::Cpu,
-        })
+        };
+        emit_execution_spans(&self.tracer, out.site, &out.kernels, &out.breakdown, out.time, out.interconnect_bytes);
+        Ok(out)
     }
 
     fn resident_fraction(&self) -> f64 {
@@ -422,6 +430,11 @@ impl ExecutionSite for CpuOlapEngine {
 
     fn set_plan_cache(&mut self, cache: PlanDataCache) {
         self.cache = cache;
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.cache.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 }
 

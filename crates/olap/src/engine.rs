@@ -15,7 +15,7 @@
 
 use crate::cache::PlanDataCache;
 use crate::operators::{self, ChunkPartial};
-use crate::site::ExecutionSite;
+use crate::site::{emit_execution_spans, ExecutionSite};
 use h2tap_common::{
     ExecBreakdown, GroupRow, H2Error, OlapPlan, PlanColumn, Result, ScanAggQuery, SimDuration, HASH_ENTRY_BYTES,
 };
@@ -23,6 +23,7 @@ use h2tap_gpu_sim::{
     AccessMode, AccessPattern, BufferId, GpuDevice, KernelDesc, KernelMetrics, MemoryManager, Residency,
     TransferDirection,
 };
+use h2tap_obs::Tracer;
 use h2tap_scheduler::{GpuDeviceCapability, OlapTarget, SiteCapability};
 use h2tap_storage::{Layout, SnapshotTable};
 use std::collections::HashMap;
@@ -134,6 +135,8 @@ pub struct GpuOlapEngine {
     /// Snapshot-keyed plan-data cache for the host-side data path (shared
     /// across all sites when built into an engine, private otherwise).
     cache: PlanDataCache,
+    /// Shared trace handle (disabled no-op until the engine installs one).
+    tracer: Tracer,
 }
 
 /// Handle to a table registered with an execution site. Opaque to callers;
@@ -179,6 +182,7 @@ impl GpuOlapEngine {
             nsm_buffers: HashMap::new(),
             next_tag: 0,
             cache: PlanDataCache::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -658,7 +662,9 @@ impl ExecutionSite for GpuOlapEngine {
     }
 
     fn execute(&mut self, handle: RegisteredTable, table: &SnapshotTable, query: &ScanAggQuery) -> Result<OlapOutcome> {
-        GpuOlapEngine::execute(self, handle, table, query)
+        let out = GpuOlapEngine::execute(self, handle, table, query)?;
+        emit_execution_spans(&self.tracer, out.site, &out.kernels, &out.breakdown, out.time, out.interconnect_bytes);
+        Ok(out)
     }
 
     fn execute_plan(
@@ -668,7 +674,9 @@ impl ExecutionSite for GpuOlapEngine {
         build: Option<(RegisteredTable, &SnapshotTable)>,
         plan: &OlapPlan,
     ) -> Result<PlanOutcome> {
-        GpuOlapEngine::execute_plan(self, probe, probe_table, build, plan)
+        let out = GpuOlapEngine::execute_plan(self, probe, probe_table, build, plan)?;
+        emit_execution_spans(&self.tracer, out.site, &out.kernels, &out.breakdown, out.time, out.interconnect_bytes);
+        Ok(out)
     }
 
     fn free_device_bytes(&self) -> Option<u64> {
@@ -693,6 +701,11 @@ impl ExecutionSite for GpuOlapEngine {
 
     fn set_plan_cache(&mut self, cache: PlanDataCache) {
         self.cache = cache;
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.cache.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 }
 

@@ -36,12 +36,13 @@
 use crate::cache::PlanDataCache;
 use crate::engine::{DataPlacement, OlapOutcome, PlanOutcome, RegisteredTable};
 use crate::operators::{self, ChunkPartial};
-use crate::site::ExecutionSite;
+use crate::site::{emit_execution_spans, ExecutionSite};
 use h2tap_common::{
     chunk_shard, ExecBreakdown, H2Error, OlapPlan, PlanColumn, Result, ScanAggQuery, SimDuration, HASH_ENTRY_BYTES,
     PLAN_CHUNK_ROWS,
 };
 use h2tap_gpu_sim::{AccessMode, AccessPattern, BufferId, GpuDevice, KernelDesc, KernelMetrics, TransferDirection};
+use h2tap_obs::Tracer;
 use h2tap_scheduler::{GpuDeviceCapability, OlapTarget, SiteCapability};
 use h2tap_storage::{Layout, SnapshotTable};
 use std::collections::HashMap;
@@ -98,6 +99,8 @@ pub struct MultiGpuOlapEngine {
     /// Snapshot-keyed plan-data cache for the host-side data path (shared
     /// across all sites when built into an engine, private otherwise).
     cache: PlanDataCache,
+    /// Trace handle; disabled (no-op) until the engine installs one.
+    tracer: Tracer,
 }
 
 impl MultiGpuOlapEngine {
@@ -115,6 +118,7 @@ impl MultiGpuOlapEngine {
             shard_rows: HashMap::new(),
             next_tag: 0,
             cache: PlanDataCache::new(),
+            tracer: Tracer::disabled(),
         })
     }
 
@@ -742,7 +746,9 @@ impl ExecutionSite for MultiGpuOlapEngine {
     }
 
     fn execute(&mut self, handle: RegisteredTable, table: &SnapshotTable, query: &ScanAggQuery) -> Result<OlapOutcome> {
-        MultiGpuOlapEngine::execute(self, handle, table, query)
+        let out = MultiGpuOlapEngine::execute(self, handle, table, query)?;
+        emit_execution_spans(&self.tracer, out.site, &out.kernels, &out.breakdown, out.time, out.interconnect_bytes);
+        Ok(out)
     }
 
     fn execute_plan(
@@ -752,7 +758,9 @@ impl ExecutionSite for MultiGpuOlapEngine {
         build: Option<(RegisteredTable, &SnapshotTable)>,
         plan: &OlapPlan,
     ) -> Result<PlanOutcome> {
-        MultiGpuOlapEngine::execute_plan(self, probe, probe_table, build, plan)
+        let out = MultiGpuOlapEngine::execute_plan(self, probe, probe_table, build, plan)?;
+        emit_execution_spans(&self.tracer, out.site, &out.kernels, &out.breakdown, out.time, out.interconnect_bytes);
+        Ok(out)
     }
 
     /// The *minimum* per-device free memory — never a sum, so one device
@@ -789,6 +797,11 @@ impl ExecutionSite for MultiGpuOlapEngine {
 
     fn set_plan_cache(&mut self, cache: PlanDataCache) {
         self.cache = cache;
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.cache.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 }
 

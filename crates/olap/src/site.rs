@@ -19,7 +19,9 @@
 
 use crate::cache::PlanDataCache;
 use crate::engine::{OlapOutcome, PlanOutcome, RegisteredTable};
-use h2tap_common::{OlapPlan, Result, ScanAggQuery};
+use h2tap_common::{ExecBreakdown, OlapPlan, Result, ScanAggQuery, SimDuration};
+use h2tap_gpu_sim::KernelMetrics;
+use h2tap_obs::{SpanEvent, SpanKind, Tracer};
 use h2tap_scheduler::{OlapTarget, SiteCapability};
 use h2tap_storage::SnapshotTable;
 
@@ -100,6 +102,51 @@ pub trait ExecutionSite: Send {
     /// default to a private cache, so standalone engines (tests, benches)
     /// still amortise repeated queries.
     fn set_plan_cache(&mut self, _cache: PlanDataCache) {}
+
+    /// Installs the engine's shared trace handle. Like the plan cache, every
+    /// site built into one engine receives the same [`Tracer`], so one
+    /// query's spans — whichever site ran it — land in one ring. Sites
+    /// default to ignoring it (a disabled tracer), so standalone engines pay
+    /// nothing.
+    fn set_tracer(&mut self, _tracer: Tracer) {}
+}
+
+/// Emits a site execution's kernel/merge spans: one span per launched kernel
+/// (simulated durations — the same frame of reference as the site's
+/// [`ExecBreakdown`], so per-query span sums are comparable with the
+/// query's breakdown), with the full breakdown attached to the *last* span.
+/// A site without per-kernel metrics (the CPU pipeline) gets one `Kernel`
+/// span covering its whole execution. Shared by all three sites so their
+/// traces cannot drift apart in shape.
+pub(crate) fn emit_execution_spans(
+    tracer: &Tracer,
+    site: OlapTarget,
+    kernels: &[KernelMetrics],
+    breakdown: &ExecBreakdown,
+    total: SimDuration,
+    interconnect_bytes: u64,
+) {
+    if !tracer.enabled() {
+        return;
+    }
+    if kernels.is_empty() {
+        tracer.record(
+            SpanEvent::new(SpanKind::Kernel)
+                .site(site)
+                .dur_secs(total.as_secs_f64())
+                .bytes(interconnect_bytes)
+                .breakdown(*breakdown),
+        );
+        return;
+    }
+    for (i, k) in kernels.iter().enumerate() {
+        let kind = if k.name.starts_with("merge") { SpanKind::Merge } else { SpanKind::Kernel };
+        let mut event = SpanEvent::new(kind).site(site).dur_secs(k.time.as_secs_f64()).bytes(k.interconnect_bytes);
+        if i + 1 == kernels.len() {
+            event = event.breakdown(*breakdown);
+        }
+        tracer.record(event);
+    }
 }
 
 #[cfg(test)]

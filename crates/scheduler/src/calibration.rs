@@ -29,12 +29,13 @@
 
 use crate::archipelago::ArchipelagoKind;
 use crate::placement::{
-    gpu_site_stream_feature, OlapTarget, PlacementHints, SiteCapability, CPU_CACHE_LINE_BYTES,
+    estimate_site_secs, gpu_site_stream_feature, OlapTarget, PlacementHints, SiteCapability, CPU_CACHE_LINE_BYTES,
     DEFAULT_GPU_DISPATCH_OVERHEAD_SECS,
 };
 use h2tap_common::{ExecBreakdown, HASH_ENTRY_BYTES};
 use h2tap_gpu_sim::GpuSpec;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// The calibratable constants of the placement cost model. Seeded from
 /// configuration, then continuously re-estimated from measured site times.
@@ -199,6 +200,86 @@ impl SiteCalibration {
     }
 }
 
+/// One site's estimated time as seen by a placement decision — a row of the
+/// N-way comparison a [`PlacementExplanation`] preserves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SiteSecsEstimate {
+    /// The site the estimate is for.
+    pub target: OlapTarget,
+    /// Estimated execution time in seconds (`INFINITY` = ineligible, e.g.
+    /// the working set does not fit the GPU).
+    pub secs: f64,
+}
+
+/// Why a dispatch went where it went: the full N-way estimate comparison,
+/// the chosen and executed sites, the observed time and the decision's
+/// regret against the estimate-oracle (the site the *post-observation*
+/// model says was fastest). Produced by [`CostCalibrator::explain_dispatch`]
+/// after each query and exposed through `HtapStats::placements`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementExplanation {
+    /// The engine's query index for this dispatch.
+    pub query: u64,
+    /// Every site's estimated time under the current (post-update) model,
+    /// in the engine's capability order.
+    pub estimates: Vec<SiteSecsEstimate>,
+    /// The site placement picked (or the caller forced).
+    pub chosen: OlapTarget,
+    /// The site that actually ran the query (differs from `chosen` after an
+    /// OOM fallback).
+    pub executed: OlapTarget,
+    /// Whether the caller forced the site rather than letting placement
+    /// decide (forced dispatches are excluded from regret accounting — they
+    /// are not the heuristic's decisions).
+    pub forced: bool,
+    /// The simulated time the executing site reported, in seconds.
+    pub actual_secs: f64,
+    /// `est(executed) - min(est)`: how much slower the model believes the
+    /// executed site is than the best available one. Zero when the decision
+    /// agrees with the oracle.
+    pub regret_secs: f64,
+    /// Whether the post-update model would have placed the query elsewhere.
+    pub misplaced: bool,
+}
+
+impl PlacementExplanation {
+    /// The estimate row for `target`.
+    pub fn estimate(&self, target: OlapTarget) -> Option<f64> {
+        self.estimates.iter().find(|e| e.target == target).map(|e| e.secs)
+    }
+}
+
+/// Running regret of the placement heuristic against the forced-site oracle
+/// (the per-query argmin of the calibrated estimates). Forced dispatches are
+/// not counted — they are ground truth for the model, not decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RegretSummary {
+    /// Placement decisions accounted (non-forced dispatches).
+    pub decisions: u64,
+    /// Decisions where the post-update model prefers a different site.
+    pub misplacements: u64,
+    /// Summed `regret_secs` over all counted decisions.
+    pub total_regret_secs: f64,
+}
+
+impl RegretSummary {
+    /// Mean per-decision regret in seconds (`None` before any decision).
+    pub fn mean_regret_secs(&self) -> Option<f64> {
+        (self.decisions > 0).then(|| self.total_regret_secs / self.decisions as f64)
+    }
+
+    fn record(&mut self, explanation: &PlacementExplanation) {
+        if explanation.forced {
+            return;
+        }
+        self.decisions += 1;
+        self.misplacements += u64::from(explanation.misplaced);
+        if explanation.regret_secs.is_finite() {
+            self.total_regret_secs += explanation.regret_secs;
+        }
+    }
+}
+
 /// Snapshot of the feedback loop's state, exposed through `HtapStats`.
 /// The `Default` value (no sites, zero observations) is only a placeholder
 /// for empty statistics; a live engine always reports both sites.
@@ -212,6 +293,8 @@ pub struct CalibrationReport {
     pub model: CostModel,
     /// Per-site prediction-quality rows, GPU first.
     pub sites: Vec<SiteCalibration>,
+    /// Running placement regret vs the estimate-oracle.
+    pub regret: RegretSummary,
 }
 
 impl CalibrationReport {
@@ -230,7 +313,14 @@ pub struct CostCalibrator {
     gpu: SiteCalibration,
     cpu: SiteCalibration,
     multi_gpu: SiteCalibration,
+    regret: RegretSummary,
+    recent: VecDeque<PlacementExplanation>,
 }
+
+/// How many [`PlacementExplanation`]s the calibrator retains for
+/// `HtapStats::placements`. Bounded so a long workload cannot grow the
+/// engine's statistics without limit.
+pub const RECENT_PLACEMENTS_CAP: usize = 64;
 
 /// Bytes the CPU model charges to the bandwidth term for one query — the
 /// *hint-side* (pre-execution) bytes, deliberately: placement only ever sees
@@ -274,6 +364,8 @@ impl CostCalibrator {
             gpu: SiteCalibration::new(OlapTarget::Gpu),
             cpu: SiteCalibration::new(OlapTarget::Cpu),
             multi_gpu: SiteCalibration::new(OlapTarget::MultiGpu),
+            regret: RegretSummary::default(),
+            recent: VecDeque::new(),
         }
     }
 
@@ -367,6 +459,53 @@ impl CostCalibrator {
         }
     }
 
+    /// Explains one completed dispatch against the *post-observation* model:
+    /// re-estimates every capability with the freshly calibrated constants,
+    /// derives the decision's regret versus the per-query oracle (the argmin
+    /// of those estimates) and folds it into the running [`RegretSummary`].
+    /// Call after [`CostCalibrator::observe_sites`] for the same dispatch.
+    /// The explanation is retained (ring of [`RECENT_PLACEMENTS_CAP`]) for
+    /// `HtapStats::placements`.
+    pub fn explain_dispatch(
+        &mut self,
+        sites: &[SiteCapability],
+        chosen: OlapTarget,
+        obs: &PlacementObservation,
+        query: u64,
+    ) -> &PlacementExplanation {
+        let hints = self.model.apply_to(obs.hints);
+        let estimates: Vec<SiteSecsEstimate> = sites
+            .iter()
+            .map(|site| SiteSecsEstimate { target: site.target(), secs: estimate_site_secs(site, &hints) })
+            .collect();
+        let best = estimates.iter().map(|e| e.secs).filter(|s| s.is_finite()).fold(f64::INFINITY, f64::min);
+        let executed_secs = estimates.iter().find(|e| e.target == obs.site).map(|e| e.secs).unwrap_or(f64::INFINITY);
+        let regret_secs =
+            if best.is_finite() && executed_secs.is_finite() { (executed_secs - best).max(0.0) } else { 0.0 };
+        let explanation = PlacementExplanation {
+            query,
+            estimates,
+            chosen,
+            executed: obs.site,
+            forced: obs.forced,
+            actual_secs: obs.actual_secs,
+            regret_secs,
+            misplaced: regret_secs > 0.0,
+        };
+        self.regret.record(&explanation);
+        if self.recent.len() == RECENT_PLACEMENTS_CAP {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(explanation);
+        self.recent.back().expect("just pushed")
+    }
+
+    /// The retained placement explanations, oldest first (bounded at
+    /// [`RECENT_PLACEMENTS_CAP`]).
+    pub fn recent_placements(&self) -> impl Iterator<Item = &PlacementExplanation> {
+        self.recent.iter()
+    }
+
     /// A snapshot of the current state for statistics reporting.
     pub fn report(&self) -> CalibrationReport {
         CalibrationReport {
@@ -374,6 +513,7 @@ impl CostCalibrator {
             observations: self.gpu.observations + self.cpu.observations + self.multi_gpu.observations,
             model: self.model,
             sites: vec![self.gpu, self.cpu, self.multi_gpu],
+            regret: self.regret,
         }
     }
 }
@@ -804,6 +944,97 @@ mod tests {
         report.observations = 40;
         report.sites[1].signed_error = 0.5;
         assert!(policy.recommend(&report, 7, 1).is_none(), "task archipelago at its floor");
+    }
+
+    #[test]
+    fn explain_dispatch_computes_estimates_regret_and_misplacement() {
+        let mut cal = CostCalibrator::new(CalibrationConfig::default(), CostModel::default());
+        let gpu = GpuSpec::gtx_980();
+        let sites = [SiteCapability::single_gpu(&gpu, &PlacementHints::default()), SiteCapability::Cpu { cores: 24 }];
+        // A tiny scan: dispatch overhead dominates, the CPU wins the
+        // estimate comparison; executing on the GPU is a misplacement.
+        let hints = cal.model().apply_to(PlacementHints {
+            bytes_to_scan: 4096,
+            rows: 128,
+            available_cpu_cores: 24,
+            ..PlacementHints::default()
+        });
+        let obs = PlacementObservation {
+            site: OlapTarget::Gpu,
+            forced: false,
+            hints,
+            predicted_secs: 1e-5,
+            actual_secs: 1e-5,
+            breakdown: None,
+        };
+        let e = cal.explain_dispatch(&sites, OlapTarget::Gpu, &obs, 3).clone();
+        assert_eq!(e.query, 3);
+        assert_eq!(e.estimates.len(), 2);
+        assert_eq!(e.chosen, OlapTarget::Gpu);
+        assert_eq!(e.executed, OlapTarget::Gpu);
+        let est_gpu = e.estimate(OlapTarget::Gpu).unwrap();
+        let est_cpu = e.estimate(OlapTarget::Cpu).unwrap();
+        assert!(est_cpu < est_gpu, "tiny scan: CPU beats GPU overhead ({est_cpu} vs {est_gpu})");
+        assert!(e.misplaced);
+        assert!((e.regret_secs - (est_gpu - est_cpu)).abs() < 1e-12);
+
+        // A decision that agrees with the oracle has zero regret.
+        let obs_cpu = PlacementObservation { site: OlapTarget::Cpu, ..obs };
+        let e2 = cal.explain_dispatch(&sites, OlapTarget::Cpu, &obs_cpu, 4).clone();
+        assert!(!e2.misplaced);
+        assert_eq!(e2.regret_secs, 0.0);
+
+        let report = cal.report();
+        assert_eq!(report.regret.decisions, 2);
+        assert_eq!(report.regret.misplacements, 1);
+        assert!(report.regret.total_regret_secs > 0.0);
+        assert_eq!(report.regret.mean_regret_secs().unwrap(), report.regret.total_regret_secs / 2.0);
+        assert_eq!(cal.recent_placements().count(), 2);
+    }
+
+    #[test]
+    fn forced_dispatches_are_retained_but_not_counted_as_decisions() {
+        let mut cal = CostCalibrator::new(CalibrationConfig::default(), CostModel::default());
+        let gpu = GpuSpec::gtx_980();
+        let sites = [SiteCapability::single_gpu(&gpu, &PlacementHints::default()), SiteCapability::Cpu { cores: 24 }];
+        let hints = PlacementHints { bytes_to_scan: 4096, available_cpu_cores: 24, ..PlacementHints::default() };
+        let obs = PlacementObservation {
+            site: OlapTarget::Gpu,
+            forced: true,
+            hints,
+            predicted_secs: 1e-5,
+            actual_secs: 1e-5,
+            breakdown: None,
+        };
+        let e = cal.explain_dispatch(&sites, OlapTarget::Gpu, &obs, 0).clone();
+        assert!(e.forced);
+        let report = cal.report();
+        assert_eq!(report.regret.decisions, 0, "forced dispatches are not heuristic decisions");
+        assert_eq!(report.regret, RegretSummary::default());
+        assert_eq!(cal.recent_placements().count(), 1, "but the explanation is still retained");
+        assert!(report.regret.mean_regret_secs().is_none());
+    }
+
+    #[test]
+    fn recent_placements_are_bounded() {
+        let mut cal = CostCalibrator::new(CalibrationConfig::default(), CostModel::default());
+        let sites = [SiteCapability::Cpu { cores: 8 }];
+        let hints = PlacementHints { bytes_to_scan: 1 << 20, available_cpu_cores: 8, ..PlacementHints::default() };
+        for q in 0..(RECENT_PLACEMENTS_CAP as u64 + 10) {
+            let obs = PlacementObservation {
+                site: OlapTarget::Cpu,
+                forced: false,
+                hints,
+                predicted_secs: 1e-4,
+                actual_secs: 1e-4,
+                breakdown: None,
+            };
+            cal.explain_dispatch(&sites, OlapTarget::Cpu, &obs, q);
+        }
+        assert_eq!(cal.recent_placements().count(), RECENT_PLACEMENTS_CAP);
+        // Oldest explanations were evicted: the first retained query is 10.
+        assert_eq!(cal.recent_placements().next().unwrap().query, 10);
+        assert_eq!(cal.report().regret.decisions, RECENT_PLACEMENTS_CAP as u64 + 10);
     }
 
     #[test]

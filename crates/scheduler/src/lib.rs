@@ -16,7 +16,8 @@ pub mod placement;
 pub use archipelago::{Archipelago, ArchipelagoKind, Scheduler};
 pub use calibration::{
     CalibrationConfig, CalibrationReport, CoreMigration, CoreMigrationPolicy, CostCalibrator, CostModel,
-    PlacementObservation, SaturationMigrationPolicy, SiteCalibration,
+    PlacementExplanation, PlacementObservation, RegretSummary, SaturationMigrationPolicy, SiteCalibration,
+    SiteSecsEstimate, RECENT_PLACEMENTS_CAP,
 };
 pub use placement::{
     cpu_term_secs, estimate_site_secs, estimate_site_times, estimate_target_secs, gpu_footprint_blocks,

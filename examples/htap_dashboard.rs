@@ -12,6 +12,7 @@
 
 use caldera::{Caldera, CalderaConfig, OlapMultiGpuConfig, SnapshotPolicy};
 use caldera_repro as _;
+use h2tap_obs::format_latency_secs;
 use h2tap_oltp::OltpConfig;
 use h2tap_storage::Layout;
 use h2tap_workloads::tpch::{self, q6};
@@ -31,6 +32,9 @@ fn run_scenario(queries_per_snapshot: u32) {
     config.olap_cpu_cores = 8;
     config.olap_multi_gpu = Some(OlapMultiGpuConfig::new(h2tap_gpu_sim::table1_mix(2)));
     config.snapshot_policy = SnapshotPolicy::EveryN { queries: queries_per_snapshot };
+    // A dashboard wants to know where its refresh time goes: turn on query
+    // tracing so the last refresh can be broken into typed spans below.
+    config.observability.tracing = true;
     let mut builder = Caldera::builder(config);
     let lineitem = tpch::load_lineitem(&mut builder, Layout::PAPER_PAX, rows, 2024).unwrap();
     let part = tpch::load_part(&mut builder, Layout::PAPER_PAX, parts, 2025).unwrap();
@@ -55,6 +59,7 @@ fn run_scenario(queries_per_snapshot: u32) {
         }
         (oltp.join().unwrap().unwrap(), scans, joins)
     });
+    let spans = caldera.trace_spans();
     let stats = caldera.shutdown();
 
     let avg = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
@@ -95,6 +100,18 @@ fn run_scenario(queries_per_snapshot: u32) {
             site.time.as_millis_f64(),
             error,
         );
+    }
+    // Observability: OLAP latency percentiles over all twenty refreshes, and
+    // the three slowest spans of the final join refresh — where its time went.
+    if let Some(latency) = stats.metrics.histogram("olap.latency.secs") {
+        println!("    olap latency: {}", format_latency_secs(latency));
+    }
+    if let Some(last_query) = spans.iter().map(|s| s.query).max() {
+        let mut top: Vec<_> = spans.iter().filter(|s| s.query == last_query).collect();
+        top.sort_by(|a, b| b.event.dur_secs.total_cmp(&a.event.dur_secs));
+        let line: Vec<String> =
+            top.iter().take(3).map(|s| format!("{} {:.1} us", s.event.kind.label(), s.event.dur_secs * 1e6)).collect();
+        println!("    last refresh's top spans: {}", line.join(" | "));
     }
     let model = stats.calibration.model;
     println!(

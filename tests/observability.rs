@@ -1,0 +1,147 @@
+//! End-to-end observability: traces, metrics and placement explanations
+//! captured from real dispatches through the full engine.
+//!
+//! The tentpole guarantee under test: with tracing enabled, a
+//! brand-revenue join leaves a trace whose placement / cache / materialise
+//! / kernel / merge spans sum up consistently with the site's reported
+//! `ExecBreakdown`; with tracing disabled (the default) the ring stays
+//! empty while metrics and placement explanations still populate.
+
+use caldera::{Caldera, CalderaConfig, OlapTarget, SnapshotPolicy, SpanKind};
+use h2tap_obs::json_is_valid;
+use h2tap_storage::Layout;
+use h2tap_workloads::tpch::{self, brand_revenue_plan};
+
+const ROWS: u64 = 20_000;
+
+fn join_engine(mut config: CalderaConfig) -> (Caldera, h2tap_common::TableId, h2tap_common::TableId) {
+    config.snapshot_policy = SnapshotPolicy::EveryN { queries: 100 };
+    let mut builder = Caldera::builder(config);
+    let lineitem = tpch::load_lineitem(&mut builder, Layout::PAPER_PAX, ROWS, 7).unwrap();
+    let part = tpch::load_part(&mut builder, Layout::PAPER_PAX, ROWS / 8, 7).unwrap();
+    (builder.start().unwrap(), lineitem, part)
+}
+
+#[test]
+fn traced_brand_revenue_join_covers_every_phase() {
+    let mut config = CalderaConfig::with_workers(2);
+    config.observability.tracing = true;
+    let (caldera, lineitem, part) = join_engine(config);
+    let plan = brand_revenue_plan(30);
+    let out = caldera.run_olap_plan_on(lineitem, Some(part), &plan, OlapTarget::Gpu).unwrap();
+    assert!(!out.groups.is_empty());
+
+    let spans = caldera.trace_spans();
+    let count = |kind: SpanKind| spans.iter().filter(|s| s.event.kind == kind).count();
+    assert_eq!(count(SpanKind::Placement), 1, "one dispatch, one placement span");
+    assert!(count(SpanKind::CacheLookup) >= 2, "column and hash-table probes");
+    assert!(count(SpanKind::Materialise) >= 1, "cold cache: columns were materialised");
+    assert!(count(SpanKind::HashBuild) >= 1, "cold cache: the hash table was built");
+    assert!(count(SpanKind::Kernel) >= 3, "select/probe/aggregate kernels");
+    assert!(count(SpanKind::Merge) >= 1, "grouped plans end in merge_groups");
+
+    // Every span of this engine belongs to query 1 and carries the
+    // metadata its phase promises.
+    assert!(spans.iter().all(|s| s.query == 1));
+    assert!(spans
+        .iter()
+        .filter(|s| s.event.kind == SpanKind::CacheLookup)
+        .all(|s| s.event.hit == Some(false) && s.event.table.is_some() && s.event.epoch.is_some()));
+    assert!(spans
+        .iter()
+        .filter(|s| matches!(s.event.kind, SpanKind::Materialise | SpanKind::HashBuild))
+        .all(|s| s.event.bytes > 0));
+    assert!(spans
+        .iter()
+        .filter(|s| matches!(s.event.kind, SpanKind::Kernel | SpanKind::Merge))
+        .all(|s| s.event.site == Some(OlapTarget::Gpu)));
+
+    // Kernel + merge spans are in simulated seconds, the same frame as the
+    // outcome's breakdown: with host-resident (UVA) data every kernel's
+    // time splits into streamed time + launch overhead, so the span sum
+    // must reproduce those two components (compute overlaps the stream)
+    // and never exceed the query's total simulated time.
+    let site_secs: f64 = spans
+        .iter()
+        .filter(|s| matches!(s.event.kind, SpanKind::Kernel | SpanKind::Merge))
+        .map(|s| s.event.dur_secs)
+        .sum();
+    let expected = out.breakdown.stream_secs + out.breakdown.overhead_secs;
+    assert!(
+        (site_secs - expected).abs() <= 1e-9 + 1e-6 * expected,
+        "kernel+merge spans sum to {site_secs}, breakdown says {expected}"
+    );
+    assert!(site_secs <= out.time.as_secs_f64() + 1e-9);
+    // The last site span carries the full breakdown for the query.
+    let last = spans.iter().rfind(|s| matches!(s.event.kind, SpanKind::Kernel | SpanKind::Merge)).unwrap();
+    assert_eq!(last.event.breakdown.unwrap(), out.breakdown);
+
+    // The exported Chrome trace is valid JSON with one event per span.
+    let json = caldera.chrome_trace_json();
+    assert!(json_is_valid(&json));
+    assert_eq!(json.matches("\"ph\":\"X\"").count(), spans.len());
+
+    // A warm repeat of the same plan probes the cache and hits.
+    caldera.run_olap_plan_on(lineitem, Some(part), &plan, OlapTarget::Gpu).unwrap();
+    let spans = caldera.trace_spans();
+    assert!(spans
+        .iter()
+        .filter(|s| s.query == 2 && s.event.kind == SpanKind::CacheLookup)
+        .all(|s| s.event.hit == Some(true)));
+    assert!(!spans.iter().any(|s| s.query == 2 && s.event.kind == SpanKind::Materialise));
+    caldera.shutdown();
+}
+
+#[test]
+fn tracing_is_off_by_default_but_metrics_and_explanations_still_flow() {
+    let (caldera, lineitem, part) = join_engine(CalderaConfig::with_workers(2));
+    let plan = brand_revenue_plan(30);
+    caldera.run_olap_plan(lineitem, Some(part), &plan).unwrap();
+    caldera.run_olap_plan(lineitem, Some(part), &plan).unwrap();
+    assert!(caldera.trace_spans().is_empty(), "no spans unless observability.tracing is set");
+
+    let stats = caldera.shutdown();
+    // Latency histograms and query counters populate regardless.
+    assert_eq!(stats.metrics.counter("olap.queries"), Some(2));
+    let latency = stats.metrics.histogram("olap.latency.secs").unwrap();
+    assert_eq!(latency.count(), 2);
+    assert!(latency.p99().unwrap() >= latency.p50().unwrap());
+    // The plan-cache mirror keeps counters and gauges in their families.
+    assert_eq!(stats.metrics.counter("plan_cache.hash_misses"), Some(stats.plan_cache.hash_misses));
+    assert!(stats.metrics.gauge("plan_cache.occupancy_bytes").is_some());
+    // Every dispatch left a placement explanation with all site estimates.
+    assert_eq!(stats.placements.len(), 2);
+    for p in &stats.placements {
+        assert_eq!(p.estimates.len(), stats.olap_sites.len());
+        assert!(!p.forced);
+        assert!(p.regret_secs >= 0.0);
+        assert_eq!(p.executed, p.chosen);
+    }
+    assert_eq!(stats.calibration.regret.decisions, 2);
+}
+
+#[test]
+fn forced_runs_surface_regret_against_the_placement_oracle() {
+    // Let placement pick its favourite site freely, then force the other
+    // one: the forced dispatch must be explained as a misplacement with
+    // positive regret against the oracle's choice.
+    let mut config = CalderaConfig::with_workers(2);
+    config.olap_cpu_cores = 8;
+    let (caldera, lineitem, _) = join_engine(config);
+    let q =
+        h2tap_common::ScanAggQuery::aggregate_only(h2tap_common::AggExpr::SumColumns(vec![tpch::columns::QUANTITY]));
+    let free = caldera.run_olap(lineitem, &q).unwrap();
+    let other = if free.site == OlapTarget::Cpu { OlapTarget::Gpu } else { OlapTarget::Cpu };
+    caldera.run_olap_on(lineitem, &q, other).unwrap();
+    let stats = caldera.shutdown();
+    assert_eq!(stats.placements.len(), 2, "forced dispatches are explained too");
+    let forced = &stats.placements[1];
+    assert!(forced.forced);
+    assert_eq!(forced.executed, other);
+    assert!(forced.misplaced, "the {other:?} estimate was not the argmin");
+    assert!(forced.regret_secs > 0.0);
+    assert!(forced.estimate(free.site).unwrap() < forced.estimate(other).unwrap());
+    // ... but only heuristic decisions count toward the regret summary.
+    assert_eq!(stats.calibration.regret.decisions, 1);
+    assert_eq!(stats.calibration.regret.misplacements, 0);
+}
