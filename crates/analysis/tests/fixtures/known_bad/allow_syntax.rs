@@ -1,0 +1,14 @@
+//! Known-bad fixture: malformed escape hatches. A reasonless allow and an
+//! unknown lint name are each an `allow_syntax` finding, and neither
+//! suppresses the panic finding it sits above. Expected findings: two
+//! allow_syntax plus two panic.
+
+// h2tap: allow(panic)
+pub fn reasonless(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+// h2tap: allow(speed) — not a lint this analyzer knows
+pub fn unknown_lint(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

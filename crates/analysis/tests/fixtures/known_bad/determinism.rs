@@ -1,0 +1,25 @@
+//! Known-bad fixture: result-affecting iteration over hash containers and an
+//! order-sensitive f64 fold outside the blessed kernel modules. Expected
+//! findings: three hash-iteration sites plus one f64 fold.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn totals(m: &HashMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_k, v) in m.iter() {
+        total += v;
+    }
+    total
+}
+
+pub fn first_key(m: &HashMap<u64, f64>) -> Option<u64> {
+    m.keys().next().copied()
+}
+
+pub fn members(s: HashSet<String>) -> Vec<String> {
+    s.into_iter().collect()
+}
+
+pub fn fold(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}

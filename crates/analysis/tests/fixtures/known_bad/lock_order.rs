@@ -1,0 +1,26 @@
+//! Known-bad fixture: nested lock acquisitions in both orders, forming a
+//! two-key cycle in the acquisition graph. Written in the workspace's
+//! parking_lot-style idiom (guards returned directly); fixture files are
+//! scanned as text, never compiled. Expected findings: two nested
+//! acquisitions (`b` under `a`, `a` under `b`) plus one cycle report.
+
+use crate::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn a_then_b(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn b_then_a(&self) -> u32 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *ga - *gb
+    }
+}

@@ -1,0 +1,27 @@
+//! Known-bad fixture: panic-capable calls in non-test code. Expected
+//! findings: unwrap, expect, panic!, and todo! — four in total. The unwrap
+//! inside the test module must NOT be flagged.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn named(x: Option<u32>) -> u32 {
+    x.expect("must be set")
+}
+
+pub fn boom(flag: bool) -> u32 {
+    if flag {
+        panic!("bad state");
+    }
+    todo!()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -103,12 +103,14 @@ impl SiloDb {
     pub fn load(&self, table: TableId, key: i64, values: Vec<Value>) -> Result<()> {
         let tables = self.tables.read();
         let t = tables.get(&table).ok_or_else(|| H2Error::UnknownTable(table.to_string()))?;
+        // h2tap: allow(lock_order) — ordering rule: the tables map is always acquired before a table's index and never the reverse; the index guard is a statement temporary that cannot outlive the tables guard.
         t.index.write().insert(key, Arc::new(SiloRecord::new(values)));
         Ok(())
     }
 
     /// Number of records in `table`.
     pub fn table_len(&self, table: TableId) -> usize {
+        // h2tap: allow(lock_order) — ordering rule: the tables map is always acquired before a table's index and never the reverse; both guards are temporaries of this one statement.
         self.tables.read().get(&table).map(|t| t.index.read().len()).unwrap_or(0)
     }
 
@@ -121,6 +123,7 @@ impl SiloDb {
     fn record(&self, table: TableId, key: i64) -> Result<Arc<SiloRecord>> {
         let tables = self.tables.read();
         let t = tables.get(&table).ok_or_else(|| H2Error::UnknownTable(table.to_string()))?;
+        // h2tap: allow(lock_order) — ordering rule: the tables map is always acquired before a table's index and never the reverse; the index guard is a statement temporary that cannot outlive the tables guard.
         let record = t.index.read().get(&key).cloned();
         record.ok_or_else(|| H2Error::UnknownRecord(format!("key {key} in {table}")))
     }
@@ -128,6 +131,7 @@ impl SiloDb {
     fn insert_record(&self, table: TableId, key: i64, values: Vec<Value>) -> Result<Arc<SiloRecord>> {
         let tables = self.tables.read();
         let t = tables.get(&table).ok_or_else(|| H2Error::UnknownTable(table.to_string()))?;
+        // h2tap: allow(lock_order) — ordering rule: the tables map is always acquired before a table's index and never the reverse; the index guard is released with the tables guard at function exit.
         let mut index = t.index.write();
         if index.contains_key(&key) {
             return Err(H2Error::TxnAborted(format!("duplicate key {key}")));

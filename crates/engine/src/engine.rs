@@ -433,7 +433,9 @@ impl Caldera {
             Self::refresh_locked(&self.db, olap)?;
         }
         olap.query_index += 1;
-        Ok(Arc::clone(olap.snapshot.as_ref().expect("snapshot present after refresh")))
+        let snapshot =
+            olap.snapshot.as_ref().ok_or_else(|| H2Error::Config("snapshot missing after refresh".to_string()))?;
+        Ok(Arc::clone(snapshot))
     }
 
     /// Base placement hints every analytical query shares: residency and

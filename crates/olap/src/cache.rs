@@ -49,12 +49,12 @@ use h2tap_common::{JoinSpec, OlapPlan, PlanCacheStats, Result};
 use h2tap_obs::{SpanEvent, SpanKind, Tracer};
 use h2tap_storage::{SnapshotTable, SnapshotTableId};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Cache key of one materialised column set: the frozen image it came from
 /// plus the (sorted, deduplicated) accessed columns.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct ColumnsKey {
     id: SnapshotTableId,
     cols: Vec<usize>,
@@ -64,7 +64,7 @@ struct ColumnsKey {
 /// parameter of the build — the join key, the carried group column and the
 /// build predicates (bounds keyed by bit pattern: f64 is not `Eq`, but two
 /// predicates with bit-equal bounds filter identically).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct HashKey {
     id: SnapshotTableId,
     build_key: usize,
@@ -94,13 +94,13 @@ struct Entry<T> {
 
 #[derive(Debug, Default)]
 struct CacheInner {
-    columns: HashMap<ColumnsKey, Entry<MaterializedColumns>>,
-    hashes: HashMap<HashKey, Entry<JoinHashTable>>,
+    columns: BTreeMap<ColumnsKey, Entry<MaterializedColumns>>,
+    hashes: BTreeMap<HashKey, Entry<JoinHashTable>>,
     /// Highest epoch observed per (database instance, table) — lazy
     /// eviction only runs when this *advances*, so a pure hit stream costs
     /// O(1) per access and a request at an older (still-live) epoch is
     /// served, never punished.
-    latest_epoch: HashMap<(u64, h2tap_common::TableId), h2tap_common::Epoch>,
+    latest_epoch: BTreeMap<(u64, h2tap_common::TableId), h2tap_common::Epoch>,
     stats: PlanCacheStats,
     /// Byte budget (`None` = unbounded, `Some(0)` = caching disabled).
     budget: Option<u64>,

@@ -26,7 +26,7 @@ use h2tap_gpu_sim::{
 use h2tap_obs::Tracer;
 use h2tap_scheduler::{GpuDeviceCapability, OlapTarget, SiteCapability};
 use h2tap_storage::{Layout, SnapshotTable};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Where the engine keeps table data relative to the GPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,9 +127,9 @@ pub struct GpuOlapEngine {
     device: GpuDevice,
     placement: DataPlacement,
     /// Registered column buffers: (table tag, attr) -> buffer.
-    buffers: HashMap<(usize, usize), BufferId>,
+    buffers: BTreeMap<(usize, usize), BufferId>,
     /// Registered whole-table buffers for NSM tables: table tag -> buffer.
-    nsm_buffers: HashMap<usize, BufferId>,
+    nsm_buffers: BTreeMap<usize, BufferId>,
     /// Monotonic tag generator for registered tables.
     next_tag: usize,
     /// Snapshot-keyed plan-data cache for the host-side data path (shared
@@ -178,8 +178,8 @@ impl GpuOlapEngine {
         Self {
             device,
             placement,
-            buffers: HashMap::new(),
-            nsm_buffers: HashMap::new(),
+            buffers: BTreeMap::new(),
+            nsm_buffers: BTreeMap::new(),
             next_tag: 0,
             cache: PlanDataCache::new(),
             tracer: Tracer::disabled(),
@@ -244,10 +244,10 @@ impl GpuOlapEngine {
     /// Frees every registered buffer (device memory and UM residency) so a
     /// new snapshot's tables can be registered without leaking the old ones.
     pub fn reset_tables(&mut self) {
-        for (_, id) in self.buffers.drain() {
+        for (_, id) in std::mem::take(&mut self.buffers) {
             let _ = self.device.memory_mut().free(id);
         }
-        for (_, id) in self.nsm_buffers.drain() {
+        for (_, id) in std::mem::take(&mut self.nsm_buffers) {
             let _ = self.device.memory_mut().free(id);
         }
     }

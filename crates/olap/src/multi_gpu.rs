@@ -45,7 +45,7 @@ use h2tap_gpu_sim::{AccessMode, AccessPattern, BufferId, GpuDevice, KernelDesc, 
 use h2tap_obs::Tracer;
 use h2tap_scheduler::{GpuDeviceCapability, OlapTarget, SiteCapability};
 use h2tap_storage::{Layout, SnapshotTable};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Rows of a `rows`-row table that land on each of `devices` devices under
 /// the round-robin chunk shard, in device order. The boundary cases matter:
@@ -90,11 +90,11 @@ pub struct MultiGpuOlapEngine {
     devices: Vec<GpuDevice>,
     placement: DataPlacement,
     /// Registered column buffers: (table tag, device, attr) -> buffer.
-    buffers: HashMap<(usize, usize, usize), BufferId>,
+    buffers: BTreeMap<(usize, usize, usize), BufferId>,
     /// Registered whole-shard buffers for NSM tables: (tag, device) -> buffer.
-    nsm_buffers: HashMap<(usize, usize), BufferId>,
+    nsm_buffers: BTreeMap<(usize, usize), BufferId>,
     /// Rows each device holds of a registered table: tag -> per-device rows.
-    shard_rows: HashMap<usize, Vec<u64>>,
+    shard_rows: BTreeMap<usize, Vec<u64>>,
     next_tag: usize,
     /// Snapshot-keyed plan-data cache for the host-side data path (shared
     /// across all sites when built into an engine, private otherwise).
@@ -113,9 +113,9 @@ impl MultiGpuOlapEngine {
         Ok(Self {
             devices,
             placement,
-            buffers: HashMap::new(),
-            nsm_buffers: HashMap::new(),
-            shard_rows: HashMap::new(),
+            buffers: BTreeMap::new(),
+            nsm_buffers: BTreeMap::new(),
+            shard_rows: BTreeMap::new(),
             next_tag: 0,
             cache: PlanDataCache::new(),
             tracer: Tracer::disabled(),
@@ -606,7 +606,9 @@ impl MultiGpuOlapEngine {
                     );
                 }
                 if rows_d > 0 {
-                    let hash_buf = hash_bufs[d].expect("hash replica registered for join plans");
+                    let hash_buf = hash_bufs[d].ok_or_else(|| {
+                        H2Error::InvalidKernel(format!("hash replica missing on device {d} for a join plan"))
+                    })?;
                     let (key_buf, key_useful, key_pattern) =
                         self.read_plan(probe, probe_table, d, join.probe_column)?;
                     let probe_desc = KernelDesc::new(format!("hash_probe.d{d}"), rows_d)

@@ -271,6 +271,7 @@ impl MaterializedColumns {
     }
 
     fn pos(&self, col: usize) -> usize {
+        // h2tap: allow(panic) — every accessed column is validated by check_plan_tables / MaterializedColumns::new before chunk work starts; a miss here is a caller bug on the per-cell hot path, not a runtime condition.
         self.cols.iter().position(|&c| c == col).expect("column was materialised")
     }
 
@@ -885,6 +886,7 @@ fn process_chunk_with(
         //    map lookups themselves are scalar either way, over the same
         //    key bit patterns in the same order.
         if let Some(key_pos) = probe_key_pos {
+            // h2tap: allow(panic) — prepare_plan populates `hash` exactly when the plan has a join, and probe_key_pos is derived from that same join; the two cannot disagree.
             let table = hash.expect("join plans carry a hash table");
             payloads.clear();
             let mut kept = 0usize;
@@ -1062,6 +1064,7 @@ pub fn process_chunk_reference(
         partial.selected += 1;
         let mut group_key = group_probe_pos.map_or(0, |pos| probe.raw(pos, row));
         if let Some(key_pos) = probe_key_pos {
+            // h2tap: allow(panic) — prepare_plan populates `hash` exactly when the plan has a join (same invariant as the batch path above).
             let table = hash.expect("join plans carry a hash table");
             let Some(payload) = table.get(probe.value(key_pos, row).to_bits()) else { continue };
             if matches!(plan.group_by, Some(PlanColumn::Build(_))) {

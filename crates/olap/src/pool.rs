@@ -38,11 +38,13 @@ pub(crate) fn run_chunked<T: Send>(chunks: usize, threads: usize, eval: impl Fn(
             .map(|t| scope.spawn(move || (t..chunks).step_by(threads).map(|i| (i, eval(i))).collect::<Vec<_>>()))
             .collect();
         for worker in workers {
+            // h2tap: allow(panic) — join() only fails when the worker itself panicked; re-raising the panic on the coordinating thread is the intended propagation.
             for (i, result) in worker.join().expect("chunk worker panicked") {
                 slots[i] = Some(result);
             }
         }
     });
+    // h2tap: allow(panic) — the strided worker partition covers 0..chunks exactly once, so every slot was filled above.
     slots.into_iter().map(|p| p.expect("every chunk evaluated")).collect()
 }
 
@@ -69,6 +71,7 @@ pub(crate) fn run_tasks<T: Send, R: Send>(mut tasks: Vec<T>, threads: usize, wor
             .into_iter()
             .map(|group| scope.spawn(move || group.into_iter().map(work).collect::<Vec<R>>()))
             .collect();
+        // h2tap: allow(panic) — join() only fails when the worker itself panicked; re-raising the panic on the coordinating thread is the intended propagation.
         workers.into_iter().flat_map(|w| w.join().expect("materialisation worker panicked")).collect()
     })
 }

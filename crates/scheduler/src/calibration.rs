@@ -497,6 +497,7 @@ impl CostCalibrator {
             self.recent.pop_front();
         }
         self.recent.push_back(explanation);
+        // h2tap: allow(panic) — back() directly after push_back on a non-empty deque cannot be None.
         self.recent.back().expect("just pushed")
     }
 

@@ -179,6 +179,7 @@ impl Database {
         for (tid, meta) in catalog.iter() {
             let mut per_partition = Vec::with_capacity(self.partitions.len());
             for p in &self.partitions {
+                // h2tap: allow(lock_order) — ordering rule: catalog before partitions, never reversed (registration touches partitions and the catalog as disjoint one-statement sections). The catalog guard keeps table creation out while every partition's page list is frozen.
                 let guard = p.read();
                 let pages = guard.fragment(*tid).map(|f| f.pages().to_vec()).unwrap_or_default();
                 per_partition.push(pages);
@@ -193,6 +194,7 @@ impl Database {
                 },
             );
         }
+        drop(catalog); // the registry insert below needs no catalog consistency — narrow the critical section
         self.active_snapshots.lock().insert(id, snapshot_epoch);
         Arc::new(Snapshot::new(id, snapshot_epoch, tables))
     }

@@ -131,16 +131,27 @@ impl SnapshotTable {
     /// Calls `f` once per record with the requested attributes, in storage
     /// order. This is the row-at-a-time access path the OLAP primitives use
     /// when they need several columns of the same record (e.g. TPC-H Q6).
-    pub fn for_each_row(&self, attrs: &[usize], mut f: impl FnMut(&[u64])) {
+    /// Fails up front when an attribute index is outside the schema.
+    pub fn for_each_row(&self, attrs: &[usize], mut f: impl FnMut(&[u64])) -> Result<()> {
+        for &attr in attrs {
+            if attr >= self.schema.arity() {
+                return Err(H2Error::UnknownAttribute(format!(
+                    "attribute {attr} of {}-ary table",
+                    self.schema.arity()
+                )));
+            }
+        }
         let mut buf = vec![0u64; attrs.len()];
         for page in self.partitions.iter().flatten() {
             for row in 0..page.len() {
                 for (i, &attr) in attrs.iter().enumerate() {
+                    // h2tap: allow(panic) — attrs validated against the schema arity above; pages share that schema.
                     buf[i] = page.get(row, attr).expect("attr within arity");
                 }
                 f(&buf);
             }
         }
+        Ok(())
     }
 
     /// The memory-traffic profile of scanning `attrs` of this frozen table.
@@ -258,7 +269,7 @@ mod tests {
     fn for_each_row_delivers_requested_attrs() {
         let t = frozen_table();
         let mut sums = Vec::new();
-        t.for_each_row(&[0, 2], |r| sums.push(r[0] + r[1]));
+        t.for_each_row(&[0, 2], |r| sums.push(r[0] + r[1])).unwrap();
         assert_eq!(sums.len(), 9);
         assert_eq!(sums[1], 1 + 3);
     }
