@@ -836,7 +836,7 @@ pub fn fig10(rows: u64, attribute_counts: &[usize]) -> Vec<LayoutRow> {
         let (db, table) = layoutbench::build_layout_table(rows, layout, 99).unwrap();
         let snap = db.snapshot();
         let frozen = snap.table(table).unwrap();
-        let mut engine = GpuOlapEngine::new(GpuDevice::new(GpuSpec::gtx_980()), DataPlacement::Host(AccessMode::Uva));
+        let engine = GpuOlapEngine::new(GpuDevice::new(GpuSpec::gtx_980()), DataPlacement::Host(AccessMode::Uva));
         let handle = engine.register_table(frozen, "dataset").unwrap();
         for &n in attribute_counts {
             let outcome = engine.execute(handle, frozen, &layoutbench::sum_query(n)).unwrap();
@@ -861,7 +861,7 @@ pub fn fig11(rows: u64) -> Vec<LayoutRow> {
             let (db, table) = layoutbench::build_layout_table(rows, layout, 99).unwrap();
             let snap = db.snapshot();
             let frozen = snap.table(table).unwrap();
-            let mut engine = GpuOlapEngine::new(GpuDevice::new(spec.clone()), DataPlacement::DeviceResident);
+            let engine = GpuOlapEngine::new(GpuDevice::new(spec.clone()), DataPlacement::DeviceResident);
             let handle = engine.register_table(frozen, "dataset").unwrap();
             let outcome = engine.execute(handle, frozen, &layoutbench::sum_query(2)).unwrap();
             out.push(LayoutRow {
@@ -1183,6 +1183,165 @@ pub fn fig_hostperf(lineitem_rows: u64, part_keys: u64, repeats: u32) -> HostPer
         min_cold_speedup: min_cold,
         min_cached_speedup: min_cached,
         min_simd_speedup: min_simd,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// concurrency: wall-clock scaling of concurrent OLAP serving
+// ---------------------------------------------------------------------------
+
+/// One thread-count point of the concurrency experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct ConcurrencyRow {
+    /// Client threads issuing queries concurrently.
+    pub threads: u32,
+    /// Total queries the round executed (threads x per-thread stream).
+    pub queries: u64,
+    /// Wall-clock of the whole round (all threads, barrier to last join).
+    pub wall_ms: f64,
+    /// Sustained throughput of the round.
+    pub queries_per_sec: f64,
+    /// `queries_per_sec / serial_qps` (the 1-thread round of the same run).
+    pub speedup_vs_serial: f64,
+    /// Per-query wall-clock latency percentiles across every client.
+    pub latency: LatencyPercentiles,
+}
+
+/// Result of the concurrency experiment: the thread sweep plus the shared
+/// counters that prove *why* it scales (shared-scan attaches) and that the
+/// admission layer saw real contention (queued admissions).
+#[derive(Debug, Clone)]
+pub struct ConcurrencySummary {
+    /// One row per swept thread count, in sweep order.
+    pub rows: Vec<ConcurrencyRow>,
+    /// Concurrent same-key materialisations that attached to an in-flight
+    /// build instead of duplicating it (the shared-scan counter).
+    pub shared_scan_attaches: u64,
+    /// Admissions (across all sites) that waited behind the in-flight
+    /// budget.
+    pub admission_queued: u64,
+    /// Throughput of the 1-thread round, the speedup baseline.
+    pub serial_qps: f64,
+}
+
+impl ConcurrencySummary {
+    /// The measured speedup at `threads` clients (`None` if not swept).
+    pub fn speedup_at(&self, threads: u32) -> Option<f64> {
+        self.rows.iter().find(|r| r.threads == threads).map(|r| r.speedup_vs_serial)
+    }
+}
+
+/// Measures **real wall-clock** throughput and latency of the engine's
+/// concurrent OLAP path: per round, the snapshot is refreshed (cold cache,
+/// fresh epoch) and `threads` clients hammer the same Q6 scan + brand-join
+/// plan stream through the production dispatch. Every answer is compared
+/// bit-for-bit against a serial oracle taken on the same data, so the sweep
+/// can only trade time, never correctness. Scaling comes from two places:
+/// queries execute concurrently under the snapshot gate's read lock, and
+/// the racing cold queries of each round share one materialisation instead
+/// of duplicating it (counted in `shared_scan_attaches`).
+pub fn fig_concurrency(
+    lineitem_rows: u64,
+    part_keys: u64,
+    per_thread: u32,
+    thread_counts: &[u32],
+    admission_in_flight: Option<u32>,
+) -> ConcurrencySummary {
+    use std::sync::Barrier;
+    use std::time::Instant;
+
+    let mut config = CalderaConfig::with_workers(2);
+    config.olap_cpu_cores = 8;
+    // Freshness is driven by the experiment itself (one refresh per round),
+    // not by query count.
+    config.snapshot_policy = SnapshotPolicy::Manual;
+    config.olap_admission_in_flight = admission_in_flight;
+    let mut builder = Caldera::builder(config);
+    let lineitem = tpch::load_lineitem(&mut builder, Layout::Dsm, lineitem_rows, 7).unwrap();
+    let part = tpch::load_part(&mut builder, Layout::Dsm, part_keys, 11).unwrap();
+    let caldera = Arc::new(builder.start().unwrap());
+
+    // Serial oracle on the same data: the bit patterns every concurrent
+    // client must reproduce.
+    let scan = q6();
+    let plan = tpch::brand_revenue_plan(30);
+    caldera.refresh_snapshot().unwrap();
+    let oracle_scan = caldera.run_olap(lineitem, &scan).unwrap();
+    let oracle_groups = caldera.run_olap_plan(lineitem, Some(part), &plan).unwrap().groups;
+
+    let mut rows: Vec<ConcurrencyRow> = Vec::new();
+    let mut serial_qps = 0.0;
+    for &threads in thread_counts {
+        // A fresh epoch per round: the round's first queries race to
+        // rebuild the derived state, exercising the shared-scan attach path
+        // instead of serving everything from a warm cache.
+        caldera.refresh_snapshot().unwrap();
+        let barrier = Arc::new(Barrier::new(threads as usize + 1));
+        let hist = Arc::new(std::sync::Mutex::new(Histogram::new()));
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let caldera = Arc::clone(&caldera);
+                let barrier = Arc::clone(&barrier);
+                let hist = Arc::clone(&hist);
+                let scan = scan.clone();
+                let plan = plan.clone();
+                let oracle_groups = oracle_groups.clone();
+                let oracle_bits = oracle_scan.value.to_bits();
+                std::thread::spawn(move || {
+                    let mut local = Histogram::new();
+                    barrier.wait();
+                    for i in 0..per_thread {
+                        let started = Instant::now();
+                        // Alternate the two shapes, offset per worker so the
+                        // mix is interleaved, not phased.
+                        if (i + worker).is_multiple_of(2) {
+                            let out = caldera.run_olap(lineitem, &scan).unwrap();
+                            assert_eq!(
+                                out.value.to_bits(),
+                                oracle_bits,
+                                "concurrent scan answers must stay bit-identical to serial"
+                            );
+                        } else {
+                            let out = caldera.run_olap_plan(lineitem, Some(part), &plan).unwrap();
+                            assert_eq!(
+                                out.groups, oracle_groups,
+                                "concurrent plan answers must stay bit-identical to serial"
+                            );
+                        }
+                        local.record(started.elapsed().as_secs_f64());
+                    }
+                    hist.lock().unwrap().merge(&local);
+                })
+            })
+            .collect();
+        barrier.wait();
+        let started = Instant::now();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
+        let queries = u64::from(threads) * u64::from(per_thread);
+        let qps = queries as f64 / wall_secs;
+        if threads == 1 {
+            serial_qps = qps;
+        }
+        rows.push(ConcurrencyRow {
+            threads,
+            queries,
+            wall_ms: wall_secs * 1e3,
+            queries_per_sec: qps,
+            speedup_vs_serial: if serial_qps > 0.0 { qps / serial_qps } else { 0.0 },
+            latency: LatencyPercentiles::from_secs_histogram(&hist.lock().unwrap()),
+        });
+    }
+
+    let caldera = Arc::try_unwrap(caldera).unwrap_or_else(|_| panic!("all clients joined"));
+    let stats = caldera.shutdown();
+    ConcurrencySummary {
+        rows,
+        shared_scan_attaches: stats.plan_cache.shared_scan_attaches,
+        admission_queued: stats.olap_sites.iter().map(|s| s.admission.queued).sum(),
+        serial_qps,
     }
 }
 

@@ -258,6 +258,11 @@ pub struct PlanCacheStats {
     /// Entries evicted by the byte-budget LRU policy (distinct from
     /// `invalidations`, which counts correctness-driven drops).
     pub evictions: u64,
+    /// Shared-scan attaches: requests that found the same derivation already
+    /// *in flight* on another thread and waited for its result instead of
+    /// racing to build a duplicate. Zero under serial workloads; under a
+    /// concurrent same-table mix this counts the de-duplicated work.
+    pub shared_scan_attaches: u64,
     /// Bytes currently held by cached entries. **A point-in-time gauge**,
     /// sampled when the stats are read: it can go *down* between two samples
     /// (eviction, invalidation) while every other field in this struct is a
@@ -286,6 +291,8 @@ pub struct PlanCacheCounters {
     pub invalidations: u64,
     /// Byte-budget LRU evictions.
     pub evictions: u64,
+    /// Requests that attached to an in-flight derivation (shared scans).
+    pub shared_scan_attaches: u64,
 }
 
 /// The point-in-time-gauge half of [`PlanCacheStats`]: values sampled at
@@ -327,6 +334,7 @@ impl PlanCacheStats {
             hash_misses: self.hash_misses,
             invalidations: self.invalidations,
             evictions: self.evictions,
+            shared_scan_attaches: self.shared_scan_attaches,
         }
     }
 
@@ -542,6 +550,7 @@ mod tests {
             hash_misses: 1,
             invalidations: 4,
             evictions: 6,
+            shared_scan_attaches: 7,
             occupancy_bytes: 4096,
             budget_bytes: Some(8192),
         };
@@ -555,6 +564,7 @@ mod tests {
                 hash_misses: 1,
                 invalidations: 4,
                 evictions: 6,
+                shared_scan_attaches: 7,
             }
         );
         let g = stats.gauges();
@@ -567,6 +577,7 @@ mod tests {
             hash_misses: c.hash_misses,
             invalidations: c.invalidations,
             evictions: c.evictions,
+            shared_scan_attaches: c.shared_scan_attaches,
             occupancy_bytes: g.occupancy_bytes,
             budget_bytes: g.budget_bytes,
         };

@@ -27,12 +27,15 @@ pub struct CalderaBuilder {
 impl CalderaBuilder {
     /// Creates a builder for the given configuration.
     pub fn new(config: CalderaConfig) -> Self {
-        let workers = config.oltp.workers;
-        let partitioner = config.partitioner.build(workers);
+        // A zero-worker configuration is rejected by `start`; clamp here so
+        // building the partitioner and database (which need >= 1 partition)
+        // cannot panic before that error is reported.
+        let partitions = config.oltp.workers.max(1);
+        let partitioner = config.partitioner.build(partitions);
         Self {
             config,
-            db: Database::new(workers),
-            indexes: vec![PartitionIndex::new(); workers],
+            db: Database::new(partitions),
+            indexes: vec![PartitionIndex::new(); partitions],
             partitioner,
             generator: None,
         }
@@ -89,6 +92,11 @@ impl CalderaBuilder {
     /// Starts both archipelagos and returns the running engine.
     pub fn start(self) -> Result<Caldera> {
         let CalderaBuilder { config, db, indexes, partitioner, generator } = self;
+        if config.oltp.workers == 0 {
+            // Fail here, before any scheduler or site construction: an
+            // engine without OLTP workers could never route a transaction.
+            return Err(H2Error::Config("the engine needs at least one OLTP worker".into()));
+        }
         let mut accelerators = vec![config.olap_device.gpu.name.clone()];
         if let Some(mg) = &config.olap_multi_gpu {
             accelerators.extend(mg.gpus.iter().map(|g| g.name.clone()));

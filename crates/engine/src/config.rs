@@ -122,6 +122,11 @@ pub struct CalderaConfig {
     /// occupancy with LRU eviction that never drops entries pinned by
     /// in-flight queries.
     pub olap_plan_cache_budget_bytes: Option<u64>,
+    /// Per-site OLAP admission budget: how many queries one execution site
+    /// runs concurrently. The excess waits in strict arrival order. `None`
+    /// (the default) is unbounded; `Some(0)` is clamped to one in-flight
+    /// query per site.
+    pub olap_admission_in_flight: Option<u32>,
     /// Query tracing. Off by default (the hot path pays one relaxed atomic
     /// load per would-be span); when enabled every dispatch records typed
     /// spans into a bounded ring readable via `Caldera::trace_spans` /
@@ -142,6 +147,7 @@ impl Default for CalderaConfig {
             calibration: CalibrationConfig::default(),
             cost_model_seed: None,
             olap_plan_cache_budget_bytes: None,
+            olap_admission_in_flight: None,
             observability: ObsConfig::default(),
         }
     }

@@ -5,7 +5,31 @@
 //! the CPU cores the data-parallel archipelago currently owns), asks
 //! [`place_olap_query`] for a target, and dispatches to the matching
 //! [`ExecutionSite`] — the simulated GPU or the archipelago's CPU cores.
+//!
+//! # Concurrency
+//!
+//! The engine serves analytical queries from many client threads at once.
+//! Instead of one big lock around all OLAP state, the state is split by
+//! what actually needs exclusion:
+//!
+//! - `snap` (`RwLock`): the execution sites and the snapshot they are
+//!   registered against. Queries hold it **shared** for their whole
+//!   execution, so any number run concurrently; a snapshot refresh takes it
+//!   **exclusive**, draining in-flight queries first so it can never yank a
+//!   registered table out from under a running scan.
+//! - `meta` (`Mutex`): small bookkeeping — query numbering, snapshot and
+//!   time counters, the placement calibrator. Held only for microseconds
+//!   around dispatch edges, never across execution.
+//! - per-site state ([`SiteSlot`]): registrations, counters and the
+//!   [`AdmissionGate`] that bounds how many queries one site runs at once
+//!   (excess admissions wait in strict arrival order).
+//!
+//! The sites themselves are `&self`-concurrent (see [`ExecutionSite`]), and
+//! the shared plan-data cache deduplicates concurrent materialisations of
+//! the same derived state (shared scans), so the answer of every query stays
+//! byte-identical to a serial execution.
 
+use crate::admission::{AdmissionGate, AdmissionStats};
 use crate::config::CalderaConfig;
 use h2tap_common::{H2Error, OlapPlan, PartitionId, PlanCacheStats, Result, ScanAggQuery, SimDuration, TableId};
 use h2tap_obs::{MetricsRegistry, MetricsSnapshot, SpanEvent, SpanKind, SpanRecord, Tracer};
@@ -17,8 +41,9 @@ use h2tap_scheduler::{
     SiteCapability,
 };
 use h2tap_storage::{CowStats, Database, Snapshot};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
+use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -34,6 +59,9 @@ pub struct OlapSiteStats {
     pub queries: u64,
     /// Total simulated execution time on the site.
     pub time: SimDuration,
+    /// Admission counters: executions admitted, admissions that had to
+    /// queue behind the site's in-flight budget, permits currently held.
+    pub admission: AdmissionStats,
 }
 
 /// Combined HTAP statistics for experiment reporting.
@@ -51,6 +79,10 @@ pub struct HtapStats {
     pub olap_sites: Vec<OlapSiteStats>,
     /// Snapshots taken by the OLAP path.
     pub snapshots_taken: u64,
+    /// Snapshot releases that failed during shutdown (the storage layer no
+    /// longer knew the snapshot — an accounting bug upstream). Refresh-path
+    /// release failures are not counted here: they fail the refresh itself.
+    pub snapshot_release_failures: u64,
     /// Placement feedback-loop state: the current calibrated cost model and
     /// per-site predicted-vs-actual error statistics.
     pub calibration: CalibrationReport,
@@ -89,46 +121,60 @@ fn site_key(target: OlapTarget) -> &'static str {
     }
 }
 
-/// One execution site plus its registrations and counters.
+/// One execution site plus its registrations, counters and admission gate.
+/// Everything is interior-mutable so concurrent queries share the slot
+/// through the snapshot gate's read lock.
 struct SiteSlot {
     site: Box<dyn ExecutionSite>,
-    registered: HashMap<TableId, RegisteredTable>,
-    queries: u64,
-    time: SimDuration,
+    /// Table → site handle for the current snapshot. Held across
+    /// `register_table` so a table is registered exactly once even when
+    /// concurrent queries race to first use.
+    registered: Mutex<HashMap<TableId, RegisteredTable>>,
+    queries: AtomicU64,
+    time: Mutex<SimDuration>,
+    admission: AdmissionGate,
 }
 
 impl SiteSlot {
-    fn new(site: Box<dyn ExecutionSite>) -> Self {
-        Self { site, registered: HashMap::new(), queries: 0, time: SimDuration::ZERO }
+    fn new(site: Box<dyn ExecutionSite>, admission_budget: Option<u32>) -> Self {
+        Self {
+            site,
+            registered: Mutex::new(HashMap::new()),
+            queries: AtomicU64::new(0),
+            time: Mutex::new(SimDuration::ZERO),
+            admission: AdmissionGate::new(admission_budget),
+        }
+    }
+
+    fn stats(&self) -> OlapSiteStats {
+        OlapSiteStats {
+            target: self.site.target(),
+            label: self.site.label(),
+            queries: self.queries.load(Ordering::Relaxed),
+            time: *self.time.lock(),
+            admission: self.admission.stats(),
+        }
     }
 }
 
-/// State of the data-parallel archipelago's query loop.
-struct OlapState {
+/// The execution sites and the snapshot they are registered against —
+/// everything a snapshot refresh must replace atomically. Queries read it
+/// shared; refreshes write it exclusively (draining in-flight queries).
+struct SnapshotGate {
     sites: Vec<SiteSlot>,
     snapshot: Option<Arc<Snapshot>>,
-    query_index: u64,
-    snapshots_taken: u64,
-    total_time: SimDuration,
-    /// The placement feedback loop: every dispatch records an observation
-    /// here, and placement reads its calibrated model back out.
-    calibrator: CostCalibrator,
-    /// The plan-data cache shared by every site; invalidated on snapshot
-    /// refresh so a stale snapshot's derived state is never retained.
-    plan_cache: PlanDataCache,
 }
 
-impl OlapState {
-    fn slot_mut(&mut self, target: OlapTarget) -> Option<&mut SiteSlot> {
-        self.sites.iter_mut().find(|slot| slot.site.target() == target)
+impl SnapshotGate {
+    fn slot(&self, target: OlapTarget) -> Option<&SiteSlot> {
+        self.sites.iter().find(|slot| slot.site.target() == target)
     }
 
     /// The slot serving `target`, or a configuration error when the engine
     /// was built without that site (e.g. `run_olap_on(.., MultiGpu)` with no
     /// `olap_multi_gpu` configured).
-    fn require_slot(&mut self, target: OlapTarget) -> Result<&mut SiteSlot> {
-        self.slot_mut(target)
-            .ok_or_else(|| H2Error::Config(format!("no execution site configured for target {target:?}")))
+    fn require_slot(&self, target: OlapTarget) -> Result<&SiteSlot> {
+        self.slot(target).ok_or_else(|| H2Error::Config(format!("no execution site configured for target {target:?}")))
     }
 
     /// The capabilities of every site the engine actually runs — what the
@@ -138,12 +184,50 @@ impl OlapState {
     }
 }
 
+/// Small dispatch bookkeeping: query numbering, refresh/time counters and
+/// the placement feedback loop. Locked briefly at dispatch edges, never
+/// across query execution.
+struct OlapMeta {
+    query_index: u64,
+    snapshots_taken: u64,
+    total_time: SimDuration,
+    /// The placement feedback loop: every dispatch records an observation
+    /// here, and placement reads its calibrated model back out.
+    calibrator: CostCalibrator,
+}
+
+/// The snapshot-gate guard an analytical query executes under: shared in
+/// the common case, exclusive when this query performed the refresh.
+enum QueryGuard<'a> {
+    Shared(RwLockReadGuard<'a, SnapshotGate>),
+    Exclusive(RwLockWriteGuard<'a, SnapshotGate>),
+}
+
+impl Deref for QueryGuard<'_> {
+    type Target = SnapshotGate;
+
+    fn deref(&self) -> &SnapshotGate {
+        match self {
+            QueryGuard::Shared(guard) => guard,
+            QueryGuard::Exclusive(guard) => guard,
+        }
+    }
+}
+
 /// The running engine.
 pub struct Caldera {
     config: CalderaConfig,
     db: Arc<Database>,
     oltp: OltpRuntime,
-    olap: Mutex<OlapState>,
+    /// Sites + current snapshot (see [`SnapshotGate`]). Queries hold the
+    /// read side for their whole execution; refreshes take the write side.
+    snap: RwLock<SnapshotGate>,
+    /// Dispatch bookkeeping (see [`OlapMeta`]). Lock order: `snap` before
+    /// `meta`, never the reverse.
+    meta: Mutex<OlapMeta>,
+    /// The plan-data cache shared by every site; invalidated on snapshot
+    /// refresh so a stale snapshot's derived state is never retained.
+    plan_cache: PlanDataCache,
     scheduler: Scheduler,
     next_home: AtomicU64,
     /// Optional core-migration policy consulted after every placement
@@ -183,19 +267,22 @@ impl Caldera {
             // into the (shared) cache the site now holds.
             site.set_tracer(tracer.clone());
         }
+        let admission_budget = config.olap_admission_in_flight;
         Self {
             config,
             db,
             oltp,
-            olap: Mutex::new(OlapState {
-                sites: sites.into_iter().map(SiteSlot::new).collect(),
+            snap: RwLock::new(SnapshotGate {
+                sites: sites.into_iter().map(|site| SiteSlot::new(site, admission_budget)).collect(),
                 snapshot: None,
+            }),
+            meta: Mutex::new(OlapMeta {
                 query_index: 0,
                 snapshots_taken: 0,
                 total_time: SimDuration::ZERO,
                 calibrator,
-                plan_cache,
             }),
+            plan_cache,
             scheduler,
             next_home: AtomicU64::new(0),
             migration_policy: Mutex::new(None),
@@ -224,16 +311,22 @@ impl Caldera {
         self.config.snapshot_policy
     }
 
+    /// The snapshot analytical queries currently run against: `None` before
+    /// the first query (and after a refresh failed partway).
+    pub fn current_snapshot(&self) -> Option<Arc<Snapshot>> {
+        self.snap.read().snapshot.clone()
+    }
+
     /// The current calibrated placement cost model — starts at the
     /// configured seed and tracks measured site times from then on.
     pub fn cost_model(&self) -> CostModel {
-        self.olap.lock().calibrator.model()
+        self.meta.lock().calibrator.model()
     }
 
     /// A snapshot of the placement feedback loop's state (also available as
     /// [`HtapStats::calibration`]).
     pub fn calibration_report(&self) -> CalibrationReport {
-        self.olap.lock().calibrator.report()
+        self.meta.lock().calibrator.report()
     }
 
     /// The recorded trace spans, oldest first. Empty unless the engine was
@@ -251,17 +344,25 @@ impl Caldera {
 
     /// A point-in-time snapshot of the metrics registry (the same content
     /// [`HtapStats::metrics`] carries): query counters, latency histograms,
-    /// plan-cache counter/gauge families, trace-ring health.
+    /// plan-cache counter/gauge families, admission counters, trace-ring
+    /// health.
     pub fn metrics(&self) -> MetricsSnapshot {
-        let cache = self.olap.lock().plan_cache.stats();
-        self.metrics_snapshot(&cache)
+        let cache = self.plan_cache.stats();
+        let sites = self.site_stats();
+        self.metrics_snapshot(&cache, &sites)
     }
 
-    /// Mirrors the point-in-time cache and trace-ring state into the
-    /// registry (counters and gauges kept in their own families — see
+    /// Point-in-time per-site counters (shared read of the snapshot gate).
+    fn site_stats(&self) -> Vec<OlapSiteStats> {
+        let snap = self.snap.read();
+        snap.sites.iter().map(SiteSlot::stats).collect()
+    }
+
+    /// Mirrors the point-in-time cache, admission and trace-ring state into
+    /// the registry (counters and gauges kept in their own families — see
     /// [`PlanCacheStats::counters`] / [`PlanCacheStats::gauges`]) and
     /// snapshots it.
-    fn metrics_snapshot(&self, cache: &PlanCacheStats) -> MetricsSnapshot {
+    fn metrics_snapshot(&self, cache: &PlanCacheStats, sites: &[OlapSiteStats]) -> MetricsSnapshot {
         let counters = cache.counters();
         self.metrics.counter_set("plan_cache.column_hits", counters.column_hits);
         self.metrics.counter_set("plan_cache.column_misses", counters.column_misses);
@@ -269,10 +370,17 @@ impl Caldera {
         self.metrics.counter_set("plan_cache.hash_misses", counters.hash_misses);
         self.metrics.counter_set("plan_cache.invalidations", counters.invalidations);
         self.metrics.counter_set("plan_cache.evictions", counters.evictions);
+        self.metrics.counter_set("plan_cache.shared_scan_attaches", counters.shared_scan_attaches);
         let gauges = cache.gauges();
         self.metrics.gauge_set("plan_cache.occupancy_bytes", gauges.occupancy_bytes as f64);
         if let Some(budget) = gauges.budget_bytes {
             self.metrics.gauge_set("plan_cache.budget_bytes", budget as f64);
+        }
+        for site in sites {
+            let key = site_key(site.target);
+            self.metrics.counter_set(&format!("olap.admission.admitted.{key}"), site.admission.admitted);
+            self.metrics.counter_set(&format!("olap.admission.queued.{key}"), site.admission.queued);
+            self.metrics.gauge_set(&format!("olap.admission.in_flight.{key}"), f64::from(site.admission.in_flight));
         }
         self.metrics.counter_set("trace.spans.recorded", self.tracer.recorded());
         self.metrics.counter_set("trace.spans.dropped", self.tracer.dropped());
@@ -292,23 +400,26 @@ impl Caldera {
     /// Consults the installed migration policy (if any) with the latest
     /// calibration report and applies at most one core move.
     fn apply_migration_policy(&self, report: &CalibrationReport) {
-        let mut guard = self.migration_policy.lock();
-        let Some(policy) = guard.as_mut() else { return };
+        let mut migration_policy = self.migration_policy.lock();
+        let Some(policy) = migration_policy.as_mut() else { return };
         let data_cores = self.scheduler.archipelago(ArchipelagoKind::DataParallel).core_count() as u32;
         let task_cores = self.scheduler.archipelago(ArchipelagoKind::TaskParallel).core_count() as u32;
         if let Some(migration) = policy.recommend(report, data_cores, task_cores) {
             let source = self.scheduler.archipelago(migration.from);
-            if let Some(&core) = source.cpu_cores.iter().next() {
-                // The scheduler re-validates the move; a racing manual
-                // migration losing the core is not an error worth failing a
-                // query over.
-                let _ = self.scheduler.migrate_core(core, migration.from, migration.to);
+            let Some(&core) = source.cpu_cores.iter().next() else { return };
+            // The scheduler re-validates the move; a racing manual migration
+            // losing the core is not an error worth failing a query over.
+            // Only a move that actually happened commits the policy's
+            // rate-limiting state — a refused migration (e.g. the source
+            // archipelago would be emptied) must not burn the cooldown.
+            if self.scheduler.migrate_core(core, migration.from, migration.to).is_ok() {
+                policy.commit(report);
             }
         }
     }
 
     /// Records one completed dispatch with the calibrator and returns the
-    /// updated report for the migration-policy hook. Runs under the OLAP
+    /// updated report for the migration-policy hook. Runs under the meta
     /// lock; the policy itself is applied after the lock is released. The
     /// sites' enumerated capabilities supply the streaming feature of the
     /// site that actually answered (per-device specs and shard fractions for
@@ -316,7 +427,7 @@ impl Caldera {
     #[allow(clippy::too_many_arguments)]
     fn record_observation(
         &self,
-        olap: &mut OlapState,
+        meta: &mut OlapMeta,
         capabilities: &[SiteCapability],
         hints: &PlacementHints,
         forced: bool,
@@ -324,6 +435,7 @@ impl Caldera {
         site: OlapTarget,
         time: SimDuration,
         breakdown: h2tap_common::ExecBreakdown,
+        query_seq: u64,
     ) -> CalibrationReport {
         let observation = PlacementObservation {
             site,
@@ -333,17 +445,17 @@ impl Caldera {
             actual_secs: time.as_secs_f64(),
             breakdown: Some(breakdown),
         };
-        olap.calibrator.observe_sites(capabilities, &observation);
+        meta.calibrator.observe_sites(capabilities, &observation);
         // Explain the dispatch against the freshly calibrated model: every
         // site's estimate, the regret of the executing site vs the best, and
         // the running regret summary `CalibrationReport::regret` exposes.
-        olap.calibrator.explain_dispatch(capabilities, chosen, &observation, olap.query_index);
+        meta.calibrator.explain_dispatch(capabilities, chosen, &observation, query_seq);
         self.metrics.counter_add("olap.queries", 1);
         self.metrics.counter_add(&format!("olap.queries.{}", site_key(site)), 1);
         let secs = time.as_secs_f64();
         self.metrics.observe_secs("olap.latency.secs", secs);
         self.metrics.observe_secs(&format!("olap.latency.{}", site_key(site)), secs);
-        olap.calibrator.report()
+        meta.calibrator.report()
     }
 
     /// Executes a transaction on an explicitly chosen home worker.
@@ -355,7 +467,14 @@ impl Caldera {
     /// Executes a transaction, choosing a home worker round-robin ("an
     /// incoming transaction can be scheduled to run on any thread").
     pub fn execute_txn(&self, proc: TxnProc) -> Result<()> {
-        let home = PartitionId((self.next_home.fetch_add(1, Ordering::Relaxed) % self.oltp.workers() as u64) as u32);
+        let workers = self.oltp.workers() as u64;
+        if workers == 0 {
+            // Unreachable through `CalderaBuilder::start` (the runtime
+            // refuses to start with zero workers), but a modulo by zero
+            // must never panic a library call.
+            return Err(H2Error::Config("cannot route a transaction: the engine has no OLTP workers".into()));
+        }
+        let home = PartitionId((self.next_home.fetch_add(1, Ordering::Relaxed) % workers) as u32);
         self.execute_txn_on(home, proc)
     }
 
@@ -366,26 +485,38 @@ impl Caldera {
     }
 
     /// Takes a fresh snapshot immediately, releasing the previous OLAP
-    /// snapshot (manual freshness control).
+    /// snapshot (manual freshness control). Waits for in-flight analytical
+    /// queries to drain, so no query ever loses its tables mid-execution.
     pub fn refresh_snapshot(&self) -> Result<()> {
-        let mut olap = self.olap.lock();
-        Self::refresh_locked(&self.db, &mut olap)
+        let mut snap = self.snap.write();
+        Self::refresh_gate(&self.db, &mut snap, &self.plan_cache)?;
+        // h2tap: allow(lock_order) — ordering rule: `snap` is always acquired before `meta`, never the reverse; the meta guard here is a statement temporary that cannot outlive the snap guard.
+        self.meta.lock().snapshots_taken += 1;
+        Ok(())
     }
 
-    fn refresh_locked(db: &Arc<Database>, olap: &mut OlapState) -> Result<()> {
-        if let Some(old) = olap.snapshot.take() {
-            let _ = db.release_snapshot(&old);
-        }
-        for slot in &mut olap.sites {
+    /// Replaces the gate's snapshot: resets every site's registrations,
+    /// drops the old snapshot's derived plan data, releases the old
+    /// snapshot and takes a new one. Requires the gate's write side.
+    ///
+    /// A failed release is a real accounting bug (the snapshot was already
+    /// released behind the engine's back) and is propagated, not swallowed;
+    /// the gate is left without a snapshot, so the next query — or retry —
+    /// starts clean instead of double-counting against the broken one.
+    fn refresh_gate(db: &Arc<Database>, snap: &mut SnapshotGate, plan_cache: &PlanDataCache) -> Result<()> {
+        let old = snap.snapshot.take();
+        for slot in &snap.sites {
             slot.site.reset_tables();
-            slot.registered.clear();
+            slot.registered.lock().clear();
         }
         // The old snapshot's derived plan data can never be served again
         // (fresh epoch, fresh cache keys); drop it eagerly so its column
         // copies and hash tables do not outlive the snapshot itself.
-        olap.plan_cache.invalidate();
-        olap.snapshot = Some(db.snapshot());
-        olap.snapshots_taken += 1;
+        plan_cache.invalidate();
+        if let Some(old) = old {
+            db.release_snapshot(&old)?;
+        }
+        snap.snapshot = Some(db.snapshot());
         Ok(())
     }
 
@@ -426,16 +557,37 @@ impl Caldera {
         self.run_olap_plan_dispatch(probe, build, plan, Some(target))
     }
 
-    /// Takes (or refreshes) the snapshot a new analytical query runs against
-    /// and bumps the query counter.
-    fn snapshot_for_query(&self, olap: &mut OlapState) -> Result<Arc<Snapshot>> {
-        if olap.snapshot.is_none() || self.config.snapshot_policy.should_refresh(olap.query_index) {
-            Self::refresh_locked(&self.db, olap)?;
+    /// Draws this query's number, refreshes the snapshot if the policy (or
+    /// a missing snapshot) demands it, and returns the gate guard the query
+    /// executes under plus its snapshot and 1-based sequence number.
+    ///
+    /// Fast path: the policy did not fire and a snapshot exists — a shared
+    /// read of the gate, so queries run concurrently. Slow path: take the
+    /// write side (draining in-flight queries) and re-check, so racing
+    /// first queries refresh the missing snapshot exactly once while a
+    /// policy-fired refresh (e.g. `PerQuery`) always happens.
+    fn snapshot_for_query(&self) -> Result<(QueryGuard<'_>, Arc<Snapshot>, u64)> {
+        let (index, policy_fired) = {
+            let mut meta = self.meta.lock();
+            let index = meta.query_index;
+            meta.query_index += 1;
+            (index, self.config.snapshot_policy.should_refresh(index))
+        };
+        if !policy_fired {
+            let snap = self.snap.read();
+            if let Some(snapshot) = snap.snapshot.clone() {
+                return Ok((QueryGuard::Shared(snap), snapshot, index + 1));
+            }
         }
-        olap.query_index += 1;
+        let mut snap = self.snap.write();
+        if policy_fired || snap.snapshot.is_none() {
+            Self::refresh_gate(&self.db, &mut snap, &self.plan_cache)?;
+            // h2tap: allow(lock_order) — ordering rule: `snap` is always acquired before `meta`, never the reverse; the meta guard here is a statement temporary that cannot outlive the snap guard.
+            self.meta.lock().snapshots_taken += 1;
+        }
         let snapshot =
-            olap.snapshot.as_ref().ok_or_else(|| H2Error::Config("snapshot missing after refresh".to_string()))?;
-        Ok(Arc::clone(snapshot))
+            snap.snapshot.clone().ok_or_else(|| H2Error::Config("snapshot missing after refresh".to_string()))?;
+        Ok((QueryGuard::Exclusive(snap), snapshot, index + 1))
     }
 
     /// Base placement hints every analytical query shares: residency and
@@ -444,14 +596,33 @@ impl Caldera {
     /// re-estimated from measured site times — the feedback loop that keeps
     /// hand-tuned constants from silently drifting away from what the
     /// engines actually report).
-    fn base_hints(&self, olap: &mut OlapState, cpu_cores: u32) -> PlacementHints {
-        let model = olap.calibrator.model();
-        let gpu_resident = olap.slot_mut(OlapTarget::Gpu).map_or(0.0, |slot| slot.site.resident_fraction());
+    fn base_hints(&self, snap: &SnapshotGate, cpu_cores: u32) -> PlacementHints {
+        let model = self.meta.lock().calibrator.model();
+        let gpu_resident = snap.slot(OlapTarget::Gpu).map_or(0.0, |slot| slot.site.resident_fraction());
         model.apply_to(PlacementHints {
             gpu_resident_fraction: gpu_resident,
             available_cpu_cores: cpu_cores,
             ..PlacementHints::default()
         })
+    }
+
+    /// Folds one finished dispatch into the meta bookkeeping and returns
+    /// the calibration report for the migration-policy hook.
+    #[allow(clippy::too_many_arguments)]
+    fn account_dispatch(
+        &self,
+        capabilities: &[SiteCapability],
+        hints: &PlacementHints,
+        forced: bool,
+        chosen: OlapTarget,
+        site: OlapTarget,
+        time: SimDuration,
+        breakdown: h2tap_common::ExecBreakdown,
+        query_seq: u64,
+    ) -> CalibrationReport {
+        let mut meta = self.meta.lock();
+        meta.total_time += time;
+        self.record_observation(&mut meta, capabilities, hints, forced, chosen, site, time, breakdown, query_seq)
     }
 
     fn run_olap_dispatch(
@@ -461,9 +632,8 @@ impl Caldera {
         forced: Option<OlapTarget>,
     ) -> Result<OlapOutcome> {
         self.scheduler.record_dispatch(ArchipelagoKind::DataParallel, 1.0);
-        let mut olap = self.olap.lock();
-        let snapshot = self.snapshot_for_query(&mut olap)?;
-        let meta = self.db.table_meta(table)?;
+        let (snap, snapshot, query_seq) = self.snapshot_for_query()?;
+        let table_meta = self.db.table_meta(table)?;
         let frozen = snapshot.table(table)?;
 
         // Live placement inputs: the query's scan footprint, how much of the
@@ -476,15 +646,15 @@ impl Caldera {
         let hints = PlacementHints {
             bytes_to_scan: query.scan_bytes(&frozen.schema, frozen.row_count()),
             rows: frozen.row_count(),
-            ..self.base_hints(&mut olap, cpu_cores)
+            ..self.base_hints(&snap, cpu_cores)
         };
-        let capabilities = olap.capabilities();
-        self.tracer.set_query(olap.query_index);
+        let capabilities = snap.capabilities();
+        self.tracer.set_query(query_seq);
         let placing = self.tracer.start();
         let target = forced.unwrap_or_else(|| place_olap_query_sites(&capabilities, &hints));
         self.tracer.record_wall(SpanEvent::new(SpanKind::Placement).site(target), placing);
 
-        let outcome = match Self::execute_on_slot(&mut olap, target, cpu_cores, table, frozen, &meta.name, query) {
+        let outcome = match Self::execute_on_slot(&snap, target, cpu_cores, table, frozen, &table_meta.name, query) {
             // The placement hints cannot see every device constraint (a
             // device-resident table can simply not fit); when a GPU-family
             // site was the heuristic's choice and runs out of memory, the
@@ -493,16 +663,14 @@ impl Caldera {
             // error.
             Err(H2Error::GpuOutOfMemory { .. }) if forced.is_none() && target != OlapTarget::Cpu => {
                 self.tracer.record(SpanEvent::new(SpanKind::Fallback).site(OlapTarget::Cpu));
-                Self::execute_on_slot(&mut olap, OlapTarget::Cpu, cpu_cores, table, frozen, &meta.name, query)?
+                Self::execute_on_slot(&snap, OlapTarget::Cpu, cpu_cores, table, frozen, &table_meta.name, query)?
             }
             other => other?,
         };
-        olap.total_time += outcome.time;
         // Close the loop: predicted vs site-reported time recalibrates the
         // cost model (outcome.site, not target — an OOM fallback is a CPU
         // observation), then the migration policy sees the fresh report.
-        let report = self.record_observation(
-            &mut olap,
+        let report = self.account_dispatch(
             &capabilities,
             &hints,
             forced.is_some(),
@@ -510,8 +678,9 @@ impl Caldera {
             outcome.site,
             outcome.time,
             outcome.breakdown,
+            query_seq,
         );
-        drop(olap);
+        drop(snap);
         self.apply_migration_policy(&report);
         Ok(outcome)
     }
@@ -524,8 +693,7 @@ impl Caldera {
         forced: Option<OlapTarget>,
     ) -> Result<PlanOutcome> {
         self.scheduler.record_dispatch(ArchipelagoKind::DataParallel, 1.0);
-        let mut olap = self.olap.lock();
-        let snapshot = self.snapshot_for_query(&mut olap)?;
+        let (snap, snapshot, query_seq) = self.snapshot_for_query()?;
         let probe_meta = self.db.table_meta(probe)?;
         let probe_frozen = snapshot.table(probe)?;
         let build_parts = match build {
@@ -542,7 +710,7 @@ impl Caldera {
         let probe_rows = probe_frozen.row_count();
         let build_bytes =
             build_parts.as_ref().map_or(0, |(_, frozen, _)| plan.build_scan_bytes(&frozen.schema, frozen.row_count()));
-        let gpu_free = olap.slot_mut(OlapTarget::Gpu).and_then(|slot| slot.site.free_device_bytes());
+        let gpu_free = snap.slot(OlapTarget::Gpu).and_then(|slot| slot.site.free_device_bytes());
         let hints = PlacementHints {
             bytes_to_scan: plan.probe_scan_bytes(&probe_frozen.schema, probe_rows) + build_bytes,
             rows: probe_rows,
@@ -554,16 +722,20 @@ impl Caldera {
             // multi-GPU site's per-device free memory travels through the
             // enumerated capabilities instead (min-per-shard footprint).
             gpu_free_bytes: gpu_free.unwrap_or(u64::MAX),
-            ..self.base_hints(&mut olap, cpu_cores)
+            ..self.base_hints(&snap, cpu_cores)
         };
-        let capabilities = olap.capabilities();
-        self.tracer.set_query(olap.query_index);
+        let capabilities = snap.capabilities();
+        self.tracer.set_query(query_seq);
         let placing = self.tracer.start();
         let target = forced.unwrap_or_else(|| place_olap_query_sites(&capabilities, &hints));
         self.tracer.record_wall(SpanEvent::new(SpanKind::Placement).site(target), placing);
 
-        let run = |olap: &mut OlapState, target: OlapTarget| -> Result<PlanOutcome> {
-            let slot = olap.require_slot(target)?;
+        let run = |target: OlapTarget| -> Result<PlanOutcome> {
+            let slot = snap.require_slot(target)?;
+            // The permit spans registration + execution; dropping it on the
+            // error path frees this site's slot before the fallback competes
+            // for the CPU site's gate.
+            let _permit = slot.admission.admit();
             if target == OlapTarget::Cpu {
                 slot.site.set_cores(cpu_cores.max(1));
             }
@@ -585,13 +757,14 @@ impl Caldera {
             })();
             match attempt {
                 Ok(outcome) => {
-                    slot.queries += 1;
-                    slot.time += outcome.time;
+                    slot.queries.fetch_add(1, Ordering::Relaxed);
+                    *slot.time.lock() += outcome.time;
                     Ok(outcome)
                 }
                 Err(err) => {
+                    let mut registered = slot.registered.lock();
                     for table in newly {
-                        if let Some(handle) = slot.registered.remove(&table) {
+                        if let Some(handle) = registered.remove(&table) {
                             slot.site.unregister_table(handle);
                         }
                     }
@@ -600,18 +773,16 @@ impl Caldera {
             }
         };
 
-        let outcome = match run(&mut olap, target) {
+        let outcome = match run(target) {
             // Same OOM fallback as the scan path: the CPU site still holds
             // every table (and its hash state) in host DRAM.
             Err(H2Error::GpuOutOfMemory { .. }) if forced.is_none() && target != OlapTarget::Cpu => {
                 self.tracer.record(SpanEvent::new(SpanKind::Fallback).site(OlapTarget::Cpu));
-                run(&mut olap, OlapTarget::Cpu)?
+                run(OlapTarget::Cpu)?
             }
             other => other?,
         };
-        olap.total_time += outcome.time;
-        let report = self.record_observation(
-            &mut olap,
+        let report = self.account_dispatch(
             &capabilities,
             &hints,
             forced.is_some(),
@@ -619,28 +790,32 @@ impl Caldera {
             outcome.site,
             outcome.time,
             outcome.breakdown,
+            query_seq,
         );
-        drop(olap);
+        drop(snap);
         self.apply_migration_policy(&report);
         Ok(outcome)
     }
 
     /// Returns the slot's handle for `table`, registering the frozen image
-    /// with the site on first use within the current snapshot. When `track`
-    /// is given, a table registered by this call is appended to it so the
-    /// caller can roll the registration back if its overall attempt fails.
+    /// with the site on first use within the current snapshot. The
+    /// registration map's lock is held across `register_table`, so racing
+    /// first users register exactly once. When `track` is given, a table
+    /// registered by this call is appended to it so the caller can roll the
+    /// registration back if its overall attempt fails.
     fn handle_for(
-        slot: &mut SiteSlot,
+        slot: &SiteSlot,
         table: TableId,
         frozen: &h2tap_storage::SnapshotTable,
         label: &str,
         track: Option<&mut Vec<TableId>>,
     ) -> Result<RegisteredTable> {
-        if let Some(h) = slot.registered.get(&table) {
+        let mut registered = slot.registered.lock();
+        if let Some(h) = registered.get(&table) {
             return Ok(*h);
         }
         let h = slot.site.register_table(frozen, label)?;
-        slot.registered.insert(table, h);
+        registered.insert(table, h);
         if let Some(track) = track {
             track.push(table);
         }
@@ -648,7 +823,7 @@ impl Caldera {
     }
 
     fn execute_on_slot(
-        olap: &mut OlapState,
+        snap: &SnapshotGate,
         target: OlapTarget,
         cpu_cores: u32,
         table: TableId,
@@ -656,7 +831,11 @@ impl Caldera {
         label: &str,
         query: &ScanAggQuery,
     ) -> Result<OlapOutcome> {
-        let slot = olap.require_slot(target)?;
+        let slot = snap.require_slot(target)?;
+        // RAII admission: held for registration + execution, released on
+        // every path — an OOM error frees this site's slot before the
+        // caller's fallback competes for the CPU site's gate.
+        let _permit = slot.admission.admit();
         if target == OlapTarget::Cpu {
             // A query placed on CPU must see the archipelago's current core
             // count, not the count at construction time.
@@ -664,50 +843,56 @@ impl Caldera {
         }
         let handle = Self::handle_for(slot, table, frozen, label, None)?;
         let outcome = slot.site.execute(handle, frozen, query)?;
-        slot.queries += 1;
-        slot.time += outcome.time;
+        slot.queries.fetch_add(1, Ordering::Relaxed);
+        *slot.time.lock() += outcome.time;
         Ok(outcome)
     }
 
     /// Combined statistics across both archipelagos.
     pub fn stats(&self) -> HtapStats {
-        let olap = self.olap.lock();
-        let plan_cache = olap.plan_cache.stats();
+        self.stats_with_oltp(self.oltp.stats(), 0)
+    }
+
+    fn stats_with_oltp(&self, oltp: OltpStats, snapshot_release_failures: u64) -> HtapStats {
+        let plan_cache = self.plan_cache.stats();
+        let olap_sites = self.site_stats();
+        let metrics = self.metrics_snapshot(&plan_cache, &olap_sites);
+        let meta = self.meta.lock();
         HtapStats {
-            oltp: self.oltp.stats(),
+            oltp,
             cow: self.db.telemetry(),
-            olap_queries: olap.query_index,
-            olap_time: olap.total_time,
-            olap_sites: olap
-                .sites
-                .iter()
-                .map(|slot| OlapSiteStats {
-                    target: slot.site.target(),
-                    label: slot.site.label(),
-                    queries: slot.queries,
-                    time: slot.time,
-                })
-                .collect(),
-            snapshots_taken: olap.snapshots_taken,
-            calibration: olap.calibrator.report(),
+            olap_queries: meta.query_index,
+            olap_time: meta.total_time,
+            olap_sites,
+            snapshots_taken: meta.snapshots_taken,
+            snapshot_release_failures,
+            calibration: meta.calibrator.report(),
             plan_cache,
-            metrics: self.metrics_snapshot(&plan_cache),
-            placements: olap.calibrator.recent_placements().cloned().collect(),
+            metrics,
+            placements: meta.calibrator.recent_placements().cloned().collect(),
         }
     }
 
     /// Stops the OLTP workers, releases the OLAP snapshot and returns final
     /// statistics.
-    pub fn shutdown(self) -> HtapStats {
-        let stats = self.stats();
+    ///
+    /// The workers stop **before** the statistics are captured, so the
+    /// final counters include every transaction the workers drained on the
+    /// way out (capturing first under-counted whatever committed during the
+    /// stop). A snapshot release the storage layer refuses is counted in
+    /// [`HtapStats::snapshot_release_failures`] instead of being swallowed.
+    pub fn shutdown(mut self) -> HtapStats {
+        let oltp = self.oltp.stop();
+        let mut release_failures = 0;
         {
-            let mut olap = self.olap.lock();
-            if let Some(snapshot) = olap.snapshot.take() {
-                let _ = self.db.release_snapshot(&snapshot);
+            let mut snap = self.snap.write();
+            if let Some(snapshot) = snap.snapshot.take() {
+                if self.db.release_snapshot(&snapshot).is_err() {
+                    release_failures += 1;
+                }
             }
         }
-        self.oltp.shutdown();
-        stats
+        self.stats_with_oltp(oltp, release_failures)
     }
 }
 
@@ -757,6 +942,7 @@ mod tests {
         assert_eq!(stats.oltp.committed, 1);
         assert_eq!(stats.olap_queries, 2);
         assert_eq!(stats.snapshots_taken, 2);
+        assert_eq!(stats.snapshot_release_failures, 0);
         assert!(stats.olap_time > SimDuration::ZERO);
         // No CPU cores were reserved, so every query ran on the GPU.
         assert_eq!(stats.olap_queries_on(OlapTarget::Gpu), 2);
@@ -882,6 +1068,11 @@ mod tests {
         assert_eq!(stats.olap_queries_on(OlapTarget::Gpu), 1);
         assert_eq!(stats.olap_queries_on(OlapTarget::Cpu), 1);
         assert_eq!(stats.olap_sites.iter().map(|s| s.queries).sum::<u64>(), 2);
+        // Every execution took exactly one admission permit and returned it.
+        for site in &stats.olap_sites {
+            assert_eq!(site.admission.admitted, site.queries);
+            assert_eq!(site.admission.in_flight, 0);
+        }
     }
 
     /// Fact table (k, fk = k % 40, v = 1) plus a 40-key dimension table
@@ -1172,5 +1363,165 @@ mod tests {
         assert_eq!(before.value, after.value);
         assert!(after.time < before.time, "8 cores {} should beat 2 cores {}", after.time, before.time);
         caldera.shutdown();
+    }
+
+    #[test]
+    fn caldera_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Caldera>();
+    }
+
+    #[test]
+    fn zero_workers_is_a_config_error_not_a_panic() {
+        let mut builder = Caldera::builder(CalderaConfig::with_workers(0));
+        builder.create_table("t", Schema::homogeneous("c", 2, AttrType::Int64), Layout::Dsm).unwrap();
+        // The runtime refuses to start (there is nowhere to route
+        // transactions) instead of panicking later in `execute_txn`.
+        assert!(matches!(builder.start(), Err(H2Error::Config(_))));
+    }
+
+    #[test]
+    fn refresh_propagates_a_failed_snapshot_release() {
+        let (caldera, t) = engine_with_rows(2, 10, SnapshotPolicy::Manual);
+        let q = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![1]));
+        assert_eq!(caldera.run_olap(t, &q).unwrap().value, 10.0);
+        // Release the engine's snapshot behind its back: the refresh's own
+        // release now fails, and the error must surface, not vanish.
+        let snapshot = caldera.current_snapshot().expect("a query ran, so a snapshot exists");
+        caldera.database().release_snapshot(&snapshot).unwrap();
+        assert!(matches!(caldera.refresh_snapshot(), Err(H2Error::UnknownSnapshot(_))));
+        // Recovery is clean: the failed refresh left no snapshot behind, so
+        // the next query takes a fresh one and answers correctly.
+        assert_eq!(caldera.run_olap(t, &q).unwrap().value, 10.0);
+        let stats = caldera.shutdown();
+        assert_eq!(stats.snapshot_release_failures, 0);
+    }
+
+    #[test]
+    fn shutdown_counts_a_failed_snapshot_release() {
+        let (caldera, t) = engine_with_rows(2, 10, SnapshotPolicy::Manual);
+        let q = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![1]));
+        caldera.run_olap(t, &q).unwrap();
+        let snapshot = caldera.current_snapshot().unwrap();
+        caldera.database().release_snapshot(&snapshot).unwrap();
+        let stats = caldera.shutdown();
+        assert_eq!(stats.snapshot_release_failures, 1, "a swallowed release failure is an accounting leak");
+    }
+
+    #[test]
+    fn shutdown_drains_submitted_transactions_before_counting() {
+        let (caldera, t) = engine_with_rows(2, 10, SnapshotPolicy::Manual);
+        // Fire-and-forget submissions against a partition-local key (2 lives
+        // on partition 0 under the modulo partitioner): the workers may
+        // still be draining these when shutdown begins.
+        let mut receivers = Vec::new();
+        for _ in 0..50 {
+            receivers.push(
+                caldera
+                    .oltp()
+                    .submit(
+                        PartitionId(0),
+                        Arc::new(move |ctx| {
+                            let mut rec = ctx.read_for_update(t, 2)?;
+                            rec[1] = Value::Int64(rec[1].as_i64().unwrap() + 1);
+                            ctx.update(t, 2, rec)
+                        }),
+                    )
+                    .unwrap(),
+            );
+        }
+        let stats = caldera.shutdown();
+        assert_eq!(
+            stats.oltp.committed, 50,
+            "shutdown must stop the workers before capturing statistics, so every drained commit is counted"
+        );
+        drop(receivers);
+    }
+
+    #[test]
+    fn refused_migrations_do_not_burn_the_policy_cooldown() {
+        use h2tap_scheduler::CoreMigration;
+        use std::sync::atomic::AtomicU64;
+
+        /// Always recommends pulling a core out of the task-parallel
+        /// archipelago — which the scheduler refuses when that would empty
+        /// it — and counts how often the engine commits the move.
+        struct AlwaysPull {
+            recommendations: Arc<AtomicU64>,
+            commits: Arc<AtomicU64>,
+        }
+        impl CoreMigrationPolicy for AlwaysPull {
+            fn recommend(
+                &mut self,
+                _report: &CalibrationReport,
+                _data_parallel_cores: u32,
+                _task_parallel_cores: u32,
+            ) -> Option<CoreMigration> {
+                self.recommendations.fetch_add(1, Ordering::SeqCst);
+                Some(CoreMigration { from: ArchipelagoKind::TaskParallel, to: ArchipelagoKind::DataParallel })
+            }
+            fn commit(&mut self, _report: &CalibrationReport) {
+                self.commits.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        // One OLTP worker: the task-parallel archipelago owns exactly one
+        // core, so every recommended pull is refused by the scheduler.
+        let mut config = CalderaConfig::with_workers(1);
+        config.snapshot_policy = SnapshotPolicy::EveryN { queries: 1000 };
+        let (caldera, t) = engine_with_config(config, 1_000);
+        let recommendations = Arc::new(AtomicU64::new(0));
+        let commits = Arc::new(AtomicU64::new(0));
+        caldera.set_migration_policy(Some(Box::new(AlwaysPull {
+            recommendations: Arc::clone(&recommendations),
+            commits: Arc::clone(&commits),
+        })));
+        let q = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![1]));
+        for _ in 0..3 {
+            caldera.run_olap_on(t, &q, OlapTarget::Cpu).unwrap();
+        }
+        assert_eq!(recommendations.load(Ordering::SeqCst), 3, "the policy is consulted after every dispatch");
+        assert_eq!(commits.load(Ordering::SeqCst), 0, "a refused migration must not commit the policy's state");
+        assert_eq!(caldera.scheduler().archipelago(ArchipelagoKind::TaskParallel).core_count(), 1);
+        caldera.shutdown();
+    }
+
+    #[test]
+    fn admission_budget_bounds_and_counts_concurrent_queries() {
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 8;
+        let mut config = CalderaConfig::with_workers(2);
+        config.olap_cpu_cores = 4;
+        config.snapshot_policy = SnapshotPolicy::EveryN { queries: 100_000 };
+        config.olap_admission_in_flight = Some(1);
+        let (caldera, t) = engine_with_config(config, 100_000);
+        let q = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![0, 1]));
+        let serial = caldera.run_olap_on(t, &q, OlapTarget::Cpu).unwrap().value;
+        let caldera = Arc::new(caldera);
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let caldera = Arc::clone(&caldera);
+                let barrier = Arc::clone(&barrier);
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for _ in 0..PER_THREAD {
+                        let out = caldera.run_olap_on(t, &q, OlapTarget::Cpu).unwrap();
+                        assert_eq!(out.value.to_bits(), serial.to_bits(), "concurrent answers must stay exact");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let Ok(caldera) = Arc::try_unwrap(caldera) else { panic!("all clients joined") };
+        let stats = caldera.shutdown();
+        let cpu = stats.olap_sites.iter().find(|s| s.target == OlapTarget::Cpu).unwrap();
+        assert_eq!(cpu.admission.admitted, (THREADS * PER_THREAD + 1) as u64);
+        assert!(cpu.admission.queued > 0, "4 clients against a budget of 1 must have queued");
+        assert_eq!(cpu.admission.in_flight, 0);
+        assert_eq!(stats.olap_queries, (THREADS * PER_THREAD + 1) as u64);
     }
 }

@@ -31,10 +31,12 @@
 //! println!("sum = {} in {}", out.value, out.time);
 //! ```
 
+pub mod admission;
 pub mod builder;
 pub mod config;
 pub mod engine;
 
+pub use admission::{AdmissionGate, AdmissionPermit, AdmissionStats};
 pub use builder::CalderaBuilder;
 pub use config::{CalderaConfig, OlapCpuConfig, OlapDeviceConfig, OlapMultiGpuConfig};
 pub use engine::{Caldera, HtapStats, OlapSiteStats};

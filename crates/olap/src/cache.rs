@@ -43,6 +43,21 @@
 //! Budget evictions count separately from epoch/refresh `invalidations`
 //! (policy vs correctness) and both, plus the occupancy gauge, surface
 //! through [`PlanCacheStats`].
+//!
+//! # Shared scans: attaching to an in-flight derivation
+//!
+//! Under concurrent serving, two queries hitting the same key used to race:
+//! both would miss and both would pay the materialisation. The cache now
+//! keeps an **in-flight marker** per key while a builder derives (the
+//! derivation itself runs *outside* the cache lock), and a concurrent
+//! request for the same key *attaches* — it waits on the builder's result
+//! slot instead of duplicating the work, counted in
+//! `PlanCacheStats::shared_scan_attaches`. The builder hands its `Arc`
+//! directly to the waiters through the slot, so sharing works even when the
+//! byte budget declines to cache the entry. A builder that fails (error or
+//! panic) publishes a `None` slot and removes its marker, and one of the
+//! waiters becomes the next builder — waiters can never hang on a dead
+//! build.
 
 use crate::operators::{self, JoinHashTable, MaterializedColumns, PlanData};
 use h2tap_common::{JoinSpec, OlapPlan, PlanCacheStats, Result};
@@ -50,7 +65,7 @@ use h2tap_obs::{SpanEvent, SpanKind, Tracer};
 use h2tap_storage::{SnapshotTable, SnapshotTableId};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, MutexGuard, OnceLock, PoisonError};
 
 /// Cache key of one materialised column set: the frozen image it came from
 /// plus the (sorted, deduplicated) accessed columns.
@@ -92,10 +107,22 @@ struct Entry<T> {
     last_used: u64,
 }
 
+/// The published result of one in-flight derivation: `Some` on success,
+/// `None` when the builder failed (its waiters retry, and the first to
+/// re-probe becomes the next builder). Set exactly once, always before the
+/// in-flight marker is removed, so a woken waiter observes the outcome.
+type BuildSlot<T> = OnceLock<Option<Arc<T>>>;
+
 #[derive(Debug, Default)]
 struct CacheInner {
     columns: BTreeMap<ColumnsKey, Entry<MaterializedColumns>>,
     hashes: BTreeMap<HashKey, Entry<JoinHashTable>>,
+    /// In-flight column materialisations: a marker lives here from the
+    /// moment a builder claims the key until its result slot is published,
+    /// and concurrent requests for the key attach to it (shared scan).
+    building_columns: BTreeMap<ColumnsKey, Arc<BuildSlot<MaterializedColumns>>>,
+    /// In-flight hash-table builds, same protocol as `building_columns`.
+    building_hashes: BTreeMap<HashKey, Arc<BuildSlot<JoinHashTable>>>,
     /// Highest epoch observed per (database instance, table) — lazy
     /// eviction only runs when this *advances*, so a pure hit stream costs
     /// O(1) per access and a request at an older (still-live) epoch is
@@ -185,12 +212,58 @@ impl CacheInner {
     }
 }
 
+/// The state behind the cache handle: the entry maps under one mutex plus
+/// the condvar shared-scan waiters park on until a builder publishes.
+#[derive(Debug, Default)]
+struct Shared {
+    inner: Mutex<CacheInner>,
+    /// Notified (all) whenever an in-flight derivation completes — with a
+    /// value or with a failure — so attached waiters re-check their slot.
+    ready: Condvar,
+}
+
+/// `Condvar::wait` with the workspace poison-recovery convention (the
+/// vendored `parking_lot` guards are std guards underneath).
+fn wait_ready<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Which in-flight marker a [`FinishBuild`] guard owns.
+enum BuildKey {
+    Columns(ColumnsKey),
+    Hashes(HashKey),
+}
+
+/// Builder-side completion guard: when the builder finishes — by returning
+/// a value, returning an error, or panicking — this publishes the slot
+/// (`None` if the builder never set it), removes the in-flight marker and
+/// wakes every attached waiter. Drop-driven so waiters can never hang on a
+/// build that died.
+struct FinishBuild<'a, T> {
+    shared: &'a Shared,
+    slot: &'a BuildSlot<T>,
+    key: BuildKey,
+}
+
+impl<T> Drop for FinishBuild<'_, T> {
+    fn drop(&mut self) {
+        self.slot.get_or_init(|| None);
+        let mut inner = self.shared.inner.lock();
+        match &self.key {
+            BuildKey::Columns(k) => drop(inner.building_columns.remove(k)),
+            BuildKey::Hashes(k) => drop(inner.building_hashes.remove(k)),
+        }
+        drop(inner);
+        self.shared.ready.notify_all();
+    }
+}
+
 /// The shared plan-data cache. Cheap to clone (`Arc` inside); the engine
 /// builder hands one instance to all execution sites so queries share
 /// derived state across sites as well as across time.
 #[derive(Debug, Clone, Default)]
 pub struct PlanDataCache {
-    inner: Arc<Mutex<CacheInner>>,
+    shared: Arc<Shared>,
 }
 
 impl PlanDataCache {
@@ -204,19 +277,19 @@ impl PlanDataCache {
     /// occupancy by LRU eviction (see the module doc).
     pub fn with_budget(budget: Option<u64>) -> Self {
         let cache = Self::default();
-        cache.inner.lock().budget = budget;
+        cache.shared.inner.lock().budget = budget;
         cache
     }
 
     /// The configured byte budget (`None` = unbounded).
     pub fn budget(&self) -> Option<u64> {
-        self.inner.lock().budget
+        self.shared.inner.lock().budget
     }
 
     /// Installs the engine's shared trace handle (all clones of this cache
     /// share it — the tracer lives behind the same `Arc` as the entries).
     pub fn set_tracer(&self, tracer: Tracer) {
-        self.inner.lock().tracer = tracer;
+        self.shared.inner.lock().tracer = tracer;
     }
 
     /// A span event stamped with a frozen table's identity.
@@ -232,28 +305,58 @@ impl PlanDataCache {
         cols.sort_unstable();
         cols.dedup();
         let key = ColumnsKey { id: table.identity, cols };
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner; // split the guard borrow across fields
-        let tracer = inner.tracer.clone();
-        let lookup = tracer.start();
-        inner.note_epoch(table.identity);
-        let now = inner.touch();
-        if let Some(hit) = inner.columns.get_mut(&key) {
-            hit.last_used = now;
-            inner.stats.column_hits += 1;
-            tracer.record_wall(Self::span(SpanKind::CacheLookup, table.identity).hit(true), lookup);
-            return Ok(Arc::clone(&hit.value));
+        let mut attached = false;
+        loop {
+            let mut inner = self.shared.inner.lock();
+            let state = &mut *inner; // split the guard borrow across fields
+            let tracer = state.tracer.clone();
+            let lookup = tracer.start();
+            state.note_epoch(table.identity);
+            let now = state.touch();
+            if let Some(hit) = state.columns.get_mut(&key) {
+                hit.last_used = now;
+                state.stats.column_hits += 1;
+                tracer.record_wall(Self::span(SpanKind::CacheLookup, table.identity).hit(true), lookup);
+                return Ok(Arc::clone(&hit.value));
+            }
+            if let Some(slot) = state.building_columns.get(&key).map(Arc::clone) {
+                // Shared scan: the same derivation is already in flight on
+                // another thread — attach and wait for its result instead
+                // of racing to build a duplicate.
+                if !attached {
+                    attached = true;
+                    state.stats.shared_scan_attaches += 1;
+                }
+                while slot.get().is_none() {
+                    inner = wait_ready(&self.shared.ready, inner);
+                }
+                drop(inner);
+                if let Some(mat) = slot.get().and_then(Clone::clone) {
+                    return Ok(mat);
+                }
+                continue; // the builder failed; re-probe (maybe as builder)
+            }
+            // Become the builder: claim the key, then derive OUTSIDE the
+            // lock so concurrent requests on other keys keep flowing.
+            state.stats.column_misses += 1;
+            tracer.record_wall(Self::span(SpanKind::CacheLookup, table.identity).hit(false), lookup);
+            let slot: Arc<BuildSlot<MaterializedColumns>> = Arc::new(OnceLock::new());
+            state.building_columns.insert(key.clone(), Arc::clone(&slot));
+            drop(inner);
+            let finish = FinishBuild { shared: &self.shared, slot: &slot, key: BuildKey::Columns(key.clone()) };
+            let derive = tracer.start();
+            let mat = Arc::new(MaterializedColumns::new(table, key.cols.clone())?);
+            let bytes = mat.cell_bytes();
+            tracer.record_wall(Self::span(SpanKind::Materialise, table.identity).bytes(bytes), derive);
+            let _ = slot.set(Some(Arc::clone(&mat)));
+            let mut inner = self.shared.inner.lock();
+            if inner.admit(bytes) {
+                inner.columns.insert(key, Entry { value: Arc::clone(&mat), bytes, last_used: now });
+            }
+            drop(inner);
+            drop(finish);
+            return Ok(mat);
         }
-        inner.stats.column_misses += 1;
-        tracer.record_wall(Self::span(SpanKind::CacheLookup, table.identity).hit(false), lookup);
-        let derive = tracer.start();
-        let mat = Arc::new(MaterializedColumns::new(table, key.cols.clone())?);
-        let bytes = mat.cell_bytes();
-        tracer.record_wall(Self::span(SpanKind::Materialise, table.identity).bytes(bytes), derive);
-        if inner.admit(bytes) {
-            inner.columns.insert(key, Entry { value: Arc::clone(&mat), bytes, last_used: now });
-        }
-        Ok(mat)
     }
 
     /// The join hash table of `join` (carrying `group_col` payloads) over
@@ -267,28 +370,55 @@ impl PlanDataCache {
         group_col: Option<usize>,
     ) -> Result<Arc<JoinHashTable>> {
         let key = HashKey::new(build.identity, join, group_col);
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner; // split the guard borrow across fields
-        let tracer = inner.tracer.clone();
-        let lookup = tracer.start();
-        inner.note_epoch(build.identity);
-        let now = inner.touch();
-        if let Some(hit) = inner.hashes.get_mut(&key) {
-            hit.last_used = now;
-            inner.stats.hash_hits += 1;
-            tracer.record_wall(Self::span(SpanKind::CacheLookup, build.identity).hit(true), lookup);
-            return Ok(Arc::clone(&hit.value));
+        let mut attached = false;
+        loop {
+            let mut inner = self.shared.inner.lock();
+            let state = &mut *inner; // split the guard borrow across fields
+            let tracer = state.tracer.clone();
+            let lookup = tracer.start();
+            state.note_epoch(build.identity);
+            let now = state.touch();
+            if let Some(hit) = state.hashes.get_mut(&key) {
+                hit.last_used = now;
+                state.stats.hash_hits += 1;
+                tracer.record_wall(Self::span(SpanKind::CacheLookup, build.identity).hit(true), lookup);
+                return Ok(Arc::clone(&hit.value));
+            }
+            if let Some(slot) = state.building_hashes.get(&key).map(Arc::clone) {
+                // Shared scan: attach to the in-flight build (see
+                // `materialized` — same protocol).
+                if !attached {
+                    attached = true;
+                    state.stats.shared_scan_attaches += 1;
+                }
+                while slot.get().is_none() {
+                    inner = wait_ready(&self.shared.ready, inner);
+                }
+                drop(inner);
+                if let Some(hash) = slot.get().and_then(Clone::clone) {
+                    return Ok(hash);
+                }
+                continue; // the builder failed; re-probe (maybe as builder)
+            }
+            state.stats.hash_misses += 1;
+            tracer.record_wall(Self::span(SpanKind::CacheLookup, build.identity).hit(false), lookup);
+            let slot: Arc<BuildSlot<JoinHashTable>> = Arc::new(OnceLock::new());
+            state.building_hashes.insert(key.clone(), Arc::clone(&slot));
+            drop(inner);
+            let finish = FinishBuild { shared: &self.shared, slot: &slot, key: BuildKey::Hashes(key.clone()) };
+            let derive = tracer.start();
+            let hash = Arc::new(operators::build_hash_table(build, join, group_col)?);
+            let bytes = hash.footprint_bytes();
+            tracer.record_wall(Self::span(SpanKind::HashBuild, build.identity).bytes(bytes), derive);
+            let _ = slot.set(Some(Arc::clone(&hash)));
+            let mut inner = self.shared.inner.lock();
+            if inner.admit(bytes) {
+                inner.hashes.insert(key, Entry { value: Arc::clone(&hash), bytes, last_used: now });
+            }
+            drop(inner);
+            drop(finish);
+            return Ok(hash);
         }
-        inner.stats.hash_misses += 1;
-        tracer.record_wall(Self::span(SpanKind::CacheLookup, build.identity).hit(false), lookup);
-        let derive = tracer.start();
-        let hash = Arc::new(operators::build_hash_table(build, join, group_col)?);
-        let bytes = hash.footprint_bytes();
-        tracer.record_wall(Self::span(SpanKind::HashBuild, build.identity).bytes(bytes), derive);
-        if inner.admit(bytes) {
-            inner.hashes.insert(key, Entry { value: Arc::clone(&hash), bytes, last_used: now });
-        }
-        Ok(hash)
     }
 
     /// The cached counterpart of [`operators::prepare_plan`]: identical
@@ -312,18 +442,21 @@ impl PlanDataCache {
     /// Drops every entry (called on snapshot refresh, and usable as a
     /// manual reset). Counts the dropped entries as invalidations.
     pub fn invalidate(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shared.inner.lock();
         let dropped = (inner.columns.len() + inner.hashes.len()) as u64;
         inner.stats.invalidations += dropped;
         inner.columns.clear();
         inner.hashes.clear();
         inner.latest_epoch.clear();
+        // In-flight markers stay: their builders own them and will remove
+        // them (the derived entry lands keyed by its — possibly now
+        // superseded — epoch, and lazy epoch eviction reclaims it).
     }
 
     /// Current hit/miss/invalidation/eviction counters, with the occupancy
     /// gauge and the configured budget sampled at call time.
     pub fn stats(&self) -> PlanCacheStats {
-        let inner = self.inner.lock();
+        let inner = self.shared.inner.lock();
         let mut stats = inner.stats;
         stats.occupancy_bytes = inner.occupancy();
         stats.budget_bytes = inner.budget;
@@ -332,14 +465,14 @@ impl PlanDataCache {
 
     /// Live entries (materialised column sets + hash tables).
     pub fn entries(&self) -> usize {
-        let inner = self.inner.lock();
+        let inner = self.shared.inner.lock();
         inner.columns.len() + inner.hashes.len()
     }
 
     /// Bytes held by the cached entries — how much host memory the cache
     /// trades for the re-derivation work. Never exceeds the budget.
     pub fn cached_bytes(&self) -> u64 {
-        self.inner.lock().occupancy()
+        self.shared.inner.lock().occupancy()
     }
 }
 
@@ -635,5 +768,100 @@ mod tests {
         // is rejected identically.
         assert!(cache.prepare_plan(probe, None, &plan).is_err());
         assert!(operators::prepare_plan(probe, None, &plan).is_err());
+    }
+
+    /// Polls `cond` for up to ~2s of 1ms naps.
+    fn eventually(mut cond: impl FnMut() -> bool) -> bool {
+        for _ in 0..2_000 {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        cond()
+    }
+
+    #[test]
+    fn waiters_attach_to_an_in_flight_build_and_share_its_result() {
+        let (db, t) = db_with_rows(256);
+        let snap = db.snapshot();
+        let frozen = snap.table(t).unwrap();
+        let cache = PlanDataCache::new();
+        // Claim the key by hand, playing a builder mid-derivation.
+        let key = ColumnsKey { id: frozen.identity, cols: vec![0] };
+        let slot: StdArc<BuildSlot<MaterializedColumns>> = StdArc::new(OnceLock::new());
+        cache.shared.inner.lock().building_columns.insert(key.clone(), StdArc::clone(&slot));
+        let got = std::thread::scope(|s| {
+            let waiter = s.spawn(|| cache.materialized(frozen, vec![0]).unwrap());
+            assert!(eventually(|| cache.stats().shared_scan_attaches == 1), "the request must attach, not build");
+            // Publish the builder's result and retire the marker.
+            let mat = StdArc::new(MaterializedColumns::new(frozen, vec![0]).unwrap());
+            slot.set(Some(StdArc::clone(&mat))).unwrap();
+            cache.shared.inner.lock().building_columns.remove(&key);
+            cache.shared.ready.notify_all();
+            let got = waiter.join().unwrap();
+            assert!(StdArc::ptr_eq(&got, &mat), "the waiter got the builder's instance");
+            got
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.shared_scan_attaches, 1);
+        assert_eq!((stats.column_hits, stats.column_misses), (0, 0), "an attach is neither a hit nor a miss");
+        assert_eq!(got.rows(), 256);
+    }
+
+    #[test]
+    fn a_failed_build_hands_off_to_a_waiter() {
+        let (db, t) = db_with_rows(64);
+        let snap = db.snapshot();
+        let frozen = snap.table(t).unwrap();
+        let cache = PlanDataCache::new();
+        let key = ColumnsKey { id: frozen.identity, cols: vec![0] };
+        let slot: StdArc<BuildSlot<MaterializedColumns>> = StdArc::new(OnceLock::new());
+        cache.shared.inner.lock().building_columns.insert(key.clone(), StdArc::clone(&slot));
+        let got = std::thread::scope(|s| {
+            let waiter = s.spawn(|| cache.materialized(frozen, vec![0]).unwrap());
+            assert!(eventually(|| cache.stats().shared_scan_attaches == 1));
+            // The builder dies: publish a failure slot, retire the marker.
+            slot.set(None).unwrap();
+            cache.shared.inner.lock().building_columns.remove(&key);
+            cache.shared.ready.notify_all();
+            waiter.join().unwrap()
+        });
+        // The waiter re-probed, became the builder itself and derived.
+        let stats = cache.stats();
+        assert_eq!(stats.shared_scan_attaches, 1, "the retry does not re-count the attach");
+        assert_eq!((stats.column_hits, stats.column_misses), (0, 1));
+        assert_eq!(got.rows(), 64);
+    }
+
+    #[test]
+    fn concurrent_requests_never_duplicate_a_derivation() {
+        let (db, t) = db_with_rows(50_000);
+        let snap = db.snapshot();
+        let frozen = snap.table(t).unwrap();
+        let cache = PlanDataCache::new();
+        let threads = 8;
+        let barrier = std::sync::Barrier::new(threads);
+        let results: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        cache.materialized(frozen, vec![0, 1]).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for other in &results[1..] {
+            assert!(StdArc::ptr_eq(&results[0], other), "every concurrent request shares one instance");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.column_misses, 1, "exactly one thread built; nobody raced a duplicate");
+        assert_eq!(
+            stats.column_hits + stats.shared_scan_attaches,
+            threads as u64 - 1,
+            "everyone else either attached to the in-flight build or hit the finished entry"
+        );
     }
 }

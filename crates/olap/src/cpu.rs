@@ -31,7 +31,9 @@ use h2tap_common::{ExecBreakdown, GroupRow, H2Error, OlapPlan, Result, ScanAggQu
 use h2tap_obs::Tracer;
 use h2tap_scheduler::{overlap_secs, OlapTarget, SiteCapability, CPU_CACHE_LINE_BYTES};
 use h2tap_storage::SnapshotTable;
+use parking_lot::Mutex;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Per-tuple cost of one hash-table probe (hash, compare, branch) on top of
@@ -139,21 +141,42 @@ pub struct CpuPlanResult {
 
 /// A CPU columnar scan engine: vectorised chunk-at-a-time execution with
 /// optional zonemap skipping, usable directly or as an [`ExecutionSite`].
-#[derive(Debug, Clone)]
+///
+/// Concurrent: the mutable pieces — the migratable core count and the vended
+/// registration handles — sit behind their own short-lived locks, and the
+/// scan/pipeline hot paths only *copy the spec out* before computing, so
+/// simultaneous `execute` calls from many client threads never serialise on
+/// the site.
+#[derive(Debug)]
 pub struct CpuOlapEngine {
     profile: CpuScanProfile,
-    spec: CpuSpec,
+    /// Current hardware spec; mutated by core migration while queries run.
+    spec: Mutex<CpuSpec>,
     /// Per-core bandwidth fixed at construction so [`CpuOlapEngine::set_cores`]
     /// scales aggregate bandwidth with the core count.
     per_core_bandwidth_gbps: f64,
     /// Handles this site has vended for the current snapshot.
-    registered: HashSet<usize>,
-    next_tag: usize,
+    registered: Mutex<HashSet<usize>>,
+    next_tag: AtomicUsize,
     /// Snapshot-keyed plan-data cache (shared across all sites when built
     /// into an engine, private otherwise).
     cache: PlanDataCache,
     /// Trace handle; disabled (no-op) until the engine installs one.
     tracer: Tracer,
+}
+
+impl Clone for CpuOlapEngine {
+    fn clone(&self) -> Self {
+        Self {
+            profile: self.profile,
+            spec: Mutex::new(self.spec()),
+            per_core_bandwidth_gbps: self.per_core_bandwidth_gbps,
+            registered: Mutex::new(self.registered.lock().clone()),
+            next_tag: AtomicUsize::new(self.next_tag.load(Ordering::Relaxed)),
+            cache: self.cache.clone(),
+            tracer: self.tracer.clone(),
+        }
+    }
 }
 
 impl CpuOlapEngine {
@@ -180,10 +203,10 @@ impl CpuOlapEngine {
     pub fn with_spec_and_profile(spec: CpuSpec, profile: CpuScanProfile) -> Self {
         Self {
             profile,
-            spec,
+            spec: Mutex::new(spec),
             per_core_bandwidth_gbps: spec.per_core_bandwidth_gbps(),
-            registered: HashSet::new(),
-            next_tag: 0,
+            registered: Mutex::new(HashSet::new()),
+            next_tag: AtomicUsize::new(0),
             cache: PlanDataCache::new(),
             tracer: Tracer::disabled(),
         }
@@ -192,7 +215,7 @@ impl CpuOlapEngine {
     /// Overrides the hardware spec (used by ablation benches).
     #[must_use]
     pub fn with_spec(mut self, spec: CpuSpec) -> Self {
-        self.spec = spec;
+        *self.spec.get_mut() = spec;
         self.per_core_bandwidth_gbps = spec.per_core_bandwidth_gbps();
         self
     }
@@ -202,9 +225,9 @@ impl CpuOlapEngine {
         self.profile
     }
 
-    /// The current hardware spec.
+    /// The current hardware spec (a copy — migration may change it).
     pub fn spec(&self) -> CpuSpec {
-        self.spec
+        *self.spec.lock()
     }
 
     /// Executes `query` over a frozen table, returning the exact result and
@@ -220,11 +243,14 @@ impl CpuOlapEngine {
     /// byte-identical to the GPU site's, for any thread count.
     pub fn execute_scan(&self, table: &SnapshotTable, query: &ScanAggQuery) -> Result<CpuOlapResult> {
         let started = Instant::now();
+        // Copy the spec out: core migration may change it mid-scan, and the
+        // whole scan must be costed against one consistent spec.
+        let spec = self.spec();
         let cols = query.columns_accessed();
         let total_rows = table.row_count();
         let mat = self.cache.materialized(table, cols.clone())?;
         let chunks = mat.chunk_count();
-        let threads = (self.spec.cores as usize).clamp(1, MAX_PLAN_THREADS).min(chunks);
+        let threads = (spec.cores as usize).clamp(1, MAX_PLAN_THREADS).min(chunks);
         let use_zonemaps = self.profile.use_zonemaps && !query.predicates.is_empty();
         let evaluated: Vec<Option<ScanChunkPartial>> = run_chunked(chunks, threads, |i| {
             if use_zonemaps && !operators::scan_chunk_can_qualify(&mat, &query.predicates, i) {
@@ -259,8 +285,8 @@ impl CpuOlapEngine {
         let scanned_bytes = rows_scanned * accessed_width;
         let skipped_bytes = (total_rows - rows_scanned.min(total_rows)) * accessed_width;
         let bytes_moved = scanned_bytes + skipped_bytes / 100;
-        let bandwidth_time = bytes_moved as f64 / (self.spec.mem_bandwidth_gbps * 1e9);
-        let cpu_time = rows_scanned as f64 * self.profile.per_tuple_ns * 1e-9 / f64::from(self.spec.cores.max(1));
+        let bandwidth_time = bytes_moved as f64 / (spec.mem_bandwidth_gbps * 1e9);
+        let cpu_time = rows_scanned as f64 * self.profile.per_tuple_ns * 1e-9 / f64::from(spec.cores.max(1));
         let breakdown = ExecBreakdown::new(bandwidth_time, cpu_time, 0.0);
         let sim_time = SimDuration::from_secs_f64(overlap_secs(bandwidth_time, cpu_time));
 
@@ -293,10 +319,11 @@ impl CpuOlapEngine {
         plan: &OlapPlan,
     ) -> Result<CpuPlanResult> {
         let started = Instant::now();
+        let spec = self.spec();
         let rows = probe_table.row_count();
         let operators::PlanData { mat, hash } = self.cache.prepare_plan(probe_table, build_table, plan)?;
         let chunks = mat.chunk_count();
-        let threads = (self.spec.cores as usize).clamp(1, MAX_PLAN_THREADS).min(chunks);
+        let threads = (spec.cores as usize).clamp(1, MAX_PLAN_THREADS).min(chunks);
 
         let partials: Vec<ChunkPartial> =
             run_chunked(chunks, threads, |i| operators::process_chunk(&mat, plan, hash.as_deref(), mat.chunk_range(i)));
@@ -318,8 +345,8 @@ impl CpuOlapEngine {
             bytes_moved += totals.joined * CPU_CACHE_LINE_BYTES;
             tuple_ns += totals.joined as f64 * GROUP_UPDATE_NS;
         }
-        let bandwidth_time = bytes_moved as f64 / (self.spec.mem_bandwidth_gbps * 1e9);
-        let cpu_time = tuple_ns * 1e-9 / f64::from(self.spec.cores.max(1));
+        let bandwidth_time = bytes_moved as f64 / (spec.mem_bandwidth_gbps * 1e9);
+        let cpu_time = tuple_ns * 1e-9 / f64::from(spec.cores.max(1));
         let breakdown = ExecBreakdown::new(bandwidth_time, cpu_time, 0.0);
         let sim_time = SimDuration::from_secs_f64(overlap_secs(bandwidth_time, cpu_time));
 
@@ -343,26 +370,25 @@ impl ExecutionSite for CpuOlapEngine {
         "cpu"
     }
 
-    fn register_table(&mut self, _table: &SnapshotTable, _label: &str) -> Result<RegisteredTable> {
+    fn register_table(&self, _table: &SnapshotTable, _label: &str) -> Result<RegisteredTable> {
         // The CPU streams straight out of the shared-memory snapshot, so
         // registration only vends a handle for lifecycle symmetry with the
         // GPU site.
-        let tag = self.next_tag;
-        self.next_tag += 1;
-        self.registered.insert(tag);
+        let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
+        self.registered.lock().insert(tag);
         Ok(RegisteredTable::cpu(tag))
     }
 
-    fn reset_tables(&mut self) {
-        self.registered.clear();
+    fn reset_tables(&self) {
+        self.registered.lock().clear();
     }
 
-    fn unregister_table(&mut self, handle: RegisteredTable) {
-        self.registered.remove(&handle.tag());
+    fn unregister_table(&self, handle: RegisteredTable) {
+        self.registered.lock().remove(&handle.tag());
     }
 
-    fn execute(&mut self, handle: RegisteredTable, table: &SnapshotTable, query: &ScanAggQuery) -> Result<OlapOutcome> {
-        if !self.registered.contains(&handle.tag()) {
+    fn execute(&self, handle: RegisteredTable, table: &SnapshotTable, query: &ScanAggQuery) -> Result<OlapOutcome> {
+        if !self.registered.lock().contains(&handle.tag()) {
             return Err(H2Error::InvalidKernel("table not registered with the CPU site".into()));
         }
         if table.row_count() == 0 {
@@ -383,18 +409,21 @@ impl ExecutionSite for CpuOlapEngine {
     }
 
     fn execute_plan(
-        &mut self,
+        &self,
         probe: RegisteredTable,
         probe_table: &SnapshotTable,
         build: Option<(RegisteredTable, &SnapshotTable)>,
         plan: &OlapPlan,
     ) -> Result<PlanOutcome> {
-        if !self.registered.contains(&probe.tag()) {
-            return Err(H2Error::InvalidKernel("probe table not registered with the CPU site".into()));
-        }
-        if let Some((handle, _)) = build {
-            if !self.registered.contains(&handle.tag()) {
-                return Err(H2Error::InvalidKernel("build table not registered with the CPU site".into()));
+        {
+            let registered = self.registered.lock();
+            if !registered.contains(&probe.tag()) {
+                return Err(H2Error::InvalidKernel("probe table not registered with the CPU site".into()));
+            }
+            if let Some((handle, _)) = build {
+                if !registered.contains(&handle.tag()) {
+                    return Err(H2Error::InvalidKernel("build table not registered with the CPU site".into()));
+                }
             }
         }
         let result = self.execute_plan_pipeline(probe_table, build.map(|(_, t)| t), plan)?;
@@ -419,13 +448,14 @@ impl ExecutionSite for CpuOlapEngine {
     }
 
     fn capability(&self) -> SiteCapability {
-        SiteCapability::Cpu { cores: self.spec.cores }
+        SiteCapability::Cpu { cores: self.spec().cores }
     }
 
-    fn set_cores(&mut self, cores: u32) {
+    fn set_cores(&self, cores: u32) {
         let cores = cores.max(1);
-        self.spec.cores = cores;
-        self.spec.mem_bandwidth_gbps = self.per_core_bandwidth_gbps * f64::from(cores);
+        let mut spec = self.spec.lock();
+        spec.cores = cores;
+        spec.mem_bandwidth_gbps = self.per_core_bandwidth_gbps * f64::from(cores);
     }
 
     fn set_plan_cache(&mut self, cache: PlanDataCache) {
@@ -509,22 +539,22 @@ mod tests {
     fn core_migration_speeds_up_the_cpu_site() {
         let t = table(500_000);
         let query = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![0, 1]));
-        let mut site = CpuOlapEngine::archipelago_default(2);
+        let site = CpuOlapEngine::archipelago_default(2);
         let handle = site.register_table(&t, "t").unwrap();
-        let slow = ExecutionSite::execute(&mut site, handle, &t, &query).unwrap().time;
+        let slow = ExecutionSite::execute(&site, handle, &t, &query).unwrap().time;
         site.set_cores(16);
-        let fast = ExecutionSite::execute(&mut site, handle, &t, &query).unwrap().time;
+        let fast = ExecutionSite::execute(&site, handle, &t, &query).unwrap().time;
         assert!(fast < slow, "16 cores {fast} should beat 2 cores {slow}");
     }
 
     #[test]
     fn unregistered_handles_are_rejected() {
         let t = table(10);
-        let mut site = CpuOlapEngine::archipelago_default(4);
+        let site = CpuOlapEngine::archipelago_default(4);
         let handle = site.register_table(&t, "t").unwrap();
         site.reset_tables();
         let query = ScanAggQuery::aggregate_only(AggExpr::Count);
-        assert!(ExecutionSite::execute(&mut site, handle, &t, &query).is_err());
+        assert!(ExecutionSite::execute(&site, handle, &t, &query).is_err());
     }
 
     /// Dimension table: key = i, size = i % 7, class = i % 4.
@@ -636,7 +666,7 @@ mod tests {
         // set_cores through the ExecutionSite surface.
         let fact = fact_table(400_000);
         let dim = dim_table(50);
-        let mut site = CpuOlapEngine::archipelago_default(2);
+        let site = CpuOlapEngine::archipelago_default(2);
         let ph = site.register_table(&fact, "fact").unwrap();
         let bh = site.register_table(&dim, "dim").unwrap();
         let plan = class_plan();
@@ -649,6 +679,6 @@ mod tests {
         assert!(sixteen.sim_time < two.sim_time, "more cores must lower the simulated time");
         // The ExecutionSite wrapper enforces registration.
         site.reset_tables();
-        assert!(ExecutionSite::execute_plan(&mut site, ph, &fact, Some((bh, &dim)), &plan).is_err());
+        assert!(ExecutionSite::execute_plan(&site, ph, &fact, Some((bh, &dim)), &plan).is_err());
     }
 }

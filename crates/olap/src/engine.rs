@@ -26,7 +26,9 @@ use h2tap_gpu_sim::{
 use h2tap_obs::Tracer;
 use h2tap_scheduler::{GpuDeviceCapability, OlapTarget, SiteCapability};
 use h2tap_storage::{Layout, SnapshotTable};
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Where the engine keeps table data relative to the GPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,152 +124,23 @@ pub(crate) fn accumulate_residency(mem: &MemoryManager, id: BufferId, total: &mu
     };
 }
 
-/// Kernel-at-a-time OLAP executor bound to one simulated GPU.
-pub struct GpuOlapEngine {
+/// The device model plus the registration maps it owns — everything one
+/// kernel charge or buffer (de)allocation mutates, behind one short-lived
+/// lock. Execution holds this lock only while *charging* simulated kernels
+/// (microseconds of bookkeeping); the host-side data path — the real
+/// wall-clock work — runs between lock sessions so concurrent queries
+/// overlap.
+struct GpuSiteState {
     device: GpuDevice,
-    placement: DataPlacement,
     /// Registered column buffers: (table tag, attr) -> buffer.
     buffers: BTreeMap<(usize, usize), BufferId>,
     /// Registered whole-table buffers for NSM tables: table tag -> buffer.
     nsm_buffers: BTreeMap<usize, BufferId>,
-    /// Monotonic tag generator for registered tables.
-    next_tag: usize,
-    /// Snapshot-keyed plan-data cache for the host-side data path (shared
-    /// across all sites when built into an engine, private otherwise).
-    cache: PlanDataCache,
-    /// Shared trace handle (disabled no-op until the engine installs one).
-    tracer: Tracer,
 }
 
-/// Handle to a table registered with an execution site. Opaque to callers;
-/// handles are only meaningful to the site that vended them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RegisteredTable {
-    tag: usize,
-    /// Whether the data had to be copied to the device explicitly (memcpy
-    /// placement); the copy cost is charged per query batch by `execute`.
-    explicit_copy: bool,
-}
-
-impl RegisteredTable {
-    /// Handle vended by the CPU site (which never copies explicitly).
-    pub(crate) fn cpu(tag: usize) -> Self {
-        Self { tag, explicit_copy: false }
-    }
-
-    /// Handle vended by a GPU-family site with the given copy policy.
-    pub(crate) fn site(tag: usize, explicit_copy: bool) -> Self {
-        Self { tag, explicit_copy }
-    }
-
-    /// The site-local registration tag.
-    pub(crate) fn tag(&self) -> usize {
-        self.tag
-    }
-
-    /// Whether the vending site pays an explicit host-to-device copy per
-    /// query batch (memcpy placement).
-    pub(crate) fn explicit_copy(&self) -> bool {
-        self.explicit_copy
-    }
-}
-
-impl GpuOlapEngine {
-    /// Creates an executor on `device` with the given data placement.
-    pub fn new(device: GpuDevice, placement: DataPlacement) -> Self {
-        Self {
-            device,
-            placement,
-            buffers: BTreeMap::new(),
-            nsm_buffers: BTreeMap::new(),
-            next_tag: 0,
-            cache: PlanDataCache::new(),
-            tracer: Tracer::disabled(),
-        }
-    }
-
-    /// The underlying simulated device.
-    pub fn device(&self) -> &GpuDevice {
-        &self.device
-    }
-
-    /// The configured placement.
-    pub fn placement(&self) -> DataPlacement {
-        self.placement
-    }
-
-    /// Registers the columns of `table` with the device according to the
-    /// placement policy. Must be called once per snapshot table before
-    /// queries run against it. Registration is all-or-nothing: if any column
-    /// fails (device out of memory), the columns registered so far are freed
-    /// again — callers retry on every OOM fallback, so a partial
-    /// registration must not keep eating capacity until the next snapshot
-    /// refresh.
-    pub fn register_table(&mut self, table: &SnapshotTable, label: &str) -> Result<RegisteredTable> {
-        let tag = self.next_tag;
-        self.next_tag += 1;
-        let rows = table.row_count();
-        let arity = table.schema.arity();
-        let explicit_copy = matches!(self.placement, DataPlacement::Host(AccessMode::Memcpy));
-        match table.layout {
-            Layout::Nsm => {
-                // Row-major storage is one big buffer; kernels stride over it.
-                let bytes = rows * table.schema.record_width() as u64;
-                let id = self.register_bytes(&format!("{label}.rows"), bytes)?;
-                self.nsm_buffers.insert(tag, id);
-            }
-            Layout::Dsm | Layout::Pax { .. } => {
-                for attr in 0..arity {
-                    let registered = (|| {
-                        let width = table.schema.attr(attr)?.ty.width() as u64;
-                        self.register_bytes(&format!("{label}.col{attr}"), rows * width)
-                    })();
-                    match registered {
-                        Ok(id) => {
-                            self.buffers.insert((tag, attr), id);
-                        }
-                        Err(err) => {
-                            for a in 0..attr {
-                                if let Some(id) = self.buffers.remove(&(tag, a)) {
-                                    let _ = self.device.memory_mut().free(id);
-                                }
-                            }
-                            return Err(err);
-                        }
-                    }
-                }
-            }
-        }
-        Ok(RegisteredTable { tag, explicit_copy })
-    }
-
-    /// Frees every registered buffer (device memory and UM residency) so a
-    /// new snapshot's tables can be registered without leaking the old ones.
-    pub fn reset_tables(&mut self) {
-        for (_, id) in std::mem::take(&mut self.buffers) {
-            let _ = self.device.memory_mut().free(id);
-        }
-        for (_, id) in std::mem::take(&mut self.nsm_buffers) {
-            let _ = self.device.memory_mut().free(id);
-        }
-    }
-
-    /// Frees the buffers of one registered table (see
-    /// [`ExecutionSite::unregister_table`]).
-    pub fn unregister_table(&mut self, handle: RegisteredTable) {
-        if let Some(id) = self.nsm_buffers.remove(&handle.tag) {
-            let _ = self.device.memory_mut().free(id);
-        }
-        let cols: Vec<(usize, usize)> = self.buffers.keys().filter(|(tag, _)| *tag == handle.tag).copied().collect();
-        for key in cols {
-            if let Some(id) = self.buffers.remove(&key) {
-                let _ = self.device.memory_mut().free(id);
-            }
-        }
-    }
-
-    fn register_bytes(&mut self, label: &str, bytes: u64) -> Result<BufferId> {
-        match self.placement {
+impl GpuSiteState {
+    fn register_bytes(&mut self, placement: DataPlacement, label: &str, bytes: u64) -> Result<BufferId> {
+        match placement {
             DataPlacement::Host(mode) => self.device.register_buffer(label, bytes, mode),
             DataPlacement::DeviceResident => self.device.register_device_buffer(label, bytes),
         }
@@ -312,6 +185,152 @@ impl GpuOlapEngine {
             }
         }
     }
+}
+
+/// Kernel-at-a-time OLAP executor bound to one simulated GPU.
+///
+/// Concurrent: the device model and registration maps live behind one
+/// mutex ([`GpuSiteState`]), held only across kernel-charge bookkeeping;
+/// the host-side data path runs between lock sessions (see
+/// [`GpuOlapEngine::execute_plan`]).
+pub struct GpuOlapEngine {
+    placement: DataPlacement,
+    dev: Mutex<GpuSiteState>,
+    /// Monotonic tag generator for registered tables.
+    next_tag: AtomicUsize,
+    /// Snapshot-keyed plan-data cache for the host-side data path (shared
+    /// across all sites when built into an engine, private otherwise).
+    cache: PlanDataCache,
+    /// Shared trace handle (disabled no-op until the engine installs one).
+    tracer: Tracer,
+}
+
+/// Handle to a table registered with an execution site. Opaque to callers;
+/// handles are only meaningful to the site that vended them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisteredTable {
+    tag: usize,
+    /// Whether the data had to be copied to the device explicitly (memcpy
+    /// placement); the copy cost is charged per query batch by `execute`.
+    explicit_copy: bool,
+}
+
+impl RegisteredTable {
+    /// Handle vended by the CPU site (which never copies explicitly).
+    pub(crate) fn cpu(tag: usize) -> Self {
+        Self { tag, explicit_copy: false }
+    }
+
+    /// Handle vended by a GPU-family site with the given copy policy.
+    pub(crate) fn site(tag: usize, explicit_copy: bool) -> Self {
+        Self { tag, explicit_copy }
+    }
+
+    /// The site-local registration tag.
+    pub(crate) fn tag(&self) -> usize {
+        self.tag
+    }
+
+    /// Whether the vending site pays an explicit host-to-device copy per
+    /// query batch (memcpy placement).
+    pub(crate) fn explicit_copy(&self) -> bool {
+        self.explicit_copy
+    }
+}
+
+impl GpuOlapEngine {
+    /// Creates an executor on `device` with the given data placement.
+    pub fn new(device: GpuDevice, placement: DataPlacement) -> Self {
+        Self {
+            placement,
+            dev: Mutex::new(GpuSiteState { device, buffers: BTreeMap::new(), nsm_buffers: BTreeMap::new() }),
+            next_tag: AtomicUsize::new(0),
+            cache: PlanDataCache::new(),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// The configured placement.
+    pub fn placement(&self) -> DataPlacement {
+        self.placement
+    }
+
+    /// Bytes currently allocated on the simulated device (registered tables
+    /// plus any live scratch).
+    pub fn device_used_bytes(&self) -> u64 {
+        self.dev.lock().device.memory().used_bytes()
+    }
+
+    /// Registers the columns of `table` with the device according to the
+    /// placement policy. Must be called once per snapshot table before
+    /// queries run against it. Registration is all-or-nothing: if any column
+    /// fails (device out of memory), the columns registered so far are freed
+    /// again — callers retry on every OOM fallback, so a partial
+    /// registration must not keep eating capacity until the next snapshot
+    /// refresh.
+    pub fn register_table(&self, table: &SnapshotTable, label: &str) -> Result<RegisteredTable> {
+        let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
+        let rows = table.row_count();
+        let arity = table.schema.arity();
+        let explicit_copy = matches!(self.placement, DataPlacement::Host(AccessMode::Memcpy));
+        let mut state = self.dev.lock();
+        match table.layout {
+            Layout::Nsm => {
+                // Row-major storage is one big buffer; kernels stride over it.
+                let bytes = rows * table.schema.record_width() as u64;
+                let id = state.register_bytes(self.placement, &format!("{label}.rows"), bytes)?;
+                state.nsm_buffers.insert(tag, id);
+            }
+            Layout::Dsm | Layout::Pax { .. } => {
+                for attr in 0..arity {
+                    let registered = table.schema.attr(attr).map(|a| a.ty.width() as u64).and_then(|width| {
+                        state.register_bytes(self.placement, &format!("{label}.col{attr}"), rows * width)
+                    });
+                    match registered {
+                        Ok(id) => {
+                            state.buffers.insert((tag, attr), id);
+                        }
+                        Err(err) => {
+                            for a in 0..attr {
+                                if let Some(id) = state.buffers.remove(&(tag, a)) {
+                                    let _ = state.device.memory_mut().free(id);
+                                }
+                            }
+                            return Err(err);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(RegisteredTable { tag, explicit_copy })
+    }
+
+    /// Frees every registered buffer (device memory and UM residency) so a
+    /// new snapshot's tables can be registered without leaking the old ones.
+    pub fn reset_tables(&self) {
+        let mut state = self.dev.lock();
+        for (_, id) in std::mem::take(&mut state.buffers) {
+            let _ = state.device.memory_mut().free(id);
+        }
+        for (_, id) in std::mem::take(&mut state.nsm_buffers) {
+            let _ = state.device.memory_mut().free(id);
+        }
+    }
+
+    /// Frees the buffers of one registered table (see
+    /// [`ExecutionSite::unregister_table`]).
+    pub fn unregister_table(&self, handle: RegisteredTable) {
+        let mut state = self.dev.lock();
+        if let Some(id) = state.nsm_buffers.remove(&handle.tag) {
+            let _ = state.device.memory_mut().free(id);
+        }
+        let cols: Vec<(usize, usize)> = state.buffers.keys().filter(|(tag, _)| *tag == handle.tag).copied().collect();
+        for key in cols {
+            if let Some(id) = state.buffers.remove(&key) {
+                let _ = state.device.memory_mut().free(id);
+            }
+        }
+    }
 
     /// Executes `query` against a registered snapshot table: one selection
     /// kernel per predicate (each producing a selection bitmap) followed by
@@ -321,12 +340,7 @@ impl GpuOlapEngine {
     /// chunks, merged in ascending chunk order), so `ScanAggQuery` f64
     /// answers are **byte-identical** to the CPU site's for the same
     /// snapshot — the same contract relational plans already have.
-    pub fn execute(
-        &mut self,
-        handle: RegisteredTable,
-        table: &SnapshotTable,
-        query: &ScanAggQuery,
-    ) -> Result<OlapOutcome> {
+    pub fn execute(&self, handle: RegisteredTable, table: &SnapshotTable, query: &ScanAggQuery) -> Result<OlapOutcome> {
         let rows = table.row_count();
         if rows == 0 {
             return Err(H2Error::InvalidKernel("cannot execute a query over an empty table".into()));
@@ -335,6 +349,10 @@ impl GpuOlapEngine {
         let mut total = SimDuration::ZERO;
         let mut interconnect_bytes = 0u64;
         let mut breakdown = ExecBreakdown::default();
+
+        // Every kernel of a scan is row-count-dependent, so the whole charge
+        // pass runs in one device-lock session, *before* the host compute.
+        let mut state = self.dev.lock();
 
         // Explicit-copy placement pays the host-to-device transfer of every
         // accessed column before the first kernel (the "memcpy" bars of
@@ -348,7 +366,7 @@ impl GpuOlapEngine {
                     _ => rows * width,
                 };
             }
-            let copy = self.device.memcpy(bytes, TransferDirection::HostToDevice);
+            let copy = state.device.memcpy(bytes, TransferDirection::HostToDevice);
             total += copy;
             breakdown.stream_secs += copy.as_secs_f64();
             interconnect_bytes += bytes;
@@ -369,20 +387,20 @@ impl GpuOlapEngine {
 
         // Selection kernels: one per predicate, producing a selection bitmap.
         for (i, pred) in query.predicates.iter().enumerate() {
-            let (buffer, useful, pattern) = self.read_plan(handle, table, pred.column)?;
+            let (buffer, useful, pattern) = state.read_plan(handle, table, pred.column)?;
             let desc = KernelDesc::new(format!("select_{i}"), rows)
                 .flops_per_element(2.0)
                 .read(buffer, useful, pattern)
                 // The bitmap write (1 bit per row, byte-packed here).
                 .write(rows.div_ceil(8));
-            charge(&mut self.device, &desc)?;
+            charge(&mut state.device, &desc)?;
         }
 
         // Aggregation kernel.
         let agg_cols = query.aggregate.columns();
         let mut desc = KernelDesc::new("aggregate", rows).flops_per_element(1.0 + agg_cols.len() as f64);
         for &attr in &agg_cols {
-            let (buffer, useful, pattern) = self.read_plan(handle, table, attr)?;
+            let (buffer, useful, pattern) = state.read_plan(handle, table, attr)?;
             desc = desc.read(buffer, useful, pattern);
         }
         if !query.predicates.is_empty() {
@@ -390,19 +408,22 @@ impl GpuOlapEngine {
             desc = desc.flops_per_element(2.0 + agg_cols.len() as f64);
         }
         desc = desc.write(8);
-        charge(&mut self.device, &desc)?;
+        charge(&mut state.device, &desc)?;
+        drop(state);
 
         // Host-side data path, shared with the CPU site: same chunking, same
         // per-chunk row order, same merge order — bit-equal answers. The
         // materialised columns come from the shared plan-data cache, so a
         // repeat of this query (on any site) skips the re-materialisation.
+        // Runs with the device lock *released*: this is the real wall-clock
+        // work, and concurrent queries must overlap here.
         let mat = self.cache.materialized(table, query.columns_accessed())?;
         let partials = (0..mat.chunk_count()).map(|i| operators::scan_chunk(&mat, query, mat.chunk_range(i)));
         let (value, qualifying_rows) = operators::merge_scan_partials(partials);
 
         // Explicit-copy placement copies the (tiny) result back.
         if handle.explicit_copy {
-            let copy = self.device.memcpy(8, TransferDirection::DeviceToHost);
+            let copy = self.dev.lock().device.memcpy(8, TransferDirection::DeviceToHost);
             total += copy;
             breakdown.stream_secs += copy.as_secs_f64();
         }
@@ -434,7 +455,7 @@ impl GpuOlapEngine {
     /// [`operators`] data path (fixed chunking, chunk-ordered merge), so the
     /// groups are byte-identical to the CPU site's.
     pub fn execute_plan(
-        &mut self,
+        &self,
         probe: RegisteredTable,
         probe_table: &SnapshotTable,
         build: Option<(RegisteredTable, &SnapshotTable)>,
@@ -444,14 +465,16 @@ impl GpuOlapEngine {
         let result = self.execute_plan_inner(probe, probe_table, build, plan, &mut scratch);
         // Scratch (hash table, partial-group arena) lives only for the query;
         // free it even on error so an OOM mid-plan does not leak capacity.
+        let mut state = self.dev.lock();
         for id in scratch {
-            let _ = self.device.memory_mut().free(id);
+            let _ = state.device.memory_mut().free(id);
         }
+        drop(state);
         result
     }
 
     fn execute_plan_inner(
-        &mut self,
+        &self,
         probe: RegisteredTable,
         probe_table: &SnapshotTable,
         build: Option<(RegisteredTable, &SnapshotTable)>,
@@ -466,6 +489,9 @@ impl GpuOlapEngine {
         let mut interconnect_bytes = 0u64;
         let mut breakdown = ExecBreakdown::default();
 
+        // ---- Device-lock session 1: everything row-count-dependent. ----
+        let mut state = self.dev.lock();
+
         // Reserve the join's hash scratch up front at its worst-case size
         // (one entry per build row — the same bound the placement heuristic
         // uses): an out-of-memory device fails here, *before* the host-side
@@ -474,7 +500,7 @@ impl GpuOlapEngine {
         let hash_buf = match build {
             Some((_, build_table)) if plan.join.is_some() => {
                 let bytes = plan.hash_table_bytes(build_table.row_count()).max(HASH_ENTRY_BYTES);
-                let id = self.register_bytes("plan.hash", bytes)?;
+                let id = state.register_bytes(self.placement, "plan.hash", bytes)?;
                 scratch.push(id);
                 Some((id, bytes))
             }
@@ -485,7 +511,7 @@ impl GpuOlapEngine {
         // accessed column of both tables before the first kernel.
         if probe.explicit_copy {
             let bytes = plan.probe_scan_bytes(&probe_table.schema, rows);
-            let copy = self.device.memcpy(bytes, TransferDirection::HostToDevice);
+            let copy = state.device.memcpy(bytes, TransferDirection::HostToDevice);
             total += copy;
             breakdown.stream_secs += copy.as_secs_f64();
             interconnect_bytes += bytes;
@@ -493,26 +519,12 @@ impl GpuOlapEngine {
         if let Some((build_handle, build_table)) = build {
             if build_handle.explicit_copy {
                 let bytes = plan.build_scan_bytes(&build_table.schema, build_table.row_count());
-                let copy = self.device.memcpy(bytes, TransferDirection::HostToDevice);
+                let copy = state.device.memcpy(bytes, TransferDirection::HostToDevice);
                 total += copy;
                 breakdown.stream_secs += copy.as_secs_f64();
                 interconnect_bytes += bytes;
             }
         }
-
-        // Host-side data path, shared with the CPU site so results are
-        // byte-identical: materialise, build the hash table, evaluate the
-        // fixed-size chunks in ascending order, merge in chunk order. The
-        // kernels below charge the simulated cost of this same pipeline.
-        let operators::PlanData { mat, hash } = self.cache.prepare_plan(probe_table, build.map(|(_, t)| t), plan)?;
-        let partials: Vec<ChunkPartial> = (0..mat.chunk_count())
-            .map(|i| operators::process_chunk(&mat, plan, hash.as_deref(), mat.chunk_range(i)))
-            .collect();
-        let (groups, totals) = operators::merge_partials(plan, partials);
-        let n_chunks = mat.chunk_count() as u64;
-        let n_groups = groups.len().max(1) as u64;
-        // One group slot holds the key, one f64 per aggregate, and the count.
-        let group_entry_bytes = (2 + plan.aggregates.len() as u64) * 8;
 
         let mut charge = |device: &mut GpuDevice, desc: &KernelDesc| -> Result<()> {
             let metrics = device.account(desc)?;
@@ -527,28 +539,49 @@ impl GpuOlapEngine {
 
         // Selection kernels: one per probe predicate, producing a bitmap.
         for (i, pred) in plan.predicates.iter().enumerate() {
-            let (buffer, useful, pattern) = self.read_plan(probe, probe_table, pred.column)?;
+            let (buffer, useful, pattern) = state.read_plan(probe, probe_table, pred.column)?;
             let desc = KernelDesc::new(format!("select_{i}"), rows)
                 .flops_per_element(2.0)
                 .read(buffer, useful, pattern)
                 .write(rows.div_ceil(8));
-            charge(&mut self.device, &desc)?;
+            charge(&mut state.device, &desc)?;
         }
 
-        // Join kernels: build the hash table from the filtered build side,
-        // then probe it once per selected row with data-dependent gathers.
-        if let (Some(join), Some((build_handle, build_table)), Some((hash_buf, hash_bytes))) =
-            (&plan.join, build, hash_buf)
-        {
+        // Hash build: its cost depends only on the build side's row count,
+        // so it charges before the host compute too.
+        if let (Some(_), Some((build_handle, build_table)), Some((_, hash_bytes))) = (&plan.join, build, hash_buf) {
             let build_rows = build_table.row_count();
             let mut desc = KernelDesc::new("hash_build", build_rows).flops_per_element(4.0).write(hash_bytes);
             for &attr in &plan.build_columns_accessed() {
-                let (buffer, useful, pattern) = self.read_plan(build_handle, build_table, attr)?;
+                let (buffer, useful, pattern) = state.read_plan(build_handle, build_table, attr)?;
                 desc = desc.read(buffer, useful, pattern);
             }
-            charge(&mut self.device, &desc)?;
+            charge(&mut state.device, &desc)?;
+        }
+        drop(state);
 
-            let (key_buf, key_useful, key_pattern) = self.read_plan(probe, probe_table, join.probe_column)?;
+        // Host-side data path, shared with the CPU site so results are
+        // byte-identical: materialise, build the hash table, evaluate the
+        // fixed-size chunks in ascending order, merge in chunk order. The
+        // kernels around it charge the simulated cost of this same pipeline.
+        // Runs with the device lock *released*: this is the real wall-clock
+        // work, and concurrent queries must overlap here.
+        let operators::PlanData { mat, hash } = self.cache.prepare_plan(probe_table, build.map(|(_, t)| t), plan)?;
+        let partials: Vec<ChunkPartial> = (0..mat.chunk_count())
+            .map(|i| operators::process_chunk(&mat, plan, hash.as_deref(), mat.chunk_range(i)))
+            .collect();
+        let (groups, totals) = operators::merge_partials(plan, partials);
+        let n_chunks = mat.chunk_count() as u64;
+        let n_groups = groups.len().max(1) as u64;
+        // One group slot holds the key, one f64 per aggregate, and the count.
+        let group_entry_bytes = (2 + plan.aggregates.len() as u64) * 8;
+
+        // ---- Device-lock session 2: everything selectivity-dependent. ----
+        let mut state = self.dev.lock();
+
+        // Hash probe: one data-dependent gather per *selected* row.
+        if let (Some(join), Some(_), Some((hash_buf, _))) = (&plan.join, build, hash_buf) {
+            let (key_buf, key_useful, key_pattern) = state.read_plan(probe, probe_table, join.probe_column)?;
             let probe_desc = KernelDesc::new("hash_probe", rows)
                 .flops_per_element(6.0)
                 .read(key_buf, key_useful, key_pattern)
@@ -558,7 +591,7 @@ impl GpuOlapEngine {
                     AccessPattern::Random { elem_bytes: HASH_ENTRY_BYTES as u32 },
                 )
                 .write(rows.div_ceil(8));
-            charge(&mut self.device, &probe_desc)?;
+            charge(&mut state.device, &probe_desc)?;
         }
 
         // Partial aggregation: every surviving row updates its group's
@@ -566,7 +599,7 @@ impl GpuOlapEngine {
         // data-dependent (random); the global aggregate of a plain scan stays
         // in registers. Partials land in a per-chunk arena that the merge
         // kernel folds in chunk order.
-        let arena_buf = self.register_bytes("plan.groups", n_chunks * n_groups * group_entry_bytes)?;
+        let arena_buf = state.register_bytes(self.placement, "plan.groups", n_chunks * n_groups * group_entry_bytes)?;
         scratch.push(arena_buf);
         let mut agg_desc = KernelDesc::new("partial_aggregate", rows)
             .flops_per_element(2.0 + plan.aggregates.len() as f64)
@@ -578,7 +611,7 @@ impl GpuOlapEngine {
         agg_cols.sort_unstable();
         agg_cols.dedup();
         for &attr in &agg_cols {
-            let (buffer, useful, pattern) = self.read_plan(probe, probe_table, attr)?;
+            let (buffer, useful, pattern) = state.read_plan(probe, probe_table, attr)?;
             agg_desc = agg_desc.read(buffer, useful, pattern);
         }
         if plan.group_by.is_some() {
@@ -588,20 +621,21 @@ impl GpuOlapEngine {
                 AccessPattern::Random { elem_bytes: group_entry_bytes as u32 },
             );
         }
-        charge(&mut self.device, &agg_desc)?;
+        charge(&mut state.device, &agg_desc)?;
 
         let merge_desc = KernelDesc::new("merge_groups", (n_chunks * n_groups).max(1))
             .flops_per_element(1.0 + plan.aggregates.len() as f64)
             .read(arena_buf, n_chunks * n_groups * group_entry_bytes, AccessPattern::Sequential)
             .write(n_groups * group_entry_bytes);
-        charge(&mut self.device, &merge_desc)?;
+        charge(&mut state.device, &merge_desc)?;
 
         // Explicit-copy placement copies the (small) group table back.
         if probe.explicit_copy {
-            let copy = self.device.memcpy(n_groups * group_entry_bytes, TransferDirection::DeviceToHost);
+            let copy = state.device.memcpy(n_groups * group_entry_bytes, TransferDirection::DeviceToHost);
             total += copy;
             breakdown.stream_secs += copy.as_secs_f64();
         }
+        drop(state);
 
         Ok(PlanOutcome {
             groups,
@@ -624,10 +658,11 @@ impl GpuOlapEngine {
             DataPlacement::DeviceResident => 1.0,
             DataPlacement::Host(AccessMode::Memcpy) | DataPlacement::Host(AccessMode::Uva) => 0.0,
             DataPlacement::Host(AccessMode::UnifiedMemory) => {
-                let mem = self.device.memory();
+                let state = self.dev.lock();
+                let mem = state.device.memory();
                 let mut total = 0u64;
                 let mut resident = 0u64;
-                for id in self.buffers.values().chain(self.nsm_buffers.values()) {
+                for id in state.buffers.values().chain(state.nsm_buffers.values()) {
                     accumulate_residency(mem, *id, &mut total, &mut resident);
                 }
                 if total == 0 {
@@ -649,26 +684,26 @@ impl ExecutionSite for GpuOlapEngine {
         "gpu"
     }
 
-    fn register_table(&mut self, table: &SnapshotTable, label: &str) -> Result<RegisteredTable> {
+    fn register_table(&self, table: &SnapshotTable, label: &str) -> Result<RegisteredTable> {
         GpuOlapEngine::register_table(self, table, label)
     }
 
-    fn reset_tables(&mut self) {
+    fn reset_tables(&self) {
         GpuOlapEngine::reset_tables(self);
     }
 
-    fn unregister_table(&mut self, handle: RegisteredTable) {
+    fn unregister_table(&self, handle: RegisteredTable) {
         GpuOlapEngine::unregister_table(self, handle);
     }
 
-    fn execute(&mut self, handle: RegisteredTable, table: &SnapshotTable, query: &ScanAggQuery) -> Result<OlapOutcome> {
+    fn execute(&self, handle: RegisteredTable, table: &SnapshotTable, query: &ScanAggQuery) -> Result<OlapOutcome> {
         let out = GpuOlapEngine::execute(self, handle, table, query)?;
         emit_execution_spans(&self.tracer, out.site, &out.kernels, &out.breakdown, out.time, out.interconnect_bytes);
         Ok(out)
     }
 
     fn execute_plan(
-        &mut self,
+        &self,
         probe: RegisteredTable,
         probe_table: &SnapshotTable,
         build: Option<(RegisteredTable, &SnapshotTable)>,
@@ -680,7 +715,7 @@ impl ExecutionSite for GpuOlapEngine {
     }
 
     fn free_device_bytes(&self) -> Option<u64> {
-        Some(self.device.memory().free_bytes())
+        Some(self.dev.lock().device.memory().free_bytes())
     }
 
     fn resident_fraction(&self) -> f64 {
@@ -688,13 +723,17 @@ impl ExecutionSite for GpuOlapEngine {
     }
 
     fn capability(&self) -> SiteCapability {
+        let state = self.dev.lock();
+        let spec = state.device.spec().clone();
+        let free_bytes = state.device.memory().free_bytes();
+        drop(state);
         SiteCapability::Gpu {
             target: OlapTarget::Gpu,
             devices: vec![GpuDeviceCapability {
-                spec: self.device.spec().clone(),
+                spec,
                 shard_fraction: 1.0,
                 resident_fraction: GpuOlapEngine::resident_fraction(self),
-                free_bytes: Some(self.device.memory().free_bytes()),
+                free_bytes: Some(free_bytes),
             }],
         }
     }
@@ -746,7 +785,7 @@ mod tests {
     #[test]
     fn exact_answer_matches_a_scalar_computation() {
         let table = snapshot_table(Layout::Dsm, 1000);
-        let mut eng = engine(DataPlacement::Host(AccessMode::Uva));
+        let eng = engine(DataPlacement::Host(AccessMode::Uva));
         let handle = eng.register_table(&table, "t").unwrap();
         let out = eng.execute(handle, &table, &bucket_query()).unwrap();
         let expected: f64 = (0..1000).map(|i| i % 10).filter(|b| *b <= 4).map(|b| b as f64 * 2.5).sum();
@@ -762,7 +801,7 @@ mod tests {
         let mut answers = Vec::new();
         for layout in [Layout::Nsm, Layout::Dsm, Layout::PAPER_PAX] {
             let table = snapshot_table(layout, 500);
-            let mut eng = engine(DataPlacement::Host(AccessMode::Uva));
+            let eng = engine(DataPlacement::Host(AccessMode::Uva));
             let handle = eng.register_table(&table, "t").unwrap();
             answers.push(eng.execute(handle, &table, &query).unwrap().value);
         }
@@ -775,7 +814,7 @@ mod tests {
         let mut times = Vec::new();
         for layout in [Layout::Dsm, Layout::Nsm] {
             let table = snapshot_table(layout, 200_000);
-            let mut eng = engine(DataPlacement::Host(AccessMode::Uva));
+            let eng = engine(DataPlacement::Host(AccessMode::Uva));
             let handle = eng.register_table(&table, "t").unwrap();
             times.push(eng.execute(handle, &table, &query).unwrap().time.as_secs_f64());
         }
@@ -788,7 +827,7 @@ mod tests {
         let mut times = Vec::new();
         for layout in [Layout::Dsm, Layout::PAPER_PAX] {
             let table = snapshot_table(layout, 200_000);
-            let mut eng = engine(DataPlacement::Host(AccessMode::Uva));
+            let eng = engine(DataPlacement::Host(AccessMode::Uva));
             let handle = eng.register_table(&table, "t").unwrap();
             times.push(eng.execute(handle, &table, &query).unwrap().time.as_secs_f64());
         }
@@ -799,7 +838,7 @@ mod tests {
     #[test]
     fn unified_memory_queries_get_faster_after_first_touch() {
         let table = snapshot_table(Layout::Dsm, 500_000);
-        let mut eng = engine(DataPlacement::Host(AccessMode::UnifiedMemory));
+        let eng = engine(DataPlacement::Host(AccessMode::UnifiedMemory));
         let handle = eng.register_table(&table, "t").unwrap();
         let q = bucket_query();
         let first = eng.execute(handle, &table, &q).unwrap();
@@ -813,10 +852,10 @@ mod tests {
     fn device_resident_execution_is_fastest() {
         let q = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![0, 1]));
         let table = snapshot_table(Layout::Dsm, 500_000);
-        let mut uva = engine(DataPlacement::Host(AccessMode::Uva));
+        let uva = engine(DataPlacement::Host(AccessMode::Uva));
         let h1 = uva.register_table(&table, "t").unwrap();
         let t_uva = uva.execute(h1, &table, &q).unwrap().time;
-        let mut dev = engine(DataPlacement::DeviceResident);
+        let dev = engine(DataPlacement::DeviceResident);
         let h2 = dev.register_table(&table, "t").unwrap();
         let t_dev = dev.execute(h2, &table, &q).unwrap().time;
         assert!(t_dev < t_uva, "device {} uva {}", t_dev, t_uva);
@@ -825,7 +864,7 @@ mod tests {
     #[test]
     fn memcpy_placement_charges_transfers() {
         let table = snapshot_table(Layout::Dsm, 100_000);
-        let mut eng = engine(DataPlacement::Host(AccessMode::Memcpy));
+        let eng = engine(DataPlacement::Host(AccessMode::Memcpy));
         let handle = eng.register_table(&table, "t").unwrap();
         let out = eng.execute(handle, &table, &bucket_query()).unwrap();
         assert!(out.interconnect_bytes > 0);
@@ -837,7 +876,7 @@ mod tests {
         let t = db.create_table("t", Schema::homogeneous("c", 2, AttrType::Int32), Layout::Dsm).unwrap();
         let snap = db.snapshot();
         let table = snap.table(t).unwrap().clone();
-        let mut eng = engine(DataPlacement::Host(AccessMode::Uva));
+        let eng = engine(DataPlacement::Host(AccessMode::Uva));
         let handle = eng.register_table(&table, "t").unwrap();
         assert!(eng.execute(handle, &table, &bucket_query()).is_err());
     }
@@ -883,22 +922,22 @@ mod tests {
         let table = snapshot_table(Layout::Dsm, 100_000); // 8 + 4 + 8 bytes/row
         let mut spec = GpuSpec::gtx_980();
         spec.mem_capacity_mib = 1;
-        let mut eng = GpuOlapEngine::new(GpuDevice::new(spec), DataPlacement::DeviceResident);
+        let eng = GpuOlapEngine::new(GpuDevice::new(spec), DataPlacement::DeviceResident);
         assert!(eng.register_table(&table, "t").is_err());
-        assert_eq!(eng.device().memory().used_bytes(), 0, "partial column buffers must be freed");
+        assert_eq!(eng.device_used_bytes(), 0, "partial column buffers must be freed");
     }
 
     #[test]
     fn unregister_table_frees_only_that_tables_buffers() {
         let t1 = snapshot_table(Layout::Dsm, 10_000);
         let t2 = snapshot_table(Layout::Dsm, 20_000);
-        let mut eng = engine(DataPlacement::DeviceResident);
+        let eng = engine(DataPlacement::DeviceResident);
         let h1 = eng.register_table(&t1, "a").unwrap();
-        let after_first = eng.device().memory().used_bytes();
+        let after_first = eng.device_used_bytes();
         let h2 = eng.register_table(&t2, "b").unwrap();
-        assert!(eng.device().memory().used_bytes() > after_first);
+        assert!(eng.device_used_bytes() > after_first);
         eng.unregister_table(h2);
-        assert_eq!(eng.device().memory().used_bytes(), after_first, "only t2's buffers are freed");
+        assert_eq!(eng.device_used_bytes(), after_first, "only t2's buffers are freed");
         // t1 stays fully queryable.
         let out = eng.execute(h1, &t1, &bucket_query()).unwrap();
         assert_eq!(out.qualifying_rows, 5_000);
@@ -908,7 +947,7 @@ mod tests {
     fn join_group_by_plan_computes_exact_groups() {
         let probe = snapshot_table(Layout::Dsm, 1_000);
         let build = build_table(10);
-        let mut eng = engine(DataPlacement::Host(AccessMode::Uva));
+        let eng = engine(DataPlacement::Host(AccessMode::Uva));
         let ph = eng.register_table(&probe, "fact").unwrap();
         let bh = eng.register_table(&build, "dim").unwrap();
         let out = eng.execute_plan(ph, &probe, Some((bh, &build)), &join_plan()).unwrap();
@@ -932,7 +971,7 @@ mod tests {
         let build = build_table(10);
         let plan = join_plan();
         let scan_equivalent = OlapPlan { join: None, group_by: None, ..plan.clone() };
-        let mut eng = engine(DataPlacement::Host(AccessMode::Uva));
+        let eng = engine(DataPlacement::Host(AccessMode::Uva));
         let ph = eng.register_table(&probe, "fact").unwrap();
         let bh = eng.register_table(&build, "dim").unwrap();
         let join_time = eng.execute_plan(ph, &probe, Some((bh, &build)), &plan).unwrap().time.as_secs_f64();
@@ -943,7 +982,7 @@ mod tests {
 
         // Device-resident hash state caps the waste at the 128-byte device
         // transaction, collapsing the penalty.
-        let mut dev = engine(DataPlacement::DeviceResident);
+        let dev = engine(DataPlacement::DeviceResident);
         let ph = dev.register_table(&probe, "fact").unwrap();
         let bh = dev.register_table(&build, "dim").unwrap();
         let dev_join = dev.execute_plan(ph, &probe, Some((bh, &build)), &plan).unwrap().time.as_secs_f64();
@@ -954,19 +993,19 @@ mod tests {
     fn plan_scratch_buffers_do_not_leak_device_memory() {
         let probe = snapshot_table(Layout::Dsm, 10_000);
         let build = build_table(10);
-        let mut eng = engine(DataPlacement::DeviceResident);
+        let eng = engine(DataPlacement::DeviceResident);
         let ph = eng.register_table(&probe, "fact").unwrap();
         let bh = eng.register_table(&build, "dim").unwrap();
-        let before = eng.device().memory().used_bytes();
+        let before = eng.device_used_bytes();
         eng.execute_plan(ph, &probe, Some((bh, &build)), &join_plan()).unwrap();
-        assert_eq!(eng.device().memory().used_bytes(), before, "hash/group scratch must be freed");
+        assert_eq!(eng.device_used_bytes(), before, "hash/group scratch must be freed");
     }
 
     #[test]
     fn plan_rejects_mismatched_join_and_build() {
         let probe = snapshot_table(Layout::Dsm, 100);
         let build = build_table(10);
-        let mut eng = engine(DataPlacement::Host(AccessMode::Uva));
+        let eng = engine(DataPlacement::Host(AccessMode::Uva));
         let ph = eng.register_table(&probe, "fact").unwrap();
         let bh = eng.register_table(&build, "dim").unwrap();
         // Join without a build table.
@@ -981,7 +1020,7 @@ mod tests {
         let probe = snapshot_table(Layout::Dsm, 5_000);
         let query = bucket_query();
         let plan = OlapPlan::scan(&query);
-        let mut eng = engine(DataPlacement::Host(AccessMode::Uva));
+        let eng = engine(DataPlacement::Host(AccessMode::Uva));
         let handle = eng.register_table(&probe, "t").unwrap();
         let scan = eng.execute(handle, &probe, &query).unwrap();
         let planned = eng.execute_plan(handle, &probe, None, &plan).unwrap();

@@ -45,7 +45,9 @@ use h2tap_gpu_sim::{AccessMode, AccessPattern, BufferId, GpuDevice, KernelDesc, 
 use h2tap_obs::Tracer;
 use h2tap_scheduler::{GpuDeviceCapability, OlapTarget, SiteCapability};
 use h2tap_storage::{Layout, SnapshotTable};
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Rows of a `rows`-row table that land on each of `devices` devices under
 /// the round-robin chunk shard, in device order. The boundary cases matter:
@@ -85,131 +87,27 @@ struct DeviceRun {
     breakdown: ExecBreakdown,
 }
 
-/// Kernel-at-a-time OLAP executor over several sharded simulated GPUs.
-pub struct MultiGpuOlapEngine {
+/// The device mix plus the registration maps it owns — everything a kernel
+/// charge or buffer (de)allocation mutates, behind one short-lived lock.
+/// Execution holds this lock only while *charging* simulated kernels; the
+/// host-side data path — the real wall-clock work — runs between lock
+/// sessions so concurrent queries overlap.
+struct MultiGpuSiteState {
     devices: Vec<GpuDevice>,
-    placement: DataPlacement,
     /// Registered column buffers: (table tag, device, attr) -> buffer.
     buffers: BTreeMap<(usize, usize, usize), BufferId>,
     /// Registered whole-shard buffers for NSM tables: (tag, device) -> buffer.
     nsm_buffers: BTreeMap<(usize, usize), BufferId>,
     /// Rows each device holds of a registered table: tag -> per-device rows.
     shard_rows: BTreeMap<usize, Vec<u64>>,
-    next_tag: usize,
-    /// Snapshot-keyed plan-data cache for the host-side data path (shared
-    /// across all sites when built into an engine, private otherwise).
-    cache: PlanDataCache,
-    /// Trace handle; disabled (no-op) until the engine installs one.
-    tracer: Tracer,
 }
 
-impl MultiGpuOlapEngine {
-    /// Creates an executor over `devices` with the given (shared) data
-    /// placement. At least one device is required.
-    pub fn new(devices: Vec<GpuDevice>, placement: DataPlacement) -> Result<Self> {
-        if devices.is_empty() {
-            return Err(H2Error::Config("a multi-GPU site needs at least one device".into()));
-        }
-        Ok(Self {
-            devices,
-            placement,
-            buffers: BTreeMap::new(),
-            nsm_buffers: BTreeMap::new(),
-            shard_rows: BTreeMap::new(),
-            next_tag: 0,
-            cache: PlanDataCache::new(),
-            tracer: Tracer::disabled(),
-        })
-    }
-
-    /// Creates an executor from catalogue specs (e.g. a Table 1 mix).
-    pub fn from_specs(specs: Vec<h2tap_gpu_sim::GpuSpec>, placement: DataPlacement) -> Result<Self> {
-        Self::new(specs.into_iter().map(GpuDevice::new).collect(), placement)
-    }
-
-    /// The site's simulated devices, in shard order.
-    pub fn devices(&self) -> &[GpuDevice] {
-        &self.devices
-    }
-
-    /// Number of devices (= shards per table).
-    pub fn device_count(&self) -> usize {
-        self.devices.len()
-    }
-
-    /// The configured placement.
-    pub fn placement(&self) -> DataPlacement {
-        self.placement
-    }
-
-    /// The smallest free device memory across the mix — the headroom any
-    /// *replicated* per-device structure (the join hash table) must fit.
-    /// Deliberately a minimum, never a sum: device capacities do not pool,
-    /// and summing would let one unknown device saturate the aggregate.
-    pub fn min_free_device_bytes(&self) -> u64 {
-        self.devices.iter().map(|d| d.memory().free_bytes()).min().unwrap_or(0)
-    }
-
-    fn register_bytes(device: &mut GpuDevice, placement: DataPlacement, label: &str, bytes: u64) -> Result<BufferId> {
+impl MultiGpuSiteState {
+    fn register_bytes(&mut self, d: usize, placement: DataPlacement, label: &str, bytes: u64) -> Result<BufferId> {
+        let device = &mut self.devices[d];
         match placement {
             DataPlacement::Host(mode) => device.register_buffer(label, bytes, mode),
             DataPlacement::DeviceResident => device.register_device_buffer(label, bytes),
-        }
-    }
-
-    /// Registers the columns of `table`, sharded chunk-wise across the
-    /// devices. Registration is all-or-nothing across the whole mix: if any
-    /// device rejects its shard (out of memory), everything registered so
-    /// far — on every device — is freed again, so an OOM fallback cannot
-    /// strand device memory until the next snapshot refresh.
-    pub fn register_table(&mut self, table: &SnapshotTable, label: &str) -> Result<RegisteredTable> {
-        let tag = self.next_tag;
-        self.next_tag += 1;
-        let per_device = shard_rows(table.row_count(), self.devices.len());
-        let explicit_copy = matches!(self.placement, DataPlacement::Host(AccessMode::Memcpy));
-        let arity = table.schema.arity();
-        let placement = self.placement;
-        let registered = (|| -> Result<()> {
-            for (d, &rows) in per_device.iter().enumerate() {
-                if rows == 0 {
-                    continue;
-                }
-                match table.layout {
-                    Layout::Nsm => {
-                        let bytes = rows * table.schema.record_width() as u64;
-                        let id = Self::register_bytes(
-                            &mut self.devices[d],
-                            placement,
-                            &format!("{label}.d{d}.rows"),
-                            bytes,
-                        )?;
-                        self.nsm_buffers.insert((tag, d), id);
-                    }
-                    Layout::Dsm | Layout::Pax { .. } => {
-                        for attr in 0..arity {
-                            let width = table.schema.attr(attr)?.ty.width() as u64;
-                            let id = Self::register_bytes(
-                                &mut self.devices[d],
-                                placement,
-                                &format!("{label}.d{d}.col{attr}"),
-                                rows * width,
-                            )?;
-                            self.buffers.insert((tag, d, attr), id);
-                        }
-                    }
-                }
-            }
-            Ok(())
-        })();
-        match registered {
-            Ok(()) => {
-                self.shard_rows.insert(tag, per_device);
-                Ok(RegisteredTable::site(tag, explicit_copy))
-            }
-            Err(err) => {
-                self.free_tag(tag);
-                Err(err)
-            }
         }
     }
 
@@ -228,19 +126,6 @@ impl MultiGpuOlapEngine {
             }
         }
         self.shard_rows.remove(&tag);
-    }
-
-    /// Frees every registration on every device (snapshot refresh).
-    pub fn reset_tables(&mut self) {
-        let tags: Vec<usize> = self.shard_rows.keys().copied().collect();
-        for tag in tags {
-            self.free_tag(tag);
-        }
-    }
-
-    /// Frees one table's buffers across the mix (failed-attempt rollback).
-    pub fn unregister_table(&mut self, handle: RegisteredTable) {
-        self.free_tag(handle.tag());
     }
 
     fn device_shard_rows(&self, handle: RegisteredTable) -> Result<&Vec<u64>> {
@@ -293,6 +178,137 @@ impl MultiGpuOlapEngine {
             }
         }
     }
+}
+
+/// Kernel-at-a-time OLAP executor over several sharded simulated GPUs.
+///
+/// Concurrent: the device mix and registration maps live behind one mutex
+/// ([`MultiGpuSiteState`]), held only across kernel-charge bookkeeping; the
+/// host-side data path runs between lock sessions.
+pub struct MultiGpuOlapEngine {
+    placement: DataPlacement,
+    /// Number of devices (= shards per table); fixed at construction.
+    device_count: usize,
+    devs: Mutex<MultiGpuSiteState>,
+    /// Monotonic tag generator for registered tables.
+    next_tag: AtomicUsize,
+    /// Snapshot-keyed plan-data cache for the host-side data path (shared
+    /// across all sites when built into an engine, private otherwise).
+    cache: PlanDataCache,
+    /// Trace handle; disabled (no-op) until the engine installs one.
+    tracer: Tracer,
+}
+
+impl MultiGpuOlapEngine {
+    /// Creates an executor over `devices` with the given (shared) data
+    /// placement. At least one device is required.
+    pub fn new(devices: Vec<GpuDevice>, placement: DataPlacement) -> Result<Self> {
+        if devices.is_empty() {
+            return Err(H2Error::Config("a multi-GPU site needs at least one device".into()));
+        }
+        Ok(Self {
+            placement,
+            device_count: devices.len(),
+            devs: Mutex::new(MultiGpuSiteState {
+                devices,
+                buffers: BTreeMap::new(),
+                nsm_buffers: BTreeMap::new(),
+                shard_rows: BTreeMap::new(),
+            }),
+            next_tag: AtomicUsize::new(0),
+            cache: PlanDataCache::new(),
+            tracer: Tracer::disabled(),
+        })
+    }
+
+    /// Creates an executor from catalogue specs (e.g. a Table 1 mix).
+    pub fn from_specs(specs: Vec<h2tap_gpu_sim::GpuSpec>, placement: DataPlacement) -> Result<Self> {
+        Self::new(specs.into_iter().map(GpuDevice::new).collect(), placement)
+    }
+
+    /// Bytes currently allocated on each device, in shard order.
+    pub fn device_used_bytes(&self) -> Vec<u64> {
+        self.devs.lock().devices.iter().map(|d| d.memory().used_bytes()).collect()
+    }
+
+    /// Number of devices (= shards per table).
+    pub fn device_count(&self) -> usize {
+        self.device_count
+    }
+
+    /// The configured placement.
+    pub fn placement(&self) -> DataPlacement {
+        self.placement
+    }
+
+    /// The smallest free device memory across the mix — the headroom any
+    /// *replicated* per-device structure (the join hash table) must fit.
+    /// Deliberately a minimum, never a sum: device capacities do not pool,
+    /// and summing would let one unknown device saturate the aggregate.
+    pub fn min_free_device_bytes(&self) -> u64 {
+        self.devs.lock().devices.iter().map(|d| d.memory().free_bytes()).min().unwrap_or(0)
+    }
+
+    /// Registers the columns of `table`, sharded chunk-wise across the
+    /// devices. Registration is all-or-nothing across the whole mix: if any
+    /// device rejects its shard (out of memory), everything registered so
+    /// far — on every device — is freed again, so an OOM fallback cannot
+    /// strand device memory until the next snapshot refresh.
+    pub fn register_table(&self, table: &SnapshotTable, label: &str) -> Result<RegisteredTable> {
+        let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
+        let per_device = shard_rows(table.row_count(), self.device_count);
+        let explicit_copy = matches!(self.placement, DataPlacement::Host(AccessMode::Memcpy));
+        let arity = table.schema.arity();
+        let placement = self.placement;
+        let mut state = self.devs.lock();
+        let registered = (|| -> Result<()> {
+            for (d, &rows) in per_device.iter().enumerate() {
+                if rows == 0 {
+                    continue;
+                }
+                match table.layout {
+                    Layout::Nsm => {
+                        let bytes = rows * table.schema.record_width() as u64;
+                        let id = state.register_bytes(d, placement, &format!("{label}.d{d}.rows"), bytes)?;
+                        state.nsm_buffers.insert((tag, d), id);
+                    }
+                    Layout::Dsm | Layout::Pax { .. } => {
+                        for attr in 0..arity {
+                            let width = table.schema.attr(attr)?.ty.width() as u64;
+                            let id =
+                                state.register_bytes(d, placement, &format!("{label}.d{d}.col{attr}"), rows * width)?;
+                            state.buffers.insert((tag, d, attr), id);
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })();
+        match registered {
+            Ok(()) => {
+                state.shard_rows.insert(tag, per_device);
+                Ok(RegisteredTable::site(tag, explicit_copy))
+            }
+            Err(err) => {
+                state.free_tag(tag);
+                Err(err)
+            }
+        }
+    }
+
+    /// Frees every registration on every device (snapshot refresh).
+    pub fn reset_tables(&self) {
+        let mut state = self.devs.lock();
+        let tags: Vec<usize> = state.shard_rows.keys().copied().collect();
+        for tag in tags {
+            state.free_tag(tag);
+        }
+    }
+
+    /// Frees one table's buffers across the mix (failed-attempt rollback).
+    pub fn unregister_table(&self, handle: RegisteredTable) {
+        self.devs.lock().free_tag(handle.tag());
+    }
 
     /// Charges one kernel to device `d`'s running totals.
     fn charge(
@@ -331,19 +347,18 @@ impl MultiGpuOlapEngine {
     /// device, and the exact answer is computed on the host through the
     /// shared chunked scan path over **all** chunks in ascending order — so
     /// the f64 answer is byte-identical to the CPU and single-GPU sites.
-    pub fn execute(
-        &mut self,
-        handle: RegisteredTable,
-        table: &SnapshotTable,
-        query: &ScanAggQuery,
-    ) -> Result<OlapOutcome> {
+    pub fn execute(&self, handle: RegisteredTable, table: &SnapshotTable, query: &ScanAggQuery) -> Result<OlapOutcome> {
         if table.row_count() == 0 {
             return Err(H2Error::InvalidKernel("cannot execute a query over an empty table".into()));
         }
-        let per_device = self.device_shard_rows(handle)?.clone();
         let mut kernels = Vec::new();
         let mut interconnect_bytes = 0u64;
         let mut critical = DeviceRun::default();
+
+        // Scan charges depend only on shard row counts: one lock session
+        // covers every device, then the host-side answer computes unlocked.
+        let mut state = self.devs.lock();
+        let per_device = state.device_shard_rows(handle)?.clone();
 
         for (d, &rows_d) in per_device.iter().enumerate() {
             if rows_d == 0 {
@@ -365,7 +380,7 @@ impl MultiGpuOlapEngine {
                     };
                 }
                 Self::charge_transfer(
-                    &mut self.devices[d],
+                    &mut state.devices[d],
                     bytes,
                     TransferDirection::HostToDevice,
                     &mut run,
@@ -375,12 +390,12 @@ impl MultiGpuOlapEngine {
 
             // Selection kernels over the shard: one per predicate.
             for (i, pred) in query.predicates.iter().enumerate() {
-                let (buffer, useful, pattern) = self.read_plan(handle, table, d, pred.column)?;
+                let (buffer, useful, pattern) = state.read_plan(handle, table, d, pred.column)?;
                 let desc = KernelDesc::new(format!("select_{i}.d{d}"), rows_d)
                     .flops_per_element(2.0)
                     .read(buffer, useful, pattern)
                     .write(rows_d.div_ceil(8));
-                Self::charge(&mut self.devices[d], &desc, &mut run, &mut kernels, &mut interconnect_bytes)?;
+                Self::charge(&mut state.devices[d], &desc, &mut run, &mut kernels, &mut interconnect_bytes)?;
             }
 
             // Aggregation kernel over the shard.
@@ -388,18 +403,18 @@ impl MultiGpuOlapEngine {
             let mut desc =
                 KernelDesc::new(format!("aggregate.d{d}"), rows_d).flops_per_element(1.0 + agg_cols.len() as f64);
             for &attr in &agg_cols {
-                let (buffer, useful, pattern) = self.read_plan(handle, table, d, attr)?;
+                let (buffer, useful, pattern) = state.read_plan(handle, table, d, attr)?;
                 desc = desc.read(buffer, useful, pattern);
             }
             if !query.predicates.is_empty() {
                 desc = desc.flops_per_element(2.0 + agg_cols.len() as f64);
             }
             desc = desc.write(8);
-            Self::charge(&mut self.devices[d], &desc, &mut run, &mut kernels, &mut interconnect_bytes)?;
+            Self::charge(&mut state.devices[d], &desc, &mut run, &mut kernels, &mut interconnect_bytes)?;
 
             if handle.explicit_copy() {
                 Self::charge_transfer(
-                    &mut self.devices[d],
+                    &mut state.devices[d],
                     8,
                     TransferDirection::DeviceToHost,
                     &mut run,
@@ -411,6 +426,7 @@ impl MultiGpuOlapEngine {
                 critical = run;
             }
         }
+        drop(state);
 
         // Host-side data path shared with every other site: same chunking,
         // same per-chunk row order, same ascending merge — bit-equal answers
@@ -440,7 +456,7 @@ impl MultiGpuOlapEngine {
     /// the real answer comes from the shared [`operators`] pipeline over all
     /// chunks in ascending order.
     pub fn execute_plan(
-        &mut self,
+        &self,
         probe: RegisteredTable,
         probe_table: &SnapshotTable,
         build: Option<(RegisteredTable, &SnapshotTable)>,
@@ -450,14 +466,16 @@ impl MultiGpuOlapEngine {
         let result = self.execute_plan_inner(probe, probe_table, build, plan, &mut scratch);
         // Scratch (hash replicas, partial-group arenas) lives only for the
         // query; free it even on error so an OOM mid-plan does not leak.
+        let mut state = self.devs.lock();
         for (d, id) in scratch {
-            let _ = self.devices[d].memory_mut().free(id);
+            let _ = state.devices[d].memory_mut().free(id);
         }
+        drop(state);
         result
     }
 
     fn execute_plan_inner(
-        &mut self,
+        &self,
         probe: RegisteredTable,
         probe_table: &SnapshotTable,
         build: Option<(RegisteredTable, &SnapshotTable)>,
@@ -465,10 +483,13 @@ impl MultiGpuOlapEngine {
         scratch: &mut Vec<(usize, BufferId)>,
     ) -> Result<PlanOutcome> {
         operators::check_plan(plan, build.is_some())?;
-        let n = self.devices.len();
-        let per_probe = self.device_shard_rows(probe)?.clone();
+        let n = self.device_count;
+
+        // ---- Device-lock session 1: the up-front reservations. ----
+        let mut state = self.devs.lock();
+        let per_probe = state.device_shard_rows(probe)?.clone();
         let per_build = match build {
-            Some((handle, _)) => Some(self.device_shard_rows(handle)?.clone()),
+            Some((handle, _)) => Some(state.device_shard_rows(handle)?.clone()),
             None => None,
         };
 
@@ -492,18 +513,21 @@ impl MultiGpuOlapEngine {
                 if per_probe[d] == 0 {
                     continue;
                 }
-                let id = Self::register_bytes(&mut self.devices[d], placement, &format!("plan.hash.d{d}"), bytes)?;
+                let id = state.register_bytes(d, placement, &format!("plan.hash.d{d}"), bytes)?;
                 scratch.push((d, id));
                 *slot = Some(id);
             }
         }
+        drop(state);
 
         // Host-side data path, shared with the other sites so results are
         // byte-identical: materialise, build the hash table, evaluate the
         // fixed chunks in ascending order, merge in chunk order. Per-device
         // row counters fall out of the same chunk partials via the shard
         // assignment, so the kernels below charge exactly the rows each
-        // device would process.
+        // device would process. Runs with the device lock *released*: this
+        // is the real wall-clock work, and concurrent queries must overlap
+        // here.
         let operators::PlanData { mat, hash } = self.cache.prepare_plan(probe_table, build.map(|(_, t)| t), plan)?;
         let chunk_partials: Vec<ChunkPartial> = (0..mat.chunk_count())
             .map(|i| operators::process_chunk(&mat, plan, hash.as_deref(), mat.chunk_range(i)))
@@ -527,6 +551,8 @@ impl MultiGpuOlapEngine {
         let mut critical = DeviceRun::default();
         let probe_rows_total = probe_table.row_count();
 
+        // ---- Device-lock session 2: the selectivity-dependent charges. ----
+        let mut state = self.devs.lock();
         for d in 0..n {
             let rows_d = per_probe[d];
             let build_rows_d = per_build.as_ref().map_or(0, |p| p[d]);
@@ -539,7 +565,7 @@ impl MultiGpuOlapEngine {
             if probe.explicit_copy() && rows_d > 0 {
                 let bytes = plan.probe_scan_bytes(&probe_table.schema, rows_d);
                 Self::charge_transfer(
-                    &mut self.devices[d],
+                    &mut state.devices[d],
                     bytes,
                     TransferDirection::HostToDevice,
                     &mut run,
@@ -550,7 +576,7 @@ impl MultiGpuOlapEngine {
                 if build_handle.explicit_copy() && build_rows_d > 0 {
                     let bytes = plan.build_scan_bytes(&build_table.schema, build_rows_d);
                     Self::charge_transfer(
-                        &mut self.devices[d],
+                        &mut state.devices[d],
                         bytes,
                         TransferDirection::HostToDevice,
                         &mut run,
@@ -562,12 +588,12 @@ impl MultiGpuOlapEngine {
             // Selection kernels over the probe shard.
             if rows_d > 0 {
                 for (i, pred) in plan.predicates.iter().enumerate() {
-                    let (buffer, useful, pattern) = self.read_plan(probe, probe_table, d, pred.column)?;
+                    let (buffer, useful, pattern) = state.read_plan(probe, probe_table, d, pred.column)?;
                     let desc = KernelDesc::new(format!("select_{i}.d{d}"), rows_d)
                         .flops_per_element(2.0)
                         .read(buffer, useful, pattern)
                         .write(rows_d.div_ceil(8));
-                    Self::charge(&mut self.devices[d], &desc, &mut run, &mut kernels, &mut interconnect_bytes)?;
+                    Self::charge(&mut state.devices[d], &desc, &mut run, &mut kernels, &mut interconnect_bytes)?;
                 }
             }
 
@@ -586,10 +612,10 @@ impl MultiGpuOlapEngine {
                         .flops_per_element(4.0)
                         .write(local_hash.max(HASH_ENTRY_BYTES));
                     for &attr in &plan.build_columns_accessed() {
-                        let (buffer, useful, pattern) = self.read_plan(build_handle, build_table, d, attr)?;
+                        let (buffer, useful, pattern) = state.read_plan(build_handle, build_table, d, attr)?;
                         desc = desc.read(buffer, useful, pattern);
                     }
-                    Self::charge(&mut self.devices[d], &desc, &mut run, &mut kernels, &mut interconnect_bytes)?;
+                    Self::charge(&mut state.devices[d], &desc, &mut run, &mut kernels, &mut interconnect_bytes)?;
                 }
                 // All-gather: the fraction of the replica this *probing*
                 // device did not build locally crosses its interconnect.
@@ -598,7 +624,7 @@ impl MultiGpuOlapEngine {
                 let gathered = bytes.saturating_sub(local_hash);
                 if rows_d > 0 && n > 1 && gathered > 0 {
                     Self::charge_transfer(
-                        &mut self.devices[d],
+                        &mut state.devices[d],
                         gathered,
                         TransferDirection::HostToDevice,
                         &mut run,
@@ -610,7 +636,7 @@ impl MultiGpuOlapEngine {
                         H2Error::InvalidKernel(format!("hash replica missing on device {d} for a join plan"))
                     })?;
                     let (key_buf, key_useful, key_pattern) =
-                        self.read_plan(probe, probe_table, d, join.probe_column)?;
+                        state.read_plan(probe, probe_table, d, join.probe_column)?;
                     let probe_desc = KernelDesc::new(format!("hash_probe.d{d}"), rows_d)
                         .flops_per_element(6.0)
                         .read(key_buf, key_useful, key_pattern)
@@ -620,7 +646,7 @@ impl MultiGpuOlapEngine {
                             AccessPattern::Random { elem_bytes: HASH_ENTRY_BYTES as u32 },
                         )
                         .write(rows_d.div_ceil(8));
-                    Self::charge(&mut self.devices[d], &probe_desc, &mut run, &mut kernels, &mut interconnect_bytes)?;
+                    Self::charge(&mut state.devices[d], &probe_desc, &mut run, &mut kernels, &mut interconnect_bytes)?;
                 }
             }
 
@@ -631,13 +657,7 @@ impl MultiGpuOlapEngine {
             if rows_d > 0 {
                 let arena_bytes = chunks_d[d].max(1) * n_groups * group_entry_bytes;
                 let arena_buf = {
-                    let placement = self.placement;
-                    let id = Self::register_bytes(
-                        &mut self.devices[d],
-                        placement,
-                        &format!("plan.groups.d{d}"),
-                        arena_bytes,
-                    )?;
+                    let id = state.register_bytes(d, self.placement, &format!("plan.groups.d{d}"), arena_bytes)?;
                     scratch.push((d, id));
                     id
                 };
@@ -651,7 +671,7 @@ impl MultiGpuOlapEngine {
                 agg_cols.sort_unstable();
                 agg_cols.dedup();
                 for &attr in &agg_cols {
-                    let (buffer, useful, pattern) = self.read_plan(probe, probe_table, d, attr)?;
+                    let (buffer, useful, pattern) = state.read_plan(probe, probe_table, d, attr)?;
                     agg_desc = agg_desc.read(buffer, useful, pattern);
                 }
                 if plan.group_by.is_some() {
@@ -661,17 +681,17 @@ impl MultiGpuOlapEngine {
                         AccessPattern::Random { elem_bytes: group_entry_bytes as u32 },
                     );
                 }
-                Self::charge(&mut self.devices[d], &agg_desc, &mut run, &mut kernels, &mut interconnect_bytes)?;
+                Self::charge(&mut state.devices[d], &agg_desc, &mut run, &mut kernels, &mut interconnect_bytes)?;
 
                 let merge_desc = KernelDesc::new(format!("merge_groups.d{d}"), (chunks_d[d] * n_groups).max(1))
                     .flops_per_element(1.0 + plan.aggregates.len() as f64)
                     .read(arena_buf, arena_bytes, AccessPattern::Sequential)
                     .write(n_groups * group_entry_bytes);
-                Self::charge(&mut self.devices[d], &merge_desc, &mut run, &mut kernels, &mut interconnect_bytes)?;
+                Self::charge(&mut state.devices[d], &merge_desc, &mut run, &mut kernels, &mut interconnect_bytes)?;
 
                 if probe.explicit_copy() {
                     Self::charge_transfer(
-                        &mut self.devices[d],
+                        &mut state.devices[d],
                         n_groups * group_entry_bytes,
                         TransferDirection::DeviceToHost,
                         &mut run,
@@ -684,6 +704,7 @@ impl MultiGpuOlapEngine {
                 critical = run;
             }
         }
+        drop(state);
 
         debug_assert_eq!(per_probe.iter().sum::<u64>(), probe_rows_total, "the shard is a partition of the rows");
 
@@ -706,15 +727,16 @@ impl MultiGpuOlapEngine {
             DataPlacement::DeviceResident => 1.0,
             DataPlacement::Host(AccessMode::Memcpy) | DataPlacement::Host(AccessMode::Uva) => 0.0,
             DataPlacement::Host(AccessMode::UnifiedMemory) => {
+                let state = self.devs.lock();
                 let mut total = 0u64;
                 let mut resident = 0u64;
-                let ids = self
+                let ids = state
                     .buffers
                     .iter()
                     .map(|((_, d, _), id)| (*d, *id))
-                    .chain(self.nsm_buffers.iter().map(|((_, d), id)| (*d, *id)));
+                    .chain(state.nsm_buffers.iter().map(|((_, d), id)| (*d, *id)));
                 for (d, id) in ids {
-                    crate::engine::accumulate_residency(self.devices[d].memory(), id, &mut total, &mut resident);
+                    crate::engine::accumulate_residency(state.devices[d].memory(), id, &mut total, &mut resident);
                 }
                 if total == 0 {
                     0.0
@@ -735,26 +757,26 @@ impl ExecutionSite for MultiGpuOlapEngine {
         "multi-gpu"
     }
 
-    fn register_table(&mut self, table: &SnapshotTable, label: &str) -> Result<RegisteredTable> {
+    fn register_table(&self, table: &SnapshotTable, label: &str) -> Result<RegisteredTable> {
         MultiGpuOlapEngine::register_table(self, table, label)
     }
 
-    fn reset_tables(&mut self) {
+    fn reset_tables(&self) {
         MultiGpuOlapEngine::reset_tables(self);
     }
 
-    fn unregister_table(&mut self, handle: RegisteredTable) {
+    fn unregister_table(&self, handle: RegisteredTable) {
         MultiGpuOlapEngine::unregister_table(self, handle);
     }
 
-    fn execute(&mut self, handle: RegisteredTable, table: &SnapshotTable, query: &ScanAggQuery) -> Result<OlapOutcome> {
+    fn execute(&self, handle: RegisteredTable, table: &SnapshotTable, query: &ScanAggQuery) -> Result<OlapOutcome> {
         let out = MultiGpuOlapEngine::execute(self, handle, table, query)?;
         emit_execution_spans(&self.tracer, out.site, &out.kernels, &out.breakdown, out.time, out.interconnect_bytes);
         Ok(out)
     }
 
     fn execute_plan(
-        &mut self,
+        &self,
         probe: RegisteredTable,
         probe_table: &SnapshotTable,
         build: Option<(RegisteredTable, &SnapshotTable)>,
@@ -777,11 +799,12 @@ impl ExecutionSite for MultiGpuOlapEngine {
     }
 
     fn capability(&self) -> SiteCapability {
-        let n = self.devices.len() as f64;
+        let n = self.device_count as f64;
         let resident = MultiGpuOlapEngine::resident_fraction(self);
+        let state = self.devs.lock();
         SiteCapability::Gpu {
             target: OlapTarget::MultiGpu,
-            devices: self
+            devices: state
                 .devices
                 .iter()
                 .map(|dev| GpuDeviceCapability {
@@ -864,11 +887,11 @@ mod tests {
     fn answers_are_byte_identical_to_the_single_gpu_site() {
         let table = snapshot_table(Layout::Dsm, 200_000);
         let query = bucket_query();
-        let mut single = GpuOlapEngine::new(GpuDevice::new(GpuSpec::gtx_980()), DataPlacement::Host(AccessMode::Uva));
+        let single = GpuOlapEngine::new(GpuDevice::new(GpuSpec::gtx_980()), DataPlacement::Host(AccessMode::Uva));
         let h = single.register_table(&table, "t").unwrap();
         let reference = single.execute(h, &table, &query).unwrap();
         for n in 1..=5 {
-            let mut multi = MultiGpuOlapEngine::new(mix(n), DataPlacement::Host(AccessMode::Uva)).unwrap();
+            let multi = MultiGpuOlapEngine::new(mix(n), DataPlacement::Host(AccessMode::Uva)).unwrap();
             let mh = multi.register_table(&table, "t").unwrap();
             let out = multi.execute(mh, &table, &query).unwrap();
             assert_eq!(out.value.to_bits(), reference.value.to_bits(), "{n} devices");
@@ -883,7 +906,7 @@ mod tests {
         let query = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![0, 2]));
         let time = |n: usize| {
             let devices = (0..n).map(|_| GpuDevice::new(GpuSpec::gtx_980())).collect();
-            let mut eng = MultiGpuOlapEngine::new(devices, DataPlacement::DeviceResident).unwrap();
+            let eng = MultiGpuOlapEngine::new(devices, DataPlacement::DeviceResident).unwrap();
             let h = eng.register_table(&table, "t").unwrap();
             eng.execute(h, &table, &query).unwrap().time.as_secs_f64()
         };
@@ -897,7 +920,7 @@ mod tests {
         let table = snapshot_table(Layout::Dsm, 500_000);
         let query = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![0, 2]));
         let time = |specs: Vec<GpuSpec>| {
-            let mut eng = MultiGpuOlapEngine::from_specs(specs, DataPlacement::DeviceResident).unwrap();
+            let eng = MultiGpuOlapEngine::from_specs(specs, DataPlacement::DeviceResident).unwrap();
             let h = eng.register_table(&table, "t").unwrap();
             eng.execute(h, &table, &query).unwrap().time.as_secs_f64()
         };
@@ -912,10 +935,10 @@ mod tests {
         let mut small = GpuSpec::gtx_980();
         small.mem_capacity_mib = 1; // second device cannot hold its shard
         let devices = vec![GpuDevice::new(GpuSpec::gtx_980()), GpuDevice::new(small)];
-        let mut eng = MultiGpuOlapEngine::new(devices, DataPlacement::DeviceResident).unwrap();
+        let eng = MultiGpuOlapEngine::new(devices, DataPlacement::DeviceResident).unwrap();
         assert!(eng.register_table(&table, "t").is_err());
-        for (d, dev) in eng.devices().iter().enumerate() {
-            assert_eq!(dev.memory().used_bytes(), 0, "device {d} must not strand shard buffers");
+        for (d, used) in eng.device_used_bytes().iter().enumerate() {
+            assert_eq!(*used, 0, "device {d} must not strand shard buffers");
         }
     }
 
@@ -963,12 +986,12 @@ mod tests {
             group_by: Some(PlanColumn::Build(2)),
             aggregates: vec![AggExpr::SumProduct(1, 2), AggExpr::Count],
         };
-        let mut single = GpuOlapEngine::new(GpuDevice::new(GpuSpec::gtx_980()), DataPlacement::Host(AccessMode::Uva));
+        let single = GpuOlapEngine::new(GpuDevice::new(GpuSpec::gtx_980()), DataPlacement::Host(AccessMode::Uva));
         let ph = single.register_table(&probe, "fact").unwrap();
         let bh = single.register_table(&build, "dim").unwrap();
         let reference = single.execute_plan(ph, &probe, Some((bh, &build)), &plan).unwrap();
         for n in [2usize, 3, 5] {
-            let mut multi = MultiGpuOlapEngine::new(mix(n), DataPlacement::Host(AccessMode::Uva)).unwrap();
+            let multi = MultiGpuOlapEngine::new(mix(n), DataPlacement::Host(AccessMode::Uva)).unwrap();
             let mph = multi.register_table(&probe, "fact").unwrap();
             let mbh = multi.register_table(&build, "dim").unwrap();
             let out = multi.execute_plan(mph, &probe, Some((mbh, &build)), &plan).unwrap();
@@ -1004,7 +1027,7 @@ mod tests {
         let build = db.snapshot().table(t).unwrap().clone();
         let mut tiny = GpuSpec::gtx_980();
         tiny.mem_capacity_mib = 1;
-        let mut eng = MultiGpuOlapEngine::new(
+        let eng = MultiGpuOlapEngine::new(
             vec![GpuDevice::new(GpuSpec::gtx_980()), GpuDevice::new(tiny)],
             DataPlacement::DeviceResident,
         )
@@ -1024,13 +1047,13 @@ mod tests {
     #[test]
     fn plan_scratch_is_freed_on_every_device() {
         let probe = snapshot_table(Layout::Dsm, 150_000);
-        let mut eng = MultiGpuOlapEngine::new(
+        let eng = MultiGpuOlapEngine::new(
             vec![GpuDevice::new(GpuSpec::gtx_980()), GpuDevice::new(GpuSpec::gtx_980())],
             DataPlacement::DeviceResident,
         )
         .unwrap();
         let h = eng.register_table(&probe, "t").unwrap();
-        let before: Vec<u64> = eng.devices().iter().map(|d| d.memory().used_bytes()).collect();
+        let before = eng.device_used_bytes();
         let plan = OlapPlan {
             predicates: vec![Predicate::between(1, 0.0, 4.0)],
             join: None,
@@ -1038,16 +1061,16 @@ mod tests {
             aggregates: vec![AggExpr::SumColumns(vec![2])],
         };
         eng.execute_plan(h, &probe, None, &plan).unwrap();
-        let after: Vec<u64> = eng.devices().iter().map(|d| d.memory().used_bytes()).collect();
+        let after = eng.device_used_bytes();
         assert_eq!(before, after, "group arenas must be freed on every device");
         eng.unregister_table(h);
-        assert!(eng.devices().iter().all(|d| d.memory().used_bytes() == 0));
+        assert!(eng.device_used_bytes().iter().all(|&used| used == 0));
     }
 
     #[test]
     fn empty_tables_are_rejected_like_every_other_site() {
         let table = snapshot_table(Layout::Dsm, 0);
-        let mut eng = MultiGpuOlapEngine::new(mix(2), DataPlacement::Host(AccessMode::Uva)).unwrap();
+        let eng = MultiGpuOlapEngine::new(mix(2), DataPlacement::Host(AccessMode::Uva)).unwrap();
         let h = eng.register_table(&table, "t").unwrap();
         assert!(eng.execute(h, &table, &bucket_query()).is_err());
     }

@@ -32,7 +32,13 @@ use h2tap_storage::SnapshotTable;
 /// are registered once ([`ExecutionSite::register_table`]), queried any
 /// number of times ([`ExecutionSite::execute`]), and dropped together when
 /// the snapshot is refreshed ([`ExecutionSite::reset_tables`]).
-pub trait ExecutionSite: Send {
+///
+/// Every method takes `&self`: sites are **concurrent** — the engine serves
+/// analytical queries from many client threads at once, so each impl owns
+/// its mutable state behind interior mutability and must keep `execute` /
+/// `execute_plan` safe (and, for throughput, actually parallel — don't hold
+/// a site-wide lock across host compute) under simultaneous calls.
+pub trait ExecutionSite: Send + Sync {
     /// Which placement target this site serves.
     fn target(&self) -> OlapTarget;
 
@@ -41,20 +47,20 @@ pub trait ExecutionSite: Send {
 
     /// Registers a snapshot table with the site. Must be called once per
     /// snapshot table before queries run against it.
-    fn register_table(&mut self, table: &SnapshotTable, label: &str) -> Result<RegisteredTable>;
+    fn register_table(&self, table: &SnapshotTable, label: &str) -> Result<RegisteredTable>;
 
     /// Releases every registration (called on snapshot refresh).
-    fn reset_tables(&mut self);
+    fn reset_tables(&self);
 
     /// Releases one table registration, freeing whatever site-local
     /// resources (device buffers) it holds. Used to roll back the tables a
     /// *failed* multi-table attempt registered, so an OOM fallback does not
     /// strand device memory until the next snapshot refresh.
-    fn unregister_table(&mut self, handle: RegisteredTable);
+    fn unregister_table(&self, handle: RegisteredTable);
 
     /// Executes `query` against a registered snapshot table, returning the
     /// exact answer and the site's simulated cost.
-    fn execute(&mut self, handle: RegisteredTable, table: &SnapshotTable, query: &ScanAggQuery) -> Result<OlapOutcome>;
+    fn execute(&self, handle: RegisteredTable, table: &SnapshotTable, query: &ScanAggQuery) -> Result<OlapOutcome>;
 
     /// Executes a relational plan (filter → optional hash join → optional
     /// group-by) against a registered probe table and, for join plans, a
@@ -63,7 +69,7 @@ pub trait ExecutionSite: Send {
     /// (see [`h2tap_common::plan`] for the evaluation-order contract); only
     /// the simulated cost differs.
     fn execute_plan(
-        &mut self,
+        &self,
         probe: RegisteredTable,
         probe_table: &SnapshotTable,
         build: Option<(RegisteredTable, &SnapshotTable)>,
@@ -93,7 +99,7 @@ pub trait ExecutionSite: Send {
 
     /// Capability hint: reacts to archipelago core migration. Sites that do
     /// not execute on CPU cores ignore it.
-    fn set_cores(&mut self, _cores: u32) {}
+    fn set_cores(&self, _cores: u32) {}
 
     /// Installs the shared snapshot-keyed plan-data cache. Every site built
     /// into one engine receives the *same* cache, so materialised columns,
@@ -187,7 +193,7 @@ mod tests {
         let table = snapshot_table(1_000);
         let query = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![1]));
         let mut answers = Vec::new();
-        for mut site in sites() {
+        for site in sites() {
             let handle = site.register_table(&table, "t").unwrap();
             let out = site.execute(handle, &table, &query).unwrap();
             assert_eq!(out.site, site.target());
@@ -226,7 +232,7 @@ mod tests {
             aggregates: vec![AggExpr::SumColumns(vec![1]), AggExpr::Count],
         };
         let mut results = Vec::new();
-        for mut site in sites() {
+        for site in sites() {
             let ph = site.register_table(&probe, "fact").unwrap();
             let bh = site.register_table(&build, "dim").unwrap();
             let out = site.execute_plan(ph, &probe, Some((bh, &build)), &plan).unwrap();

@@ -431,8 +431,11 @@ impl OltpRuntime {
         Ok(BenchmarkWindow { elapsed, stats, throughput_tps: throughput(stats.committed, elapsed) })
     }
 
-    /// Stops all workers and waits for them to exit.
-    pub fn shutdown(mut self) -> OltpStats {
+    /// Stops all workers and waits for them to exit, leaving the runtime
+    /// alive for final statistics collection. Pending submissions drain
+    /// before the workers exit, so the counters read after `stop` reflect
+    /// every transaction that was ever accepted. Idempotent.
+    pub fn stop(&mut self) -> OltpStats {
         self.generating.store(false, Ordering::Release);
         self.shutdown.store(true, Ordering::Release);
         // Dropping the job senders unblocks workers waiting on submissions.
@@ -441,6 +444,11 @@ impl OltpRuntime {
             let _ = handle.join();
         }
         self.stats()
+    }
+
+    /// Stops all workers and waits for them to exit.
+    pub fn shutdown(mut self) -> OltpStats {
+        self.stop()
     }
 }
 

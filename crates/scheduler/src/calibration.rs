@@ -534,13 +534,24 @@ pub struct CoreMigration {
 /// the scheduler (which enforces its own invariants, e.g. the task-parallel
 /// archipelago can never be emptied).
 pub trait CoreMigrationPolicy: Send {
-    /// Returns the migration to apply now, if any.
+    /// Returns the migration to apply now, if any. Recommending must not
+    /// commit any rate-limiting state: the engine may fail to apply the
+    /// move (scheduler invariants, a racing manual migration), and a policy
+    /// that burns its cooldown on a refused move goes silent for a whole
+    /// cooldown window while the saturation it detected persists.
     fn recommend(
         &mut self,
         report: &CalibrationReport,
         data_parallel_cores: u32,
         task_parallel_cores: u32,
     ) -> Option<CoreMigration>;
+
+    /// Called by the engine after a recommended migration was actually
+    /// applied. Policies that rate-limit themselves commit their cooldown
+    /// state here; the default is stateless and does nothing.
+    fn commit(&mut self, report: &CalibrationReport) {
+        let _ = report;
+    }
 }
 
 /// Error-driven elasticity: when the CPU site's *sustained signed* prediction
@@ -622,17 +633,17 @@ impl CoreMigrationPolicy for SaturationMigrationPolicy {
                 return None;
             }
         }
-        let migration = if cpu.signed_error > self.signed_error_threshold && task_parallel_cores > self.min_task_cores {
+        if cpu.signed_error > self.signed_error_threshold && task_parallel_cores > self.min_task_cores {
             Some(CoreMigration { from: ArchipelagoKind::TaskParallel, to: ArchipelagoKind::DataParallel })
         } else if cpu.signed_error < -self.signed_error_threshold && data_parallel_cores > 1 {
             Some(CoreMigration { from: ArchipelagoKind::DataParallel, to: ArchipelagoKind::TaskParallel })
         } else {
             None
-        };
-        if migration.is_some() {
-            self.last_migration_at = Some(report.observations);
         }
-        migration
+    }
+
+    fn commit(&mut self, report: &CalibrationReport) {
+        self.last_migration_at = Some(report.observations);
     }
 }
 
@@ -932,19 +943,46 @@ mod tests {
         let m = policy.recommend(&report, 2, 4).expect("saturated CPU side pulls a core");
         assert_eq!(m.from, ArchipelagoKind::TaskParallel);
         assert_eq!(m.to, ArchipelagoKind::DataParallel);
+        policy.commit(&report);
         // Cooldown: no second migration until more observations arrive.
         assert!(policy.recommend(&report, 3, 3).is_none());
         report.observations = 9;
         assert!(policy.recommend(&report, 3, 3).is_some());
+        policy.commit(&report);
         // Overprovisioned CPU side returns a core to transactions.
         report.observations = 20;
         report.sites[1].signed_error = -0.5;
         let back = policy.recommend(&report, 3, 3).expect("overprovisioned side gives a core back");
         assert_eq!(back.from, ArchipelagoKind::DataParallel);
+        policy.commit(&report);
         // The task-parallel floor is respected.
         report.observations = 40;
         report.sites[1].signed_error = 0.5;
         assert!(policy.recommend(&report, 7, 1).is_none(), "task archipelago at its floor");
+    }
+
+    #[test]
+    fn uncommitted_recommendations_do_not_burn_the_cooldown() {
+        // A recommendation the engine could not apply (the scheduler refused
+        // the move) must not start the cooldown window: the policy keeps
+        // recommending at every observation until one move actually lands.
+        let mut policy = SaturationMigrationPolicy {
+            signed_error_threshold: 0.2,
+            min_observations: 2,
+            cooldown: 100,
+            ..SaturationMigrationPolicy::default()
+        };
+        let mut report = CostCalibrator::new(CalibrationConfig::default(), CostModel::default()).report();
+        report.sites[1].observations = 5;
+        report.sites[1].signed_error = 0.5;
+        report.observations = 5;
+        for _ in 0..3 {
+            assert!(policy.recommend(&report, 2, 4).is_some(), "refused moves leave the policy armed");
+        }
+        // Once a move is committed, the (long) cooldown finally engages.
+        policy.commit(&report);
+        report.observations = 6;
+        assert!(policy.recommend(&report, 3, 3).is_none());
     }
 
     #[test]

@@ -133,20 +133,20 @@ fn join_group_by_plans_are_byte_identical_across_sites_and_mixes() {
         }
         let build = db.snapshot().table(t).unwrap().clone();
 
-        let mut cpu = CpuOlapEngine::archipelago_default(8);
+        let cpu = CpuOlapEngine::archipelago_default(8);
         let cp = cpu.register_table(&probe, "fact").unwrap();
         let cb = cpu.register_table(&build, "dim").unwrap();
         let reference = cpu.execute_plan(cp, &probe, Some((cb, &build)), &plan).unwrap();
         assert!(!reference.groups.is_empty());
 
-        let mut gpu = GpuOlapEngine::new(GpuDevice::new(GpuSpec::gtx_980()), DataPlacement::Host(AccessMode::Uva));
+        let gpu = GpuOlapEngine::new(GpuDevice::new(GpuSpec::gtx_980()), DataPlacement::Host(AccessMode::Uva));
         let gp = gpu.register_table(&probe, "fact").unwrap();
         let gb = gpu.register_table(&build, "dim").unwrap();
         let gpu_out = gpu.execute_plan(gp, &probe, Some((gb, &build)), &plan).unwrap();
         assert_eq!(gpu_out.groups, reference.groups, "{layout:?}: single GPU");
 
         for n in [2usize, 4] {
-            let mut multi = multi_engine(n, DataPlacement::Host(AccessMode::Uva));
+            let multi = multi_engine(n, DataPlacement::Host(AccessMode::Uva));
             let mp = multi.register_table(&probe, "fact").unwrap();
             let mb = multi.register_table(&build, "dim").unwrap();
             let out = multi.execute_plan(mp, &probe, Some((mb, &build)), &plan).unwrap();
