@@ -55,7 +55,7 @@ pub struct Allow {
 }
 
 /// The lint names an allow annotation may suppress.
-pub const ALLOW_LINTS: &[&str] = &["lock_order", "determinism", "panic"];
+pub const ALLOW_LINTS: &[&str] = &["lock_order", "determinism", "panic", "error_swallow"];
 
 /// Lexer output: the token stream plus the allow annotations (keyed by
 /// line) and any malformed `h2tap:` comments (reported as findings — a

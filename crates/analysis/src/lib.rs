@@ -2,7 +2,7 @@
 //!
 //! A self-contained static-analysis pass over the workspace's Rust sources
 //! (hand-rolled token scanner; the offline vendor tree has no `syn`) with
-//! four lint families, run as a CI gate ahead of the concurrent-execution
+//! five lint families, run as a CI gate ahead of the concurrent-execution
 //! refactor:
 //!
 //! 1. **lock-order audit** — every `.lock()`/`.read()`/`.write()`
@@ -13,7 +13,10 @@
 //!    blessed kernel modules, protecting the byte-identity contract.
 //! 3. **panic-path lint** — `unwrap`/`expect`/`panic!`/`todo!` in non-test
 //!    code of `engine`/`olap`/`scheduler`/`storage`.
-//! 4. **concurrency-readiness inventory** — `&mut self` methods on
+//! 4. **error-swallow lint** — `let _ = <fallible call>;` and `.ok()` in
+//!    non-test code of the same crates: a silently dropped `Result` is a
+//!    fault the resilience ladder never sees.
+//! 5. **concurrency-readiness inventory** — `&mut self` methods on
 //!    `ExecutionSite` impls and interior-mutability fields: the worklist
 //!    the `&self`-concurrent refactor will consume (informational).
 //!
@@ -39,6 +42,8 @@ pub enum Lint {
     LockOrder,
     Determinism,
     Panic,
+    /// Silently discarded fallible results (`let _ = …;`, `.ok()`).
+    ErrorSwallow,
     /// Malformed `h2tap:` annotations; never allowable.
     AllowSyntax,
 }
@@ -49,11 +54,12 @@ impl Lint {
             Lint::LockOrder => "lock_order",
             Lint::Determinism => "determinism",
             Lint::Panic => "panic",
+            Lint::ErrorSwallow => "error_swallow",
             Lint::AllowSyntax => "allow_syntax",
         }
     }
 
-    pub const ALL: [Lint; 4] = [Lint::LockOrder, Lint::Determinism, Lint::Panic, Lint::AllowSyntax];
+    pub const ALL: [Lint; 5] = [Lint::LockOrder, Lint::Determinism, Lint::Panic, Lint::ErrorSwallow, Lint::AllowSyntax];
 }
 
 /// One lint finding at a source location. `allow_reason` carries the text
@@ -109,6 +115,11 @@ impl Analysis {
 /// Crates whose non-test code the panic-path lint covers.
 const PANIC_CRATES: &[&str] = &["engine", "olap", "scheduler", "storage"];
 
+/// Crates whose non-test code the error-swallow lint covers: the serving
+/// path, where a silently dropped `Result` is a fault the resilience
+/// ladder never sees.
+const SWALLOW_CRATES: &[&str] = &["engine", "olap", "scheduler", "storage"];
+
 /// Result-producing crates the determinism lint covers.
 const DETERMINISM_CRATES: &[&str] = &["engine", "olap", "scheduler", "storage", "common", "workloads"];
 
@@ -160,6 +171,9 @@ pub fn analyze(root: &Path) -> io::Result<Analysis> {
         }
         if fixture || PANIC_CRATES.contains(&crate_name.as_str()) {
             analysis.findings.extend(lints::panic_paths(&file));
+        }
+        if fixture || SWALLOW_CRATES.contains(&crate_name.as_str()) {
+            analysis.findings.extend(lints::error_swallows(&file));
         }
         lints::inventory(&file, &mut analysis.inventory.mut_self_methods, &mut analysis.inventory.interior_fields);
         for (line, msg) in &file.lexed.malformed_allows {

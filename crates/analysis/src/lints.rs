@@ -463,6 +463,90 @@ pub fn panic_paths(file: &SourceFile) -> Vec<Finding> {
     findings
 }
 
+/// Error-swallow lint: fallible results silently discarded in non-test
+/// code. Two shapes, both token-level:
+///
+/// * `let _ = <expr>;` where the expression contains at least one call —
+///   the classic way to drop a `Result` on the floor (a plain value
+///   discard like `let _ = report;` has no call and is not flagged);
+/// * `.ok()` (empty argument list) — converts a `Result` to `Option` with
+///   the error branch erased, whether chained or statement-discarded.
+pub fn error_swallows(file: &SourceFile) -> Vec<Finding> {
+    let toks = file.tokens();
+    let mut findings = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if file.in_test_code(t.line) {
+            i += 1;
+            continue;
+        }
+        // `let _ = <expr with a call>;` — scan the statement at depth 0 for
+        // a `(` opening a call or macro invocation.
+        if t.is_ident("let")
+            && toks.get(i + 1).is_some_and(|u| u.is_ident("_"))
+            && toks.get(i + 2).is_some_and(|e| e.is_punct('='))
+        {
+            let mut j = i + 3;
+            let mut depth = 0i64;
+            let mut has_call = false;
+            while j < toks.len() {
+                let u = &toks[j];
+                if u.is_punct('(') || u.is_punct('[') || u.is_punct('{') {
+                    if u.is_punct('(')
+                        && j > 0
+                        && (toks[j - 1].ident().is_some() || toks[j - 1].is_punct('!') || toks[j - 1].is_punct('?'))
+                    {
+                        has_call = true;
+                    }
+                    depth += 1;
+                } else if u.is_punct(')') || u.is_punct(']') || u.is_punct('}') {
+                    depth -= 1;
+                } else if u.is_punct(';') && depth == 0 {
+                    break;
+                }
+                j += 1;
+            }
+            if has_call {
+                let allow = file.allow_for("error_swallow", t.line);
+                findings.push(Finding {
+                    lint: Lint::ErrorSwallow,
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    function: file.enclosing_function(i).map(|f| f.name.clone()),
+                    message: "`let _ = <call>;` discards a fallible result; handle the error or annotate why \
+                              dropping it is safe"
+                        .to_string(),
+                    allow_reason: allow.map(|a| a.reason.clone()),
+                });
+            }
+            i = j;
+            continue;
+        }
+        // `.ok()` with an empty argument list. (`ok_or*` and other idents
+        // are distinct tokens and never match.)
+        if t.is_punct('.')
+            && toks.get(i + 1).is_some_and(|m| m.is_ident("ok"))
+            && toks.get(i + 2).is_some_and(|p| p.is_punct('('))
+            && toks.get(i + 3).is_some_and(|p| p.is_punct(')'))
+        {
+            let allow = file.allow_for("error_swallow", t.line);
+            findings.push(Finding {
+                lint: Lint::ErrorSwallow,
+                file: file.rel_path.clone(),
+                line: t.line,
+                function: file.enclosing_function(i).map(|f| f.name.clone()),
+                message: "`.ok()` erases the error branch of a Result; surface the error or annotate why \
+                          discarding it is safe"
+                    .to_string(),
+                allow_reason: allow.map(|a| a.reason.clone()),
+            });
+        }
+        i += 1;
+    }
+    findings
+}
+
 /// One `&mut self` method on an `ExecutionSite` impl (or the trait itself).
 #[derive(Debug, Clone)]
 pub struct MutSelfMethod {
@@ -719,6 +803,34 @@ mod tests {
         let findings = panic_paths(&f);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].allow_reason.as_deref(), Some("checked by caller"));
+    }
+
+    #[test]
+    fn discarded_call_results_and_ok_are_flagged() {
+        let f =
+            file("fn f(&self) {\n    let _ = self.device.free(id);\n    self.flush().ok();\n    let _ = report;\n}\n");
+        let findings = error_swallows(&f);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].message.contains("let _"));
+        assert!(findings[1].message.contains(".ok()"));
+    }
+
+    #[test]
+    fn chained_ok_is_flagged_but_ok_or_is_not() {
+        let f = file("fn f(s: &str) -> Option<u32> {\n    s.parse::<u32>().ok()\n}\nfn g(x: Option<u32>) -> Result<u32, E> { x.ok_or(E) }\n");
+        let findings = error_swallows(&f);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn swallow_allow_marks_but_still_reports() {
+        let f = file(
+            "fn f(&self) {\n    // h2tap: allow(error_swallow) — best-effort free on the teardown path\n    let _ = self.device.free(id);\n}\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = helper(); go().ok(); }\n}\n",
+        );
+        let findings = error_swallows(&f);
+        assert_eq!(findings.len(), 1, "test code must be exempt: {findings:?}");
+        assert!(findings[0].is_allowed());
     }
 
     #[test]

@@ -1,0 +1,16 @@
+//! Known-bad fixture for the error-swallow lint. Expected findings: two —
+//! a `let _ = <call>;` that drops a `Result` on the floor, and an `.ok()`
+//! that erases the error branch. The plain value discard at the end has no
+//! call and must NOT be flagged.
+
+pub fn teardown(dev: &mut Device, id: BufferId) {
+    let _ = dev.memory_mut().free(id);
+}
+
+pub fn flush_quietly(sink: &mut Sink) {
+    sink.flush().ok();
+}
+
+pub fn consume(report: Report) {
+    let _ = report;
+}

@@ -181,6 +181,45 @@ fn concurrency_json(s: &exp::ConcurrencySummary) -> String {
     )
 }
 
+/// Serialises the chaos summary to JSON by hand (the offline serde
+/// stand-in has no serializer; the artifact is tracked across PRs as
+/// `BENCH_chaos.json`).
+fn chaos_json(s: &exp::ChaosSummary) -> String {
+    let items: Vec<String> = s
+        .phases
+        .iter()
+        .map(|p| {
+            format!(
+                "  {{\"phase\":\"{}\",\"clients\":{},\"queries\":{},\"client_errors\":{},\"wrong_answers\":{},\
+                 \"availability\":{:.6},\"faults\":{},\"retries\":{},\"fallbacks\":{},\"gpu_quarantines\":{},\
+                 \"wall_ms\":{:.3},\"latency\":{}}}",
+                p.phase,
+                p.clients,
+                p.queries,
+                p.client_errors,
+                p.wrong_answers,
+                p.availability,
+                p.faults,
+                p.retries,
+                p.fallbacks,
+                p.gpu_quarantines,
+                p.wall_ms,
+                p.latency.json()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n\"availability\": {:.6},\n\"wrong_answers\": {},\n\"client_errors\": {},\n\"time_to_recover_ms\": \
+         {:.3},\n\"final_gpu_state\": \"{}\",\n\"phases\": [\n{}\n]\n}}\n",
+        s.availability,
+        s.wrong_answers,
+        s.client_errors,
+        s.time_to_recover_ms,
+        s.final_gpu_state,
+        items.join(",\n")
+    )
+}
+
 /// Serialises the multi-GPU sweep to JSON by hand (the offline serde
 /// stand-in has no serializer; the artifact is tracked across PRs as
 /// `BENCH_multigpu.json`).
@@ -468,6 +507,64 @@ fn main() {
         if json {
             let path = "BENCH_concurrency.json";
             std::fs::write(path, concurrency_json(&s)).expect("write concurrency summary");
+            println!("wrote {path}");
+        }
+    }
+
+    if wants("chaos") {
+        header("Chaos: concurrent serving under seeded fault plans, bit-checked against a fault-free oracle");
+        println!(
+            "{:<16} {:>8} {:>8} {:>7} {:>7} {:>9} {:>7} {:>8} {:>10} {:>9} {:>9}",
+            "phase",
+            "queries",
+            "errors",
+            "wrong",
+            "faults",
+            "retries",
+            "fbacks",
+            "quarant",
+            "avail %",
+            "p50 ms",
+            "p99 ms"
+        );
+        let (rows, clients, per_client) = if quick { (40_000, 4, 8) } else { (120_000, 8, 16) };
+        let s = exp::fig_chaos(rows, clients, per_client);
+        for p in &s.phases {
+            println!(
+                "{:<16} {:>8} {:>8} {:>7} {:>7} {:>9} {:>7} {:>8} {:>10.2} {:>9.3} {:>9.3}",
+                p.phase,
+                p.queries,
+                p.client_errors,
+                p.wrong_answers,
+                p.faults,
+                p.retries,
+                p.fallbacks,
+                p.gpu_quarantines,
+                p.availability * 100.0,
+                p.latency.p50_ms,
+                p.latency.p99_ms
+            );
+        }
+        println!(
+            "-> availability {:.2}% | wrong answers {} | time-to-recover {:.2} ms | final gpu breaker: {}",
+            s.availability * 100.0,
+            s.wrong_answers,
+            s.time_to_recover_ms,
+            s.final_gpu_state
+        );
+        // Release-mode acceptance gate: under the default transient-storm and
+        // device-loss plans the resilience ladder must keep serving (>= 99%
+        // availability) and must never trade correctness for liveness.
+        #[cfg(not(debug_assertions))]
+        {
+            assert!(s.availability >= 0.99, "chaos availability fell below 99%: {:.4}", s.availability);
+            assert_eq!(s.wrong_answers, 0, "a fault path changed an answer");
+            assert_eq!(s.client_errors, 0, "a fault leaked to a client as an error");
+            assert!(s.time_to_recover_ms > 0.0, "device loss never fired, recovery was not measured");
+        }
+        if json {
+            let path = "BENCH_chaos.json";
+            std::fs::write(path, chaos_json(&s)).expect("write chaos summary");
             println!("wrote {path}");
         }
     }

@@ -6,7 +6,7 @@
 //! down from the paper's (SF-300, 16 GB, 24 cores) so a full sweep finishes
 //! in minutes on a laptop; the scale knobs are explicit parameters.
 
-use caldera::{Caldera, CalderaConfig, DataPlacement, OlapTarget, SnapshotPolicy};
+use caldera::{Caldera, CalderaConfig, DataPlacement, DeviceLossPoint, FaultPlan, OlapTarget, SnapshotPolicy};
 use h2tap_baselines::{CpuEngineKind, CpuOlapEngine, SiloDb, SiloRuntime, SnSilo};
 use h2tap_common::stats::Histogram;
 use h2tap_common::{SimDuration, TableId};
@@ -1346,6 +1346,231 @@ pub fn fig_concurrency(
 }
 
 // ---------------------------------------------------------------------------
+// chaos: availability and exactness under injected faults
+// ---------------------------------------------------------------------------
+
+/// One fault-plan phase of the chaos experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChaosPhaseRow {
+    /// Phase label ("fault_free", "transient_storm", "device_loss").
+    pub phase: &'static str,
+    /// Concurrent client threads.
+    pub clients: u32,
+    /// Queries issued by the phase.
+    pub queries: u64,
+    /// Queries that returned an error to a client (the ladder failed).
+    pub client_errors: u64,
+    /// Successful queries whose bits differed from the serial oracle.
+    pub wrong_answers: u64,
+    /// `(queries - client_errors) / queries`.
+    pub availability: f64,
+    /// Typed faults the dispatch layer observed during the phase.
+    pub faults: u64,
+    /// In-place transient retries during the phase.
+    pub retries: u64,
+    /// Next-best-site fallbacks during the phase.
+    pub fallbacks: u64,
+    /// Times the GPU site's breaker tripped during the phase.
+    pub gpu_quarantines: u64,
+    /// Wall-clock of the whole phase.
+    pub wall_ms: f64,
+    /// Per-query wall-clock latency percentiles (p99-under-faults).
+    pub latency: LatencyPercentiles,
+}
+
+/// Result of the chaos experiment: the per-phase rows plus the headline
+/// gate numbers (worst-phase availability, total wrong answers, how fast
+/// the engine recovered from a permanent device loss).
+#[derive(Debug, Clone)]
+pub struct ChaosSummary {
+    /// One row per fault-plan phase, in execution order.
+    pub phases: Vec<ChaosPhaseRow>,
+    /// The minimum availability across every phase.
+    pub availability: f64,
+    /// Total bit-mismatches against the oracle (must be zero).
+    pub wrong_answers: u64,
+    /// Total client-visible errors (must be zero: every fault is absorbed).
+    pub client_errors: u64,
+    /// Wall-clock latency of the serial query during which the scheduled
+    /// device loss fired — detection, breaker trip and re-route included,
+    /// i.e. the time a client waited for the engine to recover.
+    pub time_to_recover_ms: f64,
+    /// The GPU breaker's position after the device-loss phase
+    /// ("quarantined"/"half_open": the dead device stayed fenced off).
+    pub final_gpu_state: &'static str,
+}
+
+fn chaos_engine(lineitem_rows: u64, fault_plan: Option<FaultPlan>) -> (Caldera, TableId) {
+    let mut config = CalderaConfig::with_workers(2);
+    config.olap_cpu_cores = 8;
+    // Device-resident data so placement genuinely prefers the GPU — the
+    // site the fault plans then sabotage.
+    config.olap_device.placement = DataPlacement::DeviceResident;
+    config.snapshot_policy = SnapshotPolicy::Manual;
+    config.olap_admission_in_flight = Some(8);
+    config.fault_plan = fault_plan;
+    let mut builder = Caldera::builder(config);
+    let lineitem = tpch::load_lineitem(&mut builder, Layout::Dsm, lineitem_rows, 7).unwrap();
+    (builder.start().unwrap(), lineitem)
+}
+
+/// Runs one fault-plan phase: `clients` threads issue `per_client` Q6 scans
+/// each against a fresh engine under `fault_plan`, counting (not asserting)
+/// client-visible errors and oracle mismatches so the caller can report and
+/// gate on them.
+fn chaos_phase(
+    phase: &'static str,
+    lineitem_rows: u64,
+    fault_plan: Option<FaultPlan>,
+    clients: u32,
+    per_client: u32,
+    oracle_bits: u64,
+) -> (ChaosPhaseRow, caldera::HtapStats) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Barrier;
+    use std::time::Instant;
+
+    let (caldera, lineitem) = chaos_engine(lineitem_rows, fault_plan);
+    let scan = q6();
+    let caldera = Arc::new(caldera);
+    let errors = Arc::new(AtomicU64::new(0));
+    let wrong = Arc::new(AtomicU64::new(0));
+    let hist = Arc::new(std::sync::Mutex::new(Histogram::new()));
+    let barrier = Arc::new(Barrier::new(clients as usize + 1));
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let caldera = Arc::clone(&caldera);
+            let barrier = Arc::clone(&barrier);
+            let errors = Arc::clone(&errors);
+            let wrong = Arc::clone(&wrong);
+            let hist = Arc::clone(&hist);
+            let scan = scan.clone();
+            std::thread::spawn(move || {
+                let mut local = Histogram::new();
+                barrier.wait();
+                for _ in 0..per_client {
+                    let started = Instant::now();
+                    match caldera.run_olap(lineitem, &scan) {
+                        Ok(out) => {
+                            if out.value.to_bits() != oracle_bits {
+                                wrong.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    local.record(started.elapsed().as_secs_f64());
+                }
+                hist.lock().unwrap().merge(&local);
+            })
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let caldera = Arc::try_unwrap(caldera).unwrap_or_else(|_| panic!("all clients joined"));
+    let stats = caldera.shutdown();
+    let queries = u64::from(clients) * u64::from(per_client);
+    let client_errors = errors.load(Ordering::Relaxed);
+    let row = ChaosPhaseRow {
+        phase,
+        clients,
+        queries,
+        client_errors,
+        wrong_answers: wrong.load(Ordering::Relaxed),
+        availability: if queries > 0 { (queries - client_errors) as f64 / queries as f64 } else { 1.0 },
+        faults: stats.resilience.faults,
+        retries: stats.resilience.retries,
+        fallbacks: stats.resilience.fallbacks,
+        gpu_quarantines: stats
+            .olap_sites
+            .iter()
+            .find(|s| s.target == OlapTarget::Gpu)
+            .map_or(0, |s| s.health.quarantines),
+        wall_ms,
+        latency: LatencyPercentiles::from_secs_histogram(&hist.lock().unwrap()),
+    };
+    (row, stats)
+}
+
+/// The chaos experiment: the PR-9 concurrency harness under seeded fault
+/// plans. Three phases against identical data — fault-free (the oracle and
+/// the latency baseline), a transient-fault storm (retries must absorb it),
+/// and a mid-stream permanent GPU loss (the breaker must quarantine the
+/// dead device and re-route every query). Every successful answer is
+/// bit-checked against the fault-free serial oracle; the summary carries
+/// the availability/exactness gate numbers plus a serially measured
+/// time-to-recover for the device loss.
+pub fn fig_chaos(lineitem_rows: u64, clients: u32, per_client: u32) -> ChaosSummary {
+    use std::time::Instant;
+
+    // Serial oracle on a clean engine: the law for every phase below.
+    let (clean, lineitem) = chaos_engine(lineitem_rows, None);
+    let oracle_bits = clean.run_olap(lineitem, &q6()).unwrap().value.to_bits();
+    clean.shutdown();
+
+    let total_queries = u64::from(clients) * u64::from(per_client);
+    let mut loss_plan = FaultPlan::transient_storm(0xC1DA05);
+    // Kill the device roughly a third of the way through the stream, with
+    // the storm still raging around it.
+    loss_plan.device_loss_at =
+        Some(DeviceLossPoint { site: "gpu".into(), device: 0, launch: (total_queries / 3).max(2) });
+
+    let phases_spec: Vec<(&'static str, Option<FaultPlan>)> = vec![
+        ("fault_free", None),
+        ("transient_storm", Some(FaultPlan::transient_storm(0xC1DA))),
+        ("device_loss", Some(loss_plan)),
+    ];
+    let mut phases = Vec::new();
+    let mut final_gpu_state = "closed";
+    for (phase, plan) in phases_spec {
+        let (row, stats) = chaos_phase(phase, lineitem_rows, plan, clients, per_client, oracle_bits);
+        if phase == "device_loss" {
+            final_gpu_state = stats
+                .olap_sites
+                .iter()
+                .find(|s| s.target == OlapTarget::Gpu)
+                .map_or("closed", |s| s.health.state.name());
+        }
+        phases.push(row);
+    }
+
+    // Time-to-recover, measured serially so the number is attributable: one
+    // client, a scheduled loss a few launches in, and the wall-clock of the
+    // query that absorbs the loss (fault -> breaker trip -> re-route -> CPU
+    // answer) is the recovery time a caller would observe.
+    let mut serial_plan = FaultPlan::quiet(0x0C1DA);
+    serial_plan.device_loss_at = Some(DeviceLossPoint { site: "gpu".into(), device: 0, launch: 4 });
+    let (caldera, lineitem) = chaos_engine(lineitem_rows, Some(serial_plan));
+    let scan = q6();
+    let mut time_to_recover_ms = 0.0;
+    for _ in 0..16 {
+        let started = Instant::now();
+        let out = caldera.run_olap(lineitem, &scan).unwrap();
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(out.value.to_bits(), oracle_bits, "the recovery query must stay exact");
+        if time_to_recover_ms == 0.0 && caldera.stats().resilience.faults > 0 {
+            time_to_recover_ms = elapsed_ms;
+        }
+    }
+    caldera.shutdown();
+
+    ChaosSummary {
+        availability: phases.iter().map(|p| p.availability).fold(1.0, f64::min),
+        wrong_answers: phases.iter().map(|p| p.wrong_answers).sum(),
+        client_errors: phases.iter().map(|p| p.client_errors).sum(),
+        time_to_recover_ms,
+        final_gpu_state,
+        phases,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Trace capture: the --trace-out artifact
 // ---------------------------------------------------------------------------
 
@@ -1604,5 +1829,27 @@ mod tests {
         assert!(fermi_ratio < 4.5, "fermi NSM/DSM {fermi_ratio}");
         assert!(maxwell_ratio < 3.0, "maxwell NSM/DSM {maxwell_ratio}");
         assert!(maxwell_ratio <= fermi_ratio + 0.2);
+    }
+
+    #[test]
+    fn fig_chaos_absorbs_faults_without_wrong_answers() {
+        // Small scale to stay fast in tier-1; the full-scale availability
+        // and exactness gates run in the release-mode chaos smoke step.
+        let s = fig_chaos(30_000, 4, 8);
+        assert_eq!(s.phases.len(), 3);
+        assert_eq!(s.wrong_answers, 0, "a fault path changed an answer");
+        assert_eq!(s.client_errors, 0, "the resilience ladder leaked an error to a client");
+        assert!((s.availability - 1.0).abs() < f64::EPSILON);
+        let storm = s.phases.iter().find(|p| p.phase == "transient_storm").unwrap();
+        assert!(storm.faults > 0, "the storm must actually fire");
+        let loss = s.phases.iter().find(|p| p.phase == "device_loss").unwrap();
+        assert!(loss.gpu_quarantines >= 1, "the device loss must trip the breaker");
+        assert!(loss.fallbacks >= 1, "queries must re-route off the dead device");
+        assert_ne!(s.final_gpu_state, "closed", "a still-dead device must stay fenced off");
+        assert!(s.time_to_recover_ms > 0.0, "the serial loss run must measure a recovery");
+        let clean = s.phases.iter().find(|p| p.phase == "fault_free").unwrap();
+        assert_eq!(clean.faults, 0);
+        assert_eq!(clean.retries, 0);
+        assert_eq!(clean.fallbacks, 0);
     }
 }

@@ -5,6 +5,46 @@ use std::fmt;
 /// Convenience alias used throughout the workspace.
 pub type Result<T> = std::result::Result<T, H2Error>;
 
+/// The kind of an injected (or surfaced) execution-site fault. Lives in
+/// `common` so the error type can carry it without depending on the GPU
+/// simulator; the fault *injector* itself lives in `h2tap-gpu-sim`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// A kernel launch failed and can be retried (ECC hiccup, driver
+    /// timeout, preemption).
+    TransientKernel,
+    /// A transient out-of-memory spike: allocation pressure that clears on
+    /// retry, distinct from a genuine capacity miss.
+    OomSpike,
+    /// The interconnect stalled: the launch completed but paid a large
+    /// latency penalty. Never surfaces as an error — time-only.
+    InterconnectStall,
+    /// The device fell off the bus. Permanent: every later launch fails.
+    DeviceLost,
+}
+
+impl FaultKind {
+    /// Stable lower-snake name, used in metrics keys and span payloads.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::TransientKernel => "transient_kernel",
+            FaultKind::OomSpike => "oom_spike",
+            FaultKind::InterconnectStall => "interconnect_stall",
+            FaultKind::DeviceLost => "device_lost",
+        }
+    }
+
+    /// All kinds, in declaration order (metrics/report iteration).
+    pub const ALL: [FaultKind; 4] =
+        [FaultKind::TransientKernel, FaultKind::OomSpike, FaultKind::InterconnectStall, FaultKind::DeviceLost];
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Errors surfaced by the Caldera engine and its substrates.
 #[derive(Debug, Clone, PartialEq)]
 pub enum H2Error {
@@ -37,6 +77,11 @@ pub enum H2Error {
     OwnershipViolation(String),
     /// Generic configuration error.
     Config(String),
+    /// An injected (or real) execution-site fault. `transient` faults are
+    /// retry candidates; persistent ones mean the site is gone.
+    Fault { site: String, kind: FaultKind, transient: bool },
+    /// A deadline or queue-wait budget expired before the work could run.
+    Timeout(String),
 }
 
 impl fmt::Display for H2Error {
@@ -57,6 +102,11 @@ impl fmt::Display for H2Error {
             H2Error::UnknownSnapshot(id) => write!(f, "unknown snapshot: {id}"),
             H2Error::OwnershipViolation(m) => write!(f, "ownership violation: {m}"),
             H2Error::Config(m) => write!(f, "configuration error: {m}"),
+            H2Error::Fault { site, kind, transient } => {
+                let class = if *transient { "transient" } else { "persistent" };
+                write!(f, "{class} {kind} fault on site {site}")
+            }
+            H2Error::Timeout(m) => write!(f, "timed out: {m}"),
         }
     }
 }
@@ -73,6 +123,21 @@ mod tests {
         assert!(e.to_string().contains("write conflict"));
         let g = H2Error::GpuOutOfMemory { requested_bytes: 10, capacity_bytes: 4 };
         assert!(g.to_string().contains("requested 10"));
+    }
+
+    #[test]
+    fn fault_display_distinguishes_transient_from_persistent() {
+        let t = H2Error::Fault { site: "gpu".into(), kind: FaultKind::TransientKernel, transient: true };
+        assert!(t.to_string().contains("transient transient_kernel fault on site gpu"));
+        let p = H2Error::Fault { site: "gpu".into(), kind: FaultKind::DeviceLost, transient: false };
+        assert!(p.to_string().contains("persistent device_lost"));
+        assert!(H2Error::Timeout("admission".into()).to_string().contains("admission"));
+    }
+
+    #[test]
+    fn fault_kind_names_are_stable() {
+        let names: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, ["transient_kernel", "oom_spike", "interconnect_stall", "device_lost"]);
     }
 
     #[test]

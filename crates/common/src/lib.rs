@@ -29,7 +29,7 @@ pub mod value;
 
 pub use breakdown::ExecBreakdown;
 pub use epoch::Epoch;
-pub use error::{H2Error, Result};
+pub use error::{FaultKind, H2Error, Result};
 pub use plan::{chunk_shard, GroupRow, JoinSpec, OlapPlan, PlanColumn, HASH_ENTRY_BYTES, PLAN_CHUNK_ROWS};
 pub use query::{AggExpr, Predicate, ScanAggQuery};
 pub use rid::{PartitionId, RecordId, TableId};

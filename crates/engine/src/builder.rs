@@ -105,7 +105,16 @@ impl CalderaBuilder {
         // The execution sites of the data-parallel archipelago: the GPU
         // model, the CPU scan engine over the archipelago's cores, and —
         // when configured — the sharded multi-GPU device mix.
-        let gpu = GpuOlapEngine::new(GpuDevice::new(config.olap_device.gpu.clone()), config.olap_device.placement);
+        // Fault injection threads into the devices before they are moved
+        // into their engines: each device gets an injector derived from the
+        // plan seed, its site label and its ordinal, so the fault sequence
+        // is reproducible per device.
+        let fault_plan = config.fault_plan.as_ref();
+        let mut gpu_device = GpuDevice::new(config.olap_device.gpu.clone());
+        if let Some(plan) = fault_plan {
+            gpu_device.set_fault_injector(plan.injector_for("gpu", 0));
+        }
+        let gpu = GpuOlapEngine::new(gpu_device, config.olap_device.placement);
         let cpu_cores = (config.olap_cpu_cores as u32).max(1);
         let cpu = CpuOlapEngine::with_spec_and_profile(
             CpuSpec {
@@ -116,7 +125,18 @@ impl CalderaBuilder {
         );
         let mut sites: Vec<Box<dyn ExecutionSite>> = vec![Box::new(gpu), Box::new(cpu)];
         if let Some(mg) = &config.olap_multi_gpu {
-            let devices = mg.gpus.iter().map(|spec| GpuDevice::new(spec.clone())).collect();
+            let devices = mg
+                .gpus
+                .iter()
+                .enumerate()
+                .map(|(ordinal, spec)| {
+                    let mut device = GpuDevice::new(spec.clone());
+                    if let Some(plan) = fault_plan {
+                        device.set_fault_injector(plan.injector_for("multi_gpu", ordinal));
+                    }
+                    device
+                })
+                .collect();
             sites.push(Box::new(MultiGpuOlapEngine::new(devices, mg.placement)?));
         }
         let oltp = OltpRuntime::start(Arc::clone(&db), config.oltp.clone(), partitioner, indexes, generator)?;

@@ -1,10 +1,12 @@
 //! Engine configuration.
 
-use h2tap_gpu_sim::{AccessMode, GpuSpec};
+use crate::health::SiteHealthConfig;
+use h2tap_gpu_sim::{AccessMode, FaultPlan, GpuSpec};
 use h2tap_obs::ObsConfig;
 use h2tap_olap::{CpuScanProfile, CpuSpec, DataPlacement, SnapshotPolicy};
 use h2tap_oltp::{OltpConfig, PartitionerKind};
 use h2tap_scheduler::{CalibrationConfig, CostModel, DEFAULT_GPU_DISPATCH_OVERHEAD_SECS};
+use std::time::Duration;
 
 /// Which simulated GPU the data-parallel archipelago uses and how table data
 /// is exposed to it.
@@ -132,6 +134,30 @@ pub struct CalderaConfig {
     /// spans into a bounded ring readable via `Caldera::trace_spans` /
     /// `Caldera::chrome_trace_json`.
     pub observability: ObsConfig,
+    /// Deterministic fault injection for the simulated GPU fleet. `None`
+    /// (the default) injects nothing; a quiet plan (all rates zero) is
+    /// observationally identical to `None`. Faults surface as typed
+    /// `H2Error::Fault` errors and feed the engine's resilience ladder.
+    pub fault_plan: Option<FaultPlan>,
+    /// Bounded in-place retries for *transient* faults before the dispatch
+    /// falls back to the next-best site.
+    pub olap_retry_max: u32,
+    /// Base backoff slept between transient-fault retries (doubled per
+    /// attempt). Kept tiny by default: the faults are simulated, the
+    /// backoff is real wall clock.
+    pub olap_retry_backoff: Duration,
+    /// How long a dispatch may wait in a site's admission queue before
+    /// giving up with `H2Error::Timeout`. `None` (the default) waits
+    /// forever — but a dead site can then strand queued clients, so chaos
+    /// configurations should set a budget.
+    pub olap_admission_timeout: Option<Duration>,
+    /// Wall-clock budget for one query across every retry and fallback
+    /// rung. Once exceeded, the ladder stops and the query fails with
+    /// `H2Error::Timeout`. `None` (the default) never gives up.
+    pub olap_query_deadline: Option<Duration>,
+    /// Per-site circuit-breaker thresholds (windowed error rate →
+    /// quarantine → half-open probes → re-admission).
+    pub site_health: SiteHealthConfig,
 }
 
 impl Default for CalderaConfig {
@@ -149,6 +175,12 @@ impl Default for CalderaConfig {
             olap_plan_cache_budget_bytes: None,
             olap_admission_in_flight: None,
             observability: ObsConfig::default(),
+            fault_plan: None,
+            olap_retry_max: 3,
+            olap_retry_backoff: Duration::from_micros(50),
+            olap_admission_timeout: None,
+            olap_query_deadline: None,
+            site_health: SiteHealthConfig::default(),
         }
     }
 }

@@ -31,6 +31,7 @@
 
 use crate::admission::{AdmissionGate, AdmissionStats};
 use crate::config::CalderaConfig;
+use crate::health::{SiteHealth, SiteHealthState, SiteHealthStats};
 use h2tap_common::{H2Error, OlapPlan, PartitionId, PlanCacheStats, Result, ScanAggQuery, SimDuration, TableId};
 use h2tap_obs::{MetricsRegistry, MetricsSnapshot, SpanEvent, SpanKind, SpanRecord, Tracer};
 use h2tap_olap::{ExecutionSite, OlapOutcome, PlanDataCache, PlanOutcome, RegisteredTable, SnapshotPolicy};
@@ -46,10 +47,10 @@ use std::collections::HashMap;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Per-execution-site OLAP counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OlapSiteStats {
     /// The placement target this site serves.
     pub target: OlapTarget,
@@ -62,6 +63,41 @@ pub struct OlapSiteStats {
     /// Admission counters: executions admitted, admissions that had to
     /// queue behind the site's in-flight budget, permits currently held.
     pub admission: AdmissionStats,
+    /// Circuit-breaker position and fault counters for the site.
+    pub health: SiteHealthStats,
+}
+
+/// Engine-wide resilience-ladder counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Typed site faults observed by dispatch (injected or organic).
+    pub faults: u64,
+    /// In-place retries after transient faults.
+    pub retries: u64,
+    /// Dispatches re-routed to the next-best site after a failure.
+    pub fallbacks: u64,
+    /// Queries abandoned because the per-query deadline expired mid-ladder.
+    pub deadline_timeouts: u64,
+}
+
+/// Interior-mutable backing for [`ResilienceStats`].
+#[derive(Debug, Default)]
+struct ResilienceCounters {
+    faults: AtomicU64,
+    retries: AtomicU64,
+    fallbacks: AtomicU64,
+    deadline_timeouts: AtomicU64,
+}
+
+impl ResilienceCounters {
+    fn snapshot(&self) -> ResilienceStats {
+        ResilienceStats {
+            faults: self.faults.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            deadline_timeouts: self.deadline_timeouts.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Combined HTAP statistics for experiment reporting.
@@ -97,6 +133,9 @@ pub struct HtapStats {
     /// every site's estimated time, the chosen and executing site, the
     /// observed time and the regret against the best estimate.
     pub placements: Vec<PlacementExplanation>,
+    /// Resilience-ladder counters: faults observed, in-place retries,
+    /// next-best-site fallbacks, deadline expiries.
+    pub resilience: ResilienceStats,
 }
 
 impl HtapStats {
@@ -133,16 +172,24 @@ struct SiteSlot {
     queries: AtomicU64,
     time: Mutex<SimDuration>,
     admission: AdmissionGate,
+    /// Per-site circuit breaker consulted by placement and fed by every
+    /// dispatch outcome.
+    health: SiteHealth,
 }
 
 impl SiteSlot {
-    fn new(site: Box<dyn ExecutionSite>, admission_budget: Option<u32>) -> Self {
+    fn new(
+        site: Box<dyn ExecutionSite>,
+        admission_budget: Option<u32>,
+        health: crate::health::SiteHealthConfig,
+    ) -> Self {
         Self {
             site,
             registered: Mutex::new(HashMap::new()),
             queries: AtomicU64::new(0),
             time: Mutex::new(SimDuration::ZERO),
             admission: AdmissionGate::new(admission_budget),
+            health: SiteHealth::new(health),
         }
     }
 
@@ -153,6 +200,7 @@ impl SiteSlot {
             queries: self.queries.load(Ordering::Relaxed),
             time: *self.time.lock(),
             admission: self.admission.stats(),
+            health: self.health.stats(),
         }
     }
 }
@@ -239,6 +287,9 @@ pub struct Caldera {
     tracer: Tracer,
     /// Counters and latency histograms every dispatch feeds.
     metrics: MetricsRegistry,
+    /// Engine-wide resilience-ladder counters (faults, retries, fallbacks,
+    /// deadline expiries).
+    resilience: ResilienceCounters,
 }
 
 impl Caldera {
@@ -268,12 +319,13 @@ impl Caldera {
             site.set_tracer(tracer.clone());
         }
         let admission_budget = config.olap_admission_in_flight;
+        let health_config = config.site_health;
         Self {
             config,
             db,
             oltp,
             snap: RwLock::new(SnapshotGate {
-                sites: sites.into_iter().map(|site| SiteSlot::new(site, admission_budget)).collect(),
+                sites: sites.into_iter().map(|site| SiteSlot::new(site, admission_budget, health_config)).collect(),
                 snapshot: None,
             }),
             meta: Mutex::new(OlapMeta {
@@ -288,6 +340,7 @@ impl Caldera {
             migration_policy: Mutex::new(None),
             tracer,
             metrics: MetricsRegistry::new(),
+            resilience: ResilienceCounters::default(),
         }
     }
 
@@ -380,8 +433,26 @@ impl Caldera {
             let key = site_key(site.target);
             self.metrics.counter_set(&format!("olap.admission.admitted.{key}"), site.admission.admitted);
             self.metrics.counter_set(&format!("olap.admission.queued.{key}"), site.admission.queued);
+            self.metrics.counter_set(&format!("olap.admission.timeouts.{key}"), site.admission.timeouts);
             self.metrics.gauge_set(&format!("olap.admission.in_flight.{key}"), f64::from(site.admission.in_flight));
+            self.metrics.counter_set(&format!("olap.site_health.failures.{key}"), site.health.failures);
+            self.metrics.counter_set(&format!("olap.site_health.quarantines.{key}"), site.health.quarantines);
+            self.metrics.counter_set(&format!("olap.site_health.probes.{key}"), site.health.probes);
+            // Breaker position as a step gauge: 0 closed, 1 half-open,
+            // 2 quarantined (dashboards alert on anything > 0).
+            let state = match site.health.state {
+                SiteHealthState::Closed => 0.0,
+                SiteHealthState::HalfOpen => 1.0,
+                SiteHealthState::Quarantined => 2.0,
+            };
+            self.metrics.gauge_set(&format!("olap.site_health.state.{key}"), state);
+            self.metrics.gauge_set(&format!("olap.site_health.window_error_rate.{key}"), site.health.window_error_rate);
         }
+        let resilience = self.resilience.snapshot();
+        self.metrics.counter_set("olap.faults.observed", resilience.faults);
+        self.metrics.counter_set("olap.faults.retries", resilience.retries);
+        self.metrics.counter_set("olap.faults.fallbacks", resilience.fallbacks);
+        self.metrics.counter_set("olap.faults.deadline_timeouts", resilience.deadline_timeouts);
         self.metrics.counter_set("trace.spans.recorded", self.tracer.recorded());
         self.metrics.counter_set("trace.spans.dropped", self.tracer.dropped());
         self.metrics.snapshot()
@@ -625,6 +696,173 @@ impl Caldera {
         self.record_observation(&mut meta, capabilities, hints, forced, chosen, site, time, breakdown, query_seq)
     }
 
+    /// Health-aware placement: consults every site's circuit breaker so
+    /// quarantined sites never enter the argmin (and the calibrator never
+    /// learns from a poisoned site), then charges a probe slot when a
+    /// half-open site is the winner. When *every* site is inadmissible the
+    /// plain argmin over all sites decides — serving a query on a sick site
+    /// beats refusing it outright.
+    fn place_with_health(
+        &self,
+        snap: &SnapshotGate,
+        capabilities: &[SiteCapability],
+        hints: &PlacementHints,
+    ) -> OlapTarget {
+        let mut healthy: Vec<SiteCapability> = Vec::with_capacity(capabilities.len());
+        for cap in capabilities {
+            let Some(slot) = snap.slot(cap.target()) else { continue };
+            let verdict = slot.health.consult();
+            if verdict.reopened {
+                // Quarantined → half-open: the backoff elapsed, probes run.
+                self.tracer.record(SpanEvent::new(SpanKind::Quarantine).site(cap.target()));
+                self.metrics.counter_add(&format!("olap.site_health.reopened.{}", site_key(cap.target())), 1);
+            }
+            if verdict.admissible {
+                healthy.push(cap.clone());
+            }
+        }
+        let target = if healthy.is_empty() {
+            place_olap_query_sites(capabilities, hints)
+        } else {
+            place_olap_query_sites(&healthy, hints)
+        };
+        if let Some(slot) = snap.slot(target) {
+            slot.health.note_probe();
+        }
+        target
+    }
+
+    /// The next-best execution site once `excluded` sites have failed this
+    /// query: the placement argmin over the remaining admissible sites, with
+    /// the CPU site as the guaranteed last resort (host DRAM always holds
+    /// the data, even when the eligibility heuristics rule the CPU out).
+    fn next_best_site(
+        snap: &SnapshotGate,
+        capabilities: &[SiteCapability],
+        hints: &PlacementHints,
+        excluded: &[OlapTarget],
+    ) -> Option<OlapTarget> {
+        let remaining: Vec<SiteCapability> = capabilities
+            .iter()
+            .filter(|cap| !excluded.contains(&cap.target()))
+            .filter(|cap| snap.slot(cap.target()).is_some_and(|slot| slot.health.is_admissible()))
+            .cloned()
+            .collect();
+        if !remaining.is_empty() {
+            let chosen = place_olap_query_sites(&remaining, hints);
+            // The argmin's nothing-eligible default is not necessarily in
+            // `remaining`; never route back to a site that already failed.
+            if remaining.iter().any(|cap| cap.target() == chosen) {
+                if let Some(slot) = snap.slot(chosen) {
+                    slot.health.note_probe();
+                }
+                return Some(chosen);
+            }
+        }
+        (!excluded.contains(&OlapTarget::Cpu) && snap.slot(OlapTarget::Cpu).is_some()).then_some(OlapTarget::Cpu)
+    }
+
+    /// Runs `attempt` through the resilience ladder. Transient faults are
+    /// retried in place with doubling backoff; persistent faults, device OOM
+    /// and admission congestion fall back to the next-best healthy site; a
+    /// configured per-query deadline cuts the ladder with
+    /// [`H2Error::Timeout`]. Every outcome feeds the attempted site's
+    /// circuit breaker (congestion excepted — a full queue is not the site's
+    /// fault). Forced dispatches still retry transient faults in place but
+    /// never fall back: the caller asked for exactly that site, and the
+    /// site-equivalence tests rely on seeing its error. All successful paths
+    /// return bit-identical results because every site computes the same
+    /// fixed-chunked, chunk-ordered answer.
+    fn run_resilient<T>(
+        &self,
+        snap: &SnapshotGate,
+        capabilities: &[SiteCapability],
+        hints: &PlacementHints,
+        forced: bool,
+        initial: OlapTarget,
+        mut attempt: impl FnMut(OlapTarget) -> Result<T>,
+    ) -> Result<T> {
+        let deadline = self.config.olap_query_deadline.map(|d| Instant::now() + d);
+        let mut target = initial;
+        let mut excluded: Vec<OlapTarget> = Vec::new();
+        let mut retries: u32 = 0;
+        loop {
+            let err = match attempt(target) {
+                Ok(out) => {
+                    if let Some(slot) = snap.slot(target) {
+                        if slot.health.record_success() {
+                            // Probe budget met: the quarantine is lifted.
+                            self.tracer.record(SpanEvent::new(SpanKind::Quarantine).site(target));
+                            self.metrics.counter_add(&format!("olap.site_health.readmissions.{}", site_key(target)), 1);
+                        }
+                    }
+                    return Ok(out);
+                }
+                Err(err) => err,
+            };
+            let expired = deadline.is_some_and(|d| Instant::now() >= d);
+            // Classify the failure: does it earn an in-place retry, and is
+            // it evidence against the site's health?
+            let (retry_in_place, health_feed) = match &err {
+                H2Error::Fault { kind, transient, .. } => {
+                    self.resilience.faults.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.counter_add(&format!("olap.faults.{}", kind.name()), 1);
+                    self.tracer.record(SpanEvent::new(SpanKind::Fault).site(target));
+                    (*transient, Some(!*transient))
+                }
+                // The placement hints cannot see every device constraint (a
+                // device-resident table can simply not fit): a fallback site
+                // still holds the data, so OOM reroutes instead of failing.
+                H2Error::GpuOutOfMemory { .. } => (false, Some(false)),
+                // Admission congestion: the site is healthy but full —
+                // another site may have room right now.
+                H2Error::Timeout(_) => (false, None),
+                _ => return Err(err),
+            };
+            if retry_in_place && retries < self.config.olap_retry_max {
+                if expired {
+                    self.resilience.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
+                    return Err(H2Error::Timeout(format!(
+                        "query deadline expired after {retries} retries on {target:?}"
+                    )));
+                }
+                retries += 1;
+                self.resilience.retries.fetch_add(1, Ordering::Relaxed);
+                self.tracer.record(SpanEvent::new(SpanKind::Retry).site(target));
+                let backoff = self.config.olap_retry_backoff.saturating_mul(1u32 << retries.min(10));
+                if backoff > Duration::ZERO {
+                    std::thread::sleep(backoff);
+                }
+                continue;
+            }
+            // Retries exhausted, a persistent fault, OOM or congestion: this
+            // site is done for this query. Feed the breaker, then fail over.
+            if let Some(persistent) = health_feed {
+                if let Some(slot) = snap.slot(target) {
+                    if slot.health.record_failure(persistent) {
+                        self.tracer.record(SpanEvent::new(SpanKind::Quarantine).site(target));
+                        self.metrics.counter_add(&format!("olap.site_health.quarantines.{}", site_key(target)), 1);
+                    }
+                }
+            }
+            if forced {
+                return Err(err);
+            }
+            if expired {
+                self.resilience.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
+                return Err(H2Error::Timeout(format!("query deadline expired while failing over from {target:?}")));
+            }
+            excluded.push(target);
+            let Some(next) = Self::next_best_site(snap, capabilities, hints, &excluded) else {
+                return Err(err);
+            };
+            self.resilience.fallbacks.fetch_add(1, Ordering::Relaxed);
+            self.tracer.record(SpanEvent::new(SpanKind::Fallback).site(next));
+            retries = 0;
+            target = next;
+        }
+    }
+
     fn run_olap_dispatch(
         &self,
         table: TableId,
@@ -651,22 +889,13 @@ impl Caldera {
         let capabilities = snap.capabilities();
         self.tracer.set_query(query_seq);
         let placing = self.tracer.start();
-        let target = forced.unwrap_or_else(|| place_olap_query_sites(&capabilities, &hints));
+        let target = forced.unwrap_or_else(|| self.place_with_health(&snap, &capabilities, &hints));
         self.tracer.record_wall(SpanEvent::new(SpanKind::Placement).site(target), placing);
 
-        let outcome = match Self::execute_on_slot(&snap, target, cpu_cores, table, frozen, &table_meta.name, query) {
-            // The placement hints cannot see every device constraint (a
-            // device-resident table can simply not fit); when a GPU-family
-            // site was the heuristic's choice and runs out of memory, the
-            // CPU site still holds the data in host DRAM — fall back instead
-            // of failing the query. Explicitly forced targets keep their
-            // error.
-            Err(H2Error::GpuOutOfMemory { .. }) if forced.is_none() && target != OlapTarget::Cpu => {
-                self.tracer.record(SpanEvent::new(SpanKind::Fallback).site(OlapTarget::Cpu));
-                Self::execute_on_slot(&snap, OlapTarget::Cpu, cpu_cores, table, frozen, &table_meta.name, query)?
-            }
-            other => other?,
-        };
+        let admission_timeout = self.config.olap_admission_timeout;
+        let outcome = self.run_resilient(&snap, &capabilities, &hints, forced.is_some(), target, |t| {
+            Self::execute_on_slot(&snap, t, cpu_cores, table, frozen, &table_meta.name, query, admission_timeout)
+        })?;
         // Close the loop: predicted vs site-reported time recalibrates the
         // cost model (outcome.site, not target — an OOM fallback is a CPU
         // observation), then the migration policy sees the fresh report.
@@ -727,15 +956,16 @@ impl Caldera {
         let capabilities = snap.capabilities();
         self.tracer.set_query(query_seq);
         let placing = self.tracer.start();
-        let target = forced.unwrap_or_else(|| place_olap_query_sites(&capabilities, &hints));
+        let target = forced.unwrap_or_else(|| self.place_with_health(&snap, &capabilities, &hints));
         self.tracer.record_wall(SpanEvent::new(SpanKind::Placement).site(target), placing);
 
+        let admission_timeout = self.config.olap_admission_timeout;
         let run = |target: OlapTarget| -> Result<PlanOutcome> {
             let slot = snap.require_slot(target)?;
             // The permit spans registration + execution; dropping it on the
             // error path frees this site's slot before the fallback competes
-            // for the CPU site's gate.
-            let _permit = slot.admission.admit();
+            // for the next site's gate.
+            let _permit = slot.admission.admit_timeout(admission_timeout)?;
             if target == OlapTarget::Cpu {
                 slot.site.set_cores(cpu_cores.max(1));
             }
@@ -773,15 +1003,7 @@ impl Caldera {
             }
         };
 
-        let outcome = match run(target) {
-            // Same OOM fallback as the scan path: the CPU site still holds
-            // every table (and its hash state) in host DRAM.
-            Err(H2Error::GpuOutOfMemory { .. }) if forced.is_none() && target != OlapTarget::Cpu => {
-                self.tracer.record(SpanEvent::new(SpanKind::Fallback).site(OlapTarget::Cpu));
-                run(OlapTarget::Cpu)?
-            }
-            other => other?,
-        };
+        let outcome = self.run_resilient(&snap, &capabilities, &hints, forced.is_some(), target, run)?;
         let report = self.account_dispatch(
             &capabilities,
             &hints,
@@ -822,6 +1044,7 @@ impl Caldera {
         Ok(h)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn execute_on_slot(
         snap: &SnapshotGate,
         target: OlapTarget,
@@ -830,12 +1053,15 @@ impl Caldera {
         frozen: &h2tap_storage::SnapshotTable,
         label: &str,
         query: &ScanAggQuery,
+        admission_timeout: Option<Duration>,
     ) -> Result<OlapOutcome> {
         let slot = snap.require_slot(target)?;
         // RAII admission: held for registration + execution, released on
         // every path — an OOM error frees this site's slot before the
-        // caller's fallback competes for the CPU site's gate.
-        let _permit = slot.admission.admit();
+        // caller's fallback competes for the next site's gate. A configured
+        // timeout bounds the queue wait so a wedged site cannot strand
+        // clients (the ladder then tries another site).
+        let _permit = slot.admission.admit_timeout(admission_timeout)?;
         if target == OlapTarget::Cpu {
             // A query placed on CPU must see the archipelago's current core
             // count, not the count at construction time.
@@ -870,6 +1096,7 @@ impl Caldera {
             plan_cache,
             metrics,
             placements: meta.calibrator.recent_placements().cloned().collect(),
+            resilience: self.resilience.snapshot(),
         }
     }
 
@@ -901,6 +1128,7 @@ mod tests {
     use super::*;
     use crate::config::CalderaConfig;
     use h2tap_common::{AggExpr, AttrType, Schema, Value};
+    use h2tap_gpu_sim::DeviceLossPoint;
     use h2tap_olap::DataPlacement;
     use h2tap_storage::Layout;
 
@@ -1523,5 +1751,139 @@ mod tests {
         assert!(cpu.admission.queued > 0, "4 clients against a budget of 1 must have queued");
         assert_eq!(cpu.admission.in_flight, 0);
         assert_eq!(stats.olap_queries, (THREADS * PER_THREAD + 1) as u64);
+    }
+
+    /// Runs the same mixed workload (scans on both targets' favourite
+    /// shapes) and returns (result bits, final stats).
+    fn fault_comparison_run(fault_plan: Option<h2tap_gpu_sim::FaultPlan>) -> (Vec<u64>, HtapStats) {
+        let mut config = CalderaConfig::with_workers(2);
+        config.olap_cpu_cores = 8;
+        config.olap_device.placement = DataPlacement::DeviceResident;
+        config.snapshot_policy = SnapshotPolicy::EveryN { queries: 100 };
+        config.fault_plan = fault_plan;
+        let (caldera, t) = engine_with_config(config, 50_000);
+        let q = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![0, 1]));
+        let mut bits = Vec::new();
+        for _ in 0..6 {
+            bits.push(caldera.run_olap(t, &q).unwrap().value.to_bits());
+        }
+        (bits, caldera.shutdown())
+    }
+
+    #[test]
+    fn quiet_fault_plan_is_byte_identical_to_no_plan() {
+        // A zero-rate plan must be observationally identical to no plan:
+        // same result bits, same routing, same simulated times, and not a
+        // single resilience counter moved.
+        let (none_bits, none_stats) = fault_comparison_run(None);
+        let (quiet_bits, quiet_stats) = fault_comparison_run(Some(h2tap_gpu_sim::FaultPlan::quiet(0xC1DA)));
+        assert_eq!(none_bits, quiet_bits);
+        assert_eq!(none_stats.olap_queries, quiet_stats.olap_queries);
+        assert_eq!(none_stats.olap_time, quiet_stats.olap_time);
+        assert_eq!(none_stats.snapshots_taken, quiet_stats.snapshots_taken);
+        for (a, b) in none_stats.olap_sites.iter().zip(quiet_stats.olap_sites.iter()) {
+            assert_eq!(a.target, b.target);
+            assert_eq!(a.queries, b.queries);
+            assert_eq!(a.time, b.time);
+        }
+        assert_eq!(quiet_stats.resilience, ResilienceStats::default());
+        assert_eq!(none_stats.resilience, ResilienceStats::default());
+    }
+
+    #[test]
+    fn transient_storm_retries_keep_answers_exact() {
+        let mut config = CalderaConfig::with_workers(2);
+        config.olap_cpu_cores = 8;
+        config.olap_device.placement = DataPlacement::DeviceResident;
+        config.snapshot_policy = SnapshotPolicy::EveryN { queries: 1_000 };
+        config.olap_retry_backoff = Duration::ZERO;
+        let mut plan = h2tap_gpu_sim::FaultPlan::transient_storm(7);
+        plan.transient_kernel_rate = 0.35; // storm hard enough to force retries
+        config.fault_plan = Some(plan);
+        let (caldera, t) = engine_with_config(config, 200_000);
+        let q = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![1]));
+        for _ in 0..25 {
+            let out = caldera.run_olap(t, &q).unwrap();
+            assert_eq!(out.value.to_bits(), 200_000.0_f64.to_bits(), "a retried or re-routed query must stay exact");
+        }
+        let stats = caldera.shutdown();
+        assert!(stats.resilience.faults > 0, "the storm must actually fire");
+        assert!(stats.resilience.retries > 0, "transient faults must be retried in place");
+        assert_eq!(stats.olap_queries, 25);
+        assert_eq!(stats.olap_sites.iter().map(|s| s.queries).sum::<u64>(), 25, "no query may be lost to a fault");
+    }
+
+    #[test]
+    fn mid_stream_device_loss_quarantines_and_reroutes() {
+        let mut config = CalderaConfig::with_workers(2);
+        config.olap_cpu_cores = 8;
+        config.olap_device.placement = DataPlacement::DeviceResident;
+        config.snapshot_policy = SnapshotPolicy::EveryN { queries: 1_000 };
+        config.olap_retry_backoff = Duration::ZERO;
+        let mut plan = h2tap_gpu_sim::FaultPlan::quiet(11);
+        plan.device_loss_at = Some(DeviceLossPoint { site: "gpu".into(), device: 0, launch: 4 });
+        config.fault_plan = Some(plan);
+        let (caldera, t) = engine_with_config(config, 200_000);
+        let q = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![1]));
+        // Every query — before the loss, at the loss, and long after it —
+        // must succeed with the exact answer; the ladder absorbs the dead
+        // device (including failed half-open probes after the backoff).
+        for _ in 0..30 {
+            let out = caldera.run_olap(t, &q).unwrap();
+            assert_eq!(out.value.to_bits(), 200_000.0_f64.to_bits());
+        }
+        let stats = caldera.shutdown();
+        let gpu = stats.olap_sites.iter().find(|s| s.target == OlapTarget::Gpu).unwrap();
+        assert!(gpu.health.persistent_failures >= 1, "the loss must be recorded as persistent");
+        assert!(gpu.health.quarantines >= 1, "a dead device must trip the breaker");
+        assert_ne!(gpu.health.state, SiteHealthState::Closed, "a still-dead device must not be re-admitted");
+        assert!(stats.resilience.fallbacks >= 1, "queries must re-route off the dead device");
+        assert!(stats.olap_queries_on(OlapTarget::Gpu) >= 1, "the device served queries before it died");
+        assert!(stats.olap_queries_on(OlapTarget::Cpu) >= 1, "the CPU site must absorb the re-routed queries");
+        assert_eq!(stats.olap_queries, 30);
+    }
+
+    #[test]
+    fn query_deadline_cuts_the_retry_ladder() {
+        let mut config = CalderaConfig::with_workers(2);
+        config.olap_cpu_cores = 2;
+        config.olap_retry_backoff = Duration::ZERO;
+        config.olap_query_deadline = Some(Duration::ZERO);
+        let mut plan = h2tap_gpu_sim::FaultPlan::quiet(3);
+        plan.transient_kernel_rate = 1.0; // every attempt faults
+        config.fault_plan = Some(plan);
+        let (caldera, t) = engine_with_config(config, 1_000);
+        let q = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![1]));
+        let err = caldera.run_olap_on(t, &q, OlapTarget::Gpu).unwrap_err();
+        assert!(matches!(err, H2Error::Timeout(_)), "expected a deadline timeout, got {err:?}");
+        let stats = caldera.shutdown();
+        assert_eq!(stats.resilience.deadline_timeouts, 1);
+        assert!(stats.resilience.faults >= 1);
+    }
+
+    #[test]
+    fn fault_spans_and_metrics_surface_through_obs() {
+        let mut config = CalderaConfig::with_workers(2);
+        config.olap_cpu_cores = 8;
+        config.olap_device.placement = DataPlacement::DeviceResident;
+        config.snapshot_policy = SnapshotPolicy::EveryN { queries: 1_000 };
+        config.olap_retry_backoff = Duration::ZERO;
+        config.observability.tracing = true;
+        let mut plan = h2tap_gpu_sim::FaultPlan::quiet(5);
+        plan.device_loss_at = Some(DeviceLossPoint { site: "gpu".into(), device: 0, launch: 2 });
+        config.fault_plan = Some(plan);
+        let (caldera, t) = engine_with_config(config, 200_000);
+        let q = ScanAggQuery::aggregate_only(AggExpr::SumColumns(vec![1]));
+        for _ in 0..10 {
+            caldera.run_olap(t, &q).unwrap();
+        }
+        let spans = caldera.trace_spans();
+        assert!(spans.iter().any(|s| s.event.kind == SpanKind::Fault), "faults must leave spans");
+        assert!(spans.iter().any(|s| s.event.kind == SpanKind::Fallback), "fallbacks must leave spans");
+        assert!(spans.iter().any(|s| s.event.kind == SpanKind::Quarantine), "the quarantine must leave a span");
+        let stats = caldera.shutdown();
+        assert!(stats.metrics.counter("olap.faults.device_lost").is_some_and(|v| v >= 1));
+        assert!(stats.metrics.counter("olap.faults.fallbacks").is_some_and(|v| v >= 1));
+        assert!(stats.metrics.counter("olap.site_health.quarantines.gpu").is_some_and(|v| v >= 1));
     }
 }

@@ -1,0 +1,397 @@
+//! Per-site health tracking: a circuit breaker between placement and the
+//! execution sites.
+//!
+//! Every dispatch outcome feeds the target site's [`SiteHealth`]. A site
+//! whose windowed error rate crosses the configured threshold — or that
+//! reports a *persistent* fault such as permanent device loss — trips into
+//! [`SiteHealthState::Quarantined`]: placement stops considering it, so the
+//! argmin routes around the sick site and the calibrator never learns from
+//! poisoned observations. After a configurable number of placement consults
+//! the breaker moves to [`SiteHealthState::HalfOpen`] and lets a bounded
+//! number of probe queries through; enough consecutive probe successes
+//! re-admit the site, any probe failure re-quarantines it.
+//!
+//! State transitions are driven by dispatch events only (no wall-clock
+//! timers), so the breaker's behaviour is deterministic under a seeded
+//! [`FaultPlan`](h2tap_gpu_sim::FaultPlan).
+
+use parking_lot::Mutex;
+
+/// Circuit-breaker thresholds, carried by
+/// [`CalderaConfig`](crate::CalderaConfig).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiteHealthConfig {
+    /// Whether outcomes trip the breaker at all. Off, every site is always
+    /// admissible and only the counters are kept.
+    pub enabled: bool,
+    /// Sliding window (in dispatch outcomes) the error rate is computed
+    /// over.
+    pub window: usize,
+    /// Error rate in `[0, 1]` over a full window that trips the breaker.
+    pub error_threshold: f64,
+    /// Minimum outcomes in the window before the rate is meaningful.
+    pub min_observations: usize,
+    /// Placement consults a quarantined site sits out before it is allowed
+    /// half-open probes.
+    pub quarantine_backoff: u64,
+    /// Consecutive half-open probe successes required to close the breaker.
+    pub probe_budget: u32,
+}
+
+impl Default for SiteHealthConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            window: 16,
+            error_threshold: 0.5,
+            min_observations: 4,
+            quarantine_backoff: 8,
+            probe_budget: 2,
+        }
+    }
+}
+
+/// The breaker's position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SiteHealthState {
+    /// Healthy: placement considers the site normally.
+    #[default]
+    Closed,
+    /// Tripped: placement excludes the site.
+    Quarantined,
+    /// Probation: a bounded number of probe queries may run.
+    HalfOpen,
+}
+
+impl SiteHealthState {
+    /// Stable lower-case label (metric values, dashboard rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            SiteHealthState::Closed => "closed",
+            SiteHealthState::Quarantined => "quarantined",
+            SiteHealthState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Point-in-time health counters of one site.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SiteHealthStats {
+    /// Current breaker position.
+    pub state: SiteHealthState,
+    /// Successful dispatches recorded.
+    pub successes: u64,
+    /// Failed dispatches recorded (transient and persistent).
+    pub failures: u64,
+    /// Failures whose fault was persistent (e.g. device loss).
+    pub persistent_failures: u64,
+    /// Times the breaker tripped into quarantine.
+    pub quarantines: u64,
+    /// Half-open probe queries admitted.
+    pub probes: u64,
+    /// Error rate over the current window (0 when the window is empty).
+    pub window_error_rate: f64,
+}
+
+#[derive(Debug)]
+struct HealthInner {
+    state: SiteHealthState,
+    /// Ring of recent outcomes (`true` = failure), newest overwrites
+    /// oldest once `filled == window`.
+    window: Vec<bool>,
+    cursor: usize,
+    filled: usize,
+    /// Placement consults seen while quarantined (drives the backoff).
+    skips: u64,
+    /// Consecutive successes while half-open.
+    probe_successes: u32,
+    /// Probe queries currently running (chosen but no outcome yet).
+    outstanding_probes: u32,
+    successes: u64,
+    failures: u64,
+    persistent_failures: u64,
+    quarantines: u64,
+    probes: u64,
+}
+
+/// A per-site circuit breaker. `&self`-concurrent (internal mutex); one
+/// lives in every `SiteSlot`.
+#[derive(Debug)]
+pub struct SiteHealth {
+    config: SiteHealthConfig,
+    inner: Mutex<HealthInner>,
+}
+
+/// What a placement consult learned about the site, plus whether the
+/// breaker changed state during the consult (for span emission).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Admissibility {
+    /// Whether placement may consider the site right now.
+    pub admissible: bool,
+    /// `true` when this consult moved the breaker Quarantined → HalfOpen.
+    pub reopened: bool,
+}
+
+impl SiteHealth {
+    /// A breaker with the given thresholds, starting closed.
+    pub fn new(config: SiteHealthConfig) -> Self {
+        Self {
+            config,
+            inner: Mutex::new(HealthInner {
+                state: SiteHealthState::Closed,
+                window: vec![false; config.window.max(1)],
+                cursor: 0,
+                filled: 0,
+                skips: 0,
+                probe_successes: 0,
+                outstanding_probes: 0,
+                successes: 0,
+                failures: 0,
+                persistent_failures: 0,
+                quarantines: 0,
+                probes: 0,
+            }),
+        }
+    }
+
+    /// Consulted by placement once per dispatch: is the site currently a
+    /// legitimate argmin candidate? Quarantined sites tick their backoff
+    /// here and eventually move to half-open; a half-open site is a
+    /// candidate while it has probe budget left (the probe itself is only
+    /// consumed by [`SiteHealth::note_probe`] when placement picks it).
+    pub fn consult(&self) -> Admissibility {
+        if !self.config.enabled {
+            return Admissibility { admissible: true, reopened: false };
+        }
+        let mut inner = self.inner.lock();
+        match inner.state {
+            SiteHealthState::Closed => Admissibility { admissible: true, reopened: false },
+            SiteHealthState::Quarantined => {
+                inner.skips += 1;
+                if inner.skips >= self.config.quarantine_backoff {
+                    inner.state = SiteHealthState::HalfOpen;
+                    inner.probe_successes = 0;
+                    inner.outstanding_probes = 0;
+                    Admissibility { admissible: true, reopened: true }
+                } else {
+                    Admissibility { admissible: false, reopened: false }
+                }
+            }
+            SiteHealthState::HalfOpen => Admissibility {
+                admissible: inner.outstanding_probes < self.config.probe_budget.max(1),
+                reopened: false,
+            },
+        }
+    }
+
+    /// Read-only admissibility (fallback candidate filtering): no backoff
+    /// tick, no state transition.
+    pub fn is_admissible(&self) -> bool {
+        if !self.config.enabled {
+            return true;
+        }
+        let inner = self.inner.lock();
+        match inner.state {
+            SiteHealthState::Closed => true,
+            SiteHealthState::Quarantined => false,
+            SiteHealthState::HalfOpen => inner.outstanding_probes < self.config.probe_budget.max(1),
+        }
+    }
+
+    /// Called when placement actually chooses this site while half-open:
+    /// one probe slot is consumed until the dispatch's outcome lands.
+    pub fn note_probe(&self) {
+        let mut inner = self.inner.lock();
+        if inner.state == SiteHealthState::HalfOpen {
+            inner.outstanding_probes += 1;
+            inner.probes += 1;
+        }
+    }
+
+    /// Records a successful dispatch. Returns `true` when this success
+    /// closed a half-open breaker (quarantine lifted).
+    pub fn record_success(&self) -> bool {
+        let mut inner = self.inner.lock();
+        inner.successes += 1;
+        Self::push_window(&mut inner, false);
+        if inner.state == SiteHealthState::HalfOpen {
+            inner.outstanding_probes = inner.outstanding_probes.saturating_sub(1);
+            inner.probe_successes += 1;
+            if inner.probe_successes >= self.config.probe_budget.max(1) {
+                inner.state = SiteHealthState::Closed;
+                inner.skips = 0;
+                inner.outstanding_probes = 0;
+                // A re-admitted site starts with a clean slate: the faults
+                // that tripped the breaker are history, not evidence.
+                inner.window.iter_mut().for_each(|f| *f = false);
+                inner.filled = 0;
+                inner.cursor = 0;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Records a failed dispatch (`persistent` for faults that cannot heal,
+    /// e.g. device loss). Returns `true` when this failure tripped the
+    /// breaker into quarantine.
+    pub fn record_failure(&self, persistent: bool) -> bool {
+        let mut inner = self.inner.lock();
+        inner.failures += 1;
+        if persistent {
+            inner.persistent_failures += 1;
+        }
+        Self::push_window(&mut inner, true);
+        if !self.config.enabled || inner.state == SiteHealthState::Quarantined {
+            return false;
+        }
+        let trip = if persistent || inner.state == SiteHealthState::HalfOpen {
+            // A dead device or a failed probe needs no statistics.
+            true
+        } else {
+            let rate = Self::window_rate(&inner);
+            inner.filled >= self.config.min_observations.max(1) && rate >= self.config.error_threshold
+        };
+        if trip {
+            inner.state = SiteHealthState::Quarantined;
+            inner.skips = 0;
+            inner.probe_successes = 0;
+            inner.outstanding_probes = 0;
+            inner.quarantines += 1;
+        }
+        trip
+    }
+
+    /// Current counters and breaker position.
+    pub fn stats(&self) -> SiteHealthStats {
+        let inner = self.inner.lock();
+        SiteHealthStats {
+            state: inner.state,
+            successes: inner.successes,
+            failures: inner.failures,
+            persistent_failures: inner.persistent_failures,
+            quarantines: inner.quarantines,
+            probes: inner.probes,
+            window_error_rate: Self::window_rate(&inner),
+        }
+    }
+
+    fn push_window(inner: &mut HealthInner, failed: bool) {
+        let len = inner.window.len();
+        inner.window[inner.cursor] = failed;
+        inner.cursor = (inner.cursor + 1) % len;
+        inner.filled = (inner.filled + 1).min(len);
+    }
+
+    fn window_rate(inner: &HealthInner) -> f64 {
+        if inner.filled == 0 {
+            return 0.0;
+        }
+        let failures = inner.window.iter().take(inner.filled.min(inner.window.len())).filter(|f| **f).count();
+        failures as f64 / inner.filled as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tight() -> SiteHealthConfig {
+        SiteHealthConfig {
+            enabled: true,
+            window: 4,
+            error_threshold: 0.5,
+            min_observations: 2,
+            quarantine_backoff: 3,
+            probe_budget: 2,
+        }
+    }
+
+    #[test]
+    fn windowed_error_rate_trips_the_breaker() {
+        let h = SiteHealth::new(tight());
+        assert!(!h.record_failure(false), "one failure in an empty window is not evidence");
+        assert_eq!(h.stats().state, SiteHealthState::Closed);
+        assert!(h.record_failure(false), "2/2 failures crosses the 0.5 threshold");
+        assert_eq!(h.stats().state, SiteHealthState::Quarantined);
+        assert_eq!(h.stats().quarantines, 1);
+    }
+
+    #[test]
+    fn persistent_fault_quarantines_immediately() {
+        let h = SiteHealth::new(tight());
+        for _ in 0..10 {
+            h.record_success();
+        }
+        assert!(h.record_failure(true), "device loss needs no statistics");
+        assert_eq!(h.stats().state, SiteHealthState::Quarantined);
+        assert_eq!(h.stats().persistent_failures, 1);
+    }
+
+    #[test]
+    fn quarantine_backs_off_then_probes_then_readmits() {
+        let h = SiteHealth::new(tight());
+        h.record_failure(true);
+        // Two consults sit out the backoff, the third reopens half-open.
+        assert!(!h.consult().admissible);
+        assert!(!h.consult().admissible);
+        let third = h.consult();
+        assert!(third.admissible && third.reopened);
+        assert_eq!(h.stats().state, SiteHealthState::HalfOpen);
+        // First probe success is not enough; the second closes the breaker.
+        h.note_probe();
+        assert!(!h.record_success());
+        assert!(h.consult().admissible);
+        h.note_probe();
+        assert!(h.record_success(), "probe budget met: quarantine lifted");
+        assert_eq!(h.stats().state, SiteHealthState::Closed);
+        assert_eq!(h.stats().probes, 2);
+        // The window was reset: one new failure is not instant re-quarantine.
+        assert!(!h.record_failure(false));
+        assert_eq!(h.stats().state, SiteHealthState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_requarantines() {
+        let h = SiteHealth::new(tight());
+        h.record_failure(true);
+        for _ in 0..3 {
+            h.consult();
+        }
+        assert_eq!(h.stats().state, SiteHealthState::HalfOpen);
+        h.note_probe();
+        assert!(h.record_failure(false), "a failed probe re-trips immediately");
+        assert_eq!(h.stats().state, SiteHealthState::Quarantined);
+        assert_eq!(h.stats().quarantines, 2);
+    }
+
+    #[test]
+    fn half_open_bounds_concurrent_probes() {
+        let h = SiteHealth::new(tight());
+        h.record_failure(true);
+        for _ in 0..3 {
+            h.consult();
+        }
+        // Two probe slots: both can be claimed, the third consult is turned
+        // away until an outcome frees a slot.
+        h.note_probe();
+        assert!(h.consult().admissible);
+        h.note_probe();
+        assert!(!h.consult().admissible, "probe budget exhausted until an outcome lands");
+        assert!(!h.is_admissible());
+        h.record_failure(false);
+        assert_eq!(h.stats().state, SiteHealthState::Quarantined);
+    }
+
+    #[test]
+    fn disabled_breaker_only_counts() {
+        let h = SiteHealth::new(SiteHealthConfig { enabled: false, ..tight() });
+        for _ in 0..8 {
+            h.record_failure(true);
+        }
+        assert!(h.consult().admissible);
+        assert_eq!(h.stats().state, SiteHealthState::Closed);
+        assert_eq!(h.stats().failures, 8);
+        assert_eq!(h.stats().window_error_rate, 1.0);
+    }
+}

@@ -35,11 +35,15 @@ pub mod admission;
 pub mod builder;
 pub mod config;
 pub mod engine;
+pub mod health;
 
 pub use admission::{AdmissionGate, AdmissionPermit, AdmissionStats};
 pub use builder::CalderaBuilder;
 pub use config::{CalderaConfig, OlapCpuConfig, OlapDeviceConfig, OlapMultiGpuConfig};
-pub use engine::{Caldera, HtapStats, OlapSiteStats};
+pub use engine::{Caldera, HtapStats, OlapSiteStats, ResilienceStats};
+pub use health::{SiteHealth, SiteHealthConfig, SiteHealthState, SiteHealthStats};
+
+pub use h2tap_gpu_sim::{DeviceLossPoint, FaultPlan};
 
 pub use h2tap_common::{GroupRow, JoinSpec, OlapPlan, PlanColumn};
 pub use h2tap_obs::{MetricsSnapshot, ObsConfig, SpanKind, SpanRecord};

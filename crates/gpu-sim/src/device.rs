@@ -20,6 +20,7 @@
 
 use crate::access::AccessPattern;
 use crate::catalog::GpuSpec;
+use crate::fault::{FaultDecision, FaultInjector};
 use crate::kernel::{KernelDesc, KernelMetrics};
 use crate::memory::{AccessMode, BufferId, MemoryManager, Residency};
 use h2tap_common::{H2Error, Result, SimDuration};
@@ -64,6 +65,7 @@ pub struct GpuDevice {
     total_interconnect_bytes: u64,
     kernels_launched: u64,
     kernel_log: Vec<KernelMetrics>,
+    fault: Option<FaultInjector>,
 }
 
 impl GpuDevice {
@@ -77,7 +79,19 @@ impl GpuDevice {
             total_interconnect_bytes: 0,
             kernels_launched: 0,
             kernel_log: Vec::new(),
+            fault: None,
         }
+    }
+
+    /// Installs a fault injector: every subsequent launch consults it. A
+    /// quiet injector (all-zero plan) is observationally identical to none.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.fault = Some(injector);
+    }
+
+    /// True once an installed injector has permanently lost this device.
+    pub fn is_lost(&self) -> bool {
+        self.fault.as_ref().is_some_and(FaultInjector::is_lost)
     }
 
     /// The device's static description.
@@ -147,6 +161,19 @@ impl GpuDevice {
         if desc.elements == 0 {
             return Err(H2Error::InvalidKernel(format!("kernel {} has zero elements", desc.name)));
         }
+        // Fault injection: one decision per launch, drawn from the device's
+        // seeded injector. Stalls only add simulated time; failures surface
+        // as typed faults before any cost is charged.
+        let mut stall = SimDuration::ZERO;
+        if let Some(injector) = self.fault.as_mut() {
+            match injector.decide() {
+                FaultDecision::Pass => {}
+                FaultDecision::Stall(extra) => stall = extra,
+                FaultDecision::Fail { kind, transient } => {
+                    return Err(H2Error::Fault { site: injector.site().to_string(), kind, transient });
+                }
+            }
+        }
         let mut interconnect_bytes = 0u64;
         let mut device_mem_bytes = 0u64;
         // Overlappable streaming time (device reads + UVA streaming).
@@ -199,7 +226,7 @@ impl GpuDevice {
             SimDuration::from_secs_f64(desc.elements as f64 * desc.flops_per_element / (self.spec.fp32_gflops * 1e9));
 
         let memory_time = streaming + migration;
-        let time = LAUNCH_OVERHEAD + migration + compute.max(streaming);
+        let time = LAUNCH_OVERHEAD + stall + migration + compute.max(streaming);
         let metrics = KernelMetrics {
             name: desc.name.clone(),
             time,
@@ -408,6 +435,58 @@ mod tests {
         let t_str = dev.account(&strided).unwrap().time.as_secs_f64();
         let ratio = t_str / t_seq;
         assert!((1.5..3.0).contains(&ratio), "device NSM/DSM ratio {ratio}");
+    }
+
+    #[test]
+    fn injected_faults_surface_as_typed_errors_and_stalls_add_time() {
+        use crate::fault::{DeviceLossPoint, FaultPlan};
+        use h2tap_common::FaultKind;
+        // A scheduled loss at launch 1: the first launch succeeds, every
+        // later one fails persistently.
+        let mut plan = FaultPlan::quiet(3);
+        plan.device_loss_at = Some(DeviceLossPoint { site: "gpu".into(), device: 0, launch: 1 });
+        let mut dev = GpuDevice::new(GpuSpec::gtx_980());
+        dev.set_fault_injector(plan.injector_for("gpu", 0));
+        let buf = dev.register_buffer("col", GIB, AccessMode::Uva).unwrap();
+        assert!(dev.account(&scan_desc(buf, GIB)).is_ok());
+        match dev.account(&scan_desc(buf, GIB)) {
+            Err(H2Error::Fault { site, kind, transient }) => {
+                assert_eq!(site, "gpu");
+                assert_eq!(kind, FaultKind::DeviceLost);
+                assert!(!transient);
+            }
+            other => panic!("expected a device-lost fault, got {other:?}"),
+        }
+        assert!(dev.is_lost());
+        // A guaranteed stall adds exactly the penalty to the launch time.
+        let mut stall_plan = FaultPlan::quiet(3);
+        stall_plan.interconnect_stall_rate = 1.0;
+        stall_plan.stall_penalty = SimDuration::from_micros(500);
+        let mut clean = GpuDevice::new(GpuSpec::gtx_980());
+        let b2 = clean.register_buffer("col", GIB, AccessMode::Uva).unwrap();
+        let base = clean.account(&scan_desc(b2, GIB)).unwrap().time;
+        let mut stalled = GpuDevice::new(GpuSpec::gtx_980());
+        stalled.set_fault_injector(stall_plan.injector_for("gpu", 0));
+        let b3 = stalled.register_buffer("col", GIB, AccessMode::Uva).unwrap();
+        let slow = stalled.account(&scan_desc(b3, GIB)).unwrap().time;
+        assert_eq!(slow, base + SimDuration::from_micros(500));
+    }
+
+    #[test]
+    fn quiet_injector_is_observationally_identical_to_none() {
+        use crate::fault::FaultPlan;
+        let run = |inject: bool| -> (SimDuration, u64) {
+            let mut dev = GpuDevice::new(GpuSpec::gtx_980());
+            if inject {
+                dev.set_fault_injector(FaultPlan::quiet(99).injector_for("gpu", 0));
+            }
+            let buf = dev.register_buffer("col", GIB, AccessMode::Uva).unwrap();
+            for _ in 0..8 {
+                dev.account(&scan_desc(buf, GIB)).unwrap();
+            }
+            (dev.total_time(), dev.total_interconnect_bytes())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

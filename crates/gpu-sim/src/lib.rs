@@ -24,6 +24,7 @@
 pub mod access;
 pub mod catalog;
 pub mod device;
+pub mod fault;
 pub mod interconnect;
 pub mod kernel;
 pub mod memory;
@@ -31,6 +32,7 @@ pub mod memory;
 pub use access::{coalescing_efficiency, AccessPattern};
 pub use catalog::{table1_catalog, table1_mix, GpuArchitecture, GpuSpec};
 pub use device::{GpuDevice, KernelRun, TransferDirection, DEVICE_TRANSACTION_BYTES};
+pub use fault::{DeviceLossPoint, FaultDecision, FaultInjector, FaultPlan};
 pub use interconnect::{Interconnect, InterconnectKind};
 pub use kernel::{BufferRead, KernelDesc, KernelMetrics};
 pub use memory::{AccessMode, BufferId, MemoryManager, Residency};

@@ -51,8 +51,14 @@ pub enum SpanKind {
     Kernel,
     /// A partial-merge phase (`merge_scan_partials` / `merge_groups`).
     Merge,
-    /// A GPU-family OOM falling back to the CPU site.
+    /// A failed attempt falling back to the next-best healthy site.
     Fallback,
+    /// A typed fault surfaced by an execution site (injected or organic).
+    Fault,
+    /// A bounded in-place retry after a transient fault.
+    Retry,
+    /// A site-health state change (quarantine entered or lifted).
+    Quarantine,
 }
 
 impl SpanKind {
@@ -66,6 +72,9 @@ impl SpanKind {
             SpanKind::Kernel => "kernel",
             SpanKind::Merge => "merge",
             SpanKind::Fallback => "fallback",
+            SpanKind::Fault => "fault",
+            SpanKind::Retry => "retry",
+            SpanKind::Quarantine => "quarantine",
         }
     }
 }

@@ -348,6 +348,7 @@ impl PlanDataCache {
             let mat = Arc::new(MaterializedColumns::new(table, key.cols.clone())?);
             let bytes = mat.cell_bytes();
             tracer.record_wall(Self::span(SpanKind::Materialise, table.identity).bytes(bytes), derive);
+            // h2tap: allow(error_swallow) — single-flight slot: set only fails if a racing builder already published the identical build, which is the value we want.
             let _ = slot.set(Some(Arc::clone(&mat)));
             let mut inner = self.shared.inner.lock();
             if inner.admit(bytes) {
@@ -410,6 +411,7 @@ impl PlanDataCache {
             let hash = Arc::new(operators::build_hash_table(build, join, group_col)?);
             let bytes = hash.footprint_bytes();
             tracer.record_wall(Self::span(SpanKind::HashBuild, build.identity).bytes(bytes), derive);
+            // h2tap: allow(error_swallow) — single-flight slot: set only fails if a racing builder already published the identical build, which is the value we want.
             let _ = slot.set(Some(Arc::clone(&hash)));
             let mut inner = self.shared.inner.lock();
             if inner.admit(bytes) {

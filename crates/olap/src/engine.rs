@@ -293,6 +293,7 @@ impl GpuOlapEngine {
                         Err(err) => {
                             for a in 0..attr {
                                 if let Some(id) = state.buffers.remove(&(tag, a)) {
+                                    // h2tap: allow(error_swallow) — rollback of a failed registration: the original allocation error is the one to surface, not a secondary free failure.
                                     let _ = state.device.memory_mut().free(id);
                                 }
                             }
@@ -310,9 +311,11 @@ impl GpuOlapEngine {
     pub fn reset_tables(&self) {
         let mut state = self.dev.lock();
         for (_, id) in std::mem::take(&mut state.buffers) {
+            // h2tap: allow(error_swallow) — teardown: every id comes from the live registration map and a failed free is unactionable mid-reset.
             let _ = state.device.memory_mut().free(id);
         }
         for (_, id) in std::mem::take(&mut state.nsm_buffers) {
+            // h2tap: allow(error_swallow) — teardown: every id comes from the live registration map and a failed free is unactionable mid-reset.
             let _ = state.device.memory_mut().free(id);
         }
     }
@@ -322,11 +325,13 @@ impl GpuOlapEngine {
     pub fn unregister_table(&self, handle: RegisteredTable) {
         let mut state = self.dev.lock();
         if let Some(id) = state.nsm_buffers.remove(&handle.tag) {
+            // h2tap: allow(error_swallow) — unregister is best-effort: the id was minted by register_table and a failed free has no caller-visible remedy.
             let _ = state.device.memory_mut().free(id);
         }
         let cols: Vec<(usize, usize)> = state.buffers.keys().filter(|(tag, _)| *tag == handle.tag).copied().collect();
         for key in cols {
             if let Some(id) = state.buffers.remove(&key) {
+                // h2tap: allow(error_swallow) — unregister is best-effort: the id was minted by register_table and a failed free has no caller-visible remedy.
                 let _ = state.device.memory_mut().free(id);
             }
         }
@@ -467,6 +472,7 @@ impl GpuOlapEngine {
         // free it even on error so an OOM mid-plan does not leak capacity.
         let mut state = self.dev.lock();
         for id in scratch {
+            // h2tap: allow(error_swallow) — scratch cleanup must not mask the query result (including a mid-plan OOM) with a secondary free failure.
             let _ = state.device.memory_mut().free(id);
         }
         drop(state);

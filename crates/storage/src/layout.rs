@@ -71,8 +71,12 @@ impl Layout {
     /// Builds the scan profile for reading `attrs_accessed` of `schema` over
     /// `rows` records stored in this layout.
     pub fn scan_profile(self, schema: &Schema, attrs_accessed: &[usize], rows: u64) -> ScanProfile {
-        let accessed_width: usize =
-            attrs_accessed.iter().filter_map(|&i| schema.attr(i).ok()).map(|a| a.ty.width()).sum();
+        let accessed_width: usize = attrs_accessed
+            .iter()
+            // h2tap: allow(error_swallow) — cost estimate only: an out-of-range attr index contributes zero width rather than failing the profile.
+            .filter_map(|&i| schema.attr(i).ok())
+            .map(|a| a.ty.width())
+            .sum();
         let useful_bytes = rows * accessed_width as u64;
         match self {
             Layout::Nsm => {

@@ -93,14 +93,23 @@ fn run_scenario(queries_per_snapshot: u32) {
         let error =
             stats.prediction_error_on(site.target).map_or("     n/a".to_string(), |e| format!("{:>7.1}%", e * 100.0));
         println!(
-            "    site {:<4} ({:?}): {:>2} queries, {:>9.2} ms simulated, prediction error {}",
+            "    site {:<4} ({:?}): {:>2} queries, {:>9.2} ms simulated, prediction error {}, breaker {}",
             site.label,
             site.target,
             site.queries,
             site.time.as_millis_f64(),
             error,
+            site.health.state.name(),
         );
     }
+    // Graceful degradation: what the resilience ladder absorbed. On this
+    // fault-free run every counter should read zero — the point of printing
+    // them is that a real deployment's dashboard would watch them climb.
+    let res = &stats.resilience;
+    println!(
+        "    resilience: {} faults observed, {} in-place retries, {} site fallbacks, {} deadline timeouts",
+        res.faults, res.retries, res.fallbacks, res.deadline_timeouts,
+    );
     // Observability: OLAP latency percentiles over all twenty refreshes, and
     // the three slowest spans of the final join refresh — where its time went.
     if let Some(latency) = stats.metrics.histogram("olap.latency.secs") {
